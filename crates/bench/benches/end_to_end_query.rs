@@ -1,0 +1,94 @@
+//! End-to-end turn latency through the coordinator, and raw framework
+//! search latency for MUST / MR / JE over one corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mqa_bench::{build_frameworks, encode, SetupParams};
+use mqa_core::{Config, MqaSystem, Turn};
+use mqa_kb::{DatasetSpec, WorkloadSpec};
+use mqa_retrieval::{MultiModalQuery, RetrievalFramework};
+use std::hint::black_box;
+
+fn params() -> SetupParams {
+    SetupParams {
+        spec: DatasetSpec::weather()
+            .objects(5_000)
+            .concepts(60)
+            .caption_noise(0.35)
+            .image_noise(0.15)
+            .seed(2024),
+        ..SetupParams::default()
+    }
+}
+
+fn bench_frameworks(c: &mut Criterion) {
+    let enc = encode(&params());
+    let fws = build_frameworks(&enc, &params().algo);
+    let workload = WorkloadSpec::new(64, 1).generate(&enc.info);
+    let queries: Vec<MultiModalQuery> = workload
+        .cases
+        .iter()
+        .map(|case| {
+            let member = enc.gt.members(case.concept)[0];
+            let img = match enc.corpus.kb().get(member).content(1) {
+                Some(mqa_encoders::RawContent::Image(i)) => i.clone(),
+                _ => unreachable!(),
+            };
+            MultiModalQuery::text_and_image(&case.round2_text, img)
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("framework_search_5k_k10_ef64");
+    let frameworks: [(&str, &dyn RetrievalFramework); 3] =
+        [("must", &fws.must), ("mr", &fws.mr), ("je", &fws.je)];
+    for (name, fw) in frameworks {
+        let mut qi = 0usize;
+        g.bench_function(name, |bch| {
+            bch.iter(|| {
+                let q = &queries[qi % queries.len()];
+                qi += 1;
+                black_box(fw.search(black_box(q), 10, 64).results.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_turn(c: &mut Criterion) {
+    let kb = DatasetSpec::weather()
+        .objects(5_000)
+        .concepts(60)
+        .caption_noise(0.35)
+        .image_noise(0.15)
+        .seed(2024)
+        .generate();
+    let system = MqaSystem::build(Config::default(), kb).expect("builds");
+    let (_, info) = DatasetSpec::weather()
+        .objects(5_000)
+        .concepts(60)
+        .caption_noise(0.35)
+        .image_noise(0.15)
+        .seed(2024)
+        .generate_with_info();
+    let workload = WorkloadSpec::new(64, 2).generate(&info);
+    let mut qi = 0usize;
+    c.bench_function("coordinator_full_turn_5k", |bch| {
+        bch.iter(|| {
+            let case = &workload.cases[qi % workload.cases.len()];
+            qi += 1;
+            black_box(
+                system
+                    .ask_once(Turn::text(&case.round1_text))
+                    .expect("answers")
+                    .results
+                    .len(),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(4));
+    targets = bench_frameworks, bench_full_turn
+}
+criterion_main!(benches);

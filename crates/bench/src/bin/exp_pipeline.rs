@@ -1,0 +1,94 @@
+//! **E10 — End-to-end pipeline latency and grounding fidelity.**
+//!
+//! Builds the full MQA system through the coordinator and reports
+//! (a) the per-component build-time breakdown the status panel records,
+//! (b) per-turn latency split into retrieval vs answer generation, and
+//! (c) the grounding contrast of the Answer Generation component: grounded
+//! replies cite only retrieved knowledge-base objects, while LLM-only mode
+//! (knowledge ingestion disabled) fabricates attributes — the
+//! hallucination failure retrieval augmentation exists to fix.
+//!
+//! ```bash
+//! cargo run --release -p mqa-bench --bin exp_pipeline [-- --quick]
+//! ```
+
+use mqa_bench::Table;
+use mqa_core::{Config, Milestone, MqaSystem, Turn};
+use mqa_kb::{DatasetSpec, WorkloadSpec};
+use mqa_llm::{LanguageModel, MockChatModel, Prompt};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (objects, n_turns) = if quick { (2_000, 40) } else { (10_000, 200) };
+    let (kb, info) = DatasetSpec::weather()
+        .objects(objects)
+        .concepts(80)
+        .caption_noise(0.35)
+        .image_noise(0.15)
+        .seed(17)
+        .generate_with_info();
+    println!("E10: {objects} objects, {n_turns} turns\n");
+
+    let t0 = std::time::Instant::now();
+    let system = MqaSystem::build(Config::default(), kb).expect("builds");
+    let total_build = t0.elapsed();
+
+    // (a) build-time component breakdown from the status panel.
+    let mut tb = Table::new(&["component", "time (ms)", "share"]);
+    for m in [
+        Milestone::DataPreprocessing,
+        Milestone::VectorRepresentation,
+        Milestone::IndexConstruction,
+    ] {
+        let d = system.status().elapsed(m).unwrap_or_default();
+        tb.row(vec![
+            m.label().to_string(),
+            format!("{:.1}", d.as_secs_f64() * 1e3),
+            format!("{:.1}%", 100.0 * d.as_secs_f64() / total_build.as_secs_f64()),
+        ]);
+    }
+    tb.print();
+    println!("total build: {:.2}s\n", total_build.as_secs_f64());
+
+    // (b) per-turn latency: retrieval vs answer generation.
+    let workload = WorkloadSpec::new(n_turns, 404).generate(&info);
+    let mut retrieval_ms = 0.0f64;
+    let mut answer_ms = 0.0f64;
+    for case in &workload.cases {
+        let t0 = std::time::Instant::now();
+        let reply = system.ask_once(Turn::text(&case.round1_text)).expect("answers");
+        let turn_total = t0.elapsed().as_secs_f64() * 1e3;
+        let r = reply.latency.as_secs_f64() * 1e3;
+        retrieval_ms += r;
+        answer_ms += (turn_total - r).max(0.0);
+    }
+    let mut tt = Table::new(&["turn stage", "mean latency (ms)"]);
+    tt.row(vec!["query execution (retrieval)".into(), format!("{:.3}", retrieval_ms / n_turns as f64)]);
+    tt.row(vec!["answer generation (+ encode/assembly)".into(), format!("{:.3}", answer_ms / n_turns as f64)]);
+    tt.print();
+
+    // (c) grounding fidelity: do replies cite fabricated attributes?
+    let parametric = [
+        "vintage", "handcrafted", "limited", "signature", "premium", "bespoke", "artisanal",
+        "iconic", "exclusive", "heritage", "curated", "timeless", "renowned", "celebrated",
+    ];
+    let model = MockChatModel::new(0);
+    let mut grounded_fab = 0usize;
+    let mut bare_fab = 0usize;
+    let sample = workload.cases.iter().take(n_turns.min(100));
+    let mut counted = 0usize;
+    for case in sample {
+        let reply = system.ask_once(Turn::text(&case.round1_text)).expect("answers");
+        let text = reply.message.expect("mock LLM configured");
+        grounded_fab += parametric.iter().any(|w| text.contains(w)) as usize;
+        // LLM-only mode: same question, knowledge ingestion disabled.
+        let bare = model.generate(&Prompt::bare(&case.round1_text), 0.0);
+        bare_fab += parametric.iter().any(|w| bare.text.contains(w)) as usize;
+        counted += 1;
+    }
+    println!("\ngrounding fidelity over {counted} questions:");
+    println!("  retrieval-augmented replies citing fabricated attributes: {grounded_fab}/{counted}");
+    println!("  LLM-only (no knowledge base)  citing fabricated attributes: {bare_fab}/{counted}");
+    println!("\nshape check: retrieval latency dominates the turn; grounded replies never");
+    println!("fabricate while parametric-only replies almost always do.");
+}

@@ -1,0 +1,107 @@
+//! **E8 — Incremental scanning (early-abandon) ablation.**
+//!
+//! The paper's Query Execution component computes fused distances "via
+//! incremental scanning, enhancing efficiency by circumventing unnecessary
+//! calculations". This experiment runs identical unified-graph searches
+//! with pruning on and off and reports: scalar multiply-accumulate terms
+//! per query, the fraction saved, wall-clock speedup, and a verification
+//! that the result sets are bit-identical (the abandonment rule is exact,
+//! not approximate).
+//!
+//! ```bash
+//! cargo run --release -p mqa-bench --bin exp_pruning [-- --quick]
+//! ```
+
+use mqa_bench::{encode, SetupParams, Table};
+use mqa_encoders::RawContent;
+use mqa_graph::UnifiedIndex;
+use mqa_kb::{DatasetSpec, WorkloadSpec};
+use mqa_retrieval::MultiModalQuery;
+use mqa_vector::Metric;
+
+const K: usize = 10;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (objects, n_queries) = if quick { (2_000, 60) } else { (20_000, 300) };
+    let params = SetupParams {
+        spec: DatasetSpec::weather()
+            .objects(objects)
+            .concepts(100)
+            .caption_noise(0.35)
+            .image_noise(0.15)
+            .seed(2024),
+        ..SetupParams::default()
+    };
+    println!("E8: {objects} objects, {n_queries} multi-modal queries, k={K}\n");
+    let enc = encode(&params);
+    let index = UnifiedIndex::build(
+        enc.corpus.store().clone(),
+        enc.learned.weights.clone(),
+        Metric::L2,
+        &params.algo,
+    );
+
+    let workload = WorkloadSpec::new(n_queries, 808).generate(&enc.info);
+    let queries: Vec<mqa_vector::MultiVector> = workload
+        .cases
+        .iter()
+        .map(|case| {
+            let member = enc.gt.members(case.concept)[0];
+            let img = match enc.corpus.kb().get(member).content(1) {
+                Some(RawContent::Image(i)) => i.clone(),
+                _ => unreachable!(),
+            };
+            enc.corpus
+                .encoders()
+                .encode_query(&MultiModalQuery::text_and_image(&case.round2_text, img))
+        })
+        .collect();
+
+    let mut table = Table::new(&[
+        "ef",
+        "terms/query (full)",
+        "terms/query (pruned)",
+        "saved",
+        "speedup",
+        "results identical",
+    ]);
+    for ef in [16usize, 32, 64, 128] {
+        let mut terms_full = 0u64;
+        let mut terms_pruned = 0u64;
+        let mut skipped = 0u64;
+        let mut identical = true;
+
+        let t0 = std::time::Instant::now();
+        let full_out: Vec<Vec<u32>> = queries
+            .iter()
+            .map(|q| {
+                let out = index.search_with_pruning(q, None, K, ef, false);
+                terms_full += out.scan.terms;
+                out.ids()
+            })
+            .collect();
+        let t_full = t0.elapsed().as_secs_f64();
+
+        let t0 = std::time::Instant::now();
+        for (q, full_ids) in queries.iter().zip(&full_out) {
+            let out = index.search_with_pruning(q, None, K, ef, true);
+            terms_pruned += out.scan.terms;
+            skipped += out.scan.terms_skipped;
+            identical &= &out.ids() == full_ids;
+        }
+        let t_pruned = t0.elapsed().as_secs_f64();
+
+        table.row(vec![
+            ef.to_string(),
+            format!("{:.0}", terms_full as f64 / queries.len() as f64),
+            format!("{:.0}", terms_pruned as f64 / queries.len() as f64),
+            format!("{:.1}%", 100.0 * skipped as f64 / (terms_pruned + skipped) as f64),
+            format!("{:.2}x", t_full / t_pruned),
+            identical.to_string(),
+        ]);
+    }
+    table.print();
+    println!("\nshape check: a large fraction of scalar terms is skipped at every ef,");
+    println!("with measurable wall-clock speedup and exactly identical results.");
+}

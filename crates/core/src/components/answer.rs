@@ -1,0 +1,150 @@
+//! Answer Generation: prompt assembly over retrieved results and LLM
+//! summarization.
+//!
+//! "The user's query is simultaneously dispatched to both the query
+//! execution module and the LLM as a prompt. The search results … are then
+//! redirected to the LLM. The final user response is a summary from the
+//! LLM. In the absence of an available LLM, users can still carry out a
+//! multi-modal QA procedure through direct engagement with the query
+//! execution module."
+
+use mqa_encoders::RawContent;
+use mqa_kb::{KnowledgeBase, ObjectId};
+use mqa_llm::{Completion, ContextEntry, LanguageModel, LlmChoice, MockChatModel, Prompt};
+use mqa_vector::Candidate;
+use std::sync::Arc;
+
+/// Maximum snippet length fed to the prompt per result.
+const SNIPPET_CHARS: usize = 120;
+
+/// The per-turn answering unit.
+pub struct AnswerGenerator {
+    llm: Option<Arc<dyn LanguageModel>>,
+    temperature: f32,
+}
+
+impl AnswerGenerator {
+    /// Instantiates the configured LLM (or none).
+    pub fn from_choice(choice: &LlmChoice, temperature: f32) -> Self {
+        let llm: Option<Arc<dyn LanguageModel>> = match choice {
+            LlmChoice::None => None,
+            LlmChoice::Mock { seed } => Some(Arc::new(MockChatModel::new(*seed))),
+        };
+        Self { llm, temperature }
+    }
+
+    /// Whether an LLM is wired in.
+    pub fn has_llm(&self) -> bool {
+        self.llm.is_some()
+    }
+
+    /// The model name, for the status panel.
+    pub fn model_name(&self) -> &str {
+        self.llm.as_deref().map(LanguageModel::name).unwrap_or("none")
+    }
+
+    /// Builds the context entries for a result list.
+    pub fn context_entries(
+        kb: &KnowledgeBase,
+        results: &[Candidate],
+        preferred: Option<ObjectId>,
+    ) -> Vec<ContextEntry> {
+        results
+            .iter()
+            .map(|c| {
+                let record = kb.get(c.id);
+                let snippet = record
+                    .contents
+                    .iter()
+                    .find_map(|slot| match slot {
+                        Some(RawContent::Text(t)) | Some(RawContent::Audio(t)) => {
+                            Some(t.chars().take(SNIPPET_CHARS).collect::<String>())
+                        }
+                        _ => None,
+                    })
+                    .unwrap_or_else(|| "(no textual content)".to_string());
+                ContextEntry {
+                    id: c.id,
+                    title: record.title.clone(),
+                    snippet,
+                    distance: c.dist,
+                    preferred: preferred == Some(c.id),
+                }
+            })
+            .collect()
+    }
+
+    /// Generates the reply for a turn. Returns `None` when no LLM is
+    /// configured (the QA panel then shows raw results only).
+    pub fn generate(
+        &self,
+        query_text: &str,
+        context: Vec<ContextEntry>,
+        history: &[String],
+    ) -> Option<Completion> {
+        let llm = self.llm.as_deref()?;
+        let mut prompt = Prompt::with_context(query_text, context);
+        for h in history {
+            prompt.push_history(h.clone());
+        }
+        Some(llm.generate(&prompt, self.temperature))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqa_kb::DatasetSpec;
+
+    fn kb() -> KnowledgeBase {
+        DatasetSpec::weather().objects(10).concepts(2).seed(1).generate()
+    }
+
+    #[test]
+    fn context_entries_carry_titles_and_preference() {
+        let kb = kb();
+        let results = vec![Candidate::new(2, 0.5), Candidate::new(7, 0.9)];
+        let entries = AnswerGenerator::context_entries(&kb, &results, Some(7));
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].title, kb.get(2).title);
+        assert!(!entries[0].preferred);
+        assert!(entries[1].preferred);
+        assert!(!entries[0].snippet.is_empty());
+    }
+
+    #[test]
+    fn mock_llm_generates_grounded_reply() {
+        let kb = kb();
+        let gen = AnswerGenerator::from_choice(&LlmChoice::Mock { seed: 1 }, 0.0);
+        assert!(gen.has_llm());
+        assert_eq!(gen.model_name(), "mock-chat");
+        let entries =
+            AnswerGenerator::context_entries(&kb, &[Candidate::new(0, 0.1)], None);
+        let reply = gen.generate("foggy clouds", entries, &[]).unwrap();
+        assert!(reply.grounded);
+        assert!(reply.text.contains(&kb.get(0).title));
+    }
+
+    #[test]
+    fn no_llm_returns_none() {
+        let gen = AnswerGenerator::from_choice(&LlmChoice::None, 0.0);
+        assert!(!gen.has_llm());
+        assert_eq!(gen.model_name(), "none");
+        assert!(gen.generate("q", vec![], &[]).is_none());
+    }
+
+    #[test]
+    fn history_is_threaded_into_prompt() {
+        // Indirect check: history changes the prompt seed, so a nonzero
+        // temperature changes sampling; at t=0 the reply stays stable.
+        let kb = kb();
+        let gen = AnswerGenerator::from_choice(&LlmChoice::Mock { seed: 1 }, 0.0);
+        let entries =
+            AnswerGenerator::context_entries(&kb, &[Candidate::new(0, 0.1)], None);
+        let a = gen.generate("q", entries.clone(), &[]).unwrap();
+        let b = gen.generate("q", entries, &["earlier turn".to_string()]).unwrap();
+        assert_eq!(a.grounded, b.grounded);
+        // history adds prompt tokens
+        assert!(b.tokens > a.tokens);
+    }
+}

@@ -1,0 +1,118 @@
+//! Query Execution: query augmentation with a selected prior result, then
+//! framework search.
+//!
+//! "Notably, any previous outcome can be chosen to augment the current
+//! user query input (as indicated by the dotted arrow in the backend of
+//! Figure 2), promoting an intelligent multi-modal search procedure."
+
+use mqa_encoders::RawContent;
+use mqa_kb::{KnowledgeBase, ObjectId};
+use mqa_retrieval::{MultiModalQuery, RetrievalFramework, RetrievalOutput};
+use mqa_vector::ModalityKind;
+use std::sync::Arc;
+
+/// The per-turn execution unit: framework + result-set parameters.
+pub struct QueryExecutor {
+    framework: Arc<dyn RetrievalFramework>,
+    k: usize,
+    ef: usize,
+}
+
+impl QueryExecutor {
+    /// Creates the executor.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` (config validation happens earlier; this is the
+    /// last line of defence).
+    pub fn new(framework: Arc<dyn RetrievalFramework>, k: usize, ef: usize) -> Self {
+        assert!(k > 0, "result count must be >= 1");
+        Self { framework, k, ef: ef.max(k) }
+    }
+
+    /// Augments `query` with the image content of a selected prior result:
+    /// the selected object's first image/video-kind content becomes the
+    /// query's reference image (unless the user supplied one explicitly).
+    pub fn augment_with_selection(
+        query: &mut MultiModalQuery,
+        kb: &KnowledgeBase,
+        selected: ObjectId,
+    ) {
+        if query.image.is_some() {
+            return;
+        }
+        let record = kb.get(selected);
+        for (m, field) in kb.schema().fields().iter().enumerate() {
+            if matches!(field.kind, ModalityKind::Image | ModalityKind::Video) {
+                if let Some(RawContent::Image(img)) = record.content(m) {
+                    query.image = Some(img.clone());
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Runs the search with the configured result count.
+    pub fn run(&self, query: &MultiModalQuery) -> RetrievalOutput {
+        self.framework.search(query, self.k, self.ef)
+    }
+
+    /// Runs the search with an explicit result count (exclusion filtering
+    /// and diversification over-fetch; `ef` widens along with `k`).
+    pub fn run_with_k(&self, query: &MultiModalQuery, k: usize) -> RetrievalOutput {
+        self.framework.search(query, k, self.ef.max(k))
+    }
+
+    /// Result-set size.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Search effort.
+    pub fn ef(&self) -> usize {
+        self.ef
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqa_kb::DatasetSpec;
+
+    #[test]
+    fn augmentation_grafts_selected_image() {
+        let kb = DatasetSpec::weather().objects(10).concepts(2).seed(1).generate();
+        let mut q = MultiModalQuery::text("more like this");
+        QueryExecutor::augment_with_selection(&mut q, &kb, 3);
+        let grafted = q.image.expect("image grafted");
+        match kb.get(3).content(1).unwrap() {
+            RawContent::Image(img) => assert_eq!(&grafted, img),
+            _ => panic!("image field expected"),
+        }
+    }
+
+    #[test]
+    fn explicit_image_wins_over_selection() {
+        let kb = DatasetSpec::weather().objects(10).concepts(2).seed(1).generate();
+        let user_img = mqa_encoders::ImageData::new(vec![9.0; 64]);
+        let mut q = MultiModalQuery::text_and_image("x", user_img.clone());
+        QueryExecutor::augment_with_selection(&mut q, &kb, 3);
+        assert_eq!(q.image, Some(user_img));
+    }
+
+    #[test]
+    fn text_only_base_leaves_query_unchanged() {
+        use mqa_encoders::RawContent;
+        use mqa_kb::{ContentSchema, FieldSpec, KnowledgeBase, ObjectRecord};
+        let mut kb = KnowledgeBase::new(
+            "texts",
+            ContentSchema::new(
+                vec![FieldSpec { name: "body".into(), kind: ModalityKind::Text }],
+                0,
+            ),
+        );
+        kb.ingest(ObjectRecord::new("t", vec![Some(RawContent::text("hello"))])).unwrap();
+        let mut q = MultiModalQuery::text("more");
+        QueryExecutor::augment_with_selection(&mut q, &kb, 0);
+        assert!(q.image.is_none());
+    }
+}

@@ -1,0 +1,18 @@
+//! The five backend components of Figure 2.
+//!
+//! Each component is an independently testable unit; the coordinator wires
+//! the build-time ones (preprocessing → representation → indexing) into an
+//! `mqa-dag` pipeline and drives the query-time ones (execution →
+//! answering) per dialogue turn.
+
+pub mod answer;
+pub mod execute;
+pub mod index;
+pub mod preprocess;
+pub mod represent;
+
+pub use answer::AnswerGenerator;
+pub use execute::QueryExecutor;
+pub use index::BuiltFramework;
+pub use preprocess::Preprocessed;
+pub use represent::Represented;

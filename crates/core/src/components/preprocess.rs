@@ -1,0 +1,91 @@
+//! Data Preprocessing: knowledge-base validation and summary statistics.
+//!
+//! "This component integrates a multi-modal knowledge base into MQA. Data
+//! is stored as an object collection with unique IDs for indexing." The
+//! ingestion/validation work itself lives in `mqa-kb`; this component is
+//! the pipeline stage that admits a base into the system and produces the
+//! counts the status panel displays.
+
+use crate::error::MqaError;
+use mqa_kb::{CorpusStats, KnowledgeBase};
+use std::sync::Arc;
+
+/// The admitted knowledge base plus its panel statistics.
+#[derive(Debug, Clone)]
+pub struct Preprocessed {
+    /// The knowledge base, shared across components.
+    pub kb: Arc<KnowledgeBase>,
+    /// Number of objects.
+    pub object_count: usize,
+    /// Number of schema modalities.
+    pub modality_count: usize,
+    /// Number of objects with at least one missing modality.
+    pub partial_objects: usize,
+    /// Whether the corpus carries relevance labels (generated corpora do;
+    /// user ingestion does not), i.e. whether weight learning can train.
+    pub labelled: bool,
+    /// Detailed corpus statistics for the status panel.
+    pub stats: CorpusStats,
+}
+
+/// Runs the component.
+///
+/// # Errors
+/// Returns [`MqaError::EmptyKnowledgeBase`] for a base with no objects.
+pub fn run(kb: KnowledgeBase) -> Result<Preprocessed, MqaError> {
+    if kb.is_empty() {
+        return Err(MqaError::EmptyKnowledgeBase);
+    }
+    let modality_count = kb.schema().arity();
+    let mut partial_objects = 0usize;
+    let mut labelled = true;
+    for (_, r) in kb.iter() {
+        if r.present_count() < modality_count {
+            partial_objects += 1;
+        }
+        if r.concept.is_none() {
+            labelled = false;
+        }
+    }
+    Ok(Preprocessed {
+        object_count: kb.len(),
+        modality_count,
+        partial_objects,
+        labelled,
+        stats: CorpusStats::compute(&kb),
+        kb: Arc::new(kb),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqa_encoders::RawContent;
+    use mqa_kb::{ContentSchema, DatasetSpec, ObjectRecord};
+
+    #[test]
+    fn generated_corpus_is_labelled_and_complete() {
+        let kb = DatasetSpec::weather().objects(20).concepts(4).seed(1).generate();
+        let p = run(kb).unwrap();
+        assert_eq!(p.object_count, 20);
+        assert_eq!(p.modality_count, 2);
+        assert_eq!(p.partial_objects, 0);
+        assert!(p.labelled);
+    }
+
+    #[test]
+    fn user_ingestion_is_unlabelled() {
+        let mut kb = KnowledgeBase::new("user", ContentSchema::caption_image(4));
+        kb.ingest(ObjectRecord::new("a", vec![Some(RawContent::text("hello")), None]))
+            .unwrap();
+        let p = run(kb).unwrap();
+        assert!(!p.labelled);
+        assert_eq!(p.partial_objects, 1);
+    }
+
+    #[test]
+    fn empty_base_rejected() {
+        let kb = KnowledgeBase::new("empty", ContentSchema::caption_image(4));
+        assert_eq!(run(kb).unwrap_err(), MqaError::EmptyKnowledgeBase);
+    }
+}

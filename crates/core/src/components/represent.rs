@@ -1,0 +1,138 @@
+//! Vector Representation: encoding plus vector weight learning.
+//!
+//! "This module converts multi-modal objects into vectorized forms …
+//! Notably, MQA introduces a vector weight learning model to discern the
+//! importances of different modalities for similarity measurement."
+
+use crate::components::preprocess::Preprocessed;
+use crate::config::Config;
+use crate::error::MqaError;
+use mqa_encoders::EncoderRegistry;
+use mqa_retrieval::{EncodedCorpus, EncoderSet};
+use mqa_vector::Weights;
+use mqa_weights::{LearnedWeights, WeightLearner};
+use std::sync::Arc;
+
+/// The encoded corpus and the modality weights retrieval will use.
+pub struct Represented {
+    /// The encoded corpus, shared by every framework built over it.
+    pub corpus: Arc<EncodedCorpus>,
+    /// The weights in force (learned, or uniform when learning is off /
+    /// impossible).
+    pub weights: Weights,
+    /// Training diagnostics when learning ran.
+    pub learned: Option<LearnedWeights>,
+    /// Panel note explaining the weight decision.
+    pub weight_note: String,
+}
+
+/// Runs the component.
+///
+/// # Errors
+/// Propagates configuration problems as [`MqaError::InvalidConfig`]
+/// (e.g. encoder choices incompatible with the schema surface as panics in
+/// `mqa-retrieval`; arity mismatches are caught here first).
+pub fn run(pre: &Preprocessed, config: &Config) -> Result<Represented, MqaError> {
+    let registry = EncoderRegistry::new(config.encoder_seed);
+    let schema = pre.kb.schema().clone();
+    let encoders = match &config.encoders {
+        Some(choices) => {
+            if choices.len() != schema.arity() {
+                return Err(MqaError::InvalidConfig(format!(
+                    "{} encoder choices for a {}-modality schema",
+                    choices.len(),
+                    schema.arity()
+                )));
+            }
+            EncoderSet::build(&registry, &schema, choices)
+        }
+        None => EncoderSet::default_for(&registry, &schema, config.embedding_dim),
+    };
+    let corpus = Arc::new(EncodedCorpus::encode(pre.kb.as_ref().clone(), encoders));
+
+    let arity = corpus.store().schema().arity();
+    let (weights, learned, weight_note) = if !config.weight_learning {
+        (Weights::uniform(arity), None, "weight learning disabled; uniform weights".to_string())
+    } else if let Some(labels) = corpus.concept_labels() {
+        let out = WeightLearner::new(config.trainer).learn(corpus.store(), &labels);
+        let note = format!(
+            "learned weights {:?} (triplet accuracy {:.2})",
+            out.weights
+                .as_slice()
+                .iter()
+                .map(|w| (w * 100.0).round() / 100.0)
+                .collect::<Vec<_>>(),
+            out.triplet_accuracy
+        );
+        (out.weights.clone(), Some(out), note)
+    } else {
+        (
+            Weights::uniform(arity),
+            None,
+            "corpus unlabelled; weight learning skipped, uniform weights".to_string(),
+        )
+    };
+
+    Ok(Represented { corpus, weights, learned, weight_note })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::preprocess;
+    use mqa_encoders::EncoderChoice;
+    use mqa_kb::DatasetSpec;
+
+    fn pre() -> Preprocessed {
+        // Noisy image modality so weight learning has something to find.
+        let kb = DatasetSpec::weather()
+            .objects(120)
+            .concepts(6)
+            .caption_noise(0.02)
+            .image_noise(0.9)
+            .seed(1)
+            .generate();
+        preprocess::run(kb).unwrap()
+    }
+
+    #[test]
+    fn learning_on_labelled_corpus_departs_from_uniform() {
+        let r = run(&pre(), &Config::default()).unwrap();
+        assert!(r.learned.is_some());
+        let w = r.weights.as_slice();
+        assert!((w[0] - w[1]).abs() > 0.1, "weights stayed uniform: {w:?}");
+        assert!(r.weight_note.contains("learned"));
+    }
+
+    #[test]
+    fn learning_toggle_off_gives_uniform() {
+        let cfg = Config { weight_learning: false, ..Config::default() };
+        let r = run(&pre(), &cfg).unwrap();
+        assert!(r.learned.is_none());
+        assert_eq!(r.weights, Weights::uniform(2));
+        assert!(r.weight_note.contains("disabled"));
+    }
+
+    #[test]
+    fn explicit_encoder_choices_respected() {
+        let cfg = Config {
+            encoders: Some(vec![
+                EncoderChoice::LstmText { dim: 24 },
+                EncoderChoice::VisualResnet { raw_dim: 64, dim: 48 },
+            ]),
+            ..Config::default()
+        };
+        let r = run(&pre(), &cfg).unwrap();
+        assert_eq!(r.corpus.store().schema().dim(0), 24);
+        assert_eq!(r.corpus.store().schema().dim(1), 48);
+    }
+
+    #[test]
+    fn wrong_choice_count_rejected() {
+        let cfg = Config {
+            encoders: Some(vec![EncoderChoice::HashingText { dim: 8 }]),
+            ..Config::default()
+        };
+        assert!(matches!(run(&pre(), &cfg), Err(MqaError::InvalidConfig(_))));
+    }
+}

@@ -1,0 +1,271 @@
+//! The coordinator: the system's central nexus.
+//!
+//! "The coordinator serves as the system's central nexus, supervising all
+//! component operations and facilitating smooth data transition across the
+//! system. Both the frontend and backend exclusively interact with the
+//! coordinator." [`MqaSystem`] is that single reference point: building it
+//! runs the three build-time components as an `mqa-dag` pipeline, and every
+//! frontend surface (config import/export, status panel, dialogue sessions)
+//! goes through it.
+
+use crate::components::{answer, execute, index, preprocess, represent};
+use crate::config::Config;
+use crate::dialogue::{DialogueSession, Reply, Turn};
+use crate::error::MqaError;
+use crate::status::{Milestone, StatusMonitor};
+use mqa_dag::{Context, Pipeline};
+use mqa_retrieval::{EncodedCorpus, RetrievalFramework};
+use mqa_vector::Weights;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// The built MQA system.
+pub struct MqaSystem {
+    config: Config,
+    corpus: Arc<EncodedCorpus>,
+    weights: Weights,
+    framework: Arc<dyn RetrievalFramework>,
+    executor: execute::QueryExecutor,
+    answerer: answer::AnswerGenerator,
+    status: StatusMonitor,
+}
+
+impl MqaSystem {
+    /// Validates `config`, then runs Data Preprocessing → Vector
+    /// Representation → Index Construction as a DAG pipeline and wires the
+    /// query-time components.
+    ///
+    /// # Errors
+    /// Configuration errors ([`MqaError::InvalidConfig`]), an empty base
+    /// ([`MqaError::EmptyKnowledgeBase`]), or a failed build stage
+    /// ([`MqaError::BuildFailed`]).
+    pub fn build(config: Config, kb: mqa_kb::KnowledgeBase) -> Result<Self, MqaError> {
+        config.validate()?;
+        let cfg = Arc::new(config);
+        let kb_slot = Arc::new(Mutex::new(Some(kb)));
+
+        let mut ctx = Context::new();
+        let (c1, c2) = (Arc::clone(&cfg), Arc::clone(&cfg));
+        let kb_for_stage = Arc::clone(&kb_slot);
+        let trace = Pipeline::new()
+            .stage("data_preprocessing", move |_| {
+                let kb = kb_for_stage
+                    .lock()
+                    .take()
+                    .ok_or_else(|| "knowledge base already consumed".to_string())?;
+                let pre = preprocess::run(kb).map_err(|e| e.to_string())?;
+                Ok(vec![("pre".to_string(), Box::new(pre) as _)])
+            })
+            .stage("vector_representation", move |c| {
+                let pre = c.get::<preprocess::Preprocessed>("pre").map_err(|e| e.to_string())?;
+                let rep = represent::run(pre, &c1).map_err(|e| e.to_string())?;
+                Ok(vec![("rep".to_string(), Box::new(rep) as _)])
+            })
+            .stage("index_construction", move |c| {
+                let rep = c.get::<represent::Represented>("rep").map_err(|e| e.to_string())?;
+                let built = index::run(rep, &c2).map_err(|e| e.to_string())?;
+                Ok(vec![("built".to_string(), Box::new(built) as _)])
+            })
+            .run(&mut ctx)
+            .map_err(|e| match e {
+                // Surface the inner component error verbatim.
+                mqa_dag::DagError::TaskFailed { task, message } => {
+                    if message.contains("no objects") {
+                        MqaError::EmptyKnowledgeBase
+                    } else {
+                        MqaError::BuildFailed(format!("{task}: {message}"))
+                    }
+                }
+                other => MqaError::BuildFailed(other.to_string()),
+            })?;
+
+        let pre: preprocess::Preprocessed =
+            ctx.take("pre").map_err(|e| MqaError::BuildFailed(e.to_string()))?;
+        let rep: represent::Represented =
+            ctx.take("rep").map_err(|e| MqaError::BuildFailed(e.to_string()))?;
+        let built: index::BuiltFramework =
+            ctx.take("built").map_err(|e| MqaError::BuildFailed(e.to_string()))?;
+
+        // Assemble the status panel from component outputs + true timings.
+        let mut status = StatusMonitor::new();
+        status.detail(
+            Milestone::DataPreprocessing,
+            format!(
+                "knowledge base `{}`: {} objects, {} modalities ({} partial)",
+                pre.kb.name(),
+                pre.object_count,
+                pre.modality_count,
+                pre.partial_objects
+            ),
+        );
+        status.detail(Milestone::DataPreprocessing, pre.stats.summary());
+        let choices: Vec<String> = rep
+            .corpus
+            .encoders()
+            .choices()
+            .iter()
+            .map(|c| format!("{} ({}d)", c.display_name(), c.dim()))
+            .collect();
+        status.detail(Milestone::VectorRepresentation, format!("encoders: {}", choices.join(" + ")));
+        status.detail(
+            Milestone::VectorRepresentation,
+            format!("total vector dim: {}", rep.corpus.store().schema().total_dim()),
+        );
+        status.detail(Milestone::VectorRepresentation, rep.weight_note.clone());
+        status.detail(Milestone::IndexConstruction, built.description.clone());
+        for timing in &trace.tasks {
+            let milestone = match timing.name.as_str() {
+                "data_preprocessing" => Milestone::DataPreprocessing,
+                "vector_representation" => Milestone::VectorRepresentation,
+                "index_construction" => Milestone::IndexConstruction,
+                _ => continue,
+            };
+            status.complete(milestone, timing.elapsed);
+        }
+
+        let executor =
+            execute::QueryExecutor::new(Arc::clone(&built.framework), cfg.k, cfg.ef);
+        let answerer = answer::AnswerGenerator::from_choice(&cfg.llm, cfg.temperature);
+        status.detail(
+            Milestone::QueryExecution,
+            format!("framework: {} (k={}, ef={})", cfg.framework.name(), cfg.k, cfg.ef),
+        );
+        status.complete(Milestone::QueryExecution, std::time::Duration::ZERO);
+        status.detail(
+            Milestone::AnswerGeneration,
+            format!("llm: {} (temperature {})", answerer.model_name(), cfg.temperature),
+        );
+        status.complete(Milestone::AnswerGeneration, std::time::Duration::ZERO);
+
+        Ok(Self {
+            config: Arc::try_unwrap(cfg).unwrap_or_else(|a| a.as_ref().clone()),
+            corpus: Arc::clone(&rep.corpus),
+            weights: rep.weights.clone(),
+            framework: built.framework,
+            executor,
+            answerer,
+            status,
+        })
+    }
+
+    /// Opens a multi-round dialogue session (the QA panel, ③ in Figure 3).
+    pub fn open_session(&self) -> DialogueSession<'_> {
+        DialogueSession::new(self)
+    }
+
+    /// One-shot question answering without session state.
+    ///
+    /// # Errors
+    /// Propagates dialogue errors (e.g. [`MqaError::EmptyTurn`]).
+    pub fn ask_once(&self, turn: Turn) -> Result<Reply, MqaError> {
+        self.open_session().ask(turn)
+    }
+
+    /// The live status panel.
+    pub fn status(&self) -> &StatusMonitor {
+        &self.status
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// The encoded corpus.
+    pub fn corpus(&self) -> &Arc<EncodedCorpus> {
+        &self.corpus
+    }
+
+    /// The modality weights in force.
+    pub fn weights(&self) -> &Weights {
+        &self.weights
+    }
+
+    /// The retrieval framework.
+    pub fn framework(&self) -> &Arc<dyn RetrievalFramework> {
+        &self.framework
+    }
+
+    pub(crate) fn executor(&self) -> &execute::QueryExecutor {
+        &self.executor
+    }
+
+    pub(crate) fn answerer(&self) -> &answer::AnswerGenerator {
+        &self.answerer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqa_kb::DatasetSpec;
+
+    fn kb() -> mqa_kb::KnowledgeBase {
+        DatasetSpec::weather().objects(80).concepts(8).seed(1).generate()
+    }
+
+    #[test]
+    fn build_completes_and_ticks_milestones() {
+        let sys = MqaSystem::build(Config::default(), kb()).unwrap();
+        for m in Milestone::ALL {
+            assert!(sys.status().is_done(m), "{m:?} not ticked");
+        }
+        let panel = sys.status().render();
+        assert!(panel.contains("knowledge base `weather`"));
+        assert!(panel.contains("encoders:"));
+    }
+
+    #[test]
+    fn invalid_config_rejected_before_any_work() {
+        let cfg = Config { k: 0, ..Config::default() };
+        assert!(matches!(MqaSystem::build(cfg, kb()), Err(MqaError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn empty_base_surfaces_typed_error() {
+        let empty = mqa_kb::KnowledgeBase::new(
+            "empty",
+            mqa_kb::ContentSchema::caption_image(64),
+        );
+        let err = match MqaSystem::build(Config::default(), empty) {
+            Err(e) => e,
+            Ok(_) => panic!("empty base must fail"),
+        };
+        assert_eq!(err, MqaError::EmptyKnowledgeBase);
+    }
+
+    #[test]
+    fn component_failure_surfaces_as_build_failed_with_stage_name() {
+        // Wrong encoder-choice count fails inside Vector Representation.
+        let cfg = Config {
+            encoders: Some(vec![mqa_encoders::EncoderChoice::HashingText { dim: 8 }]),
+            ..Config::default()
+        };
+        let err = match MqaSystem::build(cfg, kb()) {
+            Err(e) => e,
+            Ok(_) => panic!("mismatched encoder count must fail"),
+        };
+        match err {
+            MqaError::BuildFailed(msg) => {
+                assert!(msg.contains("vector_representation"), "{msg}");
+            }
+            other => panic!("expected BuildFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ask_once_returns_results_and_message() {
+        let sys = MqaSystem::build(Config::default(), kb()).unwrap();
+        let title = sys.corpus().kb().get(0).title.clone();
+        let phrase = title.rsplit_once(" #").map(|(p, _)| p.to_string()).unwrap();
+        let reply = sys.ask_once(Turn::text(phrase)).unwrap();
+        assert_eq!(reply.results.len(), sys.config().k);
+        assert!(reply.message.is_some());
+    }
+
+    #[test]
+    fn weights_are_learned_by_default() {
+        let sys = MqaSystem::build(Config::default(), kb()).unwrap();
+        assert_eq!(sys.weights().arity(), 2);
+    }
+}

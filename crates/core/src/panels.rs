@@ -1,0 +1,102 @@
+//! Text renderings of the three working panels (Figure 3), used by the
+//! examples in place of the paper's React frontend.
+
+use crate::config::Config;
+use crate::coordinator::MqaSystem;
+use crate::dialogue::Reply;
+use mqa_encoders::EncoderRegistry;
+
+/// Renders the configuration panel: available options plus current values.
+pub fn render_config_panel(config: &Config) -> String {
+    let mut out = String::from("── Configuration ──────────────────────────\n");
+    out.push_str("knowledge base   : (select at build time; external ingestion optional)\n");
+    out.push_str(&format!(
+        "embedding        : {} [available: {}]\n",
+        config
+            .encoders
+            .as_ref()
+            .map(|cs| cs.iter().map(|c| c.display_name()).collect::<Vec<_>>().join(" + "))
+            .unwrap_or_else(|| format!("defaults @ {}d", config.embedding_dim)),
+        EncoderRegistry::available().join(", ")
+    ));
+    out.push_str(&format!(
+        "weight learning  : {}\n",
+        if config.weight_learning { "on" } else { "off" }
+    ));
+    out.push_str(&format!("index            : {}\n", config.index.name()));
+    out.push_str(&format!(
+        "retrieval        : {} (k={}, ef={})\n",
+        config.framework.name(),
+        config.k,
+        config.ef
+    ));
+    out.push_str(&format!(
+        "llm              : {} (temperature {})\n",
+        config.llm.display_name(),
+        config.temperature
+    ));
+    out
+}
+
+/// Renders the status panel (delegates to the live monitor).
+pub fn render_status_panel(system: &MqaSystem) -> String {
+    system.status().render()
+}
+
+/// Renders one QA-panel exchange.
+pub fn render_qa_exchange(user_text: &str, reply: &Reply) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("you ▸ {user_text}\n"));
+    if let Some(msg) = &reply.message {
+        for line in msg.lines() {
+            out.push_str(&format!("mqa ▸ {line}\n"));
+        }
+    } else {
+        out.push_str("mqa ▸ (results below — no LLM configured)\n");
+    }
+    for (i, item) in reply.results.iter().enumerate() {
+        out.push_str(&format!(
+            "      [{}] {} (d={:.3})\n",
+            i,
+            item.title,
+            item.distance
+        ));
+    }
+    out.push_str(&format!(
+        "      round {} · {:.2} ms · {} distance evals\n",
+        reply.round,
+        reply.latency.as_secs_f64() * 1e3,
+        reply.stats.evals
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dialogue::Turn;
+    use mqa_kb::DatasetSpec;
+
+    #[test]
+    fn config_panel_lists_all_knobs() {
+        let p = render_config_panel(&Config::default());
+        assert!(p.contains("weight learning  : on"));
+        assert!(p.contains("mqa-graph"));
+        assert!(p.contains("MUST"));
+        assert!(p.contains("hashing-text"));
+    }
+
+    #[test]
+    fn qa_exchange_renders_results() {
+        let kb = DatasetSpec::weather().objects(40).concepts(4).seed(1).generate();
+        let sys = MqaSystem::build(Config::default(), kb).unwrap();
+        let title = sys.corpus().kb().get(0).title.clone();
+        let reply = sys.ask_once(Turn::text(title.clone())).unwrap();
+        let text = render_qa_exchange(&title, &reply);
+        assert!(text.contains("you ▸"));
+        assert!(text.contains("[0]"));
+        assert!(text.contains("round 1"));
+        let status = render_status_panel(&sys);
+        assert!(status.contains("✓ Index Construction"));
+    }
+}

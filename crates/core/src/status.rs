@@ -1,0 +1,169 @@
+//! The status-monitoring panel (② in Figure 3).
+//!
+//! "Milestones such as data preprocessing, vector representation, and index
+//! construction are visibly tracked with tick marks and relevant details,
+//! encompassing encoder details, modal counts, vector dimensions, index
+//! types, retrieval frameworks, and LLM specifics."
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// The five tracked pipeline milestones, in flow order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Milestone {
+    /// Knowledge-base ingestion and validation.
+    DataPreprocessing,
+    /// Encoding and weight learning.
+    VectorRepresentation,
+    /// Navigation-graph construction.
+    IndexConstruction,
+    /// Retrieval readiness (updated per query with live counters).
+    QueryExecution,
+    /// LLM wiring (updated per generated reply).
+    AnswerGeneration,
+}
+
+impl Milestone {
+    /// All milestones in flow order.
+    pub const ALL: [Milestone; 5] = [
+        Milestone::DataPreprocessing,
+        Milestone::VectorRepresentation,
+        Milestone::IndexConstruction,
+        Milestone::QueryExecution,
+        Milestone::AnswerGeneration,
+    ];
+
+    /// Panel label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Milestone::DataPreprocessing => "Data Preprocessing",
+            Milestone::VectorRepresentation => "Vector Representation",
+            Milestone::IndexConstruction => "Index Construction",
+            Milestone::QueryExecution => "Query Execution",
+            Milestone::AnswerGeneration => "Answer Generation",
+        }
+    }
+}
+
+/// One milestone's tracked state.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+struct Entry {
+    done: bool,
+    details: Vec<String>,
+    elapsed: Option<Duration>,
+}
+
+/// The live status panel.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StatusMonitor {
+    entries: [Entry; 5],
+}
+
+impl StatusMonitor {
+    /// A panel with every milestone pending.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn idx(m: Milestone) -> usize {
+        Milestone::ALL.iter().position(|&x| x == m).expect("milestone listed")
+    }
+
+    /// Marks a milestone complete with its wall-clock duration.
+    pub fn complete(&mut self, m: Milestone, elapsed: Duration) {
+        let e = &mut self.entries[Self::idx(m)];
+        e.done = true;
+        e.elapsed = Some(elapsed);
+    }
+
+    /// Attaches a detail line to a milestone (encoder names, vector dims,
+    /// index type, …). Detail lines accumulate.
+    pub fn detail(&mut self, m: Milestone, line: impl Into<String>) {
+        self.entries[Self::idx(m)].details.push(line.into());
+    }
+
+    /// Whether a milestone is ticked.
+    pub fn is_done(&self, m: Milestone) -> bool {
+        self.entries[Self::idx(m)].done
+    }
+
+    /// Detail lines of a milestone.
+    pub fn details(&self, m: Milestone) -> &[String] {
+        &self.entries[Self::idx(m)].details
+    }
+
+    /// Recorded duration of a milestone, if complete.
+    pub fn elapsed(&self, m: Milestone) -> Option<Duration> {
+        self.entries[Self::idx(m)].elapsed
+    }
+
+    /// Renders the panel as text (the examples' stand-in for the React
+    /// frontend).
+    pub fn render(&self) -> String {
+        let mut out = String::from("── Status Monitoring ──────────────────────\n");
+        for m in Milestone::ALL {
+            let e = &self.entries[Self::idx(m)];
+            let tick = if e.done { "✓" } else { "·" };
+            let time = e
+                .elapsed
+                .map(|d| format!(" ({:.1} ms)", d.as_secs_f64() * 1e3))
+                .unwrap_or_default();
+            out.push_str(&format!("{tick} {}{}\n", m.label(), time));
+            for d in &e.details {
+                out.push_str(&format!("    {d}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_all_pending() {
+        let s = StatusMonitor::new();
+        for m in Milestone::ALL {
+            assert!(!s.is_done(m));
+            assert!(s.elapsed(m).is_none());
+        }
+    }
+
+    #[test]
+    fn complete_and_detail_accumulate() {
+        let mut s = StatusMonitor::new();
+        s.detail(Milestone::VectorRepresentation, "encoders: hashing-text + visual-resnet");
+        s.detail(Milestone::VectorRepresentation, "dims: 64 + 64");
+        s.complete(Milestone::VectorRepresentation, Duration::from_millis(12));
+        assert!(s.is_done(Milestone::VectorRepresentation));
+        assert_eq!(s.details(Milestone::VectorRepresentation).len(), 2);
+        assert_eq!(s.elapsed(Milestone::VectorRepresentation), Some(Duration::from_millis(12)));
+    }
+
+    #[test]
+    fn render_shows_ticks_and_details() {
+        let mut s = StatusMonitor::new();
+        s.detail(Milestone::IndexConstruction, "index: mqa-graph");
+        s.complete(Milestone::IndexConstruction, Duration::from_millis(5));
+        let r = s.render();
+        assert!(r.contains("✓ Index Construction"));
+        assert!(r.contains("index: mqa-graph"));
+        assert!(r.contains("· Data Preprocessing"));
+    }
+
+    #[test]
+    fn labels_cover_figure_two() {
+        let labels: Vec<_> = Milestone::ALL.iter().map(|m| m.label()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "Data Preprocessing",
+                "Vector Representation",
+                "Index Construction",
+                "Query Execution",
+                "Answer Generation"
+            ]
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! The typed blackboard tasks communicate through.
+//!
+//! A [`Context`] maps string keys to type-erased [`Artifact`]s. Tasks read
+//! their inputs with [`Context::get`] and return freshly produced artifacts
+//! from their run function; the executor merges those into the context after
+//! each wave, so a task never observes a half-written artifact even when the
+//! wave ran in parallel.
+
+use crate::DagError;
+use std::any::Any;
+use std::collections::HashMap;
+
+/// A type-erased, thread-safe artifact value.
+pub type Artifact = Box<dyn Any + Send + Sync>;
+
+/// Key→artifact blackboard shared by the tasks of one execution.
+#[derive(Default)]
+pub struct Context {
+    slots: HashMap<String, Artifact>,
+}
+
+impl Context {
+    /// An empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores `value` under `key`, replacing any previous artifact.
+    pub fn put<T: Any + Send + Sync>(&mut self, key: impl Into<String>, value: T) {
+        self.slots.insert(key.into(), Box::new(value));
+    }
+
+    /// Borrows the artifact under `key` as type `T`.
+    ///
+    /// # Errors
+    /// Returns [`DagError::MissingArtifact`] if the key is absent or the
+    /// stored value is not a `T`.
+    pub fn get<T: Any + Send + Sync>(&self, key: &str) -> Result<&T, DagError> {
+        self.slots
+            .get(key)
+            .and_then(|a| a.downcast_ref::<T>())
+            .ok_or_else(|| DagError::MissingArtifact(key.to_string()))
+    }
+
+    /// Removes and returns the artifact under `key` as a `T`.
+    ///
+    /// # Errors
+    /// Returns [`DagError::MissingArtifact`] if the key is absent or the
+    /// stored value is not a `T` (in the type-mismatch case the artifact is
+    /// left in place).
+    pub fn take<T: Any + Send + Sync>(&mut self, key: &str) -> Result<T, DagError> {
+        if !self.slots.get(key).map(|a| a.is::<T>()).unwrap_or(false) {
+            return Err(DagError::MissingArtifact(key.to_string()));
+        }
+        let boxed = self.slots.remove(key).expect("checked above");
+        Ok(*boxed.downcast::<T>().expect("checked above"))
+    }
+
+    /// Stores an already-boxed artifact (used by the executor's merge
+    /// step; prefer [`Context::put`] in application code).
+    pub fn put_boxed(&mut self, key: String, value: Artifact) {
+        self.slots.insert(key, value);
+    }
+
+    /// Whether an artifact exists under `key` (of any type).
+    pub fn contains(&self, key: &str) -> bool {
+        self.slots.contains_key(key)
+    }
+
+    /// All keys currently present, unordered.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.slots.keys().map(String::as_str)
+    }
+
+    /// Number of artifacts held.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the context is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+impl std::fmt::Debug for Context {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut keys: Vec<_> = self.slots.keys().collect();
+        keys.sort();
+        f.debug_struct("Context").field("keys", &keys).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut ctx = Context::new();
+        ctx.put("answer", 42u32);
+        assert_eq!(*ctx.get::<u32>("answer").unwrap(), 42);
+    }
+
+    #[test]
+    fn get_wrong_type_is_missing() {
+        let mut ctx = Context::new();
+        ctx.put("answer", 42u32);
+        assert!(matches!(
+            ctx.get::<String>("answer"),
+            Err(DagError::MissingArtifact(_))
+        ));
+    }
+
+    #[test]
+    fn get_absent_key_is_missing() {
+        let ctx = Context::new();
+        assert!(ctx.get::<u32>("nope").is_err());
+    }
+
+    #[test]
+    fn take_removes_value() {
+        let mut ctx = Context::new();
+        ctx.put("v", vec![1u8, 2, 3]);
+        let v: Vec<u8> = ctx.take("v").unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        assert!(!ctx.contains("v"));
+    }
+
+    #[test]
+    fn take_wrong_type_leaves_value() {
+        let mut ctx = Context::new();
+        ctx.put("v", 1u8);
+        assert!(ctx.take::<u16>("v").is_err());
+        assert!(ctx.contains("v"));
+    }
+
+    #[test]
+    fn put_replaces_existing() {
+        let mut ctx = Context::new();
+        ctx.put("k", 1u32);
+        ctx.put("k", 2u32);
+        assert_eq!(*ctx.get::<u32>("k").unwrap(), 2);
+        assert_eq!(ctx.len(), 1);
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type for DAG construction and execution.
+
+use std::fmt;
+
+/// Everything that can go wrong while building or running a [`crate::Dag`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// Two tasks were registered under the same name.
+    DuplicateTask(String),
+    /// A task depends on a name that was never registered.
+    UnknownDependency {
+        /// The depending task.
+        task: String,
+        /// The missing dependency name.
+        dependency: String,
+    },
+    /// The dependency graph contains a cycle; the payload is one task on it.
+    Cycle(String),
+    /// A task returned an error at run time.
+    TaskFailed {
+        /// The failing task.
+        task: String,
+        /// Its error message.
+        message: String,
+    },
+    /// A task asked the context for an artifact that is absent or of the
+    /// wrong type.
+    MissingArtifact(String),
+    /// A worker thread running a task panicked.
+    TaskPanicked(String),
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::DuplicateTask(name) => write!(f, "duplicate task name: {name}"),
+            DagError::UnknownDependency { task, dependency } => {
+                write!(f, "task `{task}` depends on unknown task `{dependency}`")
+            }
+            DagError::Cycle(name) => write!(f, "dependency cycle involving task `{name}`"),
+            DagError::TaskFailed { task, message } => {
+                write!(f, "task `{task}` failed: {message}")
+            }
+            DagError::MissingArtifact(key) => {
+                write!(f, "artifact `{key}` missing or of unexpected type")
+            }
+            DagError::TaskPanicked(name) => write!(f, "task `{name}` panicked"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DagError::UnknownDependency { task: "a".into(), dependency: "b".into() };
+        assert!(e.to_string().contains("a") && e.to_string().contains("b"));
+        assert!(DagError::Cycle("x".into()).to_string().contains("cycle"));
+        assert!(DagError::MissingArtifact("k".into()).to_string().contains("k"));
+    }
+}

@@ -1,0 +1,290 @@
+//! DAG execution: sequential or wave-parallel, with per-task timing.
+
+use crate::context::Context;
+use crate::graph::Dag;
+use crate::DagError;
+use std::time::{Duration, Instant};
+
+/// How the executor schedules tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Tasks run one by one in wave order on the calling thread.
+    #[default]
+    Sequential,
+    /// Tasks of a wave run concurrently on scoped threads; waves remain a
+    /// barrier, so a task still observes all of its dependencies' outputs.
+    Parallel,
+}
+
+/// Wall-clock record of one task execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskTiming {
+    /// Task name.
+    pub name: String,
+    /// Index of the wave the task ran in.
+    pub wave: usize,
+    /// Wall-clock duration of the task body.
+    pub elapsed: Duration,
+}
+
+/// Execution trace: per-task timings in completion order plus total time.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Per-task timings.
+    pub tasks: Vec<TaskTiming>,
+    /// End-to-end wall-clock time of the execution.
+    pub total: Duration,
+}
+
+impl Trace {
+    /// Timing of the task named `name`, if it ran.
+    pub fn timing_of(&self, name: &str) -> Option<&TaskTiming> {
+        self.tasks.iter().find(|t| t.name == name)
+    }
+}
+
+impl Dag {
+    /// Runs the DAG over `ctx`, returning the execution [`Trace`].
+    ///
+    /// Task outputs are merged into `ctx` at wave boundaries in task
+    /// registration order, so a later-registered task deterministically wins
+    /// when two tasks of the same wave publish the same key.
+    ///
+    /// # Errors
+    /// Returns the first [`DagError::TaskFailed`] (or
+    /// [`DagError::TaskPanicked`]) encountered; in parallel mode the rest of
+    /// the failing wave still completes, later waves are not started.
+    pub fn execute(&self, ctx: &mut Context, mode: ExecMode) -> Result<Trace, DagError> {
+        let start = Instant::now();
+        let mut trace = Trace::default();
+        for (wave_idx, wave) in self.waves.iter().enumerate() {
+            let results = match mode {
+                ExecMode::Sequential => {
+                    let mut results = Vec::with_capacity(wave.len());
+                    for &t in wave {
+                        let node = &self.tasks[t];
+                        let t0 = Instant::now();
+                        let out = (node.run)(ctx);
+                        results.push((t, out, t0.elapsed()));
+                    }
+                    results
+                }
+                ExecMode::Parallel => self.run_wave_parallel(ctx, wave)?,
+            };
+            // Merge outputs (and surface failures) in registration order.
+            let mut results = results;
+            results.sort_by_key(|(t, _, _)| *t);
+            for (t, out, elapsed) in results {
+                let node = &self.tasks[t];
+                let artifacts = out.map_err(|message| DagError::TaskFailed {
+                    task: node.name.clone(),
+                    message,
+                })?;
+                for (key, value) in artifacts {
+                    ctx.put_boxed(key, value);
+                }
+                trace.tasks.push(TaskTiming {
+                    name: node.name.clone(),
+                    wave: wave_idx,
+                    elapsed,
+                });
+            }
+        }
+        trace.total = start.elapsed();
+        Ok(trace)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn run_wave_parallel(
+        &self,
+        ctx: &Context,
+        wave: &[usize],
+    ) -> Result<Vec<(usize, Result<crate::graph::TaskOutput, String>, Duration)>, DagError> {
+        if wave.len() == 1 {
+            // No point spawning a thread for a single task.
+            let node = &self.tasks[wave[0]];
+            let t0 = Instant::now();
+            let out = (node.run)(ctx);
+            return Ok(vec![(wave[0], out, t0.elapsed())]);
+        }
+        let mut results = Vec::with_capacity(wave.len());
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = wave
+                .iter()
+                .map(|&t| {
+                    let node = &self.tasks[t];
+                    let ctx_ref: &Context = ctx;
+                    scope.spawn(move |_| {
+                        let t0 = Instant::now();
+                        let out = (node.run)(ctx_ref);
+                        (t, out, t0.elapsed())
+                    })
+                })
+                .collect();
+            for h in handles {
+                match h.join() {
+                    Ok(r) => results.push(r),
+                    Err(_) => results.push((
+                        usize::MAX,
+                        Err("task panicked".to_string()),
+                        Duration::ZERO,
+                    )),
+                }
+            }
+        })
+        .map_err(|_| DagError::TaskPanicked("<wave>".to_string()))?;
+        if let Some((_, _, _)) = results.iter().find(|(t, _, _)| *t == usize::MAX) {
+            return Err(DagError::TaskPanicked("<unknown>".to_string()));
+        }
+        Ok(results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DagBuilder;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_execution_passes_artifacts() {
+        let dag = DagBuilder::new()
+            .task("produce", &[], |_| Ok(vec![("x".to_string(), Box::new(21u32) as _)]))
+            .task("double", &["produce"], |ctx| {
+                let x = ctx.get::<u32>("x").map_err(|e| e.to_string())?;
+                Ok(vec![("y".to_string(), Box::new(x * 2) as _)])
+            })
+            .build()
+            .unwrap();
+        let mut ctx = Context::new();
+        let trace = dag.execute(&mut ctx, ExecMode::Sequential).unwrap();
+        assert_eq!(*ctx.get::<u32>("y").unwrap(), 42);
+        assert_eq!(trace.tasks.len(), 2);
+        assert!(trace.timing_of("double").is_some());
+    }
+
+    #[test]
+    fn parallel_wave_runs_all_tasks() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut builder = DagBuilder::new().task("src", &[], |_| Ok(Vec::new()));
+        for i in 0..8 {
+            let c = Arc::clone(&counter);
+            builder = builder.task(&format!("worker{i}"), &["src"], move |_| {
+                c.fetch_add(1, Ordering::SeqCst);
+                Ok(Vec::new())
+            });
+        }
+        let dag = builder.build().unwrap();
+        let mut ctx = Context::new();
+        dag.execute(&mut ctx, ExecMode::Parallel).unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let build = || {
+            DagBuilder::new()
+                .task("a", &[], |_| Ok(vec![("a".to_string(), Box::new(1u32) as _)]))
+                .task("b", &["a"], |ctx| {
+                    let a = *ctx.get::<u32>("a").map_err(|e| e.to_string())?;
+                    Ok(vec![("b".to_string(), Box::new(a + 1) as _)])
+                })
+                .task("c", &["a"], |ctx| {
+                    let a = *ctx.get::<u32>("a").map_err(|e| e.to_string())?;
+                    Ok(vec![("c".to_string(), Box::new(a + 2) as _)])
+                })
+                .task("d", &["b", "c"], |ctx| {
+                    let b = *ctx.get::<u32>("b").map_err(|e| e.to_string())?;
+                    let c = *ctx.get::<u32>("c").map_err(|e| e.to_string())?;
+                    Ok(vec![("d".to_string(), Box::new(b * c) as _)])
+                })
+                .build()
+                .unwrap()
+        };
+        for mode in [ExecMode::Sequential, ExecMode::Parallel] {
+            let mut ctx = Context::new();
+            build().execute(&mut ctx, mode).unwrap();
+            assert_eq!(*ctx.get::<u32>("d").unwrap(), 6, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn task_failure_reports_name_and_message() {
+        let dag = DagBuilder::new()
+            .task("boom", &[], |_| Err("kaput".to_string()))
+            .build()
+            .unwrap();
+        let mut ctx = Context::new();
+        let err = dag.execute(&mut ctx, ExecMode::Sequential).unwrap_err();
+        assert_eq!(
+            err,
+            DagError::TaskFailed { task: "boom".into(), message: "kaput".into() }
+        );
+    }
+
+    #[test]
+    fn failure_stops_later_waves() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let ran2 = Arc::clone(&ran);
+        let dag = DagBuilder::new()
+            .task("boom", &[], |_| Err("x".to_string()))
+            .task("after", &["boom"], move |_| {
+                ran2.fetch_add(1, Ordering::SeqCst);
+                Ok(Vec::new())
+            })
+            .build()
+            .unwrap();
+        let mut ctx = Context::new();
+        assert!(dag.execute(&mut ctx, ExecMode::Sequential).is_err());
+        assert_eq!(ran.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn parallel_task_panic_is_contained() {
+        // A panicking task must surface as an error, not poison the
+        // process; sibling tasks of the wave still complete.
+        let done = Arc::new(AtomicUsize::new(0));
+        let done2 = Arc::clone(&done);
+        let dag = DagBuilder::new()
+            .task("boom", &[], |_| panic!("intentional"))
+            .task("calm", &[], move |_| {
+                done2.fetch_add(1, Ordering::SeqCst);
+                Ok(Vec::new())
+            })
+            .build()
+            .unwrap();
+        let mut ctx = Context::new();
+        let err = dag.execute(&mut ctx, ExecMode::Parallel).unwrap_err();
+        assert!(matches!(err, DagError::TaskPanicked(_)));
+        assert_eq!(done.load(Ordering::SeqCst), 1, "sibling task was skipped");
+    }
+
+    #[test]
+    fn same_key_last_registered_wins() {
+        let dag = DagBuilder::new()
+            .task("first", &[], |_| Ok(vec![("k".to_string(), Box::new(1u32) as _)]))
+            .task("second", &[], |_| Ok(vec![("k".to_string(), Box::new(2u32) as _)]))
+            .build()
+            .unwrap();
+        for mode in [ExecMode::Sequential, ExecMode::Parallel] {
+            let mut ctx = Context::new();
+            dag.execute(&mut ctx, mode).unwrap();
+            assert_eq!(*ctx.get::<u32>("k").unwrap(), 2, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn trace_reports_waves() {
+        let dag = DagBuilder::new()
+            .task("a", &[], |_| Ok(Vec::new()))
+            .task("b", &["a"], |_| Ok(Vec::new()))
+            .build()
+            .unwrap();
+        let mut ctx = Context::new();
+        let trace = dag.execute(&mut ctx, ExecMode::Sequential).unwrap();
+        assert_eq!(trace.timing_of("a").unwrap().wave, 0);
+        assert_eq!(trace.timing_of("b").unwrap().wave, 1);
+        assert!(trace.total >= trace.tasks.iter().map(|t| t.elapsed).sum());
+    }
+}

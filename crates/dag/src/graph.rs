@@ -1,0 +1,285 @@
+//! DAG definition and validation.
+//!
+//! A [`Dag`] is built through [`DagBuilder`], which registers named tasks
+//! with explicit dependency lists and validates the result: unique names,
+//! known dependencies, acyclicity. Validation happens at [`DagBuilder::build`]
+//! time so executions never have to handle malformed graphs.
+
+use crate::context::Context;
+use crate::DagError;
+use std::collections::HashMap;
+
+/// Artifacts a task publishes after running: `(key, value)` pairs merged
+/// into the [`Context`] when the task's wave completes.
+pub type TaskOutput = Vec<(String, crate::context::Artifact)>;
+
+/// A task body: reads dependency artifacts from the context, returns new
+/// artifacts (or a failure message).
+pub type TaskFn = Box<dyn Fn(&Context) -> Result<TaskOutput, String> + Send + Sync>;
+
+pub(crate) struct TaskNode {
+    pub name: String,
+    pub deps: Vec<usize>,
+    pub run: TaskFn,
+}
+
+/// A validated directed acyclic graph of tasks, ready for execution.
+pub struct Dag {
+    pub(crate) tasks: Vec<TaskNode>,
+    /// Tasks grouped into waves: wave `i + 1` only depends on waves `<= i`.
+    pub(crate) waves: Vec<Vec<usize>>,
+}
+
+impl Dag {
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the DAG has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Task names in wave order (the order a sequential execution uses).
+    pub fn schedule(&self) -> Vec<&str> {
+        self.waves
+            .iter()
+            .flat_map(|w| w.iter().map(|&i| self.tasks[i].name.as_str()))
+            .collect()
+    }
+
+    /// Number of parallel waves.
+    pub fn wave_count(&self) -> usize {
+        self.waves.len()
+    }
+
+    /// Renders the DAG in Graphviz DOT syntax (task names as nodes, one
+    /// edge per dependency) — the backend counterpart of the frontend's
+    /// workflow visualization.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph mqa {\n  rankdir=LR;\n");
+        for t in &self.tasks {
+            out.push_str(&format!("  \"{}\";\n", t.name));
+        }
+        for t in &self.tasks {
+            for &d in &t.deps {
+                out.push_str(&format!("  \"{}\" -> \"{}\";\n", self.tasks[d].name, t.name));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl std::fmt::Debug for Dag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dag")
+            .field("tasks", &self.tasks.iter().map(|t| &t.name).collect::<Vec<_>>())
+            .field("waves", &self.waves)
+            .finish()
+    }
+}
+
+/// Builder for [`Dag`]s.
+#[derive(Default)]
+pub struct DagBuilder {
+    names: HashMap<String, usize>,
+    tasks: Vec<(String, Vec<String>, TaskFn)>,
+    error: Option<DagError>,
+}
+
+impl DagBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a task `name` that runs `f` after every task in `deps`.
+    ///
+    /// Errors (duplicate names, unknown dependencies) are deferred and
+    /// reported by [`DagBuilder::build`], so registration chains fluently.
+    pub fn task<F>(mut self, name: &str, deps: &[&str], f: F) -> Self
+    where
+        F: Fn(&Context) -> Result<TaskOutput, String> + Send + Sync + 'static,
+    {
+        if self.error.is_some() {
+            return self;
+        }
+        if self.names.contains_key(name) {
+            self.error = Some(DagError::DuplicateTask(name.to_string()));
+            return self;
+        }
+        self.names.insert(name.to_string(), self.tasks.len());
+        self.tasks.push((
+            name.to_string(),
+            deps.iter().map(|d| d.to_string()).collect(),
+            Box::new(f),
+        ));
+        self
+    }
+
+    /// Validates and finalizes the DAG.
+    ///
+    /// # Errors
+    /// Returns the first construction error ([`DagError::DuplicateTask`],
+    /// [`DagError::UnknownDependency`]) or [`DagError::Cycle`] if the
+    /// dependency relation is not acyclic.
+    pub fn build(self) -> Result<Dag, DagError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        let mut nodes = Vec::with_capacity(self.tasks.len());
+        for (name, deps, run) in self.tasks {
+            let mut dep_ids = Vec::with_capacity(deps.len());
+            for d in deps {
+                match self.names.get(&d) {
+                    Some(&i) => dep_ids.push(i),
+                    None => {
+                        return Err(DagError::UnknownDependency { task: name, dependency: d })
+                    }
+                }
+            }
+            nodes.push(TaskNode { name, deps: dep_ids, run });
+        }
+
+        // Kahn's algorithm, grouped into waves for parallel execution.
+        let n = nodes.len();
+        let mut indegree = vec![0usize; n];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, node) in nodes.iter().enumerate() {
+            indegree[i] = node.deps.len();
+            for &d in &node.deps {
+                dependents[d].push(i);
+            }
+        }
+        let mut waves = Vec::new();
+        let mut current: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut placed = 0usize;
+        while !current.is_empty() {
+            placed += current.len();
+            let mut next = Vec::new();
+            for &i in &current {
+                for &j in &dependents[i] {
+                    indegree[j] -= 1;
+                    if indegree[j] == 0 {
+                        next.push(j);
+                    }
+                }
+            }
+            waves.push(std::mem::replace(&mut current, next));
+        }
+        if placed != n {
+            let on_cycle = (0..n)
+                .find(|&i| indegree[i] > 0)
+                .map(|i| nodes[i].name.clone())
+                .unwrap_or_default();
+            return Err(DagError::Cycle(on_cycle));
+        }
+        Ok(Dag { tasks: nodes, waves })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noop() -> TaskOutput {
+        Vec::new()
+    }
+
+    #[test]
+    fn linear_chain_schedules_in_order() {
+        let dag = DagBuilder::new()
+            .task("a", &[], |_| Ok(noop()))
+            .task("b", &["a"], |_| Ok(noop()))
+            .task("c", &["b"], |_| Ok(noop()))
+            .build()
+            .unwrap();
+        assert_eq!(dag.schedule(), vec!["a", "b", "c"]);
+        assert_eq!(dag.wave_count(), 3);
+    }
+
+    #[test]
+    fn diamond_has_three_waves() {
+        let dag = DagBuilder::new()
+            .task("src", &[], |_| Ok(noop()))
+            .task("left", &["src"], |_| Ok(noop()))
+            .task("right", &["src"], |_| Ok(noop()))
+            .task("sink", &["left", "right"], |_| Ok(noop()))
+            .build()
+            .unwrap();
+        assert_eq!(dag.wave_count(), 3);
+        assert_eq!(dag.waves[1].len(), 2);
+    }
+
+    #[test]
+    fn duplicate_task_rejected() {
+        let err = DagBuilder::new()
+            .task("a", &[], |_| Ok(noop()))
+            .task("a", &[], |_| Ok(noop()))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, DagError::DuplicateTask("a".into()));
+    }
+
+    #[test]
+    fn unknown_dependency_rejected() {
+        let err = DagBuilder::new()
+            .task("a", &["ghost"], |_| Ok(noop()))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DagError::UnknownDependency { .. }));
+    }
+
+    #[test]
+    fn forward_reference_is_allowed() {
+        // Dependencies are resolved at build() time, so registration order
+        // does not constrain the dependency structure.
+        let dag = DagBuilder::new()
+            .task("a", &["b"], |_| Ok(noop()))
+            .task("b", &[], |_| Ok(noop()))
+            .build()
+            .unwrap();
+        assert_eq!(dag.schedule(), vec!["b", "a"]);
+    }
+
+    #[test]
+    fn two_cycle_rejected() {
+        let err = DagBuilder::new()
+            .task("a", &["b"], |_| Ok(noop()))
+            .task("b", &["a"], |_| Ok(noop()))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DagError::Cycle(_)));
+    }
+
+    #[test]
+    fn dot_export_lists_nodes_and_edges() {
+        let dag = DagBuilder::new()
+            .task("load", &[], |_| Ok(noop()))
+            .task("encode", &["load"], |_| Ok(noop()))
+            .build()
+            .unwrap();
+        let dot = dag.to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("\"load\" -> \"encode\";"));
+        assert!(dot.contains("\"encode\";"));
+    }
+
+    #[test]
+    fn empty_dag_builds() {
+        let dag = DagBuilder::new().build().unwrap();
+        assert!(dag.is_empty());
+        assert_eq!(dag.wave_count(), 0);
+    }
+
+    #[test]
+    fn self_dependency_rejected() {
+        let err = DagBuilder::new()
+            .task("a", &["a"], |_| Ok(noop()))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, DagError::Cycle("a".into()));
+    }
+}

@@ -1,0 +1,36 @@
+//! # mqa-dag
+//!
+//! A from-scratch Directed-Acyclic-Graph pipeline engine, standing in for
+//! the CGraph C++ framework that the MQA paper builds its index-construction
+//! pipeline on ("a general pipeline for constructing fine-grained navigation
+//! graphs on CGraph, a cross-platform DAG framework").
+//!
+//! The engine executes named *tasks* connected by dependency edges. Tasks
+//! communicate through a typed blackboard ([`Context`]): each task reads
+//! artifacts produced by its dependencies and publishes new ones. The
+//! executor validates the graph (duplicate names, unknown dependencies,
+//! cycles), schedules tasks wave-by-wave in topological order, and runs
+//! independent tasks of a wave in parallel on scoped threads.
+//!
+//! Two layers in the workspace run on this engine:
+//!
+//! * `mqa-graph`'s five-stage navigation-graph construction pipeline
+//!   (initial graph → candidate acquisition → neighbour selection →
+//!   connectivity repair → entry-point selection);
+//! * `mqa-core`'s coordinator, which wires the five system components of
+//!   the paper's Figure 2 into one DAG.
+//!
+//! Execution produces a [`Trace`] of per-task wall-clock timings, which the
+//! status-monitoring panel and the E10 latency-breakdown experiment consume.
+
+pub mod context;
+pub mod error;
+pub mod executor;
+pub mod graph;
+pub mod pipeline;
+
+pub use context::{Artifact, Context};
+pub use error::DagError;
+pub use executor::{ExecMode, Trace};
+pub use graph::{Dag, DagBuilder, TaskFn, TaskOutput};
+pub use pipeline::Pipeline;

@@ -1,0 +1,104 @@
+//! Linear pipeline convenience layer.
+//!
+//! Most uses of the DAG engine in this workspace are *pipelines*: an ordered
+//! chain of named stages where stage `i + 1` depends exactly on stage `i`.
+//! [`Pipeline`] builds that chain without the caller having to spell out
+//! dependency lists — this is the shape of both the paper's five-component
+//! system flow (Figure 2) and the five-stage index-construction pipeline.
+
+use crate::context::Context;
+use crate::executor::{ExecMode, Trace};
+use crate::graph::{DagBuilder, TaskOutput};
+use crate::DagError;
+
+/// An ordered chain of stages executed via the DAG engine.
+#[derive(Default)]
+pub struct Pipeline {
+    builder: Option<DagBuilder>,
+    last: Option<String>,
+}
+
+impl Pipeline {
+    /// An empty pipeline.
+    pub fn new() -> Self {
+        Self { builder: Some(DagBuilder::new()), last: None }
+    }
+
+    /// Appends a stage that runs after all previously appended stages.
+    pub fn stage<F>(mut self, name: &str, f: F) -> Self
+    where
+        F: Fn(&Context) -> Result<TaskOutput, String> + Send + Sync + 'static,
+    {
+        let builder = self.builder.take().expect("pipeline builder present");
+        let deps: Vec<&str> = self.last.as_deref().into_iter().collect();
+        self.builder = Some(builder.task(name, &deps, f));
+        self.last = Some(name.to_string());
+        self
+    }
+
+    /// Validates and runs the pipeline sequentially over `ctx`.
+    ///
+    /// # Errors
+    /// Propagates construction errors ([`DagError::DuplicateTask`]) and the
+    /// first stage failure.
+    pub fn run(self, ctx: &mut Context) -> Result<Trace, DagError> {
+        let dag = self.builder.expect("pipeline builder present").build()?;
+        dag.execute(ctx, ExecMode::Sequential)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_run_in_append_order() {
+        let mut ctx = Context::new();
+        ctx.put("log", Vec::<&'static str>::new());
+        // Stages cannot mutate the context directly; thread an artifact.
+        let trace = Pipeline::new()
+            .stage("one", |_| Ok(vec![("a".to_string(), Box::new(1u32) as _)]))
+            .stage("two", |c| {
+                let a = *c.get::<u32>("a").map_err(|e| e.to_string())?;
+                Ok(vec![("b".to_string(), Box::new(a + 1) as _)])
+            })
+            .stage("three", |c| {
+                let b = *c.get::<u32>("b").map_err(|e| e.to_string())?;
+                Ok(vec![("c".to_string(), Box::new(b + 1) as _)])
+            })
+            .run(&mut ctx)
+            .unwrap();
+        assert_eq!(*ctx.get::<u32>("c").unwrap(), 3);
+        let names: Vec<_> = trace.tasks.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, vec!["one", "two", "three"]);
+    }
+
+    #[test]
+    fn duplicate_stage_name_errors() {
+        let mut ctx = Context::new();
+        let err = Pipeline::new()
+            .stage("s", |_| Ok(Vec::new()))
+            .stage("s", |_| Ok(Vec::new()))
+            .run(&mut ctx)
+            .unwrap_err();
+        assert!(matches!(err, DagError::DuplicateTask(_)));
+    }
+
+    #[test]
+    fn stage_failure_propagates() {
+        let mut ctx = Context::new();
+        let err = Pipeline::new()
+            .stage("ok", |_| Ok(Vec::new()))
+            .stage("bad", |_| Err("nope".to_string()))
+            .run(&mut ctx)
+            .unwrap_err();
+        assert!(matches!(err, DagError::TaskFailed { .. }));
+    }
+
+    #[test]
+    fn empty_pipeline_runs() {
+        let mut ctx = Context::new();
+        let trace = Pipeline::new().run(&mut ctx).unwrap();
+        assert!(trace.tasks.is_empty());
+    }
+}

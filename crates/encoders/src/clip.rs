@@ -1,0 +1,98 @@
+//! CLIP stand-in: a *pair* of text and image towers with a shared output
+//! space and a shared seed.
+//!
+//! In the real system CLIP gives cross-modal alignment because it was
+//! contrastively pretrained. In this reproduction, alignment is a property
+//! of the *data generation* process (`mqa-kb` synthesizes captions and image
+//! descriptors from the same latent concept), and [`ClipPair`] supplies the
+//! matching pair of towers: equal output dimensionality, one configuration
+//! seed, so that a knowledge base and its queries are guaranteed to be
+//! encoded consistently. This mirrors how the paper's "complex multi-modal
+//! encoder" option differs from standalone unimodal encoders: one
+//! configuration item produces all modality embeddings.
+
+use crate::image::VisualEncoder;
+use crate::text::HashingTextEncoder;
+use crate::traits::{Encoder, RawContent};
+use mqa_vector::Dim;
+use std::sync::Arc;
+
+/// A matched text/image encoder pair sharing one output dimensionality.
+#[derive(Clone)]
+pub struct ClipPair {
+    text: Arc<HashingTextEncoder>,
+    image: Arc<VisualEncoder>,
+}
+
+impl ClipPair {
+    /// Builds the pair: both towers output `dim`-dimensional embeddings;
+    /// the image tower accepts `raw_dim`-length descriptors.
+    pub fn new(dim: Dim, raw_dim: usize, seed: u64) -> Self {
+        Self {
+            text: Arc::new(HashingTextEncoder::new(dim, seed).with_name("clip-text")),
+            image: Arc::new(
+                VisualEncoder::new(raw_dim, dim, seed ^ 0xC11F).with_name("clip-image"),
+            ),
+        }
+    }
+
+    /// The text tower.
+    pub fn text_tower(&self) -> Arc<dyn Encoder> {
+        Arc::clone(&self.text) as Arc<dyn Encoder>
+    }
+
+    /// The image tower.
+    pub fn image_tower(&self) -> Arc<dyn Encoder> {
+        Arc::clone(&self.image) as Arc<dyn Encoder>
+    }
+
+    /// Shared output dimensionality of both towers.
+    pub fn dim(&self) -> Dim {
+        self.text.dim()
+    }
+
+    /// Encodes a caption/image pair into the shared space.
+    pub fn encode_pair(&self, caption: &str, image: &crate::image::ImageData) -> (Vec<f32>, Vec<f32>) {
+        (
+            self.text.encode(&RawContent::text(caption)),
+            self.image.encode(&RawContent::Image(image.clone())),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::ImageData;
+
+    #[test]
+    fn towers_share_dimension() {
+        let pair = ClipPair::new(48, 24, 7);
+        assert_eq!(pair.text_tower().dim(), 48);
+        assert_eq!(pair.image_tower().dim(), 48);
+        assert_eq!(pair.dim(), 48);
+    }
+
+    #[test]
+    fn tower_names_identify_clip() {
+        let pair = ClipPair::new(8, 8, 7);
+        assert_eq!(pair.text_tower().name(), "clip-text");
+        assert_eq!(pair.image_tower().name(), "clip-image");
+    }
+
+    #[test]
+    fn encode_pair_produces_both_embeddings() {
+        let pair = ClipPair::new(16, 8, 7);
+        let (t, i) = pair.encode_pair("foggy clouds", &ImageData::new(vec![0.2; 8]));
+        assert_eq!(t.len(), 16);
+        assert_eq!(i.len(), 16);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = ClipPair::new(16, 8, 7);
+        let b = ClipPair::new(16, 8, 7);
+        let img = ImageData::new(vec![0.1; 8]);
+        assert_eq!(a.encode_pair("x", &img), b.encode_pair("x", &img));
+    }
+}

@@ -1,0 +1,107 @@
+//! Joint encoder: the single-vector object representation the JE baseline
+//! uses.
+//!
+//! The Joint Embedding retrieval framework (paper §1, baseline "JE")
+//! encodes *all* modalities of an object into one vector and searches a
+//! single index. [`JointEncoder`] reproduces that: it runs one encoder per
+//! modality, scales every block equally (`1/sqrt(M)`), concatenates, and
+//! normalizes. The fixed equal weighting — no per-modality importance — is
+//! precisely the limitation MUST's weight learning removes, and what
+//! experiment F5/E5 measures.
+
+use crate::traits::{Encoder, RawContent};
+use mqa_vector::{ops, Dim};
+use std::sync::Arc;
+
+/// Encodes a whole multi-modal object into one joint vector.
+pub struct JointEncoder {
+    towers: Vec<Arc<dyn Encoder>>,
+}
+
+impl JointEncoder {
+    /// Builds a joint encoder from one tower per modality (schema order).
+    ///
+    /// # Panics
+    /// Panics if no towers are supplied.
+    pub fn new(towers: Vec<Arc<dyn Encoder>>) -> Self {
+        assert!(!towers.is_empty(), "joint encoder requires at least one tower");
+        Self { towers }
+    }
+
+    /// Output dimensionality (sum of tower dimensions).
+    pub fn dim(&self) -> Dim {
+        self.towers.iter().map(|t| t.dim()).sum()
+    }
+
+    /// Number of modality towers.
+    pub fn arity(&self) -> usize {
+        self.towers.len()
+    }
+
+    /// Encodes one object given per-modality raw content (schema order;
+    /// `None` = modality absent, encoded as a zero block — the JE
+    /// framework has no other way to express absence).
+    pub fn encode(&self, contents: &[Option<RawContent>]) -> Vec<f32> {
+        assert_eq!(contents.len(), self.towers.len(), "modality arity mismatch");
+        let scale = 1.0 / (self.towers.len() as f32).sqrt();
+        let mut out = Vec::with_capacity(self.dim());
+        for (tower, content) in self.towers.iter().zip(contents) {
+            match content {
+                Some(c) => {
+                    let mut v = tower.encode(c);
+                    ops::scale(scale, &mut v);
+                    out.extend_from_slice(&v);
+                }
+                None => out.extend(std::iter::repeat_n(0.0, tower.dim())),
+            }
+        }
+        ops::normalize(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::{ImageData, VisualEncoder};
+    use crate::text::HashingTextEncoder;
+
+    fn encoder() -> JointEncoder {
+        JointEncoder::new(vec![
+            Arc::new(HashingTextEncoder::new(16, 1)),
+            Arc::new(VisualEncoder::new(8, 12, 1)),
+        ])
+    }
+
+    #[test]
+    fn dim_is_sum_of_towers() {
+        assert_eq!(encoder().dim(), 28);
+        assert_eq!(encoder().arity(), 2);
+    }
+
+    #[test]
+    fn encodes_complete_object() {
+        let e = encoder();
+        let v = e.encode(&[
+            Some(RawContent::text("foggy clouds")),
+            Some(RawContent::Image(ImageData::new(vec![0.3; 8]))),
+        ]);
+        assert_eq!(v.len(), 28);
+        assert!((ops::norm(&v) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn missing_modality_becomes_zero_block() {
+        let e = encoder();
+        let v = e.encode(&[Some(RawContent::text("foggy clouds")), None]);
+        assert!(v[16..].iter().all(|&x| x == 0.0));
+        // text block still carries signal
+        assert!(v[..16].iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn wrong_arity_panics() {
+        encoder().encode(&[Some(RawContent::text("x"))]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Encoder registry: the backend of the configuration panel's
+//! "embedding options" dropdown.
+//!
+//! The paper's frontend lets the user pick encoders per modality (LSTM,
+//! ResNet, CLIP, …). [`EncoderChoice`] is the serializable configuration
+//! value; [`EncoderRegistry::instantiate`] turns it into a live encoder.
+
+use crate::clip::ClipPair;
+use crate::image::VisualEncoder;
+use crate::text::{HashingTextEncoder, LstmTextEncoder};
+use crate::traits::Encoder;
+use mqa_vector::{Dim, ModalityKind};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A serializable encoder selection, as stored in the system configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EncoderChoice {
+    /// Bag-of-n-grams text encoder ([`HashingTextEncoder`]).
+    HashingText {
+        /// Output dimensionality.
+        dim: Dim,
+    },
+    /// Order-sensitive recurrent text encoder ([`LstmTextEncoder`]).
+    LstmText {
+        /// Output dimensionality.
+        dim: Dim,
+    },
+    /// Dense visual encoder ([`VisualEncoder`]).
+    VisualResnet {
+        /// Raw descriptor length accepted.
+        raw_dim: usize,
+        /// Output dimensionality.
+        dim: Dim,
+    },
+    /// Text tower of the CLIP pair.
+    ClipText {
+        /// Shared output dimensionality of the pair.
+        dim: Dim,
+    },
+    /// Image tower of the CLIP pair.
+    ClipImage {
+        /// Raw descriptor length accepted.
+        raw_dim: usize,
+        /// Shared output dimensionality of the pair.
+        dim: Dim,
+    },
+}
+
+impl EncoderChoice {
+    /// The modality kind the resulting encoder accepts.
+    pub fn kind(&self) -> ModalityKind {
+        match self {
+            EncoderChoice::HashingText { .. }
+            | EncoderChoice::LstmText { .. }
+            | EncoderChoice::ClipText { .. } => ModalityKind::Text,
+            EncoderChoice::VisualResnet { .. } | EncoderChoice::ClipImage { .. } => {
+                ModalityKind::Image
+            }
+        }
+    }
+
+    /// Output dimensionality of the resulting encoder.
+    pub fn dim(&self) -> Dim {
+        match self {
+            EncoderChoice::HashingText { dim }
+            | EncoderChoice::LstmText { dim }
+            | EncoderChoice::ClipText { dim }
+            | EncoderChoice::VisualResnet { dim, .. }
+            | EncoderChoice::ClipImage { dim, .. } => *dim,
+        }
+    }
+
+    /// Panel display name.
+    pub fn display_name(&self) -> &'static str {
+        match self {
+            EncoderChoice::HashingText { .. } => "hashing-text",
+            EncoderChoice::LstmText { .. } => "lstm-text",
+            EncoderChoice::VisualResnet { .. } => "visual-resnet",
+            EncoderChoice::ClipText { .. } => "clip-text",
+            EncoderChoice::ClipImage { .. } => "clip-image",
+        }
+    }
+}
+
+/// Instantiates encoders from configuration values. A registry carries the
+/// model seed so that an entire system configuration is reproducible from
+/// `(registry seed, choices)`.
+#[derive(Debug, Clone, Copy)]
+pub struct EncoderRegistry {
+    seed: u64,
+}
+
+impl EncoderRegistry {
+    /// Creates a registry with the given model seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// The registry's model seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Names of all selectable encoders, as listed by the configuration
+    /// panel.
+    pub fn available() -> &'static [&'static str] {
+        &["hashing-text", "lstm-text", "visual-resnet", "clip-text", "clip-image"]
+    }
+
+    /// Builds a live encoder from a configuration choice.
+    pub fn instantiate(&self, choice: &EncoderChoice) -> Arc<dyn Encoder> {
+        match *choice {
+            EncoderChoice::HashingText { dim } => Arc::new(HashingTextEncoder::new(dim, self.seed)),
+            EncoderChoice::LstmText { dim } => Arc::new(LstmTextEncoder::new(dim, self.seed)),
+            EncoderChoice::VisualResnet { raw_dim, dim } => {
+                Arc::new(VisualEncoder::new(raw_dim, dim, self.seed))
+            }
+            EncoderChoice::ClipText { dim } => {
+                // raw_dim is irrelevant for the text tower; use a nominal 1.
+                ClipPair::new(dim, 1, self.seed).text_tower()
+            }
+            EncoderChoice::ClipImage { raw_dim, dim } => {
+                ClipPair::new(dim, raw_dim, self.seed).image_tower()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::RawContent;
+
+    #[test]
+    fn instantiate_matches_choice_metadata() {
+        let reg = EncoderRegistry::new(42);
+        let choices = [
+            EncoderChoice::HashingText { dim: 32 },
+            EncoderChoice::LstmText { dim: 16 },
+            EncoderChoice::VisualResnet { raw_dim: 8, dim: 24 },
+            EncoderChoice::ClipText { dim: 48 },
+            EncoderChoice::ClipImage { raw_dim: 8, dim: 48 },
+        ];
+        for c in &choices {
+            let e = reg.instantiate(c);
+            assert_eq!(e.dim(), c.dim(), "{c:?}");
+            assert_eq!(e.kind(), c.kind(), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_embeddings() {
+        let a = EncoderRegistry::new(1).instantiate(&EncoderChoice::HashingText { dim: 16 });
+        let b = EncoderRegistry::new(1).instantiate(&EncoderChoice::HashingText { dim: 16 });
+        let input = RawContent::text("reproducible");
+        assert_eq!(a.encode(&input), b.encode(&input));
+    }
+
+    #[test]
+    fn clip_towers_from_registry_share_space_with_clip_pair() {
+        let reg = EncoderRegistry::new(5);
+        let tower = reg.instantiate(&EncoderChoice::ClipText { dim: 32 });
+        let pair = ClipPair::new(32, 8, 5);
+        let input = RawContent::text("aligned");
+        assert_eq!(tower.encode(&input), pair.text_tower().encode(&input));
+    }
+
+    #[test]
+    fn available_lists_all_choices() {
+        assert_eq!(EncoderRegistry::available().len(), 5);
+    }
+
+    #[test]
+    fn choice_serde_round_trip() {
+        let c = EncoderChoice::VisualResnet { raw_dim: 8, dim: 24 };
+        let j = serde_json::to_string(&c).unwrap();
+        let back: EncoderChoice = serde_json::from_str(&j).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,73 @@
+//! The universal encoder interface and raw-content model.
+
+use mqa_vector::{Dim, ModalityKind};
+use serde::{Deserialize, Serialize};
+
+/// Raw multi-modal content before vectorization.
+///
+/// Text and audio carry natural language (the paper's audio inputs are
+/// transcribed before encoding, so both are token streams here); images
+/// carry a dense raw-feature descriptor (see
+/// [`crate::image::ImageData`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RawContent {
+    /// Natural-language text.
+    Text(String),
+    /// An image as a raw visual descriptor.
+    Image(crate::image::ImageData),
+    /// An audio clip, represented by its transcript.
+    Audio(String),
+}
+
+impl RawContent {
+    /// The modality kind of this content.
+    pub fn kind(&self) -> ModalityKind {
+        match self {
+            RawContent::Text(_) => ModalityKind::Text,
+            RawContent::Image(_) => ModalityKind::Image,
+            RawContent::Audio(_) => ModalityKind::Audio,
+        }
+    }
+
+    /// Convenience constructor for text content.
+    pub fn text(s: impl Into<String>) -> Self {
+        RawContent::Text(s.into())
+    }
+}
+
+/// A model that embeds raw content of one modality kind into a
+/// fixed-dimension vector space.
+///
+/// Implementations must be pure: the same input always encodes to the same
+/// vector. All workspace encoders are also cheap enough to call inline
+/// during query execution.
+pub trait Encoder: Send + Sync {
+    /// Model name as shown in the configuration and status panels
+    /// (e.g. `"hashing-text"`, `"clip-image"`).
+    fn name(&self) -> &str;
+
+    /// The modality kind this encoder accepts.
+    fn kind(&self) -> ModalityKind;
+
+    /// Output dimensionality.
+    fn dim(&self) -> Dim;
+
+    /// Encodes `input` into a `dim()`-length vector.
+    ///
+    /// # Panics
+    /// Implementations panic if `input.kind()` does not match
+    /// [`Encoder::kind`] — feeding an image to a text encoder is a wiring
+    /// bug, not a runtime condition.
+    fn encode(&self, input: &RawContent) -> Vec<f32>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_content_kind() {
+        assert_eq!(RawContent::text("hi").kind(), ModalityKind::Text);
+        assert_eq!(RawContent::Audio("hi".into()).kind(), ModalityKind::Audio);
+    }
+}

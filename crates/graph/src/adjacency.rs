@@ -1,0 +1,178 @@
+//! Compact adjacency storage for navigation graphs.
+
+use mqa_vector::VecId;
+use serde::{Deserialize, Serialize};
+
+/// Out-neighbour lists for a fixed vertex population.
+///
+/// Navigation graphs are directed (pruning keeps out-degree bounded while
+/// in-degree floats); vertices are the dense object ids of the backing
+/// vector store.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Adjacency {
+    lists: Vec<Vec<VecId>>,
+}
+
+impl Adjacency {
+    /// An edgeless graph over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self { lists: vec![Vec::new(); n] }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.lists.is_empty()
+    }
+
+    /// Out-neighbours of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VecId) -> &[VecId] {
+        &self.lists[v as usize]
+    }
+
+    /// Replaces the out-neighbour list of `v`.
+    ///
+    /// # Panics
+    /// Panics (debug) if the list contains `v` itself or an out-of-range id.
+    pub fn set_neighbors(&mut self, v: VecId, neighbors: Vec<VecId>) {
+        debug_assert!(
+            neighbors.iter().all(|&u| u != v && (u as usize) < self.lists.len()),
+            "invalid neighbour list for {v}"
+        );
+        self.lists[v as usize] = neighbors;
+    }
+
+    /// Adds edge `v → u` unless already present. Returns whether it was
+    /// added.
+    pub fn add_edge(&mut self, v: VecId, u: VecId) -> bool {
+        debug_assert_ne!(v, u, "self loop");
+        let list = &mut self.lists[v as usize];
+        if list.contains(&u) {
+            false
+        } else {
+            list.push(u);
+            true
+        }
+    }
+
+    /// Out-degree of `v`.
+    pub fn degree(&self, v: VecId) -> usize {
+        self.lists[v as usize].len()
+    }
+
+    /// Mean out-degree.
+    pub fn avg_degree(&self) -> f64 {
+        if self.lists.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.lists.iter().map(Vec::len).sum();
+        total as f64 / self.lists.len() as f64
+    }
+
+    /// Maximum out-degree.
+    pub fn max_degree(&self) -> usize {
+        self.lists.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Total number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.lists.iter().map(Vec::len).sum()
+    }
+
+    /// Vertices reachable from `start` (BFS), as a boolean mask.
+    pub fn reachable_from(&self, start: VecId) -> Vec<bool> {
+        let mut seen = vec![false; self.lists.len()];
+        if self.lists.is_empty() {
+            return seen;
+        }
+        let mut queue = std::collections::VecDeque::new();
+        seen[start as usize] = true;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for &u in self.neighbors(v) {
+                if !seen[u as usize] {
+                    seen[u as usize] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Number of vertices reachable from `start` (including `start`).
+    pub fn reachable_count(&self, start: VecId) -> usize {
+        self.reachable_from(start).iter().filter(|&&b| b).count()
+    }
+
+    /// Approximate resident bytes of the adjacency lists.
+    pub fn bytes(&self) -> usize {
+        self.lists.iter().map(|l| l.len() * std::mem::size_of::<VecId>()).sum::<usize>()
+            + self.lists.len() * std::mem::size_of::<Vec<VecId>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_edge_deduplicates() {
+        let mut g = Adjacency::new(3);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(0, 1));
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn set_neighbors_replaces() {
+        let mut g = Adjacency::new(4);
+        g.set_neighbors(2, vec![0, 1]);
+        g.set_neighbors(2, vec![3]);
+        assert_eq!(g.neighbors(2), &[3]);
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let mut g = Adjacency::new(3);
+        g.set_neighbors(0, vec![1, 2]);
+        g.set_neighbors(1, vec![0]);
+        assert!((g.avg_degree() - 1.0).abs() < 1e-9);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn reachability_on_chain() {
+        let mut g = Adjacency::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        // 3 is isolated
+        assert_eq!(g.reachable_count(0), 3);
+        assert_eq!(g.reachable_count(3), 1);
+        let mask = g.reachable_from(0);
+        assert_eq!(mask, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Adjacency::new(0);
+        assert!(g.is_empty());
+        assert_eq!(g.avg_degree(), 0.0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut g = Adjacency::new(2);
+        g.add_edge(0, 1);
+        let j = serde_json::to_string(&g).unwrap();
+        let back: Adjacency = serde_json::from_str(&j).unwrap();
+        assert_eq!(g, back);
+    }
+}

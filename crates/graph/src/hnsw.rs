@@ -1,0 +1,503 @@
+//! Hierarchical Navigable Small World graphs.
+//!
+//! A faithful HNSW implementation: geometric level assignment, greedy
+//! descent through the upper layers, beam search with
+//! `SELECT-NEIGHBORS-HEURISTIC` diversification at insertion, bidirectional
+//! linking with overflow re-pruning. Built directly (its layered structure
+//! does not flatten into the five-stage pipeline) but exposed through the
+//! same [`GraphSearcher`] interface as the pipeline-built graphs, which is
+//! what makes it selectable from the configuration panel.
+
+use crate::prune::hnsw_heuristic;
+use crate::search::{SearchOutput, SearchStats};
+use crate::traits::{DistanceFn, FlatDistance, GraphSearcher};
+use mqa_vector::{Candidate, Metric, MinCandidate, TopK, VecId, VectorStore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BinaryHeap;
+
+/// HNSW hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HnswParams {
+    /// Target degree of upper layers (`M`); layer 0 allows `2·M`.
+    pub m: usize,
+    /// Beam width during construction.
+    pub ef_construction: usize,
+    /// Level-assignment RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HnswParams {
+    fn default() -> Self {
+        Self { m: 16, ef_construction: 100, seed: 0 }
+    }
+}
+
+/// Epoch-stamped visited set: O(1) clearing between construction searches.
+struct Visited {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl Visited {
+    fn new(n: usize) -> Self {
+        Self { stamp: vec![0; n], epoch: 0 }
+    }
+
+    fn len(&self) -> usize {
+        self.stamp.len()
+    }
+
+    fn grow(&mut self, n: usize) {
+        if n > self.stamp.len() {
+            self.stamp.resize(n, 0);
+        }
+    }
+
+    fn next_epoch(&mut self) {
+        self.epoch += 1;
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, v: VecId) -> bool {
+        let s = &mut self.stamp[v as usize];
+        if *s == self.epoch {
+            false
+        } else {
+            *s = self.epoch;
+            true
+        }
+    }
+}
+
+/// A built HNSW index.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hnsw {
+    /// `links[v][level]` = out-neighbours of `v` at `level`.
+    links: Vec<Vec<Vec<VecId>>>,
+    entry: VecId,
+    max_level: usize,
+    params: HnswParams,
+}
+
+impl Hnsw {
+    /// Builds the index over every vector of `store`.
+    ///
+    /// # Panics
+    /// Panics if the store is empty or `m == 0`.
+    pub fn build(store: &VectorStore, metric: Metric, params: &HnswParams) -> Self {
+        assert!(!store.is_empty(), "HNSW over an empty store");
+        assert!(params.m > 0, "HNSW requires m >= 1");
+        let n = store.len();
+        let mut hnsw = Hnsw {
+            links: Vec::with_capacity(n),
+            entry: 0,
+            max_level: 0,
+            params: *params,
+        };
+        let mut visited = Visited::new(n);
+        for _ in 0..n {
+            hnsw.insert_next(store, metric, &mut visited);
+        }
+        hnsw
+    }
+
+    /// Inserts the next not-yet-indexed vector of `store`.
+    ///
+    /// The vertex inserted is always `self.len()`; its level derives
+    /// deterministically from `(seed, id)`, so batch builds and incremental
+    /// growth produce identical indexes.
+    ///
+    /// # Panics
+    /// Panics if the store holds no vector beyond the indexed population.
+    fn insert_next(&mut self, store: &VectorStore, metric: Metric, visited: &mut Visited) {
+        let v = self.links.len() as VecId;
+        assert!(
+            (v as usize) < store.len(),
+            "no unindexed vector: index covers {} of {}",
+            self.links.len(),
+            store.len()
+        );
+        if visited.len() < store.len() {
+            visited.grow(store.len());
+        }
+        let level_mult = 1.0 / (self.params.m as f64).ln().max(f64::EPSILON);
+        let mut rng = StdRng::seed_from_u64(self.params.seed ^ 0x9A55 ^ (v as u64) << 17);
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let level = (-u.ln() * level_mult).floor() as usize;
+        self.links.push(vec![Vec::new(); level + 1]);
+        if v == 0 {
+            self.max_level = level;
+            self.entry = 0;
+            return;
+        }
+        self.insert(store, metric, v, level, visited);
+    }
+
+    /// Appends every not-yet-indexed vector of `store` — incremental growth
+    /// after a batch build. HNSW is the family member with natural
+    /// *incremental* construction, which is how MQA can grow a knowledge
+    /// base without a rebuild: push new objects to the store, then call
+    /// this. Batch building and incremental growth produce identical
+    /// indexes (levels derive from `(seed, id)`).
+    pub fn extend_from(&mut self, store: &VectorStore, metric: Metric) {
+        let mut visited = Visited::new(store.len());
+        while self.links.len() < store.len() {
+            self.insert_next(store, metric, &mut visited);
+        }
+    }
+
+    fn insert(
+        &mut self,
+        store: &VectorStore,
+        metric: Metric,
+        v: VecId,
+        level: usize,
+        visited: &mut Visited,
+    ) {
+        let query = store.get(v);
+        let mut dist = FlatDistance::new(store, query, metric);
+        let mut ep = Candidate::new(self.entry, dist.exact(self.entry));
+
+        // Greedy descent through layers above the node's level.
+        let mut lc = self.max_level;
+        while lc > level {
+            ep = self.greedy_step(&mut dist, ep, lc);
+            lc -= 1;
+        }
+
+        // Beam insertion from min(level, max_level) down to 0.
+        for lc in (0..=level.min(self.max_level)).rev() {
+            let cands =
+                self.search_layer(&mut dist, &[ep], lc, self.params.ef_construction, visited);
+            let cap = if lc == 0 { self.params.m * 2 } else { self.params.m };
+            let selected = hnsw_heuristic(store, metric, v, cands.clone(), cap);
+            for &u in &selected {
+                self.links[v as usize][lc].push(u);
+                let ul = &mut self.links[u as usize][lc];
+                if !ul.contains(&v) {
+                    ul.push(v);
+                    if ul.len() > cap {
+                        // Overflow: re-prune u's neighbours.
+                        let uv = store.get(u);
+                        let pool: Vec<Candidate> = ul
+                            .iter()
+                            .map(|&w| Candidate::new(w, metric.distance(uv, store.get(w))))
+                            .collect();
+                        self.links[u as usize][lc] =
+                            hnsw_heuristic(store, metric, u, pool, cap);
+                    }
+                }
+            }
+            // Best candidate of this layer seeds the next one down.
+            if let Some(best) = cands.first() {
+                ep = *best;
+            }
+        }
+
+        if level > self.max_level {
+            self.max_level = level;
+            self.entry = v;
+        }
+    }
+
+    /// One greedy (ef = 1) routing step through layer `lc`.
+    fn greedy_step(&self, dist: &mut dyn DistanceFn, mut ep: Candidate, lc: usize) -> Candidate {
+        loop {
+            let mut improved = false;
+            for &u in self.neighbors(ep.id, lc) {
+                let d = dist.exact(u);
+                if d < ep.dist {
+                    ep = Candidate::new(u, d);
+                    improved = true;
+                }
+            }
+            if !improved {
+                return ep;
+            }
+        }
+    }
+
+    fn neighbors(&self, v: VecId, level: usize) -> &[VecId] {
+        self.links[v as usize]
+            .get(level)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Beam search restricted to one layer; returns candidates ascending.
+    fn search_layer(
+        &self,
+        dist: &mut dyn DistanceFn,
+        entries: &[Candidate],
+        level: usize,
+        ef: usize,
+        visited: &mut Visited,
+    ) -> Vec<Candidate> {
+        visited.next_epoch();
+        let mut results = TopK::new(ef);
+        let mut frontier: BinaryHeap<MinCandidate> = BinaryHeap::new();
+        for &e in entries {
+            if visited.insert(e.id) {
+                results.offer(e);
+                frontier.push(MinCandidate(e));
+            }
+        }
+        while let Some(MinCandidate(c)) = frontier.pop() {
+            if c.dist > results.bound() {
+                break;
+            }
+            for &u in self.neighbors(c.id, level) {
+                if !visited.insert(u) {
+                    continue;
+                }
+                if let Some(d) = dist.eval(u, results.bound()) {
+                    let cand = Candidate::new(u, d);
+                    if results.offer(cand) {
+                        frontier.push(MinCandidate(cand));
+                    }
+                }
+            }
+        }
+        results.into_sorted()
+    }
+
+    /// Highest populated layer.
+    pub fn max_level(&self) -> usize {
+        self.max_level
+    }
+
+    /// The parameters the index was built with.
+    pub fn params(&self) -> &HnswParams {
+        &self.params
+    }
+
+    /// Base-layer adjacency as a flat [`crate::Adjacency`] (used by the
+    /// Starling layout, which pages the base layer).
+    pub fn base_layer(&self) -> crate::adjacency::Adjacency {
+        let mut g = crate::adjacency::Adjacency::new(self.links.len());
+        for v in 0..self.links.len() as VecId {
+            g.set_neighbors(v, self.neighbors(v, 0).to_vec());
+        }
+        g
+    }
+
+    /// The current global entry vertex.
+    pub fn entry(&self) -> VecId {
+        self.entry
+    }
+}
+
+impl GraphSearcher for Hnsw {
+    fn search(&self, dist: &mut dyn DistanceFn, k: usize, ef: usize) -> SearchOutput {
+        assert!(k > 0, "search requires k >= 1");
+        let ef = ef.max(k);
+        let mut stats = SearchStats::default();
+        let mut ep = Candidate::new(self.entry, dist.exact(self.entry));
+        stats.evals += 1;
+        for lc in (1..=self.max_level).rev() {
+            let before = ep;
+            ep = self.greedy_step(dist, ep, lc);
+            stats.hops += 1;
+            let _ = before;
+        }
+        // Base layer beam search with a fresh visited set (search is &self).
+        let mut visited = Visited::new(self.links.len());
+        visited.next_epoch();
+        let mut results = TopK::new(ef);
+        let mut frontier: BinaryHeap<MinCandidate> = BinaryHeap::new();
+        visited.insert(ep.id);
+        results.offer(ep);
+        frontier.push(MinCandidate(ep));
+        while let Some(MinCandidate(c)) = frontier.pop() {
+            if c.dist > results.bound() {
+                break;
+            }
+            stats.hops += 1;
+            for &u in self.neighbors(c.id, 0) {
+                if !visited.insert(u) {
+                    continue;
+                }
+                match dist.eval(u, results.bound()) {
+                    Some(d) => {
+                        stats.evals += 1;
+                        let cand = Candidate::new(u, d);
+                        if results.offer(cand) {
+                            frontier.push(MinCandidate(cand));
+                        }
+                    }
+                    None => stats.pruned += 1,
+                }
+            }
+        }
+        let mut out = results.into_sorted();
+        out.truncate(k);
+        SearchOutput { results: out, stats }
+    }
+
+    fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    fn avg_degree(&self) -> f64 {
+        if self.links.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.links.iter().map(|l| l[0].len()).sum();
+        total as f64 / self.links.len() as f64
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "hnsw over {} vertices ({} layers, M={}, efC={})",
+            self.links.len(),
+            self.max_level + 1,
+            self.params.m,
+            self.params.ef_construction
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatSearcher;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_store(n: usize, dim: usize, seed: u64) -> VectorStore {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = VectorStore::new(dim);
+        for _ in 0..n {
+            let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            s.push(&v);
+        }
+        s
+    }
+
+    #[test]
+    fn single_vector_index() {
+        let mut store = VectorStore::new(2);
+        store.push(&[1.0, 2.0]);
+        let h = Hnsw::build(&store, Metric::L2, &HnswParams::default());
+        let q = [1.0f32, 2.0];
+        let mut d = FlatDistance::new(&store, &q, Metric::L2);
+        let out = h.search(&mut d, 1, 10);
+        assert_eq!(out.ids(), vec![0]);
+    }
+
+    #[test]
+    fn recall_against_flat() {
+        let store = random_store(1_500, 12, 1);
+        let h = Hnsw::build(&store, Metric::L2, &HnswParams::default());
+        let flat = FlatSearcher::new(store.len());
+        let mut rng = StdRng::seed_from_u64(9);
+        let k = 10;
+        let mut hits = 0;
+        let queries = 30;
+        for _ in 0..queries {
+            let q: Vec<f32> = (0..12).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut d1 = FlatDistance::new(&store, &q, Metric::L2);
+            let truth = flat.search(&mut d1, k, 0).ids();
+            let mut d2 = FlatDistance::new(&store, &q, Metric::L2);
+            let got = h.search(&mut d2, k, 80).ids();
+            hits += got.iter().filter(|id| truth.contains(id)).count();
+        }
+        let recall = hits as f64 / (queries * k) as f64;
+        assert!(recall > 0.9, "hnsw recall {recall}");
+    }
+
+    #[test]
+    fn base_layer_degrees_bounded() {
+        let store = random_store(500, 8, 2);
+        let params = HnswParams { m: 8, ef_construction: 60, seed: 0 };
+        let h = Hnsw::build(&store, Metric::L2, &params);
+        let base = h.base_layer();
+        assert!(base.max_degree() <= 16, "layer-0 degree {}", base.max_degree());
+        for v in 0..500u32 {
+            assert!(!base.neighbors(v).contains(&v), "self loop at {v}");
+        }
+    }
+
+    #[test]
+    fn base_layer_is_mostly_connected() {
+        let store = random_store(800, 8, 3);
+        let h = Hnsw::build(&store, Metric::L2, &HnswParams::default());
+        let base = h.base_layer();
+        // Bidirectional linking keeps layer 0 connected in practice.
+        let reach = base.reachable_count(h.entry());
+        assert!(reach as f64 / 800.0 > 0.99, "reachable {reach}/800");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let store = random_store(300, 6, 4);
+        let a = Hnsw::build(&store, Metric::L2, &HnswParams::default());
+        let b = Hnsw::build(&store, Metric::L2, &HnswParams::default());
+        assert_eq!(a.base_layer(), b.base_layer());
+        assert_eq!(a.entry(), b.entry());
+    }
+
+    #[test]
+    fn describe_reports_layers() {
+        let store = random_store(200, 4, 5);
+        let h = Hnsw::build(&store, Metric::L2, &HnswParams::default());
+        assert!(h.describe().contains("hnsw"));
+        assert!(h.max_level() < 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty store")]
+    fn empty_store_panics() {
+        Hnsw::build(&VectorStore::new(2), Metric::L2, &HnswParams::default());
+    }
+
+    #[test]
+    fn incremental_growth_matches_batch_build() {
+        let store = random_store(400, 8, 7);
+        let batch = Hnsw::build(&store, Metric::L2, &HnswParams::default());
+        // Build over the first half, then grow to the full store.
+        let mut half_store = VectorStore::new(8);
+        for id in 0..200u32 {
+            half_store.push(store.get(id));
+        }
+        let mut grown = Hnsw::build(&half_store, Metric::L2, &HnswParams::default());
+        grown.extend_from(&store, Metric::L2);
+        assert_eq!(grown.len(), 400);
+        assert_eq!(batch.base_layer(), grown.base_layer());
+        assert_eq!(batch.entry(), grown.entry());
+    }
+
+    #[test]
+    fn grown_index_finds_new_objects() {
+        let mut store = random_store(300, 8, 8);
+        let mut h = Hnsw::build(&store, Metric::L2, &HnswParams::default());
+        // Ingest 50 new objects and grow the index.
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..50 {
+            let v: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            store.push(&v);
+        }
+        h.extend_from(&store, Metric::L2);
+        for id in 300..350u32 {
+            let mut d = FlatDistance::new(&store, store.get(id), Metric::L2);
+            let out = h.search(&mut d, 1, 64);
+            assert_eq!(out.results[0].id, id, "new object {id} not found");
+        }
+    }
+
+    #[test]
+    fn visited_epoch_reset() {
+        let mut v = Visited::new(3);
+        v.next_epoch();
+        assert!(v.insert(0));
+        assert!(!v.insert(0));
+        v.next_epoch();
+        assert!(v.insert(0));
+    }
+}

@@ -1,0 +1,383 @@
+//! IVF — inverted-file (cluster-probe) index.
+//!
+//! The index family behind Milvus's default configuration (the system the
+//! paper's MR baseline is modelled on): k-means partitions the vectors
+//! into `nlist` cells; a query scores the `nprobe` nearest cell centroids
+//! and scans only those cells' member lists. No graph, no hierarchical
+//! routing — a useful contrast point for E7 because its recall/efficiency
+//! knob (`nprobe`) behaves very differently from a beam width: cost is
+//! proportional to the *fraction of the corpus probed* rather than to a
+//! traversal depth.
+//!
+//! Plugs into the same [`GraphSearcher`] interface as the graph family, so
+//! it is selectable from the configuration panel and composable with the
+//! unified multi-vector store like every other algorithm. The search maps
+//! `ef` onto `nprobe` (clamped to `[nprobe_min, nlist]`) so the common
+//! "raise ef for more recall" workflow applies unchanged.
+
+use crate::search::{SearchOutput, SearchStats};
+use crate::traits::{DistanceFn, GraphSearcher};
+use mqa_vector::{ops, Candidate, Metric, TopK, VecId, VectorStore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// IVF hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IvfParams {
+    /// Number of k-means cells. The usual heuristic is `~sqrt(n)`;
+    /// [`IvfParams::auto`] applies it.
+    pub nlist: usize,
+    /// k-means iterations.
+    pub iters: usize,
+    /// Training sample cap.
+    pub train_sample: usize,
+    /// Initialization seed.
+    pub seed: u64,
+}
+
+impl Default for IvfParams {
+    fn default() -> Self {
+        Self { nlist: 128, iters: 10, train_sample: 20_000, seed: 0 }
+    }
+}
+
+impl IvfParams {
+    /// The `nlist ≈ sqrt(n)` heuristic.
+    pub fn auto(n: usize) -> Self {
+        Self { nlist: ((n as f64).sqrt() as usize).max(1), ..Self::default() }
+    }
+}
+
+/// A built IVF index: centroids plus per-cell member lists.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ivf {
+    dim: usize,
+    /// Row-major `(nlist, dim)` centroid matrix.
+    centroids: Vec<f32>,
+    /// Member ids per cell.
+    cells: Vec<Vec<VecId>>,
+    params: IvfParams,
+    n: usize,
+}
+
+impl Ivf {
+    /// Builds the index by k-means over the store.
+    ///
+    /// # Panics
+    /// Panics on an empty store or `nlist == 0`.
+    pub fn build(store: &VectorStore, params: &IvfParams) -> Self {
+        assert!(!store.is_empty(), "IVF over an empty store");
+        assert!(params.nlist > 0, "IVF requires nlist >= 1");
+        let n = store.len();
+        let dim = store.dim();
+        let nlist = params.nlist.min(n);
+        let mut rng = StdRng::seed_from_u64(params.seed ^ 0x1BF0);
+
+        // Training sample.
+        let sample: Vec<VecId> = if n <= params.train_sample {
+            (0..n as VecId).collect()
+        } else {
+            (0..params.train_sample).map(|_| rng.gen_range(0..n) as VecId).collect()
+        };
+
+        // Init centroids from spread sample rows.
+        let mut centroids = vec![0.0f32; nlist * dim];
+        for c in 0..nlist {
+            let id = sample[(c * 6151 + 7) % sample.len()];
+            centroids[c * dim..(c + 1) * dim].copy_from_slice(store.get(id));
+        }
+
+        // Lloyd iterations on the sample.
+        let mut assign = vec![0usize; sample.len()];
+        for _ in 0..params.iters {
+            for (i, &id) in sample.iter().enumerate() {
+                assign[i] = nearest_centroid(&centroids, dim, nlist, store.get(id)).0;
+            }
+            let mut sums = vec![0.0f32; nlist * dim];
+            let mut counts = vec![0usize; nlist];
+            for (i, &id) in sample.iter().enumerate() {
+                let c = assign[i];
+                counts[c] += 1;
+                ops::axpy(1.0, store.get(id), &mut sums[c * dim..(c + 1) * dim]);
+            }
+            for c in 0..nlist {
+                if counts[c] == 0 {
+                    let id = sample[rng.gen_range(0..sample.len())];
+                    centroids[c * dim..(c + 1) * dim].copy_from_slice(store.get(id));
+                } else {
+                    for j in 0..dim {
+                        centroids[c * dim + j] = sums[c * dim + j] / counts[c] as f32;
+                    }
+                }
+            }
+        }
+
+        // Final full assignment into cells.
+        let mut cells = vec![Vec::new(); nlist];
+        for (id, v) in store.iter() {
+            let (c, _) = nearest_centroid(&centroids, dim, nlist, v);
+            cells[c].push(id);
+        }
+        Self {
+            dim,
+            centroids,
+            cells,
+            params: IvfParams { nlist, ..*params },
+            n,
+        }
+    }
+
+    /// Number of cells.
+    pub fn nlist(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Mean cell population.
+    pub fn avg_cell_size(&self) -> f64 {
+        self.n as f64 / self.cells.len() as f64
+    }
+
+    /// Searches with an explicit probe count.
+    pub fn search_nprobe(
+        &self,
+        dist: &mut dyn DistanceFn,
+        query_for_cells: &[f32],
+        k: usize,
+        nprobe: usize,
+    ) -> SearchOutput {
+        assert!(k > 0, "search requires k >= 1");
+        assert_eq!(query_for_cells.len(), self.dim, "query dimension mismatch");
+        let nprobe = nprobe.clamp(1, self.cells.len());
+        // Rank cells by centroid distance.
+        let mut cell_rank: Vec<(usize, f32)> = (0..self.cells.len())
+            .map(|c| {
+                (
+                    c,
+                    Metric::L2.distance(
+                        query_for_cells,
+                        &self.centroids[c * self.dim..(c + 1) * self.dim],
+                    ),
+                )
+            })
+            .collect();
+        cell_rank.sort_by(|a, b| a.1.total_cmp(&b.1));
+
+        let mut stats = SearchStats::default();
+        let mut top = TopK::new(k);
+        for &(c, _) in cell_rank.iter().take(nprobe) {
+            stats.hops += 1; // one "hop" per probed cell
+            for &id in &self.cells[c] {
+                match dist.eval(id, top.bound()) {
+                    Some(d) => {
+                        stats.evals += 1;
+                        top.offer(Candidate::new(id, d));
+                    }
+                    None => stats.pruned += 1,
+                }
+            }
+        }
+        SearchOutput { results: top.into_sorted(), stats }
+    }
+}
+
+fn nearest_centroid(centroids: &[f32], dim: usize, nlist: usize, v: &[f32]) -> (usize, f32) {
+    let mut best = 0usize;
+    let mut best_d = f32::INFINITY;
+    for c in 0..nlist {
+        let d = ops::l2_sq(v, &centroids[c * dim..(c + 1) * dim]);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
+}
+
+/// [`GraphSearcher`] adapter: pairs the IVF structure with its store so
+/// cell ranking can reuse the stored vectors. `ef` maps to `nprobe` as
+/// `max(1, ef / 8)` — at the conventional ef range (16–256) this probes
+/// 2–32 cells, spanning the same recall band the graph family covers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IvfSearcher {
+    ivf: Ivf,
+    /// The query vector must be reconstructible for cell ranking; the
+    /// adapter keeps its own copy of the store's vectors (centroid ranking
+    /// only needs the query, which [`DistanceFn`] hides, so the adapter
+    /// requires callers to use [`crate::traits::FlatDistance`]-compatible
+    /// stores — see `search`).
+    store: VectorStore,
+}
+
+impl IvfSearcher {
+    /// Builds IVF over `store` and retains the store for cell ranking.
+    pub fn build(store: &VectorStore, params: &IvfParams) -> Self {
+        Self { ivf: Ivf::build(store, params), store: store.clone() }
+    }
+
+    /// The underlying structure.
+    pub fn ivf(&self) -> &Ivf {
+        &self.ivf
+    }
+}
+
+impl GraphSearcher for IvfSearcher {
+    fn search(&self, dist: &mut dyn DistanceFn, k: usize, ef: usize) -> SearchOutput {
+        // Reconstruct the query's cell ranking through the evaluator: rank
+        // cells by the distance of their *medoid member* under `dist`.
+        // This keeps the DistanceFn abstraction intact (the evaluator owns
+        // the query) at the cost of one evaluation per cell.
+        let nprobe = (ef / 8).max(1);
+        let mut cell_rank: Vec<(usize, f32)> = self
+            .ivf
+            .cells
+            .iter()
+            .enumerate()
+            .filter(|(_, members)| !members.is_empty())
+            .map(|(c, members)| {
+                let probe = members[members.len() / 2];
+                (c, dist.exact(probe))
+            })
+            .collect();
+        cell_rank.sort_by(|a, b| a.1.total_cmp(&b.1));
+
+        let mut stats = SearchStats { evals: cell_rank.len() as u64, ..Default::default() };
+        let mut top = TopK::new(k);
+        for &(c, _) in cell_rank.iter().take(nprobe.min(cell_rank.len())) {
+            stats.hops += 1;
+            for &id in &self.ivf.cells[c] {
+                match dist.eval(id, top.bound()) {
+                    Some(d) => {
+                        stats.evals += 1;
+                        top.offer(Candidate::new(id, d));
+                    }
+                    None => stats.pruned += 1,
+                }
+            }
+        }
+        SearchOutput { results: top.into_sorted(), stats }
+    }
+
+    fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    fn avg_degree(&self) -> f64 {
+        0.0
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "ivf over {} vectors ({} cells, ~{:.0}/cell)",
+            self.store.len(),
+            self.ivf.nlist(),
+            self.ivf.avg_cell_size()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::FlatDistance;
+
+    fn clustered_store(n: usize, dim: usize, clusters: usize, seed: u64) -> VectorStore {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers: Vec<Vec<f32>> = (0..clusters)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-3.0f32..3.0)).collect())
+            .collect();
+        let mut s = VectorStore::new(dim);
+        for i in 0..n {
+            let c = &centers[i % clusters];
+            let v: Vec<f32> = c.iter().map(|x| x + rng.gen_range(-0.2..0.2)).collect();
+            s.push(&v);
+        }
+        s
+    }
+
+    #[test]
+    fn cells_partition_the_store() {
+        let store = clustered_store(500, 8, 10, 1);
+        let ivf = Ivf::build(&store, &IvfParams { nlist: 16, ..Default::default() });
+        let total: usize = ivf.cells.iter().map(Vec::len).sum();
+        assert_eq!(total, 500);
+        assert_eq!(ivf.nlist(), 16);
+    }
+
+    #[test]
+    fn full_probe_is_exact() {
+        let store = clustered_store(300, 8, 6, 2);
+        let ivf = Ivf::build(&store, &IvfParams { nlist: 12, ..Default::default() });
+        let q = store.get(5).to_vec();
+        let mut d = FlatDistance::new(&store, &q, Metric::L2);
+        let out = ivf.search_nprobe(&mut d, &q, 10, 12);
+        assert_eq!(out.results[0].id, 5);
+        assert_eq!(out.stats.evals, 300);
+    }
+
+    #[test]
+    fn fewer_probes_less_work() {
+        let store = clustered_store(600, 8, 12, 3);
+        let ivf = Ivf::build(&store, &IvfParams { nlist: 24, ..Default::default() });
+        let q = store.get(0).to_vec();
+        let mut d1 = FlatDistance::new(&store, &q, Metric::L2);
+        let narrow = ivf.search_nprobe(&mut d1, &q, 10, 2);
+        let mut d2 = FlatDistance::new(&store, &q, Metric::L2);
+        let wide = ivf.search_nprobe(&mut d2, &q, 10, 24);
+        assert!(narrow.stats.evals < wide.stats.evals);
+        // the query's own cell is probed first, so the self-match holds
+        assert_eq!(narrow.results[0].id, 0);
+    }
+
+    #[test]
+    fn searcher_adapter_reaches_high_recall() {
+        let store = clustered_store(800, 12, 16, 4);
+        let searcher = IvfSearcher::build(&store, &IvfParams::auto(800));
+        let flat = crate::flat::FlatSearcher::new(store.len());
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut hits = 0usize;
+        let (queries, k) = (25, 10);
+        for _ in 0..queries {
+            let base = rng.gen_range(0..800) as u32;
+            let q: Vec<f32> =
+                store.get(base).iter().map(|x| x + rng.gen_range(-0.1..0.1)).collect();
+            let mut d1 = FlatDistance::new(&store, &q, Metric::L2);
+            let truth = flat.search(&mut d1, k, k).ids();
+            let mut d2 = FlatDistance::new(&store, &q, Metric::L2);
+            let got = searcher.search(&mut d2, k, 64).ids();
+            hits += got.iter().filter(|id| truth.contains(id)).count();
+        }
+        let recall = hits as f64 / (queries * k) as f64;
+        assert!(recall > 0.85, "ivf recall {recall}");
+    }
+
+    #[test]
+    fn describe_reports_cells() {
+        let store = clustered_store(100, 4, 4, 5);
+        let s = IvfSearcher::build(&store, &IvfParams { nlist: 8, ..Default::default() });
+        assert!(s.describe().contains("8 cells"));
+        assert_eq!(GraphSearcher::len(&s), 100);
+    }
+
+    #[test]
+    fn nlist_capped_by_population() {
+        let store = clustered_store(5, 4, 2, 6);
+        let ivf = Ivf::build(&store, &IvfParams { nlist: 64, ..Default::default() });
+        assert_eq!(ivf.nlist(), 5);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let store = clustered_store(60, 4, 3, 7);
+        let s = IvfSearcher::build(&store, &IvfParams { nlist: 6, ..Default::default() });
+        let back: IvfSearcher =
+            serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty store")]
+    fn empty_store_panics() {
+        Ivf::build(&VectorStore::new(4), &IvfParams::default());
+    }
+}

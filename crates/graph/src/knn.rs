@@ -1,0 +1,224 @@
+//! Approximate k-nearest-neighbour graph construction.
+//!
+//! NSG's pipeline starts from a kNN graph. For small stores an exact
+//! `O(n²)` computation is fine; at scale we run **NN-descent-style
+//! neighbour expansion**: initialize each vertex with random neighbours,
+//! then repeatedly propose *neighbours of neighbours* as better candidates,
+//! keeping the best `k`. Locality makes the proposals increasingly accurate
+//! and the graph converges in a handful of rounds.
+
+use crate::adjacency::Adjacency;
+use crate::util::parallel_map;
+use mqa_vector::{Candidate, Metric, TopK, VecId, VectorStore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Below this population the exact kNN graph is computed directly.
+const EXACT_THRESHOLD: usize = 2_000;
+
+/// Parameters of the approximate construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KnnParams {
+    /// Neighbours per vertex.
+    pub k: usize,
+    /// Expansion rounds.
+    pub iters: usize,
+    /// Maximum candidates examined per vertex per round.
+    pub sample: usize,
+    /// RNG seed for the random initialization.
+    pub seed: u64,
+}
+
+impl Default for KnnParams {
+    fn default() -> Self {
+        Self { k: 20, iters: 5, sample: 60, seed: 0 }
+    }
+}
+
+/// Builds a (possibly approximate) kNN graph over `store`.
+///
+/// # Panics
+/// Panics if the store is empty or `k == 0`.
+pub fn knn_graph(store: &VectorStore, metric: Metric, params: &KnnParams) -> Adjacency {
+    assert!(!store.is_empty(), "kNN graph over an empty store");
+    assert!(params.k > 0, "kNN graph requires k >= 1");
+    let n = store.len();
+    if n <= EXACT_THRESHOLD {
+        exact_knn(store, metric, params.k)
+    } else {
+        nn_expansion(store, metric, params)
+    }
+}
+
+/// Exact kNN graph by full pairwise scan (small stores only).
+pub fn exact_knn(store: &VectorStore, metric: Metric, k: usize) -> Adjacency {
+    let n = store.len();
+    let lists = parallel_map(n, |v| {
+        let mut top = TopK::new(k.min(n.saturating_sub(1)).max(1));
+        let qv = store.get(v);
+        for (u, uv) in store.iter() {
+            if u == v {
+                continue;
+            }
+            top.offer(Candidate::new(u, metric.distance(qv, uv)));
+        }
+        top.into_sorted().into_iter().map(|c| c.id).collect::<Vec<_>>()
+    });
+    let mut g = Adjacency::new(n);
+    for (v, list) in lists.into_iter().enumerate() {
+        g.set_neighbors(v as VecId, list);
+    }
+    g
+}
+
+/// NN-descent-style neighbour expansion.
+fn nn_expansion(store: &VectorStore, metric: Metric, params: &KnnParams) -> Adjacency {
+    let n = store.len();
+    let k = params.k.min(n - 1);
+    let mut rng = StdRng::seed_from_u64(params.seed ^ 0x6E6E);
+
+    // Random initialization.
+    let mut g = Adjacency::new(n);
+    for v in 0..n {
+        let mut nb = Vec::with_capacity(k);
+        while nb.len() < k {
+            let u = rng.gen_range(0..n) as VecId;
+            if u as usize != v && !nb.contains(&u) {
+                nb.push(u);
+            }
+        }
+        g.set_neighbors(v as VecId, nb);
+    }
+
+    for round in 0..params.iters {
+        let lists = parallel_map(n, |v| {
+            let qv = store.get(v);
+            let mut top = TopK::new(k);
+            let mut seen: Vec<VecId> = Vec::with_capacity(params.sample + k);
+            // current neighbours
+            for &u in g.neighbors(v) {
+                seen.push(u);
+            }
+            // neighbours of neighbours, bounded by `sample`
+            'outer: for &u in g.neighbors(v) {
+                for &w in g.neighbors(u) {
+                    if w != v && !seen.contains(&w) {
+                        seen.push(w);
+                        if seen.len() >= params.sample + k {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            // a pinch of random restarts keeps disconnected clumps merging;
+            // derive per-vertex randomness from the round and vertex id.
+            let mut local =
+                StdRng::seed_from_u64(params.seed ^ (round as u64) << 32 ^ v as u64);
+            for _ in 0..4 {
+                let u = local.gen_range(0..n) as VecId;
+                if u != v && !seen.contains(&u) {
+                    seen.push(u);
+                }
+            }
+            for u in seen {
+                top.offer(Candidate::new(u, metric.distance(qv, store.get(u))));
+            }
+            top.into_sorted().into_iter().map(|c| c.id).collect::<Vec<_>>()
+        });
+        for (v, list) in lists.into_iter().enumerate() {
+            g.set_neighbors(v as VecId, list);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_store(n: usize, dim: usize, seed: u64) -> VectorStore {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = VectorStore::new(dim);
+        for _ in 0..n {
+            let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            s.push(&v);
+        }
+        s
+    }
+
+    #[test]
+    fn exact_knn_on_line() {
+        let mut store = VectorStore::new(1);
+        for i in 0..6 {
+            store.push(&[i as f32]);
+        }
+        let g = exact_knn(&store, Metric::L2, 2);
+        // vertex 0's nearest are 1 and 2
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        // vertex 3's nearest are 2 and 4 (either order by distance ties)
+        let nb3: Vec<_> = g.neighbors(3).to_vec();
+        assert!(nb3.contains(&2) && nb3.contains(&4));
+    }
+
+    #[test]
+    fn knn_graph_has_requested_degree() {
+        let store = random_store(300, 8, 1);
+        let g = knn_graph(&store, Metric::L2, &KnnParams { k: 10, ..Default::default() });
+        for v in 0..300u32 {
+            assert_eq!(g.degree(v), 10);
+        }
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let store = random_store(100, 4, 2);
+        let g = knn_graph(&store, Metric::L2, &KnnParams { k: 5, ..Default::default() });
+        for v in 0..100u32 {
+            assert!(!g.neighbors(v).contains(&v));
+        }
+    }
+
+    #[test]
+    fn approximate_recall_is_high() {
+        // Force the approximate path by exceeding the threshold.
+        let store = random_store(EXACT_THRESHOLD + 500, 8, 3);
+        let k = 10;
+        let approx = nn_expansion(
+            &store,
+            Metric::L2,
+            &KnnParams { k, iters: 6, sample: 60, seed: 0 },
+        );
+        let exact = exact_knn(&store, Metric::L2, k);
+        // measure recall on a sample of vertices
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for v in (0..store.len() as u32).step_by(50) {
+            let truth = exact.neighbors(v);
+            for u in approx.neighbors(v) {
+                if truth.contains(u) {
+                    hit += 1;
+                }
+            }
+            total += truth.len();
+        }
+        let recall = hit as f64 / total as f64;
+        assert!(recall > 0.8, "kNN expansion recall too low: {recall}");
+    }
+
+    #[test]
+    fn k_capped_by_population() {
+        let store = random_store(3, 2, 4);
+        let g = knn_graph(&store, Metric::L2, &KnnParams { k: 10, ..Default::default() });
+        for v in 0..3u32 {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty store")]
+    fn empty_store_panics() {
+        knn_graph(&VectorStore::new(2), Metric::L2, &KnnParams::default());
+    }
+}

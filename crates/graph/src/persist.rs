@@ -1,0 +1,138 @@
+//! Index persistence: snapshot a built [`UnifiedIndex`] to JSON and restore
+//! it without rebuilding the graph.
+//!
+//! The paper's Flexibility feature includes index *deployment*: once a
+//! navigation graph is built over a knowledge base it should be reusable
+//! across sessions. A [`UnifiedSnapshot`] captures everything search needs
+//! — the multi-vector store, the weights, the metric, the algorithm
+//! configuration, and the built navigation structure
+//! ([`crate::pipeline::BuiltGraph`]) — so a restored index answers queries
+//! identically to the original, with none of the build cost.
+
+use crate::pipeline::{BuiltGraph, IndexAlgorithm};
+use crate::unified::UnifiedIndex;
+use mqa_vector::{Metric, MultiVectorStore, Weights};
+use serde::{Deserialize, Serialize};
+
+/// A complete persisted unified index.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnifiedSnapshot {
+    /// The multi-vector object store.
+    pub store: MultiVectorStore,
+    /// The build-time modality weights.
+    pub weights: Weights,
+    /// The metric.
+    pub metric: Metric,
+    /// The algorithm configuration (for provenance / re-builds).
+    pub algorithm: IndexAlgorithm,
+    /// The built navigation structure.
+    pub graph: BuiltGraph,
+}
+
+impl UnifiedSnapshot {
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serializes")
+    }
+
+    /// Restores from JSON.
+    ///
+    /// # Errors
+    /// Returns the serde error message on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+
+    /// Reconstructs the live index.
+    pub fn restore(self) -> UnifiedIndex {
+        UnifiedIndex::from_parts(self.store, self.weights, self.metric, self.graph, self.algorithm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqa_vector::{MultiVector, Schema};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn store(n: usize, seed: u64) -> MultiVectorStore {
+        let schema = Schema::text_image(6, 6);
+        let mut s = MultiVectorStore::new(schema.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..n {
+            let parts: Vec<Vec<f32>> =
+                (0..2).map(|_| (0..6).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+            s.push(&MultiVector::complete(&schema, parts));
+        }
+        s
+    }
+
+    fn query(seed: u64) -> MultiVector {
+        let schema = Schema::text_image(6, 6);
+        let mut rng = StdRng::seed_from_u64(seed);
+        MultiVector::complete(
+            &schema,
+            (0..2).map(|_| (0..6).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect(),
+        )
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_search_results() {
+        for algo in [
+            IndexAlgorithm::Flat,
+            IndexAlgorithm::hnsw(),
+            IndexAlgorithm::nsg(),
+            IndexAlgorithm::vamana(),
+            IndexAlgorithm::mqa_graph(),
+        ] {
+            let idx = UnifiedIndex::build(
+                store(300, 1),
+                Weights::normalized(&[1.3, 0.7]),
+                Metric::L2,
+                &algo,
+            );
+            let q = query(9);
+            let before = idx.search(&q, None, 10, 48).ids();
+            let snapshot = idx.snapshot();
+            let restored = UnifiedSnapshot::from_json(&snapshot.to_json())
+                .expect("round trips")
+                .restore();
+            let after = restored.search(&q, None, 10, 48).ids();
+            assert_eq!(before, after, "algorithm {}", algo.name());
+            assert_eq!(restored.algorithm(), &algo);
+        }
+    }
+
+    #[test]
+    fn restored_index_has_zero_build_time() {
+        let idx = UnifiedIndex::build(
+            store(100, 2),
+            Weights::uniform(2),
+            Metric::L2,
+            &IndexAlgorithm::Flat,
+        );
+        let restored = idx.snapshot().restore();
+        assert_eq!(restored.build_time(), std::time::Duration::ZERO);
+        assert_eq!(restored.len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the store")]
+    fn mismatched_parts_rejected() {
+        let idx = UnifiedIndex::build(
+            store(50, 3),
+            Weights::uniform(2),
+            Metric::L2,
+            &IndexAlgorithm::Flat,
+        );
+        let mut snap = idx.snapshot();
+        snap.store = store(10, 4); // wrong population
+        snap.restore();
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(UnifiedSnapshot::from_json("{nope").is_err());
+    }
+}

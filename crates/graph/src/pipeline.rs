@@ -1,0 +1,804 @@
+//! The five-stage navigation-graph construction pipeline, and the
+//! [`IndexAlgorithm`] configurations built on it.
+//!
+//! The paper: *"We propose a general pipeline for constructing fine-grained
+//! navigation graphs on CGraph … The pipeline consists of five flexible
+//! parts, allowing any current navigation graph to be decomposed and
+//! smoothly integrated."* The five parts here are:
+//!
+//! 1. **Initialization** ([`InitStage`]) — a starting graph: random regular
+//!    or (approximate) kNN;
+//! 2. **Entry selection** ([`EntryStage`]) — medoid, random, or fixed entry
+//!    vertices;
+//! 3. **Candidate acquisition + neighbour selection** ([`RefineStage`],
+//!    [`SelectStage`]) — per vertex, gather a candidate pool (by searching
+//!    the evolving graph from the entry, Vamana-style) and prune it to a
+//!    bounded diverse out-neighbour set, inserting pruned reverse edges;
+//! 4. **Connectivity repair** ([`RepairStage`]) — attach any vertex
+//!    unreachable from the entry;
+//! 5. **Finalization** — statistics and the [`BuildReport`].
+//!
+//! Each stage runs as a task of an `mqa-dag` [`mqa_dag::Pipeline`], so a
+//! custom graph is literally a different stage configuration:
+//!
+//! * **NSG** = kNN init + single refine pass at `α = 1` + repair + medoid;
+//! * **Vamana/DiskANN** = random init + two refine passes at `α > 1` +
+//!   repair + medoid;
+//! * **MQA-graph** (the paper's "novel indexing algorithm" combining
+//!   state-of-the-art components, used on concatenated weighted vectors) =
+//!   kNN init + two refine passes at `α > 1` + repair + medoid.
+
+use crate::adjacency::Adjacency;
+use crate::flat::FlatSearcher;
+use crate::hnsw::{Hnsw, HnswParams};
+use crate::knn::{knn_graph, KnnParams};
+use crate::prune::{robust_prune, select_nearest};
+use crate::search::{beam_search, SearchOutput};
+use crate::traits::{DistanceFn, FlatDistance, GraphSearcher};
+use crate::util::medoid;
+use mqa_dag::{Context, Pipeline};
+use mqa_vector::{Candidate, Metric, VecId, VectorStore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Stage 1: the starting graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InitStage {
+    /// Every vertex gets `degree` random out-neighbours.
+    Random {
+        /// Out-degree of the random graph.
+        degree: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Approximate kNN graph (exact for small stores).
+    Knn {
+        /// Neighbours per vertex.
+        k: usize,
+        /// RNG seed for the NN-expansion initialization.
+        seed: u64,
+    },
+}
+
+/// Stage 2: entry-point selection.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EntryStage {
+    /// The store's medoid (NSG / Vamana convention).
+    Medoid,
+    /// `count` uniformly random vertices.
+    Random {
+        /// Number of entry vertices.
+        count: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Vertex 0.
+    First,
+    /// The medoid plus `extra` random vertices. Multiple spatially spread
+    /// entries make beam search robust to *metric mismatch* — e.g. a
+    /// text-only query walking a graph whose edges were selected under an
+    /// image-heavy fused metric (the unified index's partial-query case).
+    MedoidPlusRandom {
+        /// Number of extra random entries.
+        extra: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// Stage 3a: per-vertex candidate pools come from searching the evolving
+/// graph from the entry with beam width `l`, for `passes` passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RefineStage {
+    /// Beam width (candidate pool size) of the construction searches.
+    pub l: usize,
+    /// Number of passes over all vertices.
+    pub passes: usize,
+}
+
+/// Stage 3b: neighbour selection applied to each candidate pool.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SelectStage {
+    /// Keep the `r` nearest (no diversification).
+    Nearest {
+        /// Degree bound.
+        r: usize,
+    },
+    /// α-robust pruning with degree bound `r` (`α = 1` ⇒ MRNG/NSG rule).
+    RobustPrune {
+        /// Diversification slack (≥ 1.0).
+        alpha: f32,
+        /// Degree bound.
+        r: usize,
+    },
+}
+
+impl SelectStage {
+    fn degree_bound(&self) -> usize {
+        match *self {
+            SelectStage::Nearest { r } | SelectStage::RobustPrune { r, .. } => r,
+        }
+    }
+
+    fn apply(
+        &self,
+        store: &VectorStore,
+        metric: Metric,
+        v: VecId,
+        candidates: Vec<Candidate>,
+    ) -> Vec<VecId> {
+        match *self {
+            SelectStage::Nearest { r } => {
+                let mut c = candidates;
+                c.retain(|x| x.id != v);
+                select_nearest(c, r)
+            }
+            SelectStage::RobustPrune { alpha, r } => {
+                robust_prune(store, metric, v, candidates, alpha, r)
+            }
+        }
+    }
+}
+
+/// Stage 4: connectivity repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RepairStage {
+    /// Leave the graph as refined.
+    None,
+    /// Attach every vertex unreachable from the entry to its nearest
+    /// reachable vertex (NSG's spanning-growth step).
+    GrowFromEntry,
+}
+
+/// A full pipeline configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphPipeline {
+    /// Stage 1.
+    pub init: InitStage,
+    /// Stage 2.
+    pub entry: EntryStage,
+    /// Stage 3a.
+    pub refine: RefineStage,
+    /// Stage 3b.
+    pub select: SelectStage,
+    /// Stage 4.
+    pub repair: RepairStage,
+}
+
+/// Construction diagnostics, surfaced by the status-monitoring panel and
+/// recorded by the E7 index experiments.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BuildReport {
+    /// Per-stage wall-clock timings, in execution order.
+    pub stage_timings: Vec<(String, Duration)>,
+    /// Mean out-degree of the final graph.
+    pub avg_degree: f64,
+    /// Maximum out-degree.
+    pub max_degree: usize,
+    /// Directed edge count.
+    pub edges: usize,
+    /// Fraction of vertices reachable from the first entry.
+    pub connectivity: f64,
+}
+
+/// A pipeline-built navigation graph ready for search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NavGraph {
+    graph: Adjacency,
+    entries: Vec<VecId>,
+    report: BuildReport,
+    name: String,
+}
+
+impl NavGraph {
+    /// The adjacency structure.
+    pub fn graph(&self) -> &Adjacency {
+        &self.graph
+    }
+
+    /// The entry vertices.
+    pub fn entries(&self) -> &[VecId] {
+        &self.entries
+    }
+
+    /// Construction diagnostics.
+    pub fn report(&self) -> &BuildReport {
+        &self.report
+    }
+}
+
+impl GraphSearcher for NavGraph {
+    fn search(&self, dist: &mut dyn DistanceFn, k: usize, ef: usize) -> SearchOutput {
+        beam_search(&self.graph, &self.entries, dist, k, ef)
+    }
+
+    fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    fn avg_degree(&self) -> f64 {
+        self.graph.avg_degree()
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "{} over {} vertices (avg degree {:.1}, {} entries)",
+            self.name,
+            self.graph.len(),
+            self.graph.avg_degree(),
+            self.entries.len()
+        )
+    }
+}
+
+impl GraphPipeline {
+    /// Runs the five stages (as an `mqa-dag` pipeline) and returns the
+    /// built graph.
+    ///
+    /// # Panics
+    /// Panics if the store is empty.
+    pub fn run(&self, store: &Arc<VectorStore>, metric: Metric, name: &str) -> NavGraph {
+        assert!(!store.is_empty(), "pipeline requires a non-empty store");
+        let cfg = self.clone();
+        let mut ctx = Context::new();
+
+        let s_init = Arc::clone(store);
+        let s_entry = Arc::clone(store);
+        let s_refine = Arc::clone(store);
+        let s_repair = Arc::clone(store);
+
+        let init_cfg = cfg.init.clone();
+        let entry_cfg = cfg.entry.clone();
+        let refine_cfg = cfg.refine;
+        let select_cfg = cfg.select;
+        let repair_cfg = cfg.repair;
+
+        let trace = Pipeline::new()
+            .stage("initialization", move |_| {
+                let graph = run_init(&init_cfg, &s_init, metric);
+                Ok(vec![("graph".to_string(), Box::new(graph) as _)])
+            })
+            .stage("entry_selection", move |c| {
+                let _ = c; // entries depend only on the store
+                let entries = run_entry(&entry_cfg, &s_entry, metric);
+                Ok(vec![("entries".to_string(), Box::new(entries) as _)])
+            })
+            .stage("refinement", move |c| {
+                let graph = c.get::<Adjacency>("graph").map_err(|e| e.to_string())?;
+                let entries = c.get::<Vec<VecId>>("entries").map_err(|e| e.to_string())?;
+                let refined =
+                    run_refine(&refine_cfg, &select_cfg, &s_refine, metric, graph.clone(), entries);
+                Ok(vec![("graph".to_string(), Box::new(refined) as _)])
+            })
+            .stage("connectivity_repair", move |c| {
+                let graph = c.get::<Adjacency>("graph").map_err(|e| e.to_string())?;
+                let entries = c.get::<Vec<VecId>>("entries").map_err(|e| e.to_string())?;
+                let repaired = run_repair(&repair_cfg, &s_repair, metric, graph.clone(), entries);
+                Ok(vec![("graph".to_string(), Box::new(repaired) as _)])
+            })
+            .stage("finalization", |c| {
+                let graph = c.get::<Adjacency>("graph").map_err(|e| e.to_string())?;
+                let entries = c.get::<Vec<VecId>>("entries").map_err(|e| e.to_string())?;
+                let connectivity = if graph.is_empty() {
+                    0.0
+                } else {
+                    graph.reachable_count(entries[0]) as f64 / graph.len() as f64
+                };
+                Ok(vec![("connectivity".to_string(), Box::new(connectivity) as _)])
+            })
+            .run(&mut ctx)
+            .expect("construction pipeline is well-formed");
+
+        let graph: Adjacency = ctx.take("graph").expect("graph artifact present");
+        let entries: Vec<VecId> = ctx.take("entries").expect("entries artifact present");
+        let connectivity: f64 = *ctx.get("connectivity").expect("connectivity present");
+        let report = BuildReport {
+            stage_timings: trace.tasks.iter().map(|t| (t.name.clone(), t.elapsed)).collect(),
+            avg_degree: graph.avg_degree(),
+            max_degree: graph.max_degree(),
+            edges: graph.edge_count(),
+            connectivity,
+        };
+        NavGraph { graph, entries, report, name: name.to_string() }
+    }
+}
+
+fn run_init(cfg: &InitStage, store: &VectorStore, metric: Metric) -> Adjacency {
+    let n = store.len();
+    match *cfg {
+        InitStage::Random { degree, seed } => {
+            let degree = degree.min(n.saturating_sub(1));
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x1217);
+            let mut g = Adjacency::new(n);
+            for v in 0..n {
+                let mut nb = Vec::with_capacity(degree);
+                while nb.len() < degree {
+                    let u = rng.gen_range(0..n) as VecId;
+                    if u as usize != v && !nb.contains(&u) {
+                        nb.push(u);
+                    }
+                }
+                g.set_neighbors(v as VecId, nb);
+            }
+            g
+        }
+        InitStage::Knn { k, seed } => {
+            knn_graph(store, metric, &KnnParams { k, seed, ..KnnParams::default() })
+        }
+    }
+}
+
+fn run_entry(cfg: &EntryStage, store: &VectorStore, metric: Metric) -> Vec<VecId> {
+    match *cfg {
+        EntryStage::Medoid => vec![medoid(store, metric)],
+        EntryStage::Random { count, seed } => {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xE217);
+            let n = store.len();
+            let count = count.clamp(1, n);
+            let mut out = Vec::with_capacity(count);
+            while out.len() < count {
+                let v = rng.gen_range(0..n) as VecId;
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+            out
+        }
+        EntryStage::First => vec![0],
+        EntryStage::MedoidPlusRandom { extra, seed } => {
+            let mut out = vec![medoid(store, metric)];
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xE218);
+            let n = store.len();
+            while out.len() < (extra + 1).min(n) {
+                let v = rng.gen_range(0..n) as VecId;
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+            out
+        }
+    }
+}
+
+fn run_refine(
+    refine: &RefineStage,
+    select: &SelectStage,
+    store: &VectorStore,
+    metric: Metric,
+    mut graph: Adjacency,
+    entries: &[VecId],
+) -> Adjacency {
+    let n = store.len();
+    let r = select.degree_bound();
+    for _pass in 0..refine.passes {
+        for v in 0..n as VecId {
+            // Candidate acquisition: search the evolving graph from the
+            // entry for the vertex's own vector, keeping the full visited
+            // list (path vertices supply long-range candidates).
+            let pool = {
+                let mut dist = FlatDistance::new(store, store.get(v), metric);
+                let mut pool =
+                    crate::search::beam_search_collect(&graph, entries, &mut dist, refine.l);
+                // Merge current neighbours so established edges compete.
+                let qv = store.get(v);
+                for &u in graph.neighbors(v) {
+                    pool.push(Candidate::new(u, metric.distance(qv, store.get(u))));
+                }
+                pool
+            };
+            let selected = select.apply(store, metric, v, pool);
+            graph.set_neighbors(v, selected.clone());
+            // Reverse edges with re-pruning past the degree bound.
+            for u in selected {
+                graph.add_edge(u, v);
+                if graph.degree(u) > r {
+                    let uv = store.get(u);
+                    let cands: Vec<Candidate> = graph
+                        .neighbors(u)
+                        .iter()
+                        .map(|&w| Candidate::new(w, metric.distance(uv, store.get(w))))
+                        .collect();
+                    let pruned = select.apply(store, metric, u, cands);
+                    graph.set_neighbors(u, pruned);
+                }
+            }
+        }
+    }
+    graph
+}
+
+fn run_repair(
+    cfg: &RepairStage,
+    store: &VectorStore,
+    metric: Metric,
+    mut graph: Adjacency,
+    entries: &[VecId],
+) -> Adjacency {
+    match cfg {
+        RepairStage::None => graph,
+        RepairStage::GrowFromEntry => {
+            let start = entries[0];
+            let mut reachable = graph.reachable_from(start);
+            for v in 0..graph.len() as VecId {
+                if reachable[v as usize] {
+                    continue;
+                }
+                // Route toward v through the reachable component; the
+                // search can only return reachable vertices.
+                let mut dist = FlatDistance::new(store, store.get(v), metric);
+                let out = beam_search(&graph, entries, &mut dist, 1, 16);
+                let u = out.results[0].id;
+                graph.add_edge(u, v);
+                // Everything v reaches is now reachable.
+                let mut queue = std::collections::VecDeque::new();
+                if !reachable[v as usize] {
+                    reachable[v as usize] = true;
+                    queue.push_back(v);
+                }
+                while let Some(x) = queue.pop_front() {
+                    for &y in graph.neighbors(x) {
+                        if !reachable[y as usize] {
+                            reachable[y as usize] = true;
+                            queue.push_back(y);
+                        }
+                    }
+                }
+            }
+            graph
+        }
+    }
+}
+
+/// The configuration-panel index choices. `build` dispatches to the
+/// pipeline (NSG / Vamana / MQA-graph), to the direct HNSW implementation,
+/// or to the exhaustive baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum IndexAlgorithm {
+    /// Exhaustive scan (exact).
+    Flat,
+    /// Hierarchical Navigable Small World graph.
+    Hnsw(HnswParams),
+    /// Navigating Spreading-out Graph.
+    Nsg {
+        /// Degree bound.
+        r: usize,
+        /// Construction beam width.
+        l: usize,
+        /// kNN-init neighbour count.
+        knn_k: usize,
+        /// Seed.
+        seed: u64,
+    },
+    /// Inverted-file cluster index (the Milvus-default family).
+    Ivf(crate::ivf::IvfParams),
+    /// DiskANN's Vamana graph.
+    Vamana {
+        /// Degree bound.
+        r: usize,
+        /// Construction beam width.
+        l: usize,
+        /// Robust-pruning slack (≥ 1.0).
+        alpha: f32,
+        /// Seed.
+        seed: u64,
+    },
+    /// The paper's combined algorithm: kNN init + α-robust refinement +
+    /// repair, designed for concatenated weighted multi-vectors.
+    MqaGraph {
+        /// Degree bound.
+        r: usize,
+        /// Construction beam width.
+        l: usize,
+        /// Robust-pruning slack (≥ 1.0).
+        alpha: f32,
+        /// kNN-init neighbour count.
+        knn_k: usize,
+        /// Seed.
+        seed: u64,
+    },
+}
+
+/// A built navigation structure in concrete (serializable) form. This is
+/// what [`IndexAlgorithm::build_graph`] produces and what index snapshots
+/// persist; [`crate::traits::VectorIndex`] and [`crate::UnifiedIndex`]
+/// search through it via the common [`GraphSearcher`] interface.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BuiltGraph {
+    /// Exhaustive scan (no structure).
+    Flat(FlatSearcher),
+    /// Pipeline-built flat navigation graph (NSG / Vamana / MQA-graph).
+    Nav(NavGraph),
+    /// Layered HNSW.
+    Hnsw(Hnsw),
+    /// Inverted-file cluster index.
+    Ivf(crate::ivf::IvfSearcher),
+}
+
+impl GraphSearcher for BuiltGraph {
+    fn search(
+        &self,
+        dist: &mut dyn crate::traits::DistanceFn,
+        k: usize,
+        ef: usize,
+    ) -> crate::search::SearchOutput {
+        match self {
+            BuiltGraph::Flat(s) => s.search(dist, k, ef),
+            BuiltGraph::Nav(s) => s.search(dist, k, ef),
+            BuiltGraph::Hnsw(s) => s.search(dist, k, ef),
+            BuiltGraph::Ivf(s) => s.search(dist, k, ef),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            BuiltGraph::Flat(s) => s.len(),
+            BuiltGraph::Nav(s) => GraphSearcher::len(s),
+            BuiltGraph::Hnsw(s) => GraphSearcher::len(s),
+            BuiltGraph::Ivf(s) => GraphSearcher::len(s),
+        }
+    }
+
+    fn avg_degree(&self) -> f64 {
+        match self {
+            BuiltGraph::Flat(s) => s.avg_degree(),
+            BuiltGraph::Nav(s) => GraphSearcher::avg_degree(s),
+            BuiltGraph::Hnsw(s) => GraphSearcher::avg_degree(s),
+            BuiltGraph::Ivf(s) => GraphSearcher::avg_degree(s),
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            BuiltGraph::Flat(s) => s.describe(),
+            BuiltGraph::Nav(s) => s.describe(),
+            BuiltGraph::Hnsw(s) => s.describe(),
+            BuiltGraph::Ivf(s) => s.describe(),
+        }
+    }
+}
+
+impl IndexAlgorithm {
+    /// Default NSG configuration.
+    pub fn nsg() -> Self {
+        IndexAlgorithm::Nsg { r: 24, l: 64, knn_k: 20, seed: 0 }
+    }
+
+    /// Default Vamana configuration.
+    pub fn vamana() -> Self {
+        IndexAlgorithm::Vamana { r: 24, l: 64, alpha: 1.2, seed: 0 }
+    }
+
+    /// Default HNSW configuration.
+    pub fn hnsw() -> Self {
+        IndexAlgorithm::Hnsw(HnswParams::default())
+    }
+
+    /// Default IVF configuration.
+    pub fn ivf() -> Self {
+        IndexAlgorithm::Ivf(crate::ivf::IvfParams::default())
+    }
+
+    /// Default MQA-graph configuration.
+    pub fn mqa_graph() -> Self {
+        IndexAlgorithm::MqaGraph { r: 24, l: 64, alpha: 1.2, knn_k: 20, seed: 0 }
+    }
+
+    /// Panel display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IndexAlgorithm::Flat => "flat",
+            IndexAlgorithm::Hnsw(_) => "hnsw",
+            IndexAlgorithm::Ivf(_) => "ivf",
+            IndexAlgorithm::Nsg { .. } => "nsg",
+            IndexAlgorithm::Vamana { .. } => "vamana",
+            IndexAlgorithm::MqaGraph { .. } => "mqa-graph",
+        }
+    }
+
+    /// Builds a boxed searcher over the store.
+    pub fn build(&self, store: &Arc<VectorStore>, metric: Metric) -> Box<dyn GraphSearcher> {
+        Box::new(self.build_graph(store, metric))
+    }
+
+    /// Builds the concrete (serializable) navigation structure.
+    pub fn build_graph(&self, store: &Arc<VectorStore>, metric: Metric) -> BuiltGraph {
+        match self {
+            IndexAlgorithm::Flat => BuiltGraph::Flat(FlatSearcher::new(store.len())),
+            IndexAlgorithm::Hnsw(params) => BuiltGraph::Hnsw(Hnsw::build(store, metric, params)),
+            IndexAlgorithm::Ivf(params) => {
+                BuiltGraph::Ivf(crate::ivf::IvfSearcher::build(store, params))
+            }
+            IndexAlgorithm::Nsg { r, l, knn_k, seed } => {
+                BuiltGraph::Nav(crate::nsg::build(store, metric, *r, *l, *knn_k, *seed))
+            }
+            IndexAlgorithm::Vamana { r, l, alpha, seed } => {
+                BuiltGraph::Nav(crate::vamana::build(store, metric, *r, *l, *alpha, *seed))
+            }
+            IndexAlgorithm::MqaGraph { r, l, alpha, knn_k, seed } => {
+                // Multiple entries: the unified index must route *partial*
+                // queries (text-only rounds) whose metric differs from the
+                // fused build metric; spread entry points recover the
+                // recall a single medoid start loses there.
+                let pipeline = GraphPipeline {
+                    init: InitStage::Knn { k: *knn_k, seed: *seed },
+                    entry: EntryStage::MedoidPlusRandom { extra: 4, seed: *seed },
+                    refine: RefineStage { l: *l, passes: 2 },
+                    select: SelectStage::RobustPrune { alpha: *alpha, r: *r },
+                    repair: RepairStage::GrowFromEntry,
+                };
+                BuiltGraph::Nav(pipeline.run(store, metric, "mqa-graph"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn clustered_store(n: usize, dim: usize, clusters: usize, seed: u64) -> Arc<VectorStore> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers: Vec<Vec<f32>> = (0..clusters)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0) * 4.0).collect())
+            .collect();
+        let mut s = VectorStore::new(dim);
+        for i in 0..n {
+            let c = &centers[i % clusters];
+            let v: Vec<f32> = c.iter().map(|x| x + rng.gen_range(-0.3..0.3)).collect();
+            s.push(&v);
+        }
+        Arc::new(s)
+    }
+
+    fn recall_of(algo: &IndexAlgorithm, store: &Arc<VectorStore>, queries: usize) -> f64 {
+        let metric = Metric::L2;
+        let searcher = algo.build(store, metric);
+        let flat = FlatSearcher::new(store.len());
+        let mut rng = StdRng::seed_from_u64(77);
+        let dim = store.dim();
+        let k = 10;
+        let mut hits = 0usize;
+        for _ in 0..queries {
+            let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-4.0..4.0)).collect();
+            let mut d1 = FlatDistance::new(store, &q, metric);
+            let truth = flat.search(&mut d1, k, 0).ids();
+            let mut d2 = FlatDistance::new(store, &q, metric);
+            let got = searcher.search(&mut d2, k, 64).ids();
+            hits += got.iter().filter(|id| truth.contains(id)).count();
+        }
+        hits as f64 / (queries * k) as f64
+    }
+
+    #[test]
+    fn nsg_reaches_high_recall() {
+        let store = clustered_store(800, 16, 10, 1);
+        let r = recall_of(&IndexAlgorithm::nsg(), &store, 20);
+        assert!(r > 0.9, "nsg recall {r}");
+    }
+
+    #[test]
+    fn vamana_reaches_high_recall() {
+        let store = clustered_store(800, 16, 10, 2);
+        let r = recall_of(&IndexAlgorithm::vamana(), &store, 20);
+        assert!(r > 0.9, "vamana recall {r}");
+    }
+
+    #[test]
+    fn mqa_graph_reaches_high_recall() {
+        let store = clustered_store(800, 16, 10, 3);
+        let r = recall_of(&IndexAlgorithm::mqa_graph(), &store, 20);
+        assert!(r >= 0.85, "mqa-graph recall {r}");
+    }
+
+    #[test]
+    fn pipeline_graphs_are_fully_connected() {
+        let store = clustered_store(500, 8, 25, 4);
+        for algo in [IndexAlgorithm::nsg(), IndexAlgorithm::vamana(), IndexAlgorithm::mqa_graph()]
+        {
+            // Rebuild through the pipeline to read the report.
+            let nav = match &algo {
+                IndexAlgorithm::Nsg { r, l, knn_k, seed } => {
+                    crate::nsg::pipeline(*r, *l, *knn_k, *seed).run(&store, Metric::L2, "nsg")
+                }
+                IndexAlgorithm::Vamana { r, l, alpha, seed } => {
+                    crate::vamana::pipeline(*r, *l, *alpha, *seed).run(&store, Metric::L2, "vamana")
+                }
+                IndexAlgorithm::MqaGraph { r, l, alpha, knn_k, seed } => GraphPipeline {
+                    init: InitStage::Knn { k: *knn_k, seed: *seed },
+                    entry: EntryStage::Medoid,
+                    refine: RefineStage { l: *l, passes: 2 },
+                    select: SelectStage::RobustPrune { alpha: *alpha, r: *r },
+                    repair: RepairStage::GrowFromEntry,
+                }
+                .run(&store, Metric::L2, "mqa-graph"),
+                _ => unreachable!(),
+            };
+            assert!(
+                (nav.report().connectivity - 1.0).abs() < 1e-9,
+                "{} connectivity {}",
+                algo.name(),
+                nav.report().connectivity
+            );
+            assert!(nav.report().max_degree > 0);
+        }
+    }
+
+    #[test]
+    fn degree_bound_is_respected() {
+        let store = clustered_store(400, 8, 8, 5);
+        let nav = GraphPipeline {
+            init: InitStage::Random { degree: 12, seed: 0 },
+            entry: EntryStage::Medoid,
+            refine: RefineStage { l: 32, passes: 2 },
+            select: SelectStage::RobustPrune { alpha: 1.2, r: 12 },
+            repair: RepairStage::None,
+        }
+        .run(&store, Metric::L2, "test");
+        // Repair can add one extra edge per unreachable vertex; without
+        // repair the bound holds strictly.
+        assert!(nav.report().max_degree <= 12, "max degree {}", nav.report().max_degree);
+    }
+
+    #[test]
+    fn report_has_all_stage_timings() {
+        let store = clustered_store(300, 4, 5, 6);
+        let nav = GraphPipeline {
+            init: InitStage::Knn { k: 8, seed: 0 },
+            entry: EntryStage::First,
+            refine: RefineStage { l: 16, passes: 1 },
+            select: SelectStage::Nearest { r: 8 },
+            repair: RepairStage::GrowFromEntry,
+        }
+        .run(&store, Metric::L2, "test");
+        let names: Vec<&str> =
+            nav.report().stage_timings.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "initialization",
+                "entry_selection",
+                "refinement",
+                "connectivity_repair",
+                "finalization"
+            ]
+        );
+    }
+
+    #[test]
+    fn entry_stage_variants() {
+        let store = clustered_store(50, 4, 5, 7);
+        assert_eq!(run_entry(&EntryStage::First, &store, Metric::L2), vec![0]);
+        let rnd = run_entry(&EntryStage::Random { count: 3, seed: 1 }, &store, Metric::L2);
+        assert_eq!(rnd.len(), 3);
+        let m = run_entry(&EntryStage::Medoid, &store, Metric::L2);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn flat_algorithm_is_exact() {
+        let store = clustered_store(200, 8, 4, 8);
+        let r = recall_of(&IndexAlgorithm::Flat, &store, 10);
+        assert_eq!(r, 1.0);
+    }
+
+    #[test]
+    fn algorithm_serde_round_trip() {
+        for algo in [
+            IndexAlgorithm::Flat,
+            IndexAlgorithm::nsg(),
+            IndexAlgorithm::vamana(),
+            IndexAlgorithm::mqa_graph(),
+            IndexAlgorithm::hnsw(),
+            IndexAlgorithm::ivf(),
+        ] {
+            let j = serde_json::to_string(&algo).unwrap();
+            let back: IndexAlgorithm = serde_json::from_str(&j).unwrap();
+            assert_eq!(algo, back);
+        }
+    }
+}

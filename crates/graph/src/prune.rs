@@ -1,0 +1,220 @@
+//! Neighbour-selection (edge pruning) strategies.
+//!
+//! This is the pipeline's third stage and where the navigation-graph family
+//! members differ most: given a candidate pool around a vertex, choose a
+//! bounded, *diverse* out-neighbour set. Diversity (not keeping two
+//! candidates that cover the same direction) is what lets greedy routing
+//! escape local neighbourhoods with few hops.
+
+use mqa_vector::{Candidate, Metric, VecId, VectorStore};
+
+/// Keeps the `r` nearest candidates — no diversification. The baseline
+/// selection (and what a raw kNN graph amounts to).
+pub fn select_nearest(mut candidates: Vec<Candidate>, r: usize) -> Vec<VecId> {
+    candidates.sort_unstable();
+    candidates.dedup_by_key(|c| c.id);
+    candidates.into_iter().take(r).map(|c| c.id).collect()
+}
+
+/// The α-robust pruning rule of Vamana/DiskANN; with `alpha = 1.0` it is
+/// the MRNG rule NSG uses.
+///
+/// Repeatedly commit the closest remaining candidate `p`, then discard
+/// every remaining candidate `q` with `alpha · d(p, q) <= d(v, q)` — `q` is
+/// reachable *through* `p`, so the direct edge is redundant. Larger `alpha`
+/// keeps more long edges (denser graph, easier routing, more memory).
+///
+/// # Panics
+/// Panics if `alpha < 1.0` (would prune the closest candidate's own
+/// certificate) or `r == 0`.
+pub fn robust_prune(
+    store: &VectorStore,
+    metric: Metric,
+    v: VecId,
+    mut candidates: Vec<Candidate>,
+    alpha: f32,
+    r: usize,
+) -> Vec<VecId> {
+    assert!(alpha >= 1.0, "robust prune requires alpha >= 1.0");
+    assert!(r > 0, "robust prune requires r >= 1");
+    candidates.sort_unstable();
+    candidates.dedup_by_key(|c| c.id);
+    candidates.retain(|c| c.id != v);
+
+    let mut selected: Vec<VecId> = Vec::with_capacity(r);
+    let mut alive = vec![true; candidates.len()];
+    for i in 0..candidates.len() {
+        if !alive[i] {
+            continue;
+        }
+        let p = candidates[i];
+        selected.push(p.id);
+        if selected.len() == r {
+            break;
+        }
+        let pv = store.get(p.id);
+        for (j, q) in candidates.iter().enumerate().skip(i + 1) {
+            if alive[j] && alpha * metric.distance(pv, store.get(q.id)) <= q.dist {
+                alive[j] = false;
+            }
+        }
+    }
+    selected
+}
+
+/// HNSW's `SELECT-NEIGHBORS-HEURISTIC`: scan candidates by increasing
+/// distance; keep one only if it is closer to `v` than to every neighbour
+/// already kept.
+pub fn hnsw_heuristic(
+    store: &VectorStore,
+    metric: Metric,
+    v: VecId,
+    mut candidates: Vec<Candidate>,
+    m: usize,
+) -> Vec<VecId> {
+    assert!(m > 0, "heuristic selection requires m >= 1");
+    candidates.sort_unstable();
+    candidates.dedup_by_key(|c| c.id);
+    candidates.retain(|c| c.id != v);
+
+    let mut selected: Vec<VecId> = Vec::with_capacity(m);
+    for c in &candidates {
+        if selected.len() == m {
+            break;
+        }
+        let cv = store.get(c.id);
+        let dominated = selected
+            .iter()
+            .any(|&s| metric.distance(cv, store.get(s)) < c.dist);
+        if !dominated {
+            selected.push(c.id);
+        }
+    }
+    // HNSW keeps discarded candidates as fallback to fill up to m.
+    if selected.len() < m {
+        for c in &candidates {
+            if selected.len() == m {
+                break;
+            }
+            if !selected.contains(&c.id) {
+                selected.push(c.id);
+            }
+        }
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Points on a line: 0,1,2,...; candidate distances from v=0.
+    fn line_store(n: usize) -> VectorStore {
+        let mut s = VectorStore::new(1);
+        for i in 0..n {
+            s.push(&[i as f32]);
+        }
+        s
+    }
+
+    fn cands(store: &VectorStore, v: VecId, ids: &[VecId]) -> Vec<Candidate> {
+        ids.iter()
+            .map(|&u| Candidate::new(u, Metric::L2.distance(store.get(v), store.get(u))))
+            .collect()
+    }
+
+    #[test]
+    fn select_nearest_takes_closest() {
+        let store = line_store(10);
+        let c = cands(&store, 0, &[5, 1, 9, 2]);
+        assert_eq!(select_nearest(c, 2), vec![1, 2]);
+    }
+
+    #[test]
+    fn select_nearest_dedups() {
+        let store = line_store(5);
+        let mut c = cands(&store, 0, &[1, 2]);
+        c.extend(cands(&store, 0, &[1]));
+        assert_eq!(select_nearest(c, 5), vec![1, 2]);
+    }
+
+    #[test]
+    fn robust_prune_drops_collinear() {
+        // On a line from v=0: candidates 1,2,3. 1 covers 2 and 3
+        // (d(1,2)=1 <= d(0,2)=4), so only 1 survives with alpha=1.
+        let store = line_store(4);
+        let c = cands(&store, 0, &[1, 2, 3]);
+        assert_eq!(robust_prune(&store, Metric::L2, 0, c, 1.0, 3), vec![1]);
+    }
+
+    #[test]
+    fn robust_prune_keeps_diverse_directions() {
+        // v at origin; candidates at +1 and -1 cannot cover each other.
+        let mut store = VectorStore::new(1);
+        store.push(&[0.0]); // v = 0
+        store.push(&[1.0]);
+        store.push(&[-1.0]);
+        let c = cands(&store, 0, &[1, 2]);
+        let sel = robust_prune(&store, Metric::L2, 0, c, 1.0, 4);
+        assert_eq!(sel.len(), 2);
+    }
+
+    #[test]
+    fn higher_alpha_keeps_more_edges() {
+        let store = line_store(6);
+        let c = cands(&store, 0, &[1, 2, 3, 4, 5]);
+        let strict = robust_prune(&store, Metric::L2, 0, c.clone(), 1.0, 5);
+        let loose = robust_prune(&store, Metric::L2, 0, c, 2.0, 5);
+        assert!(loose.len() >= strict.len());
+    }
+
+    #[test]
+    fn robust_prune_respects_degree_cap() {
+        let mut store = VectorStore::new(2);
+        store.push(&[0.0, 0.0]);
+        // diverse directions so nothing is pruned by the rule itself
+        store.push(&[1.0, 0.0]);
+        store.push(&[-1.0, 0.0]);
+        store.push(&[0.0, 1.0]);
+        store.push(&[0.0, -1.0]);
+        let c = cands(&store, 0, &[1, 2, 3, 4]);
+        assert_eq!(robust_prune(&store, Metric::L2, 0, c, 1.0, 2).len(), 2);
+    }
+
+    #[test]
+    fn robust_prune_excludes_self() {
+        let store = line_store(3);
+        let c = cands(&store, 0, &[0, 1]);
+        assert_eq!(robust_prune(&store, Metric::L2, 0, c, 1.0, 3), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha >= 1.0")]
+    fn alpha_below_one_panics() {
+        let store = line_store(2);
+        robust_prune(&store, Metric::L2, 0, vec![], 0.5, 1);
+    }
+
+    #[test]
+    fn heuristic_prefers_diversity_then_fills() {
+        // v=0; candidates 1 (near), 2 (collinear behind 1), -1 direction.
+        let mut store = VectorStore::new(1);
+        store.push(&[0.0]);
+        store.push(&[1.0]);
+        store.push(&[2.0]);
+        store.push(&[-1.5]);
+        let c = cands(&store, 0, &[1, 2, 3]);
+        let sel = hnsw_heuristic(&store, Metric::L2, 0, c, 3);
+        // 1 kept; 2 dominated by 1 but refilled afterwards; 3 kept (diverse)
+        assert_eq!(sel[0], 1);
+        assert!(sel.contains(&3));
+        assert_eq!(sel.len(), 3);
+    }
+
+    #[test]
+    fn heuristic_cap() {
+        let store = line_store(10);
+        let c = cands(&store, 0, &[1, 2, 3, 4, 5, 6]);
+        assert_eq!(hnsw_heuristic(&store, Metric::L2, 0, c, 2).len(), 2);
+    }
+}

@@ -1,0 +1,282 @@
+//! The shared beam-search routine (greedy best-first graph traversal).
+//!
+//! This is the paper's Query Execution core: start from entry vertices,
+//! repeatedly expand the closest unexpanded candidate, keep the best `ef`
+//! results, stop when the closest frontier candidate is no better than the
+//! worst retained result. Distance evaluations go through
+//! [`crate::traits::DistanceFn`] with the current result bound, so fused
+//! multi-modal evaluations can abandon early (incremental scanning); a
+//! candidate whose evaluation is abandoned is provably outside the beam and
+//! is dropped — the exact same decision a full evaluation would reach.
+
+use crate::adjacency::Adjacency;
+use crate::traits::DistanceFn;
+use mqa_vector::{Candidate, MinCandidate, TopK, VecId};
+use std::collections::BinaryHeap;
+
+/// Work counters of one search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Vertices expanded (frontier pops whose neighbours were visited).
+    pub hops: u64,
+    /// Distance evaluations that ran to completion.
+    pub evals: u64,
+    /// Distance evaluations abandoned by incremental scanning.
+    pub pruned: u64,
+    /// Distinct 4 KiB page reads (populated only by the Starling paged
+    /// index; zero elsewhere).
+    pub pages_read: u64,
+}
+
+impl SearchStats {
+    /// Accumulates another record.
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.hops += other.hops;
+        self.evals += other.evals;
+        self.pruned += other.pruned;
+        self.pages_read += other.pages_read;
+    }
+}
+
+/// Result of one search: the `k` best candidates (ascending distance) and
+/// the work performed.
+#[derive(Debug, Clone, Default)]
+pub struct SearchOutput {
+    /// Nearest candidates, ascending by distance.
+    pub results: Vec<Candidate>,
+    /// Work counters.
+    pub stats: SearchStats,
+}
+
+impl SearchOutput {
+    /// Ids of the results, in rank order.
+    pub fn ids(&self) -> Vec<VecId> {
+        self.results.iter().map(|c| c.id).collect()
+    }
+}
+
+/// Beam search over `graph` from `entries`, returning the `k` best
+/// candidates using beam width `ef` (clamped to at least `k`).
+///
+/// # Panics
+/// Panics if `entries` is empty or `k == 0`.
+pub fn beam_search(
+    graph: &Adjacency,
+    entries: &[VecId],
+    dist: &mut dyn DistanceFn,
+    k: usize,
+    ef: usize,
+) -> SearchOutput {
+    assert!(!entries.is_empty(), "beam search requires at least one entry vertex");
+    assert!(k > 0, "beam search requires k >= 1");
+    let ef = ef.max(k);
+    let mut stats = SearchStats::default();
+    let mut visited = vec![false; graph.len()];
+    let mut results = TopK::new(ef);
+    let mut frontier: BinaryHeap<MinCandidate> = BinaryHeap::new();
+
+    for &e in entries {
+        if visited[e as usize] {
+            continue;
+        }
+        visited[e as usize] = true;
+        let d = dist.exact(e);
+        stats.evals += 1;
+        let c = Candidate::new(e, d);
+        results.offer(c);
+        frontier.push(MinCandidate(c));
+    }
+
+    while let Some(MinCandidate(current)) = frontier.pop() {
+        if current.dist > results.bound() {
+            break;
+        }
+        stats.hops += 1;
+        for &nb in graph.neighbors(current.id) {
+            if visited[nb as usize] {
+                continue;
+            }
+            visited[nb as usize] = true;
+            match dist.eval(nb, results.bound()) {
+                Some(d) => {
+                    stats.evals += 1;
+                    let c = Candidate::new(nb, d);
+                    if results.offer(c) {
+                        frontier.push(MinCandidate(c));
+                    }
+                }
+                None => {
+                    // Abandoned: distance >= bound, cannot enter the beam.
+                    stats.pruned += 1;
+                }
+            }
+        }
+    }
+
+    let mut out: Vec<Candidate> = results.into_sorted();
+    out.truncate(k);
+    SearchOutput { results: out, stats }
+}
+
+/// Beam search that also returns **every candidate evaluated** along the
+/// way (the "visited list" of the NSG/Vamana papers). Construction uses
+/// this pool for neighbour selection: path vertices crossed en route give
+/// each vertex long-range edge candidates that the final top-`ef` alone
+/// would not contain — without them, tightly clustered data yields graphs
+/// whose clusters are mutually unreachable in practice.
+pub fn beam_search_collect(
+    graph: &Adjacency,
+    entries: &[VecId],
+    dist: &mut dyn DistanceFn,
+    ef: usize,
+) -> Vec<Candidate> {
+    assert!(!entries.is_empty(), "beam search requires at least one entry vertex");
+    assert!(ef > 0, "beam search requires ef >= 1");
+    let mut visited = vec![false; graph.len()];
+    let mut results = TopK::new(ef);
+    let mut frontier: BinaryHeap<MinCandidate> = BinaryHeap::new();
+    let mut evaluated: Vec<Candidate> = Vec::with_capacity(ef * 4);
+
+    for &e in entries {
+        if visited[e as usize] {
+            continue;
+        }
+        visited[e as usize] = true;
+        let c = Candidate::new(e, dist.exact(e));
+        evaluated.push(c);
+        results.offer(c);
+        frontier.push(MinCandidate(c));
+    }
+    while let Some(MinCandidate(current)) = frontier.pop() {
+        if current.dist > results.bound() {
+            break;
+        }
+        for &nb in graph.neighbors(current.id) {
+            if visited[nb as usize] {
+                continue;
+            }
+            visited[nb as usize] = true;
+            // Construction needs exact distances for the pool, so no
+            // early abandonment here.
+            let c = Candidate::new(nb, dist.exact(nb));
+            evaluated.push(c);
+            if results.offer(c) {
+                frontier.push(MinCandidate(c));
+            }
+        }
+    }
+    evaluated
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::FlatDistance;
+    use mqa_vector::{Metric, VectorStore};
+
+    /// A line of points 0..n at x = id; fully connected chain.
+    fn chain(n: usize) -> (VectorStore, Adjacency) {
+        let mut store = VectorStore::new(1);
+        let mut g = Adjacency::new(n);
+        for i in 0..n {
+            store.push(&[i as f32]);
+        }
+        for i in 0..n {
+            let mut nb = Vec::new();
+            if i > 0 {
+                nb.push((i - 1) as VecId);
+            }
+            if i + 1 < n {
+                nb.push((i + 1) as VecId);
+            }
+            g.set_neighbors(i as VecId, nb);
+        }
+        (store, g)
+    }
+
+    #[test]
+    fn finds_nearest_on_chain() {
+        let (store, g) = chain(50);
+        let q = [31.4f32];
+        let mut d = FlatDistance::new(&store, &q, Metric::L2);
+        let out = beam_search(&g, &[0], &mut d, 3, 10);
+        assert_eq!(out.ids(), vec![31, 32, 30]);
+    }
+
+    #[test]
+    fn results_sorted_ascending() {
+        let (store, g) = chain(30);
+        let q = [12.0f32];
+        let mut d = FlatDistance::new(&store, &q, Metric::L2);
+        let out = beam_search(&g, &[29], &mut d, 5, 8);
+        for w in out.results.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+        assert_eq!(out.results[0].id, 12);
+    }
+
+    #[test]
+    fn k_larger_than_population() {
+        let (store, g) = chain(4);
+        let q = [0.0f32];
+        let mut d = FlatDistance::new(&store, &q, Metric::L2);
+        let out = beam_search(&g, &[3], &mut d, 10, 10);
+        assert_eq!(out.results.len(), 4);
+    }
+
+    #[test]
+    fn multiple_entries_deduplicated() {
+        let (store, g) = chain(10);
+        let q = [5.0f32];
+        let mut d = FlatDistance::new(&store, &q, Metric::L2);
+        let out = beam_search(&g, &[0, 0, 9], &mut d, 1, 4);
+        assert_eq!(out.results[0].id, 5);
+    }
+
+    #[test]
+    fn isolated_entry_returns_only_itself() {
+        let mut store = VectorStore::new(1);
+        for i in 0..3 {
+            store.push(&[i as f32]);
+        }
+        let g = Adjacency::new(3); // no edges
+        let q = [2.0f32];
+        let mut d = FlatDistance::new(&store, &q, Metric::L2);
+        let out = beam_search(&g, &[0], &mut d, 2, 4);
+        assert_eq!(out.ids(), vec![0]);
+    }
+
+    #[test]
+    fn stats_count_work() {
+        let (store, g) = chain(20);
+        let q = [10.0f32];
+        let mut d = FlatDistance::new(&store, &q, Metric::L2);
+        let out = beam_search(&g, &[0], &mut d, 1, 2);
+        assert!(out.stats.evals > 0);
+        assert!(out.stats.hops > 0);
+        assert_eq!(out.stats.pruned, 0); // flat distance never abandons
+    }
+
+    #[test]
+    #[should_panic(expected = "entry vertex")]
+    fn empty_entries_panics() {
+        let (store, g) = chain(3);
+        let q = [0.0f32];
+        let mut d = FlatDistance::new(&store, &q, Metric::L2);
+        beam_search(&g, &[], &mut d, 1, 1);
+    }
+
+    #[test]
+    fn ef_widens_exploration() {
+        // With a misleading graph shape, a wider beam reaches a better
+        // result set; at minimum it never shrinks the evaluation count.
+        let (store, g) = chain(100);
+        let q = [99.0f32];
+        let mut d1 = FlatDistance::new(&store, &q, Metric::L2);
+        let narrow = beam_search(&g, &[0], &mut d1, 1, 1);
+        let mut d2 = FlatDistance::new(&store, &q, Metric::L2);
+        let wide = beam_search(&g, &[0], &mut d2, 1, 16);
+        assert!(wide.stats.evals >= narrow.stats.evals);
+        assert_eq!(wide.results[0].id, 99);
+    }
+}

@@ -1,0 +1,179 @@
+//! Core abstractions: distance evaluators, graph searchers, and the
+//! user-facing [`VectorIndex`] facade.
+
+use crate::pipeline::IndexAlgorithm;
+use crate::search::SearchOutput;
+use mqa_vector::{Metric, VecId, VectorStore};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Evaluates distances from an implicit query to stored vectors by id,
+/// optionally abandoning early against a pruning bound.
+///
+/// The beam-search routine is generic over this trait, which is how one
+/// search implementation serves plain single-vector indexes
+/// ([`FlatDistance`]), the fused multi-modal scanner
+/// ([`crate::unified::FusedDistance`]), and the I/O-counting paged
+/// evaluator ([`crate::starling`]).
+pub trait DistanceFn {
+    /// Distance from the query to object `id`, or `None` if the evaluation
+    /// was abandoned because the distance is provably `>= bound`.
+    fn eval(&mut self, id: VecId, bound: f32) -> Option<f32>;
+
+    /// Distance without pruning.
+    fn exact(&mut self, id: VecId) -> f32 {
+        self.eval(id, f32::INFINITY).expect("unbounded evaluation completes")
+    }
+}
+
+/// Plain metric distance against a [`VectorStore`] — the evaluator for
+/// single-vector indexes (JE, the MR per-modality channels, E7's index
+/// comparisons).
+pub struct FlatDistance<'a> {
+    store: &'a VectorStore,
+    query: &'a [f32],
+    metric: Metric,
+}
+
+impl<'a> FlatDistance<'a> {
+    /// Creates the evaluator.
+    ///
+    /// # Panics
+    /// Panics if the query dimension does not match the store.
+    pub fn new(store: &'a VectorStore, query: &'a [f32], metric: Metric) -> Self {
+        assert_eq!(query.len(), store.dim(), "query dimension mismatch");
+        Self { store, query, metric }
+    }
+}
+
+impl DistanceFn for FlatDistance<'_> {
+    fn eval(&mut self, id: VecId, _bound: f32) -> Option<f32> {
+        // Single-vector evaluation is one metric kernel call; chunked
+        // early abandonment pays off only for fused multi-block scans, so
+        // the flat evaluator always completes.
+        Some(self.metric.distance(self.query, self.store.get(id)))
+    }
+}
+
+/// A built navigation structure that can route any [`DistanceFn`] to the
+/// query's nearest neighbours.
+///
+/// Implementations: flat exhaustive scan, pipeline-built graphs
+/// (NSG/Vamana/custom), HNSW, and the Starling paged wrapper.
+pub trait GraphSearcher: Send + Sync {
+    /// Searches for the `k` nearest objects with beam width `ef`
+    /// (`ef >= k`; implementations clamp).
+    fn search(&self, dist: &mut dyn DistanceFn, k: usize, ef: usize) -> SearchOutput;
+
+    /// Number of indexed objects.
+    fn len(&self) -> usize;
+
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Mean out-degree of the underlying graph (0 for flat scans).
+    fn avg_degree(&self) -> f64;
+
+    /// Short human-readable description for the status panel.
+    fn describe(&self) -> String;
+}
+
+/// A complete single-vector index: store + metric + built navigation
+/// structure. This is what the MR baseline builds per modality and what the
+/// JE baseline builds over joint vectors.
+pub struct VectorIndex {
+    store: Arc<VectorStore>,
+    metric: Metric,
+    searcher: Box<dyn GraphSearcher>,
+    algorithm: IndexAlgorithm,
+    build_time: Duration,
+}
+
+impl VectorIndex {
+    /// Builds the index over `store` with the chosen algorithm.
+    ///
+    /// # Panics
+    /// Panics if the store is empty — an index over nothing is a
+    /// configuration error the coordinator reports before reaching here.
+    pub fn build(store: VectorStore, metric: Metric, algorithm: &IndexAlgorithm) -> Self {
+        assert!(!store.is_empty(), "cannot index an empty vector store");
+        let store = Arc::new(store);
+        let t0 = std::time::Instant::now();
+        let searcher = algorithm.build(&store, metric);
+        let build_time = t0.elapsed();
+        Self { store, metric, searcher, algorithm: algorithm.clone(), build_time }
+    }
+
+    /// Searches for the `k` nearest stored vectors to `query`.
+    pub fn search(&self, query: &[f32], k: usize, ef: usize) -> SearchOutput {
+        let mut dist = FlatDistance::new(&self.store, query, self.metric);
+        self.searcher.search(&mut dist, k, ef)
+    }
+
+    /// The backing store.
+    pub fn store(&self) -> &VectorStore {
+        &self.store
+    }
+
+    /// The metric in use.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// The algorithm configuration the index was built with.
+    pub fn algorithm(&self) -> &IndexAlgorithm {
+        &self.algorithm
+    }
+
+    /// Wall-clock build time.
+    pub fn build_time(&self) -> Duration {
+        self.build_time
+    }
+
+    /// Mean out-degree of the graph.
+    pub fn avg_degree(&self) -> f64 {
+        self.searcher.avg_degree()
+    }
+
+    /// Status-panel description.
+    pub fn describe(&self) -> String {
+        self.searcher.describe()
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_distance_matches_metric() {
+        let mut store = VectorStore::new(2);
+        store.push(&[0.0, 0.0]);
+        store.push(&[3.0, 4.0]);
+        let q = [0.0f32, 0.0];
+        let mut d = FlatDistance::new(&store, &q, Metric::L2);
+        assert_eq!(d.exact(0), 0.0);
+        assert_eq!(d.exact(1), 25.0);
+        assert_eq!(d.eval(1, 0.1), Some(25.0)); // flat never abandons
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn flat_distance_checks_dim() {
+        let store = VectorStore::new(3);
+        let q = [0.0f32; 2];
+        FlatDistance::new(&store, &q, Metric::L2);
+    }
+}

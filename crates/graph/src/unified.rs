@@ -1,0 +1,461 @@
+//! The unified multi-vector navigation graph — the paper's Index
+//! Construction + Query Execution core.
+//!
+//! One graph vertex per *object*, even though each object carries several
+//! vectors (one per modality). Construction runs any [`IndexAlgorithm`]
+//! over the **weighted concatenation** of the modality vectors: scaling
+//! each block by `sqrt(w_m)` makes plain L2 on the concatenation equal to
+//! the fused weighted distance `Σ w_m‖q_m − o_m‖²`, so every existing graph
+//! algorithm works unchanged on multi-modal data.
+//!
+//! Search is **merging-free**: a query (possibly missing modalities) walks
+//! the graph once. Distances are computed by [`FusedDistance`], which wraps
+//! `mqa_vector::FusedScanner` — modality-by-modality incremental scanning
+//! with early abandonment against the beam bound. Per-modality result
+//! merging (the MR baseline) never happens.
+//!
+//! Query-time weights default to the build weights but can be overridden
+//! ("user-specific inputs for search refinement" in the paper); overrides
+//! change the scoring, not the graph, so extreme overrides trade recall
+//! for control — measured in E6.
+
+use crate::pipeline::{BuiltGraph, IndexAlgorithm};
+use crate::search::SearchOutput;
+use crate::traits::{DistanceFn, GraphSearcher};
+use mqa_vector::{
+    FusedScanner, Metric, MultiVector, MultiVectorStore, ScanStats, VecId, Weights,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// [`DistanceFn`] adapter: fused weighted distance from a fixed query to
+/// objects of a [`MultiVectorStore`], with incremental scanning.
+pub struct FusedDistance<'a> {
+    store: &'a MultiVectorStore,
+    scanner: FusedScanner,
+    prune: bool,
+}
+
+impl<'a> FusedDistance<'a> {
+    /// Creates the evaluator for `query` under `weights`.
+    pub fn new(
+        store: &'a MultiVectorStore,
+        query: &MultiVector,
+        weights: &Weights,
+        metric: Metric,
+    ) -> Self {
+        let scanner = FusedScanner::new(store.schema(), query, weights, metric);
+        Self { store, scanner, prune: true }
+    }
+
+    /// Disables early abandonment (every evaluation runs to completion).
+    /// The E8 ablation uses this to measure what incremental scanning
+    /// saves; search results are identical either way (see
+    /// `mqa_vector::scan` for the soundness argument).
+    pub fn without_pruning(mut self) -> Self {
+        self.prune = false;
+        self
+    }
+
+    /// Scanner work counters (terms computed vs skipped).
+    pub fn scan_stats(&self) -> ScanStats {
+        self.scanner.stats()
+    }
+}
+
+impl DistanceFn for FusedDistance<'_> {
+    fn eval(&mut self, id: VecId, bound: f32) -> Option<f32> {
+        let bound = if self.prune { bound } else { f32::INFINITY };
+        self.scanner.distance(self.store.concat_of(id), bound)
+    }
+}
+
+/// The unified index over a multi-modal object collection.
+///
+/// ```
+/// use mqa_graph::{IndexAlgorithm, UnifiedIndex};
+/// use mqa_vector::{Metric, MultiVector, MultiVectorStore, Schema, Weights};
+///
+/// let schema = Schema::text_image(4, 4);
+/// let mut store = MultiVectorStore::new(schema.clone());
+/// for i in 0..64 {
+///     let x = i as f32 / 64.0;
+///     store.push(&MultiVector::complete(&schema, vec![vec![x; 4], vec![-x; 4]]));
+/// }
+/// let index = UnifiedIndex::build(
+///     store,
+///     Weights::normalized(&[1.2, 0.8]),
+///     Metric::L2,
+///     &IndexAlgorithm::hnsw(),
+/// );
+///
+/// // A text-only (partial) query: one merging-free traversal.
+/// let query = MultiVector::partial(&schema, vec![Some(vec![0.25; 4]), None]);
+/// let out = index.search(&query, None, 3, 16);
+/// assert_eq!(out.ids()[0], 16); // x = 16/64 = 0.25
+/// ```
+pub struct UnifiedIndex {
+    store: MultiVectorStore,
+    weights: Weights,
+    metric: Metric,
+    searcher: BuiltGraph,
+    algorithm: IndexAlgorithm,
+    build_time: Duration,
+}
+
+impl UnifiedIndex {
+    /// Builds the index: weights each object's concatenated representation,
+    /// then constructs the chosen navigation graph over it.
+    ///
+    /// # Panics
+    /// Panics if the store is empty or the weights' arity mismatches the
+    /// store schema.
+    pub fn build(
+        store: MultiVectorStore,
+        weights: Weights,
+        metric: Metric,
+        algorithm: &IndexAlgorithm,
+    ) -> Self {
+        assert!(!store.is_empty(), "cannot index an empty object collection");
+        assert_eq!(
+            weights.arity(),
+            store.schema().arity(),
+            "weights arity must match the schema"
+        );
+        let t0 = std::time::Instant::now();
+        let weighted = Arc::new(store.weighted_store(&weights));
+        let searcher = algorithm.build_graph(&weighted, metric);
+        let build_time = t0.elapsed();
+        Self { store, weights, metric, searcher, algorithm: algorithm.clone(), build_time }
+    }
+
+    /// Reassembles an index from persisted parts (see
+    /// [`crate::persist::UnifiedSnapshot`]); the reported build time is
+    /// zero since nothing was built.
+    pub fn from_parts(
+        store: MultiVectorStore,
+        weights: Weights,
+        metric: Metric,
+        searcher: BuiltGraph,
+        algorithm: IndexAlgorithm,
+    ) -> Self {
+        assert_eq!(
+            GraphSearcher::len(&searcher),
+            store.len(),
+            "navigation structure does not match the store"
+        );
+        Self { store, weights, metric, searcher, algorithm, build_time: Duration::ZERO }
+    }
+
+    /// Captures a serializable snapshot of the whole index.
+    pub fn snapshot(&self) -> crate::persist::UnifiedSnapshot {
+        crate::persist::UnifiedSnapshot {
+            store: self.store.clone(),
+            weights: self.weights.clone(),
+            metric: self.metric,
+            algorithm: self.algorithm.clone(),
+            graph: self.searcher.clone(),
+        }
+    }
+
+    /// Merging-free multi-modal search.
+    ///
+    /// `query` may miss modalities (e.g. text-only); `weight_override`
+    /// replaces the learned weights for *scoring* this query. Returns the
+    /// ranked results plus work statistics (including incremental-scanning
+    /// savings in `scan`).
+    pub fn search(
+        &self,
+        query: &MultiVector,
+        weight_override: Option<&Weights>,
+        k: usize,
+        ef: usize,
+    ) -> UnifiedSearchOutput {
+        self.search_with_pruning(query, weight_override, k, ef, true)
+    }
+
+    /// [`UnifiedIndex::search`] with an explicit incremental-scanning
+    /// switch (`prune = false` evaluates every fused distance in full —
+    /// the E8 ablation baseline; result sets are identical either way).
+    pub fn search_with_pruning(
+        &self,
+        query: &MultiVector,
+        weight_override: Option<&Weights>,
+        k: usize,
+        ef: usize,
+        prune: bool,
+    ) -> UnifiedSearchOutput {
+        let weights = weight_override.unwrap_or(&self.weights);
+        let mut dist = FusedDistance::new(&self.store, query, weights, self.metric);
+        if !prune {
+            dist = dist.without_pruning();
+        }
+        let out = self.searcher.search(&mut dist, k, ef);
+        UnifiedSearchOutput { output: out, scan: dist.scan_stats() }
+    }
+
+    /// Exact (exhaustive) fused search — the recall oracle.
+    pub fn search_exact(
+        &self,
+        query: &MultiVector,
+        weight_override: Option<&Weights>,
+        k: usize,
+    ) -> UnifiedSearchOutput {
+        let weights = weight_override.unwrap_or(&self.weights);
+        let mut dist = FusedDistance::new(&self.store, query, weights, self.metric);
+        let flat = crate::flat::FlatSearcher::new(self.store.len());
+        let out = flat.search(&mut dist, k, k);
+        UnifiedSearchOutput { output: out, scan: dist.scan_stats() }
+    }
+
+    /// The object collection.
+    pub fn store(&self) -> &MultiVectorStore {
+        &self.store
+    }
+
+    /// The build-time (learned) weights.
+    pub fn weights(&self) -> &Weights {
+        &self.weights
+    }
+
+    /// The metric in use.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// The graph algorithm configuration.
+    pub fn algorithm(&self) -> &IndexAlgorithm {
+        &self.algorithm
+    }
+
+    /// Wall-clock build time.
+    pub fn build_time(&self) -> Duration {
+        self.build_time
+    }
+
+    /// Number of indexed objects.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Status-panel description.
+    pub fn describe(&self) -> String {
+        format!(
+            "unified multi-vector index ({} modalities): {}",
+            self.store.schema().arity(),
+            self.searcher.describe()
+        )
+    }
+}
+
+/// Search output plus incremental-scanning counters.
+#[derive(Debug, Clone)]
+pub struct UnifiedSearchOutput {
+    /// Ranked results and graph-walk statistics.
+    pub output: SearchOutput,
+    /// Fused-scan term counters (E8 reads `scan.savings()`).
+    pub scan: ScanStats,
+}
+
+impl UnifiedSearchOutput {
+    /// Ids of the results in rank order.
+    pub fn ids(&self) -> Vec<VecId> {
+        self.output.ids()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqa_vector::Schema;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Clustered multi-modal store: objects around per-class centers in
+    /// both modalities, with the image modality noisier.
+    fn clustered(
+        n: usize,
+        classes: usize,
+        text_noise: f32,
+        image_noise: f32,
+        seed: u64,
+    ) -> (MultiVectorStore, Vec<u32>) {
+        let schema = Schema::text_image(8, 8);
+        let mut store = MultiVectorStore::new(schema.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers: Vec<(Vec<f32>, Vec<f32>)> = (0..classes)
+            .map(|_| {
+                (
+                    (0..8).map(|_| rng.gen_range(-2.0..2.0)).collect(),
+                    (0..8).map(|_| rng.gen_range(-2.0..2.0)).collect(),
+                )
+            })
+            .collect();
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = i % classes;
+            let t: Vec<f32> =
+                centers[c].0.iter().map(|x| x + rng.gen_range(-text_noise..text_noise)).collect();
+            let im: Vec<f32> = centers[c]
+                .1
+                .iter()
+                .map(|x| x + rng.gen_range(-image_noise..image_noise))
+                .collect();
+            store.push(&MultiVector::complete(&schema, vec![t, im]));
+            labels.push(c as u32);
+        }
+        (store, labels)
+    }
+
+    fn build_default(seed: u64) -> (UnifiedIndex, Vec<u32>) {
+        let (store, labels) = clustered(600, 12, 0.2, 0.6, seed);
+        let weights = Weights::normalized(&[1.5, 0.5]);
+        let idx = UnifiedIndex::build(store, weights, Metric::L2, &IndexAlgorithm::mqa_graph());
+        (idx, labels)
+    }
+
+    #[test]
+    fn graph_search_matches_exact_search() {
+        let (idx, _) = build_default(1);
+        let schema = idx.store().schema().clone();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut hits = 0usize;
+        let queries = 20;
+        let k = 10;
+        for _ in 0..queries {
+            let q = MultiVector::complete(
+                &schema,
+                vec![
+                    (0..8).map(|_| rng.gen_range(-2.0..2.0)).collect(),
+                    (0..8).map(|_| rng.gen_range(-2.0..2.0)).collect(),
+                ],
+            );
+            let truth = idx.search_exact(&q, None, k).ids();
+            let got = idx.search(&q, None, k, 64).ids();
+            hits += got.iter().filter(|id| truth.contains(id)).count();
+        }
+        let recall = hits as f64 / (queries * k) as f64;
+        assert!(recall > 0.9, "unified recall {recall}");
+    }
+
+    #[test]
+    fn partial_query_searches_present_modality_only() {
+        let (idx, labels) = build_default(2);
+        let schema = idx.store().schema().clone();
+        // text part of object 0, no image
+        let text = idx.store().part_of(0, 0).unwrap().to_vec();
+        let q = MultiVector::partial(&schema, vec![Some(text), None]);
+        let out = idx.search(&q, None, 10, 64);
+        // the top results should share object 0's class (text is informative)
+        let target = labels[0];
+        let same = out.ids().iter().filter(|&&id| labels[id as usize] == target).count();
+        assert!(same >= 7, "text-only search matched {same}/10 of class {target}");
+    }
+
+    #[test]
+    fn incremental_scanning_saves_terms_at_equal_results() {
+        let (idx, _) = build_default(3);
+        let schema = idx.store().schema().clone();
+        let q = MultiVector::complete(&schema, vec![vec![0.3; 8], vec![-0.2; 8]]);
+        let pruned = idx.search(&q, None, 10, 64);
+        assert!(pruned.scan.terms_skipped > 0, "expected scan savings");
+        // exact scan agrees on the result set at full ef
+        let exact = idx.search_exact(&q, None, 10);
+        let graph_ids = pruned.ids();
+        let overlap = exact.ids().iter().filter(|id| graph_ids.contains(id)).count();
+        assert!(overlap >= 9, "overlap {overlap}");
+    }
+
+    #[test]
+    fn weight_override_changes_ranking() {
+        let (store, _) = clustered(300, 6, 0.2, 0.2, 4);
+        let idx = UnifiedIndex::build(
+            store,
+            Weights::uniform(2),
+            Metric::L2,
+            &IndexAlgorithm::mqa_graph(),
+        );
+        let schema = idx.store().schema().clone();
+        // query: text like object 0, image like object 1
+        let t = idx.store().part_of(0, 0).unwrap().to_vec();
+        let im = idx.store().part_of(1, 1).unwrap().to_vec();
+        let q = MultiVector::complete(&schema, vec![t, im]);
+        let text_heavy = idx.search_exact(&q, Some(&Weights::normalized(&[1.0, 0.0])), 1);
+        let image_heavy = idx.search_exact(&q, Some(&Weights::normalized(&[0.0, 1.0])), 1);
+        assert_eq!(text_heavy.ids()[0], 0);
+        assert_eq!(image_heavy.ids()[0], 1);
+    }
+
+    #[test]
+    fn three_modality_schema_works() {
+        let schema = mqa_vector::Schema::new(vec![
+            mqa_vector::Modality {
+                name: "a".into(),
+                kind: mqa_vector::ModalityKind::Text,
+                dim: 4,
+            },
+            mqa_vector::Modality {
+                name: "b".into(),
+                kind: mqa_vector::ModalityKind::Image,
+                dim: 4,
+            },
+            mqa_vector::Modality {
+                name: "c".into(),
+                kind: mqa_vector::ModalityKind::Video,
+                dim: 4,
+            },
+        ]);
+        let mut store = MultiVectorStore::new(schema.clone());
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..100 {
+            let parts: Vec<Vec<f32>> =
+                (0..3).map(|_| (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+            store.push(&MultiVector::complete(&schema, parts));
+        }
+        let idx =
+            UnifiedIndex::build(store, Weights::uniform(3), Metric::L2, &IndexAlgorithm::nsg());
+        let q = MultiVector::partial(
+            &schema,
+            vec![Some(vec![0.0; 4]), None, Some(vec![0.1; 4])],
+        );
+        let out = idx.search(&q, None, 5, 32);
+        assert_eq!(out.ids().len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty object collection")]
+    fn empty_store_panics() {
+        let schema = Schema::text_image(2, 2);
+        UnifiedIndex::build(
+            MultiVectorStore::new(schema),
+            Weights::uniform(2),
+            Metric::L2,
+            &IndexAlgorithm::Flat,
+        );
+    }
+
+    #[test]
+    fn pruning_toggle_preserves_results() {
+        let (idx, _) = build_default(8);
+        let schema = idx.store().schema().clone();
+        let q = MultiVector::complete(&schema, vec![vec![0.1; 8], vec![-0.3; 8]]);
+        let pruned = idx.search_with_pruning(&q, None, 10, 64, true);
+        let full = idx.search_with_pruning(&q, None, 10, 64, false);
+        assert_eq!(pruned.ids(), full.ids());
+        assert_eq!(full.scan.terms_skipped, 0);
+        assert!(pruned.scan.terms < full.scan.terms);
+    }
+
+    #[test]
+    fn describe_mentions_modalities() {
+        let (idx, _) = build_default(7);
+        assert!(idx.describe().contains("2 modalities"));
+        assert!(!idx.is_empty());
+        assert_eq!(idx.len(), 600);
+    }
+}

@@ -1,0 +1,93 @@
+//! Small shared utilities for index construction.
+
+use mqa_vector::{ops, Metric, VecId, VectorStore};
+
+/// Runs `f(id)` for every id in `0..n` across scoped worker threads and
+/// collects the results in id order. `f` must be pure with respect to the
+/// shared captured state (construction passes read-only snapshots).
+pub fn parallel_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(VecId) -> T + Send + Sync,
+{
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    if threads <= 1 || n < 256 {
+        return (0..n as u32).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    crossbeam::thread::scope(|scope| {
+        for (t, slot) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            let start = t * chunk;
+            scope.spawn(move |_| {
+                for (i, s) in slot.iter_mut().enumerate() {
+                    *s = Some(f((start + i) as VecId));
+                }
+            });
+        }
+    })
+    .expect("construction worker panicked");
+    out.into_iter().map(|x| x.expect("all slots filled")).collect()
+}
+
+/// The medoid of a store: the vector closest (under `metric`) to the
+/// elementwise mean. Standard entry-point choice of NSG/Vamana.
+///
+/// # Panics
+/// Panics if the store is empty.
+pub fn medoid(store: &VectorStore, metric: Metric) -> VecId {
+    assert!(!store.is_empty(), "medoid of an empty store");
+    let dim = store.dim();
+    let mut mean = vec![0.0f32; dim];
+    for (_, v) in store.iter() {
+        ops::axpy(1.0, v, &mut mean);
+    }
+    ops::scale(1.0 / store.len() as f32, &mut mean);
+    let mut best = 0 as VecId;
+    let mut best_d = f32::INFINITY;
+    for (id, v) in store.iter() {
+        let d = metric.distance(&mean, v);
+        if d < best_d {
+            best_d = d;
+            best = id;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map(1000, |id| id * 2);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i as u32) * 2);
+        }
+    }
+
+    #[test]
+    fn parallel_map_small_input() {
+        assert_eq!(parallel_map(3, |id| id + 1), vec![1, 2, 3]);
+        assert!(parallel_map(0, |id| id).is_empty());
+    }
+
+    #[test]
+    fn medoid_of_cluster() {
+        let mut store = VectorStore::new(1);
+        for x in [0.0f32, 1.0, 2.0, 10.0] {
+            store.push(&[x]);
+        }
+        // mean = 3.25; closest point is 2.0 (id 2)
+        assert_eq!(medoid(&store, Metric::L2), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn medoid_empty_panics() {
+        medoid(&VectorStore::new(2), Metric::L2);
+    }
+}

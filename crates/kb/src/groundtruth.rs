@@ -1,0 +1,194 @@
+//! Relevance ground truth and recall metrics for generated corpora.
+
+use crate::base::KnowledgeBase;
+use crate::object::ObjectId;
+use std::collections::HashMap;
+
+/// Inverted ground-truth maps: concept → members, (concept, style) →
+/// members. Built once per corpus and shared by all experiments.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    by_concept: HashMap<u32, Vec<ObjectId>>,
+    by_style: HashMap<(u32, u32), Vec<ObjectId>>,
+}
+
+impl GroundTruth {
+    /// Builds the maps from a labelled corpus.
+    ///
+    /// # Panics
+    /// Panics if the corpus has no labelled objects (user-ingested bases
+    /// have no ground truth to evaluate against).
+    pub fn build(kb: &KnowledgeBase) -> Self {
+        let mut gt = GroundTruth::default();
+        for (id, r) in kb.iter() {
+            if let Some(c) = r.concept {
+                gt.by_concept.entry(c).or_default().push(id);
+                if let Some(s) = r.style {
+                    gt.by_style.entry((c, s)).or_default().push(id);
+                }
+            }
+        }
+        assert!(
+            !gt.by_concept.is_empty(),
+            "corpus carries no concept labels; ground truth unavailable"
+        );
+        gt
+    }
+
+    /// Objects belonging to `concept`.
+    pub fn members(&self, concept: u32) -> &[ObjectId] {
+        self.by_concept.get(&concept).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Objects belonging to `(concept, style)`.
+    pub fn style_members(&self, concept: u32, style: u32) -> &[ObjectId] {
+        self.by_style.get(&(concept, style)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether `id` belongs to `concept`.
+    pub fn is_relevant(&self, id: ObjectId, concept: u32) -> bool {
+        self.members(concept).contains(&id)
+    }
+
+    /// Whether `id` belongs to `(concept, style)`.
+    pub fn is_style_relevant(&self, id: ObjectId, concept: u32, style: u32) -> bool {
+        self.style_members(concept, style).contains(&id)
+    }
+
+    /// Number of distinct concepts observed.
+    pub fn concept_count(&self) -> usize {
+        self.by_concept.len()
+    }
+}
+
+/// Round-1 metric: fraction of the first `k` returned ids that belong to
+/// the target concept, normalized by the achievable maximum
+/// (`min(k, |members|)`). Returns a value in `[0, 1]`.
+pub fn recall_at_k(gt: &GroundTruth, returned: &[ObjectId], concept: u32, k: usize) -> f64 {
+    let denom = k.min(gt.members(concept).len());
+    if denom == 0 {
+        return 0.0;
+    }
+    let hits = returned
+        .iter()
+        .take(k)
+        .filter(|&&id| gt.is_relevant(id, concept))
+        .count();
+    hits as f64 / denom as f64
+}
+
+/// Round-2 metric: like [`recall_at_k`] but against the (concept, style)
+/// sub-cluster the user's selection pinned down, excluding the selected
+/// object itself (returning the clicked image back is not a useful answer).
+pub fn round2_recall_at_k(
+    gt: &GroundTruth,
+    returned: &[ObjectId],
+    selected: ObjectId,
+    concept: u32,
+    style: u32,
+    k: usize,
+) -> f64 {
+    let pool = gt.style_members(concept, style).iter().filter(|&&m| m != selected).count();
+    let denom = k.min(pool);
+    if denom == 0 {
+        return 0.0;
+    }
+    let hits = returned
+        .iter()
+        .take(k)
+        .filter(|&&id| id != selected && gt.is_style_relevant(id, concept, style))
+        .count();
+    hits as f64 / denom as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::DatasetSpec;
+
+    fn corpus() -> (KnowledgeBase, GroundTruth) {
+        let kb = DatasetSpec::weather().objects(60).concepts(6).styles(2).seed(1).generate();
+        let gt = GroundTruth::build(&kb);
+        (kb, gt)
+    }
+
+    #[test]
+    fn members_partition_the_corpus() {
+        let (kb, gt) = corpus();
+        let total: usize = (0..6).map(|c| gt.members(c).len()).sum();
+        assert_eq!(total, kb.len());
+        assert_eq!(gt.concept_count(), 6);
+    }
+
+    #[test]
+    fn style_members_refine_concept_members() {
+        let (_, gt) = corpus();
+        for c in 0..6u32 {
+            let style_total: usize = (0..2).map(|s| gt.style_members(c, s).len()).sum();
+            assert_eq!(style_total, gt.members(c).len());
+            for s in 0..2u32 {
+                for &id in gt.style_members(c, s) {
+                    assert!(gt.is_relevant(id, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recall_perfect_and_zero() {
+        let (_, gt) = corpus();
+        let members = gt.members(0).to_vec();
+        assert_eq!(recall_at_k(&gt, &members, 0, 5), 1.0);
+        let foreign = gt.members(1).to_vec();
+        assert_eq!(recall_at_k(&gt, &foreign, 0, 5), 0.0);
+    }
+
+    #[test]
+    fn recall_counts_only_first_k() {
+        let (_, gt) = corpus();
+        let mut returned = gt.members(1).to_vec(); // irrelevant to concept 0
+        returned.extend_from_slice(gt.members(0)); // relevant, but after k
+        assert_eq!(recall_at_k(&gt, &returned[..5], 0, 5), 0.0);
+    }
+
+    #[test]
+    fn recall_normalizes_by_small_pools() {
+        let (_, gt) = corpus();
+        // pool of 10 members, k=20 -> denominator is 10
+        let members = gt.members(2).to_vec();
+        assert_eq!(members.len(), 10);
+        assert_eq!(recall_at_k(&gt, &members, 2, 20), 1.0);
+    }
+
+    #[test]
+    fn round2_excludes_selected() {
+        let (_, gt) = corpus();
+        let (c, s) = (0u32, 0u32);
+        let members = gt.style_members(c, s).to_vec();
+        assert!(members.len() >= 2, "need at least two style members");
+        let selected = members[0];
+        // Returning only the selected object scores zero.
+        assert_eq!(round2_recall_at_k(&gt, &[selected], selected, c, s, 1), 0.0);
+        // Returning a different style member scores.
+        assert_eq!(round2_recall_at_k(&gt, &[members[1]], selected, c, s, 1), 1.0);
+    }
+
+    #[test]
+    fn unknown_concept_is_empty() {
+        let (_, gt) = corpus();
+        assert!(gt.members(999).is_empty());
+        assert_eq!(recall_at_k(&gt, &[0, 1, 2], 999, 3), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no concept labels")]
+    fn unlabelled_corpus_panics() {
+        let mut kb = KnowledgeBase::new("user", crate::ContentSchema::caption_image(4));
+        kb.ingest(crate::ObjectRecord::new(
+            "x",
+            vec![Some(mqa_encoders::RawContent::text("hello")), None],
+        ))
+        .unwrap();
+        GroundTruth::build(&kb);
+    }
+}

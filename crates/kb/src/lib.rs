@@ -1,0 +1,40 @@
+//! # mqa-kb
+//!
+//! The multi-modal knowledge base of the MQA system (the paper's *Data
+//! Preprocessing* component): objects with one content slot per modality,
+//! unique dense ids, ingestion, JSON import/export — plus the synthetic
+//! corpus generators and ground-truth machinery the experiment harness runs
+//! on.
+//!
+//! ## Substitution note (see DESIGN.md §2)
+//!
+//! The paper demonstrates on real image+text corpora (fashion products,
+//! weather photographs, movies). Those datasets are proprietary/unavailable
+//! here, so [`datasets`] provides *latent-concept generators*: every object
+//! is sampled from a hidden concept (e.g. "floral long-sleeved top"), its
+//! caption built from the concept's keywords (with configurable word noise)
+//! and its image descriptor placed near the concept's anchor in raw feature
+//! space (with configurable geometric noise and per-concept *style*
+//! sub-clusters). Relevance ground truth — which the real datasets provide
+//! via human labels — is the hidden concept/style assignment.
+//!
+//! The generators expose the knobs that drive the paper's comparisons:
+//! per-modality informativeness (how noisy captions vs images are) is
+//! exactly what vector weight learning must discover, and style sub-clusters
+//! are what the second dialogue round ("more like *this* one") must resolve.
+
+pub mod base;
+pub mod datasets;
+pub mod groundtruth;
+pub mod object;
+pub mod queries;
+pub mod schema;
+pub mod stats;
+
+pub use base::KnowledgeBase;
+pub use datasets::{ConceptInfo, DatasetDomain, DatasetInfo, DatasetSpec};
+pub use groundtruth::{recall_at_k, round2_recall_at_k, GroundTruth};
+pub use object::{ObjectId, ObjectRecord};
+pub use queries::{QueryCase, QueryWorkload, WorkloadSpec};
+pub use schema::{ContentSchema, FieldSpec};
+pub use stats::CorpusStats;

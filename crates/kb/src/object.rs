@@ -1,0 +1,62 @@
+//! Multi-modal objects: the unit of storage, retrieval and citation.
+
+use mqa_encoders::RawContent;
+use serde::{Deserialize, Serialize};
+
+/// Dense object identifier, assigned by the knowledge base in ingestion
+/// order. Identical to the vector/graph id of the object, so no id mapping
+/// layer is needed anywhere in the pipeline.
+pub type ObjectId = u32;
+
+/// One multi-modal object: per-field raw content plus ground-truth
+/// annotations for generated corpora.
+///
+/// As the paper puts it, "a movie's film, poster, and synopsis can be stored
+/// as a singular object with multiple modalities" — `contents` is that
+/// grouping, ordered by the knowledge base's [`crate::ContentSchema`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectRecord {
+    /// Short display title (used by answer generation when citing results).
+    pub title: String,
+    /// Raw content per schema field; `None` marks an absent modality.
+    pub contents: Vec<Option<RawContent>>,
+    /// Hidden concept id for generated corpora (`None` for user-ingested
+    /// data). This is the relevance ground truth of experiments F4/F5/E5/E6.
+    pub concept: Option<u32>,
+    /// Style sub-cluster within the concept (generated corpora only); the
+    /// target of round-2 "more like this one" refinement.
+    pub style: Option<u32>,
+}
+
+impl ObjectRecord {
+    /// Creates a user-ingested record (no ground-truth annotations).
+    pub fn new(title: impl Into<String>, contents: Vec<Option<RawContent>>) -> Self {
+        Self { title: title.into(), contents, concept: None, style: None }
+    }
+
+    /// Content of field `m`, if present.
+    pub fn content(&self, m: usize) -> Option<&RawContent> {
+        self.contents.get(m).and_then(Option::as_ref)
+    }
+
+    /// Number of present (non-`None`) fields.
+    pub fn present_count(&self) -> usize {
+        self.contents.iter().filter(|c| c.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_record_has_no_ground_truth() {
+        let r = ObjectRecord::new("t", vec![Some(RawContent::text("hello")), None]);
+        assert_eq!(r.concept, None);
+        assert_eq!(r.style, None);
+        assert_eq!(r.present_count(), 1);
+        assert!(r.content(0).is_some());
+        assert!(r.content(1).is_none());
+        assert!(r.content(9).is_none());
+    }
+}

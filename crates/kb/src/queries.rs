@@ -1,0 +1,130 @@
+//! Seeded query workloads over generated corpora.
+//!
+//! A [`QueryCase`] scripts one two-round dialogue of the paper's Figure 5
+//! protocol:
+//!
+//! 1. **Round 1** — a text-only request naming the target concept
+//!    ("could you assist me in finding images of foggy clouds?");
+//! 2. the user *selects* one returned object (the harness selects the
+//!    best-matching in-concept result, like the red-marked choice in the
+//!    figure), fixing the target **style**;
+//! 3. **Round 2** — a refinement request carrying both the selected image
+//!    and new text ("more similar images of foggy clouds like this one").
+//!
+//! The workload generator only fixes the *intent* (concept, phrasing);
+//! which object gets selected depends on what the framework under test
+//! returned, so selection lives in the harness, not here.
+
+use crate::datasets::DatasetInfo;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One scripted dialogue intent.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryCase {
+    /// Ground-truth target concept.
+    pub concept: u32,
+    /// Round-1 text request.
+    pub round1_text: String,
+    /// Round-2 refinement text (used together with the selected image).
+    pub round2_text: String,
+}
+
+/// A batch of scripted dialogues.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryWorkload {
+    /// The cases, in generation order.
+    pub cases: Vec<QueryCase>,
+}
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Number of dialogues to script.
+    pub n_queries: usize,
+    /// RNG seed.
+    pub rng_seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Creates a spec.
+    pub fn new(n_queries: usize, rng_seed: u64) -> Self {
+        Self { n_queries, rng_seed }
+    }
+
+    /// Scripts `n_queries` dialogues against the given corpus.
+    ///
+    /// # Panics
+    /// Panics if the dataset has no concepts or `n_queries == 0`.
+    pub fn generate(&self, info: &DatasetInfo) -> QueryWorkload {
+        assert!(self.n_queries > 0, "workload requires at least one query");
+        assert!(!info.concepts.is_empty(), "dataset has no concepts");
+        let mut rng = StdRng::seed_from_u64(self.rng_seed ^ 0x0051_EED5);
+        let round1_templates = [
+            "could you assist me in finding images of {}",
+            "i would like some images of {}",
+            "please show me pictures of {}",
+            "find {} for me",
+        ];
+        let round2_templates = [
+            "i like this one, could you provide more similar images of {}",
+            "could you locate more {} of this type",
+            "more like this one please, {}",
+        ];
+        let cases = (0..self.n_queries)
+            .map(|_| {
+                let concept = rng.gen_range(0..info.concepts.len()) as u32;
+                let phrase = info.concepts[concept as usize].phrase();
+                let t1 = round1_templates[rng.gen_range(0..round1_templates.len())];
+                let t2 = round2_templates[rng.gen_range(0..round2_templates.len())];
+                QueryCase {
+                    concept,
+                    round1_text: t1.replace("{}", &phrase),
+                    round2_text: t2.replace("{}", &phrase),
+                }
+            })
+            .collect();
+        QueryWorkload { cases }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::DatasetSpec;
+
+    fn info() -> DatasetInfo {
+        DatasetSpec::weather().objects(30).concepts(6).seed(1).generate_with_info().1
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let w = WorkloadSpec::new(25, 3).generate(&info());
+        assert_eq!(w.cases.len(), 25);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let i = info();
+        assert_eq!(WorkloadSpec::new(10, 3).generate(&i), WorkloadSpec::new(10, 3).generate(&i));
+        assert_ne!(WorkloadSpec::new(10, 3).generate(&i), WorkloadSpec::new(10, 4).generate(&i));
+    }
+
+    #[test]
+    fn query_text_names_the_concept() {
+        let i = info();
+        let w = WorkloadSpec::new(20, 5).generate(&i);
+        for case in &w.cases {
+            let phrase = i.concepts[case.concept as usize].phrase();
+            assert!(case.round1_text.contains(&phrase), "{:?}", case.round1_text);
+            assert!(case.round2_text.contains(&phrase), "{:?}", case.round2_text);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one query")]
+    fn zero_queries_panics() {
+        WorkloadSpec::new(0, 1).generate(&info());
+    }
+}

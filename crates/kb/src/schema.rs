@@ -1,0 +1,130 @@
+//! Content schema: which modalities a knowledge base's objects carry.
+//!
+//! This is the *raw-content* counterpart of `mqa_vector::Schema` (which
+//! describes embedding spaces). Embedding dimensionalities are not known
+//! until the Vector Representation component picks encoders, so the two
+//! schemas are separate: a [`ContentSchema`] plus per-field encoder choices
+//! determine the vector schema.
+
+use mqa_vector::ModalityKind;
+use serde::{Deserialize, Serialize};
+
+/// One modality field of a knowledge base (e.g. `"synopsis"`: text).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FieldSpec {
+    /// Field name shown in panels (e.g. `"caption"`, `"poster"`).
+    pub name: String,
+    /// Modality kind of the field.
+    pub kind: ModalityKind,
+}
+
+/// Ordered modality fields shared by every object of a knowledge base.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContentSchema {
+    fields: Vec<FieldSpec>,
+    /// Raw descriptor length of image-kind fields (all image fields of one
+    /// knowledge base share a descriptor format).
+    raw_image_dim: usize,
+}
+
+impl ContentSchema {
+    /// Builds a schema.
+    ///
+    /// # Panics
+    /// Panics if `fields` is empty, or if an image field is declared with
+    /// `raw_image_dim == 0`.
+    pub fn new(fields: Vec<FieldSpec>, raw_image_dim: usize) -> Self {
+        assert!(!fields.is_empty(), "content schema requires at least one field");
+        let has_image = fields
+            .iter()
+            .any(|f| matches!(f.kind, ModalityKind::Image | ModalityKind::Video));
+        assert!(
+            !has_image || raw_image_dim > 0,
+            "image fields require a non-zero raw descriptor dimension"
+        );
+        Self { fields, raw_image_dim }
+    }
+
+    /// The classic caption+image schema used by the paper's scenarios.
+    pub fn caption_image(raw_image_dim: usize) -> Self {
+        Self::new(
+            vec![
+                FieldSpec { name: "caption".into(), kind: ModalityKind::Text },
+                FieldSpec { name: "image".into(), kind: ModalityKind::Image },
+            ],
+            raw_image_dim,
+        )
+    }
+
+    /// Number of modality fields.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// The fields in schema order.
+    pub fn fields(&self) -> &[FieldSpec] {
+        &self.fields
+    }
+
+    /// Raw image descriptor length.
+    pub fn raw_image_dim(&self) -> usize {
+        self.raw_image_dim
+    }
+
+    /// Index of the field with the given name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Index of the first field of `kind`, if any.
+    pub fn first_of_kind(&self, kind: ModalityKind) -> Option<usize> {
+        self.fields.iter().position(|f| f.kind == kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caption_image_layout() {
+        let s = ContentSchema::caption_image(64);
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.index_of("caption"), Some(0));
+        assert_eq!(s.first_of_kind(ModalityKind::Image), Some(1));
+        assert_eq!(s.raw_image_dim(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one field")]
+    fn empty_fields_panic() {
+        ContentSchema::new(vec![], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "raw descriptor")]
+    fn image_without_raw_dim_panics() {
+        ContentSchema::new(
+            vec![FieldSpec { name: "img".into(), kind: ModalityKind::Image }],
+            0,
+        );
+    }
+
+    #[test]
+    fn text_only_schema_allows_zero_raw_dim() {
+        let s = ContentSchema::new(
+            vec![FieldSpec { name: "body".into(), kind: ModalityKind::Text }],
+            0,
+        );
+        assert_eq!(s.arity(), 1);
+        assert_eq!(s.first_of_kind(ModalityKind::Image), None);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = ContentSchema::caption_image(16);
+        let j = serde_json::to_string(&s).unwrap();
+        let back: ContentSchema = serde_json::from_str(&j).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,164 @@
+//! Corpus statistics for the Data Preprocessing milestone.
+//!
+//! The status panel's "relevant details" for preprocessing go beyond raw
+//! counts: modality coverage, caption length distribution, and label
+//! balance all matter when judging whether a knowledge base is ready for
+//! indexing (heavily skewed label balance starves weight-learning triplet
+//! sampling; low modality coverage weakens fused retrieval).
+
+use crate::base::KnowledgeBase;
+use mqa_encoders::RawContent;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Aggregate statistics of one knowledge base.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusStats {
+    /// Objects in the base.
+    pub objects: usize,
+    /// Schema modality count.
+    pub modalities: usize,
+    /// Per-modality presence counts (`present[m]` = objects carrying
+    /// modality `m`).
+    pub present: Vec<usize>,
+    /// Mean caption length in tokens, over all text/audio fields.
+    pub mean_caption_tokens: f64,
+    /// Min/max caption token lengths.
+    pub caption_token_range: (usize, usize),
+    /// Number of distinct concept labels (0 for unlabelled corpora).
+    pub concepts: usize,
+    /// Size of the smallest and largest concept (0, 0) when unlabelled.
+    pub concept_balance: (usize, usize),
+}
+
+impl CorpusStats {
+    /// Computes the statistics.
+    ///
+    /// # Panics
+    /// Panics on an empty base (preprocessing rejects those earlier).
+    pub fn compute(kb: &KnowledgeBase) -> Self {
+        assert!(!kb.is_empty(), "statistics of an empty knowledge base");
+        let modalities = kb.schema().arity();
+        let mut present = vec![0usize; modalities];
+        let mut caption_tokens = Vec::new();
+        let mut concept_counts: HashMap<u32, usize> = HashMap::new();
+        for (_, r) in kb.iter() {
+            for (m, slot) in present.iter_mut().enumerate() {
+                if r.content(m).is_some() {
+                    *slot += 1;
+                }
+            }
+            for slot in &r.contents {
+                if let Some(RawContent::Text(t)) | Some(RawContent::Audio(t)) = slot {
+                    caption_tokens.push(t.split_whitespace().count());
+                }
+            }
+            if let Some(c) = r.concept {
+                *concept_counts.entry(c).or_insert(0) += 1;
+            }
+        }
+        let (mean, range) = if caption_tokens.is_empty() {
+            (0.0, (0, 0))
+        } else {
+            let sum: usize = caption_tokens.iter().sum();
+            (
+                sum as f64 / caption_tokens.len() as f64,
+                (
+                    *caption_tokens.iter().min().expect("non-empty"),
+                    *caption_tokens.iter().max().expect("non-empty"),
+                ),
+            )
+        };
+        let balance = if concept_counts.is_empty() {
+            (0, 0)
+        } else {
+            (
+                *concept_counts.values().min().expect("non-empty"),
+                *concept_counts.values().max().expect("non-empty"),
+            )
+        };
+        Self {
+            objects: kb.len(),
+            modalities,
+            present,
+            mean_caption_tokens: mean,
+            caption_token_range: range,
+            concepts: concept_counts.len(),
+            concept_balance: balance,
+        }
+    }
+
+    /// One-line panel summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} objects · {} modalities (coverage {}) · captions {:.1} tokens (min {}, max {}) · {} concepts (sizes {}–{})",
+            self.objects,
+            self.modalities,
+            self.present
+                .iter()
+                .map(|p| format!("{:.0}%", 100.0 * *p as f64 / self.objects as f64))
+                .collect::<Vec<_>>()
+                .join("/"),
+            self.mean_caption_tokens,
+            self.caption_token_range.0,
+            self.caption_token_range.1,
+            self.concepts,
+            self.concept_balance.0,
+            self.concept_balance.1,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::DatasetSpec;
+    use crate::object::ObjectRecord;
+    use crate::schema::ContentSchema;
+
+    #[test]
+    fn stats_of_generated_corpus() {
+        let kb = DatasetSpec::weather().objects(60).concepts(6).seed(1).generate();
+        let s = CorpusStats::compute(&kb);
+        assert_eq!(s.objects, 60);
+        assert_eq!(s.modalities, 2);
+        assert_eq!(s.present, vec![60, 60]);
+        assert_eq!(s.concepts, 6);
+        assert_eq!(s.concept_balance, (10, 10)); // round-robin assignment
+        assert!(s.mean_caption_tokens >= 3.0);
+        assert!(s.caption_token_range.0 <= s.caption_token_range.1);
+    }
+
+    #[test]
+    fn stats_of_partial_unlabelled_corpus() {
+        let mut kb = KnowledgeBase::new("user", ContentSchema::caption_image(4));
+        kb.ingest(ObjectRecord::new(
+            "a",
+            vec![Some(RawContent::text("two words")), None],
+        ))
+        .unwrap();
+        kb.ingest(ObjectRecord::new(
+            "b",
+            vec![
+                Some(RawContent::text("one two three four")),
+                Some(RawContent::Image(mqa_encoders::ImageData::new(vec![0.0; 4]))),
+            ],
+        ))
+        .unwrap();
+        let s = CorpusStats::compute(&kb);
+        assert_eq!(s.present, vec![2, 1]);
+        assert_eq!(s.concepts, 0);
+        assert_eq!(s.concept_balance, (0, 0));
+        assert_eq!(s.caption_token_range, (2, 4));
+        assert!((s.mean_caption_tokens - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_is_informative() {
+        let kb = DatasetSpec::fashion().objects(20).concepts(4).seed(2).generate();
+        let text = CorpusStats::compute(&kb).summary();
+        assert!(text.contains("20 objects"));
+        assert!(text.contains("4 concepts"));
+        assert!(text.contains("100%/100%"));
+    }
+}

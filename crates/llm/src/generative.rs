@@ -1,0 +1,133 @@
+//! The generative-image baseline (DALL·E 2 stand-in of Figure 5).
+//!
+//! Given query text, produce an *image* — not retrieve one. The stand-in
+//! "renders" the text through a seeded cross-modal projection from a hashed
+//! token space into raw descriptor space, then adds generation noise. Two
+//! properties matter for the comparison and both hold by construction:
+//!
+//! * determinism in `(seed, text)` at zero noise, variation with noise —
+//!   like diffusion sampling;
+//! * outputs are **not** members of any knowledge base: the F5 harness
+//!   measures the distance from generated descriptors to their nearest
+//!   corpus image and finds a gap no retrieved result has — the paper's
+//!   "miss a touch of realism", made quantitative.
+
+use mqa_encoders::ImageData;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Size of the hashed token space the renderer projects from.
+const TOKEN_SPACE: usize = 1 << 16;
+
+/// The text→image generator.
+#[derive(Debug, Clone, Copy)]
+pub struct GenerativeImageModel {
+    seed: u64,
+    raw_dim: usize,
+    noise: f32,
+}
+
+impl GenerativeImageModel {
+    /// Creates a generator producing `raw_dim`-length descriptors with the
+    /// given generation-noise magnitude.
+    ///
+    /// # Panics
+    /// Panics if `raw_dim == 0` or `noise` is negative.
+    pub fn new(seed: u64, raw_dim: usize, noise: f32) -> Self {
+        assert!(raw_dim > 0, "descriptor dimension must be non-zero");
+        assert!(noise >= 0.0, "noise must be non-negative");
+        Self { seed, raw_dim, noise }
+    }
+
+    /// Output descriptor length.
+    pub fn raw_dim(&self) -> usize {
+        self.raw_dim
+    }
+
+    /// "Renders" `text` into an image descriptor. `sample` distinguishes
+    /// multiple generations for the same text (DALL·E returns several
+    /// candidates per prompt).
+    pub fn generate(&self, text: &str, sample: u64) -> ImageData {
+        let mut acc = vec![0.0f32; self.raw_dim];
+        let mut n_tokens = 0usize;
+        for token in text.to_lowercase().split(|c: char| !c.is_alphanumeric()) {
+            if token.is_empty() {
+                continue;
+            }
+            n_tokens += 1;
+            let mut h = self.seed ^ 0x00DA_11E2;
+            for b in token.as_bytes() {
+                h = h.wrapping_mul(0x100_0000_01B3).wrapping_add(*b as u64);
+            }
+            let tok_id = (h as usize) % TOKEN_SPACE;
+            // Deterministic per-token direction in descriptor space.
+            let mut rng = StdRng::seed_from_u64(self.seed ^ tok_id as u64);
+            for a in acc.iter_mut() {
+                *a += rng.gen_range(-1.0..1.0f32);
+            }
+        }
+        if n_tokens > 0 {
+            for a in acc.iter_mut() {
+                *a /= n_tokens as f32;
+            }
+        }
+        // Generation noise, varied by sample index.
+        let mut noise_rng = StdRng::seed_from_u64(self.seed ^ 0x5A3F ^ sample);
+        for a in acc.iter_mut() {
+            *a += self.noise * noise_rng.gen_range(-1.0..1.0f32);
+        }
+        ImageData::new(acc)
+    }
+
+    /// Generates `n` candidate images for one prompt.
+    pub fn generate_batch(&self, text: &str, n: usize) -> Vec<ImageData> {
+        (0..n as u64).map(|s| self.generate(text, s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqa_vector::ops;
+
+    #[test]
+    fn deterministic_per_sample() {
+        let g = GenerativeImageModel::new(1, 16, 0.2);
+        assert_eq!(g.generate("foggy clouds", 0), g.generate("foggy clouds", 0));
+        assert_ne!(
+            g.generate("foggy clouds", 0).features(),
+            g.generate("foggy clouds", 1).features()
+        );
+    }
+
+    #[test]
+    fn same_text_different_noise_samples_stay_related() {
+        let g = GenerativeImageModel::new(2, 32, 0.1);
+        let a = g.generate("golden sunset coast", 0);
+        let b = g.generate("golden sunset coast", 1);
+        let c = g.generate("gritty western seventies", 0);
+        let dab = ops::l2_sq(a.features(), b.features());
+        let dac = ops::l2_sq(a.features(), c.features());
+        assert!(dab < dac, "same-prompt samples should be closer ({dab} vs {dac})");
+    }
+
+    #[test]
+    fn empty_text_is_pure_noise() {
+        let g = GenerativeImageModel::new(3, 8, 0.5);
+        let img = g.generate("", 0);
+        assert_eq!(img.raw_dim(), 8);
+        assert!(img.features().iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn batch_has_requested_size() {
+        let g = GenerativeImageModel::new(4, 8, 0.3);
+        assert_eq!(g.generate_batch("clouds", 3).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dim_panics() {
+        GenerativeImageModel::new(1, 0, 0.1);
+    }
+}

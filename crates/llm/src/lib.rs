@@ -1,0 +1,41 @@
+//! # mqa-llm
+//!
+//! The Answer Generation layer of MQA: prompt assembly over retrieved
+//! context, a pluggable [`LanguageModel`] trait with temperature control,
+//! and the generative-image baseline the paper compares against
+//! (GPT-4 + DALL·E 2 in Figure 5).
+//!
+//! ## Substitution note (see DESIGN.md §2)
+//!
+//! Commercial LLM endpoints are unavailable here, so [`mock::MockChatModel`]
+//! stands in. It preserves the properties the system actually depends on:
+//!
+//! * **Grounded generation** — when the prompt carries retrieved context,
+//!   the reply cites only retrieved objects (titles, captions, preference
+//!   markers), i.e. it is *factually consistent* with the knowledge base;
+//! * **Hallucination without retrieval** — with the knowledge base
+//!   disabled (the paper's "external knowledge ingestion is optional"
+//!   setting), replies are fabricated from the model's "parametric memory"
+//!   (seeded vocabulary sampling) and measurably diverge from the corpus —
+//!   the failure mode retrieval augmentation exists to fix;
+//! * **Temperature** — `0.0` is deterministic; higher values sample among
+//!   phrasing variants with a seeded RNG, like the panel's temperature
+//!   slider.
+//!
+//! [`generative::GenerativeImageModel`] plays DALL·E 2: it "renders" query
+//! text into an image *descriptor* via a seeded cross-modal projection. Its
+//! outputs are deliberately not members of any knowledge base — Figure 5's
+//! observation that generated images "miss a touch of realism" becomes a
+//! measurable distance-to-corpus gap (F5 harness).
+
+pub mod generative;
+pub mod mock;
+pub mod model;
+pub mod prompt;
+pub mod sampling;
+
+pub use generative::GenerativeImageModel;
+pub use mock::MockChatModel;
+pub use model::{Completion, LanguageModel, LlmChoice};
+pub use prompt::{ContextEntry, Prompt};
+pub use sampling::TemperatureSampler;

@@ -1,0 +1,194 @@
+//! The deterministic mock chat model.
+
+use crate::model::{Completion, LanguageModel};
+use crate::prompt::Prompt;
+use crate::sampling::TemperatureSampler;
+
+/// Vocabulary the mock draws on when it must answer *without* retrieval —
+/// its "parametric memory". Deliberately generic and plausible-sounding:
+/// ungrounded answers read fine but cite attributes no knowledge base ever
+/// stored, which is precisely the hallucination failure retrieval
+/// augmentation prevents.
+const PARAMETRIC_WORDS: &[&str] = &[
+    "vintage", "handcrafted", "limited", "signature", "premium", "bespoke", "artisanal",
+    "iconic", "exclusive", "heritage", "curated", "timeless", "renowned", "celebrated",
+];
+
+/// Grounded reply openers, preference-ordered for temperature sampling.
+const GROUNDED_OPENERS: &[&str] = &[
+    "Here is what I found in the knowledge base",
+    "These results from the knowledge base match your request",
+    "I retrieved the following matching items",
+    "Based on the indexed collection, these fit best",
+];
+
+/// Ungrounded reply openers.
+const BARE_OPENERS: &[&str] = &[
+    "Without a connected knowledge base, speaking from general knowledge",
+    "I don't have your collection loaded, but generally",
+    "From what I recall",
+];
+
+/// A deterministic retrieval-grounded chat model.
+///
+/// With context, the reply summarizes the retrieved objects in rank order,
+/// echoes preference markers, and invites refinement (the paper's
+/// "iterative refinement process"). Without context it fabricates — see
+/// `PARAMETRIC_WORDS`.
+#[derive(Debug, Clone, Copy)]
+pub struct MockChatModel {
+    seed: u64,
+}
+
+impl MockChatModel {
+    /// Creates the model with a generation seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    fn prompt_seed(&self, prompt: &Prompt) -> u64 {
+        // Mix the prompt text into the seed so different prompts sample
+        // different variants at nonzero temperature.
+        let mut h = self.seed ^ 0x00C0_FFEE;
+        for b in prompt.render().bytes() {
+            h = h.wrapping_mul(0x100_0000_01B3).wrapping_add(b as u64);
+        }
+        h
+    }
+}
+
+impl LanguageModel for MockChatModel {
+    fn name(&self) -> &str {
+        "mock-chat"
+    }
+
+    fn generate(&self, prompt: &Prompt, temperature: f32) -> Completion {
+        let mut sampler = TemperatureSampler::new(self.prompt_seed(prompt), temperature);
+        let mut text = String::new();
+        if prompt.is_grounded() {
+            text.push_str(sampler.choose::<&str>(GROUNDED_OPENERS));
+            text.push_str(&format!(" for \"{}\":\n", prompt.query));
+            for (rank, e) in prompt.context.iter().enumerate() {
+                let marker = if e.preferred { " ★ (your earlier pick)" } else { "" };
+                text.push_str(&format!(
+                    "{}. {} — {}{}\n",
+                    rank + 1,
+                    e.title,
+                    e.snippet,
+                    marker
+                ));
+            }
+            let closers = [
+                "Click any result to refine the search with it.",
+                "Select one and tell me what to adjust.",
+                "Pick a favourite and I will find more like it.",
+            ];
+            text.push_str(sampler.choose::<&str>(&closers));
+        } else {
+            text.push_str(sampler.choose::<&str>(BARE_OPENERS));
+            text.push_str(&format!(", regarding \"{}\": ", prompt.query));
+            // Fabricate three *distinct* plausible-sounding attributes.
+            let mut attrs: Vec<&str> = Vec::with_capacity(3);
+            while attrs.len() < 3 {
+                let idx = (sampler.pick(PARAMETRIC_WORDS.len()) + attrs.len() * 5)
+                    % PARAMETRIC_WORDS.len();
+                let w = PARAMETRIC_WORDS[idx];
+                if !attrs.contains(&w) {
+                    attrs.push(w);
+                }
+            }
+            text.push_str(&format!(
+                "you might look for {} options, often described as {} or {}. \
+                 (No knowledge base is connected, so I cannot cite real items.)",
+                attrs[0], attrs[1], attrs[2]
+            ));
+        }
+        Completion {
+            grounded: prompt.is_grounded(),
+            tokens: prompt.token_count() + text.split_whitespace().count(),
+            text,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prompt::ContextEntry;
+
+    fn context() -> Vec<ContextEntry> {
+        vec![
+            ContextEntry {
+                id: 4,
+                title: "foggy clouds mountain #4".into(),
+                snippet: "foggy clouds over a mountain ridge".into(),
+                distance: 0.2,
+                preferred: false,
+            },
+            ContextEntry {
+                id: 9,
+                title: "foggy clouds coast #9".into(),
+                snippet: "soft fog rolling over the coast".into(),
+                distance: 0.3,
+                preferred: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn grounded_reply_cites_all_results_in_order() {
+        let m = MockChatModel::new(1);
+        let p = Prompt::with_context("foggy clouds", context());
+        let c = m.generate(&p, 0.0);
+        assert!(c.grounded);
+        let first = c.text.find("foggy clouds mountain #4").unwrap();
+        let second = c.text.find("foggy clouds coast #9").unwrap();
+        assert!(first < second);
+        assert!(c.text.contains("★"), "preference marker missing");
+        assert!(c.tokens > 0);
+    }
+
+    #[test]
+    fn zero_temperature_is_deterministic() {
+        let m = MockChatModel::new(1);
+        let p = Prompt::with_context("q", context());
+        assert_eq!(m.generate(&p, 0.0), m.generate(&p, 0.0));
+    }
+
+    #[test]
+    fn high_temperature_varies_across_prompts() {
+        let m = MockChatModel::new(1);
+        let a = m.generate(&Prompt::with_context("query one", context()), 5.0);
+        let b = m.generate(&Prompt::with_context("query two", context()), 5.0);
+        // different prompts mix different seeds; the texts must differ
+        // beyond the echoed query
+        assert_ne!(a.text.replace("query one", ""), b.text.replace("query two", ""));
+    }
+
+    #[test]
+    fn ungrounded_reply_hallucinates_parametric_words() {
+        let m = MockChatModel::new(2);
+        let c = m.generate(&Prompt::bare("long-sleeved top"), 0.0);
+        assert!(!c.grounded);
+        assert!(
+            PARAMETRIC_WORDS.iter().any(|w| c.text.contains(w)),
+            "expected fabricated attributes in: {}",
+            c.text
+        );
+        assert!(c.text.contains("cannot cite real items"));
+    }
+
+    #[test]
+    fn grounded_reply_does_not_fabricate() {
+        let m = MockChatModel::new(3);
+        let p = Prompt::with_context("foggy clouds", context());
+        let c = m.generate(&p, 0.0);
+        // No parametric vocabulary may leak into grounded replies.
+        assert!(!PARAMETRIC_WORDS.iter().any(|w| c.text.contains(w)), "{}", c.text);
+    }
+
+    #[test]
+    fn model_name() {
+        assert_eq!(MockChatModel::new(0).name(), "mock-chat");
+    }
+}

@@ -1,0 +1,67 @@
+//! The pluggable language-model interface.
+
+use crate::prompt::Prompt;
+use serde::{Deserialize, Serialize};
+
+/// A generated reply.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Completion {
+    /// The reply text shown in the QA panel.
+    pub text: String,
+    /// Whether the reply was grounded in retrieved context (false =
+    /// parametric-only generation, at risk of hallucination).
+    pub grounded: bool,
+    /// Rough token count of prompt + reply (whitespace tokens; the mock's
+    /// accounting knob, mirroring usage metering of hosted models).
+    pub tokens: usize,
+}
+
+/// A conversational model that turns a [`Prompt`] into a [`Completion`].
+///
+/// The configuration panel's "LLM" dropdown selects an implementation;
+/// `None` is also valid system-wide (the paper: "in the absence of an
+/// available LLM, users can still carry out a multi-modal QA procedure
+/// through direct engagement with the query execution module").
+pub trait LanguageModel: Send + Sync {
+    /// Model name for the status panel.
+    fn name(&self) -> &str;
+
+    /// Generates a reply at the given temperature (`0.0` = deterministic).
+    fn generate(&self, prompt: &Prompt, temperature: f32) -> Completion;
+}
+
+/// Serializable LLM selection for the configuration panel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LlmChoice {
+    /// No LLM: answers come straight from the query-execution module.
+    None,
+    /// The deterministic mock chat model with the given seed.
+    Mock {
+        /// Generation seed.
+        seed: u64,
+    },
+}
+
+impl LlmChoice {
+    /// Panel display name.
+    pub fn display_name(&self) -> &'static str {
+        match self {
+            LlmChoice::None => "none",
+            LlmChoice::Mock { .. } => "mock-chat",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn choice_serde_round_trip() {
+        for c in [LlmChoice::None, LlmChoice::Mock { seed: 3 }] {
+            let j = serde_json::to_string(&c).unwrap();
+            assert_eq!(serde_json::from_str::<LlmChoice>(&j).unwrap(), c);
+        }
+        assert_eq!(LlmChoice::Mock { seed: 0 }.display_name(), "mock-chat");
+    }
+}

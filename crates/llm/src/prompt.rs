@@ -1,0 +1,134 @@
+//! Prompt assembly: the user query plus retrieved context.
+//!
+//! The paper's answer-generation flow: "the user's query is simultaneously
+//! dispatched to both the query execution module and the LLM as a prompt.
+//! The search results from the query execution module are then redirected
+//! to the LLM. The final user response is a summary from the LLM." The
+//! [`Prompt`] type is that redirected bundle.
+
+use serde::{Deserialize, Serialize};
+
+/// One retrieved object as presented to the model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContextEntry {
+    /// Object id in the knowledge base (for citation back-links).
+    pub id: u32,
+    /// Object title.
+    pub title: String,
+    /// Caption / synopsis snippet.
+    pub snippet: String,
+    /// Retrieval distance (lower = more relevant).
+    pub distance: f32,
+    /// Whether the user marked this object as preferred in an earlier
+    /// round (the red-marked choice of Figure 5).
+    pub preferred: bool,
+}
+
+/// The assembled prompt.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Prompt {
+    /// The user's current request text.
+    pub query: String,
+    /// Retrieved context, rank order. Empty = knowledge base disabled.
+    pub context: Vec<ContextEntry>,
+    /// Texts of earlier dialogue turns, oldest first.
+    pub history: Vec<String>,
+}
+
+impl Prompt {
+    /// A prompt with no retrieval context (LLM-only mode).
+    pub fn bare(query: impl Into<String>) -> Self {
+        Self { query: query.into(), context: Vec::new(), history: Vec::new() }
+    }
+
+    /// A prompt with retrieved context.
+    pub fn with_context(query: impl Into<String>, context: Vec<ContextEntry>) -> Self {
+        Self { query: query.into(), context, history: Vec::new() }
+    }
+
+    /// Appends a dialogue-history turn.
+    pub fn push_history(&mut self, turn: impl Into<String>) {
+        self.history.push(turn.into());
+    }
+
+    /// Whether retrieval context is present.
+    pub fn is_grounded(&self) -> bool {
+        !self.context.is_empty()
+    }
+
+    /// Flat text rendering (what a hosted model would receive), used by
+    /// the mock for token accounting and seeding.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for h in &self.history {
+            out.push_str("previous: ");
+            out.push_str(h);
+            out.push('\n');
+        }
+        out.push_str("user: ");
+        out.push_str(&self.query);
+        out.push('\n');
+        for (i, e) in self.context.iter().enumerate() {
+            out.push_str(&format!(
+                "context[{i}] (d={:.3}{}): {} — {}\n",
+                e.distance,
+                if e.preferred { ", preferred" } else { "" },
+                e.title,
+                e.snippet
+            ));
+        }
+        out
+    }
+
+    /// Whitespace token count of the rendered prompt.
+    pub fn token_count(&self) -> usize {
+        self.render().split_whitespace().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: u32, preferred: bool) -> ContextEntry {
+        ContextEntry {
+            id,
+            title: format!("object {id}"),
+            snippet: "a caption".to_string(),
+            distance: 0.5,
+            preferred,
+        }
+    }
+
+    #[test]
+    fn bare_prompt_is_ungrounded() {
+        let p = Prompt::bare("hello");
+        assert!(!p.is_grounded());
+        assert!(p.render().contains("user: hello"));
+    }
+
+    #[test]
+    fn context_rendering_marks_preference() {
+        let p = Prompt::with_context("q", vec![entry(1, false), entry(2, true)]);
+        assert!(p.is_grounded());
+        let r = p.render();
+        assert!(r.contains("context[0]"));
+        assert!(r.contains("preferred"));
+        assert!(r.contains("object 2"));
+    }
+
+    #[test]
+    fn history_precedes_query() {
+        let mut p = Prompt::bare("second");
+        p.push_history("first");
+        let r = p.render();
+        let hist_pos = r.find("previous: first").unwrap();
+        let q_pos = r.find("user: second").unwrap();
+        assert!(hist_pos < q_pos);
+    }
+
+    #[test]
+    fn token_count_positive() {
+        assert!(Prompt::bare("three word query").token_count() >= 4);
+    }
+}

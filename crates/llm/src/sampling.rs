@@ -1,0 +1,118 @@
+//! Temperature-controlled choice among generation variants.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic, seeded variant sampler with a temperature knob.
+///
+/// Variants are implicitly preference-ordered (index 0 is the model's
+/// argmax). At temperature `0` the sampler always picks index 0; as
+/// temperature grows, the softmax over preference scores flattens and
+/// later variants become reachable — the same control surface as a hosted
+/// model's temperature parameter.
+#[derive(Debug, Clone)]
+pub struct TemperatureSampler {
+    rng: StdRng,
+    temperature: f32,
+}
+
+impl TemperatureSampler {
+    /// Creates a sampler.
+    ///
+    /// # Panics
+    /// Panics if `temperature` is negative or not finite.
+    pub fn new(seed: u64, temperature: f32) -> Self {
+        assert!(
+            temperature.is_finite() && temperature >= 0.0,
+            "temperature must be a finite non-negative number"
+        );
+        Self { rng: StdRng::seed_from_u64(seed ^ 0x007E_3A11), temperature }
+    }
+
+    /// The configured temperature.
+    pub fn temperature(&self) -> f32 {
+        self.temperature
+    }
+
+    /// Picks an index in `0..n` (preference-ordered).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn pick(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot sample from zero variants");
+        if n == 1 || self.temperature == 0.0 {
+            return 0;
+        }
+        // Preference score of variant i is -i; softmax with temperature.
+        let weights: Vec<f32> =
+            (0..n).map(|i| (-(i as f32) / self.temperature).exp()).collect();
+        let total: f32 = weights.iter().sum();
+        let mut x = self.rng.gen_range(0.0..total);
+        for (i, w) in weights.iter().enumerate() {
+            if x < *w {
+                return i;
+            }
+            x -= w;
+        }
+        n - 1
+    }
+
+    /// Picks one element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, variants: &'a [T]) -> &'a T {
+        &variants[self.pick(variants.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_temperature_is_argmax() {
+        let mut s = TemperatureSampler::new(1, 0.0);
+        for _ in 0..20 {
+            assert_eq!(s.pick(5), 0);
+        }
+    }
+
+    #[test]
+    fn high_temperature_spreads_choices() {
+        let mut s = TemperatureSampler::new(2, 10.0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(s.pick(4));
+        }
+        assert!(seen.len() >= 3, "high temperature stuck on {seen:?}");
+    }
+
+    #[test]
+    fn low_temperature_prefers_early_variants() {
+        let mut s = TemperatureSampler::new(3, 0.3);
+        let mut counts = [0usize; 4];
+        for _ in 0..500 {
+            counts[s.pick(4)] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] >= counts[3]);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let picks =
+            |seed| -> Vec<usize> { let mut s = TemperatureSampler::new(seed, 1.0); (0..10).map(|_| s.pick(5)).collect() };
+        assert_eq!(picks(7), picks(7));
+        assert_ne!(picks(7), picks(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero variants")]
+    fn zero_variants_panics() {
+        TemperatureSampler::new(1, 1.0).pick(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_temperature_panics() {
+        TemperatureSampler::new(1, -1.0);
+    }
+}

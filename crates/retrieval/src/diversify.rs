@@ -1,0 +1,154 @@
+//! Result diversification: Maximal Marginal Relevance (MMR) re-ranking.
+//!
+//! A QA panel that shows `k` images should not show `k` near-duplicates:
+//! the user refines by *clicking*, and clicks need visually distinct
+//! options to be informative. MMR re-orders an over-fetched candidate list
+//! by repeatedly picking the candidate that maximizes
+//!
+//! ```text
+//! λ · relevance(c)  −  (1 − λ) · max_similarity(c, already picked)
+//! ```
+//!
+//! with relevance and similarity both derived from the fused weighted
+//! distance. `λ = 1` reduces to plain ranking; lower values trade a little
+//! relevance for spread.
+
+use mqa_vector::{Candidate, Metric, MultiVectorStore, Weights};
+
+/// Re-ranks `candidates` (ascending distance, as produced by any
+/// framework) into a diversified top-`k` under the MMR criterion.
+///
+/// # Panics
+/// Panics if `lambda` is outside `[0, 1]` or `k == 0`.
+pub fn mmr_diversify(
+    store: &MultiVectorStore,
+    weights: &Weights,
+    metric: Metric,
+    candidates: &[Candidate],
+    k: usize,
+    lambda: f32,
+) -> Vec<Candidate> {
+    assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0, 1]");
+    assert!(k > 0, "k must be >= 1");
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    // Normalize relevance to [0, 1] over the candidate pool (distances are
+    // unbounded); similarity reuses the same scale.
+    let d_min = candidates.iter().map(|c| c.dist).fold(f32::INFINITY, f32::min);
+    let d_max = candidates.iter().map(|c| c.dist).fold(f32::NEG_INFINITY, f32::max);
+    let span = (d_max - d_min).max(1e-6);
+    let relevance = |c: &Candidate| 1.0 - (c.dist - d_min) / span;
+
+    let pair_dist = |a: u32, b: u32| {
+        store
+            .multivector_of(a)
+            .fused_distance(&store.multivector_of(b), weights, metric)
+    };
+
+    let mut remaining: Vec<Candidate> = candidates.to_vec();
+    let mut picked: Vec<Candidate> = Vec::with_capacity(k);
+    // Cache the pool's internal distance scale for similarity normalization.
+    let mut pool_scale = 0.0f32;
+    for (i, a) in candidates.iter().enumerate().take(8) {
+        for b in candidates.iter().skip(i + 1).take(8) {
+            pool_scale = pool_scale.max(pair_dist(a.id, b.id));
+        }
+    }
+    let pool_scale = pool_scale.max(1e-6);
+
+    while picked.len() < k && !remaining.is_empty() {
+        let mut best_idx = 0usize;
+        let mut best_score = f32::NEG_INFINITY;
+        for (i, c) in remaining.iter().enumerate() {
+            let max_sim = picked
+                .iter()
+                .map(|p| 1.0 - (pair_dist(c.id, p.id) / pool_scale).min(1.0))
+                .fold(0.0f32, f32::max);
+            let score = lambda * relevance(c) - (1.0 - lambda) * max_sim;
+            if score > best_score {
+                best_score = score;
+                best_idx = i;
+            }
+        }
+        picked.push(remaining.swap_remove(best_idx));
+    }
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqa_vector::{MultiVector, Schema};
+
+    /// A pool with two tight duplicate groups and one singleton.
+    fn setup() -> (MultiVectorStore, Vec<Candidate>) {
+        let schema = Schema::text_image(2, 2);
+        let mut store = MultiVectorStore::new(schema.clone());
+        let mut push = |t: [f32; 2], i: [f32; 2]| {
+            store.push(&MultiVector::complete(&schema, vec![t.to_vec(), i.to_vec()]))
+        };
+        // group A (ids 0-2): near-identical, most relevant
+        push([0.0, 0.0], [0.0, 0.0]);
+        push([0.01, 0.0], [0.0, 0.01]);
+        push([0.0, 0.02], [0.02, 0.0]);
+        // group B (ids 3-4): a different region, slightly less relevant
+        push([2.0, 2.0], [2.0, 2.0]);
+        push([2.02, 2.0], [2.0, 2.01]);
+        // singleton (id 5): least relevant
+        push([4.0, 4.0], [4.0, 4.0]);
+        let candidates = vec![
+            Candidate::new(0, 0.10),
+            Candidate::new(1, 0.11),
+            Candidate::new(2, 0.12),
+            Candidate::new(3, 0.50),
+            Candidate::new(4, 0.51),
+            Candidate::new(5, 0.90),
+        ];
+        (store, candidates)
+    }
+
+    #[test]
+    fn lambda_one_keeps_plain_ranking() {
+        let (store, cands) = setup();
+        let out = mmr_diversify(&store, &Weights::uniform(2), Metric::L2, &cands, 3, 1.0);
+        let ids: Vec<u32> = out.iter().map(|c| c.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn moderate_lambda_spreads_over_groups() {
+        let (store, cands) = setup();
+        let out = mmr_diversify(&store, &Weights::uniform(2), Metric::L2, &cands, 3, 0.5);
+        let ids: Vec<u32> = out.iter().map(|c| c.id).collect();
+        // first pick is the most relevant; later picks leave group A
+        assert_eq!(ids[0], 0);
+        assert!(
+            ids.iter().any(|&id| id >= 3),
+            "no out-of-group pick in {ids:?}"
+        );
+        // and do not contain all three near-duplicates
+        let dups = ids.iter().filter(|&&id| id <= 2).count();
+        assert!(dups < 3, "still all duplicates: {ids:?}");
+    }
+
+    #[test]
+    fn k_larger_than_pool_returns_all() {
+        let (store, cands) = setup();
+        let out = mmr_diversify(&store, &Weights::uniform(2), Metric::L2, &cands, 50, 0.7);
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    fn empty_pool_is_empty() {
+        let (store, _) = setup();
+        assert!(mmr_diversify(&store, &Weights::uniform(2), Metric::L2, &[], 3, 0.5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn bad_lambda_panics() {
+        let (store, cands) = setup();
+        mmr_diversify(&store, &Weights::uniform(2), Metric::L2, &cands, 3, 1.5);
+    }
+}

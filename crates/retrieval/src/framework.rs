@@ -1,0 +1,67 @@
+//! The framework trait and its configuration-panel enum.
+
+use crate::query::MultiModalQuery;
+use crate::result::RetrievalOutput;
+use serde::{Deserialize, Serialize};
+
+/// The retrieval-framework options of the configuration panel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum FrameworkKind {
+    /// The paper's framework (multi-vector, learned weights, unified graph,
+    /// merging-free search).
+    #[default]
+    Must,
+    /// Multi-streamed Retrieval: per-modality indexes + merge + rerank.
+    Mr,
+    /// Joint Embedding: one jointly encoded vector per object.
+    Je,
+}
+
+impl FrameworkKind {
+    /// Panel display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FrameworkKind::Must => "MUST",
+            FrameworkKind::Mr => "MR",
+            FrameworkKind::Je => "JE",
+        }
+    }
+}
+
+/// A retrieval framework over one encoded corpus.
+pub trait RetrievalFramework: Send + Sync {
+    /// Which framework this is.
+    fn kind(&self) -> FrameworkKind;
+
+    /// Retrieves the `k` objects most relevant to `query`, with search
+    /// effort `ef` (beam width; frameworks clamp to `>= k`).
+    ///
+    /// # Panics
+    /// Implementations panic on an empty query (`query.has_content()` is
+    /// the caller's guard) and on `k == 0`.
+    fn search(&self, query: &MultiModalQuery, k: usize, ef: usize) -> RetrievalOutput;
+
+    /// Status-panel description (index type, weights, modality count).
+    fn describe(&self) -> String;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(FrameworkKind::Must.name(), "MUST");
+        assert_eq!(FrameworkKind::Mr.name(), "MR");
+        assert_eq!(FrameworkKind::Je.name(), "JE");
+        assert_eq!(FrameworkKind::default(), FrameworkKind::Must);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for k in [FrameworkKind::Must, FrameworkKind::Mr, FrameworkKind::Je] {
+            let j = serde_json::to_string(&k).unwrap();
+            assert_eq!(serde_json::from_str::<FrameworkKind>(&j).unwrap(), k);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # mqa-retrieval
+//!
+//! The three multi-modal retrieval frameworks the MQA paper compares, all
+//! behind one [`RetrievalFramework`] trait so the configuration panel can
+//! swap them per query:
+//!
+//! * [`must::MustFramework`] — the paper's framework: multi-vector
+//!   representation, learned modality weights, a single unified navigation
+//!   graph, **merging-free** fused search with incremental scanning;
+//! * [`mr::MrFramework`] — *Multi-streamed Retrieval* (the Milvus-style
+//!   baseline): one single-vector index per modality, per-modality top-k'
+//!   searches, result-list merging and fused reranking;
+//! * [`je::JeFramework`] — *Joint Embedding* (the ARTEMIS-style baseline):
+//!   every object jointly encoded into one vector with fixed equal modality
+//!   weighting, one single-vector index, no query-time weighting.
+//!
+//! The crate also owns the [`encoding::EncoderSet`] binding between a
+//! knowledge base's *content* schema and the *vector* schema induced by the
+//! configured encoders, and the [`query::MultiModalQuery`] type users
+//! submit from the QA panel.
+
+pub mod diversify;
+pub mod encoding;
+pub mod framework;
+pub mod je;
+pub mod mr;
+pub mod must;
+pub mod query;
+pub mod result;
+
+pub use diversify::mmr_diversify;
+pub use encoding::{EncodedCorpus, EncoderSet};
+pub use framework::{FrameworkKind, RetrievalFramework};
+pub use je::{JeFramework, JePartialPolicy};
+pub use mr::MrFramework;
+pub use must::MustFramework;
+pub use query::MultiModalQuery;
+pub use result::RetrievalOutput;

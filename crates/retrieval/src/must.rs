@@ -1,0 +1,183 @@
+//! MUST — the paper's retrieval framework.
+//!
+//! Objects keep one vector per modality; similarity is the **weighted**
+//! fused distance with weights from the contrastive vector-weight-learning
+//! model (`mqa-weights`) or the user; one unified navigation graph holds
+//! all modalities; a query makes a single merging-free traversal with
+//! incremental (early-abandon) distance scanning.
+
+use crate::encoding::EncodedCorpus;
+use crate::framework::{FrameworkKind, RetrievalFramework};
+use crate::query::MultiModalQuery;
+use crate::result::RetrievalOutput;
+use mqa_graph::{IndexAlgorithm, UnifiedIndex};
+use mqa_vector::{Metric, Weights};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The MUST framework instance over one corpus.
+pub struct MustFramework {
+    corpus: Arc<EncodedCorpus>,
+    index: UnifiedIndex,
+}
+
+impl MustFramework {
+    /// Builds the unified index under `weights` (typically the learned
+    /// weights; `Weights::uniform` disables weighting for ablations).
+    pub fn build(
+        corpus: Arc<EncodedCorpus>,
+        weights: Weights,
+        metric: Metric,
+        algorithm: &IndexAlgorithm,
+    ) -> Self {
+        let index = UnifiedIndex::build(corpus.store().clone(), weights, metric, algorithm);
+        Self { corpus, index }
+    }
+
+    /// Wraps an already-built (or snapshot-restored, or custom-pipeline)
+    /// unified index.
+    ///
+    /// # Panics
+    /// Panics if the index does not cover the corpus.
+    pub fn from_index(corpus: Arc<EncodedCorpus>, index: UnifiedIndex) -> Self {
+        assert_eq!(index.len(), corpus.store().len(), "index/corpus size mismatch");
+        Self { corpus, index }
+    }
+
+    /// The unified index (exposed for the experiment harness: exact search,
+    /// scan statistics).
+    pub fn index(&self) -> &UnifiedIndex {
+        &self.index
+    }
+
+    /// The weights the index was built with.
+    pub fn weights(&self) -> &Weights {
+        self.index.weights()
+    }
+}
+
+impl RetrievalFramework for MustFramework {
+    fn kind(&self) -> FrameworkKind {
+        FrameworkKind::Must
+    }
+
+    fn search(&self, query: &MultiModalQuery, k: usize, ef: usize) -> RetrievalOutput {
+        assert!(query.has_content(), "empty query");
+        assert!(k > 0, "k must be >= 1");
+        let t0 = Instant::now();
+        let qv = self.corpus.encoders().encode_query(query);
+        let override_w = query
+            .weight_override
+            .as_ref()
+            .map(|raw| Weights::normalized(raw));
+        let out = self.index.search(&qv, override_w.as_ref(), k, ef);
+        RetrievalOutput {
+            results: out.output.results.clone(),
+            stats: out.output.stats,
+            scan: Some(out.scan),
+            latency: t0.elapsed(),
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "MUST: {} (weights {:?})",
+            self.index.describe(),
+            self.index
+                .weights()
+                .as_slice()
+                .iter()
+                .map(|w| (w * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::EncoderSet;
+    use mqa_encoders::EncoderRegistry;
+    use mqa_kb::{DatasetSpec, GroundTruth};
+
+    fn corpus() -> Arc<EncodedCorpus> {
+        let kb = DatasetSpec::weather()
+            .objects(240)
+            .concepts(8)
+            .caption_noise(0.05)
+            .seed(1)
+            .generate();
+        let registry = EncoderRegistry::new(7);
+        let schema = kb.schema().clone();
+        let encoders = EncoderSet::default_for(&registry, &schema, 32);
+        Arc::new(EncodedCorpus::encode(kb, encoders))
+    }
+
+    fn framework() -> MustFramework {
+        MustFramework::build(
+            corpus(),
+            Weights::uniform(2),
+            Metric::L2,
+            &IndexAlgorithm::mqa_graph(),
+        )
+    }
+
+    #[test]
+    fn text_query_finds_concept_members() {
+        let f = framework();
+        let gt = GroundTruth::build(f.corpus.kb());
+        // Use concept 0's canonical keywords from one of its members.
+        let member = gt.members(0)[0];
+        let title = f.corpus.kb().get(member).title.clone();
+        let phrase = title.rsplit_once(" #").map(|(p, _)| p.to_string()).unwrap();
+        let out = f.search(&MultiModalQuery::text(phrase), 10, 64);
+        let hits = out.ids().iter().filter(|&&id| gt.is_relevant(id, 0)).count();
+        assert!(hits >= 7, "MUST text search hit {hits}/10");
+        assert!(out.scan.is_some());
+        assert!(out.latency.as_nanos() > 0);
+    }
+
+    #[test]
+    fn image_query_finds_same_style() {
+        let f = framework();
+        // reference image = object 0's raw descriptor
+        let rec = f.corpus.kb().get(0);
+        let img = match rec.content(1).unwrap() {
+            mqa_encoders::RawContent::Image(i) => i.clone(),
+            _ => panic!(),
+        };
+        let out = f.search(&MultiModalQuery::image(img), 5, 64);
+        // object 0 itself must be the top hit (identical descriptor)
+        assert_eq!(out.ids()[0], 0);
+    }
+
+    #[test]
+    fn weight_override_is_respected() {
+        let f = framework();
+        let rec = f.corpus.kb().get(3);
+        let img = match rec.content(1).unwrap() {
+            mqa_encoders::RawContent::Image(i) => i.clone(),
+            _ => panic!(),
+        };
+        // text from a *different* concept + image of object 3, image-only
+        // weighting: the image must dominate.
+        let other_title = f.corpus.kb().get(1).title.clone();
+        let phrase = other_title.rsplit_once(" #").map(|(p, _)| p.to_string()).unwrap();
+        let q = MultiModalQuery::text_and_image(phrase, img).with_weights(vec![0.0, 1.0]);
+        let out = f.search(&q, 1, 64);
+        assert_eq!(out.ids()[0], 3);
+    }
+
+    #[test]
+    fn describe_names_must() {
+        let f = framework();
+        assert!(f.describe().starts_with("MUST"));
+        assert_eq!(f.kind(), FrameworkKind::Must);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty query")]
+    fn empty_query_panics() {
+        framework().search(&MultiModalQuery::default(), 5, 32);
+    }
+}

@@ -1,0 +1,146 @@
+//! The multi-modal query users submit from the QA panel.
+
+use mqa_encoders::{ImageData, RawContent};
+use mqa_kb::ContentSchema;
+use mqa_vector::ModalityKind;
+use serde::{Deserialize, Serialize};
+
+/// One retrieval request: optional text, optional reference image, optional
+/// user weight override — at least one content part must be present.
+///
+/// Text fills every text-kind field of the knowledge base's schema; the
+/// reference image fills every image/video-kind field (the QA panel has one
+/// text box and one upload slot regardless of how many fields the schema
+/// has, exactly like the paper's frontend).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MultiModalQuery {
+    /// Natural-language request text.
+    pub text: Option<String>,
+    /// Reference image (round-2 refinements attach the selected result).
+    pub image: Option<ImageData>,
+    /// Raw per-modality weight override (normalized downstream); `None`
+    /// uses the framework's weights (learned for MUST, uniform otherwise).
+    pub weight_override: Option<Vec<f32>>,
+}
+
+impl MultiModalQuery {
+    /// A text-only query.
+    pub fn text(text: impl Into<String>) -> Self {
+        Self { text: Some(text.into()), image: None, weight_override: None }
+    }
+
+    /// A voice query (the paper's "text or audio form" input). Audio is
+    /// transcribed upstream of retrieval — this reproduction treats the
+    /// transcript as the query text (see DESIGN.md §2).
+    pub fn voice(transcript: impl Into<String>) -> Self {
+        Self::text(transcript)
+    }
+
+    /// A query with text and a reference image.
+    pub fn text_and_image(text: impl Into<String>, image: ImageData) -> Self {
+        Self { text: Some(text.into()), image: Some(image), weight_override: None }
+    }
+
+    /// An image-only query.
+    pub fn image(image: ImageData) -> Self {
+        Self { text: None, image: Some(image), weight_override: None }
+    }
+
+    /// Attaches a user weight override.
+    pub fn with_weights(mut self, raw: Vec<f32>) -> Self {
+        self.weight_override = Some(raw);
+        self
+    }
+
+    /// Whether the query carries any content.
+    pub fn has_content(&self) -> bool {
+        self.text.is_some() || self.image.is_some()
+    }
+
+    /// Expands the query into per-field raw contents under `schema`.
+    ///
+    /// # Panics
+    /// Panics if the query is empty ([`MultiModalQuery::has_content`] is
+    /// the caller's guard) or if no schema field can host any provided
+    /// part (e.g. image-only query against a text-only base).
+    pub fn to_contents(&self, schema: &ContentSchema) -> Vec<Option<RawContent>> {
+        assert!(self.has_content(), "empty query");
+        let contents: Vec<Option<RawContent>> = schema
+            .fields()
+            .iter()
+            .map(|f| match f.kind {
+                ModalityKind::Text | ModalityKind::Audio => {
+                    self.text.as_ref().map(|t| RawContent::Text(t.clone()))
+                }
+                ModalityKind::Image | ModalityKind::Video => {
+                    self.image.as_ref().map(|i| RawContent::Image(i.clone()))
+                }
+            })
+            .collect();
+        assert!(
+            contents.iter().any(Option::is_some),
+            "query content matches no field of schema"
+        );
+        contents
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqa_kb::FieldSpec;
+
+    #[test]
+    fn text_fills_text_fields_only() {
+        let schema = ContentSchema::caption_image(8);
+        let q = MultiModalQuery::text("foggy clouds");
+        let c = q.to_contents(&schema);
+        assert!(matches!(c[0], Some(RawContent::Text(_))));
+        assert!(c[1].is_none());
+    }
+
+    #[test]
+    fn image_fills_all_visual_fields() {
+        let schema = ContentSchema::new(
+            vec![
+                FieldSpec { name: "synopsis".into(), kind: ModalityKind::Text },
+                FieldSpec { name: "poster".into(), kind: ModalityKind::Image },
+                FieldSpec { name: "still".into(), kind: ModalityKind::Video },
+            ],
+            8,
+        );
+        let q = MultiModalQuery::text_and_image("western", ImageData::new(vec![0.0; 8]));
+        let c = q.to_contents(&schema);
+        assert!(c.iter().all(Option::is_some));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty query")]
+    fn empty_query_panics() {
+        MultiModalQuery::default().to_contents(&ContentSchema::caption_image(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "matches no field")]
+    fn image_query_against_text_only_schema_panics() {
+        let schema = ContentSchema::new(
+            vec![FieldSpec { name: "body".into(), kind: ModalityKind::Text }],
+            0,
+        );
+        MultiModalQuery::image(ImageData::new(vec![0.0; 8])).to_contents(&schema);
+    }
+
+    #[test]
+    fn with_weights_sets_override() {
+        let q = MultiModalQuery::text("x").with_weights(vec![2.0, 0.5]);
+        assert_eq!(q.weight_override, Some(vec![2.0, 0.5]));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let q = MultiModalQuery::text_and_image("a", ImageData::new(vec![1.0]));
+        let j = serde_json::to_string(&q).unwrap();
+        let back: MultiModalQuery = serde_json::from_str(&j).unwrap();
+        assert_eq!(q, back);
+    }
+}

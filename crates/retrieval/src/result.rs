@@ -1,0 +1,48 @@
+//! Framework-agnostic retrieval output.
+
+use mqa_graph::SearchStats;
+use mqa_kb::ObjectId;
+use mqa_vector::{Candidate, ScanStats};
+use std::time::Duration;
+
+/// Ranked results plus the work performed, uniform across frameworks so
+/// the comparative harness (F5/E5) reads one shape.
+#[derive(Debug, Clone, Default)]
+pub struct RetrievalOutput {
+    /// Ranked candidates (ascending fused/framework distance).
+    pub results: Vec<Candidate>,
+    /// Graph-walk counters, summed over all index probes the framework
+    /// made (MR probes one index per modality).
+    pub stats: SearchStats,
+    /// Incremental-scanning counters (populated by MUST only).
+    pub scan: Option<ScanStats>,
+    /// Wall-clock latency of the retrieval call.
+    pub latency: Duration,
+}
+
+impl RetrievalOutput {
+    /// Result object ids in rank order.
+    pub fn ids(&self) -> Vec<ObjectId> {
+        self.results.iter().map(|c| c.id).collect()
+    }
+
+    /// Whether any result was produced.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_in_rank_order() {
+        let out = RetrievalOutput {
+            results: vec![Candidate::new(5, 0.1), Candidate::new(2, 0.4)],
+            ..Default::default()
+        };
+        assert_eq!(out.ids(), vec![5, 2]);
+        assert!(!out.is_empty());
+    }
+}

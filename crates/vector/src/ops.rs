@@ -1,0 +1,198 @@
+//! Elementwise vector helpers shared by the metric and scan kernels.
+//!
+//! All functions operate on plain `&[f32]` slices so callers can store
+//! vectors contiguously (see [`crate::store`]) without wrapper types.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics in debug builds if the lengths differ.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "dot: dimension mismatch");
+    // Chunked accumulation: four independent partial sums give the compiler
+    // room to vectorize and reduce floating-point dependency chains.
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc[0] += a[j] * b[j];
+        acc[1] += a[j + 1] * b[j + 1];
+        acc[2] += a[j + 2] * b[j + 2];
+        acc[3] += a[j + 3] * b[j + 3];
+    }
+    let mut tail = 0.0f32;
+    for j in chunks * 4..a.len() {
+        tail += a[j] * b[j];
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+#[inline]
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "l2_sq: dimension mismatch");
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        let d0 = a[j] - b[j];
+        let d1 = a[j + 1] - b[j + 1];
+        let d2 = a[j + 2] - b[j + 2];
+        let d3 = a[j + 3] - b[j + 3];
+        acc[0] += d0 * d0;
+        acc[1] += d1 * d1;
+        acc[2] += d2 * d2;
+        acc[3] += d3 * d3;
+    }
+    let mut tail = 0.0f32;
+    for j in chunks * 4..a.len() {
+        let d = a[j] - b[j];
+        tail += d * d;
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// Normalizes `a` in place to unit L2 norm. Zero vectors are left untouched.
+pub fn normalize(a: &mut [f32]) {
+    let n = norm(a);
+    if n > 0.0 {
+        let inv = 1.0 / n;
+        for x in a.iter_mut() {
+            *x *= inv;
+        }
+    }
+}
+
+/// Returns a freshly allocated unit-normalized copy of `a`.
+pub fn normalized(a: &[f32]) -> Vec<f32> {
+    let mut v = a.to_vec();
+    normalize(&mut v);
+    v
+}
+
+/// `y += alpha * x` (the BLAS `axpy` primitive).
+///
+/// # Panics
+/// Panics in debug builds if the lengths differ.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len(), "axpy: dimension mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scales `a` in place by `alpha`.
+#[inline]
+pub fn scale(alpha: f32, a: &mut [f32]) {
+    for x in a.iter_mut() {
+        *x *= alpha;
+    }
+}
+
+/// Elementwise mean of a non-empty set of equal-length vectors.
+///
+/// Returns `None` for an empty input.
+pub fn mean(vectors: &[&[f32]]) -> Option<Vec<f32>> {
+    let first = vectors.first()?;
+    let mut out = vec![0.0f32; first.len()];
+    for v in vectors {
+        axpy(1.0, v, &mut out);
+    }
+    scale(1.0 / vectors.len() as f32, &mut out);
+    Some(out)
+}
+
+/// Linear interpolation `(1 - t) * a + t * b`.
+pub fn lerp(a: &[f32], b: &[f32], t: f32) -> Vec<f32> {
+    debug_assert_eq!(a.len(), b.len(), "lerp: dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| (1.0 - t) * x + t * y).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive() {
+        let a: Vec<f32> = (0..13).map(|i| i as f32 * 0.5).collect();
+        let b: Vec<f32> = (0..13).map(|i| (13 - i) as f32 * 0.25).collect();
+        let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot(&a, &b) - naive).abs() < 1e-4);
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn l2_sq_matches_naive() {
+        let a: Vec<f32> = (0..17).map(|i| i as f32).collect();
+        let b: Vec<f32> = (0..17).map(|i| (i * i) as f32 * 0.1).collect();
+        let naive: f32 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum();
+        assert!((l2_sq(&a, &b) - naive).abs() < 1e-2);
+    }
+
+    #[test]
+    fn l2_sq_identity_is_zero() {
+        let a = [1.0f32, -2.0, 3.5];
+        assert_eq!(l2_sq(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn normalize_produces_unit_norm() {
+        let mut a = vec![3.0f32, 4.0];
+        normalize(&mut a);
+        assert!((norm(&a) - 1.0).abs() < 1e-6);
+        assert!((a[0] - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_zero_vector_noop() {
+        let mut a = vec![0.0f32; 5];
+        normalize(&mut a);
+        assert!(a.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0f32, 2.0, 3.0];
+        let mut y = [10.0f32, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn mean_of_two() {
+        let a = [0.0f32, 2.0];
+        let b = [2.0f32, 4.0];
+        let m = mean(&[&a, &b]).unwrap();
+        assert_eq!(m, vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn mean_empty_is_none() {
+        assert!(mean(&[]).is_none());
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = [0.0f32, 1.0];
+        let b = [4.0f32, 5.0];
+        assert_eq!(lerp(&a, &b, 0.0), vec![0.0, 1.0]);
+        assert_eq!(lerp(&a, &b, 1.0), vec![4.0, 5.0]);
+        assert_eq!(lerp(&a, &b, 0.5), vec![2.0, 3.0]);
+    }
+}

@@ -1,0 +1,32 @@
+//! # mqa-weights
+//!
+//! The **vector weight learning model** of MUST (the paper's Vector
+//! Representation component): learns how important each modality is for
+//! similarity measurement, via contrastive learning over triplets.
+//!
+//! Given a labelled multi-modal corpus, the trainer samples triplets
+//! *(anchor, positive, negative)* — positive shares the anchor's label,
+//! negative does not — and minimizes the margin hinge loss
+//!
+//! ```text
+//! L(w) = max(0, margin + Σ_m w_m·d_m(a,p) − Σ_m w_m·d_m(a,n))
+//! ```
+//!
+//! by projected stochastic gradient descent over the weight simplex
+//! (`w_m ≥ 0`, `Σ w_m = M`). A modality whose distances separate positives
+//! from negatives well receives a large weight; a noisy modality's
+//! distances cancel in the gradient and its weight decays. The learned
+//! weights feed both index construction (the unified navigation graph is
+//! built under the fused weighted metric) and query execution.
+//!
+//! * [`triplet`] — triplet sampling from labelled stores;
+//! * [`contrastive`] — loss and gradient of one triplet;
+//! * [`trainer`] — the SGD loop and the [`LearnedWeights`] report.
+
+pub mod contrastive;
+pub mod trainer;
+pub mod triplet;
+
+pub use contrastive::{modality_distances, triplet_loss};
+pub use trainer::{LearnedWeights, TrainerConfig, WeightLearner};
+pub use triplet::{sample_triplets, Triplet};

@@ -1,0 +1,119 @@
+//! Triplet sampling from a labelled multi-modal store.
+
+use mqa_vector::VecId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// One contrastive training example: ids of anchor, positive (same label)
+/// and negative (different label).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Triplet {
+    /// Anchor object.
+    pub anchor: VecId,
+    /// Same-label object (≠ anchor).
+    pub positive: VecId,
+    /// Different-label object.
+    pub negative: VecId,
+}
+
+/// Samples `n` triplets from `labels` (one label per object id).
+///
+/// Only labels with at least two members can anchor a triplet; at least two
+/// distinct labels must exist to supply negatives.
+///
+/// # Panics
+/// Panics if `labels` has fewer than two distinct labels, or if no label
+/// has two members.
+pub fn sample_triplets(labels: &[u32], n: usize, seed: u64) -> Vec<Triplet> {
+    let mut by_label: HashMap<u32, Vec<VecId>> = HashMap::new();
+    for (id, &l) in labels.iter().enumerate() {
+        by_label.entry(l).or_default().push(id as VecId);
+    }
+    assert!(by_label.len() >= 2, "triplet sampling needs at least two distinct labels");
+    // Sort the label lists: HashMap iteration order varies across
+    // processes, and sampling must be a pure function of (labels, seed).
+    let mut anchorable: Vec<u32> =
+        by_label.iter().filter(|(_, v)| v.len() >= 2).map(|(&l, _)| l).collect();
+    anchorable.sort_unstable();
+    assert!(
+        !anchorable.is_empty(),
+        "triplet sampling needs a label with at least two members"
+    );
+    let mut all_labels: Vec<u32> = by_label.keys().copied().collect();
+    all_labels.sort_unstable();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0721_91E7);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let label = anchorable[rng.gen_range(0..anchorable.len())];
+        let members = &by_label[&label];
+        let a = members[rng.gen_range(0..members.len())];
+        let p = loop {
+            let p = members[rng.gen_range(0..members.len())];
+            if p != a {
+                break p;
+            }
+        };
+        let neg_label = loop {
+            let l = all_labels[rng.gen_range(0..all_labels.len())];
+            if l != label {
+                break l;
+            }
+        };
+        let negs = &by_label[&neg_label];
+        let n_id = negs[rng.gen_range(0..negs.len())];
+        out.push(Triplet { anchor: a, positive: p, negative: n_id });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplets_respect_labels() {
+        let labels = vec![0, 0, 0, 1, 1, 2];
+        let triplets = sample_triplets(&labels, 200, 1);
+        assert_eq!(triplets.len(), 200);
+        for t in &triplets {
+            assert_ne!(t.anchor, t.positive);
+            assert_eq!(labels[t.anchor as usize], labels[t.positive as usize]);
+            assert_ne!(labels[t.anchor as usize], labels[t.negative as usize]);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let labels = vec![0, 0, 1, 1];
+        assert_eq!(sample_triplets(&labels, 50, 7), sample_triplets(&labels, 50, 7));
+        assert_ne!(sample_triplets(&labels, 50, 7), sample_triplets(&labels, 50, 8));
+    }
+
+    #[test]
+    fn singleton_labels_can_still_be_negatives() {
+        // label 2 has one member; it can never anchor but may appear as
+        // a negative.
+        let labels = vec![0, 0, 0, 0, 2];
+        let triplets = sample_triplets(&labels, 300, 3);
+        assert!(triplets.iter().any(|t| t.negative == 4));
+        assert!(triplets.iter().all(|t| t.anchor != 4 && t.positive != 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct labels")]
+    fn single_label_panics() {
+        sample_triplets(&[0, 0, 0], 10, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "two members")]
+    fn all_singletons_panics() {
+        sample_triplets(&[0, 1, 2], 10, 1);
+    }
+
+    #[test]
+    fn zero_requested_is_empty() {
+        assert!(sample_triplets(&[0, 0, 1], 0, 1).is_empty());
+    }
+}

@@ -1,0 +1,72 @@
+//! Figure 1 of the paper, end to end: the multi-round fashion dialogue.
+//!
+//! A user asks for a "long-sleeved top for older women", picks one of the
+//! returned images, and refines with "add a floral pattern". The example
+//! verifies against the corpus ground truth that each round's results
+//! track the user's intent.
+//!
+//! ```bash
+//! cargo run --release --example fashion_search
+//! ```
+
+use mqa::kb::GroundTruth;
+use mqa::prelude::*;
+
+fn main() {
+    let (kb, info) = DatasetSpec::fashion()
+        .objects(5_000)
+        .concepts(120)
+        .styles(4)
+        .seed(42)
+        .generate_with_info();
+    let gt = GroundTruth::build(&kb);
+
+    // Find the corpus concept closest to the figure's example so the
+    // dialogue targets something that exists ("floral … top").
+    let target = info
+        .concepts
+        .iter()
+        .find(|c| c.keywords.contains(&"top".to_string()) && c.keywords.contains(&"floral".to_string()))
+        .expect("fashion vocabulary contains a floral top concept");
+    println!("target concept: {:?} (id {})\n", target.phrase(), target.id);
+
+    let system = MqaSystem::build(Config::default(), kb).expect("system builds");
+    println!("learned modality weights: {:?}\n", system.weights().as_slice());
+    let mut session = system.open_session();
+
+    // Round 1: vague text request (the figure's opening turn).
+    let r1 = session
+        .ask(Turn::text(format!("a long-sleeved {} for older women", target.phrase())))
+        .expect("round 1");
+    println!("{}", mqa::core::panels::render_qa_exchange("long-sleeved top for older women", &r1));
+    let hits1 = r1.results.iter().filter(|i| gt.is_relevant(i.id, target.id)).count();
+    println!("round-1 concept hits: {hits1}/{}\n", r1.results.len());
+
+    // The user clicks the first on-concept result.
+    let pick = r1
+        .results
+        .iter()
+        .position(|i| gt.is_relevant(i.id, target.id))
+        .expect("at least one on-concept result to pick");
+
+    // Round 2: refine — "add a floral pattern" (keep the picked image).
+    let r2 = session
+        .ask(Turn::select_and_text(
+            pick,
+            format!("i like this one, more {} with this exact look", target.phrase()),
+        ))
+        .expect("round 2");
+    println!("{}", mqa::core::panels::render_qa_exchange("more with this exact look", &r2));
+
+    let picked_id = r1.results[pick].id;
+    let picked_style = system.corpus().kb().get(picked_id).style.expect("labelled");
+    let style_hits = r2
+        .results
+        .iter()
+        .filter(|i| i.id != picked_id && gt.is_style_relevant(i.id, target.id, picked_style))
+        .count();
+    println!(
+        "round-2 same-style hits (excluding the pick): {style_hits}/{}",
+        r2.results.len()
+    );
+}

@@ -1,0 +1,84 @@
+//! Figures 3 and 4: the three working panels and both interaction
+//! scenarios.
+//!
+//! Scenario (a) — text-only input: "I would like some images of moldy
+//! cheese"-style request, iterative refinement by clicking.
+//! Scenario (b) — image-assisted input: the user uploads a reference image
+//! ("find more coats made of similar material") alongside text.
+//!
+//! ```bash
+//! cargo run --release --example interactive_dialogue
+//! ```
+
+use mqa::encoders::RawContent;
+use mqa::prelude::*;
+
+fn main() {
+    let (kb, info) = DatasetSpec::weather()
+        .objects(3_000)
+        .concepts(80)
+        .styles(3)
+        .seed(11)
+        .generate_with_info();
+
+    let config = Config { k: 4, ..Config::default() };
+    // Panel ①: configuration.
+    println!("{}", mqa::core::panels::render_config_panel(&config));
+    let system = MqaSystem::build(config, kb).expect("system builds");
+    // Panel ②: status monitoring.
+    println!("{}", mqa::core::panels::render_status_panel(&system));
+
+    // ── Scenario (a): text-only input with iterative refinement ──
+    println!("═══ scenario (a): text-only input ═══\n");
+    let concept = &info.concepts[0];
+    let mut session = system.open_session();
+    let r1 = session
+        .ask(Turn::text(format!("i would like some images of {}", concept.phrase())))
+        .expect("round 1");
+    println!(
+        "{}",
+        mqa::core::panels::render_qa_exchange(
+            &format!("i would like some images of {}", concept.phrase()),
+            &r1
+        )
+    );
+    let r2 = session
+        .ask(Turn::select_and_text(
+            0,
+            format!(
+                "i like this one, could you locate more {} with a similar look",
+                concept.phrase()
+            ),
+        ))
+        .expect("round 2");
+    println!(
+        "{}",
+        mqa::core::panels::render_qa_exchange("i like this one, locate more of this type", &r2)
+    );
+
+    // ── Scenario (b): image-assisted input ──
+    println!("═══ scenario (b): image-assisted input ═══\n");
+    // The user's "uploaded" photo: a stored object's image descriptor
+    // (in the real system this is the upload widget's preprocessed file).
+    let upload_src = system.corpus().kb().get(17);
+    let upload = match upload_src.content(1) {
+        Some(RawContent::Image(img)) => img.clone(),
+        _ => unreachable!("weather objects carry images"),
+    };
+    let phrase = info.concepts[upload_src.concept.unwrap() as usize].phrase();
+    let mut session_b = system.open_session();
+    let rb = session_b
+        .ask(Turn::text_and_image(
+            format!("could you find more {} similar to the one i have provided", phrase),
+            upload,
+        ))
+        .expect("image-assisted round");
+    println!(
+        "{}",
+        mqa::core::panels::render_qa_exchange(
+            "find more similar to the one i have provided",
+            &rb
+        )
+    );
+    println!("uploaded reference was object #17: {}", upload_src.title);
+}

@@ -1,0 +1,113 @@
+//! An interactive terminal QA panel — the closest this reproduction gets
+//! to the paper's live demonstration. Type multi-modal queries, click
+//! results by number, refine, and watch the retrieval statistics.
+//!
+//! Commands:
+//!
+//! * plain text — search with that request;
+//! * `:pick N` — select result `N` of the previous reply
+//!   (its image augments the next query);
+//! * `:pick N <text>` — select and refine in one turn;
+//! * `:reject N <text>` — "not this one": exclude result `N` for the rest
+//!   of the session and re-ask;
+//! * `:weights a b` — set a per-modality weight override for the
+//!   next turns (`:weights off` clears it);
+//! * `:status` — print the status-monitoring panel;
+//! * `:config` — print the configuration panel;
+//! * `:quit` — exit.
+//!
+//! ```bash
+//! cargo run --release --example repl
+//! ```
+
+use mqa::prelude::*;
+use std::io::{BufRead, Write};
+
+fn main() {
+    println!("building the MQA system (weather corpus, 5k objects)…");
+    let kb = DatasetSpec::weather().objects(5_000).concepts(80).styles(3).seed(9).generate();
+    let config = Config { k: 5, ..Config::default() };
+    let system = MqaSystem::build(config, kb).expect("system builds");
+    println!("{}", mqa::core::panels::render_status_panel(&system));
+    println!("ready. try: \"foggy clouds over the mountain\" — :quit to exit\n");
+
+    let mut session = system.open_session();
+    let mut weights: Option<Vec<f32>> = None;
+    let stdin = std::io::stdin();
+    loop {
+        print!("you ▸ ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break; // EOF
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let turn = if let Some(rest) = line.strip_prefix(":pick ") {
+            let mut parts = rest.splitn(2, ' ');
+            let Some(Ok(rank)) = parts.next().map(str::parse::<usize>) else {
+                println!("usage: :pick N [refinement text]");
+                continue;
+            };
+            match parts.next() {
+                Some(text) => Turn::select_and_text(rank, text),
+                None => Turn { select: Some(rank), ..Turn::default() },
+            }
+        } else if let Some(rest) = line.strip_prefix(":reject ") {
+            let mut parts = rest.splitn(2, ' ');
+            let Some(Ok(rank)) = parts.next().map(str::parse::<usize>) else {
+                println!("usage: :reject N <text>");
+                continue;
+            };
+            match parts.next() {
+                Some(text) => Turn::reject_and_text(rank, text),
+                None => {
+                    println!("add a re-request after the rank, e.g. `:reject 0 more clouds`");
+                    continue;
+                }
+            }
+        } else if let Some(rest) = line.strip_prefix(":weights ") {
+            if rest.trim() == "off" {
+                weights = None;
+                println!("weight override cleared");
+            } else {
+                let parsed: Result<Vec<f32>, _> =
+                    rest.split_whitespace().map(str::parse).collect();
+                match parsed {
+                    Ok(w) if !w.is_empty() => {
+                        println!("weight override set to {w:?}");
+                        weights = Some(w);
+                    }
+                    _ => println!("usage: :weights <w1> <w2> … | off"),
+                }
+            }
+            continue;
+        } else {
+            match line {
+                ":quit" | ":q" => break,
+                ":status" => {
+                    println!("{}", mqa::core::panels::render_status_panel(&system));
+                    continue;
+                }
+                ":config" => {
+                    println!("{}", mqa::core::panels::render_config_panel(system.config()));
+                    continue;
+                }
+                text => Turn::text(text),
+            }
+        };
+        let turn = match &weights {
+            Some(w) => Turn { weights: Some(w.clone()), ..turn },
+            None => turn,
+        };
+        match session.ask(turn) {
+            Ok(reply) => {
+                print!("{}", mqa::core::panels::render_qa_exchange(line, &reply));
+            }
+            Err(e) => println!("mqa ▸ error: {e}"),
+        }
+    }
+    println!("bye");
+}
