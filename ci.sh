@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# The local CI gate: the same fail-fast sequence the GitHub workflow runs.
+# Everything is offline — the workspace has no external dependencies.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> mqa-xtask lint"
+cargo run -q --offline -p mqa-xtask -- lint
+
+echo "==> mqa-xtask audit"
+cargo run -q --offline -p mqa-xtask -- audit
+
+echo "==> cargo build --release"
+cargo build --release --offline --workspace
+
+echo "==> cargo test"
+cargo test -q --offline --workspace
+
+echo "ci: all gates passed"

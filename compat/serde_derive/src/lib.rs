@@ -1,0 +1,400 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! A hand-rolled token parser (the build is hermetic — no `syn`/`quote`)
+//! that supports exactly the shapes this workspace derives on: plain
+//! structs with named fields and enums with unit, tuple, and struct
+//! variants. No generics, no `#[serde(...)]` attributes. The generated
+//! impls produce serde's externally-tagged JSON layout.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What a `#[derive]` input turned out to be.
+enum Shape {
+    /// A struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// An enum; each variant is `(name, kind)`.
+    Enum {
+        name: String,
+        variants: Vec<(String, VariantKind)>,
+    },
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant with `arity` fields.
+    Tuple(usize),
+    /// Struct variant with named fields.
+    Struct(Vec<String>),
+}
+
+/// Derives `serde::Serialize` (the in-tree stand-in trait).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => emit(gen_serialize(&shape)),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize` (the in-tree stand-in trait).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => emit(gen_deserialize(&shape)),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn emit(code: String) -> TokenStream {
+    match code.parse() {
+        Ok(ts) => ts,
+        Err(_) => compile_error("serde_derive generated unparsable code (internal bug)"),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    match format!("compile_error!({msg:?});").parse() {
+        Ok(ts) => ts,
+        Err(_) => TokenStream::new(),
+    }
+}
+
+// ── token parsing ────────────────────────────────────────────────────────
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Self {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skips attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    fn skip_attrs_and_vis(&mut self) {
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.pos += 1;
+                    // The bracketed attribute body.
+                    if matches!(self.peek(), Some(TokenTree::Group(_))) {
+                        self.pos += 1;
+                    }
+                }
+                Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                    self.pos += 1;
+                    if matches!(
+                        self.peek(),
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                    ) {
+                        self.pos += 1;
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let mut cur = Cursor::new(input);
+    cur.skip_attrs_and_vis();
+    let kind = match cur.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match cur.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    if matches!(cur.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive stand-in: generic type `{name}` is not supported"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => {
+            let body = match cur.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                _ => {
+                    return Err(format!(
+                        "serde_derive stand-in: `{name}` must be a struct with named fields"
+                    ))
+                }
+            };
+            Ok(Shape::Struct {
+                name,
+                fields: parse_named_fields(body.stream())?,
+            })
+        }
+        "enum" => {
+            let body = match cur.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                _ => return Err(format!("serde_derive stand-in: malformed enum `{name}`")),
+            };
+            Ok(Shape::Enum {
+                name,
+                variants: parse_variants(body.stream())?,
+            })
+        }
+        other => Err(format!("expected `struct` or `enum`, got `{other}`")),
+    }
+}
+
+/// Parses `name: Type, ...` field lists, returning the field names.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut cur = Cursor::new(body);
+    let mut fields = Vec::new();
+    loop {
+        cur.skip_attrs_and_vis();
+        let name = match cur.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after `{name}`, got {other:?}")),
+        }
+        skip_type(&mut cur);
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Consumes type tokens up to (and including) the next top-level `,`.
+fn skip_type(cur: &mut Cursor) {
+    let mut angle_depth = 0i32;
+    while let Some(t) = cur.next() {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<(String, VariantKind)>, String> {
+    let mut cur = Cursor::new(body);
+    let mut variants = Vec::new();
+    loop {
+        cur.skip_attrs_and_vis();
+        let name = match cur.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        let kind = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                cur.pos += 1;
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                cur.pos += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push((name, kind));
+        // The separating comma (absent after the last variant).
+        if matches!(cur.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            cur.pos += 1;
+        }
+    }
+    Ok(variants)
+}
+
+/// Number of comma-separated types in a tuple-variant body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut cur = Cursor::new(body);
+    let mut count = 0;
+    loop {
+        cur.skip_attrs_and_vis();
+        if cur.peek().is_none() {
+            break;
+        }
+        skip_type(&mut cur);
+        count += 1;
+    }
+    count
+}
+
+// ── code generation ──────────────────────────────────────────────────────
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "entries.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(entries)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (v, kind) in variants {
+                match kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String({v:?}.to_string()),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{v}(f0) => ::serde::Value::Object(vec![({v:?}.to_string(), \
+                         ::serde::Serialize::to_value(f0))]),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(vec![({v:?}.to_string(), \
+                             ::serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| format!("{f}: __f_{f}")).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "({f:?}.to_string(), ::serde::Serialize::to_value(__f_{f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {} }} => ::serde::Value::Object(vec![({v:?}.to_string(), \
+                             ::serde::Value::Object(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Struct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(entries, {f:?})?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         let entries = value.as_object_for({name:?})?;\n\
+                         Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for (v, kind) in variants {
+                match kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("{v:?} => Ok({name}::{v}),\n"))
+                    }
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "{v:?} => Ok({name}::{v}(::serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let items: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{v:?} => match inner {{\n\
+                                 ::serde::Value::Array(items) if items.len() == {arity} => \
+                                     Ok({name}::{v}({})),\n\
+                                 _ => Err(::serde::Error::new(\
+                                     concat!(\"expected \", {arity}, \"-element array for {name}::{v}\"))),\n\
+                             }},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::field(entries, {f:?})?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{v:?} => {{\n\
+                                 let entries = inner.as_object_for(\"{name}::{v}\")?;\n\
+                                 Ok({name}::{v} {{ {} }})\n\
+                             }},\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match value {{\n\
+                             ::serde::Value::String(tag) => match tag.as_str() {{\n\
+                                 {unit_arms}\
+                                 other => Err(::serde::unknown_variant({name:?}, other)),\n\
+                             }},\n\
+                             ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, inner) = &entries[0];\n\
+                                 let _ = inner;\n\
+                                 match tag.as_str() {{\n\
+                                     {data_arms}\
+                                     other => Err(::serde::unknown_variant({name:?}, other)),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(::serde::Error::new(format!(\
+                                 \"expected {name} tag, got {{}}\", other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}

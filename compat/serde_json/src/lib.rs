@@ -1,0 +1,402 @@
+//! In-tree stand-in for `serde_json`: renders the vendored [`serde`]
+//! [`Value`] model to JSON text and parses it back. Implements exactly the
+//! API surface this workspace calls — [`to_string`], [`to_string_pretty`],
+//! and [`from_str`] — over a strict recursive-descent parser.
+
+pub use serde::Error;
+use serde::{Deserialize, Number, Serialize, Value};
+
+/// Serializes `value` to compact JSON.
+///
+/// # Errors
+/// Infallible for this in-tree model; the `Result` keeps the real
+/// `serde_json` signature so call sites are source-compatible.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` to two-space-indented JSON.
+///
+/// # Errors
+/// Infallible, as for [`to_string`].
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into a `T`.
+///
+/// # Errors
+/// Returns [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse_value_str(text)?;
+    T::from_value(&value)
+}
+
+/// Parses JSON text into the raw [`Value`] model.
+///
+/// # Errors
+/// Returns [`Error`] on malformed JSON or trailing input.
+pub fn parse_value_str(text: &str) -> Result<Value, Error> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {pos}")));
+    }
+    Ok(value)
+}
+
+// ── writer ───────────────────────────────────────────────────────────────
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(n, out),
+        Value::String(s) => write_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(n: &Number, out: &mut String) {
+    match *n {
+        Number::UInt(v) => out.push_str(&v.to_string()),
+        Number::Int(v) => out.push_str(&v.to_string()),
+        Number::F32(v) => write_float(f64::from(v), v.fract() == 0.0, v.is_finite(), out),
+        Number::F64(v) => write_float(v, v.fract() == 0.0, v.is_finite(), out),
+    }
+}
+
+fn write_float(v: f64, integral: bool, finite: bool, out: &mut String) {
+    if !finite {
+        // Real serde_json refuses non-finite floats; emitting null keeps
+        // the writer total while staying parseable.
+        out.push_str("null");
+    } else if integral {
+        // Keep a float marker so the value re-parses as a float.
+        out.push_str(&format!("{v:.1}"));
+    } else {
+        out.push_str(&v.to_string());
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ── parser ───────────────────────────────────────────────────────────────
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(b) = bytes.get(*pos) {
+        if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(Error::new("unexpected end of input")),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Value::Null),
+        Some(b't') => parse_keyword(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Value::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Value::String),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error::new(format!("expected `,` or `]` at byte {pos}"))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(entries));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(Error::new(format!("expected `:` at byte {pos}")));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos)?;
+                entries.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(entries));
+                    }
+                    _ => return Err(Error::new(format!("expected `,` or `}}` at byte {pos}"))),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Value) -> Result<Value, Error> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(Error::new(format!("invalid literal at byte {pos}")))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(Error::new(format!("expected string at byte {pos}")));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(Error::new("unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| Error::new("bad \\u escape"))?;
+                        // Surrogate pairs are not produced by our writer;
+                        // map lone surrogates to the replacement character.
+                        out.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(Error::new("bad escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so valid).
+                let start = *pos;
+                *pos += 1;
+                while *pos < bytes.len() && bytes[*pos] & 0xC0 == 0x80 {
+                    *pos += 1;
+                }
+                match std::str::from_utf8(&bytes[start..*pos]) {
+                    Ok(s) => out.push_str(s),
+                    Err(_) => return Err(Error::new("invalid UTF-8 in string")),
+                }
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text =
+        std::str::from_utf8(&bytes[start..*pos]).map_err(|_| Error::new("invalid number"))?;
+    if text.is_empty() || text == "-" {
+        return Err(Error::new(format!("expected value at byte {start}")));
+    }
+    if is_float {
+        text.parse::<f64>()
+            .map(|v| Value::Number(Number::F64(v)))
+            .map_err(|_| Error::new(format!("invalid float `{text}`")))
+    } else if let Some(stripped) = text.strip_prefix('-') {
+        stripped
+            .parse::<u64>()
+            .ok()
+            .and_then(|v| i64::try_from(v).ok().map(|v| -v))
+            .map(|v| Value::Number(Number::Int(v)))
+            .ok_or_else(|| Error::new(format!("integer out of range `{text}`")))
+    } else {
+        match text.parse::<u64>() {
+            Ok(v) => Ok(Value::Number(Number::UInt(v))),
+            // Overflowing integers degrade to float, like serde_json's
+            // arbitrary-precision fallback would.
+            Err(_) => text
+                .parse::<f64>()
+                .map(|v| Value::Number(Number::F64(v)))
+                .map_err(|_| Error::new(format!("invalid number `{text}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(from_str::<u64>(&to_string(&42u64).unwrap()), Ok(42));
+        assert_eq!(from_str::<i32>(&to_string(&-9i32).unwrap()), Ok(-9));
+        assert_eq!(from_str::<f32>(&to_string(&0.25f32).unwrap()), Ok(0.25));
+        assert_eq!(from_str::<bool>("true"), Ok(true));
+        assert_eq!(from_str::<Option<u8>>("null"), Ok(None));
+    }
+
+    #[test]
+    fn float_precision_survives() {
+        for v in [0.1f32, 1.0 / 3.0, -7.75, 1e-8, 3.4e38] {
+            let text = to_string(&v).unwrap();
+            assert_eq!(from_str::<f32>(&text), Ok(v), "via {text}");
+        }
+        for v in [0.1f64, std::f64::consts::PI, -1e300] {
+            let text = to_string(&v).unwrap();
+            assert_eq!(from_str::<f64>(&text), Ok(v), "via {text}");
+        }
+    }
+
+    #[test]
+    fn integral_floats_keep_their_type() {
+        let text = to_string(&2.0f32).unwrap();
+        assert_eq!(text, "2.0");
+        assert_eq!(from_str::<f32>(&text), Ok(2.0));
+    }
+
+    #[test]
+    fn u64_seeds_round_trip_exactly() {
+        for v in [0u64, u64::MAX, 0x9A55_0000_1234_5678] {
+            assert_eq!(from_str::<u64>(&to_string(&v).unwrap()), Ok(v));
+        }
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let s = "line\nquote\"slash\\tab\tunicode é 中".to_string();
+        assert_eq!(from_str::<String>(&to_string(&s).unwrap()), Ok(s));
+        assert_eq!(from_str::<String>(r#""A""#), Ok("A".to_string()));
+    }
+
+    #[test]
+    fn nested_containers_round_trip() {
+        let v: Vec<(String, Vec<u32>)> = vec![("a".into(), vec![1, 2]), ("b".into(), vec![])];
+        let text = to_string(&v).unwrap();
+        assert_eq!(from_str::<Vec<(String, Vec<u32>)>>(&text), Ok(v));
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_parseable() {
+        let v: Vec<Vec<u8>> = vec![vec![1], vec![2, 3]];
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains("\n  "));
+        assert_eq!(from_str::<Vec<Vec<u8>>>(&text), Ok(v));
+    }
+
+    #[test]
+    fn malformed_input_errors() {
+        assert!(from_str::<u32>("").is_err());
+        assert!(from_str::<u32>("12 trailing").is_err());
+        assert!(from_str::<Vec<u32>>("[1, 2").is_err());
+        assert!(from_str::<String>("\"open").is_err());
+        assert!(from_str::<u32>("{\"k\": }").is_err());
+    }
+}

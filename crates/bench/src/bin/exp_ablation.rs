@@ -48,15 +48,14 @@ fn main() {
     // ── A. pipeline-stage ablations on the unified graph ──
     println!("A. construction-pipeline stages (MUST, learned weights):");
     let mut ta = Table::new(&["variant", "round1", "round2", "avg degree", "connectivity"]);
-    let base = |entry: EntryStage, init: InitStage, alpha: f32, repair: RepairStage| {
-        GraphPipeline {
+    let base =
+        |entry: EntryStage, init: InitStage, alpha: f32, repair: RepairStage| GraphPipeline {
             init,
             entry,
             refine: RefineStage { l: 64, passes: 2 },
             select: SelectStage::RobustPrune { alpha, r: 24 },
             repair,
-        }
-    };
+        };
     let variants: Vec<(&str, GraphPipeline)> = vec![
         (
             "default (knn, medoid+4, a=1.2, repair)",
@@ -69,13 +68,21 @@ fn main() {
         ),
         (
             "single medoid entry",
-            base(EntryStage::Medoid, InitStage::Knn { k: 20, seed: 0 }, 1.2, RepairStage::GrowFromEntry),
+            base(
+                EntryStage::Medoid,
+                InitStage::Knn { k: 20, seed: 0 },
+                1.2,
+                RepairStage::GrowFromEntry,
+            ),
         ),
         (
             "random init (no knn)",
             base(
                 EntryStage::MedoidPlusRandom { extra: 4, seed: 0 },
-                InitStage::Random { degree: 24, seed: 0 },
+                InitStage::Random {
+                    degree: 24,
+                    seed: 0,
+                },
                 1.2,
                 RepairStage::GrowFromEntry,
             ),
@@ -137,8 +144,11 @@ fn main() {
     let mut tb = Table::new(&["uniform_reg", "learned w", "round1", "round2"]);
     let labels = enc.corpus.concept_labels().unwrap();
     for reg in [0.0f32, 0.2, 0.6, 2.0, 8.0] {
-        let learned = WeightLearner::new(TrainerConfig { uniform_reg: reg, ..Default::default() })
-            .learn(enc.corpus.store(), &labels);
+        let learned = WeightLearner::new(TrainerConfig {
+            uniform_reg: reg,
+            ..Default::default()
+        })
+        .learn(enc.corpus.store(), &labels);
         let must = MustFramework::build(
             Arc::clone(&enc.corpus),
             learned.weights.clone(),
@@ -173,7 +183,11 @@ fn main() {
             policy,
         );
         let s = two_round(&enc, &je, queries, K, EF, 777);
-        tc.row(vec![name.to_string(), format!("{:.3}", s.round1), format!("{:.3}", s.round2)]);
+        tc.row(vec![
+            name.to_string(),
+            format!("{:.3}", s.round1),
+            format!("{:.3}", s.round2),
+        ]);
     }
     tc.print();
     println!("\nshape check: multi-entry + repair + knn-init each buy recall; moderate");

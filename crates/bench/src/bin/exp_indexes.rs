@@ -18,8 +18,7 @@ use mqa_graph::{
     FlatDistance, IndexAlgorithm, VectorIndex,
 };
 use mqa_kb::DatasetSpec;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mqa_rng::StdRng;
 
 const K: usize = 10;
 const EF: usize = 64;
@@ -48,7 +47,11 @@ fn main() {
     let queries: Vec<Vec<f32>> = (0..n_queries)
         .map(|_| {
             let id = rng.gen_range(0..store.len()) as u32;
-            store.get(id).iter().map(|x| x + rng.gen_range(-0.05..0.05)).collect()
+            store
+                .get(id)
+                .iter()
+                .map(|x| x + rng.gen_range(-0.05f32..0.05))
+                .collect()
         })
         .collect();
 
@@ -84,8 +87,7 @@ fn main() {
             hits += out.ids().iter().filter(|id| t.contains(id)).count();
         }
         let elapsed = t0.elapsed().as_secs_f64();
-        let mem_mib = (store.bytes() as f64
-            + idx.avg_degree() * store.len() as f64 * 4.0)
+        let mem_mib = (store.bytes() as f64 + idx.avg_degree() * store.len() as f64 * 4.0)
             / (1024.0 * 1024.0);
         table.row(vec![
             algo.name().to_string(),
@@ -104,7 +106,13 @@ fn main() {
     let store_arc = std::sync::Arc::new(store.clone());
     let nav = mqa_graph::vamana::build(&store_arc, mqa_vector::Metric::L2, 24, 64, 1.2, 0);
     let per_page = PageLayout::vertices_per_page(dim, 24);
-    let mut st = Table::new(&["variant", "pages", "recall@10", "page reads/query", "RAM codes"]);
+    let mut st = Table::new(&[
+        "variant",
+        "pages",
+        "recall@10",
+        "page reads/query",
+        "RAM codes",
+    ]);
     for strategy in [LayoutStrategy::InsertionOrder, LayoutStrategy::BfsCluster] {
         let layout = PageLayout::build(nav.graph(), per_page, strategy);
         let paged = PagedIndex::new(nav.graph().clone(), nav.entries().to_vec(), layout);

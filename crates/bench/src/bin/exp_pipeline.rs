@@ -44,7 +44,10 @@ fn main() {
         tb.row(vec![
             m.label().to_string(),
             format!("{:.1}", d.as_secs_f64() * 1e3),
-            format!("{:.1}%", 100.0 * d.as_secs_f64() / total_build.as_secs_f64()),
+            format!(
+                "{:.1}%",
+                100.0 * d.as_secs_f64() / total_build.as_secs_f64()
+            ),
         ]);
     }
     tb.print();
@@ -56,21 +59,41 @@ fn main() {
     let mut answer_ms = 0.0f64;
     for case in &workload.cases {
         let t0 = std::time::Instant::now();
-        let reply = system.ask_once(Turn::text(&case.round1_text)).expect("answers");
+        let reply = system
+            .ask_once(Turn::text(&case.round1_text))
+            .expect("answers");
         let turn_total = t0.elapsed().as_secs_f64() * 1e3;
         let r = reply.latency.as_secs_f64() * 1e3;
         retrieval_ms += r;
         answer_ms += (turn_total - r).max(0.0);
     }
     let mut tt = Table::new(&["turn stage", "mean latency (ms)"]);
-    tt.row(vec!["query execution (retrieval)".into(), format!("{:.3}", retrieval_ms / n_turns as f64)]);
-    tt.row(vec!["answer generation (+ encode/assembly)".into(), format!("{:.3}", answer_ms / n_turns as f64)]);
+    tt.row(vec![
+        "query execution (retrieval)".into(),
+        format!("{:.3}", retrieval_ms / n_turns as f64),
+    ]);
+    tt.row(vec![
+        "answer generation (+ encode/assembly)".into(),
+        format!("{:.3}", answer_ms / n_turns as f64),
+    ]);
     tt.print();
 
     // (c) grounding fidelity: do replies cite fabricated attributes?
     let parametric = [
-        "vintage", "handcrafted", "limited", "signature", "premium", "bespoke", "artisanal",
-        "iconic", "exclusive", "heritage", "curated", "timeless", "renowned", "celebrated",
+        "vintage",
+        "handcrafted",
+        "limited",
+        "signature",
+        "premium",
+        "bespoke",
+        "artisanal",
+        "iconic",
+        "exclusive",
+        "heritage",
+        "curated",
+        "timeless",
+        "renowned",
+        "celebrated",
     ];
     let model = MockChatModel::new(0);
     let mut grounded_fab = 0usize;
@@ -78,7 +101,9 @@ fn main() {
     let sample = workload.cases.iter().take(n_turns.min(100));
     let mut counted = 0usize;
     for case in sample {
-        let reply = system.ask_once(Turn::text(&case.round1_text)).expect("answers");
+        let reply = system
+            .ask_once(Turn::text(&case.round1_text))
+            .expect("answers");
         let text = reply.message.expect("mock LLM configured");
         grounded_fab += parametric.iter().any(|w| text.contains(w)) as usize;
         // LLM-only mode: same question, knowledge ingestion disabled.
@@ -87,7 +112,9 @@ fn main() {
         counted += 1;
     }
     println!("\ngrounding fidelity over {counted} questions:");
-    println!("  retrieval-augmented replies citing fabricated attributes: {grounded_fab}/{counted}");
+    println!(
+        "  retrieval-augmented replies citing fabricated attributes: {grounded_fab}/{counted}"
+    );
     println!("  LLM-only (no knowledge base)  citing fabricated attributes: {bare_fab}/{counted}");
     println!("\nshape check: retrieval latency dominates the turn; grounded replies never");
     println!("fabricate while parametric-only replies almost always do.");

@@ -96,7 +96,10 @@ fn main() {
             ef.to_string(),
             format!("{:.0}", terms_full as f64 / queries.len() as f64),
             format!("{:.0}", terms_pruned as f64 / queries.len() as f64),
-            format!("{:.1}%", 100.0 * skipped as f64 / (terms_pruned + skipped) as f64),
+            format!(
+                "{:.1}%",
+                100.0 * skipped as f64 / (terms_pruned + skipped) as f64
+            ),
             format!("{:.2}x", t_full / t_pruned),
             identical.to_string(),
         ]);

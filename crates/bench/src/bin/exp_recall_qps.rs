@@ -32,7 +32,10 @@ fn main() {
             .seed(2024),
         ..SetupParams::default()
     };
-    println!("E5: {objects} objects, {queries} multi-modal queries, k={K}, index={}\n", params.algo.name());
+    println!(
+        "E5: {objects} objects, {queries} multi-modal queries, k={K}, index={}\n",
+        params.algo.name()
+    );
     let enc = encode(&params);
     let fws = build_frameworks(&enc, &params.algo);
     println!(
@@ -53,7 +56,10 @@ fn main() {
                 Some(RawContent::Image(i)) => i.clone(),
                 _ => unreachable!(),
             };
-            (MultiModalQuery::text_and_image(&case.round2_text, img), case.concept)
+            (
+                MultiModalQuery::text_and_image(&case.round2_text, img),
+                case.concept,
+            )
         })
         .collect();
 

@@ -23,7 +23,11 @@ const EF: usize = 64;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let sizes: &[usize] = if quick { &[1_000, 2_000, 4_000] } else { &[5_000, 10_000, 20_000, 40_000] };
+    let sizes: &[usize] = if quick {
+        &[1_000, 2_000, 4_000]
+    } else {
+        &[5_000, 10_000, 20_000, 40_000]
+    };
     let n_queries = if quick { 40 } else { 150 };
     println!("E9: sizes {sizes:?}, {n_queries} queries each, k={K}, ef={EF}\n");
 
@@ -87,8 +91,10 @@ fn main() {
 
         // Exact fused scan (the no-index baseline the panel also offers).
         let t0 = std::time::Instant::now();
-        let exact_ids: Vec<Vec<u32>> =
-            queries.iter().map(|q| index.search_exact(q, None, K).ids()).collect();
+        let exact_ids: Vec<Vec<u32>> = queries
+            .iter()
+            .map(|q| index.search_exact(q, None, K).ids())
+            .collect();
         let t_flat = t0.elapsed().as_secs_f64();
 
         let mut hits = 0usize;

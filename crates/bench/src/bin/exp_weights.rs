@@ -63,9 +63,13 @@ fn main() {
     // Sweep from image-favourable to text-favourable asymmetry. Noise
     // levels are high enough that neither modality alone is perfect, so
     // the fused weighting itself carries the recall difference.
-    for (cap_noise, img_noise) in
-        [(0.02, 1.60), (0.30, 1.20), (0.60, 0.80), (0.85, 0.40), (0.95, 0.25)]
-    {
+    for (cap_noise, img_noise) in [
+        (0.02, 1.60),
+        (0.30, 1.20),
+        (0.60, 0.80),
+        (0.85, 0.40),
+        (0.95, 0.25),
+    ] {
         let (kb, info) = DatasetSpec::weather()
             .objects(objects)
             .concepts(240)
@@ -80,7 +84,9 @@ fn main() {
         let encoders = EncoderSet::default_for(&registry, &schema, 48);
         let corpus = Arc::new(EncodedCorpus::encode(kb, encoders));
         let labels = corpus.concept_labels().unwrap();
-        let learned = WeightLearner::default().learn(corpus.store(), &labels).weights;
+        let learned = WeightLearner::default()
+            .learn(corpus.store(), &labels)
+            .weights;
 
         // Workload: round-2-style text + reference image queries.
         let workload = WorkloadSpec::new(n_queries, 31).generate(&info);

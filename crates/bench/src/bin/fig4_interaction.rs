@@ -18,8 +18,7 @@ use mqa_bench::Table;
 use mqa_core::{Config, MqaSystem, Turn};
 use mqa_encoders::RawContent;
 use mqa_kb::{recall_at_k, round2_recall_at_k, DatasetSpec, GroundTruth, WorkloadSpec};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mqa_rng::StdRng;
 
 const K: usize = 5;
 
@@ -36,7 +35,14 @@ fn main() {
         .generate_with_info();
     let gt = GroundTruth::build(&kb);
     println!("F4: {objects} objects, {dialogues} dialogues per scenario, k={K}\n");
-    let system = MqaSystem::build(Config { k: K, ..Config::default() }, kb).expect("builds");
+    let system = MqaSystem::build(
+        Config {
+            k: K,
+            ..Config::default()
+        },
+        kb,
+    )
+    .expect("builds");
     let workload = WorkloadSpec::new(dialogues, 4242).generate(&info);
 
     // ── Scenario (a): text-only input, three rounds ──
@@ -74,9 +80,21 @@ fn main() {
     }
     let n = dialogues as f64;
     let mut ta = Table::new(&["scenario (a) text-only", "metric", "value"]);
-    ta.row(vec!["round 1".into(), "concept recall@5".into(), format!("{:.3}", r1 / n)]);
-    ta.row(vec!["round 2 (click + refine)".into(), "style recall@5".into(), format!("{:.3}", r2 / n)]);
-    ta.row(vec!["round 3 (click + refine)".into(), "style recall@5".into(), format!("{:.3}", r3 / n)]);
+    ta.row(vec![
+        "round 1".into(),
+        "concept recall@5".into(),
+        format!("{:.3}", r1 / n),
+    ]);
+    ta.row(vec![
+        "round 2 (click + refine)".into(),
+        "style recall@5".into(),
+        format!("{:.3}", r2 / n),
+    ]);
+    ta.row(vec![
+        "round 3 (click + refine)".into(),
+        "style recall@5".into(),
+        format!("{:.3}", r3 / n),
+    ]);
     ta.print();
 
     // ── Scenario (b): image-assisted input ──
@@ -102,7 +120,11 @@ fn main() {
         rb_style += round2_recall_at_k(&gt, &ids, upload_id, case.concept, style, K);
     }
     let mut tb = Table::new(&["scenario (b) image-assisted", "metric", "value"]);
-    tb.row(vec!["single round".into(), "concept recall@5".into(), format!("{:.3}", rb_concept / n)]);
+    tb.row(vec![
+        "single round".into(),
+        "concept recall@5".into(),
+        format!("{:.3}", rb_concept / n),
+    ]);
     tb.row(vec![
         "single round".into(),
         "style recall@5 (vs upload)".into(),

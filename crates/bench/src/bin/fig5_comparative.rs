@@ -69,7 +69,10 @@ fn main() {
             format!("{:.3}", s.round1),
             format!("{:.3}", s.round2),
             format!("{:.2}", s.good_picks),
-            format!("{:.3}", s.elapsed.as_secs_f64() * 1e3 / (2.0 * queries as f64)),
+            format!(
+                "{:.3}",
+                s.elapsed.as_secs_f64() * 1e3 / (2.0 * queries as f64)
+            ),
         ]);
     }
     table.print();

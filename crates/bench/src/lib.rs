@@ -1,7 +1,7 @@
 //! # mqa-bench
 //!
 //! Shared harness utilities for the experiment binaries (`src/bin/fig*`,
-//! `src/bin/exp*`) and the Criterion micro-benchmarks (`benches/`). The
+//! `src/bin/exp*`) and the micro-benchmarks (`benches/`). The
 //! per-experiment index — which binary regenerates which figure/claim of
 //! the paper — lives in `DESIGN.md` §5; measured outputs are recorded in
 //! `EXPERIMENTS.md`.
@@ -13,7 +13,9 @@
 pub mod protocol;
 pub mod setup;
 pub mod table;
+pub mod timing;
 
 pub use protocol::{two_round, RoundScores};
 pub use setup::{build_frameworks, encode, Frameworks, SetupParams};
 pub use table::Table;
+pub use timing::Bencher;

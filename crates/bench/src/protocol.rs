@@ -59,7 +59,11 @@ pub fn two_round(
             Some(RawContent::Image(i)) => i.clone(),
             _ => unreachable!("image modality present"),
         };
-        let out2 = fw.search(&MultiModalQuery::text_and_image(&case.round2_text, img), k, ef);
+        let out2 = fw.search(
+            &MultiModalQuery::text_and_image(&case.round2_text, img),
+            k,
+            ef,
+        );
         s.evals += out2.stats.evals;
         s.round2 += round2_recall_at_k(&enc.gt, &out2.ids(), pick, case.concept, style, k);
     }

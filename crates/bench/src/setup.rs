@@ -61,9 +61,16 @@ pub fn encode(params: &SetupParams) -> Encoded {
     let schema = kb.schema().clone();
     let encoders = EncoderSet::default_for(&registry, &schema, params.dim);
     let corpus = Arc::new(EncodedCorpus::encode(kb, encoders));
-    let labels = corpus.concept_labels().expect("generated corpora are labelled");
+    let labels = corpus
+        .concept_labels()
+        .expect("generated corpora are labelled");
     let learned = WeightLearner::default().learn(corpus.store(), &labels);
-    Encoded { corpus, info, gt, learned }
+    Encoded {
+        corpus,
+        info,
+        gt,
+        learned,
+    }
 }
 
 /// The three frameworks built over one corpus, with build times.
@@ -94,7 +101,12 @@ pub fn build_frameworks(enc: &Encoded, algo: &IndexAlgorithm) -> Frameworks {
     let t0 = std::time::Instant::now();
     let je = JeFramework::build(Arc::clone(&enc.corpus), Metric::L2, algo);
     let t_je = t0.elapsed();
-    Frameworks { must, mr, je, build_times: [t_must, t_mr, t_je] }
+    Frameworks {
+        must,
+        mr,
+        je,
+        build_times: [t_must, t_mr, t_je],
+    }
 }
 
 /// A MUST framework built with explicit weights (for the E6 ablation).

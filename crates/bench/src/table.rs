@@ -10,7 +10,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a data row.

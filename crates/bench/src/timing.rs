@@ -1,0 +1,134 @@
+//! Minimal micro-benchmark timing harness used by the `benches/` targets
+//! (each built with `harness = false`). Calibrates an iteration count so a
+//! sample lasts a few tens of milliseconds, then reports the fastest
+//! per-iteration time over several samples — the low-noise estimator for
+//! CPU-bound kernels.
+
+use std::time::{Duration, Instant};
+
+/// A named group of micro-benchmarks sharing sampling settings.
+pub struct Bencher {
+    group: String,
+    sample_target: Duration,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Creates a group with default settings (7 samples of ~40 ms each).
+    #[must_use]
+    pub fn new(group: &str) -> Self {
+        Self {
+            group: group.to_string(),
+            sample_target: Duration::from_millis(40),
+            samples: 7,
+        }
+    }
+
+    /// Overrides the per-sample time target (for slow, coarse benchmarks).
+    #[must_use]
+    pub fn sample_target(mut self, target: Duration) -> Self {
+        self.sample_target = target;
+        self
+    }
+
+    /// Overrides the number of samples taken.
+    #[must_use]
+    pub fn samples(mut self, samples: usize) -> Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Times `f`, printing the fastest observed per-iteration cost.
+    pub fn bench<F: FnMut()>(&self, name: &str, mut f: F) {
+        // Calibrate: double the batch until one batch is long enough to
+        // time reliably, then scale it to the per-sample target.
+        let mut iters: u64 = 1;
+        let per_ns = loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= self.sample_target / 8 || iters >= 1 << 28 {
+                break (elapsed.as_nanos() / u128::from(iters)).max(1);
+            }
+            iters = iters.saturating_mul(2);
+        };
+        let target_ns = self.sample_target.as_nanos();
+        iters = u64::try_from((target_ns / per_ns).max(1)).unwrap_or(u64::MAX);
+        let mut best = f64::INFINITY;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let per = t0.elapsed().as_nanos() as f64 / iters as f64;
+            best = best.min(per);
+        }
+        self.report(name, best);
+    }
+
+    /// Times `f` on fresh state from `setup` each run; setup is untimed.
+    /// Suited to consumable state (e.g. a scanner with interior caches).
+    pub fn bench_batched<S, Setup: FnMut() -> S, F: FnMut(S)>(
+        &self,
+        name: &str,
+        mut setup: Setup,
+        mut f: F,
+    ) {
+        // One run per sample: state construction cost stays outside the
+        // timed region, so runs must individually be long enough to time.
+        let runs = self.samples.max(5) * 4;
+        let mut best = f64::INFINITY;
+        for _ in 0..runs {
+            let state = setup();
+            let t0 = Instant::now();
+            f(state);
+            best = best.min(t0.elapsed().as_nanos() as f64);
+        }
+        self.report(name, best);
+    }
+
+    fn report(&self, name: &str, ns: f64) {
+        let label = format!("{}/{}", self.group, name);
+        println!("{label:<52} {:>12}/iter", format_ns(ns));
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_scales() {
+        assert_eq!(format_ns(12.34), "12.3 ns");
+        assert_eq!(format_ns(12_340.0), "12.34 µs");
+        assert_eq!(format_ns(12_340_000.0), "12.34 ms");
+        assert_eq!(format_ns(2_500_000_000.0), "2.500 s");
+    }
+
+    #[test]
+    fn bench_runs_closure() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let calls = AtomicU64::new(0);
+        Bencher::new("t")
+            .sample_target(Duration::from_micros(200))
+            .samples(2)
+            .bench("noop", || {
+                calls.fetch_add(1, Ordering::Relaxed);
+            });
+        assert!(calls.load(Ordering::Relaxed) > 0);
+    }
+}

@@ -40,7 +40,10 @@ impl AnswerGenerator {
 
     /// The model name, for the status panel.
     pub fn model_name(&self) -> &str {
-        self.llm.as_deref().map(LanguageModel::name).unwrap_or("none")
+        self.llm
+            .as_deref()
+            .map(LanguageModel::name)
+            .unwrap_or("none")
     }
 
     /// Builds the context entries for a result list.
@@ -97,7 +100,11 @@ mod tests {
     use mqa_kb::DatasetSpec;
 
     fn kb() -> KnowledgeBase {
-        DatasetSpec::weather().objects(10).concepts(2).seed(1).generate()
+        DatasetSpec::weather()
+            .objects(10)
+            .concepts(2)
+            .seed(1)
+            .generate()
     }
 
     #[test]
@@ -118,8 +125,7 @@ mod tests {
         let gen = AnswerGenerator::from_choice(&LlmChoice::Mock { seed: 1 }, 0.0);
         assert!(gen.has_llm());
         assert_eq!(gen.model_name(), "mock-chat");
-        let entries =
-            AnswerGenerator::context_entries(&kb, &[Candidate::new(0, 0.1)], None);
+        let entries = AnswerGenerator::context_entries(&kb, &[Candidate::new(0, 0.1)], None);
         let reply = gen.generate("foggy clouds", entries, &[]).unwrap();
         assert!(reply.grounded);
         assert!(reply.text.contains(&kb.get(0).title));
@@ -139,10 +145,11 @@ mod tests {
         // temperature changes sampling; at t=0 the reply stays stable.
         let kb = kb();
         let gen = AnswerGenerator::from_choice(&LlmChoice::Mock { seed: 1 }, 0.0);
-        let entries =
-            AnswerGenerator::context_entries(&kb, &[Candidate::new(0, 0.1)], None);
+        let entries = AnswerGenerator::context_entries(&kb, &[Candidate::new(0, 0.1)], None);
         let a = gen.generate("q", entries.clone(), &[]).unwrap();
-        let b = gen.generate("q", entries, &["earlier turn".to_string()]).unwrap();
+        let b = gen
+            .generate("q", entries, &["earlier turn".to_string()])
+            .unwrap();
         assert_eq!(a.grounded, b.grounded);
         // history adds prompt tokens
         assert!(b.tokens > a.tokens);

@@ -26,7 +26,11 @@ impl QueryExecutor {
     /// last line of defence).
     pub fn new(framework: Arc<dyn RetrievalFramework>, k: usize, ef: usize) -> Self {
         assert!(k > 0, "result count must be >= 1");
-        Self { framework, k, ef: ef.max(k) }
+        Self {
+            framework,
+            k,
+            ef: ef.max(k),
+        }
     }
 
     /// Augments `query` with the image content of a selected prior result:
@@ -80,7 +84,11 @@ mod tests {
 
     #[test]
     fn augmentation_grafts_selected_image() {
-        let kb = DatasetSpec::weather().objects(10).concepts(2).seed(1).generate();
+        let kb = DatasetSpec::weather()
+            .objects(10)
+            .concepts(2)
+            .seed(1)
+            .generate();
         let mut q = MultiModalQuery::text("more like this");
         QueryExecutor::augment_with_selection(&mut q, &kb, 3);
         let grafted = q.image.expect("image grafted");
@@ -92,7 +100,11 @@ mod tests {
 
     #[test]
     fn explicit_image_wins_over_selection() {
-        let kb = DatasetSpec::weather().objects(10).concepts(2).seed(1).generate();
+        let kb = DatasetSpec::weather()
+            .objects(10)
+            .concepts(2)
+            .seed(1)
+            .generate();
         let user_img = mqa_encoders::ImageData::new(vec![9.0; 64]);
         let mut q = MultiModalQuery::text_and_image("x", user_img.clone());
         QueryExecutor::augment_with_selection(&mut q, &kb, 3);
@@ -106,11 +118,18 @@ mod tests {
         let mut kb = KnowledgeBase::new(
             "texts",
             ContentSchema::new(
-                vec![FieldSpec { name: "body".into(), kind: ModalityKind::Text }],
+                vec![FieldSpec {
+                    name: "body".into(),
+                    kind: ModalityKind::Text,
+                }],
                 0,
             ),
         );
-        kb.ingest(ObjectRecord::new("t", vec![Some(RawContent::text("hello"))])).unwrap();
+        kb.ingest(ObjectRecord::new(
+            "t",
+            vec![Some(RawContent::text("hello"))],
+        ))
+        .unwrap();
         let mut q = MultiModalQuery::text("more");
         QueryExecutor::augment_with_selection(&mut q, &kb, 0);
         assert!(q.image.is_none());

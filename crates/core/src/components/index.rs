@@ -29,15 +29,22 @@ pub fn run(rep: &Represented, config: &Config) -> Result<BuiltFramework, MqaErro
             config.metric,
             &config.index,
         )),
-        FrameworkKind::Mr => {
-            Arc::new(MrFramework::build(Arc::clone(&rep.corpus), config.metric, &config.index))
-        }
-        FrameworkKind::Je => {
-            Arc::new(JeFramework::build(Arc::clone(&rep.corpus), config.metric, &config.index))
-        }
+        FrameworkKind::Mr => Arc::new(MrFramework::build(
+            Arc::clone(&rep.corpus),
+            config.metric,
+            &config.index,
+        )),
+        FrameworkKind::Je => Arc::new(JeFramework::build(
+            Arc::clone(&rep.corpus),
+            config.metric,
+            &config.index,
+        )),
     };
     let description = framework.describe();
-    Ok(BuiltFramework { framework, description })
+    Ok(BuiltFramework {
+        framework,
+        description,
+    })
 }
 
 #[cfg(test)]
@@ -47,7 +54,11 @@ mod tests {
     use mqa_kb::DatasetSpec;
 
     fn rep() -> Represented {
-        let kb = DatasetSpec::weather().objects(60).concepts(6).seed(1).generate();
+        let kb = DatasetSpec::weather()
+            .objects(60)
+            .concepts(6)
+            .seed(1)
+            .generate();
         let pre = preprocess::run(kb).unwrap();
         represent::run(&pre, &Config::default()).unwrap()
     }
@@ -56,7 +67,10 @@ mod tests {
     fn builds_each_framework_kind() {
         let rep = rep();
         for kind in [FrameworkKind::Must, FrameworkKind::Mr, FrameworkKind::Je] {
-            let cfg = Config { framework: kind, ..Config::default() };
+            let cfg = Config {
+                framework: kind,
+                ..Config::default()
+            };
             let built = run(&rep, &cfg).unwrap();
             assert_eq!(built.framework.kind(), kind);
             assert!(!built.description.is_empty());

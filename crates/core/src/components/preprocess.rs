@@ -65,7 +65,11 @@ mod tests {
 
     #[test]
     fn generated_corpus_is_labelled_and_complete() {
-        let kb = DatasetSpec::weather().objects(20).concepts(4).seed(1).generate();
+        let kb = DatasetSpec::weather()
+            .objects(20)
+            .concepts(4)
+            .seed(1)
+            .generate();
         let p = run(kb).unwrap();
         assert_eq!(p.object_count, 20);
         assert_eq!(p.modality_count, 2);
@@ -76,8 +80,11 @@ mod tests {
     #[test]
     fn user_ingestion_is_unlabelled() {
         let mut kb = KnowledgeBase::new("user", ContentSchema::caption_image(4));
-        kb.ingest(ObjectRecord::new("a", vec![Some(RawContent::text("hello")), None]))
-            .unwrap();
+        kb.ingest(ObjectRecord::new(
+            "a",
+            vec![Some(RawContent::text("hello")), None],
+        ))
+        .unwrap();
         let p = run(kb).unwrap();
         assert!(!p.labelled);
         assert_eq!(p.partial_objects, 1);

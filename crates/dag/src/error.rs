@@ -57,9 +57,14 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = DagError::UnknownDependency { task: "a".into(), dependency: "b".into() };
+        let e = DagError::UnknownDependency {
+            task: "a".into(),
+            dependency: "b".into(),
+        };
         assert!(e.to_string().contains("a") && e.to_string().contains("b"));
         assert!(DagError::Cycle("x".into()).to_string().contains("cycle"));
-        assert!(DagError::MissingArtifact("k".into()).to_string().contains("k"));
+        assert!(DagError::MissingArtifact("k".into())
+            .to_string()
+            .contains("k"));
     }
 }

@@ -108,33 +108,31 @@ impl Dag {
             return Ok(vec![(wave[0], out, t0.elapsed())]);
         }
         let mut results = Vec::with_capacity(wave.len());
-        crossbeam::thread::scope(|scope| {
+        let mut panicked = false;
+        std::thread::scope(|scope| {
             let handles: Vec<_> = wave
                 .iter()
                 .map(|&t| {
                     let node = &self.tasks[t];
                     let ctx_ref: &Context = ctx;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let t0 = Instant::now();
                         let out = (node.run)(ctx_ref);
                         (t, out, t0.elapsed())
                     })
                 })
                 .collect();
+            // Joining every handle keeps siblings of a panicking task
+            // running to completion; the panic is reported afterwards.
             for h in handles {
                 match h.join() {
                     Ok(r) => results.push(r),
-                    Err(_) => results.push((
-                        usize::MAX,
-                        Err("task panicked".to_string()),
-                        Duration::ZERO,
-                    )),
+                    Err(_) => panicked = true,
                 }
             }
-        })
-        .map_err(|_| DagError::TaskPanicked("<wave>".to_string()))?;
-        if let Some((_, _, _)) = results.iter().find(|(t, _, _)| *t == usize::MAX) {
-            return Err(DagError::TaskPanicked("<unknown>".to_string()));
+        });
+        if panicked {
+            return Err(DagError::TaskPanicked("<wave>".to_string()));
         }
         Ok(results)
     }
@@ -150,7 +148,9 @@ mod tests {
     #[test]
     fn sequential_execution_passes_artifacts() {
         let dag = DagBuilder::new()
-            .task("produce", &[], |_| Ok(vec![("x".to_string(), Box::new(21u32) as _)]))
+            .task("produce", &[], |_| {
+                Ok(vec![("x".to_string(), Box::new(21u32) as _)])
+            })
             .task("double", &["produce"], |ctx| {
                 let x = ctx.get::<u32>("x").map_err(|e| e.to_string())?;
                 Ok(vec![("y".to_string(), Box::new(x * 2) as _)])
@@ -185,7 +185,9 @@ mod tests {
     fn parallel_and_sequential_agree() {
         let build = || {
             DagBuilder::new()
-                .task("a", &[], |_| Ok(vec![("a".to_string(), Box::new(1u32) as _)]))
+                .task("a", &[], |_| {
+                    Ok(vec![("a".to_string(), Box::new(1u32) as _)])
+                })
                 .task("b", &["a"], |ctx| {
                     let a = *ctx.get::<u32>("a").map_err(|e| e.to_string())?;
                     Ok(vec![("b".to_string(), Box::new(a + 1) as _)])
@@ -219,7 +221,10 @@ mod tests {
         let err = dag.execute(&mut ctx, ExecMode::Sequential).unwrap_err();
         assert_eq!(
             err,
-            DagError::TaskFailed { task: "boom".into(), message: "kaput".into() }
+            DagError::TaskFailed {
+                task: "boom".into(),
+                message: "kaput".into()
+            }
         );
     }
 
@@ -263,8 +268,12 @@ mod tests {
     #[test]
     fn same_key_last_registered_wins() {
         let dag = DagBuilder::new()
-            .task("first", &[], |_| Ok(vec![("k".to_string(), Box::new(1u32) as _)]))
-            .task("second", &[], |_| Ok(vec![("k".to_string(), Box::new(2u32) as _)]))
+            .task("first", &[], |_| {
+                Ok(vec![("k".to_string(), Box::new(1u32) as _)])
+            })
+            .task("second", &[], |_| {
+                Ok(vec![("k".to_string(), Box::new(2u32) as _)])
+            })
             .build()
             .unwrap();
         for mode in [ExecMode::Sequential, ExecMode::Parallel] {

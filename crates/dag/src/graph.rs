@@ -64,7 +64,10 @@ impl Dag {
         }
         for t in &self.tasks {
             for &d in &t.deps {
-                out.push_str(&format!("  \"{}\" -> \"{}\";\n", self.tasks[d].name, t.name));
+                out.push_str(&format!(
+                    "  \"{}\" -> \"{}\";\n",
+                    self.tasks[d].name, t.name
+                ));
             }
         }
         out.push_str("}\n");
@@ -72,10 +75,143 @@ impl Dag {
     }
 }
 
+/// A structural defect in a [`Dag`]'s wave schedule, reported by
+/// [`Dag::validate`].
+///
+/// [`DagBuilder::build`] only ever produces sound schedules; this audit
+/// exists as an executable statement of the invariants (exercised by
+/// `mqa-xtask audit`) and as a tripwire should a future construction or
+/// deserialization path break them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaveViolation {
+    /// A task assigned to no wave.
+    MissingTask {
+        /// The unscheduled task.
+        name: String,
+    },
+    /// A task assigned to more than one wave slot.
+    DuplicateTask {
+        /// The doubly scheduled task.
+        name: String,
+    },
+    /// A wave entry outside `0..len()`.
+    UnknownIndex {
+        /// The wave holding the bad entry.
+        wave: usize,
+        /// The out-of-range task index.
+        index: usize,
+    },
+    /// A wave with no tasks (waves must be dense).
+    EmptyWave {
+        /// The empty wave.
+        wave: usize,
+    },
+    /// A dependency scheduled in the same or a later wave than its
+    /// dependent (executing the schedule would read unpublished
+    /// artifacts).
+    ForwardDependency {
+        /// The dependent task.
+        task: String,
+        /// The dependency that is not scheduled strictly earlier.
+        dependency: String,
+    },
+    /// A dependency index outside `0..len()`.
+    UnknownDependency {
+        /// The task carrying the bad index.
+        task: String,
+        /// The out-of-range dependency index.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for WaveViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MissingTask { name } => write!(f, "task `{name}` is in no wave"),
+            Self::DuplicateTask { name } => write!(f, "task `{name}` is scheduled twice"),
+            Self::UnknownIndex { wave, index } => {
+                write!(f, "wave {wave} references unknown task index {index}")
+            }
+            Self::EmptyWave { wave } => write!(f, "wave {wave} is empty"),
+            Self::ForwardDependency { task, dependency } => {
+                write!(
+                    f,
+                    "task `{task}` runs no later than its dependency `{dependency}`"
+                )
+            }
+            Self::UnknownDependency { task, index } => {
+                write!(f, "task `{task}` depends on unknown task index {index}")
+            }
+        }
+    }
+}
+
+impl Dag {
+    /// Audits the wave schedule against the DAG's structural invariants
+    /// and returns every violation found (empty = sound).
+    ///
+    /// Checked invariants:
+    /// - the waves exactly partition the task set (every task in exactly
+    ///   one wave, no unknown indices, no empty waves);
+    /// - every dependency edge points to a known task scheduled in a
+    ///   *strictly earlier* wave — the property the executor relies on to
+    ///   run a wave's tasks in parallel.
+    pub fn validate(&self) -> Vec<WaveViolation> {
+        let n = self.tasks.len();
+        let mut out = Vec::new();
+        let mut wave_of = vec![usize::MAX; n];
+        for (w, wave) in self.waves.iter().enumerate() {
+            if wave.is_empty() {
+                out.push(WaveViolation::EmptyWave { wave: w });
+            }
+            for &i in wave {
+                match wave_of.get_mut(i) {
+                    Some(slot) if *slot == usize::MAX => *slot = w,
+                    Some(_) => out.push(WaveViolation::DuplicateTask {
+                        name: self.tasks[i].name.clone(),
+                    }),
+                    None => out.push(WaveViolation::UnknownIndex { wave: w, index: i }),
+                }
+            }
+        }
+        for (i, task) in self.tasks.iter().enumerate() {
+            if wave_of[i] == usize::MAX {
+                out.push(WaveViolation::MissingTask {
+                    name: task.name.clone(),
+                });
+                continue;
+            }
+            for &d in &task.deps {
+                match wave_of.get(d) {
+                    Some(&dw) if dw != usize::MAX => {
+                        if dw >= wave_of[i] {
+                            out.push(WaveViolation::ForwardDependency {
+                                task: task.name.clone(),
+                                dependency: self.tasks[d].name.clone(),
+                            });
+                        }
+                    }
+                    // An unscheduled dependency is already reported as
+                    // missing; only a truly unknown index is new here.
+                    Some(_) => {}
+                    None => out.push(WaveViolation::UnknownDependency {
+                        task: task.name.clone(),
+                        index: d,
+                    }),
+                }
+            }
+        }
+        out
+    }
+}
+
 impl std::fmt::Debug for Dag {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Dag")
-            .field("tasks", &self.tasks.iter().map(|t| &t.name).collect::<Vec<_>>())
+            .field(
+                "tasks",
+                &self.tasks.iter().map(|t| &t.name).collect::<Vec<_>>(),
+            )
             .field("waves", &self.waves)
             .finish()
     }
@@ -136,11 +272,18 @@ impl DagBuilder {
                 match self.names.get(&d) {
                     Some(&i) => dep_ids.push(i),
                     None => {
-                        return Err(DagError::UnknownDependency { task: name, dependency: d })
+                        return Err(DagError::UnknownDependency {
+                            task: name,
+                            dependency: d,
+                        })
                     }
                 }
             }
-            nodes.push(TaskNode { name, deps: dep_ids, run });
+            nodes.push(TaskNode {
+                name,
+                deps: dep_ids,
+                run,
+            });
         }
 
         // Kahn's algorithm, grouped into waves for parallel execution.
@@ -176,7 +319,10 @@ impl DagBuilder {
                 .unwrap_or_default();
             return Err(DagError::Cycle(on_cycle));
         }
-        Ok(Dag { tasks: nodes, waves })
+        Ok(Dag {
+            tasks: nodes,
+            waves,
+        })
     }
 }
 
@@ -281,5 +427,67 @@ mod tests {
             .build()
             .unwrap_err();
         assert_eq!(err, DagError::Cycle("a".into()));
+    }
+
+    fn diamond() -> Dag {
+        DagBuilder::new()
+            .task("src", &[], |_| Ok(noop()))
+            .task("left", &["src"], |_| Ok(noop()))
+            .task("right", &["src"], |_| Ok(noop()))
+            .task("sink", &["left", "right"], |_| Ok(noop()))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn validate_accepts_built_dags() {
+        assert!(diamond().validate().is_empty());
+        assert!(DagBuilder::new().build().unwrap().validate().is_empty());
+    }
+
+    #[test]
+    fn validate_detects_corrupted_schedules() {
+        // A task dropped from its wave.
+        let mut dag = diamond();
+        dag.waves[1].retain(|&i| i != 1);
+        let v = dag.validate();
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, WaveViolation::MissingTask { name } if name == "left")));
+
+        // A task scheduled twice.
+        let mut dag = diamond();
+        dag.waves[2].push(1);
+        let v = dag.validate();
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, WaveViolation::DuplicateTask { name } if name == "left")));
+
+        // A dependency moved after its dependent.
+        let mut dag = diamond();
+        dag.waves.swap(0, 2);
+        let v = dag.validate();
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, WaveViolation::ForwardDependency { .. })),
+            "{v:?}"
+        );
+
+        // An unknown task index and an empty wave.
+        let mut dag = diamond();
+        dag.waves[0].push(99);
+        dag.waves.push(Vec::new());
+        let v = dag.validate();
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, WaveViolation::UnknownIndex { index: 99, .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, WaveViolation::EmptyWave { .. })));
+
+        // Every violation renders.
+        for x in &v {
+            assert!(!x.to_string().is_empty());
+        }
     }
 }

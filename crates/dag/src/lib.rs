@@ -32,5 +32,5 @@ pub mod pipeline;
 pub use context::{Artifact, Context};
 pub use error::DagError;
 pub use executor::{ExecMode, Trace};
-pub use graph::{Dag, DagBuilder, TaskFn, TaskOutput};
+pub use graph::{Dag, DagBuilder, TaskFn, TaskOutput, WaveViolation};
 pub use pipeline::Pipeline;

@@ -14,14 +14,17 @@ use crate::DagError;
 /// An ordered chain of stages executed via the DAG engine.
 #[derive(Default)]
 pub struct Pipeline {
-    builder: Option<DagBuilder>,
+    builder: DagBuilder,
     last: Option<String>,
 }
 
 impl Pipeline {
     /// An empty pipeline.
     pub fn new() -> Self {
-        Self { builder: Some(DagBuilder::new()), last: None }
+        Self {
+            builder: DagBuilder::new(),
+            last: None,
+        }
     }
 
     /// Appends a stage that runs after all previously appended stages.
@@ -29,9 +32,8 @@ impl Pipeline {
     where
         F: Fn(&Context) -> Result<TaskOutput, String> + Send + Sync + 'static,
     {
-        let builder = self.builder.take().expect("pipeline builder present");
         let deps: Vec<&str> = self.last.as_deref().into_iter().collect();
-        self.builder = Some(builder.task(name, &deps, f));
+        self.builder = self.builder.task(name, &deps, f);
         self.last = Some(name.to_string());
         self
     }
@@ -42,7 +44,7 @@ impl Pipeline {
     /// Propagates construction errors ([`DagError::DuplicateTask`]) and the
     /// first stage failure.
     pub fn run(self, ctx: &mut Context) -> Result<Trace, DagError> {
-        let dag = self.builder.expect("pipeline builder present").build()?;
+        let dag = self.builder.build()?;
         dag.execute(ctx, ExecMode::Sequential)
     }
 }

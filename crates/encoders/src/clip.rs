@@ -52,7 +52,11 @@ impl ClipPair {
     }
 
     /// Encodes a caption/image pair into the shared space.
-    pub fn encode_pair(&self, caption: &str, image: &crate::image::ImageData) -> (Vec<f32>, Vec<f32>) {
+    pub fn encode_pair(
+        &self,
+        caption: &str,
+        image: &crate::image::ImageData,
+    ) -> (Vec<f32>, Vec<f32>) {
         (
             self.text.encode(&RawContent::text(caption)),
             self.image.encode(&RawContent::Image(image.clone())),

@@ -110,9 +110,8 @@ impl Encoder for VisualEncoder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mqa_rng::StdRng;
     use mqa_vector::Metric;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
 
     fn random_image(rng: &mut StdRng, dim: usize) -> ImageData {
         ImageData::new((0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())

@@ -24,7 +24,10 @@ impl JointEncoder {
     /// # Panics
     /// Panics if no towers are supplied.
     pub fn new(towers: Vec<Arc<dyn Encoder>>) -> Self {
-        assert!(!towers.is_empty(), "joint encoder requires at least one tower");
+        assert!(
+            !towers.is_empty(),
+            "joint encoder requires at least one tower"
+        );
         Self { towers }
     }
 

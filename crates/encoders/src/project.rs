@@ -43,7 +43,10 @@ impl ProjectionMatrix {
     /// # Panics
     /// Panics if either dimension is zero.
     pub fn new(seed: u64, rows: usize, cols: usize) -> Self {
-        assert!(rows > 0 && cols > 0, "projection matrix must be non-degenerate");
+        assert!(
+            rows > 0 && cols > 0,
+            "projection matrix must be non-degenerate"
+        );
         Self { seed, rows, cols }
     }
 
@@ -61,8 +64,11 @@ impl ProjectionMatrix {
     #[inline]
     pub fn entry(&self, i: usize, j: usize) -> f32 {
         debug_assert!(i < self.rows && j < self.cols);
-        let h = splitmix64(self.seed ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407)
-            ^ (j as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25));
+        let h = splitmix64(
+            self.seed
+                ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407)
+                ^ (j as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25),
+        );
         to_unit(h) / (self.rows as f32).sqrt()
     }
 
@@ -123,7 +129,10 @@ mod tests {
             .flat_map(|i| (0..10).map(move |j| (i, j)))
             .filter(|&(i, j)| a.entry(i, j) == b.entry(i, j))
             .count();
-        assert!(same < 5, "seeds should decorrelate entries, got {same} equal");
+        assert!(
+            same < 5,
+            "seeds should decorrelate entries, got {same} equal"
+        );
     }
 
     #[test]
@@ -157,7 +166,9 @@ mod tests {
     fn roughly_preserves_relative_distances() {
         // JL sanity check: nearby inputs stay nearer than far inputs.
         let m = ProjectionMatrix::new(5, 32, 64);
-        let base: Vec<f32> = (0..64).map(|i| ((i * 37 % 64) as f32 / 64.0) - 0.5).collect();
+        let base: Vec<f32> = (0..64)
+            .map(|i| ((i * 37 % 64) as f32 / 64.0) - 0.5)
+            .collect();
         let mut near = base.clone();
         near[0] += 0.05;
         let far: Vec<f32> = base.iter().map(|x| -x).collect();

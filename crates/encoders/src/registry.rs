@@ -105,7 +105,13 @@ impl EncoderRegistry {
     /// Names of all selectable encoders, as listed by the configuration
     /// panel.
     pub fn available() -> &'static [&'static str] {
-        &["hashing-text", "lstm-text", "visual-resnet", "clip-text", "clip-image"]
+        &[
+            "hashing-text",
+            "lstm-text",
+            "visual-resnet",
+            "clip-text",
+            "clip-image",
+        ]
     }
 
     /// Builds a live encoder from a configuration choice.
@@ -138,9 +144,15 @@ mod tests {
         let choices = [
             EncoderChoice::HashingText { dim: 32 },
             EncoderChoice::LstmText { dim: 16 },
-            EncoderChoice::VisualResnet { raw_dim: 8, dim: 24 },
+            EncoderChoice::VisualResnet {
+                raw_dim: 8,
+                dim: 24,
+            },
             EncoderChoice::ClipText { dim: 48 },
-            EncoderChoice::ClipImage { raw_dim: 8, dim: 48 },
+            EncoderChoice::ClipImage {
+                raw_dim: 8,
+                dim: 48,
+            },
         ];
         for c in &choices {
             let e = reg.instantiate(c);
@@ -173,7 +185,10 @@ mod tests {
 
     #[test]
     fn choice_serde_round_trip() {
-        let c = EncoderChoice::VisualResnet { raw_dim: 8, dim: 24 };
+        let c = EncoderChoice::VisualResnet {
+            raw_dim: 8,
+            dim: 24,
+        };
         let j = serde_json::to_string(&c).unwrap();
         let back: EncoderChoice = serde_json::from_str(&j).unwrap();
         assert_eq!(c, back);

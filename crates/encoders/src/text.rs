@@ -13,13 +13,12 @@ const HASH_SPACE: usize = 1 << 20;
 /// request ("could you assist me in finding images of …") embeds near the
 /// content words it shares with a caption.
 const STOPWORDS: &[&str] = &[
-    "a", "an", "the", "of", "in", "on", "at", "to", "for", "with", "and", "or", "is", "are",
-    "be", "it", "its", "this", "that", "these", "those", "i", "you", "me", "my", "your", "we",
-    "would", "could", "can", "will", "shall", "please", "like", "want", "need", "some", "any",
-    "more", "most", "one", "ones", "do", "does", "did", "have", "has", "had", "find",
-    "finding", "show", "locate", "assist", "help", "provide", "get", "give", "images",
-    "image", "pictures", "picture", "photos", "photo", "similar", "type", "so", "very",
-    "such", "as", "by", "from", "about",
+    "a", "an", "the", "of", "in", "on", "at", "to", "for", "with", "and", "or", "is", "are", "be",
+    "it", "its", "this", "that", "these", "those", "i", "you", "me", "my", "your", "we", "would",
+    "could", "can", "will", "shall", "please", "like", "want", "need", "some", "any", "more",
+    "most", "one", "ones", "do", "does", "did", "have", "has", "had", "find", "finding", "show",
+    "locate", "assist", "help", "provide", "get", "give", "images", "image", "pictures", "picture",
+    "photos", "photo", "similar", "type", "so", "very", "such", "as", "by", "from", "about",
 ];
 
 /// Lowercases, splits into alphanumeric tokens, and drops stopwords.
@@ -77,7 +76,10 @@ impl HashingTextEncoder {
         }
         for pair in tokens.windows(2) {
             let bigram = format!("{} {}", pair[0], pair[1]);
-            feats.push(((token_hash(self.seed, &bigram) as usize % HASH_SPACE) as u32, 0.5));
+            feats.push((
+                (token_hash(self.seed, &bigram) as usize % HASH_SPACE) as u32,
+                0.5,
+            ));
         }
         feats
     }
@@ -102,7 +104,8 @@ impl Encoder for HashingTextEncoder {
             other => panic!("text encoder fed {:?} content", other.kind()),
         };
         let mut out = vec![0.0f32; self.dim()];
-        self.proj.project_sparse(&self.sparse_features(text), &mut out);
+        self.proj
+            .project_sparse(&self.sparse_features(text), &mut out);
         ops::normalize(&mut out);
         out
     }
@@ -221,7 +224,10 @@ mod tests {
     #[should_panic(expected = "text encoder fed")]
     fn image_input_panics() {
         let e = HashingTextEncoder::new(16, 1);
-        e.encode(&RawContent::Image(crate::image::ImageData::new(vec![0.0; 4])));
+        e.encode(&RawContent::Image(crate::image::ImageData::new(vec![
+            0.0;
+            4
+        ])));
     }
 
     #[test]

@@ -16,7 +16,9 @@ pub struct Adjacency {
 impl Adjacency {
     /// An edgeless graph over `n` vertices.
     pub fn new(n: usize) -> Self {
-        Self { lists: vec![Vec::new(); n] }
+        Self {
+            lists: vec![Vec::new(); n],
+        }
     }
 
     /// Number of vertices.
@@ -41,10 +43,21 @@ impl Adjacency {
     /// Panics (debug) if the list contains `v` itself or an out-of-range id.
     pub fn set_neighbors(&mut self, v: VecId, neighbors: Vec<VecId>) {
         debug_assert!(
-            neighbors.iter().all(|&u| u != v && (u as usize) < self.lists.len()),
+            neighbors
+                .iter()
+                .all(|&u| u != v && (u as usize) < self.lists.len()),
             "invalid neighbour list for {v}"
         );
         self.lists[v as usize] = neighbors;
+    }
+
+    /// Test-only raw list access for building deliberately corrupted
+    /// graphs in validator tests (the public mutators debug-reject
+    /// malformed lists, but corrupted data can still arrive through
+    /// deserialization).
+    #[cfg(test)]
+    pub(crate) fn lists_mut(&mut self) -> &mut Vec<Vec<VecId>> {
+        &mut self.lists
     }
 
     /// Adds edge `v → u` unless already present. Returns whether it was
@@ -111,7 +124,10 @@ impl Adjacency {
 
     /// Approximate resident bytes of the adjacency lists.
     pub fn bytes(&self) -> usize {
-        self.lists.iter().map(|l| l.len() * std::mem::size_of::<VecId>()).sum::<usize>()
+        self.lists
+            .iter()
+            .map(|l| l.len() * std::mem::size_of::<VecId>())
+            .sum::<usize>()
             + self.lists.len() * std::mem::size_of::<Vec<VecId>>()
     }
 }

@@ -36,7 +36,10 @@ impl GraphSearcher for FlatSearcher {
                 None => stats.pruned += 1,
             }
         }
-        SearchOutput { results: top.into_sorted(), stats }
+        SearchOutput {
+            results: top.into_sorted(),
+            stats,
+        }
     }
 
     fn len(&self) -> usize {

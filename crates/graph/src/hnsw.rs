@@ -11,9 +11,9 @@
 use crate::prune::hnsw_heuristic;
 use crate::search::{SearchOutput, SearchStats};
 use crate::traits::{DistanceFn, FlatDistance, GraphSearcher};
+use crate::validate::InvariantViolation;
+use mqa_rng::StdRng;
 use mqa_vector::{Candidate, Metric, MinCandidate, TopK, VecId, VectorStore};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::BinaryHeap;
 
@@ -30,7 +30,11 @@ pub struct HnswParams {
 
 impl Default for HnswParams {
     fn default() -> Self {
-        Self { m: 16, ef_construction: 100, seed: 0 }
+        Self {
+            m: 16,
+            ef_construction: 100,
+            seed: 0,
+        }
     }
 }
 
@@ -42,7 +46,10 @@ struct Visited {
 
 impl Visited {
     fn new(n: usize) -> Self {
-        Self { stamp: vec![0; n], epoch: 0 }
+        Self {
+            stamp: vec![0; n],
+            epoch: 0,
+        }
     }
 
     fn len(&self) -> usize {
@@ -175,7 +182,11 @@ impl Hnsw {
         for lc in (0..=level.min(self.max_level)).rev() {
             let cands =
                 self.search_layer(&mut dist, &[ep], lc, self.params.ef_construction, visited);
-            let cap = if lc == 0 { self.params.m * 2 } else { self.params.m };
+            let cap = if lc == 0 {
+                self.params.m * 2
+            } else {
+                self.params.m
+            };
             let selected = hnsw_heuristic(store, metric, v, cands.clone(), cap);
             for &u in &selected {
                 self.links[v as usize][lc].push(u);
@@ -189,8 +200,7 @@ impl Hnsw {
                             .iter()
                             .map(|&w| Candidate::new(w, metric.distance(uv, store.get(w))))
                             .collect();
-                        self.links[u as usize][lc] =
-                            hnsw_heuristic(store, metric, u, pool, cap);
+                        self.links[u as usize][lc] = hnsw_heuristic(store, metric, u, pool, cap);
                     }
                 }
             }
@@ -337,7 +347,10 @@ impl GraphSearcher for Hnsw {
         }
         let mut out = results.into_sorted();
         out.truncate(k);
-        SearchOutput { results: out, stats }
+        SearchOutput {
+            results: out,
+            stats,
+        }
     }
 
     fn len(&self) -> usize {
@@ -363,12 +376,159 @@ impl GraphSearcher for Hnsw {
     }
 }
 
+impl Hnsw {
+    /// Fraction of vertices that must be reachable from the entry over the
+    /// base layer for [`Hnsw::validate`] to accept the index. HNSW gives no
+    /// hard connectivity guarantee (neighbour re-pruning can orphan
+    /// vertices), but on any realistic corpus the reachable fraction is
+    /// essentially 1; a structurally corrupted graph falls far below this.
+    pub const REACHABILITY_FLOOR: f64 = 0.9;
+
+    /// Audits the structural invariants of the built index and returns
+    /// every violation found (empty = sound).
+    ///
+    /// Checked invariants:
+    /// - the entry vertex is in range and populated up to `max_level`;
+    /// - `max_level` equals the highest populated layer over all vertices;
+    /// - every vertex has at least the base layer;
+    /// - per layer: degree within the cap (`2m` at layer 0, `m` above), no
+    ///   self-loops, no duplicate neighbours, endpoints in range;
+    /// - layer-`l` edges only point at vertices populated at layer `l`
+    ///   (the HNSW hierarchy property);
+    /// - at least [`Hnsw::REACHABILITY_FLOOR`] of the vertices are
+    ///   reachable from the entry over the base layer.
+    ///
+    /// Strict edge *symmetry* is deliberately not required: insertion
+    /// re-prunes the reverse lists, so a forward edge may legally lack its
+    /// mirror.
+    pub fn validate(&self) -> Vec<InvariantViolation> {
+        let n = self.links.len();
+        let mut out = Vec::new();
+        if n == 0 {
+            return out;
+        }
+        if self.entry as usize >= n {
+            out.push(InvariantViolation::BadEntry {
+                detail: format!("entry {} out of range (n = {n})", self.entry),
+            });
+        } else if self.links[self.entry as usize].len() != self.max_level + 1 {
+            out.push(InvariantViolation::BadEntry {
+                detail: format!(
+                    "entry {} has {} layer(s), expected max_level + 1 = {}",
+                    self.entry,
+                    self.links[self.entry as usize].len(),
+                    self.max_level + 1
+                ),
+            });
+        }
+        let highest = self.links.iter().map(Vec::len).max().unwrap_or(1) - 1;
+        if highest != self.max_level {
+            out.push(InvariantViolation::SizeMismatch {
+                context: "hnsw max_level".to_string(),
+                expected: highest,
+                got: self.max_level,
+            });
+        }
+        for (vi, layers) in self.links.iter().enumerate() {
+            let v = vi as VecId;
+            if layers.is_empty() {
+                out.push(InvariantViolation::SizeMismatch {
+                    context: format!("hnsw vertex {v} layer count"),
+                    expected: 1,
+                    got: 0,
+                });
+                continue;
+            }
+            for (level, nb) in layers.iter().enumerate() {
+                let context = format!("hnsw layer {level}");
+                let cap = if level == 0 {
+                    self.params.m * 2
+                } else {
+                    self.params.m
+                };
+                if nb.len() > cap {
+                    out.push(InvariantViolation::DegreeOverflow {
+                        context: context.clone(),
+                        id: v,
+                        degree: nb.len(),
+                        cap,
+                    });
+                }
+                let mut seen = std::collections::HashSet::new();
+                for &u in nb {
+                    if u as usize >= n {
+                        out.push(InvariantViolation::IdOutOfRange {
+                            context: context.clone(),
+                            id: u,
+                            n,
+                        });
+                        continue;
+                    }
+                    if u == v {
+                        out.push(InvariantViolation::SelfLoop {
+                            context: context.clone(),
+                            id: v,
+                        });
+                    }
+                    if !seen.insert(u) {
+                        out.push(InvariantViolation::DuplicateNeighbor {
+                            context: context.clone(),
+                            id: v,
+                            neighbor: u,
+                        });
+                    }
+                    let u_levels = self.links[u as usize].len();
+                    if u_levels <= level {
+                        out.push(InvariantViolation::CrossLevelEdge {
+                            vertex: v,
+                            level,
+                            neighbor: u,
+                            neighbor_levels: u_levels,
+                        });
+                    }
+                }
+            }
+        }
+        if (self.entry as usize) < n {
+            // BFS over the raw base layer (not `base_layer()`, whose
+            // construction would debug-assert on the very defects this
+            // audit exists to report). Out-of-range ids are skipped; they
+            // are already reported above.
+            let mut seen = vec![false; n];
+            let mut queue = std::collections::VecDeque::from([self.entry]);
+            seen[self.entry as usize] = true;
+            let mut reached = 1usize;
+            while let Some(v) = queue.pop_front() {
+                for &u in self.links[v as usize]
+                    .first()
+                    .map(Vec::as_slice)
+                    .unwrap_or(&[])
+                {
+                    if (u as usize) < n && !seen[u as usize] {
+                        seen[u as usize] = true;
+                        reached += 1;
+                        queue.push_back(u);
+                    }
+                }
+            }
+            if (reached as f64) < Self::REACHABILITY_FLOOR * n as f64 {
+                out.push(InvariantViolation::LowReachability {
+                    context: "hnsw base layer".to_string(),
+                    reached,
+                    n,
+                    floor: Self::REACHABILITY_FLOOR,
+                });
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::flat::FlatSearcher;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use mqa_rng::StdRng;
 
     fn random_store(n: usize, dim: usize, seed: u64) -> VectorStore {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -415,10 +575,18 @@ mod tests {
     #[test]
     fn base_layer_degrees_bounded() {
         let store = random_store(500, 8, 2);
-        let params = HnswParams { m: 8, ef_construction: 60, seed: 0 };
+        let params = HnswParams {
+            m: 8,
+            ef_construction: 60,
+            seed: 0,
+        };
         let h = Hnsw::build(&store, Metric::L2, &params);
         let base = h.base_layer();
-        assert!(base.max_degree() <= 16, "layer-0 degree {}", base.max_degree());
+        assert!(
+            base.max_degree() <= 16,
+            "layer-0 degree {}",
+            base.max_degree()
+        );
         for v in 0..500u32 {
             assert!(!base.neighbors(v).contains(&v), "self loop at {v}");
         }
@@ -499,5 +667,84 @@ mod tests {
         assert!(!v.insert(0));
         v.next_epoch();
         assert!(v.insert(0));
+    }
+
+    #[test]
+    fn validate_accepts_built_index() {
+        let store = random_store(400, 8, 3);
+        let h = Hnsw::build(&store, Metric::L2, &HnswParams::default());
+        let violations = h.validate();
+        assert!(violations.is_empty(), "sound index flagged: {violations:?}");
+    }
+
+    #[test]
+    fn validate_detects_corruption() {
+        use crate::validate::InvariantViolation as V;
+        let store = random_store(200, 6, 4);
+        let sound = Hnsw::build(&store, Metric::L2, &HnswParams::default());
+
+        // Out-of-range neighbour.
+        let mut h = sound.clone();
+        h.links[3][0].push(10_000);
+        assert!(h
+            .validate()
+            .iter()
+            .any(|v| matches!(v, V::IdOutOfRange { id: 10_000, .. })));
+
+        // Self-loop.
+        let mut h = sound.clone();
+        h.links[5][0].push(5);
+        assert!(h
+            .validate()
+            .iter()
+            .any(|v| matches!(v, V::SelfLoop { id: 5, .. })));
+
+        // Duplicate neighbour.
+        let mut h = sound.clone();
+        if let Some(&u) = h.links[7][0].first() {
+            h.links[7][0].push(u);
+        }
+        assert!(h
+            .validate()
+            .iter()
+            .any(|v| matches!(v, V::DuplicateNeighbor { id: 7, .. })));
+
+        // Degree overflow at layer 0 (cap 2m).
+        let mut h = sound.clone();
+        let cap = h.params.m * 2;
+        h.links[2][0] = (0..=cap as VecId).map(|i| (i + 10) % 200).collect();
+        assert!(h
+            .validate()
+            .iter()
+            .any(|v| matches!(v, V::DegreeOverflow { id: 2, .. })));
+
+        // Cross-level edge: a layer-1 edge to a base-only vertex.
+        let mut h = sound.clone();
+        let tall = (0..h.links.len()).find(|&v| h.links[v].len() > 1);
+        let short = (0..h.links.len()).find(|&v| h.links[v].len() == 1);
+        if let (Some(t), Some(s)) = (tall, short) {
+            h.links[t][1].insert(0, s as VecId);
+            assert!(h
+                .validate()
+                .iter()
+                .any(|v| matches!(v, V::CrossLevelEdge { .. })));
+        }
+
+        // Forged entry: points below the top layer.
+        let mut h = sound.clone();
+        if let Some(s) = short {
+            h.entry = s as VecId;
+            assert!(h.validate().iter().any(|v| matches!(v, V::BadEntry { .. })));
+        }
+
+        // Severed base layer: isolate most of the graph from the entry.
+        let mut h = sound;
+        for v in 0..150usize {
+            h.links[v][0].clear();
+        }
+        assert!(h
+            .validate()
+            .iter()
+            .any(|v| matches!(v, V::LowReachability { .. })));
     }
 }

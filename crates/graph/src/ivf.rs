@@ -17,9 +17,9 @@
 
 use crate::search::{SearchOutput, SearchStats};
 use crate::traits::{DistanceFn, GraphSearcher};
+use crate::validate::InvariantViolation;
+use mqa_rng::StdRng;
 use mqa_vector::{ops, Candidate, Metric, TopK, VecId, VectorStore};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// IVF hyper-parameters.
@@ -38,14 +38,22 @@ pub struct IvfParams {
 
 impl Default for IvfParams {
     fn default() -> Self {
-        Self { nlist: 128, iters: 10, train_sample: 20_000, seed: 0 }
+        Self {
+            nlist: 128,
+            iters: 10,
+            train_sample: 20_000,
+            seed: 0,
+        }
     }
 }
 
 impl IvfParams {
     /// The `nlist ≈ sqrt(n)` heuristic.
     pub fn auto(n: usize) -> Self {
-        Self { nlist: ((n as f64).sqrt() as usize).max(1), ..Self::default() }
+        Self {
+            nlist: ((n as f64).sqrt() as usize).max(1),
+            ..Self::default()
+        }
     }
 }
 
@@ -78,7 +86,9 @@ impl Ivf {
         let sample: Vec<VecId> = if n <= params.train_sample {
             (0..n as VecId).collect()
         } else {
-            (0..params.train_sample).map(|_| rng.gen_range(0..n) as VecId).collect()
+            (0..params.train_sample)
+                .map(|_| rng.gen_range(0..n) as VecId)
+                .collect()
         };
 
         // Init centroids from spread sample rows.
@@ -177,7 +187,96 @@ impl Ivf {
                 }
             }
         }
-        SearchOutput { results: top.into_sorted(), stats }
+        SearchOutput {
+            results: top.into_sorted(),
+            stats,
+        }
+    }
+}
+
+impl Ivf {
+    /// Audits the structural invariants of the built index against the
+    /// store it was built over and returns every violation found (empty =
+    /// sound).
+    ///
+    /// Checked invariants:
+    /// - the recorded population and dimension match the store;
+    /// - the centroid matrix has exactly `nlist × dim` finite entries;
+    /// - the cell member lists exactly partition `0..n` (every id in
+    ///   exactly one cell, none out of range);
+    /// - every member sits in the cell of its nearest centroid (the final
+    ///   assignment pass is deterministic, so this recheck is exact).
+    pub fn validate(&self, store: &VectorStore) -> Vec<InvariantViolation> {
+        let mut out = Vec::new();
+        if self.n != store.len() {
+            out.push(InvariantViolation::SizeMismatch {
+                context: "ivf population".to_string(),
+                expected: store.len(),
+                got: self.n,
+            });
+        }
+        if self.dim != store.dim() {
+            out.push(InvariantViolation::SizeMismatch {
+                context: "ivf dimension".to_string(),
+                expected: store.dim(),
+                got: self.dim,
+            });
+        }
+        let nlist = self.cells.len();
+        if self.centroids.len() != nlist * self.dim {
+            out.push(InvariantViolation::SizeMismatch {
+                context: "ivf centroid matrix".to_string(),
+                expected: nlist * self.dim,
+                got: self.centroids.len(),
+            });
+            return out; // centroid-dependent checks would index out of bounds
+        }
+        for (i, x) in self.centroids.iter().enumerate() {
+            if !x.is_finite() {
+                out.push(InvariantViolation::NonFinite {
+                    context: format!("ivf centroid {} component {}", i / self.dim, i % self.dim),
+                });
+            }
+        }
+        let mut counts = vec![0usize; self.n];
+        for (c, members) in self.cells.iter().enumerate() {
+            for &id in members {
+                match counts.get_mut(id as usize) {
+                    Some(k) => *k += 1,
+                    None => out.push(InvariantViolation::IdOutOfRange {
+                        context: format!("ivf cell {c}"),
+                        id,
+                        n: self.n,
+                    }),
+                }
+            }
+        }
+        for (id, &k) in counts.iter().enumerate() {
+            if k != 1 {
+                out.push(InvariantViolation::BrokenPartition {
+                    detail: format!("vector {id} appears in {k} cells, expected exactly 1"),
+                });
+            }
+        }
+        if self.dim == store.dim() && self.n == store.len() {
+            for (c, members) in self.cells.iter().enumerate() {
+                for &id in members {
+                    if (id as usize) >= store.len() {
+                        continue; // already reported above
+                    }
+                    let (best, _) =
+                        nearest_centroid(&self.centroids, self.dim, nlist, store.get(id));
+                    if best != c {
+                        out.push(InvariantViolation::MisassignedCell {
+                            id,
+                            cell: c,
+                            nearest: best,
+                        });
+                    }
+                }
+            }
+        }
+        out
     }
 }
 
@@ -212,12 +311,21 @@ pub struct IvfSearcher {
 impl IvfSearcher {
     /// Builds IVF over `store` and retains the store for cell ranking.
     pub fn build(store: &VectorStore, params: &IvfParams) -> Self {
-        Self { ivf: Ivf::build(store, params), store: store.clone() }
+        Self {
+            ivf: Ivf::build(store, params),
+            store: store.clone(),
+        }
     }
 
     /// The underlying structure.
     pub fn ivf(&self) -> &Ivf {
         &self.ivf
+    }
+
+    /// Audits the adapter: delegates to [`Ivf::validate`] against the
+    /// retained store copy.
+    pub fn validate(&self) -> Vec<InvariantViolation> {
+        self.ivf.validate(&self.store)
     }
 }
 
@@ -241,7 +349,10 @@ impl GraphSearcher for IvfSearcher {
             .collect();
         cell_rank.sort_by(|a, b| a.1.total_cmp(&b.1));
 
-        let mut stats = SearchStats { evals: cell_rank.len() as u64, ..Default::default() };
+        let mut stats = SearchStats {
+            evals: cell_rank.len() as u64,
+            ..Default::default()
+        };
         let mut top = TopK::new(k);
         for &(c, _) in cell_rank.iter().take(nprobe.min(cell_rank.len())) {
             stats.hops += 1;
@@ -255,7 +366,10 @@ impl GraphSearcher for IvfSearcher {
                 }
             }
         }
-        SearchOutput { results: top.into_sorted(), stats }
+        SearchOutput {
+            results: top.into_sorted(),
+            stats,
+        }
     }
 
     fn len(&self) -> usize {
@@ -289,7 +403,7 @@ mod tests {
         let mut s = VectorStore::new(dim);
         for i in 0..n {
             let c = &centers[i % clusters];
-            let v: Vec<f32> = c.iter().map(|x| x + rng.gen_range(-0.2..0.2)).collect();
+            let v: Vec<f32> = c.iter().map(|x| x + rng.gen_range(-0.2f32..0.2)).collect();
             s.push(&v);
         }
         s
@@ -298,7 +412,13 @@ mod tests {
     #[test]
     fn cells_partition_the_store() {
         let store = clustered_store(500, 8, 10, 1);
-        let ivf = Ivf::build(&store, &IvfParams { nlist: 16, ..Default::default() });
+        let ivf = Ivf::build(
+            &store,
+            &IvfParams {
+                nlist: 16,
+                ..Default::default()
+            },
+        );
         let total: usize = ivf.cells.iter().map(Vec::len).sum();
         assert_eq!(total, 500);
         assert_eq!(ivf.nlist(), 16);
@@ -307,7 +427,13 @@ mod tests {
     #[test]
     fn full_probe_is_exact() {
         let store = clustered_store(300, 8, 6, 2);
-        let ivf = Ivf::build(&store, &IvfParams { nlist: 12, ..Default::default() });
+        let ivf = Ivf::build(
+            &store,
+            &IvfParams {
+                nlist: 12,
+                ..Default::default()
+            },
+        );
         let q = store.get(5).to_vec();
         let mut d = FlatDistance::new(&store, &q, Metric::L2);
         let out = ivf.search_nprobe(&mut d, &q, 10, 12);
@@ -318,7 +444,13 @@ mod tests {
     #[test]
     fn fewer_probes_less_work() {
         let store = clustered_store(600, 8, 12, 3);
-        let ivf = Ivf::build(&store, &IvfParams { nlist: 24, ..Default::default() });
+        let ivf = Ivf::build(
+            &store,
+            &IvfParams {
+                nlist: 24,
+                ..Default::default()
+            },
+        );
         let q = store.get(0).to_vec();
         let mut d1 = FlatDistance::new(&store, &q, Metric::L2);
         let narrow = ivf.search_nprobe(&mut d1, &q, 10, 2);
@@ -339,8 +471,11 @@ mod tests {
         let (queries, k) = (25, 10);
         for _ in 0..queries {
             let base = rng.gen_range(0..800) as u32;
-            let q: Vec<f32> =
-                store.get(base).iter().map(|x| x + rng.gen_range(-0.1..0.1)).collect();
+            let q: Vec<f32> = store
+                .get(base)
+                .iter()
+                .map(|x| x + rng.gen_range(-0.1f32..0.1))
+                .collect();
             let mut d1 = FlatDistance::new(&store, &q, Metric::L2);
             let truth = flat.search(&mut d1, k, k).ids();
             let mut d2 = FlatDistance::new(&store, &q, Metric::L2);
@@ -354,7 +489,13 @@ mod tests {
     #[test]
     fn describe_reports_cells() {
         let store = clustered_store(100, 4, 4, 5);
-        let s = IvfSearcher::build(&store, &IvfParams { nlist: 8, ..Default::default() });
+        let s = IvfSearcher::build(
+            &store,
+            &IvfParams {
+                nlist: 8,
+                ..Default::default()
+            },
+        );
         assert!(s.describe().contains("8 cells"));
         assert_eq!(GraphSearcher::len(&s), 100);
     }
@@ -362,16 +503,27 @@ mod tests {
     #[test]
     fn nlist_capped_by_population() {
         let store = clustered_store(5, 4, 2, 6);
-        let ivf = Ivf::build(&store, &IvfParams { nlist: 64, ..Default::default() });
+        let ivf = Ivf::build(
+            &store,
+            &IvfParams {
+                nlist: 64,
+                ..Default::default()
+            },
+        );
         assert_eq!(ivf.nlist(), 5);
     }
 
     #[test]
     fn serde_round_trip() {
         let store = clustered_store(60, 4, 3, 7);
-        let s = IvfSearcher::build(&store, &IvfParams { nlist: 6, ..Default::default() });
-        let back: IvfSearcher =
-            serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        let s = IvfSearcher::build(
+            &store,
+            &IvfParams {
+                nlist: 6,
+                ..Default::default()
+            },
+        );
+        let back: IvfSearcher = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
         assert_eq!(s, back);
     }
 
@@ -379,5 +531,92 @@ mod tests {
     #[should_panic(expected = "empty store")]
     fn empty_store_panics() {
         Ivf::build(&VectorStore::new(4), &IvfParams::default());
+    }
+
+    #[test]
+    fn validate_accepts_built_index() {
+        let store = clustered_store(150, 4, 5, 8);
+        let ivf = Ivf::build(
+            &store,
+            &IvfParams {
+                nlist: 10,
+                ..Default::default()
+            },
+        );
+        let violations = ivf.validate(&store);
+        assert!(violations.is_empty(), "sound index flagged: {violations:?}");
+        let s = IvfSearcher::build(
+            &store,
+            &IvfParams {
+                nlist: 10,
+                ..Default::default()
+            },
+        );
+        assert!(s.validate().is_empty());
+    }
+
+    #[test]
+    fn validate_detects_corruption() {
+        use crate::validate::InvariantViolation as V;
+        let store = clustered_store(150, 4, 5, 9);
+        let sound = Ivf::build(
+            &store,
+            &IvfParams {
+                nlist: 10,
+                ..Default::default()
+            },
+        );
+
+        // A vector moved to the wrong cell: misassigned AND (since it now
+        // appears twice) a broken partition.
+        let mut ivf = sound.clone();
+        let moved = ivf.cells[0][0];
+        ivf.cells[1].push(moved);
+        let v = ivf.validate(&store);
+        assert!(
+            v.iter().any(|x| matches!(x, V::BrokenPartition { .. })),
+            "{v:?}"
+        );
+
+        // A vector dropped from its cell: partition hole.
+        let mut ivf = sound.clone();
+        ivf.cells[0].remove(0);
+        assert!(ivf
+            .validate(&store)
+            .iter()
+            .any(|x| matches!(x, V::BrokenPartition { .. })));
+
+        // An out-of-range member id.
+        let mut ivf = sound.clone();
+        ivf.cells[2].push(9_999);
+        assert!(ivf
+            .validate(&store)
+            .iter()
+            .any(|x| matches!(x, V::IdOutOfRange { id: 9_999, .. })));
+
+        // A perturbed centroid: its members are no longer nearest to it.
+        let mut ivf = sound.clone();
+        for x in &mut ivf.centroids[0..4] {
+            *x += 100.0;
+        }
+        assert!(ivf
+            .validate(&store)
+            .iter()
+            .any(|x| matches!(x, V::MisassignedCell { .. })));
+
+        // A NaN centroid component.
+        let mut ivf = sound.clone();
+        ivf.centroids[5] = f32::NAN;
+        assert!(ivf
+            .validate(&store)
+            .iter()
+            .any(|x| matches!(x, V::NonFinite { .. })));
+
+        // A store of the wrong shape.
+        let other = clustered_store(40, 4, 2, 10);
+        assert!(sound
+            .validate(&other)
+            .iter()
+            .any(|x| matches!(x, V::SizeMismatch { .. })));
     }
 }

@@ -9,9 +9,8 @@
 
 use crate::adjacency::Adjacency;
 use crate::util::parallel_map;
+use mqa_rng::StdRng;
 use mqa_vector::{Candidate, Metric, TopK, VecId, VectorStore};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Below this population the exact kNN graph is computed directly.
 const EXACT_THRESHOLD: usize = 2_000;
@@ -31,7 +30,12 @@ pub struct KnnParams {
 
 impl Default for KnnParams {
     fn default() -> Self {
-        Self { k: 20, iters: 5, sample: 60, seed: 0 }
+        Self {
+            k: 20,
+            iters: 5,
+            sample: 60,
+            seed: 0,
+        }
     }
 }
 
@@ -62,7 +66,10 @@ pub fn exact_knn(store: &VectorStore, metric: Metric, k: usize) -> Adjacency {
             }
             top.offer(Candidate::new(u, metric.distance(qv, uv)));
         }
-        top.into_sorted().into_iter().map(|c| c.id).collect::<Vec<_>>()
+        top.into_sorted()
+            .into_iter()
+            .map(|c| c.id)
+            .collect::<Vec<_>>()
     });
     let mut g = Adjacency::new(n);
     for (v, list) in lists.into_iter().enumerate() {
@@ -112,8 +119,7 @@ fn nn_expansion(store: &VectorStore, metric: Metric, params: &KnnParams) -> Adja
             }
             // a pinch of random restarts keeps disconnected clumps merging;
             // derive per-vertex randomness from the round and vertex id.
-            let mut local =
-                StdRng::seed_from_u64(params.seed ^ (round as u64) << 32 ^ v as u64);
+            let mut local = StdRng::seed_from_u64(params.seed ^ (round as u64) << 32 ^ v as u64);
             for _ in 0..4 {
                 let u = local.gen_range(0..n) as VecId;
                 if u != v && !seen.contains(&u) {
@@ -123,7 +129,10 @@ fn nn_expansion(store: &VectorStore, metric: Metric, params: &KnnParams) -> Adja
             for u in seen {
                 top.offer(Candidate::new(u, metric.distance(qv, store.get(u))));
             }
-            top.into_sorted().into_iter().map(|c| c.id).collect::<Vec<_>>()
+            top.into_sorted()
+                .into_iter()
+                .map(|c| c.id)
+                .collect::<Vec<_>>()
         });
         for (v, list) in lists.into_iter().enumerate() {
             g.set_neighbors(v as VecId, list);
@@ -135,8 +144,7 @@ fn nn_expansion(store: &VectorStore, metric: Metric, params: &KnnParams) -> Adja
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use mqa_rng::StdRng;
 
     fn random_store(n: usize, dim: usize, seed: u64) -> VectorStore {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -165,7 +173,14 @@ mod tests {
     #[test]
     fn knn_graph_has_requested_degree() {
         let store = random_store(300, 8, 1);
-        let g = knn_graph(&store, Metric::L2, &KnnParams { k: 10, ..Default::default() });
+        let g = knn_graph(
+            &store,
+            Metric::L2,
+            &KnnParams {
+                k: 10,
+                ..Default::default()
+            },
+        );
         for v in 0..300u32 {
             assert_eq!(g.degree(v), 10);
         }
@@ -174,7 +189,14 @@ mod tests {
     #[test]
     fn no_self_loops() {
         let store = random_store(100, 4, 2);
-        let g = knn_graph(&store, Metric::L2, &KnnParams { k: 5, ..Default::default() });
+        let g = knn_graph(
+            &store,
+            Metric::L2,
+            &KnnParams {
+                k: 5,
+                ..Default::default()
+            },
+        );
         for v in 0..100u32 {
             assert!(!g.neighbors(v).contains(&v));
         }
@@ -188,7 +210,12 @@ mod tests {
         let approx = nn_expansion(
             &store,
             Metric::L2,
-            &KnnParams { k, iters: 6, sample: 60, seed: 0 },
+            &KnnParams {
+                k,
+                iters: 6,
+                sample: 60,
+                seed: 0,
+            },
         );
         let exact = exact_knn(&store, Metric::L2, k);
         // measure recall on a sample of vertices
@@ -210,7 +237,14 @@ mod tests {
     #[test]
     fn k_capped_by_population() {
         let store = random_store(3, 2, 4);
-        let g = knn_graph(&store, Metric::L2, &KnnParams { k: 10, ..Default::default() });
+        let g = knn_graph(
+            &store,
+            Metric::L2,
+            &KnnParams {
+                k: 10,
+                ..Default::default()
+            },
+        );
         for v in 0..3u32 {
             assert_eq!(g.degree(v), 2);
         }

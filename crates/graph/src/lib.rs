@@ -50,6 +50,7 @@ pub mod starling;
 pub mod traits;
 pub mod unified;
 pub mod util;
+pub mod validate;
 pub mod vamana;
 
 pub use adjacency::Adjacency;
@@ -59,3 +60,4 @@ pub use search::{beam_search, SearchOutput, SearchStats};
 pub use starling::{PageLayout, PagedIndex, PqPagedIndex};
 pub use traits::{DistanceFn, FlatDistance, GraphSearcher, VectorIndex};
 pub use unified::UnifiedIndex;
+pub use validate::InvariantViolation;

@@ -45,8 +45,7 @@ pub fn build(
 mod tests {
     use super::*;
     use crate::traits::{FlatDistance, GraphSearcher};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use mqa_rng::StdRng;
 
     fn store(n: usize, dim: usize, seed: u64) -> Arc<VectorStore> {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -64,7 +63,11 @@ mod tests {
         let nav = build(&s, Metric::L2, 16, 40, 12, 0);
         assert!((nav.report().connectivity - 1.0).abs() < 1e-9);
         // Repair may add a handful of overflow edges beyond r.
-        assert!(nav.report().max_degree <= 16 + 4, "max {}", nav.report().max_degree);
+        assert!(
+            nav.report().max_degree <= 16 + 4,
+            "max {}",
+            nav.report().max_degree
+        );
     }
 
     #[test]

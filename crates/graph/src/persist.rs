@@ -32,7 +32,8 @@ pub struct UnifiedSnapshot {
 impl UnifiedSnapshot {
     /// Serializes to JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("snapshot serializes")
+        // The in-tree serializer writes to a String and cannot fail.
+        serde_json::to_string(self).unwrap_or_default()
     }
 
     /// Restores from JSON.
@@ -45,24 +46,30 @@ impl UnifiedSnapshot {
 
     /// Reconstructs the live index.
     pub fn restore(self) -> UnifiedIndex {
-        UnifiedIndex::from_parts(self.store, self.weights, self.metric, self.graph, self.algorithm)
+        UnifiedIndex::from_parts(
+            self.store,
+            self.weights,
+            self.metric,
+            self.graph,
+            self.algorithm,
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mqa_rng::StdRng;
     use mqa_vector::{MultiVector, Schema};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
 
     fn store(n: usize, seed: u64) -> MultiVectorStore {
         let schema = Schema::text_image(6, 6);
         let mut s = MultiVectorStore::new(schema.clone());
         let mut rng = StdRng::seed_from_u64(seed);
         for _ in 0..n {
-            let parts: Vec<Vec<f32>> =
-                (0..2).map(|_| (0..6).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+            let parts: Vec<Vec<f32>> = (0..2)
+                .map(|_| (0..6).map(|_| rng.gen_range(-1.0..1.0)).collect())
+                .collect();
             s.push(&MultiVector::complete(&schema, parts));
         }
         s
@@ -73,7 +80,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         MultiVector::complete(
             &schema,
-            (0..2).map(|_| (0..6).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect(),
+            (0..2)
+                .map(|_| (0..6).map(|_| rng.gen_range(-1.0..1.0)).collect())
+                .collect(),
         )
     }
 

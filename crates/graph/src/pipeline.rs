@@ -36,10 +36,10 @@ use crate::prune::{robust_prune, select_nearest};
 use crate::search::{beam_search, SearchOutput};
 use crate::traits::{DistanceFn, FlatDistance, GraphSearcher};
 use crate::util::medoid;
+use crate::validate::InvariantViolation;
 use mqa_dag::{Context, Pipeline};
+use mqa_rng::StdRng;
 use mqa_vector::{Candidate, Metric, VecId, VectorStore};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Duration;
@@ -208,6 +208,72 @@ impl NavGraph {
     pub fn report(&self) -> &BuildReport {
         &self.report
     }
+
+    /// Audits the structural invariants of the built graph and returns
+    /// every violation found (empty = sound).
+    ///
+    /// Checked invariants:
+    /// - a non-empty graph has at least one entry; entries are in range
+    ///   and distinct;
+    /// - adjacency lists have in-range endpoints, no self-loops, no
+    ///   duplicates;
+    /// - the recorded [`BuildReport`] matches the structure it describes
+    ///   (max degree, edge count, connectivity recomputed from the first
+    ///   entry).
+    pub fn validate(&self) -> Vec<InvariantViolation> {
+        let n = self.graph.len();
+        let mut out =
+            crate::validate::check_adjacency(&format!("navgraph {}", self.name), &self.graph);
+        if n == 0 {
+            return out;
+        }
+        if self.entries.is_empty() {
+            out.push(InvariantViolation::BadEntry {
+                detail: format!("navgraph {}: no entry vertices", self.name),
+            });
+            return out;
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &e in &self.entries {
+            if e as usize >= n {
+                out.push(InvariantViolation::IdOutOfRange {
+                    context: format!("navgraph {} entries", self.name),
+                    id: e,
+                    n,
+                });
+            }
+            if !seen.insert(e) {
+                out.push(InvariantViolation::BadEntry {
+                    detail: format!("navgraph {}: entry {e} listed twice", self.name),
+                });
+            }
+        }
+        if self.report.max_degree != self.graph.max_degree() {
+            out.push(InvariantViolation::StaleReport {
+                context: format!("navgraph {} max_degree", self.name),
+                expected: self.graph.max_degree().to_string(),
+                got: self.report.max_degree.to_string(),
+            });
+        }
+        if self.report.edges != self.graph.edge_count() {
+            out.push(InvariantViolation::StaleReport {
+                context: format!("navgraph {} edges", self.name),
+                expected: self.graph.edge_count().to_string(),
+                got: self.report.edges.to_string(),
+            });
+        }
+        if (self.entries[0] as usize) < n {
+            let conn = self.graph.reachable_count(self.entries[0]) as f64 / n as f64;
+            if (conn - self.report.connectivity).abs() > 1e-9 {
+                out.push(InvariantViolation::StaleReport {
+                    context: format!("navgraph {} connectivity", self.name),
+                    expected: format!("{conn:.6}"),
+                    got: format!("{:.6}", self.report.connectivity),
+                });
+            }
+        }
+        out
+    }
 }
 
 impl GraphSearcher for NavGraph {
@@ -269,8 +335,14 @@ impl GraphPipeline {
             .stage("refinement", move |c| {
                 let graph = c.get::<Adjacency>("graph").map_err(|e| e.to_string())?;
                 let entries = c.get::<Vec<VecId>>("entries").map_err(|e| e.to_string())?;
-                let refined =
-                    run_refine(&refine_cfg, &select_cfg, &s_refine, metric, graph.clone(), entries);
+                let refined = run_refine(
+                    &refine_cfg,
+                    &select_cfg,
+                    &s_refine,
+                    metric,
+                    graph.clone(),
+                    entries,
+                );
                 Ok(vec![("graph".to_string(), Box::new(refined) as _)])
             })
             .stage("connectivity_repair", move |c| {
@@ -287,7 +359,10 @@ impl GraphPipeline {
                 } else {
                     graph.reachable_count(entries[0]) as f64 / graph.len() as f64
                 };
-                Ok(vec![("connectivity".to_string(), Box::new(connectivity) as _)])
+                Ok(vec![(
+                    "connectivity".to_string(),
+                    Box::new(connectivity) as _,
+                )])
             })
             .run(&mut ctx)
             .expect("construction pipeline is well-formed");
@@ -296,13 +371,22 @@ impl GraphPipeline {
         let entries: Vec<VecId> = ctx.take("entries").expect("entries artifact present");
         let connectivity: f64 = *ctx.get("connectivity").expect("connectivity present");
         let report = BuildReport {
-            stage_timings: trace.tasks.iter().map(|t| (t.name.clone(), t.elapsed)).collect(),
+            stage_timings: trace
+                .tasks
+                .iter()
+                .map(|t| (t.name.clone(), t.elapsed))
+                .collect(),
             avg_degree: graph.avg_degree(),
             max_degree: graph.max_degree(),
             edges: graph.edge_count(),
             connectivity,
         };
-        NavGraph { graph, entries, report, name: name.to_string() }
+        NavGraph {
+            graph,
+            entries,
+            report,
+            name: name.to_string(),
+        }
     }
 }
 
@@ -325,9 +409,15 @@ fn run_init(cfg: &InitStage, store: &VectorStore, metric: Metric) -> Adjacency {
             }
             g
         }
-        InitStage::Knn { k, seed } => {
-            knn_graph(store, metric, &KnnParams { k, seed, ..KnnParams::default() })
-        }
+        InitStage::Knn { k, seed } => knn_graph(
+            store,
+            metric,
+            &KnnParams {
+                k,
+                seed,
+                ..KnnParams::default()
+            },
+        ),
     }
 }
 
@@ -560,15 +650,40 @@ impl GraphSearcher for BuiltGraph {
     }
 }
 
+impl BuiltGraph {
+    /// Audits the inner structure and returns every invariant violation
+    /// found (empty = sound). Dispatches to the per-index validators;
+    /// `Flat` carries no structure to audit, and the IVF variant validates
+    /// against its retained store copy.
+    pub fn validate(&self) -> Vec<InvariantViolation> {
+        match self {
+            BuiltGraph::Flat(_) => Vec::new(),
+            BuiltGraph::Nav(g) => g.validate(),
+            BuiltGraph::Hnsw(h) => h.validate(),
+            BuiltGraph::Ivf(s) => s.validate(),
+        }
+    }
+}
+
 impl IndexAlgorithm {
     /// Default NSG configuration.
     pub fn nsg() -> Self {
-        IndexAlgorithm::Nsg { r: 24, l: 64, knn_k: 20, seed: 0 }
+        IndexAlgorithm::Nsg {
+            r: 24,
+            l: 64,
+            knn_k: 20,
+            seed: 0,
+        }
     }
 
     /// Default Vamana configuration.
     pub fn vamana() -> Self {
-        IndexAlgorithm::Vamana { r: 24, l: 64, alpha: 1.2, seed: 0 }
+        IndexAlgorithm::Vamana {
+            r: 24,
+            l: 64,
+            alpha: 1.2,
+            seed: 0,
+        }
     }
 
     /// Default HNSW configuration.
@@ -583,7 +698,13 @@ impl IndexAlgorithm {
 
     /// Default MQA-graph configuration.
     pub fn mqa_graph() -> Self {
-        IndexAlgorithm::MqaGraph { r: 24, l: 64, alpha: 1.2, knn_k: 20, seed: 0 }
+        IndexAlgorithm::MqaGraph {
+            r: 24,
+            l: 64,
+            alpha: 1.2,
+            knn_k: 20,
+            seed: 0,
+        }
     }
 
     /// Panel display name.
@@ -617,16 +738,31 @@ impl IndexAlgorithm {
             IndexAlgorithm::Vamana { r, l, alpha, seed } => {
                 BuiltGraph::Nav(crate::vamana::build(store, metric, *r, *l, *alpha, *seed))
             }
-            IndexAlgorithm::MqaGraph { r, l, alpha, knn_k, seed } => {
+            IndexAlgorithm::MqaGraph {
+                r,
+                l,
+                alpha,
+                knn_k,
+                seed,
+            } => {
                 // Multiple entries: the unified index must route *partial*
                 // queries (text-only rounds) whose metric differs from the
                 // fused build metric; spread entry points recover the
                 // recall a single medoid start loses there.
                 let pipeline = GraphPipeline {
-                    init: InitStage::Knn { k: *knn_k, seed: *seed },
-                    entry: EntryStage::MedoidPlusRandom { extra: 4, seed: *seed },
+                    init: InitStage::Knn {
+                        k: *knn_k,
+                        seed: *seed,
+                    },
+                    entry: EntryStage::MedoidPlusRandom {
+                        extra: 4,
+                        seed: *seed,
+                    },
                     refine: RefineStage { l: *l, passes: 2 },
-                    select: SelectStage::RobustPrune { alpha: *alpha, r: *r },
+                    select: SelectStage::RobustPrune {
+                        alpha: *alpha,
+                        r: *r,
+                    },
                     repair: RepairStage::GrowFromEntry,
                 };
                 BuiltGraph::Nav(pipeline.run(store, metric, "mqa-graph"))
@@ -638,18 +774,21 @@ impl IndexAlgorithm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use mqa_rng::StdRng;
 
     fn clustered_store(n: usize, dim: usize, clusters: usize, seed: u64) -> Arc<VectorStore> {
         let mut rng = StdRng::seed_from_u64(seed);
         let centers: Vec<Vec<f32>> = (0..clusters)
-            .map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0) * 4.0).collect())
+            .map(|_| {
+                (0..dim)
+                    .map(|_| rng.gen_range(-1.0f32..1.0) * 4.0)
+                    .collect()
+            })
             .collect();
         let mut s = VectorStore::new(dim);
         for i in 0..n {
             let c = &centers[i % clusters];
-            let v: Vec<f32> = c.iter().map(|x| x + rng.gen_range(-0.3..0.3)).collect();
+            let v: Vec<f32> = c.iter().map(|x| x + rng.gen_range(-0.3f32..0.3)).collect();
             s.push(&v);
         }
         Arc::new(s)
@@ -698,8 +837,11 @@ mod tests {
     #[test]
     fn pipeline_graphs_are_fully_connected() {
         let store = clustered_store(500, 8, 25, 4);
-        for algo in [IndexAlgorithm::nsg(), IndexAlgorithm::vamana(), IndexAlgorithm::mqa_graph()]
-        {
+        for algo in [
+            IndexAlgorithm::nsg(),
+            IndexAlgorithm::vamana(),
+            IndexAlgorithm::mqa_graph(),
+        ] {
             // Rebuild through the pipeline to read the report.
             let nav = match &algo {
                 IndexAlgorithm::Nsg { r, l, knn_k, seed } => {
@@ -708,11 +850,23 @@ mod tests {
                 IndexAlgorithm::Vamana { r, l, alpha, seed } => {
                     crate::vamana::pipeline(*r, *l, *alpha, *seed).run(&store, Metric::L2, "vamana")
                 }
-                IndexAlgorithm::MqaGraph { r, l, alpha, knn_k, seed } => GraphPipeline {
-                    init: InitStage::Knn { k: *knn_k, seed: *seed },
+                IndexAlgorithm::MqaGraph {
+                    r,
+                    l,
+                    alpha,
+                    knn_k,
+                    seed,
+                } => GraphPipeline {
+                    init: InitStage::Knn {
+                        k: *knn_k,
+                        seed: *seed,
+                    },
                     entry: EntryStage::Medoid,
                     refine: RefineStage { l: *l, passes: 2 },
-                    select: SelectStage::RobustPrune { alpha: *alpha, r: *r },
+                    select: SelectStage::RobustPrune {
+                        alpha: *alpha,
+                        r: *r,
+                    },
                     repair: RepairStage::GrowFromEntry,
                 }
                 .run(&store, Metric::L2, "mqa-graph"),
@@ -732,7 +886,10 @@ mod tests {
     fn degree_bound_is_respected() {
         let store = clustered_store(400, 8, 8, 5);
         let nav = GraphPipeline {
-            init: InitStage::Random { degree: 12, seed: 0 },
+            init: InitStage::Random {
+                degree: 12,
+                seed: 0,
+            },
             entry: EntryStage::Medoid,
             refine: RefineStage { l: 32, passes: 2 },
             select: SelectStage::RobustPrune { alpha: 1.2, r: 12 },
@@ -741,7 +898,11 @@ mod tests {
         .run(&store, Metric::L2, "test");
         // Repair can add one extra edge per unreachable vertex; without
         // repair the bound holds strictly.
-        assert!(nav.report().max_degree <= 12, "max degree {}", nav.report().max_degree);
+        assert!(
+            nav.report().max_degree <= 12,
+            "max degree {}",
+            nav.report().max_degree
+        );
     }
 
     #[test]
@@ -755,8 +916,12 @@ mod tests {
             repair: RepairStage::GrowFromEntry,
         }
         .run(&store, Metric::L2, "test");
-        let names: Vec<&str> =
-            nav.report().stage_timings.iter().map(|(n, _)| n.as_str()).collect();
+        let names: Vec<&str> = nav
+            .report()
+            .stage_timings
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
         assert_eq!(
             names,
             vec![
@@ -773,7 +938,11 @@ mod tests {
     fn entry_stage_variants() {
         let store = clustered_store(50, 4, 5, 7);
         assert_eq!(run_entry(&EntryStage::First, &store, Metric::L2), vec![0]);
-        let rnd = run_entry(&EntryStage::Random { count: 3, seed: 1 }, &store, Metric::L2);
+        let rnd = run_entry(
+            &EntryStage::Random { count: 3, seed: 1 },
+            &store,
+            Metric::L2,
+        );
         assert_eq!(rnd.len(), 3);
         let m = run_entry(&EntryStage::Medoid, &store, Metric::L2);
         assert_eq!(m.len(), 1);
@@ -800,5 +969,59 @@ mod tests {
             let back: IndexAlgorithm = serde_json::from_str(&j).unwrap();
             assert_eq!(algo, back);
         }
+    }
+
+    fn built_navgraph(seed: u64) -> NavGraph {
+        let store = clustered_store(300, 8, 6, seed);
+        crate::nsg::pipeline(24, 48, 12, seed).run(&store, Metric::L2, "nsg")
+    }
+
+    #[test]
+    fn validate_accepts_pipeline_graphs() {
+        let g = built_navgraph(11);
+        let violations = g.validate();
+        assert!(violations.is_empty(), "sound graph flagged: {violations:?}");
+    }
+
+    #[test]
+    fn validate_detects_corruption() {
+        use crate::validate::InvariantViolation as V;
+        let sound = built_navgraph(12);
+
+        // Adjacency defects surface through the shared checker.
+        let mut g = sound.clone();
+        g.graph.lists_mut()[0].push(0);
+        // The edit also desynchronizes the report, so look specifically
+        // for the self-loop.
+        assert!(g
+            .validate()
+            .iter()
+            .any(|x| matches!(x, V::SelfLoop { id: 0, .. })));
+
+        // No entries.
+        let mut g = sound.clone();
+        g.entries.clear();
+        assert!(g.validate().iter().any(|x| matches!(x, V::BadEntry { .. })));
+
+        // Duplicate entries.
+        let mut g = sound.clone();
+        g.entries.push(g.entries[0]);
+        assert!(g.validate().iter().any(|x| matches!(x, V::BadEntry { .. })));
+
+        // Forged report: edge count no longer matches the structure.
+        let mut g = sound.clone();
+        g.report.edges += 7;
+        assert!(g
+            .validate()
+            .iter()
+            .any(|x| matches!(x, V::StaleReport { .. })));
+
+        // Forged connectivity.
+        let mut g = sound;
+        g.report.connectivity /= 2.0;
+        assert!(g
+            .validate()
+            .iter()
+            .any(|x| matches!(x, V::StaleReport { .. })));
     }
 }

@@ -67,7 +67,10 @@ pub fn beam_search(
     k: usize,
     ef: usize,
 ) -> SearchOutput {
-    assert!(!entries.is_empty(), "beam search requires at least one entry vertex");
+    assert!(
+        !entries.is_empty(),
+        "beam search requires at least one entry vertex"
+    );
     assert!(k > 0, "beam search requires k >= 1");
     let ef = ef.max(k);
     let mut stats = SearchStats::default();
@@ -115,7 +118,10 @@ pub fn beam_search(
 
     let mut out: Vec<Candidate> = results.into_sorted();
     out.truncate(k);
-    SearchOutput { results: out, stats }
+    SearchOutput {
+        results: out,
+        stats,
+    }
 }
 
 /// Beam search that also returns **every candidate evaluated** along the
@@ -130,7 +136,10 @@ pub fn beam_search_collect(
     dist: &mut dyn DistanceFn,
     ef: usize,
 ) -> Vec<Candidate> {
-    assert!(!entries.is_empty(), "beam search requires at least one entry vertex");
+    assert!(
+        !entries.is_empty(),
+        "beam search requires at least one entry vertex"
+    );
     assert!(ef > 0, "beam search requires ef >= 1");
     let mut visited = vec![false; graph.len()];
     let mut results = TopK::new(ef);

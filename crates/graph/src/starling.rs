@@ -85,7 +85,12 @@ impl PageLayout {
             page_of[v as usize] = (pos / per_page) as u32;
         }
         let pages = n.div_ceil(per_page);
-        Self { page_of, pages, per_page, strategy }
+        Self {
+            page_of,
+            pages,
+            per_page,
+            strategy,
+        }
     }
 
     /// Vertices that fit a 4 KiB page given vector dimensionality and a
@@ -132,8 +137,16 @@ impl PagedIndex {
     /// Panics if `entries` is empty or layout size mismatches the graph.
     pub fn new(graph: Adjacency, entries: Vec<VecId>, layout: PageLayout) -> Self {
         assert!(!entries.is_empty(), "paged index requires entry vertices");
-        assert_eq!(layout.page_of.len(), graph.len(), "layout/graph size mismatch");
-        Self { graph, entries, layout }
+        assert_eq!(
+            layout.page_of.len(),
+            graph.len(),
+            "layout/graph size mismatch"
+        );
+        Self {
+            graph,
+            entries,
+            layout,
+        }
     }
 
     /// The layout in use.
@@ -201,7 +214,10 @@ impl PagedIndex {
         }
         let mut out = results.into_sorted();
         out.truncate(k);
-        SearchOutput { results: out, stats }
+        SearchOutput {
+            results: out,
+            stats,
+        }
     }
 }
 
@@ -251,9 +267,19 @@ impl PqPagedIndex {
         codes: mqa_vector::PqCodes,
     ) -> Self {
         assert!(!entries.is_empty(), "paged index requires entry vertices");
-        assert_eq!(layout.page_of.len(), graph.len(), "layout/graph size mismatch");
+        assert_eq!(
+            layout.page_of.len(),
+            graph.len(),
+            "layout/graph size mismatch"
+        );
         assert_eq!(codes.len(), graph.len(), "codes/graph size mismatch");
-        Self { graph, entries, layout, codebook, codes }
+        Self {
+            graph,
+            entries,
+            layout,
+            codebook,
+            codes,
+        }
     }
 
     /// Builds codebook + codes from the store and wraps everything.
@@ -295,10 +321,11 @@ impl PqPagedIndex {
         assert!(k > 0, "search requires k >= 1");
         let ef = ef.max(k);
         // Phase 1: route on codes.
-        let mut pq_dist =
-            PqDistance { table: self.codebook.table(query), codes: &self.codes };
-        let phase1 =
-            crate::search::beam_search(&self.graph, &self.entries, &mut pq_dist, ef, ef);
+        let mut pq_dist = PqDistance {
+            table: self.codebook.table(query),
+            codes: &self.codes,
+        };
+        let phase1 = crate::search::beam_search(&self.graph, &self.entries, &mut pq_dist, ef, ef);
         let mut stats = phase1.stats;
 
         // Phase 2: read survivors' pages, rerank exactly.
@@ -314,7 +341,10 @@ impl PqPagedIndex {
             stats.evals += 1;
             top.offer(Candidate::new(c.id, exact));
         }
-        SearchOutput { results: top.into_sorted(), stats }
+        SearchOutput {
+            results: top.into_sorted(),
+            stats,
+        }
     }
 }
 
@@ -347,9 +377,8 @@ mod tests {
     use super::*;
     use crate::traits::FlatDistance;
     use crate::vamana;
+    use mqa_rng::StdRng;
     use mqa_vector::{Metric, VectorStore};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
     use std::sync::Arc;
 
     fn store(n: usize, dim: usize, seed: u64) -> Arc<VectorStore> {
@@ -393,8 +422,7 @@ mod tests {
         let s = store(500, 8, 1);
         let nav = vamana::build(&s, Metric::L2, 12, 32, 1.2, 0);
         let layout = PageLayout::build(nav.graph(), 4, LayoutStrategy::BfsCluster);
-        let paged =
-            PagedIndex::new(nav.graph().clone(), nav.entries().to_vec(), layout);
+        let paged = PagedIndex::new(nav.graph().clone(), nav.entries().to_vec(), layout);
         let q: Vec<f32> = vec![0.1; 8];
         let mut d1 = FlatDistance::new(&s, &q, Metric::L2);
         let plain = nav.search(&mut d1, 5, 32);
@@ -443,13 +471,19 @@ mod tests {
         let nav = vamana::build(&s, Metric::L2, 16, 48, 1.2, 0);
         let per_page = 4;
         let layout = PageLayout::build(nav.graph(), per_page, LayoutStrategy::BfsCluster);
-        let one_phase = PagedIndex::new(nav.graph().clone(), nav.entries().to_vec(), layout.clone());
+        let one_phase =
+            PagedIndex::new(nav.graph().clone(), nav.entries().to_vec(), layout.clone());
         let two_phase = PqPagedIndex::build(
             nav.graph().clone(),
             nav.entries().to_vec(),
             layout,
             &s,
-            &mqa_vector::PqParams { m: 8, iters: 8, train_sample: 2_000, seed: 0 },
+            &mqa_vector::PqParams {
+                m: 8,
+                iters: 8,
+                train_sample: 2_000,
+                seed: 0,
+            },
         );
         // The routing state is tiny relative to raw vectors.
         assert!(two_phase.code_bytes() * 4 <= s.bytes());
@@ -462,14 +496,21 @@ mod tests {
         let k = 10;
         for _ in 0..queries {
             let id = rng.gen_range(0..s.len()) as u32;
-            let q: Vec<f32> =
-                s.get(id).iter().map(|x| x + rng.gen_range(-0.05..0.05)).collect();
+            let q: Vec<f32> = s
+                .get(id)
+                .iter()
+                .map(|x| x + rng.gen_range(-0.05f32..0.05))
+                .collect();
             let mut d = FlatDistance::new(&s, &q, Metric::L2);
             let exact = one_phase.search_paged(&mut d, k, 48);
             reads_1p += exact.stats.pages_read;
             let approx = two_phase.search_two_phase(&q, &s, k, 48);
             reads_2p += approx.stats.pages_read;
-            hits += approx.ids().iter().filter(|x| exact.ids().contains(x)).count();
+            hits += approx
+                .ids()
+                .iter()
+                .filter(|x| exact.ids().contains(x))
+                .count();
         }
         let recall = hits as f64 / (queries * k) as f64;
         assert!(recall >= 0.85, "two-phase recall {recall}");

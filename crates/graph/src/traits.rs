@@ -22,7 +22,9 @@ pub trait DistanceFn {
 
     /// Distance without pruning.
     fn exact(&mut self, id: VecId) -> f32 {
-        self.eval(id, f32::INFINITY).expect("unbounded evaluation completes")
+        // An abandoned evaluation means the distance is provably >= the
+        // bound, so `INFINITY` is the faithful answer either way.
+        self.eval(id, f32::INFINITY).unwrap_or(f32::INFINITY)
     }
 }
 
@@ -42,7 +44,11 @@ impl<'a> FlatDistance<'a> {
     /// Panics if the query dimension does not match the store.
     pub fn new(store: &'a VectorStore, query: &'a [f32], metric: Metric) -> Self {
         assert_eq!(query.len(), store.dim(), "query dimension mismatch");
-        Self { store, query, metric }
+        Self {
+            store,
+            query,
+            metric,
+        }
     }
 }
 
@@ -103,7 +109,13 @@ impl VectorIndex {
         let t0 = std::time::Instant::now();
         let searcher = algorithm.build(&store, metric);
         let build_time = t0.elapsed();
-        Self { store, metric, searcher, algorithm: algorithm.clone(), build_time }
+        Self {
+            store,
+            metric,
+            searcher,
+            algorithm: algorithm.clone(),
+            build_time,
+        }
     }
 
     /// Searches for the `k` nearest stored vectors to `query`.

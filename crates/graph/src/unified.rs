@@ -22,9 +22,7 @@
 use crate::pipeline::{BuiltGraph, IndexAlgorithm};
 use crate::search::SearchOutput;
 use crate::traits::{DistanceFn, GraphSearcher};
-use mqa_vector::{
-    FusedScanner, Metric, MultiVector, MultiVectorStore, ScanStats, VecId, Weights,
-};
+use mqa_vector::{FusedScanner, Metric, MultiVector, MultiVectorStore, ScanStats, VecId, Weights};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -45,7 +43,11 @@ impl<'a> FusedDistance<'a> {
         metric: Metric,
     ) -> Self {
         let scanner = FusedScanner::new(store.schema(), query, weights, metric);
-        Self { store, scanner, prune: true }
+        Self {
+            store,
+            scanner,
+            prune: true,
+        }
     }
 
     /// Disables early abandonment (every evaluation runs to completion).
@@ -126,7 +128,14 @@ impl UnifiedIndex {
         let weighted = Arc::new(store.weighted_store(&weights));
         let searcher = algorithm.build_graph(&weighted, metric);
         let build_time = t0.elapsed();
-        Self { store, weights, metric, searcher, algorithm: algorithm.clone(), build_time }
+        Self {
+            store,
+            weights,
+            metric,
+            searcher,
+            algorithm: algorithm.clone(),
+            build_time,
+        }
     }
 
     /// Reassembles an index from persisted parts (see
@@ -144,7 +153,14 @@ impl UnifiedIndex {
             store.len(),
             "navigation structure does not match the store"
         );
-        Self { store, weights, metric, searcher, algorithm, build_time: Duration::ZERO }
+        Self {
+            store,
+            weights,
+            metric,
+            searcher,
+            algorithm,
+            build_time: Duration::ZERO,
+        }
     }
 
     /// Captures a serializable snapshot of the whole index.
@@ -191,7 +207,10 @@ impl UnifiedIndex {
             dist = dist.without_pruning();
         }
         let out = self.searcher.search(&mut dist, k, ef);
-        UnifiedSearchOutput { output: out, scan: dist.scan_stats() }
+        UnifiedSearchOutput {
+            output: out,
+            scan: dist.scan_stats(),
+        }
     }
 
     /// Exact (exhaustive) fused search — the recall oracle.
@@ -205,7 +224,10 @@ impl UnifiedIndex {
         let mut dist = FusedDistance::new(&self.store, query, weights, self.metric);
         let flat = crate::flat::FlatSearcher::new(self.store.len());
         let out = flat.search(&mut dist, k, k);
-        UnifiedSearchOutput { output: out, scan: dist.scan_stats() }
+        UnifiedSearchOutput {
+            output: out,
+            scan: dist.scan_stats(),
+        }
     }
 
     /// The object collection.
@@ -272,9 +294,8 @@ impl UnifiedSearchOutput {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mqa_rng::StdRng;
     use mqa_vector::Schema;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
 
     /// Clustered multi-modal store: objects around per-class centers in
     /// both modalities, with the image modality noisier.
@@ -299,8 +320,11 @@ mod tests {
         let mut labels = Vec::with_capacity(n);
         for i in 0..n {
             let c = i % classes;
-            let t: Vec<f32> =
-                centers[c].0.iter().map(|x| x + rng.gen_range(-text_noise..text_noise)).collect();
+            let t: Vec<f32> = centers[c]
+                .0
+                .iter()
+                .map(|x| x + rng.gen_range(-text_noise..text_noise))
+                .collect();
             let im: Vec<f32> = centers[c]
                 .1
                 .iter()
@@ -353,8 +377,15 @@ mod tests {
         let out = idx.search(&q, None, 10, 64);
         // the top results should share object 0's class (text is informative)
         let target = labels[0];
-        let same = out.ids().iter().filter(|&&id| labels[id as usize] == target).count();
-        assert!(same >= 7, "text-only search matched {same}/10 of class {target}");
+        let same = out
+            .ids()
+            .iter()
+            .filter(|&&id| labels[id as usize] == target)
+            .count();
+        assert!(
+            same >= 7,
+            "text-only search matched {same}/10 of class {target}"
+        );
     }
 
     #[test]
@@ -367,7 +398,11 @@ mod tests {
         // exact scan agrees on the result set at full ef
         let exact = idx.search_exact(&q, None, 10);
         let graph_ids = pruned.ids();
-        let overlap = exact.ids().iter().filter(|id| graph_ids.contains(id)).count();
+        let overlap = exact
+            .ids()
+            .iter()
+            .filter(|id| graph_ids.contains(id))
+            .count();
         assert!(overlap >= 9, "overlap {overlap}");
     }
 
@@ -413,16 +448,18 @@ mod tests {
         let mut store = MultiVectorStore::new(schema.clone());
         let mut rng = StdRng::seed_from_u64(6);
         for _ in 0..100 {
-            let parts: Vec<Vec<f32>> =
-                (0..3).map(|_| (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+            let parts: Vec<Vec<f32>> = (0..3)
+                .map(|_| (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect())
+                .collect();
             store.push(&MultiVector::complete(&schema, parts));
         }
-        let idx =
-            UnifiedIndex::build(store, Weights::uniform(3), Metric::L2, &IndexAlgorithm::nsg());
-        let q = MultiVector::partial(
-            &schema,
-            vec![Some(vec![0.0; 4]), None, Some(vec![0.1; 4])],
+        let idx = UnifiedIndex::build(
+            store,
+            Weights::uniform(3),
+            Metric::L2,
+            &IndexAlgorithm::nsg(),
         );
+        let q = MultiVector::partial(&schema, vec![Some(vec![0.0; 4]), None, Some(vec![0.1; 4])]);
         let out = idx.search(&q, None, 5, 32);
         assert_eq!(out.ids().len(), 5);
     }

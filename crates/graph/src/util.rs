@@ -10,26 +10,33 @@ where
     T: Send,
     F: Fn(VecId) -> T + Send + Sync,
 {
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     if threads <= 1 || n < 256 {
         return (0..n as u32).map(f).collect();
     }
     let chunk = n.div_ceil(threads);
-    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
-    out.resize_with(n, || None);
-    crossbeam::thread::scope(|scope| {
-        for (t, slot) in out.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            let start = t * chunk;
-            scope.spawn(move |_| {
-                for (i, s) in slot.iter_mut().enumerate() {
-                    *s = Some(f((start + i) as VecId));
-                }
-            });
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..n)
+            .step_by(chunk)
+            .map(|start| {
+                let end = (start + chunk).min(n);
+                scope.spawn(move || (start..end).map(|i| f(i as VecId)).collect::<Vec<T>>())
+            })
+            .collect();
+        // Joining in spawn order preserves id order; a worker panic is
+        // re-raised on the caller thread once every sibling has finished.
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
-    })
-    .expect("construction worker panicked");
-    out.into_iter().map(|x| x.expect("all slots filled")).collect()
+    });
+    out
 }
 
 /// The medoid of a store: the vector closest (under `metric`) to the

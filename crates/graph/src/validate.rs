@@ -1,0 +1,269 @@
+//! Structural invariant auditing for the navigation indexes.
+//!
+//! Every index variant carries a `validate` method returning the list of
+//! [`InvariantViolation`]s it found (empty = structurally sound). The
+//! `mqa-xtask audit` command builds each variant over a synthetic corpus and
+//! fails if any validator reports a violation; the owning modules unit-test
+//! the validators against deliberately corrupted structures.
+
+use crate::adjacency::Adjacency;
+use mqa_vector::VecId;
+use std::fmt;
+
+/// One structural invariant violation found by an index auditor.
+///
+/// Violations carry enough context to locate the broken structure without
+/// re-running the audit under a debugger.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InvariantViolation {
+    /// An edge endpoint (or entry/cell member) outside `0..n`.
+    IdOutOfRange {
+        /// Which structure reported it (e.g. `"hnsw layer 2"`).
+        context: String,
+        /// The offending id.
+        id: VecId,
+        /// The valid id count.
+        n: usize,
+    },
+    /// A vertex linking to itself.
+    SelfLoop {
+        /// Which structure reported it.
+        context: String,
+        /// The self-linking vertex.
+        id: VecId,
+    },
+    /// The same neighbour listed twice in one adjacency list.
+    DuplicateNeighbor {
+        /// Which structure reported it.
+        context: String,
+        /// The vertex whose list is duplicated.
+        id: VecId,
+        /// The repeated neighbour.
+        neighbor: VecId,
+    },
+    /// An adjacency list longer than the structure's degree cap.
+    DegreeOverflow {
+        /// Which structure reported it.
+        context: String,
+        /// The over-full vertex.
+        id: VecId,
+        /// Its actual degree.
+        degree: usize,
+        /// The structure's cap.
+        cap: usize,
+    },
+    /// An HNSW layer-`level` edge pointing at a vertex absent from that
+    /// layer (the neighbour has fewer populated layers).
+    CrossLevelEdge {
+        /// The vertex carrying the edge.
+        vertex: VecId,
+        /// The layer of the edge.
+        level: usize,
+        /// The target vertex.
+        neighbor: VecId,
+        /// How many layers the target actually has.
+        neighbor_levels: usize,
+    },
+    /// A malformed entry point (out of range, missing layers, or empty).
+    BadEntry {
+        /// What is wrong with the entry.
+        detail: String,
+    },
+    /// Reachability from the entry set below the structure's floor.
+    LowReachability {
+        /// Which structure reported it.
+        context: String,
+        /// Vertices reachable from the entry set.
+        reached: usize,
+        /// Total vertices.
+        n: usize,
+        /// The minimum acceptable fraction.
+        floor: f64,
+    },
+    /// Cell member lists that do not exactly partition the vector ids.
+    BrokenPartition {
+        /// What is missing or duplicated.
+        detail: String,
+    },
+    /// A vector stored in a cell other than its nearest centroid's.
+    MisassignedCell {
+        /// The misfiled vector.
+        id: VecId,
+        /// The cell it sits in.
+        cell: usize,
+        /// The cell it belongs to.
+        nearest: usize,
+    },
+    /// A stored or derived size disagreeing with its authority.
+    SizeMismatch {
+        /// Which quantity disagrees.
+        context: String,
+        /// The authoritative value.
+        expected: usize,
+        /// The stored value.
+        got: usize,
+    },
+    /// A non-finite number where the structure requires finite values.
+    NonFinite {
+        /// Where the NaN/infinity sits.
+        context: String,
+    },
+    /// A recorded build diagnostic that disagrees with the structure it
+    /// describes (stale or forged report).
+    StaleReport {
+        /// Which diagnostic disagrees.
+        context: String,
+        /// The value recomputed from the structure.
+        expected: String,
+        /// The recorded value.
+        got: String,
+    },
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::IdOutOfRange { context, id, n } => {
+                write!(f, "{context}: id {id} out of range (n = {n})")
+            }
+            Self::SelfLoop { context, id } => write!(f, "{context}: vertex {id} links to itself"),
+            Self::DuplicateNeighbor {
+                context,
+                id,
+                neighbor,
+            } => {
+                write!(f, "{context}: vertex {id} lists neighbour {neighbor} twice")
+            }
+            Self::DegreeOverflow {
+                context,
+                id,
+                degree,
+                cap,
+            } => {
+                write!(f, "{context}: vertex {id} has degree {degree} > cap {cap}")
+            }
+            Self::CrossLevelEdge {
+                vertex,
+                level,
+                neighbor,
+                neighbor_levels,
+            } => write!(
+                f,
+                "hnsw: layer-{level} edge {vertex} -> {neighbor}, but {neighbor} \
+                 only has {neighbor_levels} layer(s)"
+            ),
+            Self::BadEntry { detail } => write!(f, "bad entry point: {detail}"),
+            Self::LowReachability {
+                context,
+                reached,
+                n,
+                floor,
+            } => write!(
+                f,
+                "{context}: only {reached}/{n} vertices reachable from the entry \
+                 set (floor {floor:.2})"
+            ),
+            Self::BrokenPartition { detail } => write!(f, "broken partition: {detail}"),
+            Self::MisassignedCell { id, cell, nearest } => {
+                write!(
+                    f,
+                    "ivf: vector {id} filed in cell {cell}, nearest centroid is {nearest}"
+                )
+            }
+            Self::SizeMismatch {
+                context,
+                expected,
+                got,
+            } => {
+                write!(f, "{context}: expected {expected}, got {got}")
+            }
+            Self::NonFinite { context } => write!(f, "{context}: non-finite value"),
+            Self::StaleReport {
+                context,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "stale report: {context} recorded as {got}, recomputed {expected}"
+                )
+            }
+        }
+    }
+}
+
+/// Shared adjacency-list checks: every endpoint in range, no self-loops, no
+/// duplicate neighbours. Used by the flat-graph validators (`NavGraph`,
+/// the Starling base layer) — HNSW runs the same checks per layer itself.
+pub fn check_adjacency(context: &str, graph: &Adjacency) -> Vec<InvariantViolation> {
+    let n = graph.len();
+    let mut out = Vec::new();
+    for v in 0..n as VecId {
+        let mut seen = std::collections::HashSet::new();
+        for &u in graph.neighbors(v) {
+            if u as usize >= n {
+                out.push(InvariantViolation::IdOutOfRange {
+                    context: context.to_string(),
+                    id: u,
+                    n,
+                });
+            }
+            if u == v {
+                out.push(InvariantViolation::SelfLoop {
+                    context: context.to_string(),
+                    id: v,
+                });
+            }
+            if !seen.insert(u) {
+                out.push(InvariantViolation::DuplicateNeighbor {
+                    context: context.to_string(),
+                    id: v,
+                    neighbor: u,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_adjacency_accepts_sound_graph() {
+        let mut g = Adjacency::new(3);
+        g.set_neighbors(0, vec![1, 2]);
+        g.set_neighbors(1, vec![0]);
+        g.set_neighbors(2, vec![0, 1]);
+        assert!(check_adjacency("test", &g).is_empty());
+    }
+
+    #[test]
+    fn check_adjacency_flags_each_defect() {
+        let mut g = Adjacency::new(3);
+        g.lists_mut()[0] = vec![0]; // self-loop
+        g.lists_mut()[1] = vec![2, 2]; // duplicate
+        g.lists_mut()[2] = vec![9]; // out of range
+        let v = check_adjacency("test", &g);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, InvariantViolation::SelfLoop { id: 0, .. })));
+        assert!(v.iter().any(|x| matches!(
+            x,
+            InvariantViolation::DuplicateNeighbor {
+                id: 1,
+                neighbor: 2,
+                ..
+            }
+        )));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, InvariantViolation::IdOutOfRange { id: 9, .. })));
+        assert_eq!(v.len(), 3);
+        // Every violation renders a human-readable line.
+        for x in &v {
+            assert!(!x.to_string().is_empty());
+        }
+    }
+}

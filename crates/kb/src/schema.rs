@@ -34,7 +34,10 @@ impl ContentSchema {
     /// Panics if `fields` is empty, or if an image field is declared with
     /// `raw_image_dim == 0`.
     pub fn new(fields: Vec<FieldSpec>, raw_image_dim: usize) -> Self {
-        assert!(!fields.is_empty(), "content schema requires at least one field");
+        assert!(
+            !fields.is_empty(),
+            "content schema requires at least one field"
+        );
         let has_image = fields
             .iter()
             .any(|f| matches!(f.kind, ModalityKind::Image | ModalityKind::Video));
@@ -42,15 +45,24 @@ impl ContentSchema {
             !has_image || raw_image_dim > 0,
             "image fields require a non-zero raw descriptor dimension"
         );
-        Self { fields, raw_image_dim }
+        Self {
+            fields,
+            raw_image_dim,
+        }
     }
 
     /// The classic caption+image schema used by the paper's scenarios.
     pub fn caption_image(raw_image_dim: usize) -> Self {
         Self::new(
             vec![
-                FieldSpec { name: "caption".into(), kind: ModalityKind::Text },
-                FieldSpec { name: "image".into(), kind: ModalityKind::Image },
+                FieldSpec {
+                    name: "caption".into(),
+                    kind: ModalityKind::Text,
+                },
+                FieldSpec {
+                    name: "image".into(),
+                    kind: ModalityKind::Image,
+                },
             ],
             raw_image_dim,
         )
@@ -105,7 +117,10 @@ mod tests {
     #[should_panic(expected = "raw descriptor")]
     fn image_without_raw_dim_panics() {
         ContentSchema::new(
-            vec![FieldSpec { name: "img".into(), kind: ModalityKind::Image }],
+            vec![FieldSpec {
+                name: "img".into(),
+                kind: ModalityKind::Image,
+            }],
             0,
         );
     }
@@ -113,7 +128,10 @@ mod tests {
     #[test]
     fn text_only_schema_allows_zero_raw_dim() {
         let s = ContentSchema::new(
-            vec![FieldSpec { name: "body".into(), kind: ModalityKind::Text }],
+            vec![FieldSpec {
+                name: "body".into(),
+                kind: ModalityKind::Text,
+            }],
             0,
         );
         assert_eq!(s.arity(), 1);

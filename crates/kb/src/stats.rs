@@ -64,8 +64,8 @@ impl CorpusStats {
             (
                 sum as f64 / caption_tokens.len() as f64,
                 (
-                    *caption_tokens.iter().min().expect("non-empty"),
-                    *caption_tokens.iter().max().expect("non-empty"),
+                    caption_tokens.iter().copied().min().unwrap_or(0),
+                    caption_tokens.iter().copied().max().unwrap_or(0),
                 ),
             )
         };
@@ -73,8 +73,8 @@ impl CorpusStats {
             (0, 0)
         } else {
             (
-                *concept_counts.values().min().expect("non-empty"),
-                *concept_counts.values().max().expect("non-empty"),
+                concept_counts.values().copied().min().unwrap_or(0),
+                concept_counts.values().copied().max().unwrap_or(0),
             )
         };
         Self {
@@ -118,7 +118,11 @@ mod tests {
 
     #[test]
     fn stats_of_generated_corpus() {
-        let kb = DatasetSpec::weather().objects(60).concepts(6).seed(1).generate();
+        let kb = DatasetSpec::weather()
+            .objects(60)
+            .concepts(6)
+            .seed(1)
+            .generate();
         let s = CorpusStats::compute(&kb);
         assert_eq!(s.objects, 60);
         assert_eq!(s.modalities, 2);
@@ -141,7 +145,10 @@ mod tests {
             "b",
             vec![
                 Some(RawContent::text("one two three four")),
-                Some(RawContent::Image(mqa_encoders::ImageData::new(vec![0.0; 4]))),
+                Some(RawContent::Image(mqa_encoders::ImageData::new(vec![
+                    0.0;
+                    4
+                ]))),
             ],
         ))
         .unwrap();
@@ -155,7 +162,11 @@ mod tests {
 
     #[test]
     fn summary_is_informative() {
-        let kb = DatasetSpec::fashion().objects(20).concepts(4).seed(2).generate();
+        let kb = DatasetSpec::fashion()
+            .objects(20)
+            .concepts(4)
+            .seed(2)
+            .generate();
         let text = CorpusStats::compute(&kb).summary();
         assert!(text.contains("20 objects"));
         assert!(text.contains("4 concepts"));

@@ -13,8 +13,7 @@
 //!   "miss a touch of realism", made quantitative.
 
 use mqa_encoders::ImageData;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mqa_rng::StdRng;
 
 /// Size of the hashed token space the renderer projects from.
 const TOKEN_SPACE: usize = 1 << 16;
@@ -36,7 +35,11 @@ impl GenerativeImageModel {
     pub fn new(seed: u64, raw_dim: usize, noise: f32) -> Self {
         assert!(raw_dim > 0, "descriptor dimension must be non-zero");
         assert!(noise >= 0.0, "noise must be non-negative");
-        Self { seed, raw_dim, noise }
+        Self {
+            seed,
+            raw_dim,
+            noise,
+        }
     }
 
     /// Output descriptor length.
@@ -108,7 +111,10 @@ mod tests {
         let c = g.generate("gritty western seventies", 0);
         let dab = ops::l2_sq(a.features(), b.features());
         let dac = ops::l2_sq(a.features(), c.features());
-        assert!(dab < dac, "same-prompt samples should be closer ({dab} vs {dac})");
+        assert!(
+            dab < dac,
+            "same-prompt samples should be closer ({dab} vs {dac})"
+        );
     }
 
     #[test]

@@ -10,8 +10,20 @@ use crate::sampling::TemperatureSampler;
 /// stored, which is precisely the hallucination failure retrieval
 /// augmentation prevents.
 const PARAMETRIC_WORDS: &[&str] = &[
-    "vintage", "handcrafted", "limited", "signature", "premium", "bespoke", "artisanal",
-    "iconic", "exclusive", "heritage", "curated", "timeless", "renowned", "celebrated",
+    "vintage",
+    "handcrafted",
+    "limited",
+    "signature",
+    "premium",
+    "bespoke",
+    "artisanal",
+    "iconic",
+    "exclusive",
+    "heritage",
+    "curated",
+    "timeless",
+    "renowned",
+    "celebrated",
 ];
 
 /// Grounded reply openers, preference-ordered for temperature sampling.
@@ -69,7 +81,11 @@ impl LanguageModel for MockChatModel {
             text.push_str(sampler.choose::<&str>(GROUNDED_OPENERS));
             text.push_str(&format!(" for \"{}\":\n", prompt.query));
             for (rank, e) in prompt.context.iter().enumerate() {
-                let marker = if e.preferred { " ★ (your earlier pick)" } else { "" };
+                let marker = if e.preferred {
+                    " ★ (your earlier pick)"
+                } else {
+                    ""
+                };
                 text.push_str(&format!(
                     "{}. {} — {}{}\n",
                     rank + 1,
@@ -162,7 +178,10 @@ mod tests {
         let b = m.generate(&Prompt::with_context("query two", context()), 5.0);
         // different prompts mix different seeds; the texts must differ
         // beyond the echoed query
-        assert_ne!(a.text.replace("query one", ""), b.text.replace("query two", ""));
+        assert_ne!(
+            a.text.replace("query one", ""),
+            b.text.replace("query two", "")
+        );
     }
 
     #[test]
@@ -184,7 +203,11 @@ mod tests {
         let p = Prompt::with_context("foggy clouds", context());
         let c = m.generate(&p, 0.0);
         // No parametric vocabulary may leak into grounded replies.
-        assert!(!PARAMETRIC_WORDS.iter().any(|w| c.text.contains(w)), "{}", c.text);
+        assert!(
+            !PARAMETRIC_WORDS.iter().any(|w| c.text.contains(w)),
+            "{}",
+            c.text
+        );
     }
 
     #[test]

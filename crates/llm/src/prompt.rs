@@ -38,12 +38,20 @@ pub struct Prompt {
 impl Prompt {
     /// A prompt with no retrieval context (LLM-only mode).
     pub fn bare(query: impl Into<String>) -> Self {
-        Self { query: query.into(), context: Vec::new(), history: Vec::new() }
+        Self {
+            query: query.into(),
+            context: Vec::new(),
+            history: Vec::new(),
+        }
     }
 
     /// A prompt with retrieved context.
     pub fn with_context(query: impl Into<String>, context: Vec<ContextEntry>) -> Self {
-        Self { query: query.into(), context, history: Vec::new() }
+        Self {
+            query: query.into(),
+            context,
+            history: Vec::new(),
+        }
     }
 
     /// Appends a dialogue-history turn.

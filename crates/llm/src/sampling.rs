@@ -1,7 +1,6 @@
 //! Temperature-controlled choice among generation variants.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mqa_rng::StdRng;
 
 /// Deterministic, seeded variant sampler with a temperature knob.
 ///
@@ -26,7 +25,10 @@ impl TemperatureSampler {
             temperature.is_finite() && temperature >= 0.0,
             "temperature must be a finite non-negative number"
         );
-        Self { rng: StdRng::seed_from_u64(seed ^ 0x007E_3A11), temperature }
+        Self {
+            rng: StdRng::seed_from_u64(seed ^ 0x007E_3A11),
+            temperature,
+        }
     }
 
     /// The configured temperature.
@@ -44,8 +46,9 @@ impl TemperatureSampler {
             return 0;
         }
         // Preference score of variant i is -i; softmax with temperature.
-        let weights: Vec<f32> =
-            (0..n).map(|i| (-(i as f32) / self.temperature).exp()).collect();
+        let weights: Vec<f32> = (0..n)
+            .map(|i| (-(i as f32) / self.temperature).exp())
+            .collect();
         let total: f32 = weights.iter().sum();
         let mut x = self.rng.gen_range(0.0..total);
         for (i, w) in weights.iter().enumerate() {
@@ -98,8 +101,10 @@ mod tests {
 
     #[test]
     fn deterministic_in_seed() {
-        let picks =
-            |seed| -> Vec<usize> { let mut s = TemperatureSampler::new(seed, 1.0); (0..10).map(|_| s.pick(5)).collect() };
+        let picks = |seed| -> Vec<usize> {
+            let mut s = TemperatureSampler::new(seed, 1.0);
+            (0..10).map(|_| s.pick(5)).collect()
+        };
         assert_eq!(picks(7), picks(7));
         assert_ne!(picks(7), picks(8));
     }

@@ -35,8 +35,14 @@ pub fn mmr_diversify(
     }
     // Normalize relevance to [0, 1] over the candidate pool (distances are
     // unbounded); similarity reuses the same scale.
-    let d_min = candidates.iter().map(|c| c.dist).fold(f32::INFINITY, f32::min);
-    let d_max = candidates.iter().map(|c| c.dist).fold(f32::NEG_INFINITY, f32::max);
+    let d_min = candidates
+        .iter()
+        .map(|c| c.dist)
+        .fold(f32::INFINITY, f32::min);
+    let d_max = candidates
+        .iter()
+        .map(|c| c.dist)
+        .fold(f32::NEG_INFINITY, f32::max);
     let span = (d_max - d_min).max(1e-6);
     let relevance = |c: &Candidate| 1.0 - (c.dist - d_min) / span;
 
@@ -86,7 +92,10 @@ mod tests {
         let schema = Schema::text_image(2, 2);
         let mut store = MultiVectorStore::new(schema.clone());
         let mut push = |t: [f32; 2], i: [f32; 2]| {
-            store.push(&MultiVector::complete(&schema, vec![t.to_vec(), i.to_vec()]))
+            store.push(&MultiVector::complete(
+                &schema,
+                vec![t.to_vec(), i.to_vec()],
+            ))
         };
         // group A (ids 0-2): near-identical, most relevant
         push([0.0, 0.0], [0.0, 0.0]);

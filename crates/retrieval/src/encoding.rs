@@ -69,11 +69,7 @@ impl EncoderSet {
     /// A sensible default: hashing text encoders for text/audio fields and
     /// visual encoders (matching the base's raw descriptor length) for
     /// image/video fields, all at dimensionality `dim`.
-    pub fn default_for(
-        registry: &EncoderRegistry,
-        schema: &ContentSchema,
-        dim: usize,
-    ) -> Self {
+    pub fn default_for(registry: &EncoderRegistry, schema: &ContentSchema, dim: usize) -> Self {
         let choices: Vec<EncoderChoice> = schema
             .fields()
             .iter()
@@ -82,7 +78,10 @@ impl EncoderSet {
                     EncoderChoice::HashingText { dim }
                 }
                 mqa_vector::ModalityKind::Image | mqa_vector::ModalityKind::Video => {
-                    EncoderChoice::VisualResnet { raw_dim: schema.raw_image_dim(), dim }
+                    EncoderChoice::VisualResnet {
+                        raw_dim: schema.raw_image_dim(),
+                        dim,
+                    }
                 }
             })
             .collect();
@@ -147,7 +146,11 @@ impl EncodedCorpus {
         for (_, record) in kb.iter() {
             store.push(&encoders.encode_record(record));
         }
-        Self { kb, store, encoders }
+        Self {
+            kb,
+            store,
+            encoders,
+        }
     }
 
     /// The knowledge base.
@@ -178,7 +181,11 @@ mod tests {
     use mqa_kb::DatasetSpec;
 
     fn corpus() -> EncodedCorpus {
-        let kb = DatasetSpec::weather().objects(30).concepts(5).seed(1).generate();
+        let kb = DatasetSpec::weather()
+            .objects(30)
+            .concepts(5)
+            .seed(1)
+            .generate();
         let registry = EncoderRegistry::new(7);
         let encoders = EncoderSet::default_for(&registry, &kb.schema().clone(), 32);
         EncodedCorpus::encode(kb, encoders)
@@ -217,7 +224,11 @@ mod tests {
 
     #[test]
     fn movies_default_encoders_cover_three_fields() {
-        let kb = DatasetSpec::movies().objects(10).concepts(3).seed(2).generate();
+        let kb = DatasetSpec::movies()
+            .objects(10)
+            .concepts(3)
+            .seed(2)
+            .generate();
         let registry = EncoderRegistry::new(1);
         let encoders = EncoderSet::default_for(&registry, &kb.schema().clone(), 16);
         assert_eq!(encoders.vector_schema().arity(), 3);

@@ -79,7 +79,11 @@ impl JeFramework {
             joint.push(&joint_vector(&corpus, &mv));
         }
         let index = VectorIndex::build(joint, metric, algorithm);
-        Self { corpus, index, policy }
+        Self {
+            corpus,
+            index,
+            policy,
+        }
     }
 
     /// The joint index.
@@ -99,15 +103,17 @@ impl JeFramework {
         let mut q = query.clone();
         if self.policy == JePartialPolicy::Placeholder {
             let schema = self.corpus.encoders().content_schema();
-            let has_visual = schema.fields().iter().any(|f| {
-                matches!(f.kind, ModalityKind::Image | ModalityKind::Video)
-            });
+            let has_visual = schema
+                .fields()
+                .iter()
+                .any(|f| matches!(f.kind, ModalityKind::Image | ModalityKind::Video));
             if q.image.is_none() && has_visual {
                 q.image = Some(ImageData::new(vec![0.5; schema.raw_image_dim()]));
             }
-            let has_text = schema.fields().iter().any(|f| {
-                matches!(f.kind, ModalityKind::Text | ModalityKind::Audio)
-            });
+            let has_text = schema
+                .fields()
+                .iter()
+                .any(|f| matches!(f.kind, ModalityKind::Text | ModalityKind::Audio));
             if q.text.is_none() && has_text {
                 q.text = Some(String::new());
             }
@@ -197,7 +203,11 @@ mod tests {
         let title = f.corpus.kb().get(member).title.clone();
         let phrase = title.rsplit_once(" #").map(|(p, _)| p.to_string()).unwrap();
         let out = f.search(&MultiModalQuery::text(phrase), 10, 64);
-        let hits = out.ids().iter().filter(|&&id| gt.is_relevant(id, 1)).count();
+        let hits = out
+            .ids()
+            .iter()
+            .filter(|&&id| gt.is_relevant(id, 1))
+            .count();
         assert!(hits >= 3, "JE text-only hit {hits}/10");
     }
 
@@ -206,8 +216,11 @@ mod tests {
         let f = framework();
         let title = f.corpus.kb().get(2).title.clone();
         let plain = f.search(&MultiModalQuery::text(title.clone()), 5, 64);
-        let weighted =
-            f.search(&MultiModalQuery::text(title).with_weights(vec![0.0, 5.0]), 5, 64);
+        let weighted = f.search(
+            &MultiModalQuery::text(title).with_weights(vec![0.0, 5.0]),
+            5,
+            64,
+        );
         assert_eq!(plain.ids(), weighted.ids());
     }
 

@@ -82,7 +82,12 @@ impl RetrievalFramework for MrFramework {
             .collect();
         merged.sort_unstable();
         merged.truncate(k);
-        RetrievalOutput { results: merged, stats, scan: None, latency: t0.elapsed() }
+        RetrievalOutput {
+            results: merged,
+            stats,
+            scan: None,
+            latency: t0.elapsed(),
+        }
     }
 
     fn describe(&self) -> String {
@@ -136,7 +141,11 @@ mod tests {
         let title = f.corpus.kb().get(member).title.clone();
         let phrase = title.rsplit_once(" #").map(|(p, _)| p.to_string()).unwrap();
         let out = f.search(&MultiModalQuery::text(phrase), 10, 64);
-        let hits = out.ids().iter().filter(|&&id| gt.is_relevant(id, 2)).count();
+        let hits = out
+            .ids()
+            .iter()
+            .filter(|&&id| gt.is_relevant(id, 2))
+            .count();
         assert!(hits >= 7, "MR text search hit {hits}/10");
     }
 
@@ -157,8 +166,16 @@ mod tests {
         // still keep the result set on-concept.
         let gt = GroundTruth::build(f.corpus.kb());
         let concept = f.corpus.kb().get(0).concept.unwrap();
-        let hits = out.ids().iter().filter(|&&id| gt.is_relevant(id, concept)).count();
-        assert!(hits >= 4, "MR fused top-5 only {hits} on-concept: {:?}", out.ids());
+        let hits = out
+            .ids()
+            .iter()
+            .filter(|&&id| gt.is_relevant(id, concept))
+            .count();
+        assert!(
+            hits >= 4,
+            "MR fused top-5 only {hits} on-concept: {:?}",
+            out.ids()
+        );
         // two channels were searched
         assert!(out.stats.evals > 0);
     }

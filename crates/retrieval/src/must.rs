@@ -40,7 +40,11 @@ impl MustFramework {
     /// # Panics
     /// Panics if the index does not cover the corpus.
     pub fn from_index(corpus: Arc<EncodedCorpus>, index: UnifiedIndex) -> Self {
-        assert_eq!(index.len(), corpus.store().len(), "index/corpus size mismatch");
+        assert_eq!(
+            index.len(),
+            corpus.store().len(),
+            "index/corpus size mismatch"
+        );
         Self { corpus, index }
     }
 
@@ -131,7 +135,11 @@ mod tests {
         let title = f.corpus.kb().get(member).title.clone();
         let phrase = title.rsplit_once(" #").map(|(p, _)| p.to_string()).unwrap();
         let out = f.search(&MultiModalQuery::text(phrase), 10, 64);
-        let hits = out.ids().iter().filter(|&&id| gt.is_relevant(id, 0)).count();
+        let hits = out
+            .ids()
+            .iter()
+            .filter(|&&id| gt.is_relevant(id, 0))
+            .count();
         assert!(hits >= 7, "MUST text search hit {hits}/10");
         assert!(out.scan.is_some());
         assert!(out.latency.as_nanos() > 0);
@@ -162,7 +170,10 @@ mod tests {
         // text from a *different* concept + image of object 3, image-only
         // weighting: the image must dominate.
         let other_title = f.corpus.kb().get(1).title.clone();
-        let phrase = other_title.rsplit_once(" #").map(|(p, _)| p.to_string()).unwrap();
+        let phrase = other_title
+            .rsplit_once(" #")
+            .map(|(p, _)| p.to_string())
+            .unwrap();
         let q = MultiModalQuery::text_and_image(phrase, img).with_weights(vec![0.0, 1.0]);
         let out = f.search(&q, 1, 64);
         assert_eq!(out.ids()[0], 3);

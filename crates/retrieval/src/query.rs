@@ -26,7 +26,11 @@ pub struct MultiModalQuery {
 impl MultiModalQuery {
     /// A text-only query.
     pub fn text(text: impl Into<String>) -> Self {
-        Self { text: Some(text.into()), image: None, weight_override: None }
+        Self {
+            text: Some(text.into()),
+            image: None,
+            weight_override: None,
+        }
     }
 
     /// A voice query (the paper's "text or audio form" input). Audio is
@@ -38,12 +42,20 @@ impl MultiModalQuery {
 
     /// A query with text and a reference image.
     pub fn text_and_image(text: impl Into<String>, image: ImageData) -> Self {
-        Self { text: Some(text.into()), image: Some(image), weight_override: None }
+        Self {
+            text: Some(text.into()),
+            image: Some(image),
+            weight_override: None,
+        }
     }
 
     /// An image-only query.
     pub fn image(image: ImageData) -> Self {
-        Self { text: None, image: Some(image), weight_override: None }
+        Self {
+            text: None,
+            image: Some(image),
+            weight_override: None,
+        }
     }
 
     /// Attaches a user weight override.
@@ -103,9 +115,18 @@ mod tests {
     fn image_fills_all_visual_fields() {
         let schema = ContentSchema::new(
             vec![
-                FieldSpec { name: "synopsis".into(), kind: ModalityKind::Text },
-                FieldSpec { name: "poster".into(), kind: ModalityKind::Image },
-                FieldSpec { name: "still".into(), kind: ModalityKind::Video },
+                FieldSpec {
+                    name: "synopsis".into(),
+                    kind: ModalityKind::Text,
+                },
+                FieldSpec {
+                    name: "poster".into(),
+                    kind: ModalityKind::Image,
+                },
+                FieldSpec {
+                    name: "still".into(),
+                    kind: ModalityKind::Video,
+                },
             ],
             8,
         );
@@ -124,7 +145,10 @@ mod tests {
     #[should_panic(expected = "matches no field")]
     fn image_query_against_text_only_schema_panics() {
         let schema = ContentSchema::new(
-            vec![FieldSpec { name: "body".into(), kind: ModalityKind::Text }],
+            vec![FieldSpec {
+                name: "body".into(),
+                kind: ModalityKind::Text,
+            }],
             0,
         );
         MultiModalQuery::image(ImageData::new(vec![0.0; 8])).to_contents(&schema);

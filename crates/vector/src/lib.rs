@@ -33,9 +33,9 @@ pub mod topk;
 
 pub use metric::Metric;
 pub use multivec::{Modality, ModalityKind, MultiVector, Schema, Weights};
-pub use scan::{FusedScanner, ScanStats};
 pub use pq::{PqCodebook, PqCodes, PqParams, PqTable};
-pub use store::{MultiVectorStore, VectorStore};
+pub use scan::{FusedScanner, ScanStats};
+pub use store::{MultiVectorStore, StoreViolation, VectorStore};
 pub use topk::{Candidate, MinCandidate, TopK};
 
 /// Identifier of an object inside a store / knowledge base / graph index.

@@ -128,9 +128,7 @@ mod tests {
         let a = [0.3f32, -1.2, 0.7];
         let b = [1.1f32, 0.4, -0.5];
         assert!((Metric::L2.distance(&a, &b) - Metric::L2.distance(&b, &a)).abs() < 1e-6);
-        assert!(
-            (Metric::Cosine.distance(&a, &b) - Metric::Cosine.distance(&b, &a)).abs() < 1e-6
-        );
+        assert!((Metric::Cosine.distance(&a, &b) - Metric::Cosine.distance(&b, &a)).abs() < 1e-6);
     }
 
     #[test]

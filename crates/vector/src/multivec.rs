@@ -73,7 +73,10 @@ impl Schema {
     /// Panics if `modalities` is empty or any dimension is zero — a
     /// knowledge base without modalities cannot be indexed.
     pub fn new(modalities: Vec<Modality>) -> Self {
-        assert!(!modalities.is_empty(), "schema requires at least one modality");
+        assert!(
+            !modalities.is_empty(),
+            "schema requires at least one modality"
+        );
         assert!(
             modalities.iter().all(|m| m.dim > 0),
             "modalities must have non-zero dimensionality"
@@ -85,8 +88,16 @@ impl Schema {
     /// in all of the paper's interaction scenarios.
     pub fn text_image(text_dim: Dim, image_dim: Dim) -> Self {
         Self::new(vec![
-            Modality { name: "text".into(), kind: ModalityKind::Text, dim: text_dim },
-            Modality { name: "image".into(), kind: ModalityKind::Image, dim: image_dim },
+            Modality {
+                name: "text".into(),
+                kind: ModalityKind::Text,
+                dim: text_dim,
+            },
+            Modality {
+                name: "image".into(),
+                kind: ModalityKind::Image,
+                dim: image_dim,
+            },
         ])
     }
 
@@ -139,7 +150,9 @@ impl MultiVector {
         for (m, p) in parts.iter().enumerate() {
             assert_eq!(p.len(), schema.dim(m), "dimension mismatch in modality {m}");
         }
-        Self { parts: parts.into_iter().map(Some).collect() }
+        Self {
+            parts: parts.into_iter().map(Some).collect(),
+        }
     }
 
     /// A multi-vector with possibly missing modalities.
@@ -149,7 +162,10 @@ impl MultiVector {
     /// missing (such an object/query is unscorable).
     pub fn partial(schema: &Schema, parts: Vec<Option<Vec<f32>>>) -> Self {
         assert_eq!(parts.len(), schema.arity(), "modality count mismatch");
-        assert!(parts.iter().any(Option::is_some), "at least one modality must be present");
+        assert!(
+            parts.iter().any(Option::is_some),
+            "at least one modality must be present"
+        );
         for (m, p) in parts.iter().enumerate() {
             if let Some(p) = p {
                 assert_eq!(p.len(), schema.dim(m), "dimension mismatch in modality {m}");
@@ -206,7 +222,11 @@ impl MultiVector {
     /// # Panics
     /// Panics if `flat.len() != schema.total_dim()`.
     pub fn from_concat(schema: &Schema, flat: &[f32]) -> Self {
-        assert_eq!(flat.len(), schema.total_dim(), "flat vector length mismatch");
+        assert_eq!(
+            flat.len(),
+            schema.total_dim(),
+            "flat vector length mismatch"
+        );
         let mut parts = Vec::with_capacity(schema.arity());
         let mut off = 0;
         for m in 0..schema.arity() {
@@ -248,7 +268,9 @@ impl Weights {
     /// baselines implicitly use.
     pub fn uniform(arity: usize) -> Self {
         assert!(arity > 0, "weights require at least one modality");
-        Self { w: vec![1.0; arity] }
+        Self {
+            w: vec![1.0; arity],
+        }
     }
 
     /// Builds weights from raw values, clamping negatives to zero and
@@ -263,7 +285,9 @@ impl Weights {
         let sum: f32 = clamped.iter().sum();
         assert!(sum > 0.0, "at least one weight must be positive");
         let scale = raw.len() as f32 / sum;
-        Self { w: clamped.into_iter().map(|x| x * scale).collect() }
+        Self {
+            w: clamped.into_iter().map(|x| x * scale).collect(),
+        }
     }
 
     /// Weight of modality `m`.
@@ -290,7 +314,11 @@ impl Weights {
     /// `ŝx_m = sqrt(w_m)·x_m` — is what lets MUST reuse *any* single-vector
     /// navigation graph on weighted multi-modal data.
     pub fn scale_concat(&self, schema: &Schema, flat: &mut [f32]) {
-        assert_eq!(flat.len(), schema.total_dim(), "flat vector length mismatch");
+        assert_eq!(
+            flat.len(),
+            schema.total_dim(),
+            "flat vector length mismatch"
+        );
         let mut off = 0;
         for m in 0..schema.arity() {
             let d = schema.dim(m);

@@ -113,7 +113,10 @@ pub fn mean(vectors: &[&[f32]]) -> Option<Vec<f32>> {
 /// Linear interpolation `(1 - t) * a + t * b`.
 pub fn lerp(a: &[f32], b: &[f32], t: f32) -> Vec<f32> {
     debug_assert_eq!(a.len(), b.len(), "lerp: dimension mismatch");
-    a.iter().zip(b).map(|(x, y)| (1.0 - t) * x + t * y).collect()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (1.0 - t) * x + t * y)
+        .collect()
 }
 
 #[cfg(test)]
@@ -137,11 +140,7 @@ mod tests {
     fn l2_sq_matches_naive() {
         let a: Vec<f32> = (0..17).map(|i| i as f32).collect();
         let b: Vec<f32> = (0..17).map(|i| (i * i) as f32 * 0.1).collect();
-        let naive: f32 = a
-            .iter()
-            .zip(&b)
-            .map(|(x, y)| (x - y) * (x - y))
-            .sum();
+        let naive: f32 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
         assert!((l2_sq(&a, &b) - naive).abs() < 1e-2);
     }
 

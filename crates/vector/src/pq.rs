@@ -18,8 +18,7 @@
 
 use crate::store::VectorStore;
 use crate::{Dim, VecId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mqa_rng::StdRng;
 use serde::{Deserialize, Serialize};
 
 /// Centroids per subspace (one byte per code).
@@ -51,7 +50,12 @@ pub struct PqParams {
 
 impl Default for PqParams {
     fn default() -> Self {
-        Self { m: 16, iters: 12, train_sample: 20_000, seed: 0 }
+        Self {
+            m: 16,
+            iters: 12,
+            train_sample: 20_000,
+            seed: 0,
+        }
     }
 }
 
@@ -81,7 +85,9 @@ impl PqCodebook {
         let sample: Vec<VecId> = if n <= params.train_sample {
             (0..n as VecId).collect()
         } else {
-            (0..params.train_sample).map(|_| rng.gen_range(0..n) as VecId).collect()
+            (0..params.train_sample)
+                .map(|_| rng.gen_range(0..n) as VecId)
+                .collect()
         };
 
         let mut centroids = Vec::with_capacity(params.m);
@@ -137,7 +143,12 @@ impl PqCodebook {
             }
             centroids.push(cents);
         }
-        Self { dim, m: params.m, centroids, bounds }
+        Self {
+            dim,
+            m: params.m,
+            centroids,
+            bounds,
+        }
     }
 
     /// Dimensionality this codebook encodes.
@@ -217,7 +228,10 @@ impl PqCodebook {
             let k = cents.len() / sub;
             let mut lut = Vec::with_capacity(k);
             for c in 0..k {
-                lut.push(crate::ops::l2_sq(&query[lo..hi], &cents[c * sub..(c + 1) * sub]));
+                lut.push(crate::ops::l2_sq(
+                    &query[lo..hi],
+                    &cents[c * sub..(c + 1) * sub],
+                ));
             }
             luts.push(lut);
         }
@@ -287,14 +301,19 @@ mod tests {
         let mut s = VectorStore::new(dim);
         for i in 0..n {
             let c = &centers[i % clusters];
-            let v: Vec<f32> = c.iter().map(|x| x + rng.gen_range(-0.2..0.2)).collect();
+            let v: Vec<f32> = c.iter().map(|x| x + rng.gen_range(-0.2f32..0.2)).collect();
             s.push(&v);
         }
         s
     }
 
     fn params(m: usize) -> PqParams {
-        PqParams { m, iters: 8, train_sample: 10_000, seed: 0 }
+        PqParams {
+            m,
+            iters: 8,
+            train_sample: 10_000,
+            seed: 0,
+        }
     }
 
     #[test]
@@ -337,16 +356,22 @@ mod tests {
         let query = store.get(0).to_vec();
         let table = cb.table(&query);
         // exact top-20
-        let mut exact: Vec<(u32, f32)> =
-            store.iter().map(|(id, v)| (id, Metric::L2.distance(&query, v))).collect();
+        let mut exact: Vec<(u32, f32)> = store
+            .iter()
+            .map(|(id, v)| (id, Metric::L2.distance(&query, v)))
+            .collect();
         exact.sort_by(|a, b| a.1.total_cmp(&b.1));
         let exact_top: Vec<u32> = exact.iter().take(20).map(|(id, _)| *id).collect();
         // pq top-20
-        let mut approx: Vec<(u32, f32)> =
-            (0..400u32).map(|id| (id, table.distance(codes.code(id)))).collect();
+        let mut approx: Vec<(u32, f32)> = (0..400u32)
+            .map(|id| (id, table.distance(codes.code(id))))
+            .collect();
         approx.sort_by(|a, b| a.1.total_cmp(&b.1));
         let approx_top: Vec<u32> = approx.iter().take(20).map(|(id, _)| *id).collect();
-        let overlap = approx_top.iter().filter(|id| exact_top.contains(id)).count();
+        let overlap = approx_top
+            .iter()
+            .filter(|id| exact_top.contains(id))
+            .count();
         assert!(overlap >= 14, "PQ top-20 overlap {overlap}/20");
     }
 
@@ -374,8 +399,7 @@ mod tests {
         let store = clustered_store(60, 8, 3, 6);
         let cb = PqCodebook::train(&store, &params(2));
         let codes = cb.encode_store(&store);
-        let cb2: PqCodebook =
-            serde_json::from_str(&serde_json::to_string(&cb).unwrap()).unwrap();
+        let cb2: PqCodebook = serde_json::from_str(&serde_json::to_string(&cb).unwrap()).unwrap();
         let codes2: PqCodes =
             serde_json::from_str(&serde_json::to_string(&codes).unwrap()).unwrap();
         assert_eq!(cb, cb2);

@@ -112,7 +112,11 @@ impl FusedScanner {
         for (m, q) in query.present() {
             let w = weights.get(m);
             if w > 0.0 {
-                blocks.push(Block { offset: schema.offset(m), weight: w, query: q.to_vec() });
+                blocks.push(Block {
+                    offset: schema.offset(m),
+                    weight: w,
+                    query: q.to_vec(),
+                });
             }
         }
         assert!(
@@ -149,7 +153,7 @@ impl FusedScanner {
     /// dimensionality.
     pub fn distance(&mut self, flat: &[f32], bound: f32) -> Option<f32> {
         debug_assert_eq!(flat.len(), self.total_dim, "object vector length mismatch");
-        if !self.prunable || bound == f32::INFINITY {
+        if !self.prunable || bound.is_infinite() {
             return Some(self.full(flat));
         }
         let mut total = 0.0f32;
@@ -209,13 +213,13 @@ impl FusedScanner {
 mod tests {
     use super::*;
     use crate::multivec::{MultiVector, Schema, Weights};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use mqa_rng::StdRng;
 
     fn setup(seed: u64) -> (Schema, MultiVector, Weights, Vec<Vec<f32>>) {
         let schema = Schema::text_image(24, 40);
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut randv = |d: usize| -> Vec<f32> { (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect() };
+        let mut randv =
+            |d: usize| -> Vec<f32> { (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect() };
         let q = MultiVector::complete(&schema, vec![randv(24), randv(40)]);
         let w = Weights::normalized(&[1.7, 0.3]);
         let objs: Vec<Vec<f32>> = (0..50)
@@ -254,7 +258,10 @@ mod tests {
                         assert!((d - exact).abs() < 1e-3);
                         assert!(d < bound || (d - bound).abs() < 1e-3);
                     }
-                    None => assert!(exact >= bound - 1e-3, "abandoned but exact={exact} < bound={bound}"),
+                    None => assert!(
+                        exact >= bound - 1e-3,
+                        "abandoned but exact={exact} < bound={bound}"
+                    ),
                 }
             }
         }
@@ -328,10 +335,28 @@ mod tests {
 
     #[test]
     fn stats_merge_adds_fields() {
-        let a = ScanStats { full_evals: 1, abandoned: 2, terms: 3, terms_skipped: 4 };
-        let mut b = ScanStats { full_evals: 10, abandoned: 20, terms: 30, terms_skipped: 40 };
+        let a = ScanStats {
+            full_evals: 1,
+            abandoned: 2,
+            terms: 3,
+            terms_skipped: 4,
+        };
+        let mut b = ScanStats {
+            full_evals: 10,
+            abandoned: 20,
+            terms: 30,
+            terms_skipped: 40,
+        };
         b.merge(&a);
-        assert_eq!(b, ScanStats { full_evals: 11, abandoned: 22, terms: 33, terms_skipped: 44 });
+        assert_eq!(
+            b,
+            ScanStats {
+                full_evals: 11,
+                abandoned: 22,
+                terms: 33,
+                terms_skipped: 44
+            }
+        );
     }
 
     #[test]

@@ -28,13 +28,19 @@ impl VectorStore {
     /// Panics if `dim == 0`.
     pub fn new(dim: Dim) -> Self {
         assert!(dim > 0, "vector store requires non-zero dimension");
-        Self { dim, data: Vec::new() }
+        Self {
+            dim,
+            data: Vec::new(),
+        }
     }
 
     /// Creates an empty store with capacity for `n` vectors.
     pub fn with_capacity(dim: Dim, n: usize) -> Self {
         assert!(dim > 0, "vector store requires non-zero dimension");
-        Self { dim, data: Vec::with_capacity(dim * n) }
+        Self {
+            dim,
+            data: Vec::with_capacity(dim * n),
+        }
     }
 
     /// Vector dimensionality.
@@ -115,7 +121,11 @@ impl MultiVectorStore {
     /// Creates an empty store for objects of the given schema.
     pub fn new(schema: Schema) -> Self {
         let dim = schema.total_dim();
-        Self { schema, concat: VectorStore::new(dim), present: Vec::new() }
+        Self {
+            schema,
+            concat: VectorStore::new(dim),
+            present: Vec::new(),
+        }
     }
 
     /// The schema shared by all stored objects.
@@ -135,7 +145,11 @@ impl MultiVectorStore {
 
     /// Appends an object, returning its id.
     pub fn push(&mut self, mv: &MultiVector) -> VecId {
-        assert_eq!(mv.arity(), self.schema.arity(), "push: modality arity mismatch");
+        assert_eq!(
+            mv.arity(),
+            self.schema.arity(),
+            "push: modality arity mismatch"
+        );
         let flat = mv.concat(&self.schema);
         let mask = (0..mv.arity()).map(|m| mv.part(m).is_some()).collect();
         self.present.push(mask);
@@ -197,6 +211,127 @@ impl MultiVectorStore {
     /// Approximate resident size in bytes.
     pub fn bytes(&self) -> usize {
         self.concat.bytes() + self.present.len() * self.schema.arity()
+    }
+
+    /// Audits the store's structural invariants and returns every
+    /// violation found (empty = sound).
+    ///
+    /// Checked invariants:
+    /// - the flat buffer's dimension equals the schema's total dimension;
+    /// - there is exactly one presence mask per object, each with one flag
+    ///   per modality;
+    /// - every stored component is finite;
+    /// - a modality flagged absent is stored as an all-zero block (the
+    ///   layout contract `push` establishes and distance kernels rely on).
+    pub fn validate(&self) -> Vec<StoreViolation> {
+        let mut out = Vec::new();
+        if self.concat.dim() != self.schema.total_dim() {
+            out.push(StoreViolation::DimensionMismatch {
+                expected: self.schema.total_dim(),
+                got: self.concat.dim(),
+            });
+            return out; // block offsets below would be meaningless
+        }
+        if self.present.len() != self.concat.len() {
+            out.push(StoreViolation::MaskCount {
+                expected: self.concat.len(),
+                got: self.present.len(),
+            });
+        }
+        let arity = self.schema.arity();
+        for (id, mask) in self.present.iter().enumerate().take(self.concat.len()) {
+            let id = id as VecId;
+            if mask.len() != arity {
+                out.push(StoreViolation::MaskArity {
+                    id,
+                    expected: arity,
+                    got: mask.len(),
+                });
+                continue;
+            }
+            let flat = self.concat.get(id);
+            if flat.iter().any(|x| !x.is_finite()) {
+                out.push(StoreViolation::NonFinite { id });
+            }
+            for (m, &present) in mask.iter().enumerate() {
+                let off = self.schema.offset(m);
+                let block = &flat[off..off + self.schema.dim(m)];
+                if !present && block.iter().any(|&x| x != 0.0) {
+                    out.push(StoreViolation::GhostBlock { id, modality: m });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A structural defect in a [`MultiVectorStore`], reported by
+/// [`MultiVectorStore::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreViolation {
+    /// The flat buffer's dimension disagrees with the schema.
+    DimensionMismatch {
+        /// The schema's total dimension.
+        expected: usize,
+        /// The buffer's dimension.
+        got: usize,
+    },
+    /// Presence-mask count differs from the object count.
+    MaskCount {
+        /// The object count.
+        expected: usize,
+        /// The mask count.
+        got: usize,
+    },
+    /// A presence mask with the wrong number of modality flags.
+    MaskArity {
+        /// The affected object.
+        id: VecId,
+        /// The schema arity.
+        expected: usize,
+        /// The mask's flag count.
+        got: usize,
+    },
+    /// A NaN or infinite component in an object's stored data.
+    NonFinite {
+        /// The affected object.
+        id: VecId,
+    },
+    /// Non-zero data stored in a modality block flagged absent.
+    GhostBlock {
+        /// The affected object.
+        id: VecId,
+        /// The modality whose block should be zero.
+        modality: usize,
+    },
+}
+
+impl std::fmt::Display for StoreViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::DimensionMismatch { expected, got } => {
+                write!(
+                    f,
+                    "store dimension {got} != schema total dimension {expected}"
+                )
+            }
+            Self::MaskCount { expected, got } => {
+                write!(f, "{got} presence masks for {expected} objects")
+            }
+            Self::MaskArity { id, expected, got } => {
+                write!(
+                    f,
+                    "object {id}: mask has {got} flags, schema arity is {expected}"
+                )
+            }
+            Self::NonFinite { id } => write!(f, "object {id}: non-finite component"),
+            Self::GhostBlock { id, modality } => {
+                write!(
+                    f,
+                    "object {id}: absent modality {modality} has non-zero data"
+                )
+            }
+        }
     }
 }
 
@@ -278,8 +413,14 @@ mod tests {
     #[test]
     fn modality_store_extracts_blocks() {
         let (schema, mut store) = mv_store();
-        store.push(&MultiVector::complete(&schema, vec![vec![1.0, 2.0], vec![3.0, 4.0, 5.0]]));
-        store.push(&MultiVector::complete(&schema, vec![vec![6.0, 7.0], vec![8.0, 9.0, 10.0]]));
+        store.push(&MultiVector::complete(
+            &schema,
+            vec![vec![1.0, 2.0], vec![3.0, 4.0, 5.0]],
+        ));
+        store.push(&MultiVector::complete(
+            &schema,
+            vec![vec![6.0, 7.0], vec![8.0, 9.0, 10.0]],
+        ));
         let text = store.modality_store(0);
         assert_eq!(text.dim(), 2);
         assert_eq!(text.get(1), &[6.0, 7.0]);
@@ -304,9 +445,79 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let (schema, mut store) = mv_store();
-        store.push(&MultiVector::complete(&schema, vec![vec![1.0, 2.0], vec![3.0, 4.0, 5.0]]));
+        store.push(&MultiVector::complete(
+            &schema,
+            vec![vec![1.0, 2.0], vec![3.0, 4.0, 5.0]],
+        ));
         let j = serde_json::to_string(&store).unwrap();
         let back: MultiVectorStore = serde_json::from_str(&j).unwrap();
         assert_eq!(store, back);
+    }
+
+    #[test]
+    fn validate_accepts_sound_store() {
+        let (schema, mut store) = mv_store();
+        store.push(&MultiVector::complete(
+            &schema,
+            vec![vec![1.0, 2.0], vec![3.0, 4.0, 5.0]],
+        ));
+        store.push(&MultiVector::partial(
+            &schema,
+            vec![Some(vec![6.0, 7.0]), None],
+        ));
+        let violations = store.validate();
+        assert!(violations.is_empty(), "sound store flagged: {violations:?}");
+        assert!(MultiVectorStore::new(schema).validate().is_empty());
+    }
+
+    #[test]
+    fn validate_detects_corruption() {
+        let (schema, mut sound) = mv_store();
+        sound.push(&MultiVector::complete(
+            &schema,
+            vec![vec![1.0, 2.0], vec![3.0, 4.0, 5.0]],
+        ));
+        sound.push(&MultiVector::partial(
+            &schema,
+            vec![Some(vec![6.0, 7.0]), None],
+        ));
+
+        // A NaN smuggled into the flat buffer.
+        let mut store = sound.clone();
+        store.concat.get_mut(0)[1] = f32::NAN;
+        assert!(store
+            .validate()
+            .iter()
+            .any(|v| matches!(v, StoreViolation::NonFinite { id: 0 })));
+
+        // Data written into an absent modality's zero block.
+        let mut store = sound.clone();
+        store.concat.get_mut(1)[2] = 0.5; // modality 1 of object 1 is absent
+        assert!(store
+            .validate()
+            .iter()
+            .any(|v| matches!(v, StoreViolation::GhostBlock { id: 1, modality: 1 })));
+
+        // A lost presence mask.
+        let mut store = sound.clone();
+        store.present.pop();
+        assert!(store.validate().iter().any(|v| matches!(
+            v,
+            StoreViolation::MaskCount {
+                expected: 2,
+                got: 1
+            }
+        )));
+
+        // A mask with the wrong arity.
+        let mut store = sound;
+        store.present[0].push(true);
+        let v = store.validate();
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, StoreViolation::MaskArity { id: 0, .. })));
+        for x in &v {
+            assert!(!x.to_string().is_empty());
+        }
     }
 }

@@ -81,7 +81,10 @@ impl TopK {
     /// Panics if `k == 0`.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "top-k requires k >= 1");
-        Self { k, heap: BinaryHeap::with_capacity(k + 1) }
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
     }
 
     /// Capacity `k`.
@@ -119,13 +122,15 @@ impl TopK {
     pub fn offer(&mut self, c: Candidate) -> bool {
         if self.heap.len() < self.k {
             self.heap.push(c);
-            true
-        } else if c < *self.heap.peek().expect("non-empty full heap") {
-            self.heap.pop();
-            self.heap.push(c);
-            true
-        } else {
-            false
+            return true;
+        }
+        match self.heap.peek() {
+            Some(top) if c < *top => {
+                self.heap.pop();
+                self.heap.push(c);
+                true
+            }
+            _ => false,
         }
     }
 

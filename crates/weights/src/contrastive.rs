@@ -60,9 +60,18 @@ mod tests {
         let schema = Schema::text_image(2, 2);
         let mut s = MultiVectorStore::new(schema.clone());
         // 0: anchor, 1: near in text / far in image, 2: far in both
-        s.push(&MultiVector::complete(&schema, vec![vec![0.0, 0.0], vec![0.0, 0.0]]));
-        s.push(&MultiVector::complete(&schema, vec![vec![0.1, 0.0], vec![2.0, 0.0]]));
-        s.push(&MultiVector::complete(&schema, vec![vec![3.0, 0.0], vec![3.0, 0.0]]));
+        s.push(&MultiVector::complete(
+            &schema,
+            vec![vec![0.0, 0.0], vec![0.0, 0.0]],
+        ));
+        s.push(&MultiVector::complete(
+            &schema,
+            vec![vec![0.1, 0.0], vec![2.0, 0.0]],
+        ));
+        s.push(&MultiVector::complete(
+            &schema,
+            vec![vec![3.0, 0.0], vec![3.0, 0.0]],
+        ));
         s
     }
 
@@ -78,8 +87,14 @@ mod tests {
     fn missing_modality_contributes_zero() {
         let schema = Schema::text_image(2, 2);
         let mut s = MultiVectorStore::new(schema.clone());
-        s.push(&MultiVector::partial(&schema, vec![Some(vec![0.0, 0.0]), None]));
-        s.push(&MultiVector::complete(&schema, vec![vec![1.0, 0.0], vec![9.0, 9.0]]));
+        s.push(&MultiVector::partial(
+            &schema,
+            vec![Some(vec![0.0, 0.0]), None],
+        ));
+        s.push(&MultiVector::complete(
+            &schema,
+            vec![vec![1.0, 0.0], vec![9.0, 9.0]],
+        ));
         let d = modality_distances(&s, 0, 1, Metric::L2);
         assert!((d[0] - 1.0).abs() < 1e-6);
         assert_eq!(d[1], 0.0);
@@ -88,7 +103,11 @@ mod tests {
     #[test]
     fn satisfied_triplet_has_zero_loss_and_gradient() {
         let s = store();
-        let t = Triplet { anchor: 0, positive: 1, negative: 2 };
+        let t = Triplet {
+            anchor: 0,
+            positive: 1,
+            negative: 2,
+        };
         // text-only weights: dp=0.01, dn=9.0 -> margin easily satisfied
         let (loss, grad) = triplet_loss(&s, &t, &[2.0, 0.0], 1.0, Metric::L2);
         assert_eq!(loss, 0.0);
@@ -99,7 +118,11 @@ mod tests {
     fn violated_triplet_gradient_points_at_bad_modality() {
         let s = store();
         // swap roles: positive is the far object; hinge active
-        let t = Triplet { anchor: 0, positive: 2, negative: 1 };
+        let t = Triplet {
+            anchor: 0,
+            positive: 2,
+            negative: 1,
+        };
         let (loss, grad) = triplet_loss(&s, &t, &[1.0, 1.0], 1.0, Metric::L2);
         assert!(loss > 0.0);
         // text: dp=9, dn=0.01 -> grad strongly positive (decrease weight)
@@ -112,7 +135,11 @@ mod tests {
     #[test]
     fn loss_matches_manual_computation() {
         let s = store();
-        let t = Triplet { anchor: 0, positive: 1, negative: 2 };
+        let t = Triplet {
+            anchor: 0,
+            positive: 1,
+            negative: 2,
+        };
         let w = [1.0f32, 1.0];
         let (loss, _) = triplet_loss(&s, &t, &w, 1.0, Metric::L2);
         // dp = [0.01, 4], dn = [9, 9]; score = 0.01+4-9-9 = -13.99

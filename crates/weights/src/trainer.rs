@@ -87,7 +87,11 @@ impl WeightLearner {
     /// Panics if `labels.len() != store.len()`, or if the labels cannot
     /// supply triplets (see [`sample_triplets`]).
     pub fn learn(&self, store: &MultiVectorStore, labels: &[u32]) -> LearnedWeights {
-        assert_eq!(labels.len(), store.len(), "one label per stored object required");
+        assert_eq!(
+            labels.len(),
+            store.len(),
+            "one label per stored object required"
+        );
         let arity = store.schema().arity();
         let cfg = &self.config;
         let triplets = sample_triplets(labels, cfg.n_triplets, cfg.seed);
@@ -113,7 +117,11 @@ impl WeightLearner {
 
         let weights = Weights::normalized(&w);
         let accuracy = triplet_accuracy(store, &triplets, weights.as_slice(), cfg.metric);
-        LearnedWeights { weights, loss_history: history, triplet_accuracy: accuracy }
+        LearnedWeights {
+            weights,
+            loss_history: history,
+            triplet_accuracy: accuracy,
+        }
     }
 }
 
@@ -159,9 +167,8 @@ pub(crate) fn triplet_accuracy(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mqa_rng::StdRng;
     use mqa_vector::{MultiVector, Schema};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
 
     /// Builds a corpus where the *text* modality carries all concept signal
     /// and the *image* modality is pure noise.
@@ -211,7 +218,11 @@ mod tests {
             "expected text >> image, got {w:?} (accuracy {})",
             out.triplet_accuracy
         );
-        assert!(out.triplet_accuracy > 0.85, "accuracy {}", out.triplet_accuracy);
+        assert!(
+            out.triplet_accuracy > 0.85,
+            "accuracy {}",
+            out.triplet_accuracy
+        );
     }
 
     #[test]
@@ -224,8 +235,7 @@ mod tests {
         let out = learner.learn(&store, &labels);
         let triplets = sample_triplets(&labels, 1_000, 999);
         let uniform_acc = triplet_accuracy(&store, &triplets, &[1.0, 1.0], Metric::L2);
-        let learned_acc =
-            triplet_accuracy(&store, &triplets, out.weights.as_slice(), Metric::L2);
+        let learned_acc = triplet_accuracy(&store, &triplets, out.weights.as_slice(), Metric::L2);
         assert!(
             learned_acc > uniform_acc,
             "learned {learned_acc} <= uniform {uniform_acc}"
@@ -265,14 +275,18 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         for i in 0..120 {
             let c = i % 4;
-            let base: Vec<f32> =
-                (0..4).map(|j| (c * 4 + j) as f32 * 0.5 + rng.gen_range(-0.1..0.1)).collect();
+            let base: Vec<f32> = (0..4)
+                .map(|j| (c * 4 + j) as f32 * 0.5 + rng.gen_range(-0.1f32..0.1))
+                .collect();
             store.push(&MultiVector::complete(&schema, vec![base.clone(), base]));
             labels.push(c as u32);
         }
         let out = WeightLearner::default().learn(&store, &labels);
         let w = out.weights.as_slice();
-        assert!((w[0] - 1.0).abs() < 0.35 && (w[1] - 1.0).abs() < 0.35, "{w:?}");
+        assert!(
+            (w[0] - 1.0).abs() < 0.35 && (w[1] - 1.0).abs() < 0.35,
+            "{w:?}"
+        );
     }
 
     #[test]

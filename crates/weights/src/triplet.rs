@@ -1,8 +1,7 @@
 //! Triplet sampling from a labelled multi-modal store.
 
+use mqa_rng::StdRng;
 use mqa_vector::VecId;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// One contrastive training example: ids of anchor, positive (same label)
@@ -30,11 +29,17 @@ pub fn sample_triplets(labels: &[u32], n: usize, seed: u64) -> Vec<Triplet> {
     for (id, &l) in labels.iter().enumerate() {
         by_label.entry(l).or_default().push(id as VecId);
     }
-    assert!(by_label.len() >= 2, "triplet sampling needs at least two distinct labels");
+    assert!(
+        by_label.len() >= 2,
+        "triplet sampling needs at least two distinct labels"
+    );
     // Sort the label lists: HashMap iteration order varies across
     // processes, and sampling must be a pure function of (labels, seed).
-    let mut anchorable: Vec<u32> =
-        by_label.iter().filter(|(_, v)| v.len() >= 2).map(|(&l, _)| l).collect();
+    let mut anchorable: Vec<u32> = by_label
+        .iter()
+        .filter(|(_, v)| v.len() >= 2)
+        .map(|(&l, _)| l)
+        .collect();
     anchorable.sort_unstable();
     assert!(
         !anchorable.is_empty(),
@@ -62,7 +67,11 @@ pub fn sample_triplets(labels: &[u32], n: usize, seed: u64) -> Vec<Triplet> {
         };
         let negs = &by_label[&neg_label];
         let n_id = negs[rng.gen_range(0..negs.len())];
-        out.push(Triplet { anchor: a, positive: p, negative: n_id });
+        out.push(Triplet {
+            anchor: a,
+            positive: p,
+            negative: n_id,
+        });
     }
     out
 }
@@ -86,8 +95,14 @@ mod tests {
     #[test]
     fn deterministic_in_seed() {
         let labels = vec![0, 0, 1, 1];
-        assert_eq!(sample_triplets(&labels, 50, 7), sample_triplets(&labels, 50, 7));
-        assert_ne!(sample_triplets(&labels, 50, 7), sample_triplets(&labels, 50, 8));
+        assert_eq!(
+            sample_triplets(&labels, 50, 7),
+            sample_triplets(&labels, 50, 7)
+        );
+        assert_ne!(
+            sample_triplets(&labels, 50, 7),
+            sample_triplets(&labels, 50, 8)
+        );
     }
 
     #[test]

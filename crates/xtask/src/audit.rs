@@ -1,0 +1,180 @@
+//! The structural audit: build every index variant over a synthetic
+//! corpus and run the validators the data structures carry.
+//!
+//! The corpus is deterministic (seeded [`mqa_rng::StdRng`]), so an audit
+//! failure is always reproducible. Each audited structure contributes one
+//! [`AuditEntry`]; the run fails if any entry reports violations.
+
+use mqa_dag::DagBuilder;
+use mqa_graph::IndexAlgorithm;
+use mqa_graph::UnifiedIndex;
+use mqa_rng::StdRng;
+use mqa_vector::{Metric, MultiVector, MultiVectorStore, Schema, VectorStore, Weights};
+use std::sync::Arc;
+
+/// One audited structure's result.
+#[derive(Debug)]
+pub struct AuditEntry {
+    /// What was audited (e.g. `"index hnsw"`).
+    pub subject: String,
+    /// Rendered violations; empty = sound.
+    pub violations: Vec<String>,
+}
+
+/// The whole audit's results.
+#[derive(Debug, Default)]
+pub struct AuditReport {
+    /// Per-structure entries, in audit order.
+    pub entries: Vec<AuditEntry>,
+}
+
+impl AuditReport {
+    /// Whether every audited structure was sound.
+    pub fn is_clean(&self) -> bool {
+        self.entries.iter().all(|e| e.violations.is_empty())
+    }
+
+    /// Total violation count.
+    pub fn violation_count(&self) -> usize {
+        self.entries.iter().map(|e| e.violations.len()).sum()
+    }
+
+    fn push<V: std::fmt::Display>(&mut self, subject: &str, violations: Vec<V>) {
+        self.entries.push(AuditEntry {
+            subject: subject.to_string(),
+            violations: violations.iter().map(V::to_string).collect(),
+        });
+    }
+}
+
+/// A clustered synthetic store: `clusters` Gaussian-ish blobs in `dim`
+/// dimensions, `n` vectors, fully determined by `seed`.
+pub fn synthetic_store(n: usize, dim: usize, clusters: usize, seed: u64) -> VectorStore {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f32>> = (0..clusters)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-4.0f32..4.0)).collect())
+        .collect();
+    let mut store = VectorStore::new(dim);
+    for i in 0..n {
+        let c = &centers[i % clusters];
+        let v: Vec<f32> = c.iter().map(|x| x + rng.gen_range(-0.5f32..0.5)).collect();
+        store.push(&v);
+    }
+    store
+}
+
+/// A two-modal synthetic object store with a mix of complete and partial
+/// objects (every fourth object lacks its image modality).
+pub fn synthetic_multivector_store(n: usize, seed: u64) -> MultiVectorStore {
+    let schema = Schema::text_image(8, 12);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut store = MultiVectorStore::new(schema.clone());
+    for i in 0..n {
+        let text: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let image: Vec<f32> = (0..12).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let mv = if i % 4 == 3 {
+            MultiVector::partial(&schema, vec![Some(text), None])
+        } else {
+            MultiVector::complete(&schema, vec![text, image])
+        };
+        store.push(&mv);
+    }
+    store
+}
+
+/// Every selectable index configuration, by panel name.
+pub fn all_algorithms() -> Vec<IndexAlgorithm> {
+    vec![
+        IndexAlgorithm::Flat,
+        IndexAlgorithm::ivf(),
+        IndexAlgorithm::hnsw(),
+        IndexAlgorithm::nsg(),
+        IndexAlgorithm::vamana(),
+        IndexAlgorithm::mqa_graph(),
+    ]
+}
+
+/// Runs the full audit: every index variant over the synthetic corpus,
+/// the unified multi-modal index, the multi-vector store, and a
+/// representative DAG schedule.
+pub fn run() -> AuditReport {
+    let mut report = AuditReport::default();
+
+    // Single-vector indexes, every variant.
+    let store = Arc::new(synthetic_store(500, 16, 8, 0xA0D1));
+    for algo in all_algorithms() {
+        let built = algo.build_graph(&store, Metric::L2);
+        report.push(&format!("index {}", algo.name()), built.validate());
+    }
+
+    // The unified multi-modal index (store + learned-weight layout), as
+    // assembled by the real system path.
+    let mv = synthetic_multivector_store(300, 0xA0D2);
+    report.push("multivector store", mv.validate());
+    let weights = Weights::normalized(&[2.0, 1.0]);
+    for algo in [IndexAlgorithm::hnsw(), IndexAlgorithm::mqa_graph()] {
+        let name = format!("unified index ({})", algo.name());
+        let unified = UnifiedIndex::build(mv.clone(), weights.clone(), Metric::L2, &algo);
+        let snapshot = unified.snapshot();
+        let mut violations = snapshot
+            .store
+            .validate()
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>();
+        violations.extend(snapshot.graph.validate().iter().map(ToString::to_string));
+        report.push(&name, violations);
+    }
+
+    // A representative DAG schedule (the shape of the system build
+    // pipeline: ingest fans out to per-modality encoders, joins at the
+    // index, then the panel).
+    let dag = DagBuilder::new()
+        .task("ingest", &[], |_| Ok(Vec::new()))
+        .task("encode-text", &["ingest"], |_| Ok(Vec::new()))
+        .task("encode-image", &["ingest"], |_| Ok(Vec::new()))
+        .task("learn-weights", &["encode-text", "encode-image"], |_| {
+            Ok(Vec::new())
+        })
+        .task("build-index", &["learn-weights"], |_| Ok(Vec::new()))
+        .task("status-panel", &["build-index"], |_| Ok(Vec::new()));
+    match dag.build() {
+        Ok(dag) => report.push("dag schedule", dag.validate()),
+        Err(e) => report.push("dag schedule", vec![format!("failed to build: {e}")]),
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_audit_is_clean() {
+        let report = run();
+        assert!(
+            report.is_clean(),
+            "audit found violations: {:?}",
+            report
+                .entries
+                .iter()
+                .filter(|e| !e.violations.is_empty())
+                .collect::<Vec<_>>()
+        );
+        // Every variant plus the unified/store/dag subjects are present.
+        assert!(
+            report.entries.len() >= 9,
+            "{} entries",
+            report.entries.len()
+        );
+    }
+
+    #[test]
+    fn synthetic_corpus_is_deterministic() {
+        let a = synthetic_store(50, 8, 4, 7);
+        let b = synthetic_store(50, 8, 4, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, synthetic_store(50, 8, 4, 8));
+    }
+}

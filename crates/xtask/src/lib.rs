@@ -1,0 +1,21 @@
+//! Workspace correctness tooling (`cargo run -p mqa-xtask -- <command>`).
+//!
+//! Two gates, both dependency-free and offline:
+//!
+//! * [`lint`] — a source-walking static analyzer enforcing the workspace's
+//!   error-handling discipline (no `.unwrap()` / `.expect(` / `panic!` in
+//!   non-test library code, no float `==` in distance/weight kernels, no
+//!   `unsafe` without a `// SAFETY:` comment, no wildcard arms on
+//!   error-enum matches), with a checked-in waiver baseline
+//!   ([`baseline`]) for the justified exceptions.
+//! * [`audit`] — runtime structural validation: builds every index variant
+//!   over a synthetic corpus and runs the `validate` auditors the data
+//!   structures carry (`Hnsw`, `Ivf`, `NavGraph`, `Dag`,
+//!   `MultiVectorStore`).
+//!
+//! Both exit non-zero on any finding, which is what lets `ci.sh` treat
+//! them as hard gates.
+
+pub mod audit;
+pub mod baseline;
+pub mod lint;

@@ -1,0 +1,627 @@
+//! The source-walking lint engine.
+//!
+//! Dependency-free static analysis over the workspace's Rust sources. The
+//! engine is deliberately line-oriented: a [`strip`] pass removes comments
+//! and string/char literals (so rules never fire on prose), a mask pass
+//! hides `#[cfg(test)]` items (test code may unwrap freely), and each
+//! [`Rule`] then matches on what remains. Findings carry exact
+//! `file:line` coordinates so they are clickable in editors and stable
+//! enough to waive via the [`crate::baseline`] allowlist.
+
+use crate::baseline::Baseline;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The enforced rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// `.unwrap()` in non-test library code.
+    NoUnwrap,
+    /// `.expect(` in non-test library code.
+    NoExpect,
+    /// `panic!` / `todo!` / `unimplemented!` in non-test library code.
+    NoPanic,
+    /// Float `==` / `!=` comparison in a distance/weight kernel path.
+    FloatEq,
+    /// `unsafe` without an adjacent `// SAFETY:` comment.
+    UnsafeNoSafety,
+    /// A wildcard `_ =>` arm in a `match` over an error value.
+    WildcardErrorMatch,
+}
+
+impl Rule {
+    /// Every rule, in reporting order.
+    pub const ALL: [Rule; 6] = [
+        Rule::NoUnwrap,
+        Rule::NoExpect,
+        Rule::NoPanic,
+        Rule::FloatEq,
+        Rule::UnsafeNoSafety,
+        Rule::WildcardErrorMatch,
+    ];
+
+    /// The kebab-case rule name used in reports and waivers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoUnwrap => "no-unwrap",
+            Rule::NoExpect => "no-expect",
+            Rule::NoPanic => "no-panic",
+            Rule::FloatEq => "float-eq",
+            Rule::UnsafeNoSafety => "unsafe-no-safety",
+            Rule::WildcardErrorMatch => "wildcard-error-match",
+        }
+    }
+
+    /// Resolves a waiver's rule name.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.name() == name)
+    }
+
+    /// One-line rationale shown with findings.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::NoUnwrap => "library code must propagate errors, not `.unwrap()` them",
+            Rule::NoExpect => "library code must propagate errors, not `.expect(` them",
+            Rule::NoPanic => "library code must not `panic!`/`todo!`/`unimplemented!`",
+            Rule::FloatEq => "distance/weight kernels must not compare floats with == or !=",
+            Rule::UnsafeNoSafety => "`unsafe` requires an adjacent `// SAFETY:` comment",
+            Rule::WildcardErrorMatch => {
+                "matches over error enums must list every variant, not `_ =>`"
+            }
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One rule violation at an exact source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Repo-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// The trimmed original source line.
+    pub excerpt: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.excerpt
+        )
+    }
+}
+
+/// Replaces comments and string/char literal *contents* with spaces,
+/// preserving line structure, so rules never match inside prose. Handles
+/// line and (nested) block comments, plain/byte strings with escapes, raw
+/// strings (`r"…"`, `r#"…"#`), and char literals vs. lifetimes.
+pub fn strip(source: &str) -> String {
+    let b: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut i = 0;
+    let n = b.len();
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+    while i < n {
+        let c = b[i];
+        // Line comment.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            while i < n && b[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (Rust block comments nest).
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 1;
+            out.push(' ');
+            out.push(' ');
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw string: r"…" or r#"…"# (optionally b-prefixed).
+        let raw_start = if c == 'r' || (c == 'b' && i + 1 < n && b[i + 1] == 'r') {
+            let j = if c == 'r' { i + 1 } else { i + 2 };
+            let mut hashes = 0;
+            let mut k = j;
+            while k < n && b[k] == '#' {
+                hashes += 1;
+                k += 1;
+            }
+            if k < n && b[k] == '"' {
+                Some((k, hashes))
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        if let Some((quote, hashes)) = raw_start {
+            for _ in i..=quote {
+                out.push(' ');
+            }
+            i = quote + 1;
+            'raw: while i < n {
+                if b[i] == '"' {
+                    let mut ok = true;
+                    for h in 0..hashes {
+                        if i + 1 + h >= n || b[i + 1 + h] != '#' {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for _ in 0..=hashes {
+                            out.push(' ');
+                            i += 1;
+                        }
+                        break 'raw;
+                    }
+                }
+                out.push(blank(b[i]));
+                i += 1;
+            }
+            continue;
+        }
+        // Plain or byte string.
+        if c == '"' || (c == 'b' && i + 1 < n && b[i + 1] == '"') {
+            if c == 'b' {
+                out.push(' ');
+                i += 1;
+            }
+            out.push('"');
+            i += 1;
+            while i < n {
+                if b[i] == '\\' && i + 1 < n {
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if b[i] == '"' {
+                    out.push('"');
+                    i += 1;
+                    break;
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Char literal vs. lifetime: a quote is a char literal if it
+        // closes as one (`'x'`, `'\n'`, `'\u{…}'`); otherwise a lifetime.
+        if c == '\'' {
+            let is_char = if i + 1 < n && b[i + 1] == '\\' {
+                true
+            } else {
+                i + 2 < n && b[i + 2] == '\''
+            };
+            if is_char {
+                out.push(' ');
+                i += 1;
+                if i < n && b[i] == '\\' {
+                    out.push(' ');
+                    i += 1;
+                    if i < n && b[i] == 'u' {
+                        // '\u{…}': blank through the closing brace.
+                        while i < n && b[i] != '}' {
+                            out.push(' ');
+                            i += 1;
+                        }
+                    }
+                }
+                while i < n && b[i] != '\'' {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+                if i < n {
+                    out.push(' ');
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+/// Per-line mask: `true` where the line belongs to a `#[cfg(test)]` item
+/// (the attribute line itself, anything up to the opening brace, and the
+/// whole braced body).
+pub fn test_mask(stripped: &str) -> Vec<bool> {
+    let lines: Vec<&str> = stripped.lines().collect();
+    let mut mask = vec![false; lines.len()];
+    let mut depth: i64 = 0;
+    // `armed`: saw the attribute, waiting for the item's opening brace.
+    let mut armed = false;
+    // While inside a test item: the depth the mask releases at.
+    let mut release_at: Option<i64> = None;
+    for (idx, line) in lines.iter().enumerate() {
+        if release_at.is_none() && !armed && line.contains("#[cfg(test)]") {
+            armed = true;
+        }
+        if armed || release_at.is_some() {
+            mask[idx] = true;
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    if armed {
+                        release_at = Some(depth);
+                        armed = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if release_at == Some(depth) {
+                        release_at = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+        // `#[cfg(test)] use …;` — an unbraced test-only item ends at `;`.
+        if armed && line.trim_end().ends_with(';') {
+            armed = false;
+        }
+    }
+    mask
+}
+
+fn has_word(line: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !line[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + word.len();
+        let after_ok = after >= line.len()
+            || !line[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + word.len();
+    }
+    false
+}
+
+/// Whether a `==`/`!=` at `at` in `line` compares float-ish operands: a
+/// decimal literal, an `f32`/`f64` type or constant, or a float-module
+/// constant (`EPSILON`, `INFINITY`, `NAN`) within the surrounding window.
+fn float_context(line: &str, at: usize, op_len: usize) -> bool {
+    let mut lo = at.saturating_sub(40);
+    while lo > 0 && !line.is_char_boundary(lo) {
+        lo -= 1;
+    }
+    let mut hi = (at + op_len + 40).min(line.len());
+    while hi < line.len() && !line.is_char_boundary(hi) {
+        hi += 1;
+    }
+    let window = &line[lo..hi];
+    let has_decimal_literal = window
+        .as_bytes()
+        .windows(3)
+        .any(|w| w[0].is_ascii_digit() && w[1] == b'.' && w[2].is_ascii_digit());
+    has_decimal_literal
+        || has_word(window, "f32")
+        || has_word(window, "f64")
+        || has_word(window, "EPSILON")
+        || has_word(window, "INFINITY")
+        || has_word(window, "NAN")
+}
+
+/// Comparison operators (`==` at even positions, `!=`) in `line`,
+/// excluding `<=`, `>=`, `=>`, and pattern `..=`.
+fn comparison_ops(line: &str) -> Vec<(usize, usize)> {
+    let b = line.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < b.len() {
+        if b[i] == b'!' && b[i + 1] == b'=' && (i + 2 >= b.len() || b[i + 2] != b'=') {
+            out.push((i, 2));
+            i += 2;
+            continue;
+        }
+        if b[i] == b'=' && b[i + 1] == b'=' {
+            let prev = if i == 0 { b' ' } else { b[i - 1] };
+            if prev != b'<' && prev != b'>' && prev != b'!' && prev != b'=' && prev != b'.' {
+                out.push((i, 2));
+            }
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Lints one file's source. `kernel` enables the float-comparison rule
+/// (distance/weight kernel paths only).
+pub fn lint_source(file: &str, source: &str, kernel: bool) -> Vec<Finding> {
+    let stripped = strip(source);
+    let mask = test_mask(&stripped);
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let code_lines: Vec<&str> = stripped.lines().collect();
+    let mut findings = Vec::new();
+    // Stack of open braces; `true` marks a match-over-error block.
+    let mut match_stack: Vec<bool> = Vec::new();
+    for (idx, code) in code_lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let excerpt = || {
+            raw_lines
+                .get(idx)
+                .map_or(String::new(), |l| l.trim().to_string())
+        };
+        let mut push = |rule: Rule| {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: lineno,
+                rule,
+                excerpt: excerpt(),
+            })
+        };
+        let masked = mask[idx];
+        if !masked {
+            if code.contains(".unwrap()") {
+                push(Rule::NoUnwrap);
+            }
+            if code.contains(".expect(") {
+                push(Rule::NoExpect);
+            }
+            if has_word(code, "panic!")
+                || has_word(code, "todo!")
+                || has_word(code, "unimplemented!")
+            {
+                push(Rule::NoPanic);
+            }
+            if kernel {
+                for (at, len) in comparison_ops(code) {
+                    if float_context(code, at, len) {
+                        push(Rule::FloatEq);
+                        break;
+                    }
+                }
+            }
+            if has_word(code, "unsafe") {
+                let lo = idx.saturating_sub(3);
+                let nearby_safety = raw_lines[lo..=idx].iter().any(|l| l.contains("SAFETY:"));
+                if !nearby_safety {
+                    push(Rule::UnsafeNoSafety);
+                }
+            }
+            let trimmed = code.trim_start();
+            if (trimmed.starts_with("_ =>") || trimmed.starts_with("_ if "))
+                && match_stack.last() == Some(&true)
+            {
+                push(Rule::WildcardErrorMatch);
+            }
+        }
+        // Track match-over-error blocks (even inside test code, so the
+        // stack stays balanced).
+        let mut err_match_pending =
+            has_word(code, "match") && !masked && (code.contains("Error") || code.contains("Err("));
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    match_stack.push(err_match_pending);
+                    err_match_pending = false;
+                }
+                '}' => {
+                    match_stack.pop();
+                }
+                _ => {}
+            }
+        }
+    }
+    findings
+}
+
+/// The lint run's aggregate result.
+#[derive(Debug)]
+pub struct LintOutcome {
+    /// Unwaived findings (the run fails if non-empty).
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by baseline waivers.
+    pub waived: Vec<Finding>,
+    /// Baseline entries that matched nothing (the run fails if non-empty:
+    /// a stale waiver hides drift).
+    pub unused_waivers: Vec<String>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintOutcome {
+    /// Whether the gate passes.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.unused_waivers.is_empty()
+    }
+}
+
+/// Source roots linted by default, relative to the repo root.
+pub const DEFAULT_ROOTS: [&str; 3] = ["crates", "compat", "src"];
+
+/// Path prefixes where the float-comparison rule applies: the distance /
+/// weight / graph kernel crates.
+pub const KERNEL_PREFIXES: [&str; 3] = [
+    "crates/vector/src",
+    "crates/weights/src",
+    "crates/graph/src",
+];
+
+/// Directory names never descended into: test code may unwrap freely, and
+/// fixtures contain violations on purpose.
+const SKIP_DIRS: [&str; 5] = ["tests", "benches", "fixtures", "target", ".git"];
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("reading {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                collect_rs_files(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Walks the workspace sources under `repo_root`, lints every `.rs` file
+/// outside test/bench/fixture directories, and applies `baseline` waivers.
+///
+/// # Errors
+/// Returns a message if a directory or file cannot be read.
+pub fn run(repo_root: &Path, baseline: &Baseline) -> Result<LintOutcome, String> {
+    let mut files = Vec::new();
+    for root in DEFAULT_ROOTS {
+        let dir = repo_root.join(root);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    if files.is_empty() {
+        // A gate that scans nothing passes vacuously — treat it as a
+        // misconfiguration (typo'd --root) instead.
+        return Err(format!(
+            "no .rs sources found under {} (looked in {})",
+            repo_root.display(),
+            DEFAULT_ROOTS.join(", ")
+        ));
+    }
+    files.sort();
+    let mut all = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(repo_root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let kernel = KERNEL_PREFIXES.iter().any(|p| rel.starts_with(p));
+        let source = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        all.extend(lint_source(&rel, &source, kernel));
+    }
+    let mut used = vec![0usize; baseline.waivers.len()];
+    let mut findings = Vec::new();
+    let mut waived = Vec::new();
+    for f in all {
+        let hit = baseline.matching(&f).next();
+        match hit {
+            Some(i) => {
+                used[i] += 1;
+                waived.push(f);
+            }
+            None => findings.push(f),
+        }
+    }
+    let unused_waivers = baseline
+        .waivers
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| u == 0)
+        .map(|(w, _)| w.describe())
+        .collect();
+    Ok(LintOutcome {
+        findings,
+        waived,
+        unused_waivers,
+        files_scanned: files.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_blanks_comments_and_strings() {
+        let src = "let x = \"panic!\"; // panic!\nlet y = 'a'; /* .unwrap() */ let z = 1;";
+        let s = strip(src);
+        assert!(!s.contains("panic!"));
+        assert!(!s.contains(".unwrap()"));
+        assert!(s.contains("let z = 1;"));
+        assert_eq!(s.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn strip_handles_raw_strings_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let r = r#\".unwrap()\"#; }";
+        let s = strip(src);
+        assert!(!s.contains(".unwrap()"));
+        assert!(s.contains("fn f<'a>(x: &'a str)"));
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_items() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn b() {}\n}\nfn c() {}\n";
+        let mask = test_mask(&strip(src));
+        assert_eq!(mask, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn unwrap_in_test_code_is_ignored() {
+        let src = "#[cfg(test)]\nmod tests {\n  fn b() { x.unwrap(); }\n}\n";
+        assert!(lint_source("f.rs", src, false).is_empty());
+    }
+
+    #[test]
+    fn float_eq_only_fires_in_kernel_files() {
+        let src = "fn f(a: f32, b: f32) -> bool { a == b }\n";
+        assert!(lint_source("f.rs", src, false).is_empty());
+        let found = lint_source("f.rs", src, true);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, Rule::FloatEq);
+    }
+
+    #[test]
+    fn integer_comparison_is_not_a_float_eq() {
+        let src = "fn f(a: usize, b: usize) -> bool { a == b && a != 3 }\n";
+        assert!(lint_source("f.rs", src, true).is_empty());
+    }
+
+    #[test]
+    fn comparison_ops_skip_arrows_and_bounds() {
+        assert!(comparison_ops("let f = |x| match x { 1 => 2, _ => 3 };").is_empty());
+        assert!(comparison_ops("if a <= b && c >= d {}").is_empty());
+        assert_eq!(comparison_ops("a == b").len(), 1);
+        assert_eq!(comparison_ops("a != b").len(), 1);
+    }
+}

@@ -1,0 +1,156 @@
+//! `mqa-xtask` — the workspace correctness gate.
+//!
+//! ```text
+//! cargo run -p mqa-xtask -- lint   # static source rules + waiver baseline
+//! cargo run -p mqa-xtask -- audit  # structural invariant validation
+//! ```
+//!
+//! Both commands exit 0 only when clean, so `ci.sh` can chain them.
+
+use mqa_xtask::baseline::Baseline;
+use mqa_xtask::{audit, lint};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+mqa-xtask — workspace correctness gate
+
+USAGE:
+    cargo run -p mqa-xtask -- <COMMAND>
+
+COMMANDS:
+    lint [--baseline <path>] [--root <dir>]
+        Walk the workspace sources and enforce the lint rules. Findings
+        must be fixed or waived in lint-baseline.toml; unused waivers
+        also fail the gate.
+
+    audit
+        Build every index variant over a synthetic corpus and run the
+        structural validators (HNSW, IVF, NavGraph, Dag, MultiVectorStore).
+
+    rules
+        List the lint rules with their rationales.
+
+EXIT CODES:
+    0  clean
+    1  findings / violations
+    2  usage or I/O error
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => cmd_lint(&args[1..]),
+        Some("audit") => cmd_audit(),
+        Some("rules") => cmd_rules(),
+        Some("--help") | Some("-h") | Some("help") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--baseline requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match it.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("--root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown lint option `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !root.is_dir() {
+        eprintln!("lint: root `{}` is not a directory", root.display());
+        return ExitCode::from(2);
+    }
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("lint-baseline.toml"));
+    let baseline = match Baseline::load(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("lint: bad baseline: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = match lint::run(&root, &baseline) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for f in &outcome.findings {
+        println!("{f}");
+        println!("    {}", f.rule.explain());
+    }
+    for w in &outcome.unused_waivers {
+        println!("unused waiver: {w}");
+    }
+    println!(
+        "lint: {} file(s), {} finding(s), {} waived, {} unused waiver(s)",
+        outcome.files_scanned,
+        outcome.findings.len(),
+        outcome.waived.len(),
+        outcome.unused_waivers.len()
+    );
+    if outcome.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_audit() -> ExitCode {
+    let report = audit::run();
+    for entry in &report.entries {
+        if entry.violations.is_empty() {
+            println!("audit: {:<28} ok", entry.subject);
+        } else {
+            println!(
+                "audit: {:<28} {} violation(s)",
+                entry.subject,
+                entry.violations.len()
+            );
+            for v in &entry.violations {
+                println!("    {v}");
+            }
+        }
+    }
+    println!(
+        "audit: {} structure(s), {} violation(s)",
+        report.entries.len(),
+        report.violation_count()
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_rules() -> ExitCode {
+    for rule in lint::Rule::ALL {
+        println!("{:<22} {}", rule.name(), rule.explain());
+    }
+    ExitCode::SUCCESS
+}

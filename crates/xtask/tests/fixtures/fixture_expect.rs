@@ -1,0 +1,7 @@
+//! Lint fixture: exactly one `.expect(` violation, on line 6.
+
+// Decoy: .expect("in a comment") must not fire.
+
+pub fn bad(v: Option<u32>) -> u32 {
+    v.expect("fixture violation")
+}

@@ -1,0 +1,9 @@
+//! Lint fixture: one kernel float comparison, on line 7.
+
+pub fn int_eq(a: usize, b: usize) -> bool {
+    a == b
+}
+
+pub fn bad(a: f32, b: f32) -> bool { a == b }
+
+pub fn range_ok(a: f32) -> bool { a <= 1.0 }

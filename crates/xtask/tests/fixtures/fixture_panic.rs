@@ -1,0 +1,11 @@
+//! Lint fixture: `panic!` on line 7 and `todo!` on line 11.
+
+fn decoy() -> &'static str {
+    "panic! in a string must not fire"
+}
+
+pub fn bad_panic() { panic!("fixture violation") }
+
+/// Decoy: a doc comment mentioning panic! must not fire.
+#[allow(dead_code)]
+pub fn bad_todo() { todo!() }

@@ -1,0 +1,10 @@
+//! Lint fixture: one undocumented `unsafe` block, on line 9.
+
+pub fn documented(p: *const u32) -> u32 {
+    // SAFETY: the caller guarantees `p` is valid (fixture decoy).
+    unsafe { *p }
+}
+
+pub fn bad(p: *const u32) -> u32 {
+    unsafe { *p }
+}

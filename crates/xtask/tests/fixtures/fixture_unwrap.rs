@@ -1,0 +1,19 @@
+//! Lint fixture: exactly one `.unwrap()` violation, on line 10.
+
+/// Decoys that must not fire:
+/// a doc comment mentioning .unwrap()
+fn decoy() -> &'static str {
+    "a string mentioning .unwrap()"
+}
+
+pub fn bad(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        assert_eq!(super::bad(Some(1)), Some(1).unwrap());
+    }
+}

@@ -24,7 +24,11 @@ use std::sync::Arc;
 fn main() {
     // Encode a corpus and take its weighted concatenation — the space every
     // unified navigation graph lives in.
-    let kb = DatasetSpec::weather().objects(4_000).concepts(60).seed(3).generate();
+    let kb = DatasetSpec::weather()
+        .objects(4_000)
+        .concepts(60)
+        .seed(3)
+        .generate();
     let registry = mqa::encoders::EncoderRegistry::new(0);
     let schema = kb.schema().clone();
     let corpus = EncodedCorpus::encode(kb, EncoderSet::default_for(&registry, &schema, 48));
@@ -68,7 +72,11 @@ fn main() {
         hits as f64 / queries.len() as f64
     };
     println!("  custom-cheap : {:.2}", hit_rate(&nav));
-    for algo in [IndexAlgorithm::nsg(), IndexAlgorithm::vamana(), IndexAlgorithm::hnsw()] {
+    for algo in [
+        IndexAlgorithm::nsg(),
+        IndexAlgorithm::vamana(),
+        IndexAlgorithm::hnsw(),
+    ] {
         let built = algo.build(&store, Metric::L2);
         println!("  {:<13}: {:.2}", algo.name(), hit_rate(built.as_ref()));
     }
@@ -81,9 +89,19 @@ fn main() {
         &IndexAlgorithm::mqa_graph(),
     );
     let json = index.snapshot().to_json();
-    println!("\npersisted unified index: {:.1} MiB of JSON", json.len() as f64 / 1048576.0);
-    let restored = mqa::graph::UnifiedSnapshot::from_json(&json).unwrap().restore();
-    let q = corpus.encoders().encode_query(&MultiModalQuery::text("golden sunset coast"));
-    assert_eq!(index.search(&q, None, 5, 48).ids(), restored.search(&q, None, 5, 48).ids());
+    println!(
+        "\npersisted unified index: {:.1} MiB of JSON",
+        json.len() as f64 / 1048576.0
+    );
+    let restored = mqa::graph::UnifiedSnapshot::from_json(&json)
+        .unwrap()
+        .restore();
+    let q = corpus
+        .encoders()
+        .encode_query(&MultiModalQuery::text("golden sunset coast"));
+    assert_eq!(
+        index.search(&q, None, 5, 48).ids(),
+        restored.search(&q, None, 5, 48).ids()
+    );
     println!("restored index answers identically — no rebuild needed.");
 }

@@ -26,20 +26,35 @@ fn main() {
     let target = info
         .concepts
         .iter()
-        .find(|c| c.keywords.contains(&"top".to_string()) && c.keywords.contains(&"floral".to_string()))
+        .find(|c| {
+            c.keywords.contains(&"top".to_string()) && c.keywords.contains(&"floral".to_string())
+        })
         .expect("fashion vocabulary contains a floral top concept");
     println!("target concept: {:?} (id {})\n", target.phrase(), target.id);
 
     let system = MqaSystem::build(Config::default(), kb).expect("system builds");
-    println!("learned modality weights: {:?}\n", system.weights().as_slice());
+    println!(
+        "learned modality weights: {:?}\n",
+        system.weights().as_slice()
+    );
     let mut session = system.open_session();
 
     // Round 1: vague text request (the figure's opening turn).
     let r1 = session
-        .ask(Turn::text(format!("a long-sleeved {} for older women", target.phrase())))
+        .ask(Turn::text(format!(
+            "a long-sleeved {} for older women",
+            target.phrase()
+        )))
         .expect("round 1");
-    println!("{}", mqa::core::panels::render_qa_exchange("long-sleeved top for older women", &r1));
-    let hits1 = r1.results.iter().filter(|i| gt.is_relevant(i.id, target.id)).count();
+    println!(
+        "{}",
+        mqa::core::panels::render_qa_exchange("long-sleeved top for older women", &r1)
+    );
+    let hits1 = r1
+        .results
+        .iter()
+        .filter(|i| gt.is_relevant(i.id, target.id))
+        .count();
     println!("round-1 concept hits: {hits1}/{}\n", r1.results.len());
 
     // The user clicks the first on-concept result.
@@ -53,10 +68,16 @@ fn main() {
     let r2 = session
         .ask(Turn::select_and_text(
             pick,
-            format!("i like this one, more {} with this exact look", target.phrase()),
+            format!(
+                "i like this one, more {} with this exact look",
+                target.phrase()
+            ),
         ))
         .expect("round 2");
-    println!("{}", mqa::core::panels::render_qa_exchange("more with this exact look", &r2));
+    println!(
+        "{}",
+        mqa::core::panels::render_qa_exchange("more with this exact look", &r2)
+    );
 
     let picked_id = r1.results[pick].id;
     let picked_style = system.corpus().kb().get(picked_id).style.expect("labelled");

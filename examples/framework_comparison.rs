@@ -42,7 +42,9 @@ fn main() {
     let corpus = Arc::new(EncodedCorpus::encode(kb, encoders));
 
     // MUST uses learned weights; the baselines have no weighting hook.
-    let labels = corpus.concept_labels().expect("generated corpus is labelled");
+    let labels = corpus
+        .concept_labels()
+        .expect("generated corpus is labelled");
     let learned = WeightLearner::default().learn(corpus.store(), &labels);
     println!(
         "learned modality weights: {:?} (triplet accuracy {:.2})\n",
@@ -51,7 +53,12 @@ fn main() {
     );
 
     let algo = IndexAlgorithm::mqa_graph();
-    let must = MustFramework::build(Arc::clone(&corpus), learned.weights.clone(), Metric::L2, &algo);
+    let must = MustFramework::build(
+        Arc::clone(&corpus),
+        learned.weights.clone(),
+        Metric::L2,
+        &algo,
+    );
     let mr = MrFramework::build(Arc::clone(&corpus), Metric::L2, &algo);
     let je = JeFramework::build(Arc::clone(&corpus), Metric::L2, &algo);
     let frameworks: Vec<&dyn RetrievalFramework> = vec![&must, &mr, &je];
@@ -59,7 +66,10 @@ fn main() {
     // The scripted dialogue: Figure 5's "foggy clouds" request, mapped to
     // a concept that exists in the generated vocabulary.
     let concept = &info.concepts[3];
-    let round1_text = format!("could you assist me in finding images of {}", concept.phrase());
+    let round1_text = format!(
+        "could you assist me in finding images of {}",
+        concept.phrase()
+    );
     println!("round 1 ▸ \"{round1_text}\"\n");
 
     let mut selections = Vec::new();
@@ -69,7 +79,11 @@ fn main() {
             .ids()
             .iter()
             .map(|&id| {
-                let rel = if gt.is_relevant(id, concept.id) { "✓" } else { "✗" };
+                let rel = if gt.is_relevant(id, concept.id) {
+                    "✓"
+                } else {
+                    "✗"
+                };
                 format!("{} {}", rel, corpus.kb().get(id).title)
             })
             .collect();
@@ -88,8 +102,10 @@ fn main() {
         "\nround 2 ▸ \"i like this one, could you provide more similar images of {}\"\n",
         concept.phrase()
     );
-    let round2_text =
-        format!("i like this one, could you provide more similar images of {}", concept.phrase());
+    let round2_text = format!(
+        "i like this one, could you provide more similar images of {}",
+        concept.phrase()
+    );
     for (fw, &pick) in frameworks.iter().zip(&selections) {
         let style = corpus.kb().get(pick).style.expect("labelled");
         let img = match corpus.kb().get(pick).content(1) {

@@ -16,9 +16,19 @@ use mqa::llm::{LanguageModel, MockChatModel, Prompt};
 use mqa::prelude::*;
 
 fn main() {
-    let kb = DatasetSpec::fashion().objects(2_000).concepts(60).seed(21).generate();
-    let system = MqaSystem::build(Config { temperature: 0.4, ..Config::default() }, kb)
-        .expect("system builds");
+    let kb = DatasetSpec::fashion()
+        .objects(2_000)
+        .concepts(60)
+        .seed(21)
+        .generate();
+    let system = MqaSystem::build(
+        Config {
+            temperature: 0.4,
+            ..Config::default()
+        },
+        kb,
+    )
+    .expect("system builds");
     let bare_model = MockChatModel::new(0);
 
     let questions = [

@@ -21,7 +21,10 @@ fn main() {
         .seed(11)
         .generate_with_info();
 
-    let config = Config { k: 4, ..Config::default() };
+    let config = Config {
+        k: 4,
+        ..Config::default()
+    };
     // Panel ①: configuration.
     println!("{}", mqa::core::panels::render_config_panel(&config));
     let system = MqaSystem::build(config, kb).expect("system builds");
@@ -33,7 +36,10 @@ fn main() {
     let concept = &info.concepts[0];
     let mut session = system.open_session();
     let r1 = session
-        .ask(Turn::text(format!("i would like some images of {}", concept.phrase())))
+        .ask(Turn::text(format!(
+            "i would like some images of {}",
+            concept.phrase()
+        )))
         .expect("round 1");
     println!(
         "{}",
@@ -69,16 +75,16 @@ fn main() {
     let mut session_b = system.open_session();
     let rb = session_b
         .ask(Turn::text_and_image(
-            format!("could you find more {} similar to the one i have provided", phrase),
+            format!(
+                "could you find more {} similar to the one i have provided",
+                phrase
+            ),
             upload,
         ))
         .expect("image-assisted round");
     println!(
         "{}",
-        mqa::core::panels::render_qa_exchange(
-            "find more similar to the one i have provided",
-            &rb
-        )
+        mqa::core::panels::render_qa_exchange("find more similar to the one i have provided", &rb)
     );
     println!("uploaded reference was object #17: {}", upload_src.title);
 }

@@ -11,8 +11,16 @@ use mqa::prelude::*;
 fn main() {
     // 1. Data: a synthetic fashion knowledge base (captions + image
     //    descriptors drawn from latent concepts — see DESIGN.md §2).
-    let kb = DatasetSpec::fashion().objects(2_000).concepts(60).seed(7).generate();
-    println!("knowledge base: {} objects, {} modalities\n", kb.len(), kb.schema().arity());
+    let kb = DatasetSpec::fashion()
+        .objects(2_000)
+        .concepts(60)
+        .seed(7)
+        .generate();
+    println!(
+        "knowledge base: {} objects, {} modalities\n",
+        kb.len(),
+        kb.schema().arity()
+    );
 
     // 2. Build: Data Preprocessing → Vector Representation (with weight
     //    learning) → Index Construction run as a DAG pipeline inside.
@@ -26,7 +34,9 @@ fn main() {
     // 4. Ask: one-shot text query through Query Execution + Answer
     //    Generation.
     let reply = system
-        .ask_once(Turn::text("a long-sleeved floral cotton top for older women"))
+        .ask_once(Turn::text(
+            "a long-sleeved floral cotton top for older women",
+        ))
         .expect("query succeeds");
     println!(
         "{}",
@@ -38,9 +48,14 @@ fn main() {
 
     // 5. Refine in a session: click the best result, ask for more like it.
     let mut session = system.open_session();
-    session.ask(Turn::text("floral cotton top")).expect("round 1");
+    session
+        .ask(Turn::text("floral cotton top"))
+        .expect("round 1");
     let refined = session
-        .ask(Turn::select_and_text(0, "more floral cotton tops like this one"))
+        .ask(Turn::select_and_text(
+            0,
+            "more floral cotton tops like this one",
+        ))
         .expect("round 2");
     println!(
         "{}",

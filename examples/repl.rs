@@ -25,8 +25,16 @@ use std::io::{BufRead, Write};
 
 fn main() {
     println!("building the MQA system (weather corpus, 5k objects)…");
-    let kb = DatasetSpec::weather().objects(5_000).concepts(80).styles(3).seed(9).generate();
-    let config = Config { k: 5, ..Config::default() };
+    let kb = DatasetSpec::weather()
+        .objects(5_000)
+        .concepts(80)
+        .styles(3)
+        .seed(9)
+        .generate();
+    let config = Config {
+        k: 5,
+        ..Config::default()
+    };
     let system = MqaSystem::build(config, kb).expect("system builds");
     println!("{}", mqa::core::panels::render_status_panel(&system));
     println!("ready. try: \"foggy clouds over the mountain\" — :quit to exit\n");
@@ -53,7 +61,10 @@ fn main() {
             };
             match parts.next() {
                 Some(text) => Turn::select_and_text(rank, text),
-                None => Turn { select: Some(rank), ..Turn::default() },
+                None => Turn {
+                    select: Some(rank),
+                    ..Turn::default()
+                },
             }
         } else if let Some(rest) = line.strip_prefix(":reject ") {
             let mut parts = rest.splitn(2, ' ');
@@ -73,8 +84,7 @@ fn main() {
                 weights = None;
                 println!("weight override cleared");
             } else {
-                let parsed: Result<Vec<f32>, _> =
-                    rest.split_whitespace().map(str::parse).collect();
+                let parsed: Result<Vec<f32>, _> = rest.split_whitespace().map(str::parse).collect();
                 match parsed {
                     Ok(w) if !w.is_empty() => {
                         println!("weight override set to {w:?}");
@@ -92,14 +102,20 @@ fn main() {
                     continue;
                 }
                 ":config" => {
-                    println!("{}", mqa::core::panels::render_config_panel(system.config()));
+                    println!(
+                        "{}",
+                        mqa::core::panels::render_config_panel(system.config())
+                    );
                     continue;
                 }
                 text => Turn::text(text),
             }
         };
         let turn = match &weights {
-            Some(w) => Turn { weights: Some(w.clone()), ..turn },
+            Some(w) => Turn {
+                weights: Some(w.clone()),
+                ..turn
+            },
             None => turn,
         };
         match session.ask(turn) {

@@ -73,7 +73,11 @@ fn two_round_protocol(b: &Bench, fw: &dyn RetrievalFramework, queries: usize) ->
             Some(RawContent::Image(i)) => i.clone(),
             _ => unreachable!(),
         };
-        let out2 = fw.search(&MultiModalQuery::text_and_image(&case.round2_text, img), K, EF);
+        let out2 = fw.search(
+            &MultiModalQuery::text_and_image(&case.round2_text, img),
+            K,
+            EF,
+        );
         r2_sum += round2_recall_at_k(&b.gt, &out2.ids(), pick, case.concept, style, K);
     }
     (r1_sum / queries as f64, r2_sum / queries as f64)
@@ -95,8 +99,14 @@ fn figure5_shape_must_wins_round2_mr_ties_round1() {
     assert!(must_r2 >= je_r2, "MUST r2 {must_r2} < JE r2 {je_r2}");
     // MR matches MUST on text-only input but falls behind on the
     // multi-modal round.
-    assert!((mr_r1 - must_r1).abs() < 0.15, "MR r1 {mr_r1} vs MUST r1 {must_r1}");
-    assert!(must_r2 > mr_r2 + 0.05, "round-2 gap missing: MUST {must_r2} MR {mr_r2}");
+    assert!(
+        (mr_r1 - must_r1).abs() < 0.15,
+        "MR r1 {mr_r1} vs MUST r1 {must_r1}"
+    );
+    assert!(
+        must_r2 > mr_r2 + 0.05,
+        "round-2 gap missing: MUST {must_r2} MR {mr_r2}"
+    );
 }
 
 #[test]
@@ -111,7 +121,11 @@ fn must_graph_search_agrees_with_exact_search() {
         let qv = b.corpus.encoders().encode_query(&q);
         let exact = b.must.index().search_exact(&qv, None, K);
         total += K;
-        agree += approx.ids().iter().filter(|id| exact.ids().contains(id)).count();
+        agree += approx
+            .ids()
+            .iter()
+            .filter(|id| exact.ids().contains(id))
+            .count();
     }
     let recall = agree as f64 / total as f64;
     assert!(recall >= 0.9, "graph-vs-exact recall {recall}");
@@ -120,7 +134,9 @@ fn must_graph_search_agrees_with_exact_search() {
 #[test]
 fn must_reports_incremental_scanning_savings() {
     let b = setup();
-    let out = b.must.search(&MultiModalQuery::text("heavy storm mountain"), K, EF);
+    let out = b
+        .must
+        .search(&MultiModalQuery::text("heavy storm mountain"), K, EF);
     let scan = out.scan.expect("MUST reports scan stats");
     assert!(scan.terms > 0);
     assert!(

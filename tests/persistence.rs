@@ -11,10 +11,17 @@ use mqa::vector::{Metric, Weights};
 use std::sync::Arc;
 
 fn corpus() -> Arc<EncodedCorpus> {
-    let kb = DatasetSpec::weather().objects(400).concepts(20).seed(77).generate();
+    let kb = DatasetSpec::weather()
+        .objects(400)
+        .concepts(20)
+        .seed(77)
+        .generate();
     let registry = EncoderRegistry::new(3);
     let schema = kb.schema().clone();
-    Arc::new(EncodedCorpus::encode(kb, EncoderSet::default_for(&registry, &schema, 32)))
+    Arc::new(EncodedCorpus::encode(
+        kb,
+        EncoderSet::default_for(&registry, &schema, 32),
+    ))
 }
 
 #[test]
@@ -55,7 +62,10 @@ fn snapshot_json_is_self_describing() {
     );
     let snap = index.snapshot();
     let json = snap.to_json();
-    assert!(json.contains("Hnsw"), "algorithm variant visible in snapshot");
+    assert!(
+        json.contains("Hnsw"),
+        "algorithm variant visible in snapshot"
+    );
     let back = UnifiedSnapshot::from_json(&json).unwrap();
     assert_eq!(back, snap);
 }
