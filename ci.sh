@@ -14,6 +14,9 @@ cargo run -q --offline -p mqa-xtask -- lint
 echo "==> mqa-xtask audit"
 cargo run -q --offline -p mqa-xtask -- audit
 
+echo "==> mqa-xtask obs (observability smoke)"
+cargo run -q --offline -p mqa-xtask -- obs --out results/obs
+
 echo "==> cargo build --release"
 cargo build --release --offline --workspace
 

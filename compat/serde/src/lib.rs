@@ -127,6 +127,18 @@ impl fmt::Display for Error {
 
 impl std::error::Error for Error {}
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
 /// Conversion into the [`Value`] model.
 pub trait Serialize {
     /// The value representation of `self`.

@@ -93,4 +93,9 @@ fn bench_full_turn() {
 fn main() {
     bench_frameworks();
     bench_full_turn();
+    if let Err(e) =
+        mqa_bench::write_snapshot(std::path::Path::new("results/bench_end_to_end_query.json"))
+    {
+        eprintln!("warning: could not write bench snapshot: {e}");
+    }
 }

@@ -53,4 +53,9 @@ fn main() {
             black_box(idx.search(black_box(q), 10, 64).results.len());
         });
     }
+    if let Err(e) =
+        mqa_bench::write_snapshot(std::path::Path::new("results/bench_graph_search.json"))
+    {
+        eprintln!("warning: could not write bench snapshot: {e}");
+    }
 }

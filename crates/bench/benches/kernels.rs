@@ -130,4 +130,7 @@ fn main() {
     bench_fused_scan();
     bench_pq();
     bench_topk();
+    if let Err(e) = mqa_bench::write_snapshot(std::path::Path::new("results/bench_kernels.json")) {
+        eprintln!("warning: could not write bench snapshot: {e}");
+    }
 }

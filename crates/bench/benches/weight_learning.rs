@@ -42,4 +42,9 @@ fn main() {
             black_box(learner.learn(black_box(&store), black_box(&labels)));
         });
     }
+    if let Err(e) =
+        mqa_bench::write_snapshot(std::path::Path::new("results/bench_weight_learning.json"))
+    {
+        eprintln!("warning: could not write bench snapshot: {e}");
+    }
 }

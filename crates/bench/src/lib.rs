@@ -18,4 +18,4 @@ pub mod timing;
 pub use protocol::{two_round, RoundScores};
 pub use setup::{build_frameworks, encode, Frameworks, SetupParams};
 pub use table::Table;
-pub use timing::Bencher;
+pub use timing::{write_snapshot, Bencher};

@@ -3,7 +3,14 @@
 //! sample lasts a few tens of milliseconds, then reports the fastest
 //! per-iteration time over several samples — the low-noise estimator for
 //! CPU-bound kernels.
+//!
+//! Results are not print-only: every sample's per-iteration time is also
+//! recorded into the `mqa-obs` registry (histogram
+//! `bench.<group>.<name>.ns`, gauge `bench.<group>.<name>.best_ns`), so a
+//! bench main can close with [`write_snapshot`] to file the run's numbers
+//! under `results/` as a machine-readable perf trajectory.
 
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// A named group of micro-benchmarks sharing sampling settings.
@@ -57,12 +64,14 @@ impl Bencher {
         let target_ns = self.sample_target.as_nanos();
         iters = u64::try_from((target_ns / per_ns).max(1)).unwrap_or(u64::MAX);
         let mut best = f64::INFINITY;
+        let samples_hist = self.sample_histogram(name);
         for _ in 0..self.samples {
             let t0 = Instant::now();
             for _ in 0..iters {
                 f();
             }
             let per = t0.elapsed().as_nanos() as f64 / iters as f64;
+            samples_hist.record(per as u64);
             best = best.min(per);
         }
         self.report(name, best);
@@ -80,19 +89,43 @@ impl Bencher {
         // timed region, so runs must individually be long enough to time.
         let runs = self.samples.max(5) * 4;
         let mut best = f64::INFINITY;
+        let samples_hist = self.sample_histogram(name);
         for _ in 0..runs {
             let state = setup();
             let t0 = Instant::now();
             f(state);
-            best = best.min(t0.elapsed().as_nanos() as f64);
+            let per = t0.elapsed().as_nanos() as f64;
+            samples_hist.record(per as u64);
+            best = best.min(per);
         }
         self.report(name, best);
     }
 
+    fn sample_histogram(&self, name: &str) -> std::sync::Arc<mqa_obs::Histogram> {
+        mqa_obs::histogram(&format!("bench.{}.{}.ns", self.group, name))
+    }
+
     fn report(&self, name: &str, ns: f64) {
+        mqa_obs::gauge(&format!("bench.{}.{}.best_ns", self.group, name)).set(ns);
         let label = format!("{}/{}", self.group, name);
         println!("{label:<52} {:>12}/iter", format_ns(ns));
     }
+}
+
+/// Writes the current `mqa-obs` metrics snapshot (all `bench.*` gauges and
+/// sample histograms of the run, plus any pipeline metrics the benched code
+/// recorded) as pretty JSON to `path`, creating parent directories.
+///
+/// # Errors
+/// Propagates filesystem errors; serialization of a snapshot cannot fail.
+pub fn write_snapshot(path: &Path) -> std::io::Result<()> {
+    let snap = mqa_obs::global().snapshot();
+    let body = serde_json::to_string_pretty(&snap)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, body + "\n")
 }
 
 fn format_ns(ns: f64) -> String {
@@ -130,5 +163,44 @@ mod tests {
                 calls.fetch_add(1, Ordering::Relaxed);
             });
         assert!(calls.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn bench_records_samples_into_obs_registry() {
+        Bencher::new("timing_test")
+            .sample_target(Duration::from_micros(200))
+            .samples(3)
+            .bench("spin", || {
+                std::hint::black_box(7u64.wrapping_mul(13));
+            });
+        let snap = mqa_obs::global().snapshot();
+        let hist = snap
+            .histogram("bench.timing_test.spin.ns")
+            .expect("per-sample histogram recorded");
+        assert!(hist.count >= 3);
+        let gauge = snap
+            .gauges
+            .iter()
+            .find(|g| g.name == "bench.timing_test.spin.best_ns")
+            .expect("best gauge recorded");
+        assert!(gauge.value >= 0.0);
+    }
+
+    #[test]
+    fn write_snapshot_emits_parseable_json() {
+        Bencher::new("timing_snap")
+            .sample_target(Duration::from_micros(100))
+            .samples(1)
+            .bench("noop", || {
+                std::hint::black_box(1u64);
+            });
+        let dir = std::env::temp_dir().join(format!("mqa-bench-snap-{}", std::process::id()));
+        let path = dir.join("bench_snapshot.json");
+        write_snapshot(&path).expect("snapshot written");
+        let body = std::fs::read_to_string(&path).expect("snapshot readable");
+        let value = serde_json::parse_value_str(&body).expect("snapshot parses");
+        let text = serde_json::to_string(&value).unwrap_or_default();
+        assert!(text.contains("timing_snap"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -40,6 +40,7 @@ impl MqaSystem {
     /// ([`MqaError::EmptyKnowledgeBase`]), or a failed build stage
     /// ([`MqaError::BuildFailed`]).
     pub fn build(config: Config, kb: mqa_kb::KnowledgeBase) -> Result<Self, MqaError> {
+        let _build_span = mqa_obs::span("core.build");
         config.validate()?;
         let cfg = Arc::new(config);
         let kb_slot = Arc::new(Mutex::new(Some(kb)));

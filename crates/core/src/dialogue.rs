@@ -166,6 +166,8 @@ impl<'a> DialogueSession<'a> {
     /// [`MqaError::NothingToSelect`] / [`MqaError::BadSelection`] for
     /// invalid clicks.
     pub fn ask(&mut self, turn: Turn) -> Result<Reply, MqaError> {
+        let _turn_span = mqa_obs::span("core.turn");
+        mqa_obs::counter("core.session.turns").inc();
         // 1. Resolve the clicks (positive select, negative reject).
         if let Some(rank) = turn.select {
             if self.last_results.is_empty() {
@@ -249,11 +251,13 @@ impl<'a> DialogueSession<'a> {
             &out.results,
             self.selected,
         );
+        let gen_span = mqa_obs::span("core.turn.generate");
         let message = self
             .system
             .answerer()
             .generate(&query_text, entries.clone(), &self.history)
             .map(|c| c.text);
+        let _ = gen_span.finish();
 
         // 5. Update the session state.
         self.round += 1;

@@ -78,10 +78,19 @@ impl StatusMonitor {
         e.elapsed = Some(elapsed);
     }
 
-    /// Attaches a detail line to a milestone (encoder names, vector dims,
-    /// index type, …). Detail lines accumulate.
+    /// Attaches detail lines to a milestone (encoder names, vector dims,
+    /// index type, obs-report fragments, …). Detail lines accumulate; a
+    /// multi-line fragment is split into one detail per line and blank
+    /// lines are dropped, so feeding an empty fragment is a no-op.
     pub fn detail(&mut self, m: Milestone, line: impl Into<String>) {
-        self.entries[Self::idx(m)].details.push(line.into());
+        let fragment = line.into();
+        self.entries[Self::idx(m)].details.extend(
+            fragment
+                .lines()
+                .map(str::trim_end)
+                .filter(|l| !l.trim().is_empty())
+                .map(String::from),
+        );
     }
 
     /// Whether a milestone is ticked.
@@ -158,6 +167,46 @@ mod tests {
         assert!(r.contains("✓ Index Construction"));
         assert!(r.contains("index: mqa-graph"));
         assert!(r.contains("· Data Preprocessing"));
+    }
+
+    #[test]
+    fn render_pins_fully_completed_run() {
+        let mut s = StatusMonitor::new();
+        for (i, m) in Milestone::ALL.into_iter().enumerate() {
+            s.complete(m, Duration::from_millis((i as u64 + 1) * 10));
+        }
+        assert_eq!(
+            s.render(),
+            "── Status Monitoring ──────────────────────\n\
+             ✓ Data Preprocessing (10.0 ms)\n\
+             ✓ Vector Representation (20.0 ms)\n\
+             ✓ Index Construction (30.0 ms)\n\
+             ✓ Query Execution (40.0 ms)\n\
+             ✓ Answer Generation (50.0 ms)\n"
+        );
+    }
+
+    #[test]
+    fn detail_accepts_empty_and_multiline_fragments() {
+        let mut s = StatusMonitor::new();
+        // Empty / whitespace-only obs fragments are no-ops, not panics.
+        s.detail(Milestone::QueryExecution, "");
+        s.detail(Milestone::QueryExecution, "\n\n  \n");
+        assert!(s.details(Milestone::QueryExecution).is_empty());
+        // A multi-line report fragment becomes one detail per line.
+        s.detail(
+            Milestone::QueryExecution,
+            "Query Execution: 4.20 ms total\n\nAnswer Generation: 800 µs\n",
+        );
+        assert_eq!(
+            s.details(Milestone::QueryExecution),
+            &[
+                "Query Execution: 4.20 ms total".to_string(),
+                "Answer Generation: 800 µs".to_string(),
+            ]
+        );
+        let rendered = s.render();
+        assert!(rendered.contains("    Query Execution: 4.20 ms total\n"));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::context::Context;
 use crate::graph::Dag;
 use crate::DagError;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// How the executor schedules tasks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -55,22 +55,42 @@ impl Dag {
     /// [`DagError::TaskPanicked`]) encountered; in parallel mode the rest of
     /// the failing wave still completes, later waves are not started.
     pub fn execute(&self, ctx: &mut Context, mode: ExecMode) -> Result<Trace, DagError> {
-        let start = Instant::now();
+        let mode_tag = match mode {
+            ExecMode::Sequential => "sequential",
+            ExecMode::Parallel => "parallel",
+        };
+        let exec_span = mqa_obs::span("dag.execute");
+        mqa_obs::counter(&format!("dag.execute.{mode_tag}")).inc();
+        mqa_obs::journal::event_str("dag.execute", &[("mode", mode_tag)]);
         let mut trace = Trace::default();
         for (wave_idx, wave) in self.waves.iter().enumerate() {
+            let wave_span = mqa_obs::span("dag.wave");
             let results = match mode {
                 ExecMode::Sequential => {
                     let mut results = Vec::with_capacity(wave.len());
                     for &t in wave {
                         let node = &self.tasks[t];
-                        let t0 = Instant::now();
+                        let task_span = mqa_obs::span(format!("dag.task.{}", node.name));
                         let out = (node.run)(ctx);
-                        results.push((t, out, t0.elapsed()));
+                        results.push((t, out, task_span.finish()));
                     }
                     results
                 }
                 ExecMode::Parallel => self.run_wave_parallel(ctx, wave)?,
             };
+            let wave_elapsed = wave_span.finish();
+            if mode == ExecMode::Parallel {
+                // The barrier wait is the gap between the slowest task and
+                // the whole wave (spawn/join overhead plus idle stragglers).
+                let slowest = results
+                    .iter()
+                    .map(|(_, _, elapsed)| *elapsed)
+                    .max()
+                    .unwrap_or_default();
+                let wait = wave_elapsed.saturating_sub(slowest);
+                mqa_obs::histogram("dag.wave.barrier_wait_us")
+                    .record(u64::try_from(wait.as_micros()).unwrap_or(u64::MAX));
+            }
             // Merge outputs (and surface failures) in registration order.
             let mut results = results;
             results.sort_by_key(|(t, _, _)| *t);
@@ -90,7 +110,7 @@ impl Dag {
                 });
             }
         }
-        trace.total = start.elapsed();
+        trace.total = exec_span.finish();
         Ok(trace)
     }
 
@@ -103,9 +123,9 @@ impl Dag {
         if wave.len() == 1 {
             // No point spawning a thread for a single task.
             let node = &self.tasks[wave[0]];
-            let t0 = Instant::now();
+            let task_span = mqa_obs::span(format!("dag.task.{}", node.name));
             let out = (node.run)(ctx);
-            return Ok(vec![(wave[0], out, t0.elapsed())]);
+            return Ok(vec![(wave[0], out, task_span.finish())]);
         }
         let mut results = Vec::with_capacity(wave.len());
         let mut panicked = false;
@@ -116,9 +136,12 @@ impl Dag {
                     let node = &self.tasks[t];
                     let ctx_ref: &Context = ctx;
                     scope.spawn(move || {
-                        let t0 = Instant::now();
+                        // Worker threads start with an empty span stack, so
+                        // attach the task to its logical parent by name.
+                        let task_span =
+                            mqa_obs::span_under(format!("dag.task.{}", node.name), "dag.wave");
                         let out = (node.run)(ctx_ref);
-                        (t, out, t0.elapsed())
+                        (t, out, task_span.finish())
                     })
                 })
                 .collect();

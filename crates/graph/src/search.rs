@@ -36,6 +36,30 @@ impl SearchStats {
         self.pruned += other.pruned;
         self.pages_read += other.pages_read;
     }
+
+    /// Total distance-evaluation work: completed plus abandoned
+    /// evaluations (each abandoned evaluation still scanned a prefix).
+    pub fn total_distance_work(&self) -> u64 {
+        self.evals + self.pruned
+    }
+
+    /// Folds this record into the global `mqa-obs` registry under the
+    /// index algorithm name `algo`: workspace-wide `graph.search.*`
+    /// counters plus per-algorithm latency and per-query work histograms,
+    /// so paged (Starling) and resident indexes are comparable in one
+    /// report.
+    pub fn record(&self, algo: &str, elapsed_us: u64) {
+        let reg = mqa_obs::global();
+        reg.counter("graph.search.queries").inc();
+        reg.counter("graph.search.hops").add(self.hops);
+        reg.counter("graph.search.evals").add(self.evals);
+        reg.counter("graph.search.pruned").add(self.pruned);
+        reg.counter("graph.search.pages_read").add(self.pages_read);
+        reg.histogram(&format!("graph.{algo}.search_us"))
+            .record(elapsed_us);
+        reg.histogram(&format!("graph.{algo}.evals"))
+            .record(self.total_distance_work());
+    }
 }
 
 /// Result of one search: the `k` best candidates (ascending distance) and

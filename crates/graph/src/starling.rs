@@ -164,6 +164,7 @@ impl PagedIndex {
     /// free. Returns results plus stats with `pages_read` populated.
     pub fn search_paged(&self, dist: &mut dyn DistanceFn, k: usize, ef: usize) -> SearchOutput {
         assert!(k > 0, "search requires k >= 1");
+        let sw = mqa_obs::Stopwatch::start();
         let ef = ef.max(k);
         let mut stats = SearchStats::default();
         let mut visited = vec![false; self.graph.len()];
@@ -214,6 +215,7 @@ impl PagedIndex {
         }
         let mut out = results.into_sorted();
         out.truncate(k);
+        stats.record("starling", sw.elapsed_us());
         SearchOutput {
             results: out,
             stats,

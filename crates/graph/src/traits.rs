@@ -106,9 +106,9 @@ impl VectorIndex {
     pub fn build(store: VectorStore, metric: Metric, algorithm: &IndexAlgorithm) -> Self {
         assert!(!store.is_empty(), "cannot index an empty vector store");
         let store = Arc::new(store);
-        let t0 = std::time::Instant::now();
+        let build_span = mqa_obs::span(format!("graph.{}.build", algorithm.name()));
         let searcher = algorithm.build(&store, metric);
-        let build_time = t0.elapsed();
+        let build_time = build_span.finish();
         Self {
             store,
             metric,
@@ -120,8 +120,11 @@ impl VectorIndex {
 
     /// Searches for the `k` nearest stored vectors to `query`.
     pub fn search(&self, query: &[f32], k: usize, ef: usize) -> SearchOutput {
+        let sw = mqa_obs::Stopwatch::start();
         let mut dist = FlatDistance::new(&self.store, query, self.metric);
-        self.searcher.search(&mut dist, k, ef)
+        let out = self.searcher.search(&mut dist, k, ef);
+        out.stats.record(self.algorithm.name(), sw.elapsed_us());
+        out
     }
 
     /// The backing store.

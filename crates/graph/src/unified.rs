@@ -124,10 +124,10 @@ impl UnifiedIndex {
             store.schema().arity(),
             "weights arity must match the schema"
         );
-        let t0 = std::time::Instant::now();
+        let build_span = mqa_obs::span(format!("graph.{}.build", algorithm.name()));
         let weighted = Arc::new(store.weighted_store(&weights));
         let searcher = algorithm.build_graph(&weighted, metric);
-        let build_time = t0.elapsed();
+        let build_time = build_span.finish();
         Self {
             store,
             weights,
@@ -201,12 +201,14 @@ impl UnifiedIndex {
         ef: usize,
         prune: bool,
     ) -> UnifiedSearchOutput {
+        let sw = mqa_obs::Stopwatch::start();
         let weights = weight_override.unwrap_or(&self.weights);
         let mut dist = FusedDistance::new(&self.store, query, weights, self.metric);
         if !prune {
             dist = dist.without_pruning();
         }
         let out = self.searcher.search(&mut dist, k, ef);
+        out.stats.record(self.algorithm.name(), sw.elapsed_us());
         UnifiedSearchOutput {
             output: out,
             scan: dist.scan_stats(),
@@ -220,10 +222,12 @@ impl UnifiedIndex {
         weight_override: Option<&Weights>,
         k: usize,
     ) -> UnifiedSearchOutput {
+        let sw = mqa_obs::Stopwatch::start();
         let weights = weight_override.unwrap_or(&self.weights);
         let mut dist = FusedDistance::new(&self.store, query, weights, self.metric);
         let flat = crate::flat::FlatSearcher::new(self.store.len());
         let out = flat.search(&mut dist, k, k);
+        out.stats.record("flat", sw.elapsed_us());
         UnifiedSearchOutput {
             output: out,
             scan: dist.scan_stats(),

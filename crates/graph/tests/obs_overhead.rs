@@ -1,0 +1,64 @@
+//! Overhead guard for the always-on search instrumentation.
+//!
+//! Every `VectorIndex::search` records one counter/histogram bundle into
+//! the `mqa-obs` registry. With the journal disabled (the default), that
+//! bundle must stay in the noise: this test pins it below 5% of a flat
+//! exhaustive search over a modest store, measured on the same machine in
+//! the same process.
+
+use mqa_graph::{IndexAlgorithm, SearchStats, VectorIndex};
+use mqa_rng::StdRng;
+use mqa_vector::{Metric, VectorStore};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Best-of-`trials` per-operation cost in nanoseconds.
+fn per_op_ns<F: FnMut()>(iters: u64, trials: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..trials {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t0.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    best
+}
+
+#[test]
+fn metric_recording_overhead_below_five_percent_of_flat_search() {
+    assert!(
+        !mqa_obs::journal::global().is_enabled(),
+        "overhead is specified with the journal disabled"
+    );
+
+    const DIM: usize = 64;
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut store = VectorStore::with_capacity(DIM, 2_000);
+    for _ in 0..2_000 {
+        let v: Vec<f32> = (0..DIM).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        store.push(&v);
+    }
+    let idx = VectorIndex::build(store, Metric::L2, &IndexAlgorithm::Flat);
+    let q: Vec<f32> = (0..DIM).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+
+    // The full search path (which already includes one recording bundle
+    // per call) versus the bundle alone.
+    let search_ns = per_op_ns(50, 5, || {
+        black_box(idx.search(black_box(&q), 10, 64).results.len());
+    });
+    let stats = SearchStats {
+        hops: 3,
+        evals: 2_000,
+        pruned: 10,
+        pages_read: 0,
+    };
+    let record_ns = per_op_ns(10_000, 5, || {
+        stats.record(black_box("overhead-test"), black_box(123));
+    });
+
+    assert!(
+        record_ns < search_ns * 0.05,
+        "recording bundle {record_ns:.0} ns/op is not <5% of flat search {search_ns:.0} ns/op"
+    );
+}

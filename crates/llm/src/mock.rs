@@ -75,6 +75,9 @@ impl LanguageModel for MockChatModel {
     }
 
     fn generate(&self, prompt: &Prompt, temperature: f32) -> Completion {
+        let _span = mqa_obs::span("llm.generate");
+        mqa_obs::counter("llm.mock.calls").inc();
+        mqa_obs::counter("llm.prompt_tokens").add(prompt.token_count() as u64);
         let mut sampler = TemperatureSampler::new(self.prompt_seed(prompt), temperature);
         let mut text = String::new();
         if prompt.is_grounded() {
@@ -119,6 +122,7 @@ impl LanguageModel for MockChatModel {
                 attrs[0], attrs[1], attrs[2]
             ));
         }
+        mqa_obs::counter("llm.completion_tokens").add(text.split_whitespace().count() as u64);
         Completion {
             grounded: prompt.is_grounded(),
             tokens: prompt.token_count() + text.split_whitespace().count(),

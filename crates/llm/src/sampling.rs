@@ -42,6 +42,14 @@ impl TemperatureSampler {
     /// Panics if `n == 0`.
     pub fn pick(&mut self, n: usize) -> usize {
         assert!(n > 0, "cannot sample from zero variants");
+        let sw = mqa_obs::Stopwatch::start();
+        mqa_obs::counter("llm.sampler.draws").inc();
+        let choice = self.pick_inner(n);
+        mqa_obs::histogram("llm.sampler.pick_us").record(sw.elapsed_us());
+        choice
+    }
+
+    fn pick_inner(&mut self, n: usize) -> usize {
         if n == 1 || self.temperature == 0.0 {
             return 0;
         }

@@ -1,0 +1,209 @@
+//! RAII timing spans with per-thread parent/child nesting.
+//!
+//! [`span`] opens a guard and pushes it on a thread-local stack; the guard
+//! records its duration into the global registry (and the journal, when
+//! enabled) on [`SpanGuard::finish`] or on drop — including drops during
+//! unwinding, so a task that returns `Err` (or panics) mid-span still
+//! closes its spans in order.
+//!
+//! Work handed to fresh threads (the parallel DAG executor) starts with an
+//! empty stack; use [`span_under`] there to attach the span to its logical
+//! parent by name.
+
+use crate::journal;
+use crate::metrics::global;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Open spans on this thread, innermost last: `(id, name)`.
+    static STACK: RefCell<Vec<(u64, String)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open span; closing records its duration under its name.
+///
+/// Dropping the guard closes the span; call [`SpanGuard::finish`] to also
+/// get the measured duration back.
+#[must_use = "dropping immediately times nothing; bind to `_guard` or call finish()"]
+pub struct SpanGuard {
+    id: u64,
+    name: String,
+    parent: Option<String>,
+    start: Instant,
+    closed: bool,
+}
+
+/// Opens a span named `name` nested under the innermost open span on this
+/// thread (a root span if none is open).
+pub fn span(name: impl Into<String>) -> SpanGuard {
+    open(name.into(), None)
+}
+
+/// Opens a span with an explicit parent name, for work running on a thread
+/// whose stack does not contain the logical parent (e.g. scoped workers).
+pub fn span_under(name: impl Into<String>, parent: &str) -> SpanGuard {
+    open(name.into(), Some(parent.to_string()))
+}
+
+fn open(name: String, explicit_parent: Option<String>) -> SpanGuard {
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let (stack_parent, parent_id, depth) = STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        let top = s.last().map(|(pid, pname)| (pname.clone(), *pid));
+        s.push((id, name.clone()));
+        let depth = s.len();
+        match top {
+            Some((pname, pid)) => (Some(pname), Some(pid), depth),
+            None => (None, None, depth),
+        }
+    });
+    let parent = explicit_parent.or(stack_parent);
+    journal::span_open(id, &name, parent_id, depth);
+    SpanGuard {
+        id,
+        name,
+        parent,
+        start: Instant::now(),
+        closed: false,
+    }
+}
+
+impl SpanGuard {
+    /// The span's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Time elapsed since the span opened.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Closes the span and returns its duration.
+    pub fn finish(mut self) -> Duration {
+        self.close()
+    }
+
+    fn close(&mut self) -> Duration {
+        let dur = self.start.elapsed();
+        if self.closed {
+            return dur;
+        }
+        self.closed = true;
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // rposition + truncate tolerates mis-nested closes: everything
+            // opened above this span on the same thread is popped with it.
+            if let Some(pos) = s.iter().rposition(|(id, _)| *id == self.id) {
+                s.truncate(pos);
+            }
+        });
+        let us = u64::try_from(dur.as_micros()).unwrap_or(u64::MAX);
+        global().record_span(&self.name, self.parent.as_deref(), us);
+        journal::span_close(self.id, &self.name, us);
+        dur
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.closed {
+            let _ = self.close();
+        }
+    }
+}
+
+/// A minimal monotonic timer for call sites that want a raw duration to
+/// feed a histogram or counter rather than a named span.
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Starts the stopwatch.
+    #[must_use = "a stopwatch only matters if elapsed() is read"]
+    pub fn start() -> Self {
+        Self(Instant::now())
+    }
+
+    /// Time since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.0.elapsed()
+    }
+
+    /// Microseconds since [`Stopwatch::start`], saturating.
+    pub fn elapsed_us(&self) -> u64 {
+        u64::try_from(self.0.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn depth() -> usize {
+        STACK.with(|s| s.borrow().len())
+    }
+
+    #[test]
+    fn nesting_records_parent_links() {
+        let outer = span("test.span.outer");
+        let inner = span("test.span.inner");
+        assert_eq!(depth(), 2);
+        drop(inner);
+        assert_eq!(depth(), 1);
+        let _ = outer.finish();
+        assert_eq!(depth(), 0);
+        let snap = global().snapshot();
+        let inner = snap.span("test.span.inner").expect("inner recorded");
+        assert_eq!(inner.parent, "test.span.outer");
+        assert!(inner.count >= 1);
+    }
+
+    #[test]
+    fn stack_unwinds_when_task_returns_err_mid_span() {
+        fn faulty() -> Result<(), String> {
+            let _guard = span("test.span.faulty");
+            let _deeper = span("test.span.faulty.step");
+            Err("boom".to_string())
+        }
+        assert_eq!(depth(), 0);
+        assert!(faulty().is_err());
+        assert_eq!(depth(), 0, "early return must pop all spans");
+        let snap = global().snapshot();
+        assert!(snap.span("test.span.faulty").is_some());
+        let step = snap.span("test.span.faulty.step").expect("step recorded");
+        assert_eq!(step.parent, "test.span.faulty");
+    }
+
+    #[test]
+    fn stack_unwinds_across_panic() {
+        let result = std::panic::catch_unwind(|| {
+            let _guard = span("test.span.panicky");
+            panic!("mid-span panic");
+        });
+        assert!(result.is_err());
+        assert_eq!(depth(), 0, "panic unwinding must pop the span");
+    }
+
+    #[test]
+    fn explicit_parent_overrides_empty_stack() {
+        let handle = std::thread::spawn(|| {
+            let g = span_under("test.span.worker", "test.span.coordinator");
+            g.finish()
+        });
+        let dur = handle.join().expect("worker thread");
+        assert!(dur.as_nanos() > 0 || dur.is_zero());
+        let snap = global().snapshot();
+        let worker = snap.span("test.span.worker").expect("worker recorded");
+        assert_eq!(worker.parent, "test.span.coordinator");
+    }
+
+    #[test]
+    fn stopwatch_measures_nonnegative_time() {
+        let sw = Stopwatch::start();
+        let us = sw.elapsed_us();
+        assert!(us <= sw.elapsed_us());
+    }
+}

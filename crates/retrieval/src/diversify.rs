@@ -33,6 +33,7 @@ pub fn mmr_diversify(
     if candidates.is_empty() {
         return Vec::new();
     }
+    let _span = mqa_obs::span("retrieval.diversify");
     // Normalize relevance to [0, 1] over the candidate pool (distances are
     // unbounded); similarity reuses the same scale.
     let d_min = candidates

@@ -20,7 +20,6 @@ use mqa_encoders::ImageData;
 use mqa_graph::{IndexAlgorithm, VectorIndex};
 use mqa_vector::{ops, Metric, ModalityKind, MultiVector, VectorStore};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// How JE handles query modalities the user did not supply.
 ///
@@ -130,18 +129,24 @@ impl RetrievalFramework for JeFramework {
     fn search(&self, query: &MultiModalQuery, k: usize, ef: usize) -> RetrievalOutput {
         assert!(query.has_content(), "empty query");
         assert!(k > 0, "k must be >= 1");
-        let t0 = Instant::now();
+        let outer = mqa_obs::span("retrieval.je.search");
         // Note: query.weight_override is deliberately ignored — joint
         // embedding has no per-modality weighting hook.
-        let completed = self.complete_query(query);
-        let qv = self.corpus.encoders().encode_query(&completed);
-        let joint = joint_vector(&self.corpus, &qv);
-        let out = self.index.search(&joint, k, ef);
+        let joint = {
+            let _stage = mqa_obs::span("retrieval.je.encode");
+            let completed = self.complete_query(query);
+            let qv = self.corpus.encoders().encode_query(&completed);
+            joint_vector(&self.corpus, &qv)
+        };
+        let out = {
+            let _stage = mqa_obs::span("retrieval.je.index_search");
+            self.index.search(&joint, k, ef)
+        };
         RetrievalOutput {
             results: out.results,
             stats: out.stats,
             scan: None,
-            latency: t0.elapsed(),
+            latency: outer.finish(),
         }
     }
 

@@ -20,7 +20,6 @@ use mqa_kb::ObjectId;
 use mqa_vector::{Candidate, Metric};
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Over-retrieval factor: each channel fetches `k * OVERSAMPLE` candidates
 /// before merging.
@@ -59,14 +58,19 @@ impl RetrievalFramework for MrFramework {
     fn search(&self, query: &MultiModalQuery, k: usize, ef: usize) -> RetrievalOutput {
         assert!(query.has_content(), "empty query");
         assert!(k > 0, "k must be >= 1");
-        let t0 = Instant::now();
-        let qv = self.corpus.encoders().encode_query(query);
+        let outer = mqa_obs::span("retrieval.mr.search");
+        let qv = {
+            let _stage = mqa_obs::span("retrieval.mr.encode");
+            self.corpus.encoders().encode_query(query)
+        };
         let fetch = k * OVERSAMPLE;
         let mut stats = mqa_graph::SearchStats::default();
         let mut rrf: HashMap<ObjectId, f64> = HashMap::new();
         let mut searched = 0usize;
         for (m, part) in qv.present() {
+            let channel_span = mqa_obs::span("retrieval.mr.channel_search");
             let out = self.channels[m].search(part, fetch, ef.max(fetch));
+            let _ = channel_span.finish();
             stats.merge(&out.stats);
             searched += 1;
             for (rank, c) in out.results.iter().enumerate() {
@@ -76,17 +80,19 @@ impl RetrievalFramework for MrFramework {
         assert!(searched > 0, "query matched no channel");
         // Merge: descending fused RRF score; expose (1 - score) as the
         // pseudo-distance so lower stays better.
+        let merge_span = mqa_obs::span("retrieval.mr.merge");
         let mut merged: Vec<Candidate> = rrf
             .into_iter()
             .map(|(id, score)| Candidate::new(id, (1.0 - score) as f32))
             .collect();
         merged.sort_unstable();
         merged.truncate(k);
+        let _ = merge_span.finish();
         RetrievalOutput {
             results: merged,
             stats,
             scan: None,
-            latency: t0.elapsed(),
+            latency: outer.finish(),
         }
     }
 

@@ -13,7 +13,6 @@ use crate::result::RetrievalOutput;
 use mqa_graph::{IndexAlgorithm, UnifiedIndex};
 use mqa_vector::{Metric, Weights};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// The MUST framework instance over one corpus.
 pub struct MustFramework {
@@ -68,18 +67,27 @@ impl RetrievalFramework for MustFramework {
     fn search(&self, query: &MultiModalQuery, k: usize, ef: usize) -> RetrievalOutput {
         assert!(query.has_content(), "empty query");
         assert!(k > 0, "k must be >= 1");
-        let t0 = Instant::now();
-        let qv = self.corpus.encoders().encode_query(query);
-        let override_w = query
-            .weight_override
-            .as_ref()
-            .map(|raw| Weights::normalized(raw));
-        let out = self.index.search(&qv, override_w.as_ref(), k, ef);
+        let outer = mqa_obs::span("retrieval.must.search");
+        let qv = {
+            let _stage = mqa_obs::span("retrieval.must.encode");
+            self.corpus.encoders().encode_query(query)
+        };
+        let override_w = {
+            let _stage = mqa_obs::span("retrieval.must.weight_fuse");
+            query
+                .weight_override
+                .as_ref()
+                .map(|raw| Weights::normalized(raw))
+        };
+        let out = {
+            let _stage = mqa_obs::span("retrieval.must.index_search");
+            self.index.search(&qv, override_w.as_ref(), k, ef)
+        };
         RetrievalOutput {
             results: out.output.results.clone(),
             stats: out.output.stats,
             scan: Some(out.scan),
-            latency: t0.elapsed(),
+            latency: outer.finish(),
         }
     }
 

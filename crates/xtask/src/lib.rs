@@ -14,8 +14,13 @@
 //!   `MultiVectorStore`).
 //!
 //! Both exit non-zero on any finding, which is what lets `ci.sh` treat
-//! them as hard gates.
+//! them as hard gates. A third command, [`obs`], is the observability
+//! smoke gate: it runs a seeded dialogue scenario with the `mqa-obs`
+//! journal enabled, writes the journal / metrics-snapshot / report
+//! artifacts, and fails unless every instrumented pipeline layer shows
+//! up in the snapshot.
 
 pub mod audit;
 pub mod baseline;
 pub mod lint;
+pub mod obs;

@@ -27,17 +27,20 @@ pub enum Rule {
     UnsafeNoSafety,
     /// A wildcard `_ =>` arm in a `match` over an error value.
     WildcardErrorMatch,
+    /// Ad-hoc `Instant::now()` timing outside the bench/obs crates.
+    AdHocTiming,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 7] = [
         Rule::NoUnwrap,
         Rule::NoExpect,
         Rule::NoPanic,
         Rule::FloatEq,
         Rule::UnsafeNoSafety,
         Rule::WildcardErrorMatch,
+        Rule::AdHocTiming,
     ];
 
     /// The kebab-case rule name used in reports and waivers.
@@ -49,6 +52,7 @@ impl Rule {
             Rule::FloatEq => "float-eq",
             Rule::UnsafeNoSafety => "unsafe-no-safety",
             Rule::WildcardErrorMatch => "wildcard-error-match",
+            Rule::AdHocTiming => "ad-hoc-timing",
         }
     }
 
@@ -67,6 +71,9 @@ impl Rule {
             Rule::UnsafeNoSafety => "`unsafe` requires an adjacent `// SAFETY:` comment",
             Rule::WildcardErrorMatch => {
                 "matches over error enums must list every variant, not `_ =>`"
+            }
+            Rule::AdHocTiming => {
+                "instrumented code must time via mqa-obs spans/Stopwatch, not raw Instant::now()"
             }
         }
     }
@@ -370,8 +377,10 @@ fn comparison_ops(line: &str) -> Vec<(usize, usize)> {
 }
 
 /// Lints one file's source. `kernel` enables the float-comparison rule
-/// (distance/weight kernel paths only).
-pub fn lint_source(file: &str, source: &str, kernel: bool) -> Vec<Finding> {
+/// (distance/weight kernel paths only); `timing` enables the ad-hoc-timing
+/// rule (everywhere except the bench/obs crates, which legitimately own
+/// raw clocks).
+pub fn lint_source(file: &str, source: &str, kernel: bool, timing: bool) -> Vec<Finding> {
     let stripped = strip(source);
     let mask = test_mask(&stripped);
     let raw_lines: Vec<&str> = source.lines().collect();
@@ -415,6 +424,9 @@ pub fn lint_source(file: &str, source: &str, kernel: bool) -> Vec<Finding> {
                         break;
                     }
                 }
+            }
+            if timing && code.contains("Instant::now") {
+                push(Rule::AdHocTiming);
             }
             if has_word(code, "unsafe") {
                 let lo = idx.saturating_sub(3);
@@ -482,6 +494,11 @@ pub const KERNEL_PREFIXES: [&str; 3] = [
     "crates/graph/src",
 ];
 
+/// Path prefixes exempt from the ad-hoc-timing rule: the bench harness
+/// measures raw iteration clocks by design, and `mqa-obs` is the timing
+/// API's own implementation.
+pub const TIMING_EXEMPT_PREFIXES: [&str; 2] = ["crates/bench", "crates/obs"];
+
 /// Directory names never descended into: test code may unwrap freely, and
 /// fixtures contain violations on purpose.
 const SKIP_DIRS: [&str; 5] = ["tests", "benches", "fixtures", "target", ".git"];
@@ -535,9 +552,10 @@ pub fn run(repo_root: &Path, baseline: &Baseline) -> Result<LintOutcome, String>
             .to_string_lossy()
             .replace('\\', "/");
         let kernel = KERNEL_PREFIXES.iter().any(|p| rel.starts_with(p));
+        let timing = !TIMING_EXEMPT_PREFIXES.iter().any(|p| rel.starts_with(p));
         let source = std::fs::read_to_string(path)
             .map_err(|e| format!("reading {}: {e}", path.display()))?;
-        all.extend(lint_source(&rel, &source, kernel));
+        all.extend(lint_source(&rel, &source, kernel, timing));
     }
     let mut used = vec![0usize; baseline.waivers.len()];
     let mut findings = Vec::new();
@@ -599,14 +617,14 @@ mod tests {
     #[test]
     fn unwrap_in_test_code_is_ignored() {
         let src = "#[cfg(test)]\nmod tests {\n  fn b() { x.unwrap(); }\n}\n";
-        assert!(lint_source("f.rs", src, false).is_empty());
+        assert!(lint_source("f.rs", src, false, false).is_empty());
     }
 
     #[test]
     fn float_eq_only_fires_in_kernel_files() {
         let src = "fn f(a: f32, b: f32) -> bool { a == b }\n";
-        assert!(lint_source("f.rs", src, false).is_empty());
-        let found = lint_source("f.rs", src, true);
+        assert!(lint_source("f.rs", src, false, false).is_empty());
+        let found = lint_source("f.rs", src, true, false);
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].rule, Rule::FloatEq);
     }
@@ -614,7 +632,16 @@ mod tests {
     #[test]
     fn integer_comparison_is_not_a_float_eq() {
         let src = "fn f(a: usize, b: usize) -> bool { a == b && a != 3 }\n";
-        assert!(lint_source("f.rs", src, true).is_empty());
+        assert!(lint_source("f.rs", src, true, false).is_empty());
+    }
+
+    #[test]
+    fn ad_hoc_timing_only_fires_with_timing_flag() {
+        let src = "fn f() { let t = std::time::Instant::now(); let _ = t.elapsed(); }\n";
+        assert!(lint_source("f.rs", src, false, false).is_empty());
+        let found = lint_source("f.rs", src, false, true);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, Rule::AdHocTiming);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! Both commands exit 0 only when clean, so `ci.sh` can chain them.
 
 use mqa_xtask::baseline::Baseline;
-use mqa_xtask::{audit, lint};
+use mqa_xtask::{audit, lint, obs};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -31,6 +31,12 @@ COMMANDS:
     rules
         List the lint rules with their rationales.
 
+    obs [--out <dir>] [--seed <n>]
+        Run a seeded multi-turn dialogue scenario with the mqa-obs journal
+        enabled, write journal.jsonl + metrics.json + report.txt into
+        <dir> (default results/obs), and fail unless every instrumented
+        pipeline layer appears in the snapshot.
+
 EXIT CODES:
     0  clean
     1  findings / violations
@@ -43,6 +49,7 @@ fn main() -> ExitCode {
         Some("lint") => cmd_lint(&args[1..]),
         Some("audit") => cmd_audit(),
         Some("rules") => cmd_rules(),
+        Some("obs") => cmd_obs(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -153,4 +160,50 @@ fn cmd_rules() -> ExitCode {
         println!("{:<22} {}", rule.name(), rule.explain());
     }
     ExitCode::SUCCESS
+}
+
+fn cmd_obs(args: &[String]) -> ExitCode {
+    let mut out_dir = PathBuf::from("results/obs");
+    let mut seed = 42u64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out_dir = PathBuf::from(p),
+                None => {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => seed = n,
+                None => {
+                    eprintln!("--seed requires an integer");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown obs option `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match obs::run(&out_dir, seed) {
+        Ok(outcome) => {
+            print!("{}", outcome.status_panel);
+            println!(
+                "obs: {} journal line(s), {} span(s), {} counter(s), {} histogram(s) -> {}",
+                outcome.journal_lines,
+                outcome.snapshot.spans.len(),
+                outcome.snapshot.counters.len(),
+                outcome.snapshot.histograms.len(),
+                out_dir.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -1,0 +1,19 @@
+//! Lint fixture: exactly one ad-hoc `Instant::now()` violation, on line 8.
+
+/// Decoys that must not fire: a doc comment mentioning Instant::now()
+fn decoy() -> &'static str {
+    "a string mentioning Instant::now()"
+}
+pub fn bad() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_take_raw_clocks() {
+        let t = std::time::Instant::now();
+        assert!(t.elapsed().as_secs() < 60);
+        let _ = super::decoy();
+    }
+}

@@ -9,7 +9,11 @@ use mqa_xtask::baseline::Baseline;
 use mqa_xtask::lint::{self, Rule};
 
 fn findings(name: &str, source: &str, kernel: bool) -> Vec<(usize, Rule)> {
-    lint::lint_source(name, source, kernel)
+    findings_timed(name, source, kernel, false)
+}
+
+fn findings_timed(name: &str, source: &str, kernel: bool, timing: bool) -> Vec<(usize, Rule)> {
+    lint::lint_source(name, source, kernel, timing)
         .into_iter()
         .map(|f| (f.line, f.rule))
         .collect()
@@ -71,9 +75,23 @@ fn wildcard_fixture_fires_only_on_error_matches() {
 }
 
 #[test]
+fn instant_fixture_fires_only_with_timing_flag() {
+    let src = include_str!("fixtures/fixture_instant.rs");
+    assert_eq!(
+        findings_timed("fixture_instant.rs", src, false, true),
+        vec![(8, Rule::AdHocTiming)]
+    );
+    // Bench/obs files are linted with the timing flag off.
+    assert_eq!(
+        findings_timed("fixture_instant.rs", src, false, false),
+        vec![]
+    );
+}
+
+#[test]
 fn findings_render_as_file_line_rule_excerpt() {
     let src = include_str!("fixtures/fixture_unwrap.rs");
-    let all = lint::lint_source("crates/x/src/a.rs", src, false);
+    let all = lint::lint_source("crates/x/src/a.rs", src, false, false);
     assert_eq!(all.len(), 1);
     assert_eq!(
         all[0].to_string(),
