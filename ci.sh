@@ -17,6 +17,9 @@ cargo run -q --offline -p mqa-xtask -- audit
 echo "==> mqa-xtask obs (observability smoke)"
 cargo run -q --offline -p mqa-xtask -- obs --out results/obs
 
+echo "==> mqa-xtask engine (concurrency smoke)"
+cargo run -q --release --offline -p mqa-xtask -- engine --out results/engine
+
 echo "==> cargo build --release"
 cargo build --release --offline --workspace
 

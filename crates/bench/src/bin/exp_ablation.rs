@@ -127,7 +127,13 @@ fn main() {
             BuiltGraph::Nav(nav),
             IndexAlgorithm::mqa_graph(),
         );
-        let must = MustFramework::from_index(Arc::clone(&enc.corpus), index);
+        let must = match MustFramework::from_index(Arc::clone(&enc.corpus), index) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("ablation setup failed: {e}");
+                std::process::exit(1);
+            }
+        };
         let s = two_round(&enc, &must, queries, K, EF, 777);
         ta.row(vec![
             name.to_string(),

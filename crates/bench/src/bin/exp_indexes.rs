@@ -119,7 +119,13 @@ fn main() {
         let mut reads = 0u64;
         let mut hits = 0usize;
         for (q, t) in queries.iter().zip(&truth) {
-            let mut dist = FlatDistance::new(&store, q, mqa_vector::Metric::L2);
+            let mut dist = match FlatDistance::new(&store, q, mqa_vector::Metric::L2) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("query construction failed: {e}");
+                    std::process::exit(1);
+                }
+            };
             let out = paged.search_paged(&mut dist, K, EF);
             reads += out.stats.pages_read;
             hits += out.ids().iter().filter(|id| t.contains(id)).count();

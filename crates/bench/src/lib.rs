@@ -16,6 +16,6 @@ pub mod table;
 pub mod timing;
 
 pub use protocol::{two_round, RoundScores};
-pub use setup::{build_frameworks, encode, Frameworks, SetupParams};
+pub use setup::{build_frameworks, build_must_with, encode, Frameworks, SetupParams};
 pub use table::Table;
 pub use timing::{write_snapshot, Bencher};

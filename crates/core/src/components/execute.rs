@@ -6,6 +6,7 @@
 //! Figure 2), promoting an intelligent multi-modal search procedure."
 
 use mqa_encoders::RawContent;
+use mqa_engine::{EngineError, QueryEngine};
 use mqa_kb::{KnowledgeBase, ObjectId};
 use mqa_retrieval::{MultiModalQuery, RetrievalFramework, RetrievalOutput};
 use mqa_vector::ModalityKind;
@@ -14,6 +15,7 @@ use std::sync::Arc;
 /// The per-turn execution unit: framework + result-set parameters.
 pub struct QueryExecutor {
     framework: Arc<dyn RetrievalFramework>,
+    engine: Option<Arc<QueryEngine>>,
     k: usize,
     ef: usize,
 }
@@ -28,9 +30,36 @@ impl QueryExecutor {
         assert!(k > 0, "result count must be >= 1");
         Self {
             framework,
+            engine: None,
             k,
             ef: ef.max(k),
         }
+    }
+
+    /// Routes subsequent turns through `engine`'s worker pool instead of
+    /// searching on the calling thread.
+    pub fn set_engine(&mut self, engine: Arc<QueryEngine>) {
+        self.engine = Some(engine);
+    }
+
+    /// The engine in use, if any.
+    pub fn engine(&self) -> Option<&Arc<QueryEngine>> {
+        self.engine.as_ref()
+    }
+
+    /// Searches through the engine when one is attached (falling back to
+    /// the serial path if the engine refuses work), serially otherwise.
+    fn search(&self, query: &MultiModalQuery, k: usize, ef: usize) -> RetrievalOutput {
+        if let Some(engine) = &self.engine {
+            match engine.retrieve(query.clone(), k, ef) {
+                Ok(out) => return out,
+                // A refusal means shutdown is racing this turn; the turn
+                // still deserves an answer, so degrade to the serial path.
+                Err(EngineError::QueueFull | EngineError::ShuttingDown | EngineError::Canceled) => {
+                }
+            }
+        }
+        self.framework.search(query, k, ef)
     }
 
     /// Augments `query` with the image content of a selected prior result:
@@ -57,13 +86,13 @@ impl QueryExecutor {
 
     /// Runs the search with the configured result count.
     pub fn run(&self, query: &MultiModalQuery) -> RetrievalOutput {
-        self.framework.search(query, self.k, self.ef)
+        self.search(query, self.k, self.ef)
     }
 
     /// Runs the search with an explicit result count (exclusion filtering
     /// and diversification over-fetch; `ef` widens along with `k`).
     pub fn run_with_k(&self, query: &MultiModalQuery, k: usize) -> RetrievalOutput {
-        self.framework.search(query, k, self.ef.max(k))
+        self.search(query, k, self.ef.max(k))
     }
 
     /// Result-set size.

@@ -209,6 +209,28 @@ impl MqaSystem {
         &self.framework
     }
 
+    /// Spawns a concurrent [`mqa_engine::QueryEngine`] over the framework
+    /// and routes every subsequent turn through its worker pool. Answers
+    /// are identical to the serial path; only the thread doing the search
+    /// changes. Returns the engine for direct (batch) submission.
+    pub fn enable_engine(
+        &mut self,
+        options: mqa_engine::EngineOptions,
+    ) -> Arc<mqa_engine::QueryEngine> {
+        let engine = Arc::new(mqa_engine::QueryEngine::new(
+            Arc::clone(&self.framework),
+            options,
+        ));
+        self.executor.set_engine(Arc::clone(&engine));
+        engine
+    }
+
+    /// The engine turns are routed through, if [`MqaSystem::enable_engine`]
+    /// was called.
+    pub fn engine(&self) -> Option<&Arc<mqa_engine::QueryEngine>> {
+        self.executor.engine()
+    }
+
     pub(crate) fn executor(&self) -> &execute::QueryExecutor {
         &self.executor
     }
@@ -297,5 +319,20 @@ mod tests {
     fn weights_are_learned_by_default() {
         let sys = MqaSystem::build(Config::default(), kb()).unwrap();
         assert_eq!(sys.weights().arity(), 2);
+    }
+
+    #[test]
+    fn engine_turns_match_serial_turns() {
+        let mut sys = MqaSystem::build(Config::default(), kb()).unwrap();
+        let title = sys.corpus().kb().get(0).title.clone();
+        let phrase = title.rsplit_once(" #").map(|(p, _)| p.to_string()).unwrap();
+        let serial = sys.ask_once(Turn::text(phrase.clone())).unwrap();
+        assert!(sys.engine().is_none());
+        let engine = sys.enable_engine(mqa_engine::EngineOptions::with_workers(2));
+        assert_eq!(engine.workers(), 2);
+        assert!(sys.engine().is_some());
+        let concurrent = sys.ask_once(Turn::text(phrase)).unwrap();
+        let ids = |r: &Reply| r.results.iter().map(|x| x.id).collect::<Vec<_>>();
+        assert_eq!(ids(&serial), ids(&concurrent));
     }
 }

@@ -1,0 +1,350 @@
+//! # mqa-engine
+//!
+//! The concurrent query engine: MQA's interactive sessions stop sharing a
+//! single serial query path and instead submit turns to a fixed pool of
+//! worker threads, each owning its own [`mqa_graph::SearchScratch`]
+//! (shared-nothing), behind a bounded submission queue (backpressure, not
+//! unbounded memory) with graceful shutdown (drop drains the backlog and
+//! joins every worker).
+//!
+//! The engine works over any [`RetrievalFramework`] — MUST, MR, or JE —
+//! because frameworks are `Send + Sync` by contract and expose
+//! [`RetrievalFramework::search_scratch`], the entry point that reuses a
+//! worker's per-thread search state instead of allocating per query.
+//!
+//! ```
+//! # use mqa_engine::{EngineOptions, QueryEngine};
+//! # use mqa_retrieval::{FrameworkKind, MultiModalQuery, RetrievalFramework, RetrievalOutput};
+//! # struct Echo;
+//! # impl RetrievalFramework for Echo {
+//! #     fn kind(&self) -> FrameworkKind { FrameworkKind::Must }
+//! #     fn search(&self, _q: &MultiModalQuery, k: usize, _ef: usize) -> RetrievalOutput {
+//! #         RetrievalOutput { results: vec![mqa_vector::Candidate::new(k as u32, 0.0)], ..Default::default() }
+//! #     }
+//! #     fn describe(&self) -> String { "echo".into() }
+//! # }
+//! let engine = QueryEngine::new(std::sync::Arc::new(Echo), EngineOptions::default());
+//! let ticket = engine.submit(MultiModalQuery::text("storm over the bay"), 5, 32).unwrap();
+//! let answer = ticket.wait().unwrap();   // runs on a worker thread
+//! assert_eq!(answer.ids(), vec![5]);
+//! ```
+//!
+//! Instrumentation (all through `mqa-obs`): `engine.queue_depth` gauge,
+//! `engine.query_us` latency histogram, `engine.submitted` counter, and
+//! per-worker `engine.worker.<i>.jobs` counters.
+
+pub mod pool;
+pub mod queue;
+mod ticket;
+
+pub use pool::{Job, WorkerPool};
+pub use queue::BoundedQueue;
+pub use ticket::Ticket;
+
+use mqa_retrieval::{MultiModalQuery, RetrievalFramework, RetrievalOutput};
+use std::fmt;
+use std::sync::Arc;
+
+/// Typed errors of the submission path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// Non-blocking submit found the queue at capacity; retry later or use
+    /// the blocking path for backpressure.
+    QueueFull,
+    /// The engine is shutting down and refuses new work.
+    ShuttingDown,
+    /// The job was abandoned before producing a result (worker panic or
+    /// shutdown with the job still queued).
+    Canceled,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::QueueFull => write!(f, "submission queue is full"),
+            EngineError::ShuttingDown => write!(f, "engine is shutting down"),
+            EngineError::Canceled => write!(f, "query was canceled before completion"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Engine sizing knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Worker threads (each owns one scratch).
+    pub workers: usize,
+    /// Submission-queue capacity (backpressure threshold).
+    pub queue_cap: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_cap: 64,
+        }
+    }
+}
+
+impl EngineOptions {
+    /// Options with `workers` threads and the default queue capacity.
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            workers,
+            ..Self::default()
+        }
+    }
+}
+
+/// The engine: a retrieval framework served by a worker pool.
+pub struct QueryEngine {
+    pool: WorkerPool,
+    framework: Arc<dyn RetrievalFramework>,
+}
+
+impl QueryEngine {
+    /// Spawns the worker pool over `framework`.
+    ///
+    /// # Panics
+    /// Panics if `options.workers == 0` or `options.queue_cap == 0`.
+    pub fn new(framework: Arc<dyn RetrievalFramework>, options: EngineOptions) -> Self {
+        Self {
+            pool: WorkerPool::new(options.workers, options.queue_cap),
+            framework,
+        }
+    }
+
+    fn job(
+        &self,
+        query: MultiModalQuery,
+        k: usize,
+        ef: usize,
+    ) -> (Ticket<RetrievalOutput>, pool::Job) {
+        let (ticket, sender) = ticket::ticket();
+        let framework = Arc::clone(&self.framework);
+        let job: pool::Job = Box::new(move |scratch| {
+            let sw = mqa_obs::Stopwatch::start();
+            let out = framework.search_scratch(&query, k, ef, scratch);
+            mqa_obs::histogram("engine.query_us").record(sw.elapsed_us());
+            sender.send(out);
+        });
+        (ticket, job)
+    }
+
+    /// Submits a query; blocks while the queue is full (backpressure).
+    ///
+    /// # Errors
+    /// Returns [`EngineError::ShuttingDown`] if the engine closed.
+    pub fn submit(
+        &self,
+        query: MultiModalQuery,
+        k: usize,
+        ef: usize,
+    ) -> Result<Ticket<RetrievalOutput>, EngineError> {
+        let (ticket, job) = self.job(query, k, ef);
+        self.pool.submit(job)?;
+        mqa_obs::counter("engine.submitted").inc();
+        Ok(ticket)
+    }
+
+    /// Non-blocking submit.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::QueueFull`] under backpressure or
+    /// [`EngineError::ShuttingDown`] if the engine closed.
+    pub fn try_submit(
+        &self,
+        query: MultiModalQuery,
+        k: usize,
+        ef: usize,
+    ) -> Result<Ticket<RetrievalOutput>, EngineError> {
+        let (ticket, job) = self.job(query, k, ef);
+        self.pool.try_submit(job)?;
+        mqa_obs::counter("engine.submitted").inc();
+        Ok(ticket)
+    }
+
+    /// Submit-and-wait convenience: one query, answered on a worker.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::ShuttingDown`] if the engine closed, or
+    /// [`EngineError::Canceled`] if the job was abandoned.
+    pub fn retrieve(
+        &self,
+        query: MultiModalQuery,
+        k: usize,
+        ef: usize,
+    ) -> Result<RetrievalOutput, EngineError> {
+        self.submit(query, k, ef)?.wait()
+    }
+
+    /// Answers a whole batch concurrently, preserving input order.
+    ///
+    /// # Errors
+    /// Returns the first submission or wait error encountered.
+    pub fn retrieve_batch(
+        &self,
+        queries: Vec<MultiModalQuery>,
+        k: usize,
+        ef: usize,
+    ) -> Result<Vec<RetrievalOutput>, EngineError> {
+        let tickets: Vec<Ticket<RetrievalOutput>> = queries
+            .into_iter()
+            .map(|q| self.submit(q, k, ef))
+            .collect::<Result<_, _>>()?;
+        tickets.into_iter().map(Ticket::wait).collect()
+    }
+
+    /// The framework the engine serves.
+    pub fn framework(&self) -> &Arc<dyn RetrievalFramework> {
+        &self.framework
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqa_retrieval::FrameworkKind;
+    use mqa_vector::Candidate;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A framework whose answer encodes (k, query text length) — enough to
+    /// verify routing, ordering, and scratch-threading without a corpus.
+    struct Probe {
+        calls: AtomicUsize,
+        delay: std::time::Duration,
+    }
+
+    impl RetrievalFramework for Probe {
+        fn kind(&self) -> FrameworkKind {
+            FrameworkKind::Must
+        }
+
+        fn search(&self, query: &MultiModalQuery, k: usize, ef: usize) -> RetrievalOutput {
+            mqa_graph::with_pooled(|scratch| self.search_scratch(query, k, ef, scratch))
+        }
+
+        fn search_scratch(
+            &self,
+            query: &MultiModalQuery,
+            k: usize,
+            _ef: usize,
+            scratch: &mut mqa_graph::SearchScratch,
+        ) -> RetrievalOutput {
+            scratch.force_epoch(1); // prove the scratch is live
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            if !self.delay.is_zero() {
+                std::thread::sleep(self.delay);
+            }
+            let len = query.text.as_deref().map_or(0, str::len);
+            RetrievalOutput {
+                results: vec![Candidate::new(k as u32, len as f32)],
+                ..Default::default()
+            }
+        }
+
+        fn describe(&self) -> String {
+            "probe".into()
+        }
+    }
+
+    fn probe(delay_ms: u64) -> Arc<Probe> {
+        Arc::new(Probe {
+            calls: AtomicUsize::new(0),
+            delay: std::time::Duration::from_millis(delay_ms),
+        })
+    }
+
+    #[test]
+    fn retrieve_routes_through_framework() {
+        let f = probe(0);
+        let engine = QueryEngine::new(Arc::<Probe>::clone(&f), EngineOptions::with_workers(2));
+        let out = engine
+            .retrieve(MultiModalQuery::text("abc"), 7, 32)
+            .unwrap();
+        assert_eq!(out.ids(), vec![7]);
+        assert_eq!(out.results[0].dist, 3.0);
+        assert_eq!(f.calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn batch_preserves_input_order() {
+        let engine = QueryEngine::new(probe(1), EngineOptions::with_workers(4));
+        let queries: Vec<MultiModalQuery> = (1..=12)
+            .map(|i| MultiModalQuery::text("x".repeat(i)))
+            .collect();
+        let outs = engine.retrieve_batch(queries, 3, 16).unwrap();
+        let lens: Vec<f32> = outs.iter().map(|o| o.results[0].dist).collect();
+        let expect: Vec<f32> = (1..=12).map(|i| i as f32).collect();
+        assert_eq!(lens, expect, "batch answers must keep submission order");
+    }
+
+    #[test]
+    fn try_submit_reports_backpressure() {
+        // One slow worker + capacity-1 queue: after one running and one
+        // queued job, the next try_submit must see QueueFull.
+        let engine = QueryEngine::new(
+            probe(150),
+            EngineOptions {
+                workers: 1,
+                queue_cap: 1,
+            },
+        );
+        let t1 = engine.submit(MultiModalQuery::text("a"), 1, 1).unwrap();
+        let mut saw_full = false;
+        let mut held = Vec::new();
+        for _ in 0..50 {
+            match engine.try_submit(MultiModalQuery::text("b"), 1, 1) {
+                Err(EngineError::QueueFull) => {
+                    saw_full = true;
+                    break;
+                }
+                Ok(t) => held.push(t),
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(saw_full, "a 1-slot queue behind a slow worker must fill");
+        assert!(t1.wait().is_ok());
+        for t in held {
+            assert!(t.wait().is_ok());
+        }
+    }
+
+    #[test]
+    fn shutdown_completes_accepted_work() {
+        let engine = QueryEngine::new(probe(5), EngineOptions::with_workers(2));
+        let tickets: Vec<_> = (0..8)
+            .map(|_| engine.submit(MultiModalQuery::text("q"), 1, 1).unwrap())
+            .collect();
+        drop(engine);
+        for t in tickets {
+            assert!(t.wait().is_ok(), "accepted work must finish on shutdown");
+        }
+    }
+
+    #[test]
+    fn instruments_are_populated() {
+        let engine = QueryEngine::new(probe(0), EngineOptions::with_workers(2));
+        for _ in 0..6 {
+            engine.retrieve(MultiModalQuery::text("q"), 1, 1).unwrap();
+        }
+        assert!(mqa_obs::counter("engine.submitted").get() >= 6);
+        assert!(mqa_obs::histogram("engine.query_us").count() >= 6);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(EngineError::QueueFull.to_string().contains("full"));
+        assert!(EngineError::ShuttingDown
+            .to_string()
+            .contains("shutting down"));
+        assert!(EngineError::Canceled.to_string().contains("canceled"));
+    }
+}

@@ -1,0 +1,136 @@
+//! The fixed worker pool.
+//!
+//! `workers` OS threads, each owning one [`SearchScratch`] for its whole
+//! lifetime — the shared-nothing design: no lock is held while searching,
+//! and the per-query visited set never reallocates in steady state. Jobs
+//! arrive through a [`BoundedQueue`]; dropping the pool closes the queue,
+//! drains the backlog, and joins every thread.
+
+use crate::queue::{BoundedQueue, PushError};
+use crate::EngineError;
+use mqa_graph::SearchScratch;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A unit of work: runs on a worker thread with that worker's scratch.
+pub type Job = Box<dyn FnOnce(&mut SearchScratch) + Send>;
+
+/// The pool. Worker threads live exactly as long as this value.
+pub struct WorkerPool {
+    queue: Arc<BoundedQueue<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads behind a queue of `queue_cap` slots.
+    ///
+    /// # Panics
+    /// Panics if `workers == 0` or `queue_cap == 0`.
+    pub fn new(workers: usize, queue_cap: usize) -> Self {
+        assert!(workers > 0, "a pool needs at least one worker");
+        let queue: Arc<BoundedQueue<Job>> = Arc::new(BoundedQueue::new(queue_cap));
+        let handles = (0..workers)
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                std::thread::spawn(move || {
+                    let jobs = mqa_obs::counter(&format!("engine.worker.{i}.jobs"));
+                    let depth = mqa_obs::gauge("engine.queue_depth");
+                    let mut scratch = SearchScratch::new();
+                    while let Some(job) = queue.pop() {
+                        depth.set(queue.len() as f64);
+                        job(&mut scratch);
+                        jobs.inc();
+                    }
+                })
+            })
+            .collect();
+        Self { queue, handles }
+    }
+
+    /// Blocking submit: applies backpressure while the queue is full.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::ShuttingDown`] if the pool closed.
+    pub fn submit(&self, job: Job) -> Result<(), EngineError> {
+        match self.queue.push(job) {
+            Ok(()) => {
+                mqa_obs::gauge("engine.queue_depth").set(self.queue.len() as f64);
+                Ok(())
+            }
+            Err(PushError::Closed(_)) | Err(PushError::Full(_)) => Err(EngineError::ShuttingDown),
+        }
+    }
+
+    /// Non-blocking submit.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::QueueFull`] under backpressure or
+    /// [`EngineError::ShuttingDown`] if the pool closed.
+    pub fn try_submit(&self, job: Job) -> Result<(), EngineError> {
+        match self.queue.try_push(job) {
+            Ok(()) => {
+                mqa_obs::gauge("engine.queue_depth").set(self.queue.len() as f64);
+                Ok(())
+            }
+            Err(PushError::Full(_)) => Err(EngineError::QueueFull),
+            Err(PushError::Closed(_)) => Err(EngineError::ShuttingDown),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.queue.close();
+        for handle in self.handles.drain(..) {
+            // A worker that panicked already surfaced its ticket as
+            // Canceled; shutdown itself must not cascade the panic.
+            drop(handle.join());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_submitted_job_runs_before_drop_returns() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let pool = WorkerPool::new(3, 8);
+        for _ in 0..20 {
+            let ran = Arc::clone(&ran);
+            pool.submit(Box::new(move |_s| {
+                ran.fetch_add(1, Ordering::SeqCst);
+            }))
+            .unwrap();
+        }
+        drop(pool);
+        assert_eq!(ran.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    fn jobs_see_a_real_scratch() {
+        let saw = Arc::new(AtomicUsize::new(0));
+        let pool = WorkerPool::new(1, 2);
+        let saw2 = Arc::clone(&saw);
+        pool.submit(Box::new(move |s| {
+            s.force_epoch(5);
+            saw2.store(1, Ordering::SeqCst);
+        }))
+        .unwrap();
+        drop(pool);
+        assert_eq!(saw.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn workers_reports_thread_count() {
+        let pool = WorkerPool::new(4, 4);
+        assert_eq!(pool.workers(), 4);
+    }
+}

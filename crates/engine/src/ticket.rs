@@ -1,0 +1,118 @@
+//! One-shot result handles for submitted queries.
+//!
+//! `submit` hands the caller a [`Ticket`]; the worker that runs the job
+//! fulfils it through the paired [`TicketSender`]. If the sender is
+//! dropped unfulfilled — the job panicked, or the pool shut down with the
+//! job still queued — waiting on the ticket reports
+//! [`EngineError::Canceled`] instead of hanging forever.
+
+use crate::EngineError;
+use std::sync::{Arc, Condvar, Mutex};
+
+enum TicketState<T> {
+    Pending,
+    Done(T),
+    Dropped,
+}
+
+type Shared<T> = Arc<(Mutex<TicketState<T>>, Condvar)>;
+
+/// The caller's handle to one in-flight query result.
+pub struct Ticket<T> {
+    shared: Shared<T>,
+}
+
+/// The worker's half: fulfils the ticket exactly once.
+pub(crate) struct TicketSender<T> {
+    shared: Shared<T>,
+    sent: bool,
+}
+
+/// Creates a connected ticket/sender pair.
+pub(crate) fn ticket<T>() -> (Ticket<T>, TicketSender<T>) {
+    let shared: Shared<T> = Arc::new((Mutex::new(TicketState::Pending), Condvar::new()));
+    (
+        Ticket {
+            shared: Arc::clone(&shared),
+        },
+        TicketSender {
+            shared,
+            sent: false,
+        },
+    )
+}
+
+impl<T> Ticket<T> {
+    /// Blocks until the job finishes and returns its result.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::Canceled`] if the job was abandoned before
+    /// producing a result.
+    pub fn wait(self) -> Result<T, EngineError> {
+        let (lock, cv) = &*self.shared;
+        let mut state = lock.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            match std::mem::replace(&mut *state, TicketState::Dropped) {
+                TicketState::Done(value) => return Ok(value),
+                TicketState::Dropped => return Err(EngineError::Canceled),
+                TicketState::Pending => {
+                    *state = TicketState::Pending;
+                    state = cv.wait(state).unwrap_or_else(|p| p.into_inner());
+                }
+            }
+        }
+    }
+}
+
+impl<T> TicketSender<T> {
+    /// Fulfils the ticket and wakes the waiter.
+    pub(crate) fn send(mut self, value: T) {
+        let (lock, cv) = &*self.shared;
+        let mut state = lock.lock().unwrap_or_else(|p| p.into_inner());
+        *state = TicketState::Done(value);
+        self.sent = true;
+        cv.notify_all();
+    }
+}
+
+impl<T> Drop for TicketSender<T> {
+    fn drop(&mut self) {
+        if self.sent {
+            return;
+        }
+        let (lock, cv) = &*self.shared;
+        let mut state = lock.lock().unwrap_or_else(|p| p.into_inner());
+        if matches!(*state, TicketState::Pending) {
+            *state = TicketState::Dropped;
+        }
+        cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_then_wait_delivers() {
+        let (t, s) = ticket();
+        s.send(42u32);
+        assert_eq!(t.wait(), Ok(42));
+    }
+
+    #[test]
+    fn dropped_sender_cancels() {
+        let (t, s) = ticket::<u32>();
+        drop(s);
+        assert_eq!(t.wait(), Err(EngineError::Canceled));
+    }
+
+    #[test]
+    fn wait_blocks_until_send() {
+        let (t, s) = ticket();
+        let waiter = std::thread::spawn(move || t.wait());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        s.send(7u32);
+        assert_eq!(waiter.join().unwrap(), Ok(7));
+    }
+}

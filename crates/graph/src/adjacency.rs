@@ -99,22 +99,23 @@ impl Adjacency {
 
     /// Vertices reachable from `start` (BFS), as a boolean mask.
     pub fn reachable_from(&self, start: VecId) -> Vec<bool> {
-        let mut seen = vec![false; self.lists.len()];
-        if self.lists.is_empty() {
-            return seen;
+        let n = self.lists.len();
+        if n == 0 {
+            return Vec::new();
         }
+        let mut seen = crate::scratch::VisitedSet::new(n);
+        seen.next_epoch();
         let mut queue = std::collections::VecDeque::new();
-        seen[start as usize] = true;
+        seen.insert(start);
         queue.push_back(start);
         while let Some(v) = queue.pop_front() {
             for &u in self.neighbors(v) {
-                if !seen[u as usize] {
-                    seen[u as usize] = true;
+                if seen.insert(u) {
                     queue.push_back(u);
                 }
             }
         }
-        seen
+        (0..n as VecId).map(|v| seen.contains(v)).collect()
     }
 
     /// Number of vertices reachable from `start` (including `start`).

@@ -5,6 +5,7 @@
 //! candidate through [`DistanceFn::eval`] with the running top-k bound — as
 //! the cleanest demonstration of incremental-scanning savings (E8).
 
+use crate::scratch::SearchScratch;
 use crate::search::{SearchOutput, SearchStats};
 use crate::traits::{DistanceFn, GraphSearcher};
 use mqa_vector::{Candidate, TopK, VecId};
@@ -23,7 +24,16 @@ impl FlatSearcher {
 }
 
 impl GraphSearcher for FlatSearcher {
-    fn search(&self, dist: &mut dyn DistanceFn, k: usize, _ef: usize) -> SearchOutput {
+    fn search_with(
+        &self,
+        dist: &mut dyn DistanceFn,
+        k: usize,
+        _ef: usize,
+        _scratch: &mut SearchScratch,
+    ) -> SearchOutput {
+        // The exhaustive scan keeps no visited state; the scratch is
+        // accepted (and ignored) so flat search slots into the same
+        // worker-pool plumbing as the graph indexes.
         assert!(k > 0, "search requires k >= 1");
         let mut stats = SearchStats::default();
         let mut top = TopK::new(k);
@@ -68,7 +78,7 @@ mod tests {
             store.push(&[x]);
         }
         let q = [2.2f32];
-        let mut d = FlatDistance::new(&store, &q, Metric::L2);
+        let mut d = FlatDistance::new(&store, &q, Metric::L2).unwrap();
         let out = FlatSearcher::new(5).search(&mut d, 2, 0);
         assert_eq!(out.ids(), vec![3, 2]); // 2.0 then 3.0
         assert_eq!(out.stats.evals, 5);
@@ -79,7 +89,7 @@ mod tests {
         let mut store = VectorStore::new(1);
         store.push(&[0.0]);
         let q = [1.0f32];
-        let mut d = FlatDistance::new(&store, &q, Metric::L2);
+        let mut d = FlatDistance::new(&store, &q, Metric::L2).unwrap();
         let out = FlatSearcher::new(1).search(&mut d, 5, 0);
         assert_eq!(out.results.len(), 1);
     }

@@ -9,6 +9,7 @@
 //! what makes it selectable from the configuration panel.
 
 use crate::prune::hnsw_heuristic;
+use crate::scratch::{SearchScratch, VisitedSet};
 use crate::search::{SearchOutput, SearchStats};
 use crate::traits::{DistanceFn, FlatDistance, GraphSearcher};
 use crate::validate::InvariantViolation;
@@ -38,50 +39,6 @@ impl Default for HnswParams {
     }
 }
 
-/// Epoch-stamped visited set: O(1) clearing between construction searches.
-struct Visited {
-    stamp: Vec<u32>,
-    epoch: u32,
-}
-
-impl Visited {
-    fn new(n: usize) -> Self {
-        Self {
-            stamp: vec![0; n],
-            epoch: 0,
-        }
-    }
-
-    fn len(&self) -> usize {
-        self.stamp.len()
-    }
-
-    fn grow(&mut self, n: usize) {
-        if n > self.stamp.len() {
-            self.stamp.resize(n, 0);
-        }
-    }
-
-    fn next_epoch(&mut self) {
-        self.epoch += 1;
-        if self.epoch == u32::MAX {
-            self.stamp.fill(0);
-            self.epoch = 1;
-        }
-    }
-
-    #[inline]
-    fn insert(&mut self, v: VecId) -> bool {
-        let s = &mut self.stamp[v as usize];
-        if *s == self.epoch {
-            false
-        } else {
-            *s = self.epoch;
-            true
-        }
-    }
-}
-
 /// A built HNSW index.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Hnsw {
@@ -107,7 +64,7 @@ impl Hnsw {
             max_level: 0,
             params: *params,
         };
-        let mut visited = Visited::new(n);
+        let mut visited = VisitedSet::new(n);
         for _ in 0..n {
             hnsw.insert_next(store, metric, &mut visited);
         }
@@ -122,7 +79,7 @@ impl Hnsw {
     ///
     /// # Panics
     /// Panics if the store holds no vector beyond the indexed population.
-    fn insert_next(&mut self, store: &VectorStore, metric: Metric, visited: &mut Visited) {
+    fn insert_next(&mut self, store: &VectorStore, metric: Metric, visited: &mut VisitedSet) {
         let v = self.links.len() as VecId;
         assert!(
             (v as usize) < store.len(),
@@ -153,7 +110,7 @@ impl Hnsw {
     /// this. Batch building and incremental growth produce identical
     /// indexes (levels derive from `(seed, id)`).
     pub fn extend_from(&mut self, store: &VectorStore, metric: Metric) {
-        let mut visited = Visited::new(store.len());
+        let mut visited = VisitedSet::new(store.len());
         while self.links.len() < store.len() {
             self.insert_next(store, metric, &mut visited);
         }
@@ -165,10 +122,9 @@ impl Hnsw {
         metric: Metric,
         v: VecId,
         level: usize,
-        visited: &mut Visited,
+        visited: &mut VisitedSet,
     ) {
-        let query = store.get(v);
-        let mut dist = FlatDistance::new(store, query, metric);
+        let mut dist = FlatDistance::for_vertex(store, v, metric);
         let mut ep = Candidate::new(self.entry, dist.exact(self.entry));
 
         // Greedy descent through layers above the node's level.
@@ -247,7 +203,7 @@ impl Hnsw {
         entries: &[Candidate],
         level: usize,
         ef: usize,
-        visited: &mut Visited,
+        visited: &mut VisitedSet,
     ) -> Vec<Candidate> {
         visited.next_epoch();
         let mut results = TopK::new(ef);
@@ -304,7 +260,13 @@ impl Hnsw {
 }
 
 impl GraphSearcher for Hnsw {
-    fn search(&self, dist: &mut dyn DistanceFn, k: usize, ef: usize) -> SearchOutput {
+    fn search_with(
+        &self,
+        dist: &mut dyn DistanceFn,
+        k: usize,
+        ef: usize,
+        scratch: &mut SearchScratch,
+    ) -> SearchOutput {
         assert!(k > 0, "search requires k >= 1");
         let ef = ef.max(k);
         let mut stats = SearchStats::default();
@@ -316,11 +278,12 @@ impl GraphSearcher for Hnsw {
             stats.hops += 1;
             let _ = before;
         }
-        // Base layer beam search with a fresh visited set (search is &self).
-        let mut visited = Visited::new(self.links.len());
-        visited.next_epoch();
+        // Base layer beam search on the reusable scratch.
+        scratch.begin(self.links.len());
+        let SearchScratch {
+            visited, frontier, ..
+        } = scratch;
         let mut results = TopK::new(ef);
-        let mut frontier: BinaryHeap<MinCandidate> = BinaryHeap::new();
         visited.insert(ep.id);
         results.offer(ep);
         frontier.push(MinCandidate(ep));
@@ -494,9 +457,10 @@ impl Hnsw {
             // construction would debug-assert on the very defects this
             // audit exists to report). Out-of-range ids are skipped; they
             // are already reported above.
-            let mut seen = vec![false; n];
+            let mut seen = VisitedSet::new(n);
+            seen.next_epoch();
             let mut queue = std::collections::VecDeque::from([self.entry]);
-            seen[self.entry as usize] = true;
+            seen.insert(self.entry);
             let mut reached = 1usize;
             while let Some(v) = queue.pop_front() {
                 for &u in self.links[v as usize]
@@ -504,8 +468,7 @@ impl Hnsw {
                     .map(Vec::as_slice)
                     .unwrap_or(&[])
                 {
-                    if (u as usize) < n && !seen[u as usize] {
-                        seen[u as usize] = true;
+                    if (u as usize) < n && seen.insert(u) {
                         reached += 1;
                         queue.push_back(u);
                     }
@@ -546,7 +509,7 @@ mod tests {
         store.push(&[1.0, 2.0]);
         let h = Hnsw::build(&store, Metric::L2, &HnswParams::default());
         let q = [1.0f32, 2.0];
-        let mut d = FlatDistance::new(&store, &q, Metric::L2);
+        let mut d = FlatDistance::new(&store, &q, Metric::L2).unwrap();
         let out = h.search(&mut d, 1, 10);
         assert_eq!(out.ids(), vec![0]);
     }
@@ -562,9 +525,9 @@ mod tests {
         let queries = 30;
         for _ in 0..queries {
             let q: Vec<f32> = (0..12).map(|_| rng.gen_range(-1.0..1.0)).collect();
-            let mut d1 = FlatDistance::new(&store, &q, Metric::L2);
+            let mut d1 = FlatDistance::new(&store, &q, Metric::L2).unwrap();
             let truth = flat.search(&mut d1, k, 0).ids();
-            let mut d2 = FlatDistance::new(&store, &q, Metric::L2);
+            let mut d2 = FlatDistance::new(&store, &q, Metric::L2).unwrap();
             let got = h.search(&mut d2, k, 80).ids();
             hits += got.iter().filter(|id| truth.contains(id)).count();
         }
@@ -653,20 +616,10 @@ mod tests {
         }
         h.extend_from(&store, Metric::L2);
         for id in 300..350u32 {
-            let mut d = FlatDistance::new(&store, store.get(id), Metric::L2);
+            let mut d = FlatDistance::for_vertex(&store, id, Metric::L2);
             let out = h.search(&mut d, 1, 64);
             assert_eq!(out.results[0].id, id, "new object {id} not found");
         }
-    }
-
-    #[test]
-    fn visited_epoch_reset() {
-        let mut v = Visited::new(3);
-        v.next_epoch();
-        assert!(v.insert(0));
-        assert!(!v.insert(0));
-        v.next_epoch();
-        assert!(v.insert(0));
     }
 
     #[test]

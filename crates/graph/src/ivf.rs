@@ -330,7 +330,15 @@ impl IvfSearcher {
 }
 
 impl GraphSearcher for IvfSearcher {
-    fn search(&self, dist: &mut dyn DistanceFn, k: usize, ef: usize) -> SearchOutput {
+    fn search_with(
+        &self,
+        dist: &mut dyn DistanceFn,
+        k: usize,
+        ef: usize,
+        _scratch: &mut crate::scratch::SearchScratch,
+    ) -> SearchOutput {
+        // Cell probing visits each member exactly once by construction;
+        // no visited set is needed, so the scratch goes unused.
         // Reconstruct the query's cell ranking through the evaluator: rank
         // cells by the distance of their *medoid member* under `dist`.
         // This keeps the DistanceFn abstraction intact (the evaluator owns
@@ -435,7 +443,7 @@ mod tests {
             },
         );
         let q = store.get(5).to_vec();
-        let mut d = FlatDistance::new(&store, &q, Metric::L2);
+        let mut d = FlatDistance::new(&store, &q, Metric::L2).unwrap();
         let out = ivf.search_nprobe(&mut d, &q, 10, 12);
         assert_eq!(out.results[0].id, 5);
         assert_eq!(out.stats.evals, 300);
@@ -452,9 +460,9 @@ mod tests {
             },
         );
         let q = store.get(0).to_vec();
-        let mut d1 = FlatDistance::new(&store, &q, Metric::L2);
+        let mut d1 = FlatDistance::new(&store, &q, Metric::L2).unwrap();
         let narrow = ivf.search_nprobe(&mut d1, &q, 10, 2);
-        let mut d2 = FlatDistance::new(&store, &q, Metric::L2);
+        let mut d2 = FlatDistance::new(&store, &q, Metric::L2).unwrap();
         let wide = ivf.search_nprobe(&mut d2, &q, 10, 24);
         assert!(narrow.stats.evals < wide.stats.evals);
         // the query's own cell is probed first, so the self-match holds
@@ -476,9 +484,9 @@ mod tests {
                 .iter()
                 .map(|x| x + rng.gen_range(-0.1f32..0.1))
                 .collect();
-            let mut d1 = FlatDistance::new(&store, &q, Metric::L2);
+            let mut d1 = FlatDistance::new(&store, &q, Metric::L2).unwrap();
             let truth = flat.search(&mut d1, k, k).ids();
-            let mut d2 = FlatDistance::new(&store, &q, Metric::L2);
+            let mut d2 = FlatDistance::new(&store, &q, Metric::L2).unwrap();
             let got = searcher.search(&mut d2, k, 64).ids();
             hits += got.iter().filter(|id| truth.contains(id)).count();
         }

@@ -45,6 +45,7 @@ pub mod nsg;
 pub mod persist;
 pub mod pipeline;
 pub mod prune;
+pub mod scratch;
 pub mod search;
 pub mod starling;
 pub mod traits;
@@ -56,8 +57,9 @@ pub mod vamana;
 pub use adjacency::Adjacency;
 pub use persist::UnifiedSnapshot;
 pub use pipeline::{BuildReport, BuiltGraph, IndexAlgorithm};
-pub use search::{beam_search, SearchOutput, SearchStats};
-pub use starling::{PageLayout, PagedIndex, PqPagedIndex};
-pub use traits::{DistanceFn, FlatDistance, GraphSearcher, VectorIndex};
+pub use scratch::{with_pooled, SearchScratch, VisitedSet};
+pub use search::{beam_search, beam_search_with, SearchOutput, SearchStats};
+pub use starling::{DeviceProfile, PageLayout, PagedIndex, PqPagedIndex};
+pub use traits::{DistanceFn, FlatDistance, GraphError, GraphSearcher, VectorIndex};
 pub use unified::UnifiedIndex;
 pub use validate::InvariantViolation;

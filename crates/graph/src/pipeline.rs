@@ -33,7 +33,7 @@ use crate::flat::FlatSearcher;
 use crate::hnsw::{Hnsw, HnswParams};
 use crate::knn::{knn_graph, KnnParams};
 use crate::prune::{robust_prune, select_nearest};
-use crate::search::{beam_search, SearchOutput};
+use crate::search::SearchOutput;
 use crate::traits::{DistanceFn, FlatDistance, GraphSearcher};
 use crate::util::medoid;
 use crate::validate::InvariantViolation;
@@ -277,8 +277,14 @@ impl NavGraph {
 }
 
 impl GraphSearcher for NavGraph {
-    fn search(&self, dist: &mut dyn DistanceFn, k: usize, ef: usize) -> SearchOutput {
-        beam_search(&self.graph, &self.entries, dist, k, ef)
+    fn search_with(
+        &self,
+        dist: &mut dyn DistanceFn,
+        k: usize,
+        ef: usize,
+        scratch: &mut crate::scratch::SearchScratch,
+    ) -> SearchOutput {
+        crate::search::beam_search_with(&self.graph, &self.entries, dist, k, ef, scratch)
     }
 
     fn len(&self) -> usize {
@@ -463,15 +469,22 @@ fn run_refine(
 ) -> Adjacency {
     let n = store.len();
     let r = select.degree_bound();
+    // One scratch serves every construction search of the stage.
+    let mut scratch = crate::scratch::SearchScratch::new();
     for _pass in 0..refine.passes {
         for v in 0..n as VecId {
             // Candidate acquisition: search the evolving graph from the
             // entry for the vertex's own vector, keeping the full visited
             // list (path vertices supply long-range candidates).
             let pool = {
-                let mut dist = FlatDistance::new(store, store.get(v), metric);
-                let mut pool =
-                    crate::search::beam_search_collect(&graph, entries, &mut dist, refine.l);
+                let mut dist = FlatDistance::for_vertex(store, v, metric);
+                let mut pool = crate::search::beam_search_collect_with(
+                    &graph,
+                    entries,
+                    &mut dist,
+                    refine.l,
+                    &mut scratch,
+                );
                 // Merge current neighbours so established edges compete.
                 let qv = store.get(v);
                 for &u in graph.neighbors(v) {
@@ -512,14 +525,22 @@ fn run_repair(
         RepairStage::GrowFromEntry => {
             let start = entries[0];
             let mut reachable = graph.reachable_from(start);
+            let mut scratch = crate::scratch::SearchScratch::new();
             for v in 0..graph.len() as VecId {
                 if reachable[v as usize] {
                     continue;
                 }
                 // Route toward v through the reachable component; the
                 // search can only return reachable vertices.
-                let mut dist = FlatDistance::new(store, store.get(v), metric);
-                let out = beam_search(&graph, entries, &mut dist, 1, 16);
+                let mut dist = FlatDistance::for_vertex(store, v, metric);
+                let out = crate::search::beam_search_with(
+                    &graph,
+                    entries,
+                    &mut dist,
+                    1,
+                    16,
+                    &mut scratch,
+                );
                 let u = out.results[0].id;
                 graph.add_edge(u, v);
                 // Everything v reaches is now reachable.
@@ -608,17 +629,18 @@ pub enum BuiltGraph {
 }
 
 impl GraphSearcher for BuiltGraph {
-    fn search(
+    fn search_with(
         &self,
         dist: &mut dyn crate::traits::DistanceFn,
         k: usize,
         ef: usize,
+        scratch: &mut crate::scratch::SearchScratch,
     ) -> crate::search::SearchOutput {
         match self {
-            BuiltGraph::Flat(s) => s.search(dist, k, ef),
-            BuiltGraph::Nav(s) => s.search(dist, k, ef),
-            BuiltGraph::Hnsw(s) => s.search(dist, k, ef),
-            BuiltGraph::Ivf(s) => s.search(dist, k, ef),
+            BuiltGraph::Flat(s) => s.search_with(dist, k, ef, scratch),
+            BuiltGraph::Nav(s) => s.search_with(dist, k, ef, scratch),
+            BuiltGraph::Hnsw(s) => s.search_with(dist, k, ef, scratch),
+            BuiltGraph::Ivf(s) => s.search_with(dist, k, ef, scratch),
         }
     }
 
@@ -804,9 +826,9 @@ mod tests {
         let mut hits = 0usize;
         for _ in 0..queries {
             let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-4.0..4.0)).collect();
-            let mut d1 = FlatDistance::new(store, &q, metric);
+            let mut d1 = FlatDistance::new(store, &q, metric).unwrap();
             let truth = flat.search(&mut d1, k, 0).ids();
-            let mut d2 = FlatDistance::new(store, &q, metric);
+            let mut d2 = FlatDistance::new(store, &q, metric).unwrap();
             let got = searcher.search(&mut d2, k, 64).ids();
             hits += got.iter().filter(|id| truth.contains(id)).count();
         }

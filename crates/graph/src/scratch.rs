@@ -1,0 +1,274 @@
+//! Reusable per-query search state: the allocation-free hot path.
+//!
+//! Every beam search needs a visited set over the whole vertex population,
+//! a frontier heap, and (for construction) an evaluated-candidate pool.
+//! Allocating those per query puts an O(n) `vec![false; n]` on the hot
+//! path; under concurrent serving that allocation traffic dominates. This
+//! module centralizes the state:
+//!
+//! * [`VisitedSet`] — an epoch-stamped `u32` array. "Clearing" is bumping
+//!   the epoch (O(1)); the backing array is only ever zeroed on epoch
+//!   wraparound, once every `u32::MAX - 1` queries.
+//! * [`SearchScratch`] — one visited set for vertices, one for pages
+//!   (Starling), the frontier heap, and the construction candidate pool.
+//! * [`with_pooled`] — a thread-local scratch pool so legacy entry points
+//!   (`search`, `beam_search`) stay allocation-free without threading a
+//!   scratch through every caller.
+//!
+//! Determinism guarantee: a search driven through a reused scratch visits
+//! vertices in exactly the order a fresh allocation would — the epoch trick
+//! changes how "unvisited" is represented, never what it means. The
+//! property tests in `tests/scratch_reuse.rs` pin this bit-for-bit across
+//! every index algorithm, including across an epoch wraparound.
+
+use mqa_vector::{Candidate, MinCandidate, VecId};
+use std::cell::RefCell;
+use std::collections::BinaryHeap;
+
+/// Epoch-stamped visited set: membership is `stamp[v] == epoch`, so
+/// resetting between queries is one epoch increment instead of an O(n)
+/// clear or a fresh allocation.
+#[derive(Debug, Clone)]
+pub struct VisitedSet {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl VisitedSet {
+    /// An empty set over a population of `n` vertices. Call
+    /// [`VisitedSet::next_epoch`] before first use.
+    pub fn new(n: usize) -> Self {
+        Self {
+            stamp: vec![0; n],
+            epoch: 0,
+        }
+    }
+
+    /// Population capacity (not the number of visited vertices).
+    pub fn len(&self) -> usize {
+        self.stamp.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.stamp.is_empty()
+    }
+
+    /// Grows the population to at least `n` vertices.
+    pub fn grow(&mut self, n: usize) {
+        if n > self.stamp.len() {
+            self.stamp.resize(n, 0);
+        }
+    }
+
+    /// Starts a new query: everything becomes unvisited in O(1). On epoch
+    /// wraparound the backing array is re-zeroed — the one O(n) cost,
+    /// amortized over ~4 billion queries.
+    pub fn next_epoch(&mut self) {
+        self.epoch += 1;
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Marks `v` visited; returns whether it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, v: VecId) -> bool {
+        let s = &mut self.stamp[v as usize];
+        if *s == self.epoch {
+            false
+        } else {
+            *s = self.epoch;
+            true
+        }
+    }
+
+    /// Whether `v` is visited in the current epoch.
+    #[inline]
+    pub fn contains(&self, v: VecId) -> bool {
+        self.stamp[v as usize] == self.epoch
+    }
+
+    /// Current epoch (diagnostic / test hook).
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Jumps the epoch counter to `epoch`, stamping nothing. Test hook for
+    /// exercising wraparound (`force_epoch(u32::MAX - 2)` puts the next
+    /// few queries across the wrap) without running 4 billion searches.
+    pub fn force_epoch(&mut self, epoch: u32) {
+        self.epoch = epoch;
+    }
+}
+
+/// All per-query mutable state of a beam search, reusable across queries
+/// and owned by exactly one thread at a time (workers own theirs; the
+/// thread-local pool backs everyone else).
+#[derive(Debug)]
+pub struct SearchScratch {
+    /// Visited vertices of the current walk.
+    pub(crate) visited: VisitedSet,
+    /// Pages read by the current query (Starling's I/O accounting).
+    pub(crate) pages: VisitedSet,
+    /// The frontier min-heap.
+    pub(crate) frontier: BinaryHeap<MinCandidate>,
+    /// Every candidate evaluated (construction's selection pool).
+    pub(crate) evaluated: Vec<Candidate>,
+}
+
+impl SearchScratch {
+    /// Fresh scratch with empty buffers; grows lazily to the population
+    /// it is first used on.
+    pub fn new() -> Self {
+        Self {
+            visited: VisitedSet::new(0),
+            pages: VisitedSet::new(0),
+            frontier: BinaryHeap::new(),
+            evaluated: Vec::new(),
+        }
+    }
+
+    /// Prepares for one query over `n` vertices: visited set cleared (by
+    /// epoch bump), frontier and pool emptied. Buffer capacity is kept.
+    pub(crate) fn begin(&mut self, n: usize) {
+        self.visited.grow(n);
+        self.visited.next_epoch();
+        self.frontier.clear();
+        self.evaluated.clear();
+    }
+
+    /// Prepares the page-visited set for one query over `pages` pages.
+    pub(crate) fn begin_pages(&mut self, pages: usize) {
+        self.pages.grow(pages);
+        self.pages.next_epoch();
+    }
+
+    /// Jumps both epoch counters to `epoch` — test hook for pinning that
+    /// searches spanning an epoch wraparound stay bit-identical.
+    pub fn force_epoch(&mut self, epoch: u32) {
+        self.visited.force_epoch(epoch);
+        self.pages.force_epoch(epoch);
+    }
+}
+
+impl Default for SearchScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+thread_local! {
+    /// One pooled scratch per thread, handed out by [`with_pooled`]. The
+    /// slot is *taken* (not borrowed) for the duration of the closure, so
+    /// reentrant searches — a searcher calling another searcher — fall
+    /// back to a fresh scratch instead of aborting on a double borrow.
+    static POOL: RefCell<Option<Box<SearchScratch>>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with this thread's pooled [`SearchScratch`], allocating one
+/// only on the first (or a reentrant) use. Steady-state searches through
+/// the legacy `search`/`beam_search` entry points therefore perform zero
+/// O(n) allocations.
+pub fn with_pooled<R>(f: impl FnOnce(&mut SearchScratch) -> R) -> R {
+    let taken = POOL.with(|p| p.borrow_mut().take());
+    let mut scratch = match taken {
+        Some(s) => {
+            mqa_obs::counter("graph.scratch.reuses").inc();
+            s
+        }
+        None => {
+            mqa_obs::counter("graph.scratch.allocs").inc();
+            Box::new(SearchScratch::new())
+        }
+    };
+    let out = f(&mut scratch);
+    POOL.with(|p| {
+        let mut slot = p.borrow_mut();
+        if slot.is_none() {
+            *slot = Some(scratch);
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn visited_epoch_reset() {
+        let mut v = VisitedSet::new(3);
+        v.next_epoch();
+        assert!(v.insert(0));
+        assert!(!v.insert(0));
+        assert!(v.contains(0));
+        assert!(!v.contains(1));
+        v.next_epoch();
+        assert!(!v.contains(0));
+        assert!(v.insert(0));
+    }
+
+    #[test]
+    fn epoch_wraparound_rezeroes() {
+        let mut v = VisitedSet::new(4);
+        v.force_epoch(u32::MAX - 1);
+        assert!(v.insert(2));
+        // The next epoch is u32::MAX, which triggers the re-zero + reset
+        // to 1; the stale MAX-1 stamp at vertex 2 must not read as
+        // visited.
+        v.next_epoch();
+        assert_eq!(v.epoch(), 1);
+        assert!(!v.contains(2));
+        assert!(v.insert(2));
+        assert!(!v.insert(2));
+    }
+
+    #[test]
+    fn grow_preserves_membership() {
+        let mut v = VisitedSet::new(2);
+        v.next_epoch();
+        assert!(v.insert(1));
+        v.grow(5);
+        assert_eq!(v.len(), 5);
+        assert!(v.contains(1));
+        assert!(v.insert(4));
+    }
+
+    #[test]
+    fn with_pooled_reuses_across_calls() {
+        let allocs = mqa_obs::counter("graph.scratch.allocs");
+        let reuses = mqa_obs::counter("graph.scratch.reuses");
+        let before_allocs = allocs.get();
+        let before_reuses = reuses.get();
+        with_pooled(|s| s.begin(10));
+        with_pooled(|s| {
+            s.begin(10);
+            assert!(s.visited.epoch() >= 2, "pooled scratch kept its epochs");
+        });
+        assert!(allocs.get() >= before_allocs);
+        assert!(
+            reuses.get() > before_reuses,
+            "second call must reuse the pooled scratch"
+        );
+    }
+
+    #[test]
+    fn with_pooled_survives_reentrancy() {
+        let out = with_pooled(|outer| {
+            outer.begin(4);
+            outer.visited.insert(3);
+            // A nested search takes a *fresh* scratch; the outer one keeps
+            // its state untouched.
+            let inner = with_pooled(|inner| {
+                inner.begin(4);
+                inner.visited.insert(1);
+                inner.visited.contains(3)
+            });
+            assert!(!inner, "inner scratch must not see outer state");
+            outer.visited.contains(3)
+        });
+        assert!(out);
+    }
+}

@@ -8,11 +8,17 @@
 //! multi-modal evaluations can abandon early (incremental scanning); a
 //! candidate whose evaluation is abandoned is provably outside the beam and
 //! is dropped — the exact same decision a full evaluation would reach.
+//!
+//! Both public entry points — the pruning query search and the
+//! exact-collecting construction search — are instances of one frontier
+//! walk ([`WalkMode`] selects the evaluation policy), and both run on a
+//! caller-supplied [`SearchScratch`] so the steady state performs no O(n)
+//! allocation; the `*_with`-less wrappers borrow a thread-pooled scratch.
 
 use crate::adjacency::Adjacency;
+use crate::scratch::SearchScratch;
 use crate::traits::DistanceFn;
 use mqa_vector::{Candidate, MinCandidate, TopK, VecId};
-use std::collections::BinaryHeap;
 
 /// Work counters of one search.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -79,37 +85,49 @@ impl SearchOutput {
     }
 }
 
-/// Beam search over `graph` from `entries`, returning the `k` best
-/// candidates using beam width `ef` (clamped to at least `k`).
-///
-/// # Panics
-/// Panics if `entries` is empty or `k == 0`.
-pub fn beam_search(
+/// Evaluation policy of the shared frontier walk.
+enum WalkMode {
+    /// Query mode: evaluate against the running bound so fused scans can
+    /// abandon early; abandoned candidates are counted as pruned.
+    Prune,
+    /// Construction mode: every touched vertex gets an exact distance and
+    /// lands in the scratch's evaluated pool (NSG/Vamana's "visited list"
+    /// supplies long-range edge candidates).
+    CollectExact,
+}
+
+/// The one frontier loop behind both public searches. Runs entirely on
+/// `scratch`; results are the top-`ef` beam, work lands in `stats`, and in
+/// [`WalkMode::CollectExact`] every evaluated candidate is appended to
+/// `scratch.evaluated`.
+fn frontier_walk(
     graph: &Adjacency,
     entries: &[VecId],
     dist: &mut dyn DistanceFn,
-    k: usize,
     ef: usize,
-) -> SearchOutput {
-    assert!(
-        !entries.is_empty(),
-        "beam search requires at least one entry vertex"
-    );
-    assert!(k > 0, "beam search requires k >= 1");
-    let ef = ef.max(k);
-    let mut stats = SearchStats::default();
-    let mut visited = vec![false; graph.len()];
+    mode: WalkMode,
+    scratch: &mut SearchScratch,
+    stats: &mut SearchStats,
+) -> TopK {
+    scratch.begin(graph.len());
+    let SearchScratch {
+        visited,
+        frontier,
+        evaluated,
+        ..
+    } = scratch;
     let mut results = TopK::new(ef);
-    let mut frontier: BinaryHeap<MinCandidate> = BinaryHeap::new();
 
     for &e in entries {
-        if visited[e as usize] {
+        if !visited.insert(e) {
             continue;
         }
-        visited[e as usize] = true;
         let d = dist.exact(e);
         stats.evals += 1;
         let c = Candidate::new(e, d);
+        if matches!(mode, WalkMode::CollectExact) {
+            evaluated.push(c);
+        }
         results.offer(c);
         frontier.push(MinCandidate(c));
     }
@@ -120,26 +138,69 @@ pub fn beam_search(
         }
         stats.hops += 1;
         for &nb in graph.neighbors(current.id) {
-            if visited[nb as usize] {
+            if !visited.insert(nb) {
                 continue;
             }
-            visited[nb as usize] = true;
-            match dist.eval(nb, results.bound()) {
-                Some(d) => {
+            match mode {
+                WalkMode::Prune => match dist.eval(nb, results.bound()) {
+                    Some(d) => {
+                        stats.evals += 1;
+                        let c = Candidate::new(nb, d);
+                        if results.offer(c) {
+                            frontier.push(MinCandidate(c));
+                        }
+                    }
+                    None => {
+                        // Abandoned: distance >= bound, cannot enter the beam.
+                        stats.pruned += 1;
+                    }
+                },
+                WalkMode::CollectExact => {
+                    // Construction needs exact distances for the pool, so
+                    // no early abandonment here.
+                    let c = Candidate::new(nb, dist.exact(nb));
                     stats.evals += 1;
-                    let c = Candidate::new(nb, d);
+                    evaluated.push(c);
                     if results.offer(c) {
                         frontier.push(MinCandidate(c));
                     }
                 }
-                None => {
-                    // Abandoned: distance >= bound, cannot enter the beam.
-                    stats.pruned += 1;
-                }
             }
         }
     }
+    results
+}
 
+/// Beam search over `graph` from `entries` on a caller-supplied scratch,
+/// returning the `k` best candidates using beam width `ef` (clamped to at
+/// least `k`).
+///
+/// # Panics
+/// Panics if `entries` is empty or `k == 0`.
+pub fn beam_search_with(
+    graph: &Adjacency,
+    entries: &[VecId],
+    dist: &mut dyn DistanceFn,
+    k: usize,
+    ef: usize,
+    scratch: &mut SearchScratch,
+) -> SearchOutput {
+    assert!(
+        !entries.is_empty(),
+        "beam search requires at least one entry vertex"
+    );
+    assert!(k > 0, "beam search requires k >= 1");
+    let ef = ef.max(k);
+    let mut stats = SearchStats::default();
+    let results = frontier_walk(
+        graph,
+        entries,
+        dist,
+        ef,
+        WalkMode::Prune,
+        scratch,
+        &mut stats,
+    );
     let mut out: Vec<Candidate> = results.into_sorted();
     out.truncate(k);
     SearchOutput {
@@ -148,57 +209,69 @@ pub fn beam_search(
     }
 }
 
+/// Beam search on the calling thread's pooled scratch — identical results
+/// to [`beam_search_with`], no scratch to thread through.
+///
+/// # Panics
+/// Panics if `entries` is empty or `k == 0`.
+pub fn beam_search(
+    graph: &Adjacency,
+    entries: &[VecId],
+    dist: &mut dyn DistanceFn,
+    k: usize,
+    ef: usize,
+) -> SearchOutput {
+    crate::scratch::with_pooled(|scratch| beam_search_with(graph, entries, dist, k, ef, scratch))
+}
+
 /// Beam search that also returns **every candidate evaluated** along the
-/// way (the "visited list" of the NSG/Vamana papers). Construction uses
-/// this pool for neighbour selection: path vertices crossed en route give
-/// each vertex long-range edge candidates that the final top-`ef` alone
-/// would not contain — without them, tightly clustered data yields graphs
-/// whose clusters are mutually unreachable in practice.
-pub fn beam_search_collect(
+/// way (the "visited list" of the NSG/Vamana papers), on a caller-supplied
+/// scratch. Construction uses this pool for neighbour selection: path
+/// vertices crossed en route give each vertex long-range edge candidates
+/// that the final top-`ef` alone would not contain — without them, tightly
+/// clustered data yields graphs whose clusters are mutually unreachable in
+/// practice.
+///
+/// # Panics
+/// Panics if `entries` is empty or `ef == 0`.
+pub fn beam_search_collect_with(
     graph: &Adjacency,
     entries: &[VecId],
     dist: &mut dyn DistanceFn,
     ef: usize,
+    scratch: &mut SearchScratch,
 ) -> Vec<Candidate> {
     assert!(
         !entries.is_empty(),
         "beam search requires at least one entry vertex"
     );
     assert!(ef > 0, "beam search requires ef >= 1");
-    let mut visited = vec![false; graph.len()];
-    let mut results = TopK::new(ef);
-    let mut frontier: BinaryHeap<MinCandidate> = BinaryHeap::new();
-    let mut evaluated: Vec<Candidate> = Vec::with_capacity(ef * 4);
+    let mut stats = SearchStats::default();
+    let _ = frontier_walk(
+        graph,
+        entries,
+        dist,
+        ef,
+        WalkMode::CollectExact,
+        scratch,
+        &mut stats,
+    );
+    std::mem::take(&mut scratch.evaluated)
+}
 
-    for &e in entries {
-        if visited[e as usize] {
-            continue;
-        }
-        visited[e as usize] = true;
-        let c = Candidate::new(e, dist.exact(e));
-        evaluated.push(c);
-        results.offer(c);
-        frontier.push(MinCandidate(c));
-    }
-    while let Some(MinCandidate(current)) = frontier.pop() {
-        if current.dist > results.bound() {
-            break;
-        }
-        for &nb in graph.neighbors(current.id) {
-            if visited[nb as usize] {
-                continue;
-            }
-            visited[nb as usize] = true;
-            // Construction needs exact distances for the pool, so no
-            // early abandonment here.
-            let c = Candidate::new(nb, dist.exact(nb));
-            evaluated.push(c);
-            if results.offer(c) {
-                frontier.push(MinCandidate(c));
-            }
-        }
-    }
-    evaluated
+/// [`beam_search_collect_with`] on the calling thread's pooled scratch.
+///
+/// # Panics
+/// Panics if `entries` is empty or `ef == 0`.
+pub fn beam_search_collect(
+    graph: &Adjacency,
+    entries: &[VecId],
+    dist: &mut dyn DistanceFn,
+    ef: usize,
+) -> Vec<Candidate> {
+    crate::scratch::with_pooled(|scratch| {
+        beam_search_collect_with(graph, entries, dist, ef, scratch)
+    })
 }
 
 #[cfg(test)]
@@ -227,11 +300,15 @@ mod tests {
         (store, g)
     }
 
+    fn dist_to<'a>(store: &'a VectorStore, q: &'a [f32]) -> FlatDistance<'a> {
+        FlatDistance::new(store, q, Metric::L2).expect("test query dims match")
+    }
+
     #[test]
     fn finds_nearest_on_chain() {
         let (store, g) = chain(50);
         let q = [31.4f32];
-        let mut d = FlatDistance::new(&store, &q, Metric::L2);
+        let mut d = dist_to(&store, &q);
         let out = beam_search(&g, &[0], &mut d, 3, 10);
         assert_eq!(out.ids(), vec![31, 32, 30]);
     }
@@ -240,7 +317,7 @@ mod tests {
     fn results_sorted_ascending() {
         let (store, g) = chain(30);
         let q = [12.0f32];
-        let mut d = FlatDistance::new(&store, &q, Metric::L2);
+        let mut d = dist_to(&store, &q);
         let out = beam_search(&g, &[29], &mut d, 5, 8);
         for w in out.results.windows(2) {
             assert!(w[0].dist <= w[1].dist);
@@ -252,7 +329,7 @@ mod tests {
     fn k_larger_than_population() {
         let (store, g) = chain(4);
         let q = [0.0f32];
-        let mut d = FlatDistance::new(&store, &q, Metric::L2);
+        let mut d = dist_to(&store, &q);
         let out = beam_search(&g, &[3], &mut d, 10, 10);
         assert_eq!(out.results.len(), 4);
     }
@@ -261,7 +338,7 @@ mod tests {
     fn multiple_entries_deduplicated() {
         let (store, g) = chain(10);
         let q = [5.0f32];
-        let mut d = FlatDistance::new(&store, &q, Metric::L2);
+        let mut d = dist_to(&store, &q);
         let out = beam_search(&g, &[0, 0, 9], &mut d, 1, 4);
         assert_eq!(out.results[0].id, 5);
     }
@@ -274,7 +351,7 @@ mod tests {
         }
         let g = Adjacency::new(3); // no edges
         let q = [2.0f32];
-        let mut d = FlatDistance::new(&store, &q, Metric::L2);
+        let mut d = dist_to(&store, &q);
         let out = beam_search(&g, &[0], &mut d, 2, 4);
         assert_eq!(out.ids(), vec![0]);
     }
@@ -283,7 +360,7 @@ mod tests {
     fn stats_count_work() {
         let (store, g) = chain(20);
         let q = [10.0f32];
-        let mut d = FlatDistance::new(&store, &q, Metric::L2);
+        let mut d = dist_to(&store, &q);
         let out = beam_search(&g, &[0], &mut d, 1, 2);
         assert!(out.stats.evals > 0);
         assert!(out.stats.hops > 0);
@@ -295,7 +372,7 @@ mod tests {
     fn empty_entries_panics() {
         let (store, g) = chain(3);
         let q = [0.0f32];
-        let mut d = FlatDistance::new(&store, &q, Metric::L2);
+        let mut d = dist_to(&store, &q);
         beam_search(&g, &[], &mut d, 1, 1);
     }
 
@@ -305,11 +382,51 @@ mod tests {
         // result set; at minimum it never shrinks the evaluation count.
         let (store, g) = chain(100);
         let q = [99.0f32];
-        let mut d1 = FlatDistance::new(&store, &q, Metric::L2);
+        let mut d1 = dist_to(&store, &q);
         let narrow = beam_search(&g, &[0], &mut d1, 1, 1);
-        let mut d2 = FlatDistance::new(&store, &q, Metric::L2);
+        let mut d2 = dist_to(&store, &q);
         let wide = beam_search(&g, &[0], &mut d2, 1, 16);
         assert!(wide.stats.evals >= narrow.stats.evals);
         assert_eq!(wide.results[0].id, 99);
+    }
+
+    /// Pins the exact output of `beam_search_collect` after the dedup into
+    /// the shared frontier walk: the walk from vertex 0 toward 5.0 on a
+    /// chain of 10 with ef = 3 touches exactly vertices 0..=7 in id order
+    /// (the beam dies two steps past the optimum), each with its exact
+    /// squared distance. Computed by hand against the pre-refactor loop.
+    #[test]
+    fn collect_pins_evaluated_pool() {
+        let (store, g) = chain(10);
+        let q = [5.0f32];
+        let mut d = dist_to(&store, &q);
+        let pool = beam_search_collect(&g, &[0], &mut d, 3);
+        let ids: Vec<VecId> = pool.iter().map(|c| c.id).collect();
+        let dists: Vec<f32> = pool.iter().map(|c| c.dist).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(dists, vec![25.0, 16.0, 9.0, 4.0, 1.0, 0.0, 1.0, 4.0]);
+    }
+
+    /// Both entry points must be bit-identical to their `_with` variants
+    /// on a reused scratch (the dedup satellite's pin).
+    #[test]
+    fn entry_points_match_scratch_variants() {
+        let (store, g) = chain(64);
+        let mut scratch = SearchScratch::new();
+        for q in [3.3f32, 41.0, 63.0, 0.2] {
+            let query = [q];
+            let mut d1 = dist_to(&store, &query);
+            let pooled = beam_search(&g, &[0, 63], &mut d1, 4, 12);
+            let mut d2 = dist_to(&store, &query);
+            let scratched = beam_search_with(&g, &[0, 63], &mut d2, 4, 12, &mut scratch);
+            assert_eq!(pooled.results, scratched.results);
+            assert_eq!(pooled.stats, scratched.stats);
+
+            let mut d3 = dist_to(&store, &query);
+            let pool_a = beam_search_collect(&g, &[0], &mut d3, 6);
+            let mut d4 = dist_to(&store, &query);
+            let pool_b = beam_search_collect_with(&g, &[0], &mut d4, 6, &mut scratch);
+            assert_eq!(pool_a, pool_b);
+        }
     }
 }

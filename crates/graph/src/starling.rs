@@ -16,11 +16,30 @@
 //! optimizes; only the physical SSD is replaced by counters.
 
 use crate::adjacency::Adjacency;
+use crate::scratch::{SearchScratch, VisitedSet};
 use crate::search::{SearchOutput, SearchStats};
 use crate::traits::{DistanceFn, GraphSearcher};
 use mqa_vector::{Candidate, MinCandidate, TopK, VecId};
 use serde::{Deserialize, Serialize};
-use std::collections::BinaryHeap;
+use std::time::Duration;
+
+/// Timing profile of the simulated block device. The default profile is
+/// free (pure counters, exactly the pre-existing behaviour); a non-zero
+/// [`DeviceProfile::read_latency`] charges wall-clock time per distinct
+/// page read, which is what makes paged search I/O-bound — and what the
+/// concurrent engine overlaps across workers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceProfile {
+    /// Latency charged (slept) per distinct 4 KiB page read.
+    pub read_latency: Duration,
+}
+
+impl DeviceProfile {
+    /// A device profile with the given per-page read latency.
+    pub fn with_read_latency(read_latency: Duration) -> Self {
+        Self { read_latency }
+    }
+}
 
 /// How vertices are assigned to pages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -59,19 +78,18 @@ impl PageLayout {
             LayoutStrategy::InsertionOrder => (0..n as VecId).collect(),
             LayoutStrategy::BfsCluster => {
                 let mut order = Vec::with_capacity(n);
-                let mut seen = vec![false; n];
+                let mut seen = VisitedSet::new(n);
+                seen.next_epoch();
                 for start in 0..n as VecId {
-                    if seen[start as usize] {
+                    if !seen.insert(start) {
                         continue;
                     }
                     let mut queue = std::collections::VecDeque::new();
-                    seen[start as usize] = true;
                     queue.push_back(start);
                     while let Some(v) = queue.pop_front() {
                         order.push(v);
                         for &u in graph.neighbors(v) {
-                            if !seen[u as usize] {
-                                seen[u as usize] = true;
+                            if seen.insert(u) {
                                 queue.push_back(u);
                             }
                         }
@@ -128,6 +146,7 @@ pub struct PagedIndex {
     graph: Adjacency,
     entries: Vec<VecId>,
     layout: PageLayout,
+    device: DeviceProfile,
 }
 
 impl PagedIndex {
@@ -146,7 +165,21 @@ impl PagedIndex {
             graph,
             entries,
             layout,
+            device: DeviceProfile::default(),
         }
+    }
+
+    /// Attaches a timing profile to the simulated device; every distinct
+    /// page read then costs [`DeviceProfile::read_latency`] of wall-clock
+    /// time on the searching thread.
+    pub fn with_device(mut self, device: DeviceProfile) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// The device timing profile in use.
+    pub fn device(&self) -> DeviceProfile {
+        self.device
     }
 
     /// The layout in use.
@@ -159,31 +192,52 @@ impl PagedIndex {
         &self.graph
     }
 
+    /// Reads the page of `v` unless already resident this query: counts
+    /// the read and charges the device latency.
+    fn read_page(&self, v: VecId, pages: &mut VisitedSet, stats: &mut SearchStats) {
+        if pages.insert(self.layout.page(v)) {
+            stats.pages_read += 1;
+            if !self.device.read_latency.is_zero() {
+                std::thread::sleep(self.device.read_latency);
+            }
+        }
+    }
+
     /// Beam search that counts page reads: touching a vertex whose page has
     /// not been read this query costs one read; page residents are then
     /// free. Returns results plus stats with `pages_read` populated.
     pub fn search_paged(&self, dist: &mut dyn DistanceFn, k: usize, ef: usize) -> SearchOutput {
+        crate::scratch::with_pooled(|scratch| self.search_paged_with(dist, k, ef, scratch))
+    }
+
+    /// [`PagedIndex::search_paged`] on a caller-supplied scratch: both the
+    /// vertex-visited set and the per-query page cache live there, so the
+    /// steady state allocates nothing.
+    pub fn search_paged_with(
+        &self,
+        dist: &mut dyn DistanceFn,
+        k: usize,
+        ef: usize,
+        scratch: &mut SearchScratch,
+    ) -> SearchOutput {
         assert!(k > 0, "search requires k >= 1");
         let sw = mqa_obs::Stopwatch::start();
         let ef = ef.max(k);
         let mut stats = SearchStats::default();
-        let mut visited = vec![false; self.graph.len()];
-        let mut page_in = vec![false; self.layout.pages()];
-        let touch = |v: VecId, page_in: &mut Vec<bool>, stats: &mut SearchStats| {
-            let p = self.layout.page(v) as usize;
-            if !page_in[p] {
-                page_in[p] = true;
-                stats.pages_read += 1;
-            }
-        };
+        scratch.begin(self.graph.len());
+        scratch.begin_pages(self.layout.pages());
+        let SearchScratch {
+            visited,
+            pages,
+            frontier,
+            ..
+        } = scratch;
         let mut results = TopK::new(ef);
-        let mut frontier: BinaryHeap<MinCandidate> = BinaryHeap::new();
         for &e in &self.entries {
-            if visited[e as usize] {
+            if !visited.insert(e) {
                 continue;
             }
-            visited[e as usize] = true;
-            touch(e, &mut page_in, &mut stats);
+            self.read_page(e, pages, &mut stats);
             let d = dist.exact(e);
             stats.evals += 1;
             let c = Candidate::new(e, d);
@@ -196,11 +250,10 @@ impl PagedIndex {
             }
             stats.hops += 1;
             for &nb in self.graph.neighbors(current.id) {
-                if visited[nb as usize] {
+                if !visited.insert(nb) {
                     continue;
                 }
-                visited[nb as usize] = true;
-                touch(nb, &mut page_in, &mut stats);
+                self.read_page(nb, pages, &mut stats);
                 match dist.eval(nb, results.bound()) {
                     Some(d) => {
                         stats.evals += 1;
@@ -320,6 +373,20 @@ impl PqPagedIndex {
         k: usize,
         ef: usize,
     ) -> SearchOutput {
+        crate::scratch::with_pooled(|scratch| {
+            self.search_two_phase_with(query, store, k, ef, scratch)
+        })
+    }
+
+    /// [`PqPagedIndex::search_two_phase`] on a caller-supplied scratch.
+    pub fn search_two_phase_with(
+        &self,
+        query: &[f32],
+        store: &mqa_vector::VectorStore,
+        k: usize,
+        ef: usize,
+        scratch: &mut SearchScratch,
+    ) -> SearchOutput {
         assert!(k > 0, "search requires k >= 1");
         let ef = ef.max(k);
         // Phase 1: route on codes.
@@ -327,16 +394,21 @@ impl PqPagedIndex {
             table: self.codebook.table(query),
             codes: &self.codes,
         };
-        let phase1 = crate::search::beam_search(&self.graph, &self.entries, &mut pq_dist, ef, ef);
+        let phase1 = crate::search::beam_search_with(
+            &self.graph,
+            &self.entries,
+            &mut pq_dist,
+            ef,
+            ef,
+            scratch,
+        );
         let mut stats = phase1.stats;
 
         // Phase 2: read survivors' pages, rerank exactly.
-        let mut page_in = vec![false; self.layout.pages()];
+        scratch.begin_pages(self.layout.pages());
         let mut top = TopK::new(k);
         for c in &phase1.results {
-            let p = self.layout.page(c.id) as usize;
-            if !page_in[p] {
-                page_in[p] = true;
+            if scratch.pages.insert(self.layout.page(c.id)) {
                 stats.pages_read += 1;
             }
             let exact = mqa_vector::Metric::L2.distance(query, store.get(c.id));
@@ -351,8 +423,14 @@ impl PqPagedIndex {
 }
 
 impl GraphSearcher for PagedIndex {
-    fn search(&self, dist: &mut dyn DistanceFn, k: usize, ef: usize) -> SearchOutput {
-        self.search_paged(dist, k, ef)
+    fn search_with(
+        &self,
+        dist: &mut dyn DistanceFn,
+        k: usize,
+        ef: usize,
+        scratch: &mut SearchScratch,
+    ) -> SearchOutput {
+        self.search_paged_with(dist, k, ef, scratch)
     }
 
     fn len(&self) -> usize {
@@ -426,9 +504,9 @@ mod tests {
         let layout = PageLayout::build(nav.graph(), 4, LayoutStrategy::BfsCluster);
         let paged = PagedIndex::new(nav.graph().clone(), nav.entries().to_vec(), layout);
         let q: Vec<f32> = vec![0.1; 8];
-        let mut d1 = FlatDistance::new(&s, &q, Metric::L2);
+        let mut d1 = FlatDistance::new(&s, &q, Metric::L2).unwrap();
         let plain = nav.search(&mut d1, 5, 32);
-        let mut d2 = FlatDistance::new(&s, &q, Metric::L2);
+        let mut d2 = FlatDistance::new(&s, &q, Metric::L2).unwrap();
         let paged_out = paged.search_paged(&mut d2, 5, 32);
         assert_eq!(plain.ids(), paged_out.ids());
         assert!(paged_out.stats.pages_read > 0);
@@ -456,9 +534,9 @@ mod tests {
         let mut clustered_reads = 0u64;
         for _ in 0..20 {
             let q: Vec<f32> = (0..16).map(|_| rng.gen_range(-1.0..1.0)).collect();
-            let mut d1 = FlatDistance::new(&s, &q, Metric::L2);
+            let mut d1 = FlatDistance::new(&s, &q, Metric::L2).unwrap();
             naive_reads += naive.search_paged(&mut d1, 10, 48).stats.pages_read;
-            let mut d2 = FlatDistance::new(&s, &q, Metric::L2);
+            let mut d2 = FlatDistance::new(&s, &q, Metric::L2).unwrap();
             clustered_reads += clustered.search_paged(&mut d2, 10, 48).stats.pages_read;
         }
         assert!(
@@ -503,7 +581,7 @@ mod tests {
                 .iter()
                 .map(|x| x + rng.gen_range(-0.05f32..0.05))
                 .collect();
-            let mut d = FlatDistance::new(&s, &q, Metric::L2);
+            let mut d = FlatDistance::new(&s, &q, Metric::L2).unwrap();
             let exact = one_phase.search_paged(&mut d, k, 48);
             reads_1p += exact.stats.pages_read;
             let approx = two_phase.search_two_phase(&q, &s, k, 48);

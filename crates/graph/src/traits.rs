@@ -2,10 +2,37 @@
 //! user-facing [`VectorIndex`] facade.
 
 use crate::pipeline::IndexAlgorithm;
+use crate::scratch::SearchScratch;
 use crate::search::SearchOutput;
 use mqa_vector::{Metric, VecId, VectorStore};
+use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Typed errors of the query path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphError {
+    /// The query's dimensionality differs from the store's.
+    DimensionMismatch {
+        /// Dimensions the query carries.
+        query: usize,
+        /// Dimensions the store expects.
+        store: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::DimensionMismatch { query, store } => write!(
+                f,
+                "query dimension mismatch: query has {query} dims, store expects {store}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
 
 /// Evaluates distances from an implicit query to stored vectors by id,
 /// optionally abandoning early against a pruning bound.
@@ -40,13 +67,34 @@ pub struct FlatDistance<'a> {
 impl<'a> FlatDistance<'a> {
     /// Creates the evaluator.
     ///
-    /// # Panics
-    /// Panics if the query dimension does not match the store.
-    pub fn new(store: &'a VectorStore, query: &'a [f32], metric: Metric) -> Self {
-        assert_eq!(query.len(), store.dim(), "query dimension mismatch");
-        Self {
+    /// # Errors
+    /// Returns [`GraphError::DimensionMismatch`] if the query dimension
+    /// does not match the store.
+    pub fn new(
+        store: &'a VectorStore,
+        query: &'a [f32],
+        metric: Metric,
+    ) -> Result<Self, GraphError> {
+        if query.len() != store.dim() {
+            return Err(GraphError::DimensionMismatch {
+                query: query.len(),
+                store: store.dim(),
+            });
+        }
+        Ok(Self {
             store,
             query,
+            metric,
+        })
+    }
+
+    /// Evaluator whose query is the stored vector `v` itself — the
+    /// construction-time case (refinement, repair, HNSW insertion), where
+    /// the dimensions match by definition.
+    pub fn for_vertex(store: &'a VectorStore, v: VecId, metric: Metric) -> Self {
+        Self {
+            store,
+            query: store.get(v),
             metric,
         }
     }
@@ -68,8 +116,22 @@ impl DistanceFn for FlatDistance<'_> {
 /// (NSG/Vamana/custom), HNSW, and the Starling paged wrapper.
 pub trait GraphSearcher: Send + Sync {
     /// Searches for the `k` nearest objects with beam width `ef`
-    /// (`ef >= k`; implementations clamp).
-    fn search(&self, dist: &mut dyn DistanceFn, k: usize, ef: usize) -> SearchOutput;
+    /// (`ef >= k`; implementations clamp), running all per-query state on
+    /// `scratch` — the allocation-free entry point concurrent workers
+    /// drive with their own scratch.
+    fn search_with(
+        &self,
+        dist: &mut dyn DistanceFn,
+        k: usize,
+        ef: usize,
+        scratch: &mut SearchScratch,
+    ) -> SearchOutput;
+
+    /// Searches on the calling thread's pooled scratch — identical results
+    /// to [`GraphSearcher::search_with`].
+    fn search(&self, dist: &mut dyn DistanceFn, k: usize, ef: usize) -> SearchOutput {
+        crate::scratch::with_pooled(|scratch| self.search_with(dist, k, ef, scratch))
+    }
 
     /// Number of indexed objects.
     fn len(&self) -> usize;
@@ -119,12 +181,51 @@ impl VectorIndex {
     }
 
     /// Searches for the `k` nearest stored vectors to `query`.
+    ///
+    /// # Panics
+    /// Panics if the query dimension does not match the store; use
+    /// [`VectorIndex::try_search`] for a recoverable error.
     pub fn search(&self, query: &[f32], k: usize, ef: usize) -> SearchOutput {
+        assert_eq!(query.len(), self.store.dim(), "query dimension mismatch");
+        self.try_search(query, k, ef).unwrap_or_default()
+    }
+
+    /// Searches for the `k` nearest stored vectors to `query`.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::DimensionMismatch`] if the query dimension
+    /// does not match the store.
+    pub fn try_search(
+        &self,
+        query: &[f32],
+        k: usize,
+        ef: usize,
+    ) -> Result<SearchOutput, GraphError> {
         let sw = mqa_obs::Stopwatch::start();
-        let mut dist = FlatDistance::new(&self.store, query, self.metric);
+        let mut dist = FlatDistance::new(&self.store, query, self.metric)?;
         let out = self.searcher.search(&mut dist, k, ef);
         out.stats.record(self.algorithm.name(), sw.elapsed_us());
-        out
+        Ok(out)
+    }
+
+    /// [`VectorIndex::try_search`] on a caller-supplied scratch — the
+    /// entry point for engine workers that own their per-thread state.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::DimensionMismatch`] if the query dimension
+    /// does not match the store.
+    pub fn try_search_with(
+        &self,
+        query: &[f32],
+        k: usize,
+        ef: usize,
+        scratch: &mut SearchScratch,
+    ) -> Result<SearchOutput, GraphError> {
+        let sw = mqa_obs::Stopwatch::start();
+        let mut dist = FlatDistance::new(&self.store, query, self.metric)?;
+        let out = self.searcher.search_with(&mut dist, k, ef, scratch);
+        out.stats.record(self.algorithm.name(), sw.elapsed_us());
+        Ok(out)
     }
 
     /// The backing store.
@@ -178,17 +279,32 @@ mod tests {
         store.push(&[0.0, 0.0]);
         store.push(&[3.0, 4.0]);
         let q = [0.0f32, 0.0];
-        let mut d = FlatDistance::new(&store, &q, Metric::L2);
+        let mut d = FlatDistance::new(&store, &q, Metric::L2).expect("dims match");
         assert_eq!(d.exact(0), 0.0);
         assert_eq!(d.exact(1), 25.0);
         assert_eq!(d.eval(1, 0.1), Some(25.0)); // flat never abandons
     }
 
     #[test]
-    #[should_panic(expected = "dimension mismatch")]
     fn flat_distance_checks_dim() {
         let store = VectorStore::new(3);
         let q = [0.0f32; 2];
-        FlatDistance::new(&store, &q, Metric::L2);
+        let err = match FlatDistance::new(&store, &q, Metric::L2) {
+            Err(e) => e,
+            Ok(_) => panic!("dims differ"),
+        };
+        assert_eq!(err, GraphError::DimensionMismatch { query: 2, store: 3 });
+        assert!(err.to_string().contains("dimension mismatch"));
+    }
+
+    #[test]
+    fn for_vertex_matches_new() {
+        let mut store = VectorStore::new(2);
+        store.push(&[1.0, 2.0]);
+        store.push(&[4.0, 6.0]);
+        let mut a = FlatDistance::for_vertex(&store, 0, Metric::L2);
+        let q = [1.0f32, 2.0];
+        let mut b = FlatDistance::new(&store, &q, Metric::L2).expect("dims match");
+        assert_eq!(a.exact(1), b.exact(1));
     }
 }

@@ -201,13 +201,40 @@ impl UnifiedIndex {
         ef: usize,
         prune: bool,
     ) -> UnifiedSearchOutput {
+        crate::scratch::with_pooled(|scratch| {
+            self.search_scratch_pruning(query, weight_override, k, ef, prune, scratch)
+        })
+    }
+
+    /// [`UnifiedIndex::search`] on a caller-supplied scratch — what engine
+    /// workers drive so each thread reuses its own per-query state.
+    pub fn search_scratch(
+        &self,
+        query: &MultiVector,
+        weight_override: Option<&Weights>,
+        k: usize,
+        ef: usize,
+        scratch: &mut crate::scratch::SearchScratch,
+    ) -> UnifiedSearchOutput {
+        self.search_scratch_pruning(query, weight_override, k, ef, true, scratch)
+    }
+
+    fn search_scratch_pruning(
+        &self,
+        query: &MultiVector,
+        weight_override: Option<&Weights>,
+        k: usize,
+        ef: usize,
+        prune: bool,
+        scratch: &mut crate::scratch::SearchScratch,
+    ) -> UnifiedSearchOutput {
         let sw = mqa_obs::Stopwatch::start();
         let weights = weight_override.unwrap_or(&self.weights);
         let mut dist = FusedDistance::new(&self.store, query, weights, self.metric);
         if !prune {
             dist = dist.without_pruning();
         }
-        let out = self.searcher.search(&mut dist, k, ef);
+        let out = self.searcher.search_with(&mut dist, k, ef, scratch);
         out.stats.record(self.algorithm.name(), sw.elapsed_us());
         UnifiedSearchOutput {
             output: out,

@@ -69,7 +69,7 @@ mod tests {
         let s = store(400, 6, 2);
         let nav = build(&s, Metric::L2, 16, 40, 1.2, 0);
         for v in (0..400u32).step_by(41) {
-            let mut d = FlatDistance::new(&s, s.get(v), Metric::L2);
+            let mut d = FlatDistance::for_vertex(&s, v, Metric::L2);
             let out = nav.search(&mut d, 1, 32);
             assert_eq!(out.results[0].id, v, "vertex {v} should find itself");
         }

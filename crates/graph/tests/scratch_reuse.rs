@@ -1,0 +1,100 @@
+//! Property tests for scratch reuse: one [`SearchScratch`] driven through
+//! interleaved searches over every index family must produce bit-identical
+//! results and work counters to a fresh pooled search — including straight
+//! through a visited-epoch wraparound. This is the correctness contract
+//! that lets engine workers own one scratch for their whole lifetime.
+
+use mqa_graph::starling::{LayoutStrategy, PageLayout, PagedIndex};
+use mqa_graph::{FlatDistance, IndexAlgorithm, SearchOutput, SearchScratch, VectorIndex};
+use mqa_rng::StdRng;
+use mqa_vector::{Metric, VectorStore};
+use std::sync::Arc;
+
+fn random_store(n: usize, dim: usize, seed: u64) -> VectorStore {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = VectorStore::new(dim);
+    for _ in 0..n {
+        let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        s.push(&v);
+    }
+    s
+}
+
+fn random_queries(count: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect()
+}
+
+fn assert_identical(a: &SearchOutput, b: &SearchOutput, what: &str) {
+    assert_eq!(a.results, b.results, "{what}: results diverged");
+    assert_eq!(a.stats, b.stats, "{what}: work counters diverged");
+}
+
+/// Every index family, one shared scratch, interleaved round-robin: each
+/// `*_with` answer must equal the fresh pooled-path answer.
+#[test]
+fn interleaved_reuse_matches_fresh_search_everywhere() {
+    let dim = 8;
+    let indexes: Vec<(&str, VectorIndex)> = [
+        ("flat", IndexAlgorithm::Flat),
+        ("hnsw", IndexAlgorithm::hnsw()),
+        ("nsg", IndexAlgorithm::nsg()),
+        ("vamana", IndexAlgorithm::vamana()),
+    ]
+    .into_iter()
+    .map(|(name, algo)| {
+        (
+            name,
+            VectorIndex::build(random_store(300, dim, 11), Metric::L2, &algo),
+        )
+    })
+    .collect();
+
+    let paged_store = Arc::new(random_store(300, dim, 11));
+    let nav = mqa_graph::vamana::build(&paged_store, Metric::L2, 16, 48, 1.2, 3);
+    let layout = PageLayout::build(nav.graph(), 4, LayoutStrategy::BfsCluster);
+    let paged = PagedIndex::new(nav.graph().clone(), nav.entries().to_vec(), layout);
+
+    let mut scratch = SearchScratch::new();
+    for (round, q) in random_queries(12, dim, 99).iter().enumerate() {
+        let k = 1 + round % 7;
+        let ef = 16 + round * 3;
+        for (name, idx) in &indexes {
+            let reused = idx
+                .try_search_with(q, k, ef, &mut scratch)
+                .expect("dims match");
+            let fresh = idx.search(q, k, ef);
+            assert_identical(&reused, &fresh, name);
+        }
+        let mut d1 = FlatDistance::new(&paged_store, q, Metric::L2).expect("dims match");
+        let reused = paged.search_paged_with(&mut d1, k, ef, &mut scratch);
+        let mut d2 = FlatDistance::new(&paged_store, q, Metric::L2).expect("dims match");
+        let fresh = paged.search_paged(&mut d2, k, ef);
+        assert_identical(&reused, &fresh, "starling");
+    }
+}
+
+/// The epoch counter crossing `u32::MAX` mid-stream must be invisible:
+/// searches right before, during, and after the wraparound all agree with
+/// fresh searches.
+#[test]
+fn epoch_wraparound_is_invisible() {
+    let dim = 6;
+    let idx = VectorIndex::build(
+        random_store(250, dim, 21),
+        Metric::L2,
+        &IndexAlgorithm::hnsw(),
+    );
+    let mut scratch = SearchScratch::new();
+    // Three epochs of headroom before the stamp array must re-zero.
+    scratch.force_epoch(u32::MAX - 3);
+    for (i, q) in random_queries(10, dim, 77).iter().enumerate() {
+        let reused = idx
+            .try_search_with(q, 5, 32, &mut scratch)
+            .expect("dims match");
+        let fresh = idx.search(q, 5, 32);
+        assert_identical(&reused, &fresh, &format!("query {i} around wraparound"));
+    }
+}

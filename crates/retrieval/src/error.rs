@@ -1,0 +1,43 @@
+//! Typed errors of the retrieval layer.
+
+use std::fmt;
+
+/// Errors raised when assembling or driving a retrieval framework.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetrievalError {
+    /// A pre-built index was paired with a corpus of a different size.
+    IndexCorpusMismatch {
+        /// Objects the index covers.
+        index: usize,
+        /// Objects the corpus holds.
+        corpus: usize,
+    },
+}
+
+impl fmt::Display for RetrievalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RetrievalError::IndexCorpusMismatch { index, corpus } => write!(
+                f,
+                "index/corpus size mismatch: index covers {index} objects, corpus holds {corpus}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RetrievalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_both_sizes() {
+        let e = RetrievalError::IndexCorpusMismatch {
+            index: 3,
+            corpus: 5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('3') && msg.contains('5'), "{msg}");
+    }
+}

@@ -41,6 +41,38 @@ pub trait RetrievalFramework: Send + Sync {
     /// the caller's guard) and on `k == 0`.
     fn search(&self, query: &MultiModalQuery, k: usize, ef: usize) -> RetrievalOutput;
 
+    /// [`RetrievalFramework::search`] on a caller-supplied scratch — the
+    /// entry point for engine workers that own per-thread search state.
+    /// The default forwards to [`RetrievalFramework::search`] (correct for
+    /// frameworks whose inner searches pool their own scratch); frameworks
+    /// with a scratch-aware index override it to avoid the pool.
+    fn search_scratch(
+        &self,
+        query: &MultiModalQuery,
+        k: usize,
+        ef: usize,
+        scratch: &mut mqa_graph::SearchScratch,
+    ) -> RetrievalOutput {
+        let _ = scratch;
+        self.search(query, k, ef)
+    }
+
+    /// Answers a batch of queries on one reused scratch, in order. Results
+    /// are identical to calling [`RetrievalFramework::search`] per query.
+    fn retrieve_many(
+        &self,
+        queries: &[MultiModalQuery],
+        k: usize,
+        ef: usize,
+    ) -> Vec<RetrievalOutput> {
+        mqa_graph::with_pooled(|scratch| {
+            queries
+                .iter()
+                .map(|q| self.search_scratch(q, k, ef, scratch))
+                .collect()
+        })
+    }
+
     /// Status-panel description (index type, weights, modality count).
     fn describe(&self) -> String;
 }

@@ -21,6 +21,7 @@
 
 pub mod diversify;
 pub mod encoding;
+pub mod error;
 pub mod framework;
 pub mod je;
 pub mod mr;
@@ -30,6 +31,7 @@ pub mod result;
 
 pub use diversify::mmr_diversify;
 pub use encoding::{EncodedCorpus, EncoderSet};
+pub use error::RetrievalError;
 pub use framework::{FrameworkKind, RetrievalFramework};
 pub use je::{JeFramework, JePartialPolicy};
 pub use mr::MrFramework;

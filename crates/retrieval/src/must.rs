@@ -7,6 +7,7 @@
 //! incremental (early-abandon) distance scanning.
 
 use crate::encoding::EncodedCorpus;
+use crate::error::RetrievalError;
 use crate::framework::{FrameworkKind, RetrievalFramework};
 use crate::query::MultiModalQuery;
 use crate::result::RetrievalOutput;
@@ -36,15 +37,20 @@ impl MustFramework {
     /// Wraps an already-built (or snapshot-restored, or custom-pipeline)
     /// unified index.
     ///
-    /// # Panics
-    /// Panics if the index does not cover the corpus.
-    pub fn from_index(corpus: Arc<EncodedCorpus>, index: UnifiedIndex) -> Self {
-        assert_eq!(
-            index.len(),
-            corpus.store().len(),
-            "index/corpus size mismatch"
-        );
-        Self { corpus, index }
+    /// # Errors
+    /// Returns [`RetrievalError::IndexCorpusMismatch`] if the index does
+    /// not cover the corpus.
+    pub fn from_index(
+        corpus: Arc<EncodedCorpus>,
+        index: UnifiedIndex,
+    ) -> Result<Self, RetrievalError> {
+        if index.len() != corpus.store().len() {
+            return Err(RetrievalError::IndexCorpusMismatch {
+                index: index.len(),
+                corpus: corpus.store().len(),
+            });
+        }
+        Ok(Self { corpus, index })
     }
 
     /// The unified index (exposed for the experiment harness: exact search,
@@ -65,6 +71,16 @@ impl RetrievalFramework for MustFramework {
     }
 
     fn search(&self, query: &MultiModalQuery, k: usize, ef: usize) -> RetrievalOutput {
+        mqa_graph::with_pooled(|scratch| self.search_scratch(query, k, ef, scratch))
+    }
+
+    fn search_scratch(
+        &self,
+        query: &MultiModalQuery,
+        k: usize,
+        ef: usize,
+        scratch: &mut mqa_graph::SearchScratch,
+    ) -> RetrievalOutput {
         assert!(query.has_content(), "empty query");
         assert!(k > 0, "k must be >= 1");
         let outer = mqa_obs::span("retrieval.must.search");
@@ -81,7 +97,8 @@ impl RetrievalFramework for MustFramework {
         };
         let out = {
             let _stage = mqa_obs::span("retrieval.must.index_search");
-            self.index.search(&qv, override_w.as_ref(), k, ef)
+            self.index
+                .search_scratch(&qv, override_w.as_ref(), k, ef, scratch)
         };
         RetrievalOutput {
             results: out.output.results.clone(),
@@ -198,5 +215,60 @@ mod tests {
     #[should_panic(expected = "empty query")]
     fn empty_query_panics() {
         framework().search(&MultiModalQuery::default(), 5, 32);
+    }
+
+    #[test]
+    fn from_index_rejects_size_mismatch() {
+        let f = framework();
+        let small = DatasetSpec::weather()
+            .objects(60)
+            .concepts(4)
+            .seed(2)
+            .generate();
+        let registry = EncoderRegistry::new(9);
+        let schema = small.schema().clone();
+        let encoders = EncoderSet::default_for(&registry, &schema, 32);
+        let small_corpus = Arc::new(EncodedCorpus::encode(small, encoders));
+        let err = match MustFramework::from_index(small_corpus, f.index.snapshot().restore()) {
+            Err(e) => e,
+            Ok(_) => panic!("mismatched sizes must be rejected"),
+        };
+        assert_eq!(
+            err,
+            RetrievalError::IndexCorpusMismatch {
+                index: 240,
+                corpus: 60
+            }
+        );
+    }
+
+    #[test]
+    fn frameworks_are_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MustFramework>();
+        assert_send_sync::<crate::mr::MrFramework>();
+        assert_send_sync::<crate::je::JeFramework>();
+        assert_send_sync::<std::sync::Arc<dyn RetrievalFramework>>();
+    }
+
+    #[test]
+    fn retrieve_many_matches_per_query_search() {
+        let f = framework();
+        let rec = f.corpus.kb().get(0);
+        let img = match rec.content(1).unwrap() {
+            mqa_encoders::RawContent::Image(i) => i.clone(),
+            _ => panic!(),
+        };
+        let queries = vec![
+            MultiModalQuery::text(f.corpus.kb().get(5).title.clone()),
+            MultiModalQuery::image(img),
+            MultiModalQuery::text(f.corpus.kb().get(9).title.clone()),
+        ];
+        let batched = f.retrieve_many(&queries, 5, 48);
+        assert_eq!(batched.len(), queries.len());
+        for (q, b) in queries.iter().zip(&batched) {
+            let single = f.search(q, 5, 48);
+            assert_eq!(single.results, b.results, "batched answer diverged");
+        }
     }
 }

@@ -1,0 +1,242 @@
+//! The `engine` smoke command: prove the concurrent query engine is both
+//! *correct* (worker-pool answers are bit-identical to the serial path)
+//! and *worth having* (QPS on a latency-bound paged workload scales with
+//! workers), then write a metrics snapshot for the CI artifact trail.
+//!
+//! CI runs this as a hard gate after `obs`: a refactor that breaks
+//! scratch-threading shows up as an answer mismatch, and a regression
+//! that serializes the pool (an accidental global lock on the search
+//! path) shows up as a speedup below [`MIN_SPEEDUP`].
+
+use mqa_core::{Config, MqaSystem};
+use mqa_engine::{EngineOptions, QueryEngine, WorkerPool};
+use mqa_graph::starling::{DeviceProfile, LayoutStrategy, PageLayout, PagedIndex};
+use mqa_graph::FlatDistance;
+use mqa_kb::DatasetSpec;
+use mqa_retrieval::MultiModalQuery;
+use mqa_rng::StdRng;
+use mqa_vector::{Metric, VectorStore};
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Workers used for the concurrent side of both checks.
+const WORKERS: usize = 4;
+
+/// Minimum accepted QPS ratio (4 workers vs 1) on the paged workload.
+/// The device latency dominates, so a healthy pool lands well above this;
+/// an accidentally serialized pool lands at ~1.0.
+const MIN_SPEEDUP: f64 = 1.8;
+
+/// Simulated per-page device read latency for the throughput check.
+const READ_LATENCY: Duration = Duration::from_micros(200);
+
+/// What the gate measured, for the caller to print.
+pub struct EngineOutcome {
+    /// Queries whose engine answers matched the serial path exactly.
+    pub identical_answers: usize,
+    /// Paged-workload QPS with a single worker.
+    pub serial_qps: f64,
+    /// Paged-workload QPS with [`WORKERS`] workers.
+    pub concurrent_qps: f64,
+    /// `concurrent_qps / serial_qps`.
+    pub speedup: f64,
+    /// Jobs executed across the pool's per-worker counters.
+    pub jobs_executed: u64,
+}
+
+/// Runs both checks and writes `metrics.json` under `out_dir`.
+///
+/// # Errors
+/// Returns a message when the system cannot be built, an answer diverges
+/// from the serial path, the speedup misses [`MIN_SPEEDUP`], an engine
+/// instrument stayed empty, or the snapshot cannot be written.
+pub fn run(out_dir: &Path, seed: u64) -> Result<EngineOutcome, String> {
+    mqa_obs::global().reset();
+    let identical_answers = check_answers_match_serial(seed)?;
+    let (serial_qps, concurrent_qps, jobs_executed) = check_paged_speedup(seed)?;
+    let speedup = concurrent_qps / serial_qps;
+    if speedup < MIN_SPEEDUP {
+        return Err(format!(
+            "engine smoke failed: paged QPS speedup {speedup:.2}x at {WORKERS} workers \
+             is below the {MIN_SPEEDUP}x gate ({serial_qps:.0} -> {concurrent_qps:.0} QPS)"
+        ));
+    }
+
+    let snapshot = mqa_obs::global().snapshot();
+    verify_instruments(&snapshot)?;
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
+    let metrics =
+        serde_json::to_string_pretty(&snapshot).map_err(|e| format!("serializing metrics: {e}"))?;
+    std::fs::write(out_dir.join("metrics.json"), metrics)
+        .map_err(|e| format!("writing metrics.json: {e}"))?;
+
+    Ok(EngineOutcome {
+        identical_answers,
+        serial_qps,
+        concurrent_qps,
+        speedup,
+        jobs_executed,
+    })
+}
+
+/// Check 1 — correctness: route real multi-modal queries through a
+/// 4-worker [`QueryEngine`] over the system's framework and demand the
+/// exact result ids and distances of the serial path.
+fn check_answers_match_serial(seed: u64) -> Result<usize, String> {
+    let kb = DatasetSpec::weather()
+        .objects(160)
+        .concepts(8)
+        .caption_noise(0.1)
+        .seed(seed)
+        .generate();
+    let sys = MqaSystem::build(Config::default(), kb).map_err(|e| format!("build failed: {e}"))?;
+    let queries: Vec<MultiModalQuery> = (0..12)
+        .map(|i| {
+            let title = &sys.corpus().kb().get(i * 13).title;
+            let phrase = title.rsplit_once(" #").map_or(title.as_str(), |(p, _)| p);
+            MultiModalQuery::text(phrase)
+        })
+        .collect();
+
+    let framework = Arc::clone(sys.framework());
+    let serial: Vec<_> = queries
+        .iter()
+        .map(|q| framework.search(q, 10, 64))
+        .collect();
+    let engine = QueryEngine::new(framework, EngineOptions::with_workers(WORKERS));
+    let concurrent = engine
+        .retrieve_batch(queries.clone(), 10, 64)
+        .map_err(|e| format!("engine refused the batch: {e}"))?;
+
+    for (i, (s, c)) in serial.iter().zip(&concurrent).enumerate() {
+        if s.ids() != c.ids() {
+            return Err(format!(
+                "engine smoke failed: query {i} answers diverge \
+                 (serial {:?} vs engine {:?})",
+                s.ids(),
+                c.ids()
+            ));
+        }
+    }
+    Ok(serial.len())
+}
+
+/// Check 2 — throughput: a Vamana graph behind the Starling paged layout
+/// with a simulated device latency, swept at 1 worker then [`WORKERS`].
+/// Returns `(serial_qps, concurrent_qps, jobs_executed)`.
+fn check_paged_speedup(seed: u64) -> Result<(f64, f64, u64), String> {
+    let (n, dim, queries) = (1_200, 8, 40usize);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut store = VectorStore::new(dim);
+    for _ in 0..n {
+        let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        store.push(&v);
+    }
+    let store = Arc::new(store);
+    let nav = mqa_graph::vamana::build(&store, Metric::L2, 16, 48, 1.2, seed.wrapping_add(3));
+    let layout = PageLayout::build(nav.graph(), 8, LayoutStrategy::BfsCluster);
+    let paged = Arc::new(
+        PagedIndex::new(nav.graph().clone(), nav.entries().to_vec(), layout)
+            .with_device(DeviceProfile::with_read_latency(READ_LATENCY)),
+    );
+    let query_vecs: Arc<Vec<Vec<f32>>> = Arc::new(
+        (0..queries)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect(),
+    );
+
+    let mut qps = [0.0f64; 2];
+    for (slot, workers) in [(0, 1), (1, WORKERS)] {
+        let answered = Arc::new(AtomicUsize::new(0));
+        let sw = mqa_obs::Stopwatch::start();
+        {
+            let pool = WorkerPool::new(workers, 2 * queries);
+            for qi in 0..queries {
+                let paged = Arc::clone(&paged);
+                let store = Arc::clone(&store);
+                let query_vecs = Arc::clone(&query_vecs);
+                let answered = Arc::clone(&answered);
+                pool.submit(Box::new(move |scratch| {
+                    if let Ok(mut dist) = FlatDistance::new(&store, &query_vecs[qi], Metric::L2) {
+                        let out = paged.search_paged_with(&mut dist, 10, 32, scratch);
+                        if !out.results.is_empty() {
+                            answered.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                }))
+                .map_err(|e| format!("pool refused work: {e}"))?;
+            }
+            // Dropping the pool drains the queue and joins the workers.
+        }
+        let answered = answered.load(Ordering::SeqCst);
+        if answered != queries {
+            return Err(format!(
+                "engine smoke failed: {answered}/{queries} paged searches \
+                 produced results at {workers} worker(s)"
+            ));
+        }
+        qps[slot] = queries as f64 / (sw.elapsed_us().max(1) as f64 / 1e6);
+    }
+
+    let snapshot = mqa_obs::global().snapshot();
+    let jobs_executed: u64 = (0..WORKERS)
+        .filter_map(|i| snapshot.counter(&format!("engine.worker.{i}.jobs")))
+        .sum();
+    Ok((qps[0], qps[1], jobs_executed))
+}
+
+/// The instrument self-checks behind the CI smoke gate: every engine
+/// metric wired in this refactor must have actually recorded.
+fn verify_instruments(snapshot: &mqa_obs::Snapshot) -> Result<(), String> {
+    let mut missing = Vec::new();
+    match snapshot.counter("engine.submitted") {
+        Some(v) if v > 0 => {}
+        _ => missing.push("counter `engine.submitted` missing or zero".to_string()),
+    }
+    match snapshot.histogram("engine.query_us") {
+        Some(h) if h.count > 0 => {}
+        _ => missing.push("histogram `engine.query_us` missing or empty".to_string()),
+    }
+    let worker_jobs: u64 = (0..WORKERS)
+        .filter_map(|i| snapshot.counter(&format!("engine.worker.{i}.jobs")))
+        .sum();
+    if worker_jobs == 0 {
+        missing.push("per-worker `engine.worker.<i>.jobs` counters all zero".to_string());
+    }
+    if snapshot
+        .gauges
+        .iter()
+        .all(|g| g.name != "engine.queue_depth")
+    {
+        missing.push("gauge `engine.queue_depth` never set".to_string());
+    }
+    if missing.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("engine smoke failed:\n  {}", missing.join("\n  ")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_passes_and_writes_metrics() {
+        let dir =
+            std::env::temp_dir().join(format!("mqa-xtask-engine-test-{}", std::process::id()));
+        let outcome = run(&dir, 42).expect("engine gate must pass on a healthy tree");
+        assert_eq!(outcome.identical_answers, 12);
+        assert!(
+            outcome.speedup >= MIN_SPEEDUP,
+            "speedup {:.2} below gate",
+            outcome.speedup
+        );
+        assert!(outcome.jobs_executed > 0);
+        let body = std::fs::read_to_string(dir.join("metrics.json")).expect("metrics readable");
+        assert!(body.contains("engine.query_us"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -18,9 +18,12 @@
 //! smoke gate: it runs a seeded dialogue scenario with the `mqa-obs`
 //! journal enabled, writes the journal / metrics-snapshot / report
 //! artifacts, and fails unless every instrumented pipeline layer shows
-//! up in the snapshot.
+//! up in the snapshot. A fourth, [`engine`], is the concurrency smoke
+//! gate: worker-pool answers must match the serial path exactly, and
+//! paged-search QPS must scale with workers.
 
 pub mod audit;
 pub mod baseline;
+pub mod engine;
 pub mod lint;
 pub mod obs;

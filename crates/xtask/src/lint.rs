@@ -29,11 +29,13 @@ pub enum Rule {
     WildcardErrorMatch,
     /// Ad-hoc `Instant::now()` timing outside the bench/obs crates.
     AdHocTiming,
+    /// A fresh `vec![false` visited-set allocation on a graph search path.
+    VisitedAlloc,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 8] = [
         Rule::NoUnwrap,
         Rule::NoExpect,
         Rule::NoPanic,
@@ -41,6 +43,7 @@ impl Rule {
         Rule::UnsafeNoSafety,
         Rule::WildcardErrorMatch,
         Rule::AdHocTiming,
+        Rule::VisitedAlloc,
     ];
 
     /// The kebab-case rule name used in reports and waivers.
@@ -53,6 +56,7 @@ impl Rule {
             Rule::UnsafeNoSafety => "unsafe-no-safety",
             Rule::WildcardErrorMatch => "wildcard-error-match",
             Rule::AdHocTiming => "ad-hoc-timing",
+            Rule::VisitedAlloc => "no-visited-alloc",
         }
     }
 
@@ -74,6 +78,9 @@ impl Rule {
             }
             Rule::AdHocTiming => {
                 "instrumented code must time via mqa-obs spans/Stopwatch, not raw Instant::now()"
+            }
+            Rule::VisitedAlloc => {
+                "per-query visited state must live in SearchScratch/VisitedSet, not a fresh `vec![false` allocation"
             }
         }
     }
@@ -379,8 +386,15 @@ fn comparison_ops(line: &str) -> Vec<(usize, usize)> {
 /// Lints one file's source. `kernel` enables the float-comparison rule
 /// (distance/weight kernel paths only); `timing` enables the ad-hoc-timing
 /// rule (everywhere except the bench/obs crates, which legitimately own
-/// raw clocks).
-pub fn lint_source(file: &str, source: &str, kernel: bool, timing: bool) -> Vec<Finding> {
+/// raw clocks); `visited` enables the visited-allocation rule (the graph
+/// crate's search paths, where per-query state belongs in `SearchScratch`).
+pub fn lint_source(
+    file: &str,
+    source: &str,
+    kernel: bool,
+    timing: bool,
+    visited: bool,
+) -> Vec<Finding> {
     let stripped = strip(source);
     let mask = test_mask(&stripped);
     let raw_lines: Vec<&str> = source.lines().collect();
@@ -427,6 +441,9 @@ pub fn lint_source(file: &str, source: &str, kernel: bool, timing: bool) -> Vec<
             }
             if timing && code.contains("Instant::now") {
                 push(Rule::AdHocTiming);
+            }
+            if visited && code.contains("vec![false") {
+                push(Rule::VisitedAlloc);
             }
             if has_word(code, "unsafe") {
                 let lo = idx.saturating_sub(3);
@@ -499,6 +516,11 @@ pub const KERNEL_PREFIXES: [&str; 3] = [
 /// API's own implementation.
 pub const TIMING_EXEMPT_PREFIXES: [&str; 2] = ["crates/bench", "crates/obs"];
 
+/// Path prefix where the visited-allocation rule applies: graph search
+/// code must thread `SearchScratch` instead of allocating `vec![false; n]`
+/// per query. `scratch.rs` itself (the owner of that state) is exempt.
+pub const VISITED_PREFIX: &str = "crates/graph/src";
+
 /// Directory names never descended into: test code may unwrap freely, and
 /// fixtures contain violations on purpose.
 const SKIP_DIRS: [&str; 5] = ["tests", "benches", "fixtures", "target", ".git"];
@@ -553,9 +575,10 @@ pub fn run(repo_root: &Path, baseline: &Baseline) -> Result<LintOutcome, String>
             .replace('\\', "/");
         let kernel = KERNEL_PREFIXES.iter().any(|p| rel.starts_with(p));
         let timing = !TIMING_EXEMPT_PREFIXES.iter().any(|p| rel.starts_with(p));
+        let visited = rel.starts_with(VISITED_PREFIX) && !rel.ends_with("/scratch.rs");
         let source = std::fs::read_to_string(path)
             .map_err(|e| format!("reading {}: {e}", path.display()))?;
-        all.extend(lint_source(&rel, &source, kernel, timing));
+        all.extend(lint_source(&rel, &source, kernel, timing, visited));
     }
     let mut used = vec![0usize; baseline.waivers.len()];
     let mut findings = Vec::new();
@@ -617,14 +640,14 @@ mod tests {
     #[test]
     fn unwrap_in_test_code_is_ignored() {
         let src = "#[cfg(test)]\nmod tests {\n  fn b() { x.unwrap(); }\n}\n";
-        assert!(lint_source("f.rs", src, false, false).is_empty());
+        assert!(lint_source("f.rs", src, false, false, false).is_empty());
     }
 
     #[test]
     fn float_eq_only_fires_in_kernel_files() {
         let src = "fn f(a: f32, b: f32) -> bool { a == b }\n";
-        assert!(lint_source("f.rs", src, false, false).is_empty());
-        let found = lint_source("f.rs", src, true, false);
+        assert!(lint_source("f.rs", src, false, false, false).is_empty());
+        let found = lint_source("f.rs", src, true, false, false);
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].rule, Rule::FloatEq);
     }
@@ -632,16 +655,25 @@ mod tests {
     #[test]
     fn integer_comparison_is_not_a_float_eq() {
         let src = "fn f(a: usize, b: usize) -> bool { a == b && a != 3 }\n";
-        assert!(lint_source("f.rs", src, true, false).is_empty());
+        assert!(lint_source("f.rs", src, true, false, false).is_empty());
     }
 
     #[test]
     fn ad_hoc_timing_only_fires_with_timing_flag() {
         let src = "fn f() { let t = std::time::Instant::now(); let _ = t.elapsed(); }\n";
-        assert!(lint_source("f.rs", src, false, false).is_empty());
-        let found = lint_source("f.rs", src, false, true);
+        assert!(lint_source("f.rs", src, false, false, false).is_empty());
+        let found = lint_source("f.rs", src, false, true, false);
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].rule, Rule::AdHocTiming);
+    }
+
+    #[test]
+    fn visited_alloc_only_fires_with_visited_flag() {
+        let src = "fn f(n: usize) -> Vec<bool> { vec![false; n] }\n";
+        assert!(lint_source("f.rs", src, false, false, false).is_empty());
+        let found = lint_source("f.rs", src, false, false, true);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, Rule::VisitedAlloc);
     }
 
     #[test]

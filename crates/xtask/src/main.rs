@@ -8,7 +8,7 @@
 //! Both commands exit 0 only when clean, so `ci.sh` can chain them.
 
 use mqa_xtask::baseline::Baseline;
-use mqa_xtask::{audit, lint, obs};
+use mqa_xtask::{audit, engine, lint, obs};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -37,6 +37,12 @@ COMMANDS:
         <dir> (default results/obs), and fail unless every instrumented
         pipeline layer appears in the snapshot.
 
+    engine [--out <dir>] [--seed <n>]
+        Concurrency smoke gate: verify worker-pool answers are identical
+        to the serial query path, that paged-search QPS scales with
+        workers, and that every engine instrument recorded. Writes
+        metrics.json into <dir> (default results/engine).
+
 EXIT CODES:
     0  clean
     1  findings / violations
@@ -50,6 +56,7 @@ fn main() -> ExitCode {
         Some("audit") => cmd_audit(),
         Some("rules") => cmd_rules(),
         Some("obs") => cmd_obs(&args[1..]),
+        Some("engine") => cmd_engine(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -160,6 +167,53 @@ fn cmd_rules() -> ExitCode {
         println!("{:<22} {}", rule.name(), rule.explain());
     }
     ExitCode::SUCCESS
+}
+
+fn cmd_engine(args: &[String]) -> ExitCode {
+    let mut out_dir = PathBuf::from("results/engine");
+    let mut seed = 42u64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out_dir = PathBuf::from(p),
+                None => {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => seed = n,
+                None => {
+                    eprintln!("--seed requires an integer");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown engine option `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match engine::run(&out_dir, seed) {
+        Ok(outcome) => {
+            println!(
+                "engine: {} answer(s) identical to serial, paged QPS {:.0} -> {:.0} \
+                 ({:.2}x at 4 workers), {} pool job(s) -> {}",
+                outcome.identical_answers,
+                outcome.serial_qps,
+                outcome.concurrent_qps,
+                outcome.speedup,
+                outcome.jobs_executed,
+                out_dir.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn cmd_obs(args: &[String]) -> ExitCode {

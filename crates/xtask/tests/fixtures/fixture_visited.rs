@@ -1,0 +1,20 @@
+//! Seeds one `no-visited-alloc` violation at line 8.
+//! Decoy: `vec![false` in a comment and a string must not fire, and
+//! `#[cfg(test)]` code may allocate freely.
+
+/// A search that allocates its visited set per query: the violation.
+pub fn bad_search(n: usize) -> usize {
+    // decoy in prose: vec![false; n]
+    let visited = vec![false; n];
+    let s = "vec![false; 3]";
+    visited.len() + s.len()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_allocate() {
+        let v = vec![false; 4];
+        assert_eq!(v.len(), 4);
+    }
+}

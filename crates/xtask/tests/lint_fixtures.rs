@@ -13,7 +13,17 @@ fn findings(name: &str, source: &str, kernel: bool) -> Vec<(usize, Rule)> {
 }
 
 fn findings_timed(name: &str, source: &str, kernel: bool, timing: bool) -> Vec<(usize, Rule)> {
-    lint::lint_source(name, source, kernel, timing)
+    findings_full(name, source, kernel, timing, false)
+}
+
+fn findings_full(
+    name: &str,
+    source: &str,
+    kernel: bool,
+    timing: bool,
+    visited: bool,
+) -> Vec<(usize, Rule)> {
+    lint::lint_source(name, source, kernel, timing, visited)
         .into_iter()
         .map(|f| (f.line, f.rule))
         .collect()
@@ -89,9 +99,23 @@ fn instant_fixture_fires_only_with_timing_flag() {
 }
 
 #[test]
+fn visited_fixture_fires_only_with_visited_flag() {
+    let src = include_str!("fixtures/fixture_visited.rs");
+    assert_eq!(
+        findings_full("fixture_visited.rs", src, false, false, true),
+        vec![(8, Rule::VisitedAlloc)]
+    );
+    // Outside crates/graph (and inside scratch.rs) the flag is off.
+    assert_eq!(
+        findings_full("fixture_visited.rs", src, false, false, false),
+        vec![]
+    );
+}
+
+#[test]
 fn findings_render_as_file_line_rule_excerpt() {
     let src = include_str!("fixtures/fixture_unwrap.rs");
-    let all = lint::lint_source("crates/x/src/a.rs", src, false, false);
+    let all = lint::lint_source("crates/x/src/a.rs", src, false, false, false);
     assert_eq!(all.len(), 1);
     assert_eq!(
         all[0].to_string(),

@@ -64,7 +64,7 @@ fn main() {
     let hit_rate = |s: &dyn GraphSearcher| {
         let mut hits = 0;
         for (i, q) in queries.iter().enumerate() {
-            let mut d = FlatDistance::new(&store, q, Metric::L2);
+            let mut d = FlatDistance::new(&store, q, Metric::L2).expect("query dim matches store");
             if s.search(&mut d, 1, 32).results[0].id == ((i as u32 * 37) % store.len() as u32) {
                 hits += 1;
             }

@@ -25,6 +25,7 @@
 pub use mqa_core as core;
 pub use mqa_dag as dag;
 pub use mqa_encoders as encoders;
+pub use mqa_engine as engine;
 pub use mqa_graph as graph;
 pub use mqa_kb as kb;
 pub use mqa_llm as llm;

@@ -36,9 +36,10 @@ fn must_framework_served_from_restored_snapshot() {
     );
     let json = index.snapshot().to_json();
 
-    let original = MustFramework::from_index(Arc::clone(&corpus), index);
+    let original = MustFramework::from_index(Arc::clone(&corpus), index).expect("sizes match");
     let restored_index = UnifiedSnapshot::from_json(&json).unwrap().restore();
-    let restored = MustFramework::from_index(Arc::clone(&corpus), restored_index);
+    let restored =
+        MustFramework::from_index(Arc::clone(&corpus), restored_index).expect("sizes match");
 
     for seed in 0..5u32 {
         let title = corpus.kb().get(seed * 13).title.clone();

@@ -285,7 +285,7 @@ fn beam_search_output_well_formed() {
             g.add_edge(v, ((v as usize + 1) % n) as u32);
             g.add_edge(v, ((v as usize + n - 1) % n) as u32);
         }
-        let mut dist = FlatDistance::new(&store, &query, Metric::L2);
+        let mut dist = FlatDistance::new(&store, &query, Metric::L2).expect("dims match");
         let out = beam_search(&g, &[0], &mut dist, k, ef);
         assert!(out.results.len() <= k);
         assert!(!out.results.is_empty());
