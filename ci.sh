@@ -11,6 +11,9 @@ cargo fmt --all --check
 echo "==> mqa-xtask lint"
 cargo run -q --offline -p mqa-xtask -- lint
 
+echo "==> mqa-xtask conc (static concurrency analysis)"
+cargo run -q --offline -p mqa-xtask -- conc
+
 echo "==> mqa-xtask audit"
 cargo run -q --offline -p mqa-xtask -- audit
 

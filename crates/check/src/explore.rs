@@ -1,0 +1,142 @@
+//! Seed sweeps: run many schedules, count the distinct interleavings
+//! actually reached, and surface every failure with its replay seed.
+
+use crate::sched::{run_schedule, CheckOptions, Failure, ThreadBody};
+use std::collections::HashSet;
+use std::fmt;
+
+/// One failing schedule, carrying everything needed to reproduce it.
+#[derive(Debug, Clone)]
+pub struct SeededFailure {
+    /// Seed to pass back to [`crate::run_schedule`] for a replay.
+    pub seed: u64,
+    /// What went wrong.
+    pub failure: Failure,
+    /// Grant order up to the failure.
+    pub trace: Vec<usize>,
+}
+
+impl fmt::Display for SeededFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed {}: {} — replay with run_schedule({}, ..); trace {:?}",
+            self.seed, self.failure, self.seed, self.trace
+        )
+    }
+}
+
+/// What a sweep covered.
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// Schedules actually run (equals the requested count unless
+    /// `stop_on_failure` cut the sweep short).
+    pub schedules: usize,
+    /// Distinct grant traces seen — the honest coverage number, since
+    /// different seeds can collapse onto the same interleaving.
+    pub distinct_traces: usize,
+    /// Every failing schedule, in sweep order.
+    pub failures: Vec<SeededFailure>,
+}
+
+impl ExploreReport {
+    /// Whether every schedule in the sweep completed.
+    pub fn all_ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs `count` schedules over seeds `base_seed..base_seed + count`,
+/// rebuilding the thread bodies (and whatever state they share) from
+/// `make` for each schedule so runs stay independent.
+pub fn explore<F>(base_seed: u64, count: usize, opts: &CheckOptions, make: F) -> ExploreReport
+where
+    F: Fn() -> Vec<ThreadBody>,
+{
+    let mut traces: HashSet<Vec<usize>> = HashSet::new();
+    let mut failures = Vec::new();
+    let mut schedules = 0usize;
+    for offset in 0..count as u64 {
+        let seed = base_seed.wrapping_add(offset);
+        let outcome = run_schedule(seed, opts, make());
+        schedules += 1;
+        traces.insert(outcome.trace.clone());
+        if let Some(failure) = outcome.failure {
+            failures.push(SeededFailure {
+                seed,
+                failure,
+                trace: outcome.trace,
+            });
+            if opts.stop_on_failure {
+                break;
+            }
+        }
+    }
+    ExploreReport {
+        schedules,
+        distinct_traces: traces.len(),
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    fn two_counters() -> Vec<ThreadBody> {
+        let shared = Arc::new(AtomicU32::new(0));
+        (0..2)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let body: ThreadBody = Box::new(move |token| {
+                    for _ in 0..4 {
+                        token.step();
+                        shared.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+                body
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sweep_reaches_many_distinct_interleavings() {
+        let report = explore(100, 60, &CheckOptions::default(), two_counters);
+        assert!(report.all_ok(), "failures: {:?}", report.failures);
+        assert_eq!(report.schedules, 60);
+        assert!(
+            report.distinct_traces >= 20,
+            "only {} distinct traces out of 60 seeds",
+            report.distinct_traces
+        );
+    }
+
+    #[test]
+    fn failing_seed_is_reported_and_replayable() {
+        let make = || -> Vec<ThreadBody> {
+            vec![
+                Box::new(|token: &mut crate::ThreadToken| token.step()),
+                Box::new(|token: &mut crate::ThreadToken| {
+                    token.step();
+                    panic!("always fails");
+                }),
+            ]
+        };
+        let report = explore(7, 10, &CheckOptions::default(), make);
+        assert_eq!(report.schedules, 1, "stop_on_failure must cut the sweep");
+        assert_eq!(report.failures.len(), 1);
+        let f = &report.failures[0];
+        assert_eq!(f.seed, 7);
+        let replay = run_schedule(f.seed, &CheckOptions::default(), make());
+        assert_eq!(
+            replay
+                .failure
+                .as_ref()
+                .map(|x| matches!(x, crate::Failure::Panicked { .. })),
+            Some(true)
+        );
+        assert!(f.to_string().contains("replay with run_schedule(7"));
+    }
+}

@@ -35,11 +35,13 @@
 
 pub mod pool;
 pub mod queue;
-mod ticket;
+pub mod sync;
+pub mod ticket;
 
 pub use pool::{Job, WorkerPool};
 pub use queue::BoundedQueue;
-pub use ticket::Ticket;
+pub use sync::{lock_ignore_poison, wait_ignore_poison, TracedGuard, TracedMutex};
+pub use ticket::{oneshot, Ticket, TicketSender};
 
 use mqa_retrieval::{MultiModalQuery, RetrievalFramework, RetrievalOutput};
 use std::fmt;
@@ -122,7 +124,7 @@ impl QueryEngine {
         k: usize,
         ef: usize,
     ) -> (Ticket<RetrievalOutput>, pool::Job) {
-        let (ticket, sender) = ticket::ticket();
+        let (ticket, sender) = ticket::oneshot();
         let framework = Arc::clone(&self.framework);
         let job: pool::Job = Box::new(move |scratch| {
             let sw = mqa_obs::Stopwatch::start();

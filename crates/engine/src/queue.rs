@@ -7,8 +7,9 @@
 //! which is how the pool shuts down gracefully: queued work still runs,
 //! new work is refused.
 
+use crate::sync::{TracedGuard, TracedMutex};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::Condvar;
 
 /// Why a push was refused.
 #[derive(Debug)]
@@ -28,10 +29,11 @@ struct State<T> {
 /// The queue. All synchronization is two condvars over one mutex; a
 /// poisoned lock (a panicking job elsewhere) is recovered rather than
 /// propagated, since queue state is a plain buffer that cannot be left
-/// logically inconsistent by a reader.
+/// logically inconsistent by a reader. The mutex is a [`TracedMutex`]
+/// so the lock-order witness can watch it during the engine smoke gate.
 pub struct BoundedQueue<T> {
     capacity: usize,
-    state: Mutex<State<T>>,
+    state: TracedMutex<State<T>>,
     not_empty: Condvar,
     not_full: Condvar,
 }
@@ -46,17 +48,16 @@ impl<T> BoundedQueue<T> {
         assert!(capacity > 0, "queue capacity must be >= 1");
         Self {
             capacity,
-            state: Mutex::new(State {
-                items: VecDeque::with_capacity(capacity),
-                closed: false,
-            }),
+            state: TracedMutex::new(
+                "engine.queue.state",
+                State {
+                    items: VecDeque::with_capacity(capacity),
+                    closed: false,
+                },
+            ),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
         }
-    }
-
-    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
-        self.state.lock().unwrap_or_else(|p| p.into_inner())
     }
 
     /// Blocking push: waits for a slot while the queue is full.
@@ -65,7 +66,7 @@ impl<T> BoundedQueue<T> {
     /// Returns [`PushError::Closed`] (with the item) if the queue closed
     /// before a slot opened.
     pub fn push(&self, item: T) -> Result<(), PushError<T>> {
-        let mut state = self.lock();
+        let mut state: TracedGuard<'_, State<T>> = self.state.lock();
         loop {
             if state.closed {
                 return Err(PushError::Closed(item));
@@ -75,7 +76,7 @@ impl<T> BoundedQueue<T> {
                 self.not_empty.notify_one();
                 return Ok(());
             }
-            state = self.not_full.wait(state).unwrap_or_else(|p| p.into_inner());
+            state = self.state.wait(&self.not_full, state);
         }
     }
 
@@ -85,7 +86,7 @@ impl<T> BoundedQueue<T> {
     /// Returns [`PushError::Full`] if at capacity or [`PushError::Closed`]
     /// if closed, handing the item back either way.
     pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
-        let mut state = self.lock();
+        let mut state = self.state.lock();
         if state.closed {
             return Err(PushError::Closed(item));
         }
@@ -100,7 +101,7 @@ impl<T> BoundedQueue<T> {
     /// Blocking pop: waits for an item; `None` means the queue is closed
     /// *and* drained — the consumer's signal to exit.
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.lock();
+        let mut state = self.state.lock();
         loop {
             if let Some(item) = state.items.pop_front() {
                 self.not_full.notify_one();
@@ -109,17 +110,14 @@ impl<T> BoundedQueue<T> {
             if state.closed {
                 return None;
             }
-            state = self
-                .not_empty
-                .wait(state)
-                .unwrap_or_else(|p| p.into_inner());
+            state = self.state.wait(&self.not_empty, state);
         }
     }
 
     /// Closes the queue: further pushes fail, queued items still drain,
     /// and every blocked producer/consumer wakes.
     pub fn close(&self) {
-        let mut state = self.lock();
+        let mut state = self.state.lock();
         state.closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
@@ -127,7 +125,7 @@ impl<T> BoundedQueue<T> {
 
     /// Items currently queued.
     pub fn len(&self) -> usize {
-        self.lock().items.len()
+        self.state.lock().items.len()
     }
 
     /// Whether nothing is queued.

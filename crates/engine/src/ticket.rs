@@ -6,8 +6,9 @@
 //! job still queued — waiting on the ticket reports
 //! [`EngineError::Canceled`] instead of hanging forever.
 
+use crate::sync::TracedMutex;
 use crate::EngineError;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar};
 
 enum TicketState<T> {
     Pending,
@@ -15,22 +16,29 @@ enum TicketState<T> {
     Dropped,
 }
 
-type Shared<T> = Arc<(Mutex<TicketState<T>>, Condvar)>;
+struct Shared<T> {
+    slot: TracedMutex<TicketState<T>>,
+    cv: Condvar,
+}
 
 /// The caller's handle to one in-flight query result.
 pub struct Ticket<T> {
-    shared: Shared<T>,
+    shared: Arc<Shared<T>>,
 }
 
-/// The worker's half: fulfils the ticket exactly once.
-pub(crate) struct TicketSender<T> {
-    shared: Shared<T>,
+/// The worker's half: fulfils the ticket exactly once. Dropping it
+/// unfulfilled cancels the paired [`Ticket`].
+pub struct TicketSender<T> {
+    shared: Arc<Shared<T>>,
     sent: bool,
 }
 
 /// Creates a connected ticket/sender pair.
-pub(crate) fn ticket<T>() -> (Ticket<T>, TicketSender<T>) {
-    let shared: Shared<T> = Arc::new((Mutex::new(TicketState::Pending), Condvar::new()));
+pub fn oneshot<T>() -> (Ticket<T>, TicketSender<T>) {
+    let shared = Arc::new(Shared {
+        slot: TracedMutex::new("engine.ticket.slot", TicketState::Pending),
+        cv: Condvar::new(),
+    });
     (
         Ticket {
             shared: Arc::clone(&shared),
@@ -49,15 +57,14 @@ impl<T> Ticket<T> {
     /// Returns [`EngineError::Canceled`] if the job was abandoned before
     /// producing a result.
     pub fn wait(self) -> Result<T, EngineError> {
-        let (lock, cv) = &*self.shared;
-        let mut state = lock.lock().unwrap_or_else(|p| p.into_inner());
+        let mut state = self.shared.slot.lock();
         loop {
             match std::mem::replace(&mut *state, TicketState::Dropped) {
                 TicketState::Done(value) => return Ok(value),
                 TicketState::Dropped => return Err(EngineError::Canceled),
                 TicketState::Pending => {
                     *state = TicketState::Pending;
-                    state = cv.wait(state).unwrap_or_else(|p| p.into_inner());
+                    state = self.shared.slot.wait(&self.shared.cv, state);
                 }
             }
         }
@@ -66,12 +73,11 @@ impl<T> Ticket<T> {
 
 impl<T> TicketSender<T> {
     /// Fulfils the ticket and wakes the waiter.
-    pub(crate) fn send(mut self, value: T) {
-        let (lock, cv) = &*self.shared;
-        let mut state = lock.lock().unwrap_or_else(|p| p.into_inner());
+    pub fn send(mut self, value: T) {
+        let mut state = self.shared.slot.lock();
         *state = TicketState::Done(value);
         self.sent = true;
-        cv.notify_all();
+        self.shared.cv.notify_all();
     }
 }
 
@@ -80,12 +86,11 @@ impl<T> Drop for TicketSender<T> {
         if self.sent {
             return;
         }
-        let (lock, cv) = &*self.shared;
-        let mut state = lock.lock().unwrap_or_else(|p| p.into_inner());
+        let mut state = self.shared.slot.lock();
         if matches!(*state, TicketState::Pending) {
             *state = TicketState::Dropped;
         }
-        cv.notify_all();
+        self.shared.cv.notify_all();
     }
 }
 
@@ -95,21 +100,21 @@ mod tests {
 
     #[test]
     fn send_then_wait_delivers() {
-        let (t, s) = ticket();
+        let (t, s) = oneshot();
         s.send(42u32);
         assert_eq!(t.wait(), Ok(42));
     }
 
     #[test]
     fn dropped_sender_cancels() {
-        let (t, s) = ticket::<u32>();
+        let (t, s) = oneshot::<u32>();
         drop(s);
         assert_eq!(t.wait(), Err(EngineError::Canceled));
     }
 
     #[test]
     fn wait_blocks_until_send() {
-        let (t, s) = ticket();
+        let (t, s) = oneshot();
         let waiter = std::thread::spawn(move || t.wait());
         std::thread::sleep(std::time::Duration::from_millis(20));
         s.send(7u32);

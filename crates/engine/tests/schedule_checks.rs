@@ -1,0 +1,300 @@
+//! Deterministic-schedule regression tests for the engine primitives.
+//!
+//! Every test sweeps seeded interleavings with `mqa-check`: thread
+//! bodies yield at `step()` and wrap genuinely blocking engine calls in
+//! `blocking()`, so the scheduler explores grant orders the OS would
+//! almost never produce and converts any hang into a replayable
+//! `Failure::Stuck { seed }` instead of a wedged test run.
+
+use mqa_check::{explore, run_schedule, CheckOptions, Failure, ThreadBody};
+use mqa_engine::{oneshot, BoundedQueue, EngineError, WorkerPool};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn opts() -> CheckOptions {
+    CheckOptions {
+        stuck_timeout: Duration::from_millis(150),
+        ..CheckOptions::default()
+    }
+}
+
+/// Regression (shutdown edge 1): `close()` racing a blocked `push` never
+/// loses an accepted job — every `Ok` push is eventually popped, every
+/// refused push hands the item back via `Closed`.
+#[test]
+fn close_racing_blocked_push_never_loses_accepted_jobs() {
+    let mut traces = std::collections::HashSet::new();
+    for seed in 0x5EED_0001u64..0x5EED_0001 + 120 {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(1));
+        let accepted = Arc::new(AtomicUsize::new(0));
+        let popped = Arc::new(AtomicUsize::new(0));
+        let mut bodies: Vec<ThreadBody> = Vec::new();
+
+        for p in 0..2u32 {
+            let q = Arc::clone(&q);
+            let accepted = Arc::clone(&accepted);
+            bodies.push(Box::new(move |token| {
+                for i in 0..2u32 {
+                    token.step();
+                    if token.blocking(|| q.push(p * 10 + i)).is_ok() {
+                        accepted.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            }));
+        }
+        {
+            let q = Arc::clone(&q);
+            bodies.push(Box::new(move |token| {
+                token.step();
+                q.close();
+            }));
+        }
+        {
+            let q = Arc::clone(&q);
+            let popped = Arc::clone(&popped);
+            bodies.push(Box::new(move |token| loop {
+                token.step();
+                if token.blocking(|| q.pop()).is_none() {
+                    break;
+                }
+                popped.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+
+        // The invariant is checked here, after every thread finished, so
+        // producer bookkeeping cannot race the check itself.
+        let outcome = run_schedule(seed, &opts(), bodies);
+        assert!(outcome.is_ok(), "seed {seed} failed: {:?}", outcome.failure);
+        assert_eq!(
+            popped.load(Ordering::SeqCst),
+            accepted.load(Ordering::SeqCst),
+            "an accepted push vanished across close() (replay seed {seed}, trace {:?})",
+            outcome.trace
+        );
+        traces.insert(outcome.trace);
+    }
+    assert!(
+        traces.len() >= 60,
+        "sweep barely explored: {}",
+        traces.len()
+    );
+}
+
+/// Regression (shutdown edge 2): a worker panic mid-job surfaces
+/// `Canceled` on the ticket instead of hanging `wait()` — and jobs still
+/// queued behind the dead worker cancel on pool drop rather than leak.
+#[test]
+fn worker_panic_cancels_ticket_instead_of_hanging() {
+    let make = || -> Vec<ThreadBody> {
+        vec![Box::new(move |token| {
+            let pool = WorkerPool::new(1, 4);
+            let (panicked_ticket, sender) = oneshot::<u32>();
+            token.step();
+            pool.submit(Box::new(move |_s| {
+                let _carry_into_job = sender;
+                panic!("deliberate mid-job panic");
+            }))
+            .expect("healthy pool must accept work");
+
+            let (queued_ticket, queued_sender) = oneshot::<u32>();
+            token.step();
+            pool.submit(Box::new(move |_s| queued_sender.send(5)))
+                .expect("queue has capacity");
+
+            // If either wait() hung, blocking() would never return and the
+            // scheduler would report this schedule Stuck.
+            let got = token.blocking(|| panicked_ticket.wait());
+            assert_eq!(got, Err(EngineError::Canceled));
+            token.step();
+            drop(pool);
+            let got = token.blocking(|| queued_ticket.wait());
+            assert!(
+                got == Err(EngineError::Canceled) || got == Ok(5),
+                "queued job must resolve (ran before the panic reached the \
+                 worker, or canceled on drop), got {got:?}"
+            );
+        })]
+    };
+    let report = explore(0x5EED_0002, 20, &opts(), make);
+    assert!(report.all_ok(), "worker-panic edge: {}", report.failures[0]);
+}
+
+/// A dropped `TicketSender` racing `Ticket::wait` always resolves to
+/// `Canceled` — never a hang, never a phantom value.
+#[test]
+fn sender_drop_racing_wait_always_cancels() {
+    let make = || -> Vec<ThreadBody> {
+        let (ticket, sender) = oneshot::<u32>();
+        vec![
+            Box::new(move |token| {
+                token.step();
+                assert_eq!(token.blocking(|| ticket.wait()), Err(EngineError::Canceled));
+            }),
+            Box::new(move |token| {
+                token.step();
+                drop(sender);
+            }),
+        ]
+    };
+    let report = explore(0x5EED_0003, 60, &opts(), make);
+    assert!(report.all_ok(), "sender-drop race: {}", report.failures[0]);
+}
+
+/// The coverage gate from the issue: a producer/consumer/closer pipeline
+/// over `BoundedQueue` + `Ticket` must reach >= 200 distinct schedules in
+/// under 30 s, holding the end-to-end invariant (accepted work is
+/// answered, refused work is canceled) in every one of them.
+#[test]
+fn pipeline_sweep_reaches_200_distinct_schedules() {
+    let make = || -> Vec<ThreadBody> {
+        let q: Arc<BoundedQueue<mqa_engine::TicketSender<u32>>> = Arc::new(BoundedQueue::new(2));
+        let mut bodies: Vec<ThreadBody> = Vec::new();
+
+        for _ in 0..2 {
+            let q = Arc::clone(&q);
+            bodies.push(Box::new(move |token| {
+                for _ in 0..2 {
+                    token.step();
+                    let (ticket, sender) = oneshot::<u32>();
+                    let accepted = token.blocking(|| q.push(sender)).is_ok();
+                    let got = token.blocking(|| ticket.wait());
+                    if accepted {
+                        assert_eq!(got, Ok(7), "accepted work must be answered");
+                    } else {
+                        assert_eq!(
+                            got,
+                            Err(EngineError::Canceled),
+                            "refused work must cancel, not hang"
+                        );
+                    }
+                }
+            }));
+        }
+        for _ in 0..2 {
+            let q = Arc::clone(&q);
+            bodies.push(Box::new(move |token| loop {
+                match token.blocking(|| q.pop()) {
+                    Some(sender) => {
+                        token.step();
+                        sender.send(7);
+                    }
+                    None => break,
+                }
+            }));
+        }
+        {
+            let q = Arc::clone(&q);
+            bodies.push(Box::new(move |token| {
+                token.step();
+                token.step();
+                q.close();
+            }));
+        }
+        bodies
+    };
+
+    let started = Instant::now();
+    let report = explore(0x5EED_0004, 240, &opts(), make);
+    let elapsed = started.elapsed();
+    assert!(
+        report.all_ok(),
+        "pipeline invariant broke: {}",
+        report.failures[0]
+    );
+    assert!(
+        report.distinct_traces >= 200,
+        "only {} distinct schedules (need >= 200)",
+        report.distinct_traces
+    );
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "sweep took {elapsed:?} (budget 30s)"
+    );
+}
+
+/// The checker catches a reintroduced lost wakeup: this queue copy is the
+/// real `BoundedQueue` close path with `notify_one` in place of
+/// `notify_all` — with two consumers parked in `pop`, close wakes only
+/// one and the other sleeps forever. The sweep must report `Stuck` with
+/// a seed that replays to the same failure.
+#[test]
+fn lost_wakeup_on_close_is_caught_with_replayable_seed() {
+    use std::sync::{Condvar, Mutex};
+
+    struct BuggyQueue {
+        state: Mutex<(Vec<u32>, bool)>,
+        not_empty: Condvar,
+    }
+
+    impl BuggyQueue {
+        fn new() -> Self {
+            Self {
+                state: Mutex::new((Vec::new(), false)),
+                not_empty: Condvar::new(),
+            }
+        }
+
+        fn pop(&self) -> Option<u32> {
+            let mut s = self.state.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(v) = s.0.pop() {
+                    return Some(v);
+                }
+                if s.1 {
+                    return None;
+                }
+                s = self.not_empty.wait(s).unwrap_or_else(|p| p.into_inner());
+            }
+        }
+
+        fn close(&self) {
+            let mut s = self.state.lock().unwrap_or_else(|p| p.into_inner());
+            s.1 = true;
+            // THE BUG: `notify_one` strands every waiter but the first.
+            self.not_empty.notify_one();
+        }
+    }
+
+    let make = || -> Vec<ThreadBody> {
+        let q = Arc::new(BuggyQueue::new());
+        let mut bodies: Vec<ThreadBody> = Vec::new();
+        for _ in 0..2 {
+            let q = Arc::clone(&q);
+            bodies.push(Box::new(move |token| {
+                let _ = token.blocking(|| q.pop());
+            }));
+        }
+        {
+            let q = Arc::clone(&q);
+            bodies.push(Box::new(move |token| {
+                token.step();
+                token.step();
+                q.close();
+            }));
+        }
+        bodies
+    };
+
+    let sweep_opts = CheckOptions {
+        stuck_timeout: Duration::from_millis(80),
+        ..CheckOptions::default()
+    };
+    let report = explore(0x5EED_0005, 60, &sweep_opts, make);
+    let failure = report
+        .failures
+        .first()
+        .expect("a 60-seed sweep must reach the both-consumers-parked interleaving");
+    assert!(
+        matches!(failure.failure, Failure::Stuck { .. }),
+        "expected Stuck, got {failure}"
+    );
+
+    let replay = run_schedule(failure.seed, &sweep_opts, make());
+    assert!(
+        matches!(replay.failure, Some(Failure::Stuck { .. })),
+        "failing seed {} did not replay to Stuck: {:?}",
+        failure.seed,
+        replay.failure
+    );
+}

@@ -1,0 +1,1305 @@
+//! Static concurrency analysis (`mqa-xtask conc`).
+//!
+//! A token-level pass over the workspace sources (via [`crate::rustlex`])
+//! that understands just enough Rust structure to check three properties
+//! without a compiler front-end:
+//!
+//! 1. **Lock ordering** — every acquisition of a `Mutex` / `RwLock` /
+//!    `TracedMutex` *field* is resolved to a canonical lock name (the
+//!    `TracedMutex::new("…")` literal when one exists, else
+//!    `Struct.field` / `static.NAME`). Acquiring lock `B` while a guard
+//!    of lock `A` is live adds the edge `A -> B` to a global lock-order
+//!    graph; any edge on a cycle (including self-loops — std mutexes are
+//!    not reentrant) is reported as [`Rule::LockOrderCycle`] with both
+//!    acquisition sites.
+//! 2. **Condvar predicate loops** — a `wait`-family call that consumes a
+//!    live tracked guard must have an enclosing `loop` / `while` / `for`
+//!    inside its function, or it is a spurious-wakeup bug
+//!    ([`Rule::CondvarNoLoop`]). Wait *wrappers* (functions that receive
+//!    the guard as a parameter, like `TracedMutex::wait`) are exempt
+//!    automatically: parameters are not tracked acquisitions.
+//! 3. **Guards across blocking calls** — a live guard at a blocking call
+//!    site (`.join()`, `thread::sleep`, `Ticket::wait`'s empty-arg
+//!    `.wait()`, `BoundedQueue::{push,pop}`, or a condvar wait on a
+//!    *different* lock) stalls every thread needing that lock
+//!    ([`Rule::GuardAcrossBlocking`]).
+//!
+//! Guard tracking is deliberately conservative: a guard binding is only
+//! recorded when the acquisition is the *entire* right-hand side of a
+//! `let` (`let g = x.lock();`), so chained temporaries
+//! (`x.lock().map_err(…)?`) never produce long-lived phantom guards.
+//! Guards die at `drop(g)`, at the closing brace of their scope, and
+//! test code (`#[cfg(test)]`) is masked out entirely.
+//!
+//! Findings reuse the [`crate::lint`] `Finding`/`Rule` types and the same
+//! baseline-waiver machinery (default baseline: `conc-baseline.toml`).
+
+use crate::baseline::Baseline;
+use crate::lint::{collect_rs_files, strip, test_mask, Finding, Rule, DEFAULT_ROOTS};
+use crate::rustlex::{lex, Kind, Tok};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// What a lock-ish struct field or static is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FieldKind {
+    /// `Mutex<T>` or `TracedMutex<T>`: acquired via `.lock()` or a
+    /// guard-returning helper.
+    Lock,
+    /// `RwLock<T>`: acquired via `.read()` / `.write()`.
+    Rw,
+    /// `Condvar`.
+    Condvar,
+    /// `BoundedQueue<T>`: `.push(` / `.pop(` on it blocks.
+    Channel,
+}
+
+/// The workspace-wide symbol index built by pass 1.
+#[derive(Debug, Default)]
+struct Index {
+    /// `(struct, field)` -> kind, for every lock-ish field.
+    fields: BTreeMap<(String, String), FieldKind>,
+    /// field name -> structs declaring it (global-unique fallback for
+    /// nested receivers like `self.shared.slot`).
+    by_field: BTreeMap<String, BTreeSet<String>>,
+    /// `(struct, field)` -> `TracedMutex::new` name literal.
+    traced: BTreeMap<(String, String), String>,
+    /// `static NAME: Mutex<…>` items.
+    statics: BTreeMap<String, FieldKind>,
+    /// Guard-returning acquisition helpers (first param `&Mutex`-ish,
+    /// return type contains `MutexGuard` / `TracedGuard`).
+    helpers: BTreeSet<String>,
+}
+
+/// One `A -> B` acquisition-order edge with both sites.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LockEdge {
+    /// Lock already held.
+    pub from: String,
+    /// Lock acquired while `from` was held.
+    pub to: String,
+    /// File of the `to` acquisition.
+    pub file: String,
+    /// Line of the `to` acquisition.
+    pub line: usize,
+    /// File where `from` was acquired.
+    pub from_file: String,
+    /// Line where `from` was acquired.
+    pub from_line: usize,
+    /// Trimmed source line of the `to` acquisition.
+    pub excerpt: String,
+}
+
+/// The full analysis result, before baseline waivers.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// All rule violations, sorted by (file, line).
+    pub findings: Vec<Finding>,
+    /// The global lock-order graph (deduplicated edges).
+    pub edges: Vec<LockEdge>,
+    /// Every canonical lock name that was acquired somewhere.
+    pub lock_names: BTreeSet<String>,
+    /// The `TracedMutex::new("…")` name literals found in non-test code.
+    pub traced_names: BTreeSet<String>,
+}
+
+/// Condvar-family call names. Deliberately exact (not a `wait*` prefix):
+/// scheduler-style wrappers like `wait_for_grant` must not be forced
+/// into predicate loops.
+const WAIT_NAMES: [&str; 5] = [
+    "wait",
+    "wait_timeout",
+    "wait_while",
+    "wait_timeout_while",
+    "wait_ignore_poison",
+];
+
+fn is_wait_name(name: &str) -> bool {
+    WAIT_NAMES.contains(&name)
+}
+
+/// Index of the `)` matching the `(` at `open`, honoring nesting.
+fn matching_paren(toks: &[&Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct("(") {
+            depth += 1;
+        } else if t.is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Index just past a generics block starting at `i` (which must be `<`),
+/// counting `<<`/`>>` as two. Returns `i` unchanged if `toks[i]` is not `<`.
+fn skip_angles(toks: &[&Tok], i: usize) -> usize {
+    if !toks.get(i).is_some_and(|t| t.is_punct("<")) {
+        return i;
+    }
+    let mut depth = 0i64;
+    let mut j = i;
+    while j < toks.len() {
+        let t = toks[j];
+        if t.is_punct("<") {
+            depth += 1;
+        } else if t.is_punct(">") {
+            depth -= 1;
+        } else if t.is_punct("<<") {
+            depth += 2;
+        } else if t.is_punct(">>") {
+            depth -= 2;
+        }
+        j += 1;
+        if depth <= 0 {
+            return j;
+        }
+    }
+    j
+}
+
+/// Per-token innermost `impl` type name, so `self.field` resolves.
+fn impl_map(toks: &[&Tok]) -> Vec<Option<String>> {
+    let mut out: Vec<Option<String>> = vec![None; toks.len()];
+    let mut depth = 0i64;
+    let mut stack: Vec<(String, i64)> = Vec::new();
+    let mut pending: Option<String> = None;
+    for i in 0..toks.len() {
+        let t = toks[i];
+        if t.is_ident("impl") {
+            pending = impl_type_name(toks, i);
+        } else if t.is_punct("{") {
+            if let Some(name) = pending.take() {
+                stack.push((name, depth));
+            }
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            if stack.last().map(|s| s.1) == Some(depth) {
+                stack.pop();
+            }
+        } else if t.is_punct(";") {
+            // `impl Trait for Type;` never happens, but a parse hiccup
+            // must not leak `pending` into an unrelated brace.
+            pending = None;
+        }
+        out[i] = stack.last().map(|s| s.0.clone());
+    }
+    out
+}
+
+/// The implemented type's last path segment for the `impl` at `at`.
+fn impl_type_name(toks: &[&Tok], at: usize) -> Option<String> {
+    let mut j = skip_angles(toks, at + 1);
+    // If a top-level `for` appears before the body brace, the type
+    // follows it (`impl Drop for TicketSender<T>`).
+    let mut k = j;
+    let mut angle = 0i64;
+    while k < toks.len() {
+        let t = toks[k];
+        if t.is_punct("{") || t.is_ident("where") {
+            break;
+        }
+        if t.is_punct("<") {
+            angle += 1;
+        } else if t.is_punct(">") {
+            angle -= 1;
+        } else if t.is_punct("<<") {
+            angle += 2;
+        } else if t.is_punct(">>") {
+            angle -= 2;
+        } else if angle == 0 && t.is_ident("for") {
+            j = k + 1;
+        }
+        k += 1;
+    }
+    // Skip `&`, `mut`, lifetimes; then take the last ident of the
+    // `::`-separated path before its generics.
+    let mut name = None;
+    let mut m = j;
+    while m < toks.len() {
+        let t = toks[m];
+        if t.is_punct("&") || t.is_ident("mut") || t.kind == Kind::Lifetime || t.is_punct("::") {
+            m += 1;
+            continue;
+        }
+        if t.kind == Kind::Ident && !t.is_ident("where") {
+            name = Some(t.text.clone());
+            m += 1;
+            // Path continues only through `::`.
+            if toks.get(m).is_some_and(|t| t.is_punct("::")) {
+                continue;
+            }
+        }
+        break;
+    }
+    name
+}
+
+fn classify_type(toks: &[&Tok]) -> Option<FieldKind> {
+    let has = |s: &str| toks.iter().any(|t| t.is_ident(s));
+    if has("TracedMutex") || has("Mutex") {
+        Some(FieldKind::Lock)
+    } else if has("RwLock") {
+        Some(FieldKind::Rw)
+    } else if has("Condvar") {
+        Some(FieldKind::Condvar)
+    } else if has("BoundedQueue") {
+        Some(FieldKind::Channel)
+    } else {
+        None
+    }
+}
+
+/// Pass 1: structs' lock-ish fields, statics, guard helpers, and
+/// `TracedMutex::new("…")` field-name associations.
+fn index_file(toks: &[&Tok], imap: &[Option<String>], idx: &mut Index) {
+    let mut i = 0;
+    while i < toks.len() {
+        let t = toks[i];
+        // struct Name { field: Type, … }
+        if t.is_ident("struct") && toks.get(i + 1).is_some_and(|t| t.kind == Kind::Ident) {
+            let name = toks[i + 1].text.clone();
+            let mut j = skip_angles(toks, i + 2);
+            while j < toks.len()
+                && !toks[j].is_punct("{")
+                && !toks[j].is_punct("(")
+                && !toks[j].is_punct(";")
+            {
+                j += 1;
+            }
+            if toks.get(j).is_some_and(|t| t.is_punct("{")) {
+                let mut depth = 1i64;
+                let mut k = j + 1;
+                let mut chunk_start = k;
+                while k < toks.len() && depth > 0 {
+                    let tk = toks[k];
+                    if tk.is_punct("{") || tk.is_punct("(") || tk.is_punct("[") {
+                        depth += 1;
+                    } else if tk.is_punct("}") || tk.is_punct(")") || tk.is_punct("]") {
+                        depth -= 1;
+                    }
+                    let field_ends = depth == 0 || (depth == 1 && tk.is_punct(","));
+                    if field_ends {
+                        record_field(&toks[chunk_start..k], &name, idx);
+                        chunk_start = k + 1;
+                    }
+                    k += 1;
+                }
+                i = k;
+                continue;
+            }
+        }
+        // static NAME: Mutex<…> = …;
+        if t.is_ident("static") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            if toks.get(j).is_some_and(|t| t.kind == Kind::Ident)
+                && toks.get(j + 1).is_some_and(|t| t.is_punct(":"))
+            {
+                let name = toks[j].text.clone();
+                let ty_start = j + 2;
+                let mut k = ty_start;
+                while k < toks.len() && !toks[k].is_punct("=") && !toks[k].is_punct(";") {
+                    k += 1;
+                }
+                if let Some(kind) = classify_type(&toks[ty_start..k]) {
+                    idx.statics.insert(name, kind);
+                }
+            }
+        }
+        // fn name(first: &Mutex<…>, …) -> …Guard…  => acquisition helper.
+        if t.is_ident("fn") && toks.get(i + 1).is_some_and(|t| t.kind == Kind::Ident) {
+            let name = toks[i + 1].text.clone();
+            let j = skip_angles(toks, i + 2);
+            if toks.get(j).is_some_and(|t| t.is_punct("(")) {
+                if let Some(close) = matching_paren(toks, j) {
+                    let params = &toks[j + 1..close];
+                    let first_param_end = {
+                        let mut depth = 0i64;
+                        let mut e = params.len();
+                        for (p, tk) in params.iter().enumerate() {
+                            if tk.is_punct("(") || tk.is_punct("[") || tk.is_punct("<") {
+                                depth += 1;
+                            } else if tk.is_punct(")") || tk.is_punct("]") || tk.is_punct(">") {
+                                depth -= 1;
+                            } else if depth == 0 && tk.is_punct(",") {
+                                e = p;
+                                break;
+                            }
+                        }
+                        e
+                    };
+                    let first = &params[..first_param_end];
+                    let takes_lock = first
+                        .iter()
+                        .any(|t| t.is_ident("Mutex") || t.is_ident("TracedMutex"))
+                        && !first.iter().any(|t| t.is_ident("MutexGuard"));
+                    if takes_lock && toks.get(close + 1).is_some_and(|t| t.is_punct("->")) {
+                        let mut k = close + 2;
+                        let mut returns_guard = false;
+                        while k < toks.len()
+                            && !toks[k].is_punct("{")
+                            && !toks[k].is_punct(";")
+                            && !toks[k].is_ident("where")
+                        {
+                            if toks[k].is_ident("MutexGuard") || toks[k].is_ident("TracedGuard") {
+                                returns_guard = true;
+                            }
+                            k += 1;
+                        }
+                        if returns_guard {
+                            idx.helpers.insert(name);
+                        }
+                    }
+                }
+            }
+        }
+        // field: TracedMutex::new("name", …) — associate literal to field.
+        if t.kind == Kind::Ident
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(":"))
+            && toks.get(i + 2).is_some_and(|t| t.is_ident("TracedMutex"))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct("::"))
+            && toks.get(i + 4).is_some_and(|t| t.is_ident("new"))
+            && toks.get(i + 5).is_some_and(|t| t.is_punct("("))
+            && toks.get(i + 6).is_some_and(|t| t.kind == Kind::Str)
+        {
+            let field = t.text.clone();
+            let literal = toks[i + 6].text.clone();
+            let ctx = imap.get(i).cloned().flatten();
+            // Resolved after all files are indexed (the declaring struct
+            // may not be indexed yet); stash under a sentinel key the
+            // resolver understands.
+            let ctx_key = ctx.unwrap_or_default();
+            idx.traced.insert((ctx_key, field), literal);
+        }
+        i += 1;
+    }
+}
+
+fn record_field(chunk: &[&Tok], struct_name: &str, idx: &mut Index) {
+    // Skip attributes and visibility: #[…] / pub / pub(crate).
+    let mut i = 0;
+    while i < chunk.len() {
+        let t = chunk[i];
+        if t.is_punct("#") {
+            // Skip the bracket group.
+            let mut depth = 0i64;
+            i += 1;
+            while i < chunk.len() {
+                if chunk[i].is_punct("[") {
+                    depth += 1;
+                } else if chunk[i].is_punct("]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                i += 1;
+            }
+            continue;
+        }
+        if t.is_ident("pub") {
+            i += 1;
+            if chunk.get(i).is_some_and(|t| t.is_punct("(")) {
+                let mut depth = 0i64;
+                while i < chunk.len() {
+                    if chunk[i].is_punct("(") {
+                        depth += 1;
+                    } else if chunk[i].is_punct(")") {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        break;
+    }
+    if chunk.get(i).is_some_and(|t| t.kind == Kind::Ident)
+        && chunk.get(i + 1).is_some_and(|t| t.is_punct(":"))
+    {
+        let field = chunk[i].text.clone();
+        if let Some(kind) = classify_type(&chunk[i + 2..]) {
+            idx.fields
+                .insert((struct_name.to_string(), field.clone()), kind);
+            idx.by_field
+                .entry(field)
+                .or_default()
+                .insert(struct_name.to_string());
+        }
+    }
+}
+
+impl Index {
+    /// Resolves a receiver path (`["self", "state"]`, `["PAIRS"]`, …) to
+    /// a `(canonical_name, kind)` under the impl context `ctx`.
+    fn resolve(&self, path: &[String], ctx: Option<&str>) -> Option<(String, FieldKind)> {
+        match path {
+            [] => None,
+            [single] => self
+                .statics
+                .get(single)
+                .map(|&k| (format!("static.{single}"), k)),
+            _ => {
+                let field = path.last()?;
+                let strukt = if path.len() == 2 && path[0] == "self" {
+                    let c = ctx?;
+                    if self.fields.contains_key(&(c.to_string(), field.clone())) {
+                        Some(c.to_string())
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                };
+                let strukt = strukt.or_else(|| {
+                    let owners = self.by_field.get(field)?;
+                    if owners.len() == 1 {
+                        owners.iter().next().cloned()
+                    } else {
+                        None
+                    }
+                })?;
+                let kind = *self.fields.get(&(strukt.clone(), field.clone()))?;
+                Some((self.canonical(&strukt, field), kind))
+            }
+        }
+    }
+
+    /// The canonical display name for a `(struct, field)` lock: the
+    /// `TracedMutex::new` literal when one was found, else `Struct.field`.
+    fn canonical(&self, strukt: &str, field: &str) -> String {
+        if let Some(name) = self.traced.get(&(strukt.to_string(), field.to_string())) {
+            return name.clone();
+        }
+        // Initializer seen outside an impl (free constructor fn): keyed
+        // under the empty context if the field is globally unique.
+        if let Some(name) = self.traced.get(&(String::new(), field.to_string())) {
+            if self.by_field.get(field).is_some_and(|o| o.len() == 1) {
+                return name.clone();
+            }
+        }
+        format!("{strukt}.{field}")
+    }
+}
+
+/// A tracked live guard.
+#[derive(Debug, Clone)]
+struct GuardVar {
+    var: String,
+    /// Canonical lock name, when the receiver resolved.
+    lock: Option<String>,
+    line: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScopeKind {
+    Fn,
+    Loop,
+    Plain,
+}
+
+struct Scope {
+    kind: ScopeKind,
+    guards: Vec<GuardVar>,
+}
+
+/// The receiver path of the method call whose `.` is at `dot`:
+/// `self.shared.slot.lock()` -> `["self", "shared", "slot"]`. Empty when
+/// the receiver is a chained call or other non-path expression.
+fn receiver_path(toks: &[&Tok], dot: usize) -> Vec<String> {
+    let mut segs: Vec<String> = Vec::new();
+    let mut j = dot;
+    loop {
+        if j == 0 || !toks[j].is_punct(".") {
+            break;
+        }
+        let prev = toks[j - 1];
+        if prev.kind != Kind::Ident {
+            // `foo().lock()` or `map[k].lock()`: give up.
+            return Vec::new();
+        }
+        segs.push(prev.text.clone());
+        if j >= 2 && toks[j - 2].is_punct(".") {
+            j -= 2;
+            continue;
+        }
+        break;
+    }
+    segs.reverse();
+    segs
+}
+
+/// The `&`-stripped path of a helper call's first argument:
+/// `lock_ignore_poison(&self.inner)` -> `["self", "inner"]`.
+fn arg_path(args: &[&Tok]) -> Vec<String> {
+    let mut i = 0;
+    while args
+        .get(i)
+        .is_some_and(|t| t.is_punct("&") || t.is_ident("mut"))
+    {
+        i += 1;
+    }
+    let mut segs = Vec::new();
+    while i < args.len() {
+        let t = args[i];
+        if t.kind == Kind::Ident {
+            segs.push(t.text.clone());
+            i += 1;
+            if args
+                .get(i)
+                .is_some_and(|t| t.is_punct(".") || t.is_punct("::"))
+            {
+                i += 1;
+                continue;
+            }
+            if i < args.len() && !args[i].is_punct(",") {
+                // Trailing tokens mean the arg is a bigger expression.
+                return Vec::new();
+            }
+            break;
+        }
+        return Vec::new();
+    }
+    segs
+}
+
+struct FileCtx<'a> {
+    rel: &'a str,
+    raw_lines: Vec<&'a str>,
+}
+
+impl FileCtx<'_> {
+    fn excerpt(&self, line: usize) -> String {
+        self.raw_lines
+            .get(line - 1)
+            .map_or(String::new(), |l| l.trim().to_string())
+    }
+}
+
+/// Pass 2 over one file: track scopes + guards, record edges and per-site
+/// findings.
+fn analyze_file(
+    ctx: &FileCtx<'_>,
+    toks: &[&Tok],
+    imap: &[Option<String>],
+    idx: &Index,
+    out: &mut Analysis,
+) {
+    let mut scopes: Vec<Scope> = vec![Scope {
+        kind: ScopeKind::Plain,
+        guards: Vec::new(),
+    }];
+    let mut pending_fn = false;
+    let mut pending_loop = false;
+    let mut pending_let: Option<String> = None;
+    let mut edges: BTreeSet<LockEdge> = out.edges.iter().cloned().collect();
+
+    let live_guards = |scopes: &[Scope]| -> Vec<GuardVar> {
+        scopes
+            .iter()
+            .flat_map(|s| s.guards.iter().cloned())
+            .collect()
+    };
+
+    let mut i = 0;
+    while i < toks.len() {
+        let t = toks[i];
+        if t.is_punct("{") {
+            let kind = if pending_fn {
+                ScopeKind::Fn
+            } else if pending_loop {
+                ScopeKind::Loop
+            } else {
+                ScopeKind::Plain
+            };
+            pending_fn = false;
+            pending_loop = false;
+            scopes.push(Scope {
+                kind,
+                guards: Vec::new(),
+            });
+            i += 1;
+            continue;
+        }
+        if t.is_punct("}") {
+            if scopes.len() > 1 {
+                scopes.pop();
+            }
+            i += 1;
+            continue;
+        }
+        if t.is_punct(";") {
+            pending_let = None;
+            pending_fn = false;
+            pending_loop = false;
+            i += 1;
+            continue;
+        }
+        if t.kind == Kind::Ident {
+            match t.text.as_str() {
+                "fn" => pending_fn = true,
+                "loop" | "while" | "for" => pending_loop = true,
+                "let" => {
+                    let mut j = i + 1;
+                    if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                        j += 1;
+                    }
+                    if toks.get(j).is_some_and(|t| t.kind == Kind::Ident) {
+                        pending_let = Some(toks[j].text.clone());
+                    } else {
+                        pending_let = None;
+                    }
+                }
+                "drop"
+                    if toks.get(i + 1).is_some_and(|t| t.is_punct("("))
+                        && toks.get(i + 2).is_some_and(|t| t.kind == Kind::Ident)
+                        && toks.get(i + 3).is_some_and(|t| t.is_punct(")")) =>
+                {
+                    let var = &toks[i + 2].text;
+                    for scope in scopes.iter_mut().rev() {
+                        if let Some(pos) = scope.guards.iter().rposition(|g| &g.var == var) {
+                            scope.guards.remove(pos);
+                            break;
+                        }
+                    }
+                    i += 4;
+                    continue;
+                }
+                _ => {}
+            }
+            // Call sites: `name(` — method when preceded by `.`.
+            if toks.get(i + 1).is_some_and(|t| t.is_punct("(")) && !t.is_ident("fn") {
+                let prev_is_dot = i > 0 && toks[i - 1].is_punct(".");
+                let prev_is_fn = i > 0 && toks[i - 1].is_ident("fn");
+                if !prev_is_fn {
+                    let close = matching_paren(toks, i + 1);
+                    if let Some(close) = close {
+                        let args = &toks[i + 2..close];
+                        let name = t.text.as_str();
+                        let line = t.line;
+                        let ictx = imap.get(i).cloned().flatten();
+
+                        let live = live_guards(&scopes);
+                        let guard_args: Vec<String> = args
+                            .iter()
+                            .filter(|a| {
+                                a.kind == Kind::Ident && live.iter().any(|g| g.var == a.text)
+                            })
+                            .map(|a| a.text.clone())
+                            .collect();
+
+                        let mut acquisition: Option<(Option<String>, usize)> = None;
+                        let mut blocking: Option<&str> = None;
+                        let mut wait_site = false;
+
+                        if prev_is_dot {
+                            let recv = receiver_path(toks, i - 1);
+                            let resolved = idx.resolve(&recv, ictx.as_deref());
+                            match name {
+                                "lock" if args.is_empty() => {
+                                    acquisition = Some((resolved.map(|(n, _)| n), close));
+                                }
+                                "read" | "write" if args.is_empty() => {
+                                    if let Some((n, FieldKind::Rw)) = resolved {
+                                        acquisition = Some((Some(n), close));
+                                    }
+                                }
+                                "join" if args.is_empty() => blocking = Some("join()"),
+                                "wait" if args.is_empty() => blocking = Some("Ticket::wait()"),
+                                "push" | "pop" => {
+                                    if let Some((_, FieldKind::Channel)) = resolved {
+                                        blocking = Some("BoundedQueue push/pop");
+                                    }
+                                }
+                                _ if is_wait_name(name) && !guard_args.is_empty() => {
+                                    wait_site = true;
+                                }
+                                _ => {}
+                            }
+                        } else {
+                            if idx.helpers.contains(name) {
+                                let resolved = idx.resolve(&arg_path(args), ictx.as_deref());
+                                acquisition = Some((resolved.map(|(n, _)| n), close));
+                            } else if name == "sleep" {
+                                blocking = Some("sleep()");
+                            } else if is_wait_name(name) && !guard_args.is_empty() {
+                                wait_site = true;
+                            }
+                        }
+
+                        if let Some((lock, close)) = acquisition {
+                            // Lock-order edges: new lock vs. every live
+                            // resolved guard.
+                            if let Some(to) = &lock {
+                                out.lock_names.insert(to.clone());
+                                for g in &live {
+                                    if let Some(from) = &g.lock {
+                                        edges.insert(LockEdge {
+                                            from: from.clone(),
+                                            to: to.clone(),
+                                            file: ctx.rel.to_string(),
+                                            line,
+                                            from_file: ctx.rel.to_string(),
+                                            from_line: g.line,
+                                            excerpt: ctx.excerpt(line),
+                                        });
+                                    }
+                                }
+                            }
+                            // Bind only when the acquisition is the whole
+                            // RHS of a `let`.
+                            let ends_stmt = toks.get(close + 1).is_some_and(|t| t.is_punct(";"));
+                            if ends_stmt {
+                                if let Some(var) = pending_let.take() {
+                                    if let Some(scope) = scopes.last_mut() {
+                                        scope.guards.push(GuardVar { var, lock, line });
+                                    }
+                                }
+                            }
+                            i = close + 1;
+                            continue;
+                        }
+
+                        if wait_site {
+                            // Rule: the wait must sit inside a loop within
+                            // its function.
+                            let mut in_loop = false;
+                            for scope in scopes.iter().rev() {
+                                if scope.kind == ScopeKind::Fn {
+                                    break;
+                                }
+                                if scope.kind == ScopeKind::Loop {
+                                    in_loop = true;
+                                    break;
+                                }
+                            }
+                            if !in_loop {
+                                out.findings.push(Finding {
+                                    file: ctx.rel.to_string(),
+                                    line,
+                                    rule: Rule::CondvarNoLoop,
+                                    excerpt: ctx.excerpt(line),
+                                });
+                            }
+                            // Other guards held across the wait block
+                            // every thread needing them.
+                            for g in &live {
+                                if !guard_args.contains(&g.var) {
+                                    out.findings.push(Finding {
+                                        file: ctx.rel.to_string(),
+                                        line,
+                                        rule: Rule::GuardAcrossBlocking,
+                                        excerpt: format!(
+                                            "{} [guard `{}` from line {} held across condvar wait]",
+                                            ctx.excerpt(line),
+                                            g.var,
+                                            g.line
+                                        ),
+                                    });
+                                }
+                            }
+                        } else if let Some(what) = blocking {
+                            for g in &live {
+                                out.findings.push(Finding {
+                                    file: ctx.rel.to_string(),
+                                    line,
+                                    rule: Rule::GuardAcrossBlocking,
+                                    excerpt: format!(
+                                        "{} [guard `{}` from line {} held across blocking {}]",
+                                        ctx.excerpt(line),
+                                        g.var,
+                                        g.line,
+                                        what
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    out.edges = edges.into_iter().collect();
+}
+
+/// Runs the analysis over in-memory `(repo-relative path, source)` pairs.
+/// The unit tests and the engine gate's cross-validation both enter here.
+pub fn analyze_sources(files: &[(String, String)]) -> Analysis {
+    let mut prepped: Vec<(String, Vec<Tok>, Vec<bool>)> = Vec::new();
+    for (rel, source) in files {
+        let mask = test_mask(&strip(source));
+        let toks = lex(source);
+        prepped.push((rel.clone(), toks, mask));
+    }
+
+    let mut idx = Index::default();
+    let mut filtered: Vec<(usize, Vec<&Tok>)> = Vec::new();
+    for (fi, (_, toks, mask)) in prepped.iter().enumerate() {
+        let kept: Vec<&Tok> = toks
+            .iter()
+            .filter(|t| !mask.get(t.line - 1).copied().unwrap_or(false))
+            .collect();
+        filtered.push((fi, kept));
+    }
+    // Pass 1: the index needs every file before pass 2 can resolve
+    // cross-file receivers.
+    let imaps: Vec<Vec<Option<String>>> = filtered.iter().map(|(_, kept)| impl_map(kept)).collect();
+    for ((_, kept), imap) in filtered.iter().zip(&imaps) {
+        index_file(kept, imap, &mut idx);
+    }
+
+    let mut out = Analysis::default();
+    for name in idx.traced.values() {
+        out.traced_names.insert(name.clone());
+    }
+
+    // Pass 2.
+    for ((fi, kept), imap) in filtered.iter().zip(&imaps) {
+        let (rel, _, _) = &prepped[*fi];
+        let source = &files[*fi].1;
+        let ctx = FileCtx {
+            rel,
+            raw_lines: source.lines().collect(),
+        };
+        analyze_file(&ctx, kept, imap, &idx, &mut out);
+    }
+
+    // Cycle pass over the global graph.
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in &out.edges {
+        adj.entry(&e.from).or_default().insert(&e.to);
+    }
+    let reaches = |from: &str, to: &str| -> bool {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![from];
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if !seen.insert(n) {
+                continue;
+            }
+            if let Some(next) = adj.get(n) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        false
+    };
+    for e in &out.edges {
+        if reaches(&e.to, &e.from) {
+            out.findings.push(Finding {
+                file: e.file.clone(),
+                line: e.line,
+                rule: Rule::LockOrderCycle,
+                excerpt: format!(
+                    "{} [acquires `{}` while holding `{}` (held since {}:{}); \
+                     `{}` -> … -> `{}` closes an order cycle]",
+                    e.excerpt, e.to, e.from, e.from_file, e.from_line, e.from, e.to
+                ),
+            });
+        }
+    }
+
+    out.findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule.name()).cmp(&(b.file.as_str(), b.line, b.rule.name()))
+    });
+    out
+}
+
+/// The conc run's aggregate result (mirror of `lint::LintOutcome`).
+#[derive(Debug)]
+pub struct ConcOutcome {
+    /// Unwaived findings (the gate fails if non-empty).
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by baseline waivers.
+    pub waived: Vec<Finding>,
+    /// Baseline entries that matched nothing (stale waivers fail the gate).
+    pub unused_waivers: Vec<String>,
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// The lock-order graph and lock-name inventory, for the engine
+    /// gate's runtime-witness cross-check.
+    pub analysis: Analysis,
+}
+
+impl ConcOutcome {
+    /// Whether the gate passes.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.unused_waivers.is_empty()
+    }
+}
+
+fn load_workspace_sources(repo_root: &Path) -> Result<Vec<(String, String)>, String> {
+    let mut files = Vec::new();
+    for root in DEFAULT_ROOTS {
+        let dir = repo_root.join(root);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    if files.is_empty() {
+        return Err(format!(
+            "no .rs sources found under {} (looked in {})",
+            repo_root.display(),
+            DEFAULT_ROOTS.join(", ")
+        ));
+    }
+    files.sort();
+    let mut out = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(repo_root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        out.push((rel, source));
+    }
+    Ok(out)
+}
+
+/// Runs the static concurrency analysis over the whole workspace,
+/// applying `baseline` waivers (default file: `conc-baseline.toml`).
+///
+/// # Errors
+/// Returns a message if a directory or file cannot be read.
+pub fn run(repo_root: &Path, baseline: &Baseline) -> Result<ConcOutcome, String> {
+    let sources = load_workspace_sources(repo_root)?;
+    let files_scanned = sources.len();
+    let mut analysis = analyze_sources(&sources);
+    let all = std::mem::take(&mut analysis.findings);
+    let mut used = vec![0usize; baseline.waivers.len()];
+    let mut findings = Vec::new();
+    let mut waived = Vec::new();
+    for f in all {
+        let hit = baseline.matching(&f).next();
+        match hit {
+            Some(i) => {
+                used[i] += 1;
+                waived.push(f);
+            }
+            None => findings.push(f),
+        }
+    }
+    let unused_waivers = baseline
+        .waivers
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| u == 0)
+        .map(|(w, _)| w.describe())
+        .collect();
+    Ok(ConcOutcome {
+        findings,
+        waived,
+        unused_waivers,
+        files_scanned,
+        analysis,
+    })
+}
+
+/// Convenience wrapper for the engine gate: workspace analysis with no
+/// baseline applied, exposing the lock graph and traced-name inventory.
+///
+/// # Errors
+/// Returns a message if the workspace sources cannot be read.
+pub fn analyze_workspace(repo_root: &Path) -> Result<Analysis, String> {
+    let sources = load_workspace_sources(repo_root)?;
+    Ok(analyze_sources(&sources))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(rel: &str, src: &str) -> Analysis {
+        analyze_sources(&[(rel.to_string(), src.to_string())])
+    }
+
+    const AB_BA: &str = r#"
+use std::sync::Mutex;
+struct Pair { alpha: Mutex<u32>, beta: Mutex<u32> }
+impl Pair {
+    fn ab(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        drop(b);
+        drop(a);
+    }
+    fn ba(&self) {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        drop(a);
+        drop(b);
+    }
+}
+"#;
+
+    #[test]
+    fn ab_ba_inversion_reports_cycle_on_both_edges() {
+        let a = one("x/src/pair.rs", AB_BA);
+        assert_eq!(a.edges.len(), 2, "edges: {:?}", a.edges);
+        let cycles: Vec<&Finding> = a
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::LockOrderCycle)
+            .collect();
+        assert_eq!(cycles.len(), 2, "findings: {:?}", a.findings);
+        assert_eq!(cycles[0].line, 7);
+        assert_eq!(cycles[1].line, 13);
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = r#"
+use std::sync::Mutex;
+struct Pair { alpha: Mutex<u32>, beta: Mutex<u32> }
+impl Pair {
+    fn ab(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        drop(b);
+        drop(a);
+    }
+    fn ab_again(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        drop(b);
+        drop(a);
+    }
+}
+"#;
+        let a = one("x/src/pair.rs", src);
+        assert!(
+            a.edges
+                .iter()
+                .all(|e| e.from == "Pair.alpha" && e.to == "Pair.beta"),
+            "edges: {:?}",
+            a.edges
+        );
+        assert!(a.findings.is_empty(), "findings: {:?}", a.findings);
+    }
+
+    #[test]
+    fn self_reacquire_is_a_cycle() {
+        let src = r#"
+use std::sync::Mutex;
+struct S { m: Mutex<u32> }
+impl S {
+    fn f(&self) {
+        let a = self.m.lock();
+        let b = self.m.lock();
+        drop(b);
+        drop(a);
+    }
+}
+"#;
+        let a = one("x/src/s.rs", src);
+        let cycles: Vec<&Finding> = a
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::LockOrderCycle)
+            .collect();
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].line, 7);
+    }
+
+    #[test]
+    fn if_guarded_condvar_wait_fires_and_looped_wait_does_not() {
+        let src = r#"
+use std::sync::{Condvar, Mutex};
+struct S { m: Mutex<bool>, cv: Condvar }
+impl S {
+    fn bad(&self) {
+        let mut g = self.m.lock();
+        if !*g {
+            g = self.cv.wait(g);
+        }
+    }
+    fn good(&self) {
+        let mut g = self.m.lock();
+        while !*g {
+            g = self.cv.wait(g);
+        }
+    }
+}
+"#;
+        let a = one("x/src/s.rs", src);
+        let waits: Vec<&Finding> = a
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::CondvarNoLoop)
+            .collect();
+        assert_eq!(waits.len(), 1, "findings: {:?}", a.findings);
+        assert_eq!(waits[0].line, 8);
+    }
+
+    #[test]
+    fn guard_across_join_fires() {
+        let src = r#"
+use std::sync::Mutex;
+struct S { m: Mutex<u32> }
+impl S {
+    fn f(&self, h: std::thread::JoinHandle<()>) {
+        let g = self.m.lock();
+        h.join();
+        drop(g);
+    }
+}
+"#;
+        let a = one("x/src/s.rs", src);
+        let hits: Vec<&Finding> = a
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::GuardAcrossBlocking)
+            .collect();
+        assert_eq!(hits.len(), 1, "findings: {:?}", a.findings);
+        assert_eq!(hits[0].line, 7);
+        assert!(hits[0].excerpt.contains("`g`"));
+    }
+
+    #[test]
+    fn guard_dropped_before_join_is_clean() {
+        let src = r#"
+use std::sync::Mutex;
+struct S { m: Mutex<u32> }
+impl S {
+    fn f(&self, h: std::thread::JoinHandle<()>) {
+        { let g = self.m.lock(); drop(g); }
+        h.join();
+    }
+}
+"#;
+        let a = one("x/src/s.rs", src);
+        assert!(a.findings.is_empty(), "findings: {:?}", a.findings);
+    }
+
+    #[test]
+    fn chained_temporaries_do_not_become_guards() {
+        let src = r#"
+use std::sync::Mutex;
+struct S { m: Mutex<Vec<u32>> }
+impl S {
+    fn f(&self, h: std::thread::JoinHandle<()>) {
+        let n = self.m.lock().map(|g| g.len());
+        h.join();
+    }
+}
+"#;
+        let a = one("x/src/s.rs", src);
+        assert!(a.findings.is_empty(), "findings: {:?}", a.findings);
+    }
+
+    #[test]
+    fn traced_mutex_literal_becomes_canonical_name() {
+        let src = r#"
+struct Q { state: TracedMutex<u32> }
+impl Q {
+    fn new() -> Self {
+        Self { state: TracedMutex::new("engine.q.state", 0) }
+    }
+    fn f(&self, h: std::thread::JoinHandle<()>) {
+        let g = self.state.lock();
+        h.join();
+        drop(g);
+    }
+}
+"#;
+        let a = one("x/src/q.rs", src);
+        assert!(a.traced_names.contains("engine.q.state"));
+        assert!(a.lock_names.contains("engine.q.state"));
+    }
+
+    #[test]
+    fn wait_wrapper_taking_guard_param_is_exempt() {
+        // `raw` arrives as a parameter, not a tracked acquisition, so the
+        // wrapper body needs no loop.
+        let src = r#"
+use std::sync::{Condvar, MutexGuard};
+fn forward<'a, T>(cv: &Condvar, raw: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    wait_ignore_poison(cv, raw)
+}
+"#;
+        let a = one("x/src/w.rs", src);
+        assert!(a.findings.is_empty(), "findings: {:?}", a.findings);
+    }
+
+    #[test]
+    fn helper_acquisition_resolves_static() {
+        let src = r#"
+use std::sync::{Mutex, MutexGuard};
+static PAIRS: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+fn f(h: std::thread::JoinHandle<()>) {
+    let g = lock_ignore_poison(&PAIRS);
+    h.join();
+    drop(g);
+}
+"#;
+        let a = one("x/src/s.rs", src);
+        let hits: Vec<&Finding> = a
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::GuardAcrossBlocking)
+            .collect();
+        assert_eq!(hits.len(), 1, "findings: {:?}", a.findings);
+        assert!(a.lock_names.contains("static.PAIRS"));
+    }
+
+    #[test]
+    fn test_code_is_masked() {
+        let masked = format!("#[cfg(test)]\nmod tests {{\n{AB_BA}\n}}\n");
+        let a = one("x/src/pair.rs", &masked);
+        assert!(a.findings.is_empty());
+        assert!(a.edges.is_empty());
+    }
+
+    #[test]
+    fn cross_file_edges_join_one_graph() {
+        let fwd = r#"
+use std::sync::Mutex;
+struct Pair { alpha: Mutex<u32>, beta: Mutex<u32> }
+impl Pair {
+    fn ab(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        drop(b);
+        drop(a);
+    }
+}
+"#;
+        let rev = r#"
+fn ba(p: &crate::Pair) {
+    let b = p.beta.lock();
+    let a = p.alpha.lock();
+    drop(a);
+    drop(b);
+}
+"#;
+        let a = analyze_sources(&[
+            ("x/src/fwd.rs".to_string(), fwd.to_string()),
+            ("x/src/rev.rs".to_string(), rev.to_string()),
+        ]);
+        let cycles = a
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::LockOrderCycle)
+            .count();
+        assert_eq!(cycles, 2, "findings: {:?}", a.findings);
+    }
+}

@@ -7,8 +7,17 @@
 //! scratch-threading shows up as an answer mismatch, and a regression
 //! that serializes the pool (an accidental global lock on the search
 //! path) shows up as a speedup below [`MIN_SPEEDUP`].
+//!
+//! The correctness phase also runs with the engine's `lock-witness`
+//! enabled: every `TracedMutex` acquisition order observed at runtime is
+//! cross-validated against the static lock-order graph extracted by
+//! [`crate::conc`] — a runtime-held edge the static analysis lacks means
+//! the `conc` gate is blind to a real acquisition order and fails here.
+//! The witness is switched off again before the throughput phase so the
+//! recording mutex never touches the measured speedup.
 
 use mqa_core::{Config, MqaSystem};
+use mqa_engine::sync::witness;
 use mqa_engine::{EngineOptions, QueryEngine, WorkerPool};
 use mqa_graph::starling::{DeviceProfile, LayoutStrategy, PageLayout, PagedIndex};
 use mqa_graph::FlatDistance;
@@ -44,6 +53,10 @@ pub struct EngineOutcome {
     pub speedup: f64,
     /// Jobs executed across the pool's per-worker counters.
     pub jobs_executed: u64,
+    /// Distinct lock-acquisition pairs the runtime witness recorded
+    /// during the correctness phase (and validated against the static
+    /// lock graph).
+    pub witness_pairs: usize,
 }
 
 /// Runs both checks and writes `metrics.json` under `out_dir`.
@@ -54,7 +67,11 @@ pub struct EngineOutcome {
 /// instrument stayed empty, or the snapshot cannot be written.
 pub fn run(out_dir: &Path, seed: u64) -> Result<EngineOutcome, String> {
     mqa_obs::global().reset();
+    witness::reset();
+    witness::enable(true);
     let identical_answers = check_answers_match_serial(seed)?;
+    witness::enable(false);
+    let witness_pairs = check_lock_witness()?;
     let (serial_qps, concurrent_qps, jobs_executed) = check_paged_speedup(seed)?;
     let speedup = concurrent_qps / serial_qps;
     if speedup < MIN_SPEEDUP {
@@ -78,7 +95,54 @@ pub fn run(out_dir: &Path, seed: u64) -> Result<EngineOutcome, String> {
         concurrent_qps,
         speedup,
         jobs_executed,
+        witness_pairs,
     })
+}
+
+/// Check 1b — the runtime lock-order witness agrees with the static
+/// analysis: the traced locks saw real traffic (at least one sequential
+/// pair), every runtime-held edge exists in the static lock graph, and
+/// every observed lock name traces back to a `TracedMutex::new` literal.
+fn check_lock_witness() -> Result<usize, String> {
+    let pairs = witness::pairs();
+    if !pairs.iter().any(|p| !p.held) {
+        return Err(
+            "engine smoke failed: the lock witness recorded no sequential \
+             acquisition pairs — the traced engine locks saw no traffic \
+             during the correctness phase"
+                .to_string(),
+        );
+    }
+    // The static graph comes from the sources, so anchor on this crate's
+    // manifest dir — the gate's unit test runs with cwd=crates/xtask.
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let analysis = crate::conc::analyze_workspace(&repo_root)
+        .map_err(|e| format!("engine smoke failed: static lock graph unavailable: {e}"))?;
+    for p in pairs.iter().filter(|p| p.held) {
+        let known = analysis
+            .edges
+            .iter()
+            .any(|e| e.from == p.from && e.to == p.to);
+        if !known {
+            return Err(format!(
+                "engine smoke failed: runtime lock-order edge `{}` -> `{}` \
+                 (held, observed {}x) is absent from the static lock graph — \
+                 `mqa-xtask conc` is blind to a real acquisition order",
+                p.from, p.to, p.count
+            ));
+        }
+    }
+    for p in &pairs {
+        for name in [&p.from, &p.to] {
+            if !analysis.traced_names.contains(name.as_str()) {
+                return Err(format!(
+                    "engine smoke failed: witness observed lock `{name}` with no \
+                     matching TracedMutex::new(\"{name}\", …) in the workspace sources"
+                ));
+            }
+        }
+    }
+    Ok(pairs.len())
 }
 
 /// Check 1 — correctness: route real multi-modal queries through a
@@ -235,8 +299,16 @@ mod tests {
             outcome.speedup
         );
         assert!(outcome.jobs_executed > 0);
+        assert!(
+            outcome.witness_pairs >= 1,
+            "the lock witness must record at least one acquisition pair"
+        );
         let body = std::fs::read_to_string(dir.join("metrics.json")).expect("metrics readable");
         assert!(body.contains("engine.query_us"));
+        assert!(
+            body.contains("engine.lockwitness."),
+            "witness counters must land in the metrics snapshot"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -19,11 +19,18 @@
 //! journal enabled, writes the journal / metrics-snapshot / report
 //! artifacts, and fails unless every instrumented pipeline layer shows
 //! up in the snapshot. A fourth, [`engine`], is the concurrency smoke
-//! gate: worker-pool answers must match the serial path exactly, and
-//! paged-search QPS must scale with workers.
+//! gate: worker-pool answers must match the serial path exactly, paged
+//! QPS must scale with workers, and the runtime lock-order witness must
+//! agree with the static lock graph. A fifth, [`conc`], is the static
+//! concurrency analysis: a token-level pass ([`rustlex`]) extracts
+//! every lock acquisition in the workspace, builds the global
+//! lock-order graph, and reports order cycles, non-looped
+//! `Condvar::wait`s, and guards held across blocking calls.
 
 pub mod audit;
 pub mod baseline;
+pub mod conc;
 pub mod engine;
 pub mod lint;
 pub mod obs;
+pub mod rustlex;

@@ -31,11 +31,17 @@ pub enum Rule {
     AdHocTiming,
     /// A fresh `vec![false` visited-set allocation on a graph search path.
     VisitedAlloc,
+    /// A cycle in the global lock-order graph (`mqa-xtask conc`).
+    LockOrderCycle,
+    /// `Condvar::wait` outside a `while`/`loop` predicate re-check.
+    CondvarNoLoop,
+    /// A live `MutexGuard` held across a blocking call.
+    GuardAcrossBlocking,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 8] = [
+    pub const ALL: [Rule; 11] = [
         Rule::NoUnwrap,
         Rule::NoExpect,
         Rule::NoPanic,
@@ -44,6 +50,9 @@ impl Rule {
         Rule::WildcardErrorMatch,
         Rule::AdHocTiming,
         Rule::VisitedAlloc,
+        Rule::LockOrderCycle,
+        Rule::CondvarNoLoop,
+        Rule::GuardAcrossBlocking,
     ];
 
     /// The kebab-case rule name used in reports and waivers.
@@ -57,6 +66,9 @@ impl Rule {
             Rule::WildcardErrorMatch => "wildcard-error-match",
             Rule::AdHocTiming => "ad-hoc-timing",
             Rule::VisitedAlloc => "no-visited-alloc",
+            Rule::LockOrderCycle => "lock-order-cycle",
+            Rule::CondvarNoLoop => "condvar-no-loop",
+            Rule::GuardAcrossBlocking => "guard-across-blocking",
         }
     }
 
@@ -81,6 +93,15 @@ impl Rule {
             }
             Rule::VisitedAlloc => {
                 "per-query visited state must live in SearchScratch/VisitedSet, not a fresh `vec![false` allocation"
+            }
+            Rule::LockOrderCycle => {
+                "two functions acquire these locks in opposite orders — a potential deadlock"
+            }
+            Rule::CondvarNoLoop => {
+                "Condvar::wait returns on spurious wakeups; the predicate must be re-checked in a while/loop"
+            }
+            Rule::GuardAcrossBlocking => {
+                "a MutexGuard held across a blocking call stalls every other thread needing that lock"
             }
         }
     }
@@ -333,73 +354,110 @@ fn has_word(line: &str, word: &str) -> bool {
     false
 }
 
-/// Whether a `==`/`!=` at `at` in `line` compares float-ish operands: a
-/// decimal literal, an `f32`/`f64` type or constant, or a float-module
-/// constant (`EPSILON`, `INFINITY`, `NAN`) within the surrounding window.
-fn float_context(line: &str, at: usize, op_len: usize) -> bool {
-    let mut lo = at.saturating_sub(40);
-    while lo > 0 && !line.is_char_boundary(lo) {
-        lo -= 1;
-    }
-    let mut hi = (at + op_len + 40).min(line.len());
-    while hi < line.len() && !line.is_char_boundary(hi) {
-        hi += 1;
-    }
-    let window = &line[lo..hi];
-    let has_decimal_literal = window
-        .as_bytes()
-        .windows(3)
-        .any(|w| w[0].is_ascii_digit() && w[1] == b'.' && w[2].is_ascii_digit());
-    has_decimal_literal
-        || has_word(window, "f32")
-        || has_word(window, "f64")
-        || has_word(window, "EPSILON")
-        || has_word(window, "INFINITY")
-        || has_word(window, "NAN")
+/// Per-file switches for the path-scoped rules.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LintFlags {
+    /// Float-comparison rule (distance/weight kernel paths only).
+    pub kernel: bool,
+    /// Ad-hoc-timing rule (everywhere except bench/obs, which own raw
+    /// clocks by design).
+    pub timing: bool,
+    /// Visited-allocation rule (graph search paths, where per-query
+    /// state belongs in `SearchScratch`).
+    pub visited: bool,
+    /// Fail-fast CLI driver (`…/src/bin/…`): exempt from the
+    /// no-unwrap/no-expect rules — aborting with the message IS the
+    /// designed behavior for experiment binaries, and the exemption
+    /// replaces the per-binary waivers the baseline used to carry.
+    pub fail_fast_bin: bool,
 }
 
-/// Comparison operators (`==` at even positions, `!=`) in `line`,
-/// excluding `<=`, `>=`, `=>`, and pattern `..=`.
-fn comparison_ops(line: &str) -> Vec<(usize, usize)> {
-    let b = line.as_bytes();
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i + 1 < b.len() {
-        if b[i] == b'!' && b[i + 1] == b'=' && (i + 2 >= b.len() || b[i + 2] != b'=') {
-            out.push((i, 2));
-            i += 2;
-            continue;
-        }
-        if b[i] == b'=' && b[i + 1] == b'=' {
-            let prev = if i == 0 { b' ' } else { b[i - 1] };
-            if prev != b'<' && prev != b'>' && prev != b'!' && prev != b'=' && prev != b'.' {
-                out.push((i, 2));
-            }
-            i += 2;
-            continue;
-        }
-        i += 1;
-    }
-    out
+/// Reporting order of a rule within one line.
+fn rule_order(rule: Rule) -> usize {
+    Rule::ALL
+        .iter()
+        .position(|&r| r == rule)
+        .unwrap_or(usize::MAX)
 }
 
-/// Lints one file's source. `kernel` enables the float-comparison rule
-/// (distance/weight kernel paths only); `timing` enables the ad-hoc-timing
-/// rule (everywhere except the bench/obs crates, which legitimately own
-/// raw clocks); `visited` enables the visited-allocation rule (the graph
-/// crate's search paths, where per-query state belongs in `SearchScratch`).
-pub fn lint_source(
-    file: &str,
-    source: &str,
-    kernel: bool,
-    timing: bool,
-    visited: bool,
-) -> Vec<Finding> {
+/// Lints one file's source with the given path-scoped [`LintFlags`].
+///
+/// The exactness-critical rules (no-unwrap, no-expect, float-eq,
+/// ad-hoc-timing) match on the [`crate::rustlex`] token stream, so
+/// call chains split across lines still fire and prose in strings and
+/// comments never does. The block-structure rules (no-panic, unsafe,
+/// wildcard-error-match, visited-alloc) stay on the stripped line pass,
+/// which carries the adjacency context they need.
+pub fn lint_source(file: &str, source: &str, flags: &LintFlags) -> Vec<Finding> {
     let stripped = strip(source);
     let mask = test_mask(&stripped);
     let raw_lines: Vec<&str> = source.lines().collect();
     let code_lines: Vec<&str> = stripped.lines().collect();
     let mut findings = Vec::new();
+
+    // ---- token-stream rules ----
+    let all_toks = crate::rustlex::lex(source);
+    let toks: Vec<&crate::rustlex::Tok> = all_toks
+        .iter()
+        .filter(|t| !mask.get(t.line - 1).copied().unwrap_or(false))
+        .collect();
+    let push_tok = |line: usize, rule: Rule, findings: &mut Vec<Finding>| {
+        findings.push(Finding {
+            file: file.to_string(),
+            line,
+            rule,
+            excerpt: raw_lines
+                .get(line - 1)
+                .map_or(String::new(), |l| l.trim().to_string()),
+        });
+    };
+    if !flags.fail_fast_bin {
+        for w in toks.windows(4) {
+            if w[0].is_punct(".")
+                && w[1].is_ident("unwrap")
+                && w[2].is_punct("(")
+                && w[3].is_punct(")")
+            {
+                push_tok(w[1].line, Rule::NoUnwrap, &mut findings);
+            }
+        }
+        for w in toks.windows(3) {
+            if w[0].is_punct(".") && w[1].is_ident("expect") && w[2].is_punct("(") {
+                push_tok(w[1].line, Rule::NoExpect, &mut findings);
+            }
+        }
+    }
+    if flags.timing {
+        for w in toks.windows(3) {
+            if w[0].is_ident("Instant") && w[1].is_punct("::") && w[2].is_ident("now") {
+                push_tok(w[0].line, Rule::AdHocTiming, &mut findings);
+            }
+        }
+    }
+    if flags.kernel {
+        let mut seen_lines = std::collections::BTreeSet::new();
+        for (i, t) in toks.iter().enumerate() {
+            if !(t.is_punct("==") || t.is_punct("!=")) {
+                continue;
+            }
+            let lo = i.saturating_sub(8);
+            let hi = (i + 9).min(toks.len());
+            let floatish = toks[lo..hi].iter().any(|w| {
+                w.line == t.line
+                    && (w.kind == crate::rustlex::Kind::Float
+                        || (w.kind == crate::rustlex::Kind::Ident
+                            && matches!(
+                                w.text.as_str(),
+                                "f32" | "f64" | "EPSILON" | "INFINITY" | "NAN"
+                            )))
+            });
+            if floatish && seen_lines.insert(t.line) {
+                push_tok(t.line, Rule::FloatEq, &mut findings);
+            }
+        }
+    }
+
+    // ---- line-oriented rules ----
     // Stack of open braces; `true` marks a match-over-error block.
     let mut match_stack: Vec<bool> = Vec::new();
     for (idx, code) in code_lines.iter().enumerate() {
@@ -419,30 +477,13 @@ pub fn lint_source(
         };
         let masked = mask[idx];
         if !masked {
-            if code.contains(".unwrap()") {
-                push(Rule::NoUnwrap);
-            }
-            if code.contains(".expect(") {
-                push(Rule::NoExpect);
-            }
             if has_word(code, "panic!")
                 || has_word(code, "todo!")
                 || has_word(code, "unimplemented!")
             {
                 push(Rule::NoPanic);
             }
-            if kernel {
-                for (at, len) in comparison_ops(code) {
-                    if float_context(code, at, len) {
-                        push(Rule::FloatEq);
-                        break;
-                    }
-                }
-            }
-            if timing && code.contains("Instant::now") {
-                push(Rule::AdHocTiming);
-            }
-            if visited && code.contains("vec![false") {
+            if flags.visited && code.contains("vec![false") {
                 push(Rule::VisitedAlloc);
             }
             if has_word(code, "unsafe") {
@@ -476,6 +517,7 @@ pub fn lint_source(
             }
         }
     }
+    findings.sort_by_key(|f| (f.line, rule_order(f.rule)));
     findings
 }
 
@@ -525,7 +567,7 @@ pub const VISITED_PREFIX: &str = "crates/graph/src";
 /// fixtures contain violations on purpose.
 const SKIP_DIRS: [&str; 5] = ["tests", "benches", "fixtures", "target", ".git"];
 
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+pub(crate) fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
     let entries = std::fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
     for entry in entries {
         let entry = entry.map_err(|e| format!("reading {}: {e}", dir.display()))?;
@@ -573,12 +615,15 @@ pub fn run(repo_root: &Path, baseline: &Baseline) -> Result<LintOutcome, String>
             .unwrap_or(path)
             .to_string_lossy()
             .replace('\\', "/");
-        let kernel = KERNEL_PREFIXES.iter().any(|p| rel.starts_with(p));
-        let timing = !TIMING_EXEMPT_PREFIXES.iter().any(|p| rel.starts_with(p));
-        let visited = rel.starts_with(VISITED_PREFIX) && !rel.ends_with("/scratch.rs");
+        let flags = LintFlags {
+            kernel: KERNEL_PREFIXES.iter().any(|p| rel.starts_with(p)),
+            timing: !TIMING_EXEMPT_PREFIXES.iter().any(|p| rel.starts_with(p)),
+            visited: rel.starts_with(VISITED_PREFIX) && !rel.ends_with("/scratch.rs"),
+            fail_fast_bin: rel.contains("/src/bin/"),
+        };
         let source = std::fs::read_to_string(path)
             .map_err(|e| format!("reading {}: {e}", path.display()))?;
-        all.extend(lint_source(&rel, &source, kernel, timing, visited));
+        all.extend(lint_source(&rel, &source, &flags));
     }
     let mut used = vec![0usize; baseline.waivers.len()];
     let mut findings = Vec::new();
@@ -637,17 +682,47 @@ mod tests {
         assert_eq!(mask, vec![false, true, true, true, true, false]);
     }
 
+    fn flags(kernel: bool, timing: bool, visited: bool) -> LintFlags {
+        LintFlags {
+            kernel,
+            timing,
+            visited,
+            fail_fast_bin: false,
+        }
+    }
+
     #[test]
     fn unwrap_in_test_code_is_ignored() {
         let src = "#[cfg(test)]\nmod tests {\n  fn b() { x.unwrap(); }\n}\n";
-        assert!(lint_source("f.rs", src, false, false, false).is_empty());
+        assert!(lint_source("f.rs", src, &flags(false, false, false)).is_empty());
+    }
+
+    #[test]
+    fn unwrap_split_across_lines_still_fires() {
+        let src = "fn f() {\n    compute_the_thing(a, b)\n        .unwrap\n        ();\n}\n";
+        let found = lint_source("f.rs", src, &flags(false, false, false));
+        assert_eq!(found.len(), 1);
+        assert_eq!((found[0].line, found[0].rule), (3, Rule::NoUnwrap));
+    }
+
+    #[test]
+    fn fail_fast_bin_exempts_unwrap_and_expect_only() {
+        let src = "fn main() { x.unwrap(); y.expect(\"msg\"); panic!(\"still caught\"); }\n";
+        let bin = LintFlags {
+            fail_fast_bin: true,
+            ..LintFlags::default()
+        };
+        let found = lint_source("src/bin/f.rs", src, &bin);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, Rule::NoPanic);
+        assert_eq!(lint_source("f.rs", src, &LintFlags::default()).len(), 3);
     }
 
     #[test]
     fn float_eq_only_fires_in_kernel_files() {
         let src = "fn f(a: f32, b: f32) -> bool { a == b }\n";
-        assert!(lint_source("f.rs", src, false, false, false).is_empty());
-        let found = lint_source("f.rs", src, true, false, false);
+        assert!(lint_source("f.rs", src, &flags(false, false, false)).is_empty());
+        let found = lint_source("f.rs", src, &flags(true, false, false));
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].rule, Rule::FloatEq);
     }
@@ -655,14 +730,20 @@ mod tests {
     #[test]
     fn integer_comparison_is_not_a_float_eq() {
         let src = "fn f(a: usize, b: usize) -> bool { a == b && a != 3 }\n";
-        assert!(lint_source("f.rs", src, true, false, false).is_empty());
+        assert!(lint_source("f.rs", src, &flags(true, false, false)).is_empty());
+    }
+
+    #[test]
+    fn float_eq_ignores_floats_on_other_lines() {
+        let src = "fn f(a: usize, w: f32) -> bool {\n    let _ = w * 2.0;\n    a == 3\n}\n";
+        assert!(lint_source("f.rs", src, &flags(true, false, false)).is_empty());
     }
 
     #[test]
     fn ad_hoc_timing_only_fires_with_timing_flag() {
         let src = "fn f() { let t = std::time::Instant::now(); let _ = t.elapsed(); }\n";
-        assert!(lint_source("f.rs", src, false, false, false).is_empty());
-        let found = lint_source("f.rs", src, false, true, false);
+        assert!(lint_source("f.rs", src, &flags(false, false, false)).is_empty());
+        let found = lint_source("f.rs", src, &flags(false, true, false));
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].rule, Rule::AdHocTiming);
     }
@@ -670,17 +751,9 @@ mod tests {
     #[test]
     fn visited_alloc_only_fires_with_visited_flag() {
         let src = "fn f(n: usize) -> Vec<bool> { vec![false; n] }\n";
-        assert!(lint_source("f.rs", src, false, false, false).is_empty());
-        let found = lint_source("f.rs", src, false, false, true);
+        assert!(lint_source("f.rs", src, &flags(false, false, false)).is_empty());
+        let found = lint_source("f.rs", src, &flags(false, false, true));
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].rule, Rule::VisitedAlloc);
-    }
-
-    #[test]
-    fn comparison_ops_skip_arrows_and_bounds() {
-        assert!(comparison_ops("let f = |x| match x { 1 => 2, _ => 3 };").is_empty());
-        assert!(comparison_ops("if a <= b && c >= d {}").is_empty());
-        assert_eq!(comparison_ops("a == b").len(), 1);
-        assert_eq!(comparison_ops("a != b").len(), 1);
     }
 }

@@ -8,7 +8,7 @@
 //! Both commands exit 0 only when clean, so `ci.sh` can chain them.
 
 use mqa_xtask::baseline::Baseline;
-use mqa_xtask::{audit, engine, lint, obs};
+use mqa_xtask::{audit, conc, engine, lint, obs};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -23,6 +23,12 @@ COMMANDS:
         Walk the workspace sources and enforce the lint rules. Findings
         must be fixed or waived in lint-baseline.toml; unused waivers
         also fail the gate.
+
+    conc [--baseline <path>] [--root <dir>]
+        Static concurrency analysis: build the global lock-order graph
+        from every Mutex/RwLock/TracedMutex acquisition and fail on
+        order cycles, non-looped Condvar waits, and guards held across
+        blocking calls. Waivers live in conc-baseline.toml.
 
     audit
         Build every index variant over a synthetic corpus and run the
@@ -53,6 +59,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => cmd_lint(&args[1..]),
+        Some("conc") => cmd_conc(&args[1..]),
         Some("audit") => cmd_audit(),
         Some("rules") => cmd_rules(),
         Some("obs") => cmd_obs(&args[1..]),
@@ -134,6 +141,74 @@ fn cmd_lint(args: &[String]) -> ExitCode {
     }
 }
 
+fn cmd_conc(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--baseline requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match it.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("--root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown conc option `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !root.is_dir() {
+        eprintln!("conc: root `{}` is not a directory", root.display());
+        return ExitCode::from(2);
+    }
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("conc-baseline.toml"));
+    let baseline = match Baseline::load(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("conc: bad baseline: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = match conc::run(&root, &baseline) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("conc: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for f in &outcome.findings {
+        println!("{f}");
+        println!("    {}", f.rule.explain());
+    }
+    for w in &outcome.unused_waivers {
+        println!("unused waiver: {w}");
+    }
+    println!(
+        "conc: {} file(s), {} lock(s), {} order edge(s), {} finding(s), {} waived, {} unused waiver(s)",
+        outcome.files_scanned,
+        outcome.analysis.lock_names.len(),
+        outcome.analysis.edges.len(),
+        outcome.findings.len(),
+        outcome.waived.len(),
+        outcome.unused_waivers.len()
+    );
+    if outcome.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn cmd_audit() -> ExitCode {
     let report = audit::run();
     for entry in &report.entries {
@@ -199,12 +274,13 @@ fn cmd_engine(args: &[String]) -> ExitCode {
         Ok(outcome) => {
             println!(
                 "engine: {} answer(s) identical to serial, paged QPS {:.0} -> {:.0} \
-                 ({:.2}x at 4 workers), {} pool job(s) -> {}",
+                 ({:.2}x at 4 workers), {} pool job(s), {} witness pair(s) -> {}",
                 outcome.identical_answers,
                 outcome.serial_qps,
                 outcome.concurrent_qps,
                 outcome.speedup,
                 outcome.jobs_executed,
+                outcome.witness_pairs,
                 out_dir.display()
             );
             ExitCode::SUCCESS

@@ -1,0 +1,210 @@
+//! Fixture-driven tests for the static concurrency analysis.
+//!
+//! `fixture_conc.rs` seeds one instance of each conc rule at a pinned
+//! line; these tests assert the exact `file:line` coordinates, then
+//! exercise the full `conc::run` gate over a throwaway tree to prove a
+//! lock-order mutation actually flips the gate red and that the waiver
+//! baseline machinery carries over.
+
+use mqa_xtask::baseline::Baseline;
+use mqa_xtask::conc;
+use mqa_xtask::lint::Rule;
+
+fn fixture() -> conc::Analysis {
+    let src = include_str!("fixtures/fixture_conc.rs");
+    conc::analyze_sources(&[("crates/x/src/fixture_conc.rs".to_string(), src.to_string())])
+}
+
+#[test]
+fn lock_inversion_reports_both_edges_at_pinned_lines() {
+    let a = fixture();
+    let cycles: Vec<_> = a
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::LockOrderCycle)
+        .collect();
+    assert_eq!(cycles.len(), 2, "findings: {:?}", a.findings);
+    assert_eq!(
+        (cycles[0].file.as_str(), cycles[0].line),
+        ("crates/x/src/fixture_conc.rs", 19)
+    );
+    assert_eq!(
+        (cycles[1].file.as_str(), cycles[1].line),
+        ("crates/x/src/fixture_conc.rs", 26)
+    );
+    // Each finding names both locks and the site where the held lock was
+    // taken, so the report alone locates the inversion.
+    assert!(cycles[0].excerpt.contains("Pair.alpha"));
+    assert!(cycles[0].excerpt.contains("Pair.beta"));
+    assert!(cycles[0].excerpt.contains(":18"));
+}
+
+#[test]
+fn if_guarded_condvar_wait_fires_at_pinned_line() {
+    let a = fixture();
+    let waits: Vec<_> = a
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::CondvarNoLoop)
+        .collect();
+    assert_eq!(waits.len(), 1, "findings: {:?}", a.findings);
+    assert_eq!(waits[0].line, 34);
+}
+
+#[test]
+fn guard_across_join_fires_at_pinned_line() {
+    let a = fixture();
+    let held: Vec<_> = a
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::GuardAcrossBlocking)
+        .collect();
+    assert_eq!(held.len(), 1, "findings: {:?}", a.findings);
+    assert_eq!(held[0].line, 41);
+    assert!(held[0].excerpt.contains("`g`"));
+}
+
+#[test]
+fn fixture_defect_census_is_exactly_four() {
+    // Exactly the seeded defects — no phantom findings from the clean
+    // parts of the fixture (the drops, the struct, the doc comment).
+    let a = fixture();
+    assert_eq!(a.findings.len(), 4, "findings: {:?}", a.findings);
+}
+
+/// A `BoundedQueue`-shaped module whose two public entry points take the
+/// same two locks in the same order — the shape the real workspace has.
+const QUEUE_LIKE_OK: &str = r#"
+use std::sync::Mutex;
+
+pub struct Queue {
+    state: Mutex<Vec<u32>>,
+    stats: Mutex<u64>,
+}
+
+impl Queue {
+    pub fn push(&self, v: u32) {
+        let mut s = self.state.lock();
+        let mut n = self.stats.lock();
+        s.push(v);
+        *n += 1;
+        drop(n);
+        drop(s);
+    }
+
+    pub fn pop(&self) -> Option<u32> {
+        let mut s = self.state.lock();
+        let mut n = self.stats.lock();
+        *n += 1;
+        drop(n);
+        let v = s.pop();
+        drop(s);
+        v
+    }
+}
+"#;
+
+/// The same module with `pop` mutated to take the locks in the reverse
+/// order — the regression the gate exists to catch.
+const QUEUE_LIKE_MUTATED: &str = r#"
+use std::sync::Mutex;
+
+pub struct Queue {
+    state: Mutex<Vec<u32>>,
+    stats: Mutex<u64>,
+}
+
+impl Queue {
+    pub fn push(&self, v: u32) {
+        let mut s = self.state.lock();
+        let mut n = self.stats.lock();
+        s.push(v);
+        *n += 1;
+        drop(n);
+        drop(s);
+    }
+
+    pub fn pop(&self) -> Option<u32> {
+        let mut n = self.stats.lock();
+        let mut s = self.state.lock();
+        *n += 1;
+        drop(n);
+        let v = s.pop();
+        drop(s);
+        v
+    }
+}
+"#;
+
+/// End-to-end `conc::run` over a throwaway tree: the consistent-order
+/// tree passes, swapping one function's acquisition order flips the gate
+/// red, and the waiver/stale-waiver machinery behaves like lint's.
+#[test]
+fn lock_order_mutation_flips_the_gate_red() {
+    let root = std::env::temp_dir().join(format!("mqa-xtask-conc-fixture-{}", std::process::id()));
+    let src_dir = root.join("src");
+    std::fs::create_dir_all(&src_dir).unwrap();
+
+    std::fs::write(src_dir.join("queue_like.rs"), QUEUE_LIKE_OK).unwrap();
+    let outcome = conc::run(&root, &Baseline::empty()).unwrap();
+    assert!(
+        outcome.is_clean(),
+        "clean tree flagged: {:?}",
+        outcome.findings
+    );
+    assert!(
+        !outcome.analysis.edges.is_empty(),
+        "the consistent order must still appear as graph edges"
+    );
+
+    std::fs::write(src_dir.join("queue_like.rs"), QUEUE_LIKE_MUTATED).unwrap();
+    let outcome = conc::run(&root, &Baseline::empty()).unwrap();
+    assert!(!outcome.is_clean(), "mutated tree must fail the gate");
+    assert!(
+        outcome
+            .findings
+            .iter()
+            .all(|f| f.rule == Rule::LockOrderCycle),
+        "findings: {:?}",
+        outcome.findings
+    );
+    assert!(!outcome.findings.is_empty());
+
+    // A matching waiver suppresses the finding; a stale one fails again.
+    let waived = Baseline::parse(
+        r#"
+[[waiver]]
+file = "src/queue_like.rs"
+rule = "lock-order-cycle"
+reason = "fixture exercise"
+"#,
+    )
+    .unwrap();
+    let outcome = conc::run(&root, &waived).unwrap();
+    assert!(outcome.is_clean());
+    assert!(!outcome.waived.is_empty());
+
+    std::fs::write(src_dir.join("queue_like.rs"), QUEUE_LIKE_OK).unwrap();
+    let outcome = conc::run(&root, &waived).unwrap();
+    assert!(!outcome.is_clean(), "stale waiver must fail the gate");
+    assert_eq!(outcome.unused_waivers.len(), 1);
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// The real workspace must be clean with an empty baseline: zero conc
+/// findings and zero waivers is an acceptance criterion of the suite.
+#[test]
+fn workspace_is_clean_with_zero_waivers() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let outcome = conc::run(&root, &Baseline::empty()).unwrap();
+    assert!(
+        outcome.findings.is_empty(),
+        "workspace conc findings: {:#?}",
+        outcome.findings
+    );
+    // The engine's two traced locks must be in the inventory the runtime
+    // witness is validated against.
+    assert!(outcome.analysis.traced_names.contains("engine.queue.state"));
+    assert!(outcome.analysis.traced_names.contains("engine.ticket.slot"));
+}

@@ -6,7 +6,7 @@
 //! files never pollute the real gate; here they are linted explicitly.
 
 use mqa_xtask::baseline::Baseline;
-use mqa_xtask::lint::{self, Rule};
+use mqa_xtask::lint::{self, LintFlags, Rule};
 
 fn findings(name: &str, source: &str, kernel: bool) -> Vec<(usize, Rule)> {
     findings_timed(name, source, kernel, false)
@@ -23,7 +23,13 @@ fn findings_full(
     timing: bool,
     visited: bool,
 ) -> Vec<(usize, Rule)> {
-    lint::lint_source(name, source, kernel, timing, visited)
+    let flags = LintFlags {
+        kernel,
+        timing,
+        visited,
+        fail_fast_bin: false,
+    };
+    lint::lint_source(name, source, &flags)
         .into_iter()
         .map(|f| (f.line, f.rule))
         .collect()
@@ -115,7 +121,7 @@ fn visited_fixture_fires_only_with_visited_flag() {
 #[test]
 fn findings_render_as_file_line_rule_excerpt() {
     let src = include_str!("fixtures/fixture_unwrap.rs");
-    let all = lint::lint_source("crates/x/src/a.rs", src, false, false, false);
+    let all = lint::lint_source("crates/x/src/a.rs", src, &LintFlags::default());
     assert_eq!(all.len(), 1);
     assert_eq!(
         all[0].to_string(),
