@@ -29,4 +29,7 @@ cargo build --release --offline --workspace
 echo "==> cargo test"
 cargo test -q --offline --workspace
 
+echo "==> exp_cache snapshot (E13, quick)"
+cargo run -q --release --offline -p mqa-bench --bin exp_cache -- --quick
+
 echo "ci: all gates passed"

@@ -1,0 +1,307 @@
+//! The Clock (second-chance) replacement core and its mutex-guarded shard.
+//!
+//! Clock approximates LRU with O(1) bookkeeping per access: entries sit
+//! on a circular buffer with a reference bit; a hit sets the bit, and
+//! eviction sweeps a hand that clears set bits and evicts the first
+//! clear one it finds. Every entry is therefore granted one "second
+//! chance" sweep before leaving — hot entries keep getting re-armed and
+//! effectively pin themselves.
+
+use crate::lock_ignore_poison;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// One cache slot: a key, its value, and the second-chance bit.
+struct Slot<V> {
+    key: u64,
+    value: V,
+    referenced: bool,
+}
+
+/// Outcome of a presence probe ([`CacheShard::touch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Touch {
+    /// The key was already resident.
+    pub hit: bool,
+    /// Admitting the key evicted another entry.
+    pub evicted: bool,
+}
+
+/// The single-threaded Clock core: a fixed-capacity key → value map with
+/// second-chance eviction. Wrap it in [`CacheShard`] for shared use.
+pub struct ClockCore<V> {
+    capacity: usize,
+    slots: Vec<Slot<V>>,
+    map: HashMap<u64, usize>,
+    hand: usize,
+}
+
+impl<V> ClockCore<V> {
+    /// An empty core holding at most `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be >= 1");
+        Self {
+            capacity,
+            slots: Vec::with_capacity(capacity.min(1024)),
+            map: HashMap::new(),
+            hand: 0,
+        }
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Maximum resident entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether `key` is resident (does not arm the reference bit).
+    pub fn contains(&self, key: u64) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    /// Looks `key` up, arming its second-chance bit on a hit.
+    pub fn get(&mut self, key: u64) -> Option<&V> {
+        let idx = *self.map.get(&key)?;
+        self.slots[idx].referenced = true;
+        Some(&self.slots[idx].value)
+    }
+
+    /// Inserts (or refreshes) `key`, evicting a victim when full.
+    /// Returns the evicted key, if any.
+    pub fn insert(&mut self, key: u64, value: V) -> Option<u64> {
+        if let Some(&idx) = self.map.get(&key) {
+            self.slots[idx].value = value;
+            self.slots[idx].referenced = true;
+            return None;
+        }
+        if self.slots.len() < self.capacity {
+            self.map.insert(key, self.slots.len());
+            // New entries enter unarmed: only a subsequent hit earns the
+            // second chance, so a one-shot scan can never flush the
+            // re-referenced working set (scan resistance).
+            self.slots.push(Slot {
+                key,
+                value,
+                referenced: false,
+            });
+            return None;
+        }
+        // Sweep the hand: clear armed bits until an unarmed victim turns
+        // up. Terminates within two revolutions — the first pass can at
+        // worst clear every bit.
+        loop {
+            let idx = self.hand;
+            self.hand = (self.hand + 1) % self.slots.len();
+            if self.slots[idx].referenced {
+                self.slots[idx].referenced = false;
+                continue;
+            }
+            let old = self.slots[idx].key;
+            self.map.remove(&old);
+            self.map.insert(key, idx);
+            self.slots[idx] = Slot {
+                key,
+                value,
+                referenced: false,
+            };
+            return Some(old);
+        }
+    }
+
+    /// Presence probe: arms the bit on a hit, admits the key on a miss.
+    pub fn touch(&mut self, key: u64) -> Touch
+    where
+        V: Default,
+    {
+        if self.get(key).is_some() {
+            return Touch {
+                hit: true,
+                evicted: false,
+            };
+        }
+        let evicted = self.insert(key, V::default()).is_some();
+        Touch {
+            hit: false,
+            evicted,
+        }
+    }
+}
+
+/// A [`ClockCore`] behind one mutex — the unit of sharding. All lock
+/// acquisitions go through `lock_ignore_poison` and every method drops
+/// the guard before returning, so a shard can never participate in a
+/// lock-order cycle.
+pub struct CacheShard<V> {
+    slots: Mutex<ClockCore<V>>,
+}
+
+impl<V> CacheShard<V> {
+    /// An empty shard holding at most `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            slots: Mutex::new(ClockCore::new(capacity)),
+        }
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        let core = lock_ignore_poison(&self.slots);
+        core.len()
+    }
+
+    /// Whether the shard holds nothing.
+    pub fn is_empty(&self) -> bool {
+        let core = lock_ignore_poison(&self.slots);
+        core.is_empty()
+    }
+
+    /// Maximum resident entries.
+    pub fn capacity(&self) -> usize {
+        let core = lock_ignore_poison(&self.slots);
+        core.capacity()
+    }
+
+    /// Presence probe: hit arms the second-chance bit, miss admits the
+    /// key (possibly evicting).
+    pub fn touch(&self, key: u64) -> Touch
+    where
+        V: Default,
+    {
+        let mut core = lock_ignore_poison(&self.slots);
+        core.touch(key)
+    }
+
+    /// Clones the value under `key`, arming its bit on a hit.
+    pub fn get(&self, key: u64) -> Option<V>
+    where
+        V: Clone,
+    {
+        let mut core = lock_ignore_poison(&self.slots);
+        core.get(key).cloned()
+    }
+
+    /// Inserts (or refreshes) `key`; returns true when a victim was
+    /// evicted.
+    pub fn insert(&self, key: u64, value: V) -> bool {
+        let mut core = lock_ignore_poison(&self.slots);
+        core.insert(key, value).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_to_capacity_without_eviction() {
+        let mut c = ClockCore::new(4);
+        for k in 0..4u64 {
+            assert_eq!(c.insert(k, k * 10), None);
+        }
+        assert_eq!(c.len(), 4);
+        for k in 0..4u64 {
+            assert_eq!(c.get(k), Some(&(k * 10)));
+        }
+    }
+
+    #[test]
+    fn evicts_exactly_one_when_full() {
+        let mut c = ClockCore::new(2);
+        c.insert(1, ());
+        c.insert(2, ());
+        let evicted = c.insert(3, ());
+        assert!(evicted.is_some());
+        assert_eq!(c.len(), 2);
+        assert!(c.contains(3));
+    }
+
+    #[test]
+    fn second_chance_protects_hot_entry() {
+        let mut c = ClockCore::new(2);
+        c.insert(1, ());
+        c.insert(2, ());
+        // Re-arm 1 repeatedly while streaming cold keys through: the hot
+        // key must survive every sweep.
+        for cold in 10..20u64 {
+            assert!(c.get(1).is_some(), "hot key evicted at {cold}");
+            c.insert(cold, ());
+        }
+        assert!(c.contains(1));
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_evicting() {
+        let mut c = ClockCore::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.insert(1, 11), None);
+        assert_eq!(c.get(1), Some(&11));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn touch_reports_hits_misses_evictions() {
+        let mut c: ClockCore<()> = ClockCore::new(2);
+        assert_eq!(
+            c.touch(7),
+            Touch {
+                hit: false,
+                evicted: false
+            }
+        );
+        assert_eq!(
+            c.touch(7),
+            Touch {
+                hit: true,
+                evicted: false
+            }
+        );
+        c.touch(8);
+        // 7 and 8 are both armed; admitting 9 sweeps both bits clear and
+        // evicts one of them.
+        assert_eq!(
+            c.touch(9),
+            Touch {
+                hit: false,
+                evicted: true
+            }
+        );
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn shard_len_never_exceeds_capacity_under_threads() {
+        use std::sync::Arc;
+        let shard: Arc<CacheShard<()>> = Arc::new(CacheShard::new(8));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let shard = Arc::clone(&shard);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        shard.touch(t * 1000 + (i % 50));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        assert!(shard.len() <= 8);
+        assert!(!shard.is_empty());
+    }
+}

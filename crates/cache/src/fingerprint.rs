@@ -1,0 +1,144 @@
+//! 64-bit FNV-1a fingerprints for cache keys.
+//!
+//! Cache keys must be cheap, deterministic, and order-sensitive — the
+//! query `("red", k=5)` and `("red5", k=)` must not collide by
+//! concatenation. The builder feeds every field through FNV-1a with an
+//! explicit length/tag byte between variable-length fields, and floats
+//! are hashed by bit pattern so `-0.0`, `0.0` and NaN payloads are all
+//! distinguished exactly as the search path distinguishes them.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A consuming builder over the FNV-1a state.
+///
+/// ```
+/// use mqa_cache::Fingerprint;
+/// let a = Fingerprint::new().str("red dress").u64(5).finish();
+/// let b = Fingerprint::new().str("red dress").u64(5).finish();
+/// let c = Fingerprint::new().str("red dres").u64(5).finish();
+/// assert_eq!(a, b);
+/// assert_ne!(a, c);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fingerprint(u64);
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fingerprint {
+    /// The empty fingerprint (FNV offset basis).
+    pub fn new() -> Self {
+        Self(FNV_OFFSET)
+    }
+
+    /// Feeds raw bytes.
+    pub fn bytes(mut self, bytes: &[u8]) -> Self {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Feeds a `u64`.
+    pub fn u64(self, v: u64) -> Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Feeds a `usize`.
+    pub fn usize(self, v: usize) -> Self {
+        self.u64(v as u64)
+    }
+
+    /// Feeds an `f32` by bit pattern.
+    pub fn f32(self, v: f32) -> Self {
+        self.bytes(&v.to_bits().to_le_bytes())
+    }
+
+    /// Feeds a string, length-prefixed so adjacent strings cannot blur.
+    pub fn str(self, s: &str) -> Self {
+        self.usize(s.len()).bytes(s.as_bytes())
+    }
+
+    /// Feeds a float slice, length-prefixed.
+    pub fn f32_slice(self, vs: &[f32]) -> Self {
+        let mut fp = self.usize(vs.len());
+        for &v in vs {
+            fp = fp.f32(v);
+        }
+        fp
+    }
+
+    /// Feeds an optional field: presence is part of the key.
+    pub fn opt_str(self, s: Option<&str>) -> Self {
+        match s {
+            Some(s) => self.u64(1).str(s),
+            None => self.u64(0),
+        }
+    }
+
+    /// Feeds an optional float slice: presence is part of the key.
+    pub fn opt_f32_slice(self, vs: Option<&[f32]>) -> Self {
+        match vs {
+            Some(vs) => self.u64(1).f32_slice(vs),
+            None => self.u64(0),
+        }
+    }
+
+    /// The accumulated 64-bit fingerprint.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_order_sensitive() {
+        let a = Fingerprint::new().u64(1).u64(2).finish();
+        let b = Fingerprint::new().u64(1).u64(2).finish();
+        let c = Fingerprint::new().u64(2).u64(1).finish();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn length_prefix_prevents_concatenation_blur() {
+        let a = Fingerprint::new().str("ab").str("c").finish();
+        let b = Fingerprint::new().str("a").str("bc").finish();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn float_bit_patterns_distinguished() {
+        let pos = Fingerprint::new().f32(0.0).finish();
+        let neg = Fingerprint::new().f32(-0.0).finish();
+        assert_ne!(pos, neg);
+        let nan = Fingerprint::new().f32(f32::NAN).finish();
+        let nan2 = Fingerprint::new().f32(f32::NAN).finish();
+        assert_eq!(nan, nan2);
+    }
+
+    #[test]
+    fn none_and_empty_are_distinct() {
+        let none = Fingerprint::new().opt_f32_slice(None).finish();
+        let empty = Fingerprint::new().opt_f32_slice(Some(&[])).finish();
+        assert_ne!(none, empty);
+        let none_s = Fingerprint::new().opt_str(None).finish();
+        let empty_s = Fingerprint::new().opt_str(Some("")).finish();
+        assert_ne!(none_s, empty_s);
+    }
+
+    #[test]
+    fn matches_reference_fnv1a() {
+        // FNV-1a of "a" (0x61): (basis ^ 0x61) * prime.
+        let expect = (FNV_OFFSET ^ 0x61).wrapping_mul(FNV_PRIME);
+        assert_eq!(Fingerprint::new().bytes(b"a").finish(), expect);
+    }
+}

@@ -5,6 +5,7 @@
 //! user query input (as indicated by the dotted arrow in the backend of
 //! Figure 2), promoting an intelligent multi-modal search procedure."
 
+use mqa_cache::{Fingerprint, ResultCache};
 use mqa_encoders::RawContent;
 use mqa_engine::{EngineError, QueryEngine};
 use mqa_kb::{KnowledgeBase, ObjectId};
@@ -16,6 +17,8 @@ use std::sync::Arc;
 pub struct QueryExecutor {
     framework: Arc<dyn RetrievalFramework>,
     engine: Option<Arc<QueryEngine>>,
+    cache: Option<Arc<ResultCache<RetrievalOutput>>>,
+    context_fp: u64,
     k: usize,
     ef: usize,
 }
@@ -31,6 +34,8 @@ impl QueryExecutor {
         Self {
             framework,
             engine: None,
+            cache: None,
+            context_fp: 0,
             k,
             ef: ef.max(k),
         }
@@ -47,9 +52,62 @@ impl QueryExecutor {
         self.engine.as_ref()
     }
 
+    /// Attaches a turn-level result cache. `context_fp` fingerprints the
+    /// context cached answers are valid under (index configuration +
+    /// modality weights); it keys every entry, so a refreshed fingerprint
+    /// makes stale answers unreachable even without invalidation.
+    pub fn set_cache(&mut self, cache: Arc<ResultCache<RetrievalOutput>>, context_fp: u64) {
+        self.cache = Some(cache);
+        self.context_fp = context_fp;
+    }
+
+    /// The attached result cache, if any.
+    pub fn cache(&self) -> Option<&Arc<ResultCache<RetrievalOutput>>> {
+        self.cache.as_ref()
+    }
+
+    /// Swaps the framework searches go to (weight re-learning rebuilds
+    /// the index over the same corpus).
+    pub(crate) fn set_framework(&mut self, framework: Arc<dyn RetrievalFramework>) {
+        self.framework = framework;
+    }
+
+    /// Fingerprints everything that determines a turn's retrieval answer:
+    /// the executor's context (index config + weights) plus the query
+    /// content and result-set parameters.
+    fn turn_fingerprint(&self, query: &MultiModalQuery, k: usize, ef: usize) -> u64 {
+        Fingerprint::new()
+            .u64(self.context_fp)
+            .opt_str(query.text.as_deref())
+            .opt_f32_slice(query.image.as_ref().map(|i| i.features()))
+            .opt_f32_slice(query.weight_override.as_deref())
+            .usize(k)
+            .usize(ef)
+            .finish()
+    }
+
     /// Searches through the engine when one is attached (falling back to
-    /// the serial path if the engine refuses work), serially otherwise.
+    /// the serial path if the engine refuses work), serially otherwise. A
+    /// repeated turn is served from the result cache when one is attached
+    /// (the replay carries the original call's stats and latency).
     fn search(&self, query: &MultiModalQuery, k: usize, ef: usize) -> RetrievalOutput {
+        let keyed = self
+            .cache
+            .as_ref()
+            .map(|cache| (cache, self.turn_fingerprint(query, k, ef)));
+        if let Some((cache, key)) = &keyed {
+            if let Some(out) = cache.get(*key) {
+                return out;
+            }
+        }
+        let out = self.search_uncached(query, k, ef);
+        if let Some((cache, key)) = keyed {
+            cache.insert(key, out.clone());
+        }
+        out
+    }
+
+    fn search_uncached(&self, query: &MultiModalQuery, k: usize, ef: usize) -> RetrievalOutput {
         if let Some(engine) = &self.engine {
             match engine.retrieve(query.clone(), k, ef) {
                 Ok(out) => return out,

@@ -13,8 +13,9 @@ use crate::config::Config;
 use crate::dialogue::{DialogueSession, Reply, Turn};
 use crate::error::MqaError;
 use crate::status::{Milestone, StatusMonitor};
+use mqa_cache::{Fingerprint, ResultCache};
 use mqa_dag::{Context, Pipeline};
-use mqa_retrieval::{EncodedCorpus, RetrievalFramework};
+use mqa_retrieval::{EncodedCorpus, RetrievalFramework, RetrievalOutput};
 use mqa_vector::Weights;
 use std::sync::Arc;
 use std::sync::Mutex;
@@ -28,6 +29,8 @@ pub struct MqaSystem {
     executor: execute::QueryExecutor,
     answerer: answer::AnswerGenerator,
     status: StatusMonitor,
+    engine_options: Option<mqa_engine::EngineOptions>,
+    result_cache: Option<Arc<ResultCache<RetrievalOutput>>>,
 }
 
 impl MqaSystem {
@@ -168,6 +171,8 @@ impl MqaSystem {
             executor,
             answerer,
             status,
+            engine_options: None,
+            result_cache: None,
         })
     }
 
@@ -222,6 +227,7 @@ impl MqaSystem {
             options,
         ));
         self.executor.set_engine(Arc::clone(&engine));
+        self.engine_options = Some(options);
         engine
     }
 
@@ -229,6 +235,88 @@ impl MqaSystem {
     /// was called.
     pub fn engine(&self) -> Option<&Arc<mqa_engine::QueryEngine>> {
         self.executor.engine()
+    }
+
+    /// Fingerprints everything cached answers depend on besides the query
+    /// itself: the full configuration and the weights in force.
+    fn context_fingerprint(&self) -> u64 {
+        Fingerprint::new()
+            .str(&self.config.to_json())
+            .f32_slice(self.weights.as_slice())
+            .finish()
+    }
+
+    /// Attaches a turn-level result cache of `capacity` entries: repeated
+    /// turns (same query content, weights, and result-set parameters) are
+    /// answered from the cache without touching the framework or engine.
+    /// The cache is invalidated automatically when the context changes
+    /// (see [`MqaSystem::relearn_weights`]). Returns the cache for metric
+    /// inspection; calling again replaces the cache.
+    pub fn enable_result_cache(&mut self, capacity: usize) -> Arc<ResultCache<RetrievalOutput>> {
+        let cache = Arc::new(ResultCache::new(capacity));
+        self.executor
+            .set_cache(Arc::clone(&cache), self.context_fingerprint());
+        self.result_cache = Some(Arc::clone(&cache));
+        cache
+    }
+
+    /// The turn-level result cache, if [`MqaSystem::enable_result_cache`]
+    /// was called.
+    pub fn result_cache(&self) -> Option<&Arc<ResultCache<RetrievalOutput>>> {
+        self.result_cache.as_ref()
+    }
+
+    /// Re-learns the modality weights with `trainer`, rebuilds the
+    /// framework (and engine, when one is enabled) over the same corpus,
+    /// and invalidates the result cache — cached answers were computed
+    /// under the old weights and must not survive the change.
+    ///
+    /// # Errors
+    /// [`MqaError::InvalidConfig`] when the corpus is unlabelled (weight
+    /// learning needs concept labels); build errors propagate from index
+    /// construction.
+    pub fn relearn_weights(&mut self, trainer: mqa_weights::TrainerConfig) -> Result<(), MqaError> {
+        let _span = mqa_obs::span("core.relearn_weights");
+        let labels = self.corpus.concept_labels().ok_or_else(|| {
+            MqaError::InvalidConfig(
+                "weight re-learning requires a corpus with concept labels".to_string(),
+            )
+        })?;
+        let out = mqa_weights::WeightLearner::new(trainer).learn(self.corpus.store(), &labels);
+        self.weights = out.weights.clone();
+        self.config.trainer = trainer;
+        let note = format!(
+            "re-learned weights {:?} (triplet accuracy {:.2})",
+            out.weights
+                .as_slice()
+                .iter()
+                .map(|w| (w * 100.0).round() / 100.0)
+                .collect::<Vec<_>>(),
+            out.triplet_accuracy
+        );
+        let rep = represent::Represented {
+            corpus: Arc::clone(&self.corpus),
+            weights: self.weights.clone(),
+            learned: Some(out),
+            weight_note: note.clone(),
+        };
+        let built = index::run(&rep, &self.config)?;
+        self.framework = Arc::clone(&built.framework);
+        self.executor.set_framework(built.framework);
+        if let Some(options) = self.engine_options {
+            let engine = Arc::new(mqa_engine::QueryEngine::new(
+                Arc::clone(&self.framework),
+                options,
+            ));
+            self.executor.set_engine(engine);
+        }
+        if let Some(cache) = &self.result_cache {
+            cache.invalidate_all();
+            self.executor
+                .set_cache(Arc::clone(cache), self.context_fingerprint());
+        }
+        self.status.detail(Milestone::VectorRepresentation, note);
+        Ok(())
     }
 
     pub(crate) fn executor(&self) -> &execute::QueryExecutor {
@@ -319,6 +407,90 @@ mod tests {
     fn weights_are_learned_by_default() {
         let sys = MqaSystem::build(Config::default(), kb()).unwrap();
         assert_eq!(sys.weights().arity(), 2);
+    }
+
+    #[test]
+    fn result_cache_serves_repeated_turns() {
+        let mut sys = MqaSystem::build(Config::default(), kb()).unwrap();
+        let title = sys.corpus().kb().get(0).title.clone();
+        let phrase = title.rsplit_once(" #").map(|(p, _)| p.to_string()).unwrap();
+        let cold = sys.ask_once(Turn::text(phrase.clone())).unwrap();
+        let cache = sys.enable_result_cache(64);
+        assert_eq!(cache.len(), 0);
+        let miss = sys.ask_once(Turn::text(phrase.clone())).unwrap();
+        let hit = sys.ask_once(Turn::text(phrase)).unwrap();
+        let ids = |r: &Reply| r.results.iter().map(|x| x.id).collect::<Vec<_>>();
+        assert_eq!(ids(&cold), ids(&miss));
+        assert_eq!(ids(&miss), ids(&hit));
+        assert_eq!(cache.len(), 1, "one distinct turn cached");
+        // A different turn is a different key.
+        let other_title = sys.corpus().kb().get(1).title.clone();
+        let other = other_title
+            .rsplit_once(" #")
+            .map(|(p, _)| p.to_string())
+            .unwrap();
+        sys.ask_once(Turn::text(other)).unwrap();
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn relearn_invalidates_cache_and_keeps_answers_consistent() {
+        let mut sys = MqaSystem::build(Config::default(), kb()).unwrap();
+        let cache = sys.enable_result_cache(64);
+        let title = sys.corpus().kb().get(0).title.clone();
+        let phrase = title.rsplit_once(" #").map(|(p, _)| p.to_string()).unwrap();
+        sys.ask_once(Turn::text(phrase.clone())).unwrap();
+        let gen_before = cache.generation();
+        sys.relearn_weights(mqa_weights::TrainerConfig {
+            epochs: 3,
+            ..sys.config().trainer
+        })
+        .unwrap();
+        assert!(
+            cache.generation() > gen_before,
+            "relearn must invalidate the result cache"
+        );
+        // Post-relearn turns answer from the rebuilt framework and match a
+        // freshly built system with the same trainer.
+        let after = sys.ask_once(Turn::text(phrase.clone())).unwrap();
+        let fresh_cfg = Config {
+            trainer: sys.config().trainer,
+            ..Config::default()
+        };
+        let fresh = MqaSystem::build(fresh_cfg, kb()).unwrap();
+        let expect = fresh.ask_once(Turn::text(phrase)).unwrap();
+        let ids = |r: &Reply| r.results.iter().map(|x| x.id).collect::<Vec<_>>();
+        assert_eq!(ids(&after), ids(&expect));
+    }
+
+    #[test]
+    fn relearn_on_unlabelled_corpus_is_typed_error() {
+        use mqa_encoders::RawContent;
+        use mqa_kb::{ContentSchema, FieldSpec, KnowledgeBase, ObjectRecord};
+        use mqa_vector::ModalityKind;
+        let mut unlabelled = KnowledgeBase::new(
+            "texts",
+            ContentSchema::new(
+                vec![FieldSpec {
+                    name: "body".into(),
+                    kind: ModalityKind::Text,
+                }],
+                0,
+            ),
+        );
+        for i in 0..8 {
+            unlabelled
+                .ingest(ObjectRecord::new(
+                    format!("t{i}"),
+                    vec![Some(RawContent::text(format!("object number {i}")))],
+                ))
+                .unwrap();
+        }
+        let mut sys = MqaSystem::build(Config::default(), unlabelled).unwrap();
+        assert!(matches!(
+            sys.relearn_weights(mqa_weights::TrainerConfig::default()),
+            Err(MqaError::InvalidConfig(_))
+        ));
     }
 
     #[test]

@@ -229,6 +229,8 @@ impl<'a> DialogueSession<'a> {
         let mut out = self.system.executor().run_with_k(&query, fetch);
         out.results.retain(|c| !self.excluded.contains(&c.id));
         if let Some(lambda) = diversify {
+            // Config::validate already rejects lambda outside [0, 1]; this
+            // mapping is the last line of defence for hand-built configs.
             out.results = mqa_retrieval::mmr_diversify(
                 self.system.corpus().store(),
                 self.system.weights(),
@@ -236,7 +238,8 @@ impl<'a> DialogueSession<'a> {
                 &out.results,
                 k,
                 lambda,
-            );
+            )
+            .map_err(|e| MqaError::InvalidConfig(e.to_string()))?;
         } else {
             out.results.truncate(k);
         }

@@ -31,9 +31,28 @@ pub struct UnifiedSnapshot {
 
 impl UnifiedSnapshot {
     /// Serializes to JSON.
-    pub fn to_json(&self) -> String {
-        // The in-tree serializer writes to a String and cannot fail.
-        serde_json::to_string(self).unwrap_or_default()
+    ///
+    /// Validates the snapshot first: the serializer emits `null` for
+    /// non-finite floats, which parses back but fails to restore into an
+    /// `f32` — a snapshot that *looks* saved and then silently refuses to
+    /// load. (The previous implementation went further and swallowed any
+    /// serialization failure into an empty string.)
+    ///
+    /// # Errors
+    /// Names the offending field when the snapshot holds a non-finite
+    /// value; propagates the serializer message otherwise.
+    pub fn to_json(&self) -> Result<String, String> {
+        for (m, &w) in self.weights.as_slice().iter().enumerate() {
+            if !w.is_finite() {
+                return Err(format!("snapshot weight for modality {m} is {w}"));
+            }
+        }
+        for id in 0..self.store.len() as u32 {
+            if let Some(x) = self.store.concat_of(id).iter().find(|x| !x.is_finite()) {
+                return Err(format!("snapshot vector {id} holds non-finite {x}"));
+            }
+        }
+        serde_json::to_string(self).map_err(|e| e.to_string())
     }
 
     /// Restores from JSON.
@@ -104,7 +123,8 @@ mod tests {
             let q = query(9);
             let before = idx.search(&q, None, 10, 48).ids();
             let snapshot = idx.snapshot();
-            let restored = UnifiedSnapshot::from_json(&snapshot.to_json())
+            let json = snapshot.to_json().expect("finite snapshot serializes");
+            let restored = UnifiedSnapshot::from_json(&json)
                 .expect("round trips")
                 .restore();
             let after = restored.search(&q, None, 10, 48).ids();
@@ -143,5 +163,42 @@ mod tests {
     #[test]
     fn malformed_json_rejected() {
         assert!(UnifiedSnapshot::from_json("{nope").is_err());
+    }
+
+    /// Regression: a snapshot holding a non-finite value used to
+    /// serialize "successfully" (the value became JSON `null`, or any
+    /// failure became `""`), producing a snapshot that silently refused
+    /// to restore later. It must fail loudly at save time instead.
+    #[test]
+    fn non_finite_store_value_fails_at_save_time() {
+        let idx = UnifiedIndex::build(
+            store(20, 5),
+            Weights::uniform(2),
+            Metric::L2,
+            &IndexAlgorithm::Flat,
+        );
+        let mut snap = idx.snapshot();
+        let schema = Schema::text_image(6, 6);
+        snap.store.push(&MultiVector::complete(
+            &schema,
+            vec![vec![f32::NAN; 6], vec![0.0; 6]],
+        ));
+        let err = snap.to_json().expect_err("NaN must not serialize");
+        assert!(err.contains("non-finite"), "uninformative error: {err}");
+        assert!(err.contains("20"), "error must name the vector: {err}");
+    }
+
+    /// And a healthy snapshot keeps round-tripping — the validation pass
+    /// rejects nothing finite.
+    #[test]
+    fn finite_snapshot_serializes_ok() {
+        let idx = UnifiedIndex::build(
+            store(20, 6),
+            Weights::normalized(&[0.4, 1.6]),
+            Metric::L2,
+            &IndexAlgorithm::Flat,
+        );
+        let json = idx.snapshot().to_json().expect("finite snapshot");
+        assert!(UnifiedSnapshot::from_json(&json).is_ok());
     }
 }

@@ -29,9 +29,12 @@ pub struct SearchStats {
     pub evals: u64,
     /// Distance evaluations abandoned by incremental scanning.
     pub pruned: u64,
-    /// Distinct 4 KiB page reads (populated only by the Starling paged
-    /// index; zero elsewhere).
+    /// Distinct 4 KiB page reads that went to the (simulated) device
+    /// (populated only by the Starling paged index; zero elsewhere).
     pub pages_read: u64,
+    /// Distinct page touches served by the shared page cache instead of
+    /// the device (zero unless a cache is attached).
+    pub pages_cached: u64,
 }
 
 impl SearchStats {
@@ -41,6 +44,7 @@ impl SearchStats {
         self.evals += other.evals;
         self.pruned += other.pruned;
         self.pages_read += other.pages_read;
+        self.pages_cached += other.pages_cached;
     }
 
     /// Total distance-evaluation work: completed plus abandoned
@@ -61,6 +65,8 @@ impl SearchStats {
         reg.counter("graph.search.evals").add(self.evals);
         reg.counter("graph.search.pruned").add(self.pruned);
         reg.counter("graph.search.pages_read").add(self.pages_read);
+        reg.counter("graph.search.pages_cached")
+            .add(self.pages_cached);
         reg.histogram(&format!("graph.{algo}.search_us"))
             .record(elapsed_us);
         reg.histogram(&format!("graph.{algo}.evals"))

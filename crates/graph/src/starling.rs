@@ -19,8 +19,10 @@ use crate::adjacency::Adjacency;
 use crate::scratch::{SearchScratch, VisitedSet};
 use crate::search::{SearchOutput, SearchStats};
 use crate::traits::{DistanceFn, GraphSearcher};
+use mqa_cache::PageCache;
 use mqa_vector::{Candidate, MinCandidate, TopK, VecId};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Timing profile of the simulated block device. The default profile is
@@ -147,6 +149,7 @@ pub struct PagedIndex {
     entries: Vec<VecId>,
     layout: PageLayout,
     device: DeviceProfile,
+    cache: Option<Arc<PageCache>>,
 }
 
 impl PagedIndex {
@@ -166,6 +169,7 @@ impl PagedIndex {
             entries,
             layout,
             device: DeviceProfile::default(),
+            cache: None,
         }
     }
 
@@ -182,6 +186,22 @@ impl PagedIndex {
         self.device
     }
 
+    /// Attaches a shared block cache over the paged layout: a page whose
+    /// id is resident in `cache` costs no device read (it is counted in
+    /// [`SearchStats::pages_cached`] instead of
+    /// [`SearchStats::pages_read`]). Search *decisions* never consult the
+    /// cache, so results are bit-identical with and without one — only
+    /// where the time goes changes, exactly like a real block cache.
+    pub fn with_page_cache(mut self, cache: Arc<PageCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The shared page cache, if one is attached.
+    pub fn page_cache(&self) -> Option<&Arc<PageCache>> {
+        self.cache.as_ref()
+    }
+
     /// The layout in use.
     pub fn layout(&self) -> &PageLayout {
         &self.layout
@@ -192,14 +212,23 @@ impl PagedIndex {
         &self.graph
     }
 
-    /// Reads the page of `v` unless already resident this query: counts
-    /// the read and charges the device latency.
+    /// Reads the page of `v` unless already resident this query: a page
+    /// found in the shared block cache is free, otherwise the read is
+    /// counted and the device latency charged.
     fn read_page(&self, v: VecId, pages: &mut VisitedSet, stats: &mut SearchStats) {
-        if pages.insert(self.layout.page(v)) {
-            stats.pages_read += 1;
-            if !self.device.read_latency.is_zero() {
-                std::thread::sleep(self.device.read_latency);
+        let page = self.layout.page(v);
+        if !pages.insert(page) {
+            return; // already touched by this query
+        }
+        if let Some(cache) = &self.cache {
+            if cache.probe(page) {
+                stats.pages_cached += 1;
+                return;
             }
+        }
+        stats.pages_read += 1;
+        if !self.device.read_latency.is_zero() {
+            std::thread::sleep(self.device.read_latency);
         }
     }
 
@@ -598,6 +627,48 @@ mod tests {
             reads_2p * 2 <= reads_1p,
             "expected >=2x I/O reduction: two-phase {reads_2p} vs one-phase {reads_1p}"
         );
+    }
+
+    #[test]
+    fn page_cache_keeps_results_bit_identical_and_absorbs_warm_reads() {
+        let s = store(800, 8, 7);
+        let nav = vamana::build(&s, Metric::L2, 12, 32, 1.2, 0);
+        let layout = PageLayout::build(nav.graph(), 4, LayoutStrategy::BfsCluster);
+        let uncached = PagedIndex::new(nav.graph().clone(), nav.entries().to_vec(), layout.clone());
+        let cached = PagedIndex::new(nav.graph().clone(), nav.entries().to_vec(), layout)
+            .with_page_cache(Arc::new(mqa_cache::PageCache::new(4096)));
+        let mut rng = StdRng::seed_from_u64(13);
+        let queries: Vec<Vec<f32>> = (0..10)
+            .map(|_| (0..8).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect();
+        // Cold pass: every page misses, so device reads match the
+        // uncached index exactly and results are bit-identical.
+        for q in &queries {
+            let mut d1 = FlatDistance::new(&s, q, Metric::L2).unwrap();
+            let plain = uncached.search_paged(&mut d1, 5, 32);
+            let mut d2 = FlatDistance::new(&s, q, Metric::L2).unwrap();
+            let warm = cached.search_paged(&mut d2, 5, 32);
+            assert_eq!(plain.results, warm.results);
+            assert_eq!(
+                plain.stats.pages_read,
+                warm.stats.pages_read + warm.stats.pages_cached,
+                "every page touch must be either a device read or a cache hit"
+            );
+        }
+        // Warm pass: the same queries touch only resident pages.
+        let mut warm_device_reads = 0u64;
+        let mut warm_cache_hits = 0u64;
+        for q in &queries {
+            let mut d1 = FlatDistance::new(&s, q, Metric::L2).unwrap();
+            let plain = uncached.search_paged(&mut d1, 5, 32);
+            let mut d2 = FlatDistance::new(&s, q, Metric::L2).unwrap();
+            let warm = cached.search_paged(&mut d2, 5, 32);
+            assert_eq!(plain.results, warm.results);
+            warm_device_reads += warm.stats.pages_read;
+            warm_cache_hits += warm.stats.pages_cached;
+        }
+        assert_eq!(warm_device_reads, 0, "warm repeat queries must be I/O-free");
+        assert!(warm_cache_hits > 0);
     }
 
     #[test]

@@ -52,6 +52,7 @@ fn metric_recording_overhead_below_five_percent_of_flat_search() {
         evals: 2_000,
         pruned: 10,
         pages_read: 0,
+        pages_cached: 0,
     };
     let record_ns = per_op_ns(10_000, 5, || {
         stats.record(black_box("overhead-test"), black_box(123));

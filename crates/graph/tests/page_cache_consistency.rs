@@ -1,0 +1,102 @@
+//! Property test: a shared page cache must never change paged-search
+//! answers — only where page touches are served from.
+//!
+//! For every navigation-graph algorithm (HNSW base layer, NSG, Vamana),
+//! both page-layout strategies, and both cache regimes (a tiny capacity
+//! that thrashes and evicts, a large capacity that goes fully warm), a
+//! cached [`PagedIndex`] must return results bit-identical to an uncached
+//! twin, and every distinct page touch must be accounted for as exactly
+//! one of a device read or a cache hit:
+//!
+//! ```text
+//! cached.pages_read + cached.pages_cached == uncached.pages_read
+//! ```
+
+use mqa_cache::PageCache;
+use mqa_graph::starling::{LayoutStrategy, PageLayout, PagedIndex};
+use mqa_graph::{hnsw, nsg, vamana, Adjacency, FlatDistance};
+use mqa_rng::StdRng;
+use mqa_vector::{Metric, VecId, VectorStore};
+use std::sync::Arc;
+
+fn store(n: usize, dim: usize, seed: u64) -> Arc<VectorStore> {
+    let mut s = VectorStore::new(dim);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..n {
+        let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        s.push(&v);
+    }
+    Arc::new(s)
+}
+
+/// Builds `(name, adjacency, entry points)` for every algorithm under test.
+fn graphs(s: &Arc<VectorStore>) -> Vec<(&'static str, Adjacency, Vec<VecId>)> {
+    let h = hnsw::Hnsw::build(s, Metric::L2, &hnsw::HnswParams::default());
+    let n = nsg::build(s, Metric::L2, 12, 32, 12, 5);
+    let v = vamana::build(s, Metric::L2, 12, 32, 1.2, 5);
+    vec![
+        ("hnsw", h.base_layer(), vec![h.entry()]),
+        ("nsg", n.graph().clone(), n.entries().to_vec()),
+        ("vamana", v.graph().clone(), v.entries().to_vec()),
+    ]
+}
+
+#[test]
+fn cached_paged_search_is_bit_identical_across_algorithms_and_regimes() {
+    let s = store(500, 8, 3);
+    let mut rng = StdRng::seed_from_u64(17);
+    let queries: Vec<Vec<f32>> = (0..8)
+        .map(|_| (0..8).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
+
+    for (name, graph, entries) in graphs(&s) {
+        for strategy in [LayoutStrategy::InsertionOrder, LayoutStrategy::BfsCluster] {
+            let layout = PageLayout::build(&graph, 4, strategy);
+            let uncached = PagedIndex::new(graph.clone(), entries.clone(), layout.clone());
+            // Tiny capacity: far fewer slots than distinct pages, so the
+            // clock sweeps and evicts constantly. Large capacity: the
+            // whole working set becomes resident.
+            for capacity in [4usize, 4096] {
+                let cache = Arc::new(PageCache::new(capacity));
+                let cached = PagedIndex::new(graph.clone(), entries.clone(), layout.clone())
+                    .with_page_cache(Arc::clone(&cache));
+                // Two passes: cold, then warm (or still-thrashing at the
+                // tiny capacity). The invariants hold in both.
+                for pass in ["cold", "warm"] {
+                    for (qi, q) in queries.iter().enumerate() {
+                        let mut d1 = FlatDistance::new(&s, q, Metric::L2).unwrap();
+                        let plain = uncached.search_paged(&mut d1, 5, 24);
+                        let mut d2 = FlatDistance::new(&s, q, Metric::L2).unwrap();
+                        let with_cache = cached.search_paged(&mut d2, 5, 24);
+                        assert_eq!(
+                            plain.results, with_cache.results,
+                            "{name}/{strategy:?}/cap={capacity}/{pass} query {qi}: \
+                             cached results diverge"
+                        );
+                        assert_eq!(
+                            with_cache.stats.pages_read + with_cache.stats.pages_cached,
+                            plain.stats.pages_read,
+                            "{name}/{strategy:?}/cap={capacity}/{pass} query {qi}: \
+                             page touches unaccounted for"
+                        );
+                    }
+                }
+                assert!(
+                    cache.len() <= cache.capacity(),
+                    "{name}/{strategy:?}: cache overfilled"
+                );
+                if capacity == 4 {
+                    // The working set dwarfs 4 pages (8-entry slots after
+                    // shard rounding), so the thrashing regime must have
+                    // filled the cache completely — evictions happened.
+                    assert_eq!(
+                        cache.len(),
+                        cache.capacity(),
+                        "{name}/{strategy:?}: tiny cache never reached \
+                         capacity, eviction path untested"
+                    );
+                }
+            }
+        }
+    }
+}

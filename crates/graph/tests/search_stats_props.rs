@@ -1,4 +1,4 @@
-//! Property tests for `SearchStats::merge`: over all four counter fields
+//! Property tests for `SearchStats::merge`: over all five counter fields
 //! the operation must be commutative and associative (with the default
 //! record as identity), since the experiment harness folds per-query stats
 //! in arbitrary grouping and order.
@@ -12,6 +12,7 @@ fn random_stats(rng: &mut StdRng) -> SearchStats {
         evals: rng.gen_range(0..1_000_000u64),
         pruned: rng.gen_range(0..1_000_000u64),
         pages_read: rng.gen_range(0..1_000_000u64),
+        pages_cached: rng.gen_range(0..1_000_000u64),
     }
 }
 
@@ -63,6 +64,7 @@ fn total_distance_work_sums_completed_and_abandoned() {
         evals: 10,
         pruned: 4,
         pages_read: 0,
+        pages_cached: 0,
     };
     assert_eq!(s.total_distance_work(), 14);
     assert_eq!(SearchStats::default().total_distance_work(), 0);

@@ -13,13 +13,20 @@
 //! distance. `λ = 1` reduces to plain ranking; lower values trade a little
 //! relevance for spread.
 
+use crate::error::RetrievalError;
 use mqa_vector::{Candidate, Metric, MultiVectorStore, Weights};
+
+/// Pool-scale sample size: up to this many candidates, evenly spaced
+/// across the whole pool, feed the all-pairs scale estimate (16² / 2 =
+/// 120 pair distances at most — O(1) regardless of pool size).
+const SCALE_SAMPLE: usize = 16;
 
 /// Re-ranks `candidates` (ascending distance, as produced by any
 /// framework) into a diversified top-`k` under the MMR criterion.
 ///
-/// # Panics
-/// Panics if `lambda` is outside `[0, 1]` or `k == 0`.
+/// # Errors
+/// [`RetrievalError::BadDiversification`] if `lambda` is outside
+/// `[0, 1]` (NaN included) or `k == 0`.
 pub fn mmr_diversify(
     store: &MultiVectorStore,
     weights: &Weights,
@@ -27,11 +34,12 @@ pub fn mmr_diversify(
     candidates: &[Candidate],
     k: usize,
     lambda: f32,
-) -> Vec<Candidate> {
-    assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0, 1]");
-    assert!(k > 0, "k must be >= 1");
+) -> Result<Vec<Candidate>, RetrievalError> {
+    if !(0.0..=1.0).contains(&lambda) || k == 0 {
+        return Err(RetrievalError::BadDiversification { lambda, k });
+    }
     if candidates.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let _span = mqa_obs::span("retrieval.diversify");
     // Normalize relevance to [0, 1] over the candidate pool (distances are
@@ -55,11 +63,24 @@ pub fn mmr_diversify(
 
     let mut remaining: Vec<Candidate> = candidates.to_vec();
     let mut picked: Vec<Candidate> = Vec::with_capacity(k);
-    // Cache the pool's internal distance scale for similarity normalization.
+    // Estimate the pool's internal distance scale for similarity
+    // normalization from a deterministic stratified sample: up to
+    // SCALE_SAMPLE candidates evenly spaced across the *whole* pool, so
+    // a far-apart pair contributes no matter where it ranks. (The old
+    // first-8-only estimate collapsed for pools of near-duplicate heads:
+    // every cross-group similarity clamped to zero and MMR degenerated
+    // to plain ranking.)
+    let stride = candidates.len().div_ceil(SCALE_SAMPLE).max(1);
+    let sample: Vec<u32> = candidates
+        .iter()
+        .step_by(stride)
+        .map(|c| c.id)
+        .chain(std::iter::once(candidates[candidates.len() - 1].id))
+        .collect();
     let mut pool_scale = 0.0f32;
-    for (i, a) in candidates.iter().enumerate().take(8) {
-        for b in candidates.iter().skip(i + 1).take(8) {
-            pool_scale = pool_scale.max(pair_dist(a.id, b.id));
+    for (i, &a) in sample.iter().enumerate() {
+        for &b in sample.iter().skip(i + 1) {
+            pool_scale = pool_scale.max(pair_dist(a, b));
         }
     }
     let pool_scale = pool_scale.max(1e-6);
@@ -80,7 +101,7 @@ pub fn mmr_diversify(
         }
         picked.push(remaining.swap_remove(best_idx));
     }
-    picked
+    Ok(picked)
 }
 
 #[cfg(test)]
@@ -121,7 +142,8 @@ mod tests {
     #[test]
     fn lambda_one_keeps_plain_ranking() {
         let (store, cands) = setup();
-        let out = mmr_diversify(&store, &Weights::uniform(2), Metric::L2, &cands, 3, 1.0);
+        let out = mmr_diversify(&store, &Weights::uniform(2), Metric::L2, &cands, 3, 1.0)
+            .expect("valid parameters");
         let ids: Vec<u32> = out.iter().map(|c| c.id).collect();
         assert_eq!(ids, vec![0, 1, 2]);
     }
@@ -129,7 +151,8 @@ mod tests {
     #[test]
     fn moderate_lambda_spreads_over_groups() {
         let (store, cands) = setup();
-        let out = mmr_diversify(&store, &Weights::uniform(2), Metric::L2, &cands, 3, 0.5);
+        let out = mmr_diversify(&store, &Weights::uniform(2), Metric::L2, &cands, 3, 0.5)
+            .expect("valid parameters");
         let ids: Vec<u32> = out.iter().map(|c| c.id).collect();
         // first pick is the most relevant; later picks leave group A
         assert_eq!(ids[0], 0);
@@ -145,20 +168,84 @@ mod tests {
     #[test]
     fn k_larger_than_pool_returns_all() {
         let (store, cands) = setup();
-        let out = mmr_diversify(&store, &Weights::uniform(2), Metric::L2, &cands, 50, 0.7);
+        let out = mmr_diversify(&store, &Weights::uniform(2), Metric::L2, &cands, 50, 0.7)
+            .expect("valid parameters");
         assert_eq!(out.len(), 6);
     }
 
     #[test]
     fn empty_pool_is_empty() {
         let (store, _) = setup();
-        assert!(mmr_diversify(&store, &Weights::uniform(2), Metric::L2, &[], 3, 0.5).is_empty());
+        assert!(
+            mmr_diversify(&store, &Weights::uniform(2), Metric::L2, &[], 3, 0.5)
+                .expect("valid parameters")
+                .is_empty()
+        );
     }
 
+    /// Regression: out-of-domain parameters used to panic deep inside the
+    /// answer pipeline; they must surface as a typed error instead.
     #[test]
-    #[should_panic(expected = "lambda")]
-    fn bad_lambda_panics() {
+    fn bad_parameters_return_typed_error() {
         let (store, cands) = setup();
-        mmr_diversify(&store, &Weights::uniform(2), Metric::L2, &cands, 3, 1.5);
+        for lambda in [-0.1, 1.5, f32::NAN] {
+            let err = mmr_diversify(&store, &Weights::uniform(2), Metric::L2, &cands, 3, lambda)
+                .expect_err("lambda outside [0, 1] must be rejected");
+            assert!(
+                matches!(err, RetrievalError::BadDiversification { k: 3, .. }),
+                "unexpected error {err:?} for lambda {lambda}"
+            );
+        }
+        let err = mmr_diversify(&store, &Weights::uniform(2), Metric::L2, &cands, 0, 0.5)
+            .expect_err("k == 0 must be rejected");
+        assert_eq!(
+            err,
+            RetrievalError::BadDiversification { lambda: 0.5, k: 0 }
+        );
+    }
+
+    /// Regression for the pool-scale estimate: with more than 8 candidates
+    /// the old code sampled only the first 8×8 pairs. A pool whose head is
+    /// 13 near-duplicates then produced a tiny `pool_scale`, every
+    /// cross-group similarity clamped to 0, and MMR returned the
+    /// duplicates unchanged. The scale must reflect the *whole* pool.
+    #[test]
+    fn pool_scale_covers_candidates_beyond_the_first_eight() {
+        let schema = Schema::text_image(2, 2);
+        let mut store = MultiVectorStore::new(schema.clone());
+        let mut push = |t: [f32; 2], i: [f32; 2]| {
+            store.push(&MultiVector::complete(
+                &schema,
+                vec![t.to_vec(), i.to_vec()],
+            ))
+        };
+        // ids 0-12: thirteen near-duplicates, ranked most relevant.
+        for j in 0..13 {
+            let eps = j as f32 * 0.001;
+            push([eps, 0.0], [0.0, eps]);
+        }
+        // ids 13-14: a far-away group, ranked after the duplicates.
+        push([10.0, 10.0], [10.0, 10.0]);
+        push([10.0, 10.1], [10.1, 10.0]);
+        let mut candidates: Vec<Candidate> = (0..13)
+            .map(|id| Candidate::new(id, 0.10 + id as f32 * 0.001))
+            .collect();
+        candidates.push(Candidate::new(13, 0.60));
+        candidates.push(Candidate::new(14, 0.61));
+
+        let out = mmr_diversify(
+            &store,
+            &Weights::uniform(2),
+            Metric::L2,
+            &candidates,
+            5,
+            0.5,
+        )
+        .expect("valid parameters");
+        let ids: Vec<u32> = out.iter().map(|c| c.id).collect();
+        assert!(
+            ids.iter().any(|&id| id >= 13),
+            "diversification never escaped the duplicate head: {ids:?}"
+        );
     }
 }

@@ -3,7 +3,10 @@
 use std::fmt;
 
 /// Errors raised when assembling or driving a retrieval framework.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// (`Eq` is deliberately absent: [`RetrievalError::BadDiversification`]
+/// carries the offending `f32`.)
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RetrievalError {
     /// A pre-built index was paired with a corpus of a different size.
     IndexCorpusMismatch {
@@ -11,6 +14,14 @@ pub enum RetrievalError {
         index: usize,
         /// Objects the corpus holds.
         corpus: usize,
+    },
+    /// MMR diversification was asked for with parameters outside its
+    /// domain (`lambda` must lie in `[0, 1]` and `k` must be `>= 1`).
+    BadDiversification {
+        /// The requested trade-off parameter.
+        lambda: f32,
+        /// The requested result count.
+        k: usize,
     },
 }
 
@@ -20,6 +31,11 @@ impl fmt::Display for RetrievalError {
             RetrievalError::IndexCorpusMismatch { index, corpus } => write!(
                 f,
                 "index/corpus size mismatch: index covers {index} objects, corpus holds {corpus}"
+            ),
+            RetrievalError::BadDiversification { lambda, k } => write!(
+                f,
+                "bad diversification parameters: lambda {lambda} must be in [0, 1] \
+                 and k {k} must be >= 1"
             ),
         }
     }

@@ -16,6 +16,7 @@
 //! The witness is switched off again before the throughput phase so the
 //! recording mutex never touches the measured speedup.
 
+use mqa_cache::PageCache;
 use mqa_core::{Config, MqaSystem};
 use mqa_engine::sync::witness;
 use mqa_engine::{EngineOptions, QueryEngine, WorkerPool};
@@ -41,6 +42,10 @@ const MIN_SPEEDUP: f64 = 1.8;
 /// Simulated per-page device read latency for the throughput check.
 const READ_LATENCY: Duration = Duration::from_micros(200);
 
+/// Minimum accepted reduction in distinct simulated page reads when the
+/// default-capacity page cache is warm versus uncached.
+const MIN_CACHE_REDUCTION: f64 = 3.0;
+
 /// What the gate measured, for the caller to print.
 pub struct EngineOutcome {
     /// Queries whose engine answers matched the serial path exactly.
@@ -57,6 +62,12 @@ pub struct EngineOutcome {
     /// during the correctness phase (and validated against the static
     /// lock graph).
     pub witness_pairs: usize,
+    /// Distinct simulated page reads over the query set without a cache.
+    pub cold_page_reads: u64,
+    /// Distinct simulated page reads on the warm-cache pass.
+    pub warm_page_reads: u64,
+    /// `cold_page_reads / max(warm_page_reads, 1)`.
+    pub cache_read_reduction: f64,
 }
 
 /// Runs both checks and writes `metrics.json` under `out_dir`.
@@ -80,6 +91,8 @@ pub fn run(out_dir: &Path, seed: u64) -> Result<EngineOutcome, String> {
              is below the {MIN_SPEEDUP}x gate ({serial_qps:.0} -> {concurrent_qps:.0} QPS)"
         ));
     }
+    let (cold_page_reads, warm_page_reads) = check_page_cache(seed)?;
+    let cache_read_reduction = cold_page_reads as f64 / (warm_page_reads.max(1)) as f64;
 
     let snapshot = mqa_obs::global().snapshot();
     verify_instruments(&snapshot)?;
@@ -96,6 +109,9 @@ pub fn run(out_dir: &Path, seed: u64) -> Result<EngineOutcome, String> {
         speedup,
         jobs_executed,
         witness_pairs,
+        cold_page_reads,
+        warm_page_reads,
+        cache_read_reduction,
     })
 }
 
@@ -251,6 +267,65 @@ fn check_paged_speedup(seed: u64) -> Result<(f64, f64, u64), String> {
     Ok((qps[0], qps[1], jobs_executed))
 }
 
+/// Check 3 — the shared page cache: the same Vamana-behind-Starling
+/// setup as the throughput check, queried uncached and then through a
+/// default-capacity [`PageCache`], cold pass then warm pass. Answers must
+/// be bit-identical in every pass, and the warm pass must issue at least
+/// [`MIN_CACHE_REDUCTION`]× fewer distinct simulated page reads than the
+/// uncached baseline. Returns `(cold_page_reads, warm_page_reads)`.
+fn check_page_cache(seed: u64) -> Result<(u64, u64), String> {
+    let (n, dim, queries) = (1_200, 8, 40usize);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut store = VectorStore::new(dim);
+    for _ in 0..n {
+        let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        store.push(&v);
+    }
+    let store = Arc::new(store);
+    let nav = mqa_graph::vamana::build(&store, Metric::L2, 16, 48, 1.2, seed.wrapping_add(3));
+    let layout = PageLayout::build(nav.graph(), 8, LayoutStrategy::BfsCluster);
+    let plain = PagedIndex::new(nav.graph().clone(), nav.entries().to_vec(), layout.clone());
+    let cached = PagedIndex::new(nav.graph().clone(), nav.entries().to_vec(), layout)
+        .with_page_cache(Arc::new(PageCache::with_default_capacity()));
+    let query_vecs: Vec<Vec<f32>> = (0..queries)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+
+    let run_pass = |index: &PagedIndex| -> Result<(Vec<Vec<(u32, f32)>>, u64), String> {
+        let mut answers = Vec::with_capacity(queries);
+        let mut pages_read = 0u64;
+        for q in &query_vecs {
+            let mut dist = FlatDistance::new(&store, q, Metric::L2)
+                .map_err(|e| format!("distance setup failed: {e}"))?;
+            let out = index.search_paged(&mut dist, 10, 32);
+            pages_read += out.stats.pages_read;
+            answers.push(out.results.iter().map(|c| (c.id, c.dist)).collect());
+        }
+        Ok((answers, pages_read))
+    };
+
+    let (baseline, cold_page_reads) = run_pass(&plain)?;
+    let (cold_cached, _) = run_pass(&cached)?; // populates the cache
+    let (warm_cached, warm_page_reads) = run_pass(&cached)?;
+    for (label, answers) in [("cold", &cold_cached), ("warm", &warm_cached)] {
+        if answers != &baseline {
+            return Err(format!(
+                "engine smoke failed: {label}-cache paged answers diverge from \
+                 the uncached baseline — the cache must never change results"
+            ));
+        }
+    }
+    let reduction = cold_page_reads as f64 / (warm_page_reads.max(1)) as f64;
+    if reduction < MIN_CACHE_REDUCTION {
+        return Err(format!(
+            "engine smoke failed: warm page cache read {warm_page_reads} distinct \
+             pages vs {cold_page_reads} uncached ({reduction:.2}x reduction, \
+             below the {MIN_CACHE_REDUCTION}x gate)"
+        ));
+    }
+    Ok((cold_page_reads, warm_page_reads))
+}
+
 /// The instrument self-checks behind the CI smoke gate: every engine
 /// metric wired in this refactor must have actually recorded.
 fn verify_instruments(snapshot: &mqa_obs::Snapshot) -> Result<(), String> {
@@ -275,6 +350,25 @@ fn verify_instruments(snapshot: &mqa_obs::Snapshot) -> Result<(), String> {
         .all(|g| g.name != "engine.queue_depth")
     {
         missing.push("gauge `engine.queue_depth` never set".to_string());
+    }
+    match snapshot.counter("cache.page.hits") {
+        Some(v) if v > 0 => {}
+        _ => missing.push("counter `cache.page.hits` missing or zero".to_string()),
+    }
+    match snapshot.counter("cache.page.misses") {
+        Some(v) if v > 0 => {}
+        _ => missing.push("counter `cache.page.misses` missing or zero".to_string()),
+    }
+    match snapshot.histogram("cache.page.lookup_us") {
+        Some(h) if h.count > 0 => {}
+        _ => missing.push("histogram `cache.page.lookup_us` missing or empty".to_string()),
+    }
+    if snapshot
+        .gauges
+        .iter()
+        .all(|g| g.name != "cache.page.hit_rate")
+    {
+        missing.push("gauge `cache.page.hit_rate` never set".to_string());
     }
     if missing.is_empty() {
         Ok(())
@@ -302,6 +396,13 @@ mod tests {
         assert!(
             outcome.witness_pairs >= 1,
             "the lock witness must record at least one acquisition pair"
+        );
+        assert!(
+            outcome.cache_read_reduction >= MIN_CACHE_REDUCTION,
+            "warm cache reduction {:.2}x below gate ({} cold vs {} warm reads)",
+            outcome.cache_read_reduction,
+            outcome.cold_page_reads,
+            outcome.warm_page_reads
         );
         let body = std::fs::read_to_string(dir.join("metrics.json")).expect("metrics readable");
         assert!(body.contains("engine.query_us"));

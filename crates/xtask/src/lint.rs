@@ -234,8 +234,12 @@ pub fn strip(source: &str) -> String {
             i += 1;
             while i < n {
                 if b[i] == '\\' && i + 1 < n {
+                    // Preserve a line-continuation's newline: losing it
+                    // desynchronizes the per-line test mask (built on the
+                    // stripped text) from token line numbers (lexed from
+                    // the original source).
                     out.push(' ');
-                    out.push(' ');
+                    out.push(blank(b[i + 1]));
                     i += 2;
                 } else if b[i] == '"' {
                     out.push('"');
@@ -673,6 +677,17 @@ mod tests {
         let s = strip(src);
         assert!(!s.contains(".unwrap()"));
         assert!(s.contains("fn f<'a>(x: &'a str)"));
+    }
+
+    /// Regression: a string line-continuation (`\` before the newline)
+    /// used to swallow the newline during stripping, so every line after
+    /// it mapped to the wrong mask slot and `#[cfg(test)]` items further
+    /// down leaked spurious no-unwrap/no-expect findings.
+    #[test]
+    fn string_line_continuation_keeps_mask_aligned() {
+        let src = "fn f() -> String {\n    format!(\n        \"two-line \\\n         message\"\n    )\n}\n#[cfg(test)]\nmod tests {\n    fn b() { x.expect(\"fine in tests\"); }\n}\n";
+        assert_eq!(strip(src).lines().count(), src.lines().count());
+        assert!(lint_source("f.rs", src, &flags(false, false, false)).is_empty());
     }
 
     #[test]

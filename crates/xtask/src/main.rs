@@ -274,13 +274,17 @@ fn cmd_engine(args: &[String]) -> ExitCode {
         Ok(outcome) => {
             println!(
                 "engine: {} answer(s) identical to serial, paged QPS {:.0} -> {:.0} \
-                 ({:.2}x at 4 workers), {} pool job(s), {} witness pair(s) -> {}",
+                 ({:.2}x at 4 workers), {} pool job(s), {} witness pair(s), \
+                 page cache {} -> {} read(s) ({:.1}x) -> {}",
                 outcome.identical_answers,
                 outcome.serial_qps,
                 outcome.concurrent_qps,
                 outcome.speedup,
                 outcome.jobs_executed,
                 outcome.witness_pairs,
+                outcome.cold_page_reads,
+                outcome.warm_page_reads,
+                outcome.cache_read_reduction,
                 out_dir.display()
             );
             ExitCode::SUCCESS

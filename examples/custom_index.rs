@@ -88,7 +88,7 @@ fn main() {
         Metric::L2,
         &IndexAlgorithm::mqa_graph(),
     );
-    let json = index.snapshot().to_json();
+    let json = index.snapshot().to_json().expect("finite index serializes");
     println!(
         "\npersisted unified index: {:.1} MiB of JSON",
         json.len() as f64 / 1048576.0

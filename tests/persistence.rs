@@ -34,7 +34,7 @@ fn must_framework_served_from_restored_snapshot() {
         Metric::L2,
         &IndexAlgorithm::mqa_graph(),
     );
-    let json = index.snapshot().to_json();
+    let json = index.snapshot().to_json().expect("finite index serializes");
 
     let original = MustFramework::from_index(Arc::clone(&corpus), index).expect("sizes match");
     let restored_index = UnifiedSnapshot::from_json(&json).unwrap().restore();
@@ -62,7 +62,7 @@ fn snapshot_json_is_self_describing() {
         &IndexAlgorithm::hnsw(),
     );
     let snap = index.snapshot();
-    let json = snap.to_json();
+    let json = snap.to_json().expect("finite index serializes");
     assert!(
         json.contains("Hnsw"),
         "algorithm variant visible in snapshot"
