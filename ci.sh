@@ -14,6 +14,9 @@ cargo run -q --offline -p mqa-xtask -- lint
 echo "==> mqa-xtask conc (static concurrency analysis)"
 cargo run -q --offline -p mqa-xtask -- conc
 
+echo "==> mqa-xtask flow (panic-freedom reachability)"
+cargo run -q --offline -p mqa-xtask -- flow
+
 echo "==> mqa-xtask audit"
 cargo run -q --offline -p mqa-xtask -- audit
 

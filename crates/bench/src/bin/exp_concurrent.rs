@@ -10,7 +10,7 @@
 //! 2. **End-to-end MUST retrieval** — real multi-modal queries through a
 //!    [`mqa_engine::QueryEngine`] over the MUST framework (CPU-bound; on a
 //!    single core this measures pool overhead and p50/p99 tail shape from
-//!    the `engine.query_us` histogram rather than speedup).
+//!    the `engine.query.latency_us` histogram rather than speedup).
 //!
 //! ```bash
 //! cargo run --release -p mqa-bench --bin exp_concurrent [-- --quick]
@@ -142,7 +142,7 @@ fn must_engine_sweep(quick: bool, table: &mut Table) {
         if workers == 1 {
             baseline_qps = qps;
         }
-        let lat = mqa_obs::histogram("engine.query_us");
+        let lat = mqa_obs::histogram("engine.query.latency_us");
         table.row(vec![
             "must-e2e".to_string(),
             workers.to_string(),

@@ -74,6 +74,8 @@ impl<V> ClockCore<V> {
     /// Looks `key` up, arming its second-chance bit on a hit.
     pub fn get(&mut self, key: u64) -> Option<&V> {
         let idx = *self.map.get(&key)?;
+        // INVARIANT: map values are always valid slot indices — entries are
+        // inserted with `slots.len()` or a swept in-bounds victim index.
         self.slots[idx].referenced = true;
         Some(&self.slots[idx].value)
     }
@@ -82,6 +84,7 @@ impl<V> ClockCore<V> {
     /// Returns the evicted key, if any.
     pub fn insert(&mut self, key: u64, value: V) -> Option<u64> {
         if let Some(&idx) = self.map.get(&key) {
+            // INVARIANT: map values are always valid slot indices.
             self.slots[idx].value = value;
             self.slots[idx].referenced = true;
             return None;
@@ -103,19 +106,23 @@ impl<V> ClockCore<V> {
         // worst clear every bit.
         loop {
             let idx = self.hand;
+            // INVARIANT: this branch runs only when slots.len() == capacity,
+            // and capacity >= 1 is asserted in `new`; `idx` wraps mod len.
             self.hand = (self.hand + 1) % self.slots.len();
             if self.slots[idx].referenced {
                 self.slots[idx].referenced = false;
                 continue;
             }
+            // INVARIANT: idx < slots.len() (wrapped above), so the victim
+            // slot reads and rewrite stay in bounds.
             let old = self.slots[idx].key;
-            self.map.remove(&old);
-            self.map.insert(key, idx);
             self.slots[idx] = Slot {
                 key,
                 value,
                 referenced: false,
             };
+            self.map.remove(&old);
+            self.map.insert(key, idx);
             return Some(old);
         }
     }

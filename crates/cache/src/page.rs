@@ -78,6 +78,8 @@ impl PageCache {
     /// pay the device read.
     pub fn probe(&self, page: u32) -> bool {
         let sw = Stopwatch::start();
+        // INVARIANT: `% SHARDS` keeps the index in 0..SHARDS and the const
+        // divisor is non-zero, so shard selection cannot panic.
         let touch = self.shards[page as usize % SHARDS].touch(u64::from(page));
         // The shard guard is gone; record on pre-resolved handles.
         if touch.hit {
@@ -90,6 +92,8 @@ impl PageCache {
         }
         let h = self.hits.get() as f64;
         let m = self.misses.get() as f64;
+        // INVARIANT: f64 division — the `.max(1.0)` clamp avoids 0/0 NaN
+        // and float division cannot panic.
         self.hit_rate.set(h / (h + m).max(1.0));
         self.lookup_us.record(sw.elapsed_us());
         touch.hit

@@ -82,6 +82,8 @@ impl<V: Clone> ResultCache<V> {
     }
 
     fn shard(&self, slot_key: u64) -> &CacheShard<V> {
+        // INVARIANT: `% SHARDS` keeps the index in 0..SHARDS and the const
+        // divisor is non-zero, so shard selection cannot panic.
         &self.shards[(slot_key as usize) % SHARDS]
     }
 

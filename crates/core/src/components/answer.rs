@@ -54,8 +54,10 @@ impl AnswerGenerator {
     ) -> Vec<ContextEntry> {
         results
             .iter()
-            .map(|c| {
-                let record = kb.get(c.id);
+            .filter_map(|c| {
+                // A candidate whose id no longer resolves (stale cache hit
+                // across an ingest) is dropped rather than panicking.
+                let record = kb.try_get(c.id)?;
                 let snippet = record
                     .contents
                     .iter()
@@ -66,13 +68,13 @@ impl AnswerGenerator {
                         _ => None,
                     })
                     .unwrap_or_else(|| "(no textual content)".to_string());
-                ContextEntry {
+                Some(ContextEntry {
                     id: c.id,
                     title: record.title.clone(),
                     snippet,
                     distance: c.dist,
                     preferred: preferred == Some(c.id),
-                }
+                })
             })
             .collect()
     }

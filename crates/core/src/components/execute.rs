@@ -131,7 +131,11 @@ impl QueryExecutor {
         if query.image.is_some() {
             return;
         }
-        let record = kb.get(selected);
+        // A stale selection id (e.g. after corpus invalidation) degrades to
+        // "no reference image" instead of panicking mid-dialogue.
+        let Some(record) = kb.try_get(selected) else {
+            return;
+        };
         for (m, field) in kb.schema().fields().iter().enumerate() {
             if matches!(field.kind, ModalityKind::Image | ModalityKind::Video) {
                 if let Some(RawContent::Image(img)) = record.content(m) {

@@ -75,6 +75,8 @@ impl HashingTextEncoder {
             feats.push(((token_hash(self.seed, t) as usize % HASH_SPACE) as u32, 1.0));
         }
         for pair in tokens.windows(2) {
+            // INVARIANT: windows(2) yields exactly-2-element slices, and
+            // HASH_SPACE is a non-zero const.
             let bigram = format!("{} {}", pair[0], pair[1]);
             feats.push((
                 (token_hash(self.seed, &bigram) as usize % HASH_SPACE) as u32,

@@ -29,8 +29,8 @@
 //! assert_eq!(answer.ids(), vec![5]);
 //! ```
 //!
-//! Instrumentation (all through `mqa-obs`): `engine.queue_depth` gauge,
-//! `engine.query_us` latency histogram, `engine.submitted` counter, and
+//! Instrumentation (all through `mqa-obs`): `engine.pool.queue_depth` gauge,
+//! `engine.query.latency_us` latency histogram, `engine.query.submitted` counter, and
 //! per-worker `engine.worker.<i>.jobs` counters.
 
 pub mod pool;
@@ -129,7 +129,7 @@ impl QueryEngine {
         let job: pool::Job = Box::new(move |scratch| {
             let sw = mqa_obs::Stopwatch::start();
             let out = framework.search_scratch(&query, k, ef, scratch);
-            mqa_obs::histogram("engine.query_us").record(sw.elapsed_us());
+            mqa_obs::histogram("engine.query.latency_us").record(sw.elapsed_us());
             sender.send(out);
         });
         (ticket, job)
@@ -147,7 +147,7 @@ impl QueryEngine {
     ) -> Result<Ticket<RetrievalOutput>, EngineError> {
         let (ticket, job) = self.job(query, k, ef);
         self.pool.submit(job)?;
-        mqa_obs::counter("engine.submitted").inc();
+        mqa_obs::counter("engine.query.submitted").inc();
         Ok(ticket)
     }
 
@@ -164,7 +164,7 @@ impl QueryEngine {
     ) -> Result<Ticket<RetrievalOutput>, EngineError> {
         let (ticket, job) = self.job(query, k, ef);
         self.pool.try_submit(job)?;
-        mqa_obs::counter("engine.submitted").inc();
+        mqa_obs::counter("engine.query.submitted").inc();
         Ok(ticket)
     }
 
@@ -337,8 +337,8 @@ mod tests {
         for _ in 0..6 {
             engine.retrieve(MultiModalQuery::text("q"), 1, 1).unwrap();
         }
-        assert!(mqa_obs::counter("engine.submitted").get() >= 6);
-        assert!(mqa_obs::histogram("engine.query_us").count() >= 6);
+        assert!(mqa_obs::counter("engine.query.submitted").get() >= 6);
+        assert!(mqa_obs::histogram("engine.query.latency_us").count() >= 6);
     }
 
     #[test]

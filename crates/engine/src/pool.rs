@@ -34,11 +34,22 @@ impl WorkerPool {
                 let queue = Arc::clone(&queue);
                 std::thread::spawn(move || {
                     let jobs = mqa_obs::counter(&format!("engine.worker.{i}.jobs"));
-                    let depth = mqa_obs::gauge("engine.queue_depth");
+                    let depth = mqa_obs::gauge("engine.pool.queue_depth");
                     let mut scratch = SearchScratch::new();
                     while let Some(job) = queue.pop() {
                         depth.set(queue.len() as f64);
-                        job(&mut scratch);
+                        // A panicking job must not take the worker down:
+                        // the unwind drops the job's [`TicketSender`]
+                        // (resolving its ticket as Canceled) and this
+                        // thread moves on to the backlog. The scratch is
+                        // rebuilt — the panic may have left it mid-epoch.
+                        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            job(&mut scratch)
+                        }));
+                        if caught.is_err() {
+                            mqa_obs::counter("engine.worker.job_panics").inc();
+                            scratch = SearchScratch::new();
+                        }
                         jobs.inc();
                     }
                 })
@@ -54,7 +65,7 @@ impl WorkerPool {
     pub fn submit(&self, job: Job) -> Result<(), EngineError> {
         match self.queue.push(job) {
             Ok(()) => {
-                mqa_obs::gauge("engine.queue_depth").set(self.queue.len() as f64);
+                mqa_obs::gauge("engine.pool.queue_depth").set(self.queue.len() as f64);
                 Ok(())
             }
             Err(PushError::Closed(_)) | Err(PushError::Full(_)) => Err(EngineError::ShuttingDown),
@@ -69,7 +80,7 @@ impl WorkerPool {
     pub fn try_submit(&self, job: Job) -> Result<(), EngineError> {
         match self.queue.try_push(job) {
             Ok(()) => {
-                mqa_obs::gauge("engine.queue_depth").set(self.queue.len() as f64);
+                mqa_obs::gauge("engine.pool.queue_depth").set(self.queue.len() as f64);
                 Ok(())
             }
             Err(PushError::Full(_)) => Err(EngineError::QueueFull),

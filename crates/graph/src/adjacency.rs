@@ -34,7 +34,9 @@ impl Adjacency {
     /// Out-neighbours of `v`.
     #[inline]
     pub fn neighbors(&self, v: VecId) -> &[VecId] {
-        &self.lists[v as usize]
+        // An out-of-range id reads as "no neighbours" — traversal simply
+        // dead-ends instead of panicking mid-search.
+        self.lists.get(v as usize).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Replaces the out-neighbour list of `v`.
@@ -48,6 +50,7 @@ impl Adjacency {
                 .all(|&u| u != v && (u as usize) < self.lists.len()),
             "invalid neighbour list for {v}"
         );
+        // INVARIANT: builders only pass vertex ids < n minted by new(n).
         self.lists[v as usize] = neighbors;
     }
 
@@ -64,6 +67,7 @@ impl Adjacency {
     /// added.
     pub fn add_edge(&mut self, v: VecId, u: VecId) -> bool {
         debug_assert_ne!(v, u, "self loop");
+        // INVARIANT: builders only pass vertex ids < n minted by new(n).
         let list = &mut self.lists[v as usize];
         if list.contains(&u) {
             false
@@ -73,9 +77,9 @@ impl Adjacency {
         }
     }
 
-    /// Out-degree of `v`.
+    /// Out-degree of `v`. Out-of-range ids have degree zero.
     pub fn degree(&self, v: VecId) -> usize {
-        self.lists[v as usize].len()
+        self.lists.get(v as usize).map_or(0, Vec::len)
     }
 
     /// Mean out-degree.

@@ -145,6 +145,8 @@ impl Hnsw {
             };
             let selected = hnsw_heuristic(store, metric, v, cands.clone(), cap);
             for &u in &selected {
+                // INVARIANT: v and every candidate u are inserted vertices
+                // whose level lists extend past lc (selection is level-aware).
                 self.links[v as usize][lc].push(u);
                 let ul = &mut self.links[u as usize][lc];
                 if !ul.contains(&v) {
@@ -156,6 +158,7 @@ impl Hnsw {
                             .iter()
                             .map(|&w| Candidate::new(w, metric.distance(uv, store.get(w))))
                             .collect();
+                        // INVARIANT: u's level list reaches lc (checked on entry).
                         self.links[u as usize][lc] = hnsw_heuristic(store, metric, u, pool, cap);
                     }
                 }
@@ -190,8 +193,11 @@ impl Hnsw {
     }
 
     fn neighbors(&self, v: VecId, level: usize) -> &[VecId] {
-        self.links[v as usize]
-            .get(level)
+        // An out-of-range id or level reads as "no neighbours" — the beam
+        // dead-ends instead of panicking mid-search.
+        self.links
+            .get(v as usize)
+            .and_then(|levels| levels.get(level))
             .map(Vec::as_slice)
             .unwrap_or(&[])
     }
@@ -324,6 +330,7 @@ impl GraphSearcher for Hnsw {
         if self.links.is_empty() {
             return 0.0;
         }
+        // INVARIANT: every inserted vertex has at least a base layer.
         let total: usize = self.links.iter().map(|l| l[0].len()).sum();
         total as f64 / self.links.len() as f64
     }
@@ -374,11 +381,13 @@ impl Hnsw {
             out.push(InvariantViolation::BadEntry {
                 detail: format!("entry {} out of range (n = {n})", self.entry),
             });
+        // INVARIANT: the else-if branch only runs with entry < n checked.
         } else if self.links[self.entry as usize].len() != self.max_level + 1 {
             out.push(InvariantViolation::BadEntry {
                 detail: format!(
                     "entry {} has {} layer(s), expected max_level + 1 = {}",
                     self.entry,
+                    // INVARIANT: entry < n re-checked in this branch.
                     self.links[self.entry as usize].len(),
                     self.max_level + 1
                 ),
@@ -440,6 +449,7 @@ impl Hnsw {
                             neighbor: u,
                         });
                     }
+                    // INVARIANT: out-of-range u was reported + skipped above.
                     let u_levels = self.links[u as usize].len();
                     if u_levels <= level {
                         out.push(InvariantViolation::CrossLevelEdge {
@@ -463,6 +473,7 @@ impl Hnsw {
             seen.insert(self.entry);
             let mut reached = 1usize;
             while let Some(v) = queue.pop_front() {
+                // INVARIANT: only ids < n are enqueued (guarded below).
                 for &u in self.links[v as usize]
                     .first()
                     .map(Vec::as_slice)

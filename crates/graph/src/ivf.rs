@@ -94,6 +94,8 @@ impl Ivf {
         // Init centroids from spread sample rows.
         let mut centroids = vec![0.0f32; nlist * dim];
         for c in 0..nlist {
+            // INVARIANT: sample is non-empty (the store is) and c < nlist
+            // keeps the destination row inside the centroid matrix.
             let id = sample[(c * 6151 + 7) % sample.len()];
             centroids[c * dim..(c + 1) * dim].copy_from_slice(store.get(id));
         }
@@ -102,22 +104,31 @@ impl Ivf {
         let mut assign = vec![0usize; sample.len()];
         for _ in 0..params.iters {
             for (i, &id) in sample.iter().enumerate() {
+                // INVARIANT: assign has one slot per sample row.
                 assign[i] = nearest_centroid(&centroids, dim, nlist, store.get(id)).0;
             }
             let mut sums = vec![0.0f32; nlist * dim];
             let mut counts = vec![0usize; nlist];
             for (i, &id) in sample.iter().enumerate() {
+                // INVARIANT: assignments are cell ids < nlist; counts has
+                // nlist slots and sums nlist rows of dim floats.
                 let c = assign[i];
                 counts[c] += 1;
                 ops::axpy(1.0, store.get(id), &mut sums[c * dim..(c + 1) * dim]);
             }
             for c in 0..nlist {
+                // INVARIANT: c < nlist indexes counts and centroid rows.
                 if counts[c] == 0 {
+                    // INVARIANT: re-seed an empty cell from a random row
+                    // of the non-empty sample; c < nlist stays in bounds.
                     let id = sample[rng.gen_range(0..sample.len())];
                     centroids[c * dim..(c + 1) * dim].copy_from_slice(store.get(id));
                 } else {
                     for j in 0..dim {
-                        centroids[c * dim + j] = sums[c * dim + j] / counts[c] as f32;
+                        // INVARIANT: counts[c] > 0 in this branch and
+                        // c * dim + j < nlist * dim.
+                        centroids[c * dim + j] =
+                            sums[c * dim + j] / mqa_vector::cast::count_f32(counts[c]);
                     }
                 }
             }
@@ -126,6 +137,7 @@ impl Ivf {
         // Final full assignment into cells.
         let mut cells = vec![Vec::new(); nlist];
         for (id, v) in store.iter() {
+            // INVARIANT: nearest_centroid returns a cell id < nlist.
             let (c, _) = nearest_centroid(&centroids, dim, nlist, v);
             cells[c].push(id);
         }
@@ -166,6 +178,7 @@ impl Ivf {
                     c,
                     Metric::L2.distance(
                         query_for_cells,
+                        // INVARIANT: c < nlist rows of dim floats each.
                         &self.centroids[c * self.dim..(c + 1) * self.dim],
                     ),
                 )
@@ -177,6 +190,7 @@ impl Ivf {
         let mut top = TopK::new(k);
         for &(c, _) in cell_rank.iter().take(nprobe) {
             stats.hops += 1; // one "hop" per probed cell
+                             // INVARIANT: cell_rank enumerates 0..cells.len().
             for &id in &self.cells[c] {
                 match dist.eval(id, top.bound()) {
                     Some(d) => {
@@ -234,6 +248,7 @@ impl Ivf {
         for (i, x) in self.centroids.iter().enumerate() {
             if !x.is_finite() {
                 out.push(InvariantViolation::NonFinite {
+                    // INVARIANT: dim mismatch (incl. zero) returned above.
                     context: format!("ivf centroid {} component {}", i / self.dim, i % self.dim),
                 });
             }
@@ -284,6 +299,7 @@ fn nearest_centroid(centroids: &[f32], dim: usize, nlist: usize, v: &[f32]) -> (
     let mut best = 0usize;
     let mut best_d = f32::INFINITY;
     for c in 0..nlist {
+        // INVARIANT: centroids holds nlist rows of dim floats.
         let d = ops::l2_sq(v, &centroids[c * dim..(c + 1) * dim]);
         if d < best_d {
             best_d = d;
@@ -351,6 +367,8 @@ impl GraphSearcher for IvfSearcher {
             .enumerate()
             .filter(|(_, members)| !members.is_empty())
             .map(|(c, members)| {
+                // INVARIANT: members is non-empty (filtered above), so the
+                // median index is in bounds.
                 let probe = members[members.len() / 2];
                 (c, dist.exact(probe))
             })
@@ -364,6 +382,7 @@ impl GraphSearcher for IvfSearcher {
         let mut top = TopK::new(k);
         for &(c, _) in cell_rank.iter().take(nprobe.min(cell_rank.len())) {
             stats.hops += 1;
+            // INVARIANT: c was produced by enumerate() over cells above.
             for &id in &self.ivf.cells[c] {
                 match dist.eval(id, top.bound()) {
                     Some(d) => {

@@ -47,7 +47,7 @@ impl UnifiedSnapshot {
                 return Err(format!("snapshot weight for modality {m} is {w}"));
             }
         }
-        for id in 0..self.store.len() as u32 {
+        for id in 0..mqa_vector::cast::vec_id(self.store.len()) {
             if let Some(x) = self.store.concat_of(id).iter().find(|x| !x.is_finite()) {
                 return Err(format!("snapshot vector {id} holds non-finite {x}"));
             }

@@ -262,8 +262,9 @@ impl NavGraph {
                 got: self.report.edges.to_string(),
             });
         }
-        if (self.entries[0] as usize) < n {
-            let conn = self.graph.reachable_count(self.entries[0]) as f64 / n as f64;
+        let entry0 = self.entries.first().copied();
+        if let Some(e0) = entry0.filter(|&e| (e as usize) < n) {
+            let conn = self.graph.reachable_count(e0) as f64 / n as f64;
             if (conn - self.report.connectivity).abs() > 1e-9 {
                 out.push(InvariantViolation::StaleReport {
                     context: format!("navgraph {} connectivity", self.name),
@@ -360,10 +361,11 @@ impl GraphPipeline {
             .stage("finalization", |c| {
                 let graph = c.get::<Adjacency>("graph").map_err(|e| e.to_string())?;
                 let entries = c.get::<Vec<VecId>>("entries").map_err(|e| e.to_string())?;
-                let connectivity = if graph.is_empty() {
-                    0.0
-                } else {
-                    graph.reachable_count(entries[0]) as f64 / graph.len() as f64
+                let connectivity = match entries.first() {
+                    Some(&e0) if !graph.is_empty() => {
+                        graph.reachable_count(e0) as f64 / graph.len() as f64
+                    }
+                    _ => 0.0,
                 };
                 Ok(vec![(
                     "connectivity".to_string(),
@@ -523,10 +525,15 @@ fn run_repair(
     match cfg {
         RepairStage::None => graph,
         RepairStage::GrowFromEntry => {
-            let start = entries[0];
+            // No entry vertex means nothing to grow from.
+            let Some(&start) = entries.first() else {
+                return graph;
+            };
             let mut reachable = graph.reachable_from(start);
             let mut scratch = crate::scratch::SearchScratch::new();
             for v in 0..graph.len() as VecId {
+                // INVARIANT: reachable_from returns one flag per vertex
+                // and v iterates 0..len.
                 if reachable[v as usize] {
                     continue;
                 }
@@ -541,16 +548,23 @@ fn run_repair(
                     16,
                     &mut scratch,
                 );
-                let u = out.results[0].id;
-                graph.add_edge(u, v);
+                // A non-empty graph with a valid entry always yields at
+                // least one beam-search result; skip v defensively if not.
+                let Some(first) = out.results.first() else {
+                    continue;
+                };
+                graph.add_edge(first.id, v);
                 // Everything v reaches is now reachable.
                 let mut queue = std::collections::VecDeque::new();
+                // INVARIANT: v < len, and neighbour ids of a well-formed
+                // graph are < len (set_neighbors debug-rejects others).
                 if !reachable[v as usize] {
                     reachable[v as usize] = true;
                     queue.push_back(v);
                 }
                 while let Some(x) = queue.pop_front() {
                     for &y in graph.neighbors(x) {
+                        // INVARIANT: neighbour ids stay < len (as above).
                         if !reachable[y as usize] {
                             reachable[y as usize] = true;
                             queue.push_back(y);

@@ -44,16 +44,18 @@ pub fn robust_prune(
     let mut selected: Vec<VecId> = Vec::with_capacity(r);
     let mut alive = vec![true; candidates.len()];
     for i in 0..candidates.len() {
+        // INVARIANT: alive has one flag per candidate and i < len.
+        let p = candidates[i];
         if !alive[i] {
             continue;
         }
-        let p = candidates[i];
         selected.push(p.id);
         if selected.len() == r {
             break;
         }
         let pv = store.get(p.id);
         for (j, q) in candidates.iter().enumerate().skip(i + 1) {
+            // INVARIANT: j enumerates candidates, so j < alive.len().
             if alive[j] && alpha * metric.distance(pv, store.get(q.id)) <= q.dist {
                 alive[j] = false;
             }

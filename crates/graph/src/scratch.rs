@@ -75,6 +75,8 @@ impl VisitedSet {
     /// Marks `v` visited; returns whether it was newly inserted.
     #[inline]
     pub fn insert(&mut self, v: VecId) -> bool {
+        // INVARIANT: `stamp` is sized to the graph's vertex count and every
+        // id handed to the scratch comes from that graph's edge lists.
         let s = &mut self.stamp[v as usize];
         if *s == self.epoch {
             false
@@ -87,6 +89,7 @@ impl VisitedSet {
     /// Whether `v` is visited in the current epoch.
     #[inline]
     pub fn contains(&self, v: VecId) -> bool {
+        // INVARIANT: ids come from the owning graph (see `insert`).
         self.stamp[v as usize] == self.epoch
     }
 

@@ -102,7 +102,9 @@ impl PageLayout {
         };
         let mut page_of = vec![0u32; n];
         for (pos, &v) in order.iter().enumerate() {
-            page_of[v as usize] = (pos / per_page) as u32;
+            // INVARIANT: order permutes 0..n and per_page >= 1 (clamped
+            // at construction); page numbers fit u32 since pos < n.
+            page_of[v as usize] = mqa_vector::cast::vec_id(pos / per_page);
         }
         let pages = n.div_ceil(per_page);
         Self {
@@ -117,6 +119,7 @@ impl PageLayout {
     /// degree bound (f32 vector + u32 neighbour ids + u32 header).
     pub fn vertices_per_page(dim: usize, max_degree: usize) -> usize {
         const PAGE: usize = 4096;
+        // INVARIANT: the +4 header byte term keeps per_vertex nonzero.
         let per_vertex = 4 * dim + 4 * max_degree + 4;
         (PAGE / per_vertex).max(1)
     }
@@ -124,6 +127,8 @@ impl PageLayout {
     /// Page of vertex `v`.
     #[inline]
     pub fn page(&self, v: VecId) -> u32 {
+        // INVARIANT: `page_of` is sized to the vertex count and ids come
+        // from the layout's own graph.
         self.page_of[v as usize]
     }
 

@@ -14,7 +14,7 @@ where
         .map(|p| p.get())
         .unwrap_or(1);
     if threads <= 1 || n < 256 {
-        return (0..n as u32).map(f).collect();
+        return (0..mqa_vector::cast::vec_id(n)).map(f).collect();
     }
     let chunk = n.div_ceil(threads);
     let mut out: Vec<T> = Vec::with_capacity(n);
@@ -51,7 +51,7 @@ pub fn medoid(store: &VectorStore, metric: Metric) -> VecId {
     for (_, v) in store.iter() {
         ops::axpy(1.0, v, &mut mean);
     }
-    ops::scale(1.0 / store.len() as f32, &mut mean);
+    ops::scale(1.0 / mqa_vector::cast::count_f32(store.len()), &mut mean);
     let mut best = 0 as VecId;
     let mut best_d = f32::INFINITY;
     for (id, v) in store.iter() {

@@ -62,6 +62,7 @@ impl GenerativeImageModel {
             for b in token.as_bytes() {
                 h = h.wrapping_mul(0x100_0000_01B3).wrapping_add(*b as u64);
             }
+            // INVARIANT: TOKEN_SPACE is a non-zero const.
             let tok_id = (h as usize) % TOKEN_SPACE;
             // Deterministic per-token direction in descriptor space.
             let mut rng = StdRng::seed_from_u64(self.seed ^ tok_id as u64);

@@ -77,7 +77,7 @@ impl LanguageModel for MockChatModel {
     fn generate(&self, prompt: &Prompt, temperature: f32) -> Completion {
         let _span = mqa_obs::span("llm.generate");
         mqa_obs::counter("llm.mock.calls").inc();
-        mqa_obs::counter("llm.prompt_tokens").add(prompt.token_count() as u64);
+        mqa_obs::counter("llm.mock.prompt_tokens").add(prompt.token_count() as u64);
         let mut sampler = TemperatureSampler::new(self.prompt_seed(prompt), temperature);
         let mut text = String::new();
         if prompt.is_grounded() {
@@ -109,6 +109,8 @@ impl LanguageModel for MockChatModel {
             // Fabricate three *distinct* plausible-sounding attributes.
             let mut attrs: Vec<&str> = Vec::with_capacity(3);
             while attrs.len() < 3 {
+                // INVARIANT: PARAMETRIC_WORDS is a non-empty const table;
+                // `% len` keeps the index in bounds.
                 let idx = (sampler.pick(PARAMETRIC_WORDS.len()) + attrs.len() * 5)
                     % PARAMETRIC_WORDS.len();
                 let w = PARAMETRIC_WORDS[idx];
@@ -119,10 +121,14 @@ impl LanguageModel for MockChatModel {
             text.push_str(&format!(
                 "you might look for {} options, often described as {} or {}. \
                  (No knowledge base is connected, so I cannot cite real items.)",
-                attrs[0], attrs[1], attrs[2]
+                // INVARIANT: the loop above exits only once attrs has 3
+                // entries.
+                attrs[0],
+                attrs[1],
+                attrs[2]
             ));
         }
-        mqa_obs::counter("llm.completion_tokens").add(text.split_whitespace().count() as u64);
+        mqa_obs::counter("llm.mock.completion_tokens").add(text.split_whitespace().count() as u64);
         Completion {
             grounded: prompt.is_grounded(),
             tokens: prompt.token_count() + text.split_whitespace().count(),

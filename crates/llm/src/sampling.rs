@@ -70,6 +70,7 @@ impl TemperatureSampler {
 
     /// Picks one element of a non-empty slice.
     pub fn choose<'a, T>(&mut self, variants: &'a [T]) -> &'a T {
+        // INVARIANT: pick(n) returns an index < n.
         &variants[self.pick(variants.len())]
     }
 }

@@ -112,6 +112,8 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&self, v: u64) {
+        // INVARIANT: bucket_index clamps with .min(BUCKETS - 1), so the
+        // index is always within `counts`.
         self.counts[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         self.total.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);

@@ -53,6 +53,8 @@ pub fn mmr_diversify(
         .map(|c| c.dist)
         .fold(f32::NEG_INFINITY, f32::max);
     let span = (d_max - d_min).max(1e-6);
+    // INVARIANT: f32 division with span clamped >= 1e-6; float division
+    // cannot panic.
     let relevance = |c: &Candidate| 1.0 - (c.dist - d_min) / span;
 
     let pair_dist = |a: u32, b: u32| {
@@ -75,6 +77,8 @@ pub fn mmr_diversify(
         .iter()
         .step_by(stride)
         .map(|c| c.id)
+        // INVARIANT: candidates is non-empty (early return above), so the
+        // last element exists.
         .chain(std::iter::once(candidates[candidates.len() - 1].id))
         .collect();
     let mut pool_scale = 0.0f32;

@@ -50,7 +50,7 @@ pub struct JeFramework {
 
 fn joint_vector(corpus: &EncodedCorpus, mv: &MultiVector) -> Vec<f32> {
     let schema = corpus.store().schema();
-    let scale = 1.0 / (schema.arity() as f32).sqrt();
+    let scale = 1.0 / mqa_vector::cast::count_f32(schema.arity()).sqrt();
     let mut flat = mv.concat(schema);
     ops::scale(scale, &mut flat);
     ops::normalize(&mut flat);
@@ -73,7 +73,7 @@ impl JeFramework {
     ) -> Self {
         let schema = corpus.store().schema().clone();
         let mut joint = VectorStore::with_capacity(schema.total_dim(), corpus.store().len());
-        for id in 0..corpus.store().len() as u32 {
+        for id in 0..mqa_vector::cast::vec_id(corpus.store().len()) {
             let mv = corpus.store().multivector_of(id);
             joint.push(&joint_vector(&corpus, &mv));
         }

@@ -68,8 +68,13 @@ impl RetrievalFramework for MrFramework {
         let mut rrf: HashMap<ObjectId, f64> = HashMap::new();
         let mut searched = 0usize;
         for (m, part) in qv.present() {
+            // A modality with no built channel contributes nothing to the
+            // fused ranking rather than panicking.
+            let Some(channel) = self.channels.get(m) else {
+                continue;
+            };
             let channel_span = mqa_obs::span("retrieval.mr.channel_search");
-            let out = self.channels[m].search(part, fetch, ef.max(fetch));
+            let out = channel.search(part, fetch, ef.max(fetch));
             let _ = channel_span.finish();
             stats.merge(&out.stats);
             searched += 1;
@@ -83,6 +88,8 @@ impl RetrievalFramework for MrFramework {
         let merge_span = mqa_obs::span("retrieval.mr.merge");
         let mut merged: Vec<Candidate> = rrf
             .into_iter()
+            // INVARIANT: RRF scores live in [0, 1), so the f64 -> f32
+            // narrowing loses only sub-epsilon tail precision.
             .map(|(id, score)| Candidate::new(id, (1.0 - score) as f32))
             .collect();
         merged.sort_unstable();

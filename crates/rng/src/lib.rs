@@ -53,12 +53,16 @@ impl Xoshiro256ss {
 
     /// The next 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
+        // INVARIANT: `s` is `[u64; 4]` and every index below is a literal
+        // in 0..4 — the compiler proves these in-bounds.
         let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
+        // INVARIANT: literal indices into `[u64; 4]` (see above).
         self.s[3] ^= self.s[1];
         self.s[1] ^= self.s[2];
         self.s[0] ^= self.s[3];
+        // INVARIANT: literal indices into `[u64; 4]` (see above).
         self.s[2] ^= t;
         self.s[3] = self.s[3].rotate_left(45);
         out
@@ -135,6 +139,10 @@ impl StdRng {
             let x = self.next_u64();
             let m = (x as u128) * (bound as u128);
             let low = m as u64;
+            // INVARIANT: bound > 0 — every caller passes a length or range
+            // width that was checked non-empty first (see the asserts in
+            // `Range::sample` / `RangeInclusive::sample`, and `shuffle`
+            // passes i + 1 >= 2).
             if low >= bound || low >= bound.wrapping_neg() % bound {
                 return (m >> 64) as u64;
             }

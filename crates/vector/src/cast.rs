@@ -1,0 +1,88 @@
+//! Checked numeric conversions for the serving path.
+//!
+//! The `no-lossy-cast` lint (see `crates/xtask/src/lint.rs`) rejects raw
+//! narrowing `as` casts in serving-path crates because they truncate
+//! silently. The helpers here centralise the conversions the kernels
+//! actually need, with the loss condition either proven impossible
+//! (debug-asserted) or explicitly part of the name. The lint exempts this
+//! file so the workspace has exactly one place where narrowing happens.
+
+use crate::VecId;
+
+/// Converts a count to `f32` for averaging / scaling arithmetic.
+///
+/// Exact for `n <= 2^24` (every count the in-memory stores can hold a
+/// per-cluster tally of); above that the nearest representable float is
+/// returned, which is the right semantics for means and rates.
+#[inline]
+pub fn count_f32(n: usize) -> f32 {
+    n as f32
+}
+
+/// Converts a dense store index to a [`VecId`].
+///
+/// # Panics
+/// Panics in debug builds if `n` exceeds `u32::MAX`; release builds wrap,
+/// but stores assert the same bound at `push` time so an out-of-range
+/// index cannot be minted in the first place.
+#[inline]
+pub fn vec_id(n: usize) -> VecId {
+    debug_assert!(n <= VecId::MAX as usize, "vector id overflow: {n}");
+    n as VecId
+}
+
+/// Converts a centroid index to a one-byte PQ code.
+///
+/// # Panics
+/// Panics in debug builds if `n > 255`; PQ codebooks are trained with
+/// `K <= 256` centroids per subspace, so valid centroid indexes always
+/// fit.
+#[inline]
+pub fn pq_code(n: usize) -> u8 {
+    debug_assert!(n <= u8::MAX as usize, "PQ code overflow: {n}");
+    n as u8
+}
+
+/// Converts a `u64` hash/counter to `usize` without truncation on the
+/// 64-bit targets this workspace builds for.
+#[inline]
+pub fn index(n: u64) -> usize {
+    debug_assert!(usize::try_from(n).is_ok(), "index overflow: {n}");
+    n as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_f32_exact_in_mantissa_range() {
+        assert_eq!(count_f32(0), 0.0);
+        assert_eq!(count_f32(1 << 24), 16_777_216.0);
+    }
+
+    #[test]
+    fn vec_id_round_trips() {
+        assert_eq!(vec_id(0), 0);
+        assert_eq!(vec_id(u32::MAX as usize), u32::MAX);
+    }
+
+    #[test]
+    fn pq_code_round_trips() {
+        assert_eq!(pq_code(255), 255);
+    }
+
+    #[test]
+    #[should_panic(expected = "PQ code overflow")]
+    #[cfg(debug_assertions)]
+    fn pq_code_rejects_wide() {
+        pq_code(256);
+    }
+
+    #[test]
+    #[should_panic(expected = "vector id overflow")]
+    #[cfg(debug_assertions)]
+    fn vec_id_rejects_wide() {
+        vec_id(u32::MAX as usize + 1);
+    }
+}

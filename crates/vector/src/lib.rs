@@ -22,7 +22,10 @@
 //! * [`store`] — contiguous [`VectorStore`] / [`MultiVectorStore`].
 //! * [`topk`] — bounded top-k collector and the [`Candidate`] ordering used
 //!   by every search routine in the workspace.
+//! * [`cast`] — checked narrowing conversions (the one file exempt from
+//!   the `no-lossy-cast` serving-path lint).
 
+pub mod cast;
 pub mod metric;
 pub mod multivec;
 pub mod ops;

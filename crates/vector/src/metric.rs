@@ -44,6 +44,8 @@ impl Metric {
                 if na == 0.0 || nb == 0.0 {
                     1.0
                 } else {
+                    // INVARIANT: f32 division with a non-zero divisor
+                    // (guarded above); float division cannot panic.
                     1.0 - ops::dot(a, b) / (na * nb)
                 }
             }

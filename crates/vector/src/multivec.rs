@@ -111,9 +111,9 @@ impl Schema {
         &self.modalities
     }
 
-    /// Dimensionality of modality `m`.
+    /// Dimensionality of modality `m`, or 0 for an unknown modality index.
     pub fn dim(&self, m: usize) -> Dim {
-        self.modalities[m].dim
+        self.modalities.get(m).map_or(0, |x| x.dim)
     }
 
     /// Total dimensionality of the concatenated representation.
@@ -128,6 +128,10 @@ impl Schema {
 
     /// Offset of modality `m` inside the concatenated representation.
     pub fn offset(&self, m: usize) -> usize {
+        // An unknown modality index clamps to the arity, yielding the total
+        // dimension rather than a panic.
+        let m = m.min(self.modalities.len());
+        // INVARIANT: m <= modalities.len() after the clamp above.
         self.modalities[..m].iter().map(|x| x.dim).sum()
     }
 }
@@ -179,15 +183,19 @@ impl MultiVector {
         self.parts.len()
     }
 
-    /// The vector of modality `m`, or `None` if missing.
+    /// The vector of modality `m`, or `None` if missing (or `m` is out of
+    /// range).
     pub fn part(&self, m: usize) -> Option<&[f32]> {
-        self.parts[m].as_deref()
+        self.parts.get(m).and_then(Option::as_deref)
     }
 
     /// Replaces the vector of modality `m` (used when a dialogue round
-    /// grafts a selected image onto the next query).
+    /// grafts a selected image onto the next query). Out-of-range `m`
+    /// is ignored.
     pub fn set_part(&mut self, m: usize, v: Option<Vec<f32>>) {
-        self.parts[m] = v;
+        if let Some(slot) = self.parts.get_mut(m) {
+            *slot = v;
+        }
     }
 
     /// Iterator over `(modality, vector)` pairs for the present modalities.
@@ -230,6 +238,8 @@ impl MultiVector {
         let mut parts = Vec::with_capacity(schema.arity());
         let mut off = 0;
         for m in 0..schema.arity() {
+            // INVARIANT: per-modality dims partition flat.len(), which is
+            // asserted equal to total_dim above.
             let d = schema.dim(m);
             parts.push(Some(flat[off..off + d].to_vec()));
             off += d;
@@ -284,16 +294,17 @@ impl Weights {
         let clamped: Vec<f32> = raw.iter().map(|&x| x.max(0.0)).collect();
         let sum: f32 = clamped.iter().sum();
         assert!(sum > 0.0, "at least one weight must be positive");
-        let scale = raw.len() as f32 / sum;
+        let scale = crate::cast::count_f32(raw.len()) / sum;
         Self {
             w: clamped.into_iter().map(|x| x * scale).collect(),
         }
     }
 
-    /// Weight of modality `m`.
+    /// Weight of modality `m`, or 0 for an unknown modality index (a zero
+    /// weight excludes the modality from fused scoring).
     #[inline]
     pub fn get(&self, m: usize) -> f32 {
-        self.w[m]
+        self.w.get(m).copied().unwrap_or(0.0)
     }
 
     /// All weights, in schema order.
@@ -322,7 +333,9 @@ impl Weights {
         let mut off = 0;
         for m in 0..schema.arity() {
             let d = schema.dim(m);
-            let s = self.w[m].sqrt();
+            // INVARIANT: arity agreement is asserted at construction and
+            // the per-modality dims partition flat (asserted above).
+            let s = self.w.get(m).copied().unwrap_or(0.0).sqrt();
             for x in &mut flat[off..off + d] {
                 *x *= s;
             }

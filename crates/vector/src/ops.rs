@@ -11,46 +11,50 @@
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len(), "dot: dimension mismatch");
     // Chunked accumulation: four independent partial sums give the compiler
-    // room to vectorize and reduce floating-point dependency chains.
-    let mut acc = [0.0f32; 4];
-    let chunks = a.len() / 4;
-    for i in 0..chunks {
-        let j = i * 4;
-        acc[0] += a[j] * b[j];
-        acc[1] += a[j + 1] * b[j + 1];
-        acc[2] += a[j + 2] * b[j + 2];
-        acc[3] += a[j + 3] * b[j + 3];
+    // room to vectorize and reduce floating-point dependency chains. The
+    // slice patterns always match (`chunks_exact(4)` yields only full
+    // chunks), so the kernel compiles without bounds checks.
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    let (ca, cb) = (a.chunks_exact(4), b.chunks_exact(4));
+    let (ta, tb) = (ca.remainder(), cb.remainder());
+    for (x, y) in ca.zip(cb) {
+        if let ([x0, x1, x2, x3], [y0, y1, y2, y3]) = (x, y) {
+            s0 += x0 * y0;
+            s1 += x1 * y1;
+            s2 += x2 * y2;
+            s3 += x3 * y3;
+        }
     }
     let mut tail = 0.0f32;
-    for j in chunks * 4..a.len() {
-        tail += a[j] * b[j];
+    for (x, y) in ta.iter().zip(tb) {
+        tail += x * y;
     }
-    acc[0] + acc[1] + acc[2] + acc[3] + tail
+    s0 + s1 + s2 + s3 + tail
 }
 
 /// Squared Euclidean distance between two equal-length slices.
 #[inline]
 pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len(), "l2_sq: dimension mismatch");
-    let mut acc = [0.0f32; 4];
-    let chunks = a.len() / 4;
-    for i in 0..chunks {
-        let j = i * 4;
-        let d0 = a[j] - b[j];
-        let d1 = a[j + 1] - b[j + 1];
-        let d2 = a[j + 2] - b[j + 2];
-        let d3 = a[j + 3] - b[j + 3];
-        acc[0] += d0 * d0;
-        acc[1] += d1 * d1;
-        acc[2] += d2 * d2;
-        acc[3] += d3 * d3;
+    // Same bounds-check-free shape as [`dot`].
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    let (ca, cb) = (a.chunks_exact(4), b.chunks_exact(4));
+    let (ta, tb) = (ca.remainder(), cb.remainder());
+    for (x, y) in ca.zip(cb) {
+        if let ([x0, x1, x2, x3], [y0, y1, y2, y3]) = (x, y) {
+            let (d0, d1, d2, d3) = (x0 - y0, x1 - y1, x2 - y2, x3 - y3);
+            s0 += d0 * d0;
+            s1 += d1 * d1;
+            s2 += d2 * d2;
+            s3 += d3 * d3;
+        }
     }
     let mut tail = 0.0f32;
-    for j in chunks * 4..a.len() {
-        let d = a[j] - b[j];
+    for (x, y) in ta.iter().zip(tb) {
+        let d = x - y;
         tail += d * d;
     }
-    acc[0] + acc[1] + acc[2] + acc[3] + tail
+    s0 + s1 + s2 + s3 + tail
 }
 
 /// Euclidean (L2) norm.
@@ -106,7 +110,7 @@ pub fn mean(vectors: &[&[f32]]) -> Option<Vec<f32>> {
     for v in vectors {
         axpy(1.0, v, &mut out);
     }
-    scale(1.0 / vectors.len() as f32, &mut out);
+    scale(1.0 / crate::cast::count_f32(vectors.len()), &mut out);
     Some(out)
 }
 

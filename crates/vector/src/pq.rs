@@ -72,11 +72,14 @@ impl PqCodebook {
         let mut rng = StdRng::seed_from_u64(params.seed ^ 0x90C0DE);
 
         // Subspace boundaries: distribute remainder dims to the front.
+        // INVARIANT: m >= 1 is asserted above, so the divisions are
+        // well-defined and bounds grows to exactly m + 1 entries.
         let base = dim / params.m;
         let extra = dim % params.m;
         let mut bounds = Vec::with_capacity(params.m + 1);
         bounds.push(0usize);
         for s in 0..params.m {
+            // INVARIANT: bounds[s] was pushed on the previous iteration.
             bounds.push(bounds[s] + base + usize::from(s < extra));
         }
 
@@ -92,6 +95,8 @@ impl PqCodebook {
 
         let mut centroids = Vec::with_capacity(params.m);
         for s in 0..params.m {
+            // INVARIANT: bounds holds m + 1 increasing entries ending at
+            // dim, so lo..hi is a valid subrange of every store row.
             let lo = bounds[s];
             let hi = bounds[s + 1];
             let sub = hi - lo;
@@ -99,6 +104,8 @@ impl PqCodebook {
             // Init: distinct random sample rows.
             let mut cents = vec![0.0f32; k * sub];
             for (c, chunk) in cents.chunks_mut(sub).enumerate() {
+                // INVARIANT: sample is non-empty (the store is), so the
+                // modular probe lands on a valid sample row.
                 let id = sample[(c * 7919 + 13) % sample.len()];
                 chunk.copy_from_slice(&store.get(id)[lo..hi]);
             }
@@ -106,37 +113,49 @@ impl PqCodebook {
             for _ in 0..params.iters {
                 // Assignment.
                 for (i, &id) in sample.iter().enumerate() {
+                    // INVARIANT: sample ids index the store; lo..hi is a
+                    // subrange of each dim-length row.
                     let v = &store.get(id)[lo..hi];
                     let mut best = 0usize;
                     let mut best_d = f32::INFINITY;
                     for c in 0..k {
+                        // INVARIANT: c < k and cents holds k rows of sub.
                         let d = crate::ops::l2_sq(v, &cents[c * sub..(c + 1) * sub]);
                         if d < best_d {
                             best_d = d;
                             best = c;
                         }
                     }
+                    // INVARIANT: assign has one slot per sample row.
                     assign[i] = best;
                 }
                 // Update.
                 let mut sums = vec![0.0f32; k * sub];
                 let mut counts = vec![0usize; k];
                 for (i, &id) in sample.iter().enumerate() {
+                    // INVARIANT: assignments are cluster ids < k; counts
+                    // has k slots and sums k rows; v has sub entries.
                     let v = &store.get(id)[lo..hi];
                     let c = assign[i];
                     counts[c] += 1;
                     for (j, x) in v.iter().enumerate() {
+                        // INVARIANT: j < sub and c < k bound the row.
                         sums[c * sub + j] += x;
                     }
                 }
                 for c in 0..k {
+                    // INVARIANT: c < k indexes counts and centroid rows.
                     if counts[c] == 0 {
-                        // Re-seed an empty cluster from a random sample row.
+                        // INVARIANT: re-seed an empty cluster from a random
+                        // row of the non-empty sample; c < k stays in bounds.
                         let id = sample[rng.gen_range(0..sample.len())];
                         cents[c * sub..(c + 1) * sub].copy_from_slice(&store.get(id)[lo..hi]);
                     } else {
                         for j in 0..sub {
-                            cents[c * sub + j] = sums[c * sub + j] / counts[c] as f32;
+                            // INVARIANT: counts[c] > 0 in this branch and
+                            // c * sub + j < k * sub.
+                            cents[c * sub + j] =
+                                sums[c * sub + j] / crate::cast::count_f32(counts[c]);
                         }
                     }
                 }
@@ -162,6 +181,7 @@ impl PqCodebook {
     }
 
     fn sub_dim(&self, s: usize) -> usize {
+        // INVARIANT: callers pass s < m and bounds has m + 1 entries.
         self.bounds[s + 1] - self.bounds[s]
     }
 
@@ -173,21 +193,26 @@ impl PqCodebook {
         debug_assert_eq!(v.len(), self.dim, "encode: dimension mismatch");
         (0..self.m)
             .map(|s| {
+                // INVARIANT: s < m; bounds has m + 1 entries by construction.
                 let lo = self.bounds[s];
                 let hi = self.bounds[s + 1];
                 let sub = hi - lo;
+                // INVARIANT: centroids has m subspace tables and each
+                // subspace is non-degenerate (sub >= 1) at construction.
                 let cents = &self.centroids[s];
                 let k = cents.len() / sub;
                 let mut best = 0usize;
                 let mut best_d = f32::INFINITY;
                 for c in 0..k {
+                    // INVARIANT: lo..hi <= dim and c < k = cents.len()/sub,
+                    // so both subslices are in bounds.
                     let d = crate::ops::l2_sq(&v[lo..hi], &cents[c * sub..(c + 1) * sub]);
                     if d < best_d {
                         best_d = d;
                         best = c;
                     }
                 }
-                best as u8
+                crate::cast::pq_code(best)
             })
             .collect()
     }
@@ -209,6 +234,8 @@ impl PqCodebook {
         let mut out = Vec::with_capacity(self.dim);
         for (s, &c) in code.iter().enumerate() {
             let sub = self.sub_dim(s);
+            // INVARIANT: centroids has m per-subspace tables, each a
+            // multiple of sub floats; the clamp keeps c a valid row.
             let cents = &self.centroids[s];
             let c = (c as usize).min(cents.len() / sub - 1);
             out.extend_from_slice(&cents[c * sub..(c + 1) * sub]);
@@ -221,13 +248,17 @@ impl PqCodebook {
         assert_eq!(query.len(), self.dim, "query dimension mismatch");
         let mut luts = Vec::with_capacity(self.m);
         for s in 0..self.m {
+            // INVARIANT: bounds has m + 1 increasing entries and
+            // centroids has m tables; sub >= 1 by construction.
+            let cents = &self.centroids[s];
             let lo = self.bounds[s];
             let hi = self.bounds[s + 1];
             let sub = hi - lo;
-            let cents = &self.centroids[s];
+            // INVARIANT: sub >= 1, so the centroid count is well-defined.
             let k = cents.len() / sub;
             let mut lut = Vec::with_capacity(k);
             for c in 0..k {
+                // INVARIANT: lo..hi <= dim (asserted above) and c < k.
                 lut.push(crate::ops::l2_sq(
                     &query[lo..hi],
                     &cents[c * sub..(c + 1) * sub],
@@ -251,11 +282,14 @@ impl PqCodes {
     #[inline]
     pub fn code(&self, id: VecId) -> &[u8] {
         let start = id as usize * self.m;
+        // INVARIANT: ids come from the encoded store (id < len()), and
+        // codes.len() is an exact multiple of m by construction.
         &self.codes[start..start + self.m]
     }
 
     /// Number of encoded vectors.
     pub fn len(&self) -> usize {
+        // INVARIANT: m >= 1 is enforced when the codebook is trained.
         self.codes.len() / self.m
     }
 
@@ -283,6 +317,8 @@ impl PqTable {
         debug_assert_eq!(code.len(), self.luts.len());
         code.iter()
             .zip(&self.luts)
+            // INVARIANT: each LUT holds one entry per centroid (256 slots
+            // for u8 codes), so a byte code always lands in bounds.
             .map(|(&c, lut)| lut[c as usize])
             .sum()
     }

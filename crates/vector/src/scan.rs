@@ -159,12 +159,15 @@ impl FusedScanner {
         let mut total = 0.0f32;
         let mut done: u64 = 0;
         for b in &self.blocks {
+            // INVARIANT: block offsets/lengths partition 0..total_dim, and
+            // flat.len() == total_dim is the scanner's documented contract.
             let obj = &flat[b.offset..b.offset + b.query.len()];
             let mut i = 0;
             while i < b.query.len() {
                 let end = (i + CHUNK).min(b.query.len());
                 // Reuse the unrolled kernel so the pruned path pays no
                 // per-term penalty over a full evaluation.
+                // INVARIANT: i <= end <= query.len() == obj.len().
                 let part = crate::ops::l2_sq(&b.query[i..end], &obj[i..end]);
                 total += b.weight * part;
                 done += (end - i) as u64;
@@ -190,6 +193,8 @@ impl FusedScanner {
     fn full(&mut self, flat: &[f32]) -> f32 {
         let mut total = 0.0f32;
         for b in &self.blocks {
+            // INVARIANT: block offsets/lengths partition 0..total_dim (see
+            // `distance`).
             let obj = &flat[b.offset..b.offset + b.query.len()];
             total += b.weight * self.metric.distance(&b.query, obj);
         }

@@ -50,6 +50,7 @@ impl VectorStore {
 
     /// Number of stored vectors.
     pub fn len(&self) -> usize {
+        // INVARIANT: dim >= 1 is enforced at construction.
         self.data.len() / self.dim
     }
 
@@ -78,12 +79,16 @@ impl VectorStore {
     #[inline]
     pub fn get(&self, id: VecId) -> &[f32] {
         let start = id as usize * self.dim;
+        // INVARIANT: ids are handed out by push (id < len()) and data.len()
+        // is an exact multiple of dim.
         &self.data[start..start + self.dim]
     }
 
     /// Mutable borrow of vector `id`.
     pub fn get_mut(&mut self, id: VecId) -> &mut [f32] {
         let start = id as usize * self.dim;
+        // INVARIANT: ids are handed out by push (id < len()) and
+        // data.len() is an exact multiple of dim.
         &mut self.data[start..start + self.dim]
     }
 
@@ -166,10 +171,19 @@ impl MultiVectorStore {
     /// View of modality `m` of object `id`, or `None` if that modality was
     /// missing at insertion.
     pub fn part_of(&self, id: VecId, m: usize) -> Option<&[f32]> {
-        if !self.present[id as usize][m] {
+        // An unknown id or modality index reads as a missing part rather
+        // than panicking mid-retrieval.
+        if !*self
+            .present
+            .get(id as usize)
+            .and_then(|mask| mask.get(m))
+            .unwrap_or(&false)
+        {
             return None;
         }
         let off = self.schema.offset(m);
+        // INVARIANT: the presence mask above proves id and m valid, and
+        // schema offsets/dims partition each concatenated vector.
         Some(&self.concat.get(id)[off..off + self.schema.dim(m)])
     }
 
@@ -189,7 +203,8 @@ impl MultiVectorStore {
         let off = self.schema.offset(m);
         let mut out = VectorStore::with_capacity(d, self.len());
         for id in 0..self.len() {
-            let flat = self.concat.get(id as VecId);
+            let flat = self.concat.get(crate::cast::vec_id(id));
+            // INVARIANT: off + d <= total_dim = flat.len() by the schema.
             out.push(&flat[off..off + d]);
         }
         out
@@ -255,6 +270,7 @@ impl MultiVectorStore {
             }
             for (m, &present) in mask.iter().enumerate() {
                 let off = self.schema.offset(m);
+                // INVARIANT: modality blocks partition each concat row.
                 let block = &flat[off..off + self.schema.dim(m)];
                 if !present && block.iter().any(|&x| x != 0.0) {
                     out.push(StoreViolation::GhostBlock { id, modality: m });

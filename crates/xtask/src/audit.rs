@@ -10,6 +10,8 @@ use mqa_graph::IndexAlgorithm;
 use mqa_graph::UnifiedIndex;
 use mqa_rng::StdRng;
 use mqa_vector::{Metric, MultiVector, MultiVectorStore, Schema, VectorStore, Weights};
+use std::collections::BTreeMap;
+use std::path::Path;
 use std::sync::Arc;
 
 /// One audited structure's result.
@@ -94,11 +96,147 @@ pub fn all_algorithms() -> Vec<IndexAlgorithm> {
     ]
 }
 
+/// How one source site uses an instrument name.
+#[derive(Debug, Default)]
+struct InstrumentUse {
+    /// `.inc()/.add()/.set()/.record()` directly on the handle, or the
+    /// handle stored in a binding (which can write later).
+    writable: bool,
+    /// First file the name was seen in (for the violation message).
+    first_file: String,
+}
+
+/// Statically audits every literal `mqa_obs::counter/gauge/histogram("…")`
+/// instrument name in the workspace sources.
+///
+/// Two checks:
+/// * **naming** — names follow `<crate>.<component>.<metric>`: at least
+///   three non-empty dot-separated segments of `[a-z0-9_-]` characters;
+/// * **dead instruments** — every name needs at least one site that can
+///   write it (a direct mutation call or a stored handle). A name that is
+///   only registered or only asserted on reads zeros forever.
+///
+/// Formatted names (`&format!(…)`) are skipped: their shape is checked by
+/// the naming convention of their literal prefix at review time, and they
+/// cannot be matched statically.
+pub fn audit_instruments(repo_root: &Path) -> Vec<String> {
+    // Built by concatenation so this file's own source never matches.
+    let needles: Vec<(String, &str)> = ["counter", "gauge", "histogram"]
+        .iter()
+        .map(|kind| (format!("{kind}{}", "(\""), *kind))
+        .collect();
+    let mut files = Vec::new();
+    let _ = crate::lint::collect_rs_files(&repo_root.join("crates"), &mut files);
+
+    let mut uses: BTreeMap<String, InstrumentUse> = BTreeMap::new();
+    let mut violations = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(repo_root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        // This module defines the checker; its docs and tests mention
+        // instrument names without emitting them.
+        if rel.ends_with("xtask/src/audit.rs") {
+            continue;
+        }
+        let Ok(source) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        // Test code registers throwaway names (`t.c`, `x.lat`) that never
+        // ship; mask it the same way the lints do.
+        let mask = crate::lint::test_mask(&crate::lint::strip(&source));
+        let lines: Vec<&str> = source.lines().collect();
+        for (idx, line) in lines.iter().enumerate() {
+            if mask.get(idx).copied().unwrap_or(false) {
+                continue;
+            }
+            let trimmed = line.trim_start();
+            if trimmed.starts_with("//") {
+                continue;
+            }
+            for (needle, _) in &needles {
+                let mut from = 0usize;
+                while let Some(pos) = line[from..].find(needle.as_str()) {
+                    let name_start = from + pos + needle.len();
+                    let Some(name_len) = line[name_start..].find('"') else {
+                        break;
+                    };
+                    let name = &line[name_start..name_start + name_len];
+                    let rest = &line[name_start + name_len..];
+                    let prefix = line[..from + pos].trim_end();
+                    let prefix = prefix
+                        .strip_suffix("mqa_obs::")
+                        .unwrap_or(prefix)
+                        .trim_end();
+                    // Reads can be bound (`let v = counter("x").get()`)
+                    // without holding a writable handle.
+                    let writable = if rest.starts_with("\").get(") || rest.starts_with("\").count(")
+                    {
+                        false
+                    } else {
+                        // Long call chains wrap: the method lands on the
+                        // next line (`counter("…")\n    .add(n)`).
+                        let next_mutates = rest.trim_end() == "\")"
+                            && lines.get(idx + 1).is_some_and(|next| {
+                                let n = next.trim_start();
+                                n.starts_with(".inc(")
+                                    || n.starts_with(".add(")
+                                    || n.starts_with(".set(")
+                                    || n.starts_with(".record(")
+                            });
+                        rest.starts_with("\").inc(")
+                            || rest.starts_with("\").add(")
+                            || rest.starts_with("\").set(")
+                            || rest.starts_with("\").record(")
+                            || next_mutates
+                            || prefix.ends_with([':', '='])
+                    };
+                    let entry = uses
+                        .entry(name.to_string())
+                        .or_insert_with(|| InstrumentUse {
+                            writable: false,
+                            first_file: rel.clone(),
+                        });
+                    entry.writable |= writable;
+                    from = name_start + name_len;
+                }
+            }
+        }
+    }
+
+    for (name, use_) in &uses {
+        let segments: Vec<&str> = name.split('.').collect();
+        let well_formed = segments.len() >= 3
+            && segments.iter().all(|s| {
+                !s.is_empty()
+                    && s.chars()
+                        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "_-".contains(c))
+            });
+        if !well_formed {
+            violations.push(format!(
+                "instrument `{name}` ({}) violates <crate>.<component>.<metric> naming",
+                use_.first_file
+            ));
+        }
+        if !use_.writable {
+            violations.push(format!(
+                "dead instrument `{name}` ({}): registered or read but never written",
+                use_.first_file
+            ));
+        }
+    }
+    violations
+}
+
 /// Runs the full audit: every index variant over the synthetic corpus,
-/// the unified multi-modal index, the multi-vector store, and a
-/// representative DAG schedule.
-pub fn run() -> AuditReport {
+/// the unified multi-modal index, the multi-vector store, a
+/// representative DAG schedule, and the static instrument-name audit.
+pub fn run(repo_root: &Path) -> AuditReport {
     let mut report = AuditReport::default();
+
+    report.push("obs instruments", audit_instruments(repo_root));
 
     // Single-vector indexes, every variant.
     let store = Arc::new(synthetic_store(500, 16, 8, 0xA0D1));
@@ -150,9 +288,46 @@ pub fn run() -> AuditReport {
 mod tests {
     use super::*;
 
+    fn repo_root() -> std::path::PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("xtask sits two levels under the workspace root")
+            .to_path_buf()
+    }
+
+    #[test]
+    fn instrument_audit_is_clean_on_the_workspace() {
+        let violations = audit_instruments(&repo_root());
+        assert!(violations.is_empty(), "instrument audit: {violations:#?}");
+    }
+
+    #[test]
+    fn instrument_audit_flags_bad_names_and_dead_instruments() {
+        let dir = std::env::temp_dir().join(format!("mqa-xtask-inst-audit-{}", std::process::id()));
+        let src = dir.join("crates").join("demo").join("src");
+        std::fs::create_dir_all(&src).unwrap();
+        let obs = "mqa_obs::";
+        std::fs::write(
+            src.join("lib.rs"),
+            format!(
+                "pub fn f() {{\n    {obs}counter{}two.segments{}.inc();\n    let _ = {obs}counter{}demo.dead.reads{}.get();\n    {obs}histogram{}demo.live.lat_us{}.record(1);\n}}\n",
+                "(\"", "\")", "(\"", "\")", "(\"", "\")"
+            ),
+        )
+        .unwrap();
+        let violations = audit_instruments(&dir);
+        assert_eq!(violations.len(), 2, "{violations:#?}");
+        assert!(violations.iter().any(|v| v.contains("`two.segments`")));
+        assert!(violations
+            .iter()
+            .any(|v| v.contains("dead instrument `demo.dead.reads`")));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     #[test]
     fn full_audit_is_clean() {
-        let report = run();
+        let report = run(&repo_root());
         assert!(
             report.is_clean(),
             "audit found violations: {:?}",

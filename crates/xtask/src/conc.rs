@@ -119,7 +119,7 @@ fn is_wait_name(name: &str) -> bool {
 }
 
 /// Index of the `)` matching the `(` at `open`, honoring nesting.
-fn matching_paren(toks: &[&Tok], open: usize) -> Option<usize> {
+pub(crate) fn matching_paren(toks: &[&Tok], open: usize) -> Option<usize> {
     let mut depth = 0i64;
     for (j, t) in toks.iter().enumerate().skip(open) {
         if t.is_punct("(") {
@@ -136,7 +136,7 @@ fn matching_paren(toks: &[&Tok], open: usize) -> Option<usize> {
 
 /// Index just past a generics block starting at `i` (which must be `<`),
 /// counting `<<`/`>>` as two. Returns `i` unchanged if `toks[i]` is not `<`.
-fn skip_angles(toks: &[&Tok], i: usize) -> usize {
+pub(crate) fn skip_angles(toks: &[&Tok], i: usize) -> usize {
     if !toks.get(i).is_some_and(|t| t.is_punct("<")) {
         return i;
     }
@@ -192,7 +192,7 @@ fn impl_map(toks: &[&Tok]) -> Vec<Option<String>> {
 }
 
 /// The implemented type's last path segment for the `impl` at `at`.
-fn impl_type_name(toks: &[&Tok], at: usize) -> Option<String> {
+pub(crate) fn impl_type_name(toks: &[&Tok], at: usize) -> Option<String> {
     let mut j = skip_angles(toks, at + 1);
     // If a top-level `for` appears before the body brace, the type
     // follows it (`impl Drop for TicketSender<T>`).
@@ -518,7 +518,7 @@ struct Scope {
 /// The receiver path of the method call whose `.` is at `dot`:
 /// `self.shared.slot.lock()` -> `["self", "shared", "slot"]`. Empty when
 /// the receiver is a chained call or other non-path expression.
-fn receiver_path(toks: &[&Tok], dot: usize) -> Vec<String> {
+pub(crate) fn receiver_path(toks: &[&Tok], dot: usize) -> Vec<String> {
     let mut segs: Vec<String> = Vec::new();
     let mut j = dot;
     loop {

@@ -330,13 +330,13 @@ fn check_page_cache(seed: u64) -> Result<(u64, u64), String> {
 /// metric wired in this refactor must have actually recorded.
 fn verify_instruments(snapshot: &mqa_obs::Snapshot) -> Result<(), String> {
     let mut missing = Vec::new();
-    match snapshot.counter("engine.submitted") {
+    match snapshot.counter("engine.query.submitted") {
         Some(v) if v > 0 => {}
-        _ => missing.push("counter `engine.submitted` missing or zero".to_string()),
+        _ => missing.push("counter `engine.query.submitted` missing or zero".to_string()),
     }
-    match snapshot.histogram("engine.query_us") {
+    match snapshot.histogram("engine.query.latency_us") {
         Some(h) if h.count > 0 => {}
-        _ => missing.push("histogram `engine.query_us` missing or empty".to_string()),
+        _ => missing.push("histogram `engine.query.latency_us` missing or empty".to_string()),
     }
     let worker_jobs: u64 = (0..WORKERS)
         .filter_map(|i| snapshot.counter(&format!("engine.worker.{i}.jobs")))
@@ -347,9 +347,9 @@ fn verify_instruments(snapshot: &mqa_obs::Snapshot) -> Result<(), String> {
     if snapshot
         .gauges
         .iter()
-        .all(|g| g.name != "engine.queue_depth")
+        .all(|g| g.name != "engine.pool.queue_depth")
     {
-        missing.push("gauge `engine.queue_depth` never set".to_string());
+        missing.push("gauge `engine.pool.queue_depth` never set".to_string());
     }
     match snapshot.counter("cache.page.hits") {
         Some(v) if v > 0 => {}
@@ -405,7 +405,7 @@ mod tests {
             outcome.warm_page_reads
         );
         let body = std::fs::read_to_string(dir.join("metrics.json")).expect("metrics readable");
-        assert!(body.contains("engine.query_us"));
+        assert!(body.contains("engine.query.latency_us"));
         assert!(
             body.contains("engine.lockwitness."),
             "witness counters must land in the metrics snapshot"

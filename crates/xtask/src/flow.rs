@@ -1,0 +1,1603 @@
+//! Panic-freedom analysis (`mqa-xtask flow`).
+//!
+//! A whole-workspace, two-pass call-graph analysis over [`crate::rustlex`]
+//! token streams that proves the hot serving path cannot panic:
+//!
+//! 1. **Inventory** — every `fn` is recorded with its impl/trait owner,
+//!    parameter arity, the calls its body makes, and every *panic-capable
+//!    site* inside it: `unwrap`/`expect`, the `panic!`/`todo!`/
+//!    `unimplemented!`/`unreachable!` macros, the `assert!` family,
+//!    direct slice/Vec `[...]` indexing, non-literal integer `/` and `%`,
+//!    and narrowing `as` casts (value-corrupting rather than panicking —
+//!    inventoried and linted, but excluded from the reachability cone).
+//!    The `debug_assert!` family is *not* counted: it compiles out of
+//!    release serving builds, and `overflow-checks` owns the debug run.
+//! 2. **Reachability** — calls are resolved to candidate callees
+//!    (receiver-typed where a `self` field, typed local, or parameter
+//!    type is known; name + arity over-approximation otherwise, so
+//!    `dyn Trait` dispatch reaches every impl), and the panic cone is
+//!    computed from the designated serving entry points
+//!    ([`ENTRY_POINTS`]): `QueryEngine::{submit,try_submit,retrieve,
+//!    retrieve_batch}`, the `MqaSystem`/`DialogueSession` turn path,
+//!    every `GraphSearcher::search_with` impl, and `PageCache`/
+//!    `ResultCache` lookups. Any panic-capable site inside a reachable
+//!    function is a [`Rule::ReachablePanic`] finding unless waived in
+//!    `flow-baseline.toml` (same machinery as `lint-baseline.toml`,
+//!    mandatory reasons, stale-waiver detection).
+//!
+//! Indexing and division sites can alternatively be *discharged in
+//! source* with an adjacent `// INVARIANT:` comment documenting why the
+//! bound holds — the analogue of `// SAFETY:` for `unsafe`. `unwrap`/
+//! `expect`/`panic!`/`assert!` have no comment escape: on the serving
+//! path they are either rewritten as typed errors or waived with a
+//! reason.
+//!
+//! Three token-accurate lint rules — `no-index-panic`, `no-lossy-cast`,
+//! `no-raw-div` — ride on the same site scanner via
+//! [`crate::lint::LintFlags::arith`], scoped to the serving crates
+//! ([`crate::lint::SERVING_PREFIXES`]), `#[cfg(test)]`-masked and
+//! bin-exempt like every other rule.
+
+use crate::baseline::Baseline;
+use crate::conc::{impl_type_name, matching_paren, receiver_path, skip_angles};
+use crate::lint::{collect_rs_files, strip, test_mask, Finding, Rule, DEFAULT_ROOTS};
+use crate::rustlex::{lex, Kind, Tok};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::path::Path;
+
+/// Rust keywords that can precede `[` without being a value (so slice
+/// patterns `let [a, b] = …` and array types/literals are not flagged as
+/// indexing) and that never *are* a callee name.
+const KEYWORDS: [&str; 35] = [
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
+    "mut", "pub", "ref", "return", "self", "Self", "static", "struct", "trait", "true", "type",
+    "where",
+];
+
+fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+/// What kind of panic-capable (or value-corrupting) construct a site is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteKind {
+    /// `.unwrap()`.
+    Unwrap,
+    /// `.expect(…)`.
+    Expect,
+    /// `panic!` / `todo!` / `unimplemented!` / `unreachable!`.
+    PanicMacro,
+    /// `assert!` / `assert_eq!` / `assert_ne!`.
+    AssertMacro,
+    /// Direct `expr[…]` indexing.
+    Index,
+    /// Integer `/` or `%` with a non-literal (or zero-literal) divisor.
+    RawDiv,
+    /// A narrowing `as` cast (`usize as u32`, `f64 as f32`, …). Does not
+    /// panic — it silently truncates — so it is linted and inventoried
+    /// but not part of the reachability cone.
+    LossyCast,
+}
+
+impl SiteKind {
+    /// The lint rule this site kind surfaces as, for the kinds the
+    /// arithmetic-safety lints own (unwrap/expect/panic are already
+    /// covered by the original rules).
+    pub fn lint_rule(self) -> Option<Rule> {
+        match self {
+            SiteKind::Index => Some(Rule::NoIndexPanic),
+            SiteKind::LossyCast => Some(Rule::NoLossyCast),
+            SiteKind::RawDiv => Some(Rule::NoRawDiv),
+            _ => None,
+        }
+    }
+
+    /// Whether the construct can abort the thread (drives the cone).
+    pub fn can_panic(self) -> bool {
+        !matches!(self, SiteKind::LossyCast)
+    }
+
+    /// Short display name used in finding excerpts.
+    pub fn describe(self) -> &'static str {
+        match self {
+            SiteKind::Unwrap => "unwrap",
+            SiteKind::Expect => "expect",
+            SiteKind::PanicMacro => "panic-macro",
+            SiteKind::AssertMacro => "assert",
+            SiteKind::Index => "indexing",
+            SiteKind::RawDiv => "raw-div",
+            SiteKind::LossyCast => "lossy-cast",
+        }
+    }
+}
+
+/// One panic-capable site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Site {
+    /// What the construct is.
+    pub kind: SiteKind,
+    /// 1-based source line.
+    pub line: usize,
+    /// Index of the triggering token in the scanned stream (used to
+    /// attribute the site to its enclosing function).
+    pub tok: usize,
+}
+
+/// Per-line mask from the *raw* source: `true` where an `// INVARIANT:`
+/// comment on the same line or up to three lines above discharges an
+/// indexing/division/cast site (the `// SAFETY:` idiom for arithmetic).
+/// A multi-line comment counts as a whole: the lines continuing an
+/// `INVARIANT:` comment block are marked too, so the three-line window is
+/// measured from the end of the comment, not its first line.
+pub fn invariant_mask(source: &str) -> Vec<bool> {
+    let lines: Vec<&str> = source.lines().collect();
+    let mut marked = vec![false; lines.len()];
+    for i in 0..lines.len() {
+        if lines[i].contains("INVARIANT:") {
+            marked[i] = true;
+            let mut j = i + 1;
+            while j < lines.len() && lines[j].trim_start().starts_with("//") {
+                marked[j] = true;
+                j += 1;
+            }
+        }
+    }
+    let mut mask = vec![false; lines.len()];
+    for (i, slot) in mask.iter_mut().enumerate() {
+        let lo = i.saturating_sub(3);
+        *slot = marked[lo..=i].iter().any(|&m| m);
+    }
+    mask
+}
+
+/// Bit width and domain of a primitive numeric type name. `usize`/`isize`
+/// count as 64-bit: every supported target is 64-bit, and assuming
+/// narrower would hide real truncation on the deploy targets.
+fn prim_bits(name: &str) -> Option<(u32, char)> {
+    Some(match name {
+        "u8" => (8, 'u'),
+        "u16" => (16, 'u'),
+        "u32" => (32, 'u'),
+        "u64" | "usize" => (64, 'u'),
+        "i8" => (8, 'i'),
+        "i16" => (16, 'i'),
+        "i32" => (32, 'i'),
+        "i64" | "isize" => (64, 'i'),
+        "f32" => (32, 'f'),
+        "f64" => (64, 'f'),
+        _ => return None,
+    })
+}
+
+/// Targets the lossy-cast rule watches. Wider targets (`u64`, `usize`,
+/// `i64`, `f64`) are excluded: without type inference the ubiquitous
+/// `u32 as usize` widening would swamp the rule with false positives,
+/// while `usize as u32` — the truncation direction that actually loses
+/// node ids — is caught.
+fn narrow_target(name: &str) -> bool {
+    matches!(name, "u8" | "u16" | "u32" | "i8" | "i16" | "i32" | "f32")
+}
+
+/// Parses an integer literal's value (decimal/hex/binary/octal,
+/// underscores and type suffixes tolerated).
+fn int_literal_value(text: &str) -> Option<u128> {
+    let t: String = text.chars().filter(|&c| c != '_').collect();
+    let (radix, digits) = if let Some(h) = t.strip_prefix("0x") {
+        (16, h)
+    } else if let Some(b) = t.strip_prefix("0b") {
+        (2, b)
+    } else if let Some(o) = t.strip_prefix("0o") {
+        (8, o)
+    } else {
+        (10, t.as_str())
+    };
+    let digits: String = digits
+        .chars()
+        .take_while(|c| c.is_ascii_hexdigit())
+        .collect();
+    u128::from_str_radix(&digits, radix).ok()
+}
+
+/// Whether an integer of `value` survives a cast to `target` unchanged.
+fn literal_fits(value: u128, target: &str) -> bool {
+    match target {
+        "u8" => value <= u128::from(u8::MAX),
+        "u16" => value <= u128::from(u16::MAX),
+        "u32" => value <= u128::from(u32::MAX),
+        "i8" => value <= 0x7f,
+        "i16" => value <= 0x7fff,
+        "i32" => value <= 0x7fff_ffff,
+        // f32 represents every integer up to 2^24 exactly.
+        "f32" => value <= (1 << 24),
+        _ => false,
+    }
+}
+
+/// Whether a cast between *known* primitive type names is lossless:
+/// same domain and non-narrowing, or an integer small enough to fit the
+/// float target's mantissa exactly (24 bits for f32, 53 for f64).
+fn cast_lossless(src: &str, target: &str) -> bool {
+    let (Some((sb, sd)), Some((tb, td))) = (prim_bits(src), prim_bits(target)) else {
+        return false;
+    };
+    match (sd, td) {
+        ('u', 'u') | ('i', 'i') | ('f', 'f') => sb <= tb,
+        ('u', 'i') => sb < tb,
+        ('u', 'f') | ('i', 'f') => sb <= if tb == 32 { 16 } else { 32 },
+        _ => false,
+    }
+}
+
+/// Identifiers declared as `f32`/`f64` anywhere in the stream — by
+/// `name: f32` annotation (params, fields, locals) or `let name = <float
+/// literal>`. File-granular rather than scope-granular: an over-wide but
+/// deterministic exemption set for the raw-div rule, sound because float
+/// division cannot panic.
+fn float_idents<'t>(toks: &[&'t Tok]) -> BTreeSet<&'t str> {
+    let mut out = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == Kind::Ident && toks.get(i + 1).is_some_and(|n| n.is_punct(":")) {
+            let mut j = i + 2;
+            while toks
+                .get(j)
+                .is_some_and(|t| t.is_punct("&") || t.is_ident("mut") || t.kind == Kind::Lifetime)
+            {
+                j += 1;
+            }
+            if toks
+                .get(j)
+                .is_some_and(|t| t.is_ident("f32") || t.is_ident("f64"))
+            {
+                out.insert(t.text.as_str());
+            }
+        }
+        if t.is_ident("let") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            if toks.get(j).is_some_and(|t| t.kind == Kind::Ident)
+                && toks.get(j + 1).is_some_and(|t| t.is_punct("="))
+                && toks.get(j + 2).is_some_and(|t| t.kind == Kind::Float)
+            {
+                out.insert(toks[j].text.as_str());
+            }
+        }
+    }
+    out
+}
+
+/// Scans a (test-masked) token stream for panic-capable sites.
+/// `invariant` is the per-raw-line [`invariant_mask`]; indexing,
+/// division, and cast sites on exempted lines are discharged.
+pub fn scan_sites(toks: &[&Tok], invariant: &[bool]) -> Vec<Site> {
+    let exempt = |line: usize| invariant.get(line - 1).copied().unwrap_or(false);
+    let floats = float_idents(toks);
+    let is_float_ident = |t: &Tok| t.kind == Kind::Ident && floats.contains(t.text.as_str());
+    let mut sites = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        let prev = i.checked_sub(1).map(|p| toks[p]);
+        let next = toks.get(i + 1);
+        match t.kind {
+            Kind::Ident => {
+                let name = t.text.as_str();
+                // `.unwrap()` / `.expect(`.
+                if prev.is_some_and(|p| p.is_punct(".")) {
+                    if name == "unwrap"
+                        && next.is_some_and(|n| n.is_punct("("))
+                        && toks.get(i + 2).is_some_and(|n| n.is_punct(")"))
+                    {
+                        sites.push(Site {
+                            kind: SiteKind::Unwrap,
+                            line: t.line,
+                            tok: i,
+                        });
+                    } else if name == "expect" && next.is_some_and(|n| n.is_punct("(")) {
+                        sites.push(Site {
+                            kind: SiteKind::Expect,
+                            line: t.line,
+                            tok: i,
+                        });
+                    }
+                }
+                // Panic/assert macros.
+                if next.is_some_and(|n| n.is_punct("!"))
+                    && toks
+                        .get(i + 2)
+                        .is_some_and(|n| n.is_punct("(") || n.is_punct("["))
+                {
+                    match name {
+                        "panic" | "todo" | "unimplemented" | "unreachable" => {
+                            sites.push(Site {
+                                kind: SiteKind::PanicMacro,
+                                line: t.line,
+                                tok: i,
+                            });
+                        }
+                        "assert" | "assert_eq" | "assert_ne" => {
+                            sites.push(Site {
+                                kind: SiteKind::AssertMacro,
+                                line: t.line,
+                                tok: i,
+                            });
+                        }
+                        _ => {}
+                    }
+                }
+                // `<expr> as <narrow>` casts.
+                if name == "as" && !exempt(t.line) {
+                    if let Some(n) = next {
+                        if n.kind == Kind::Ident && narrow_target(&n.text) {
+                            let lossless = prev.is_some_and(|p| match p.kind {
+                                Kind::Int => int_literal_value(&p.text)
+                                    .is_some_and(|v| literal_fits(v, &n.text)),
+                                Kind::Float => n.text == "f32",
+                                Kind::Ident => {
+                                    p.text == "true"
+                                        || p.text == "false"
+                                        || cast_lossless(&p.text, &n.text)
+                                }
+                                _ => false,
+                            });
+                            if !lossless {
+                                sites.push(Site {
+                                    kind: SiteKind::LossyCast,
+                                    line: t.line,
+                                    tok: i,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            Kind::Punct if t.text == "[" => {
+                // Indexing: `[` directly after a value expression.
+                let indexing = prev.is_some_and(|p| {
+                    (p.kind == Kind::Ident && !is_keyword(&p.text))
+                        || p.is_punct(")")
+                        || p.is_punct("]")
+                });
+                if indexing && !exempt(t.line) {
+                    sites.push(Site {
+                        kind: SiteKind::Index,
+                        line: t.line,
+                        tok: i,
+                    });
+                }
+            }
+            Kind::Punct if t.text == "/" || t.text == "%" => {
+                if exempt(t.line) {
+                    continue;
+                }
+                // The previous token must end a value expression.
+                let value_before = prev.is_some_and(|p| {
+                    matches!(p.kind, Kind::Int | Kind::Float)
+                        || (p.kind == Kind::Ident && !is_keyword(&p.text))
+                        || p.is_punct(")")
+                        || p.is_punct("]")
+                });
+                if !value_before {
+                    continue;
+                }
+                // Float arithmetic cannot panic.
+                if prev.is_some_and(|p| p.kind == Kind::Float || is_float_ident(p)) {
+                    continue;
+                }
+                match next {
+                    Some(n) if n.kind == Kind::Float => {}
+                    Some(n) if is_float_ident(n) => {}
+                    Some(n) if n.kind == Kind::Int => {
+                        // A nonzero literal divisor cannot panic; `/ 0`
+                        // is an unconditional panic and always flagged.
+                        if int_literal_value(&n.text) == Some(0) {
+                            sites.push(Site {
+                                kind: SiteKind::RawDiv,
+                                line: t.line,
+                                tok: i,
+                            });
+                        }
+                    }
+                    _ => {
+                        // Non-literal divisor: exempt clear float context
+                        // (a float literal or f32/f64 on the same line,
+                        // e.g. `sum / count as f32`).
+                        let lo = i.saturating_sub(6);
+                        let hi = (i + 7).min(toks.len());
+                        let floatish = toks[lo..hi].iter().any(|w| {
+                            w.line == t.line
+                                && (w.kind == Kind::Float
+                                    || (w.kind == Kind::Ident
+                                        && matches!(w.text.as_str(), "f32" | "f64")))
+                        });
+                        if !floatish {
+                            sites.push(Site {
+                                kind: SiteKind::RawDiv,
+                                line: t.line,
+                                tok: i,
+                            });
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    sites
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: the function inventory.
+// ---------------------------------------------------------------------------
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+struct Call {
+    /// Callee name (last path segment).
+    name: String,
+    /// `Type::name(…)` qualifier, `Self`, or a lowercase module segment.
+    qualifier: Option<String>,
+    /// `true` for `recv.name(…)` method syntax.
+    method: bool,
+    /// Receiver type candidates from typed locals/params.
+    recv_hints: Vec<String>,
+    /// `["self", "field"]`-style receiver path, for field-type lookup.
+    recv_path: Vec<String>,
+    /// Argument count (top-level commas + 1).
+    args: usize,
+}
+
+/// One function in the inventory.
+#[derive(Debug)]
+struct FnNode {
+    /// Impl/trait owner's type name, `None` for free functions.
+    owner: Option<String>,
+    /// Function name.
+    name: String,
+    /// Index into the analyzed file list.
+    file: usize,
+    /// Parameter count excluding `self`.
+    arity: usize,
+    /// Calls made by the body.
+    calls: Vec<Call>,
+    /// Panic-capable sites in the body.
+    sites: Vec<Site>,
+}
+
+impl FnNode {
+    fn display(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Per-token innermost `impl`/`trait` owner name, plus the set of names
+/// introduced by `trait` blocks (dyn-dispatch widening needs to know
+/// which owners are traits).
+fn owner_map(toks: &[&Tok]) -> (Vec<Option<String>>, BTreeSet<String>) {
+    let mut out: Vec<Option<String>> = vec![None; toks.len()];
+    let mut traits = BTreeSet::new();
+    let mut depth = 0i64;
+    let mut stack: Vec<(String, i64)> = Vec::new();
+    let mut pending: Option<String> = None;
+    for i in 0..toks.len() {
+        let t = toks[i];
+        if t.is_ident("impl") {
+            pending = impl_type_name(toks, i);
+        } else if t.is_ident("trait") && toks.get(i + 1).is_some_and(|t| t.kind == Kind::Ident) {
+            let name = toks[i + 1].text.clone();
+            traits.insert(name.clone());
+            pending = Some(name);
+        } else if t.is_punct("{") {
+            if let Some(name) = pending.take() {
+                stack.push((name, depth));
+            }
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            if stack.last().map(|s| s.1) == Some(depth) {
+                stack.pop();
+            }
+        } else if t.is_punct(";") {
+            pending = None;
+        }
+        out[i] = stack.last().map(|s| s.0.clone());
+    }
+    (out, traits)
+}
+
+/// Capitalized type names in a token slice, in order — the candidates a
+/// field/local/param type resolves a method call against.
+fn type_names(toks: &[&Tok]) -> Vec<String> {
+    let mut out = Vec::new();
+    for t in toks {
+        if t.kind == Kind::Ident
+            && t.text.chars().next().is_some_and(char::is_uppercase)
+            && !out.contains(&t.text)
+        {
+            out.push(t.text.clone());
+        }
+    }
+    out
+}
+
+/// Counts top-level commas in a call's argument tokens, skipping
+/// turbofish `::<…>` blocks.
+fn count_args(args: &[&Tok]) -> usize {
+    if args.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i64;
+    let mut commas = 0;
+    let mut j = 0;
+    while j < args.len() {
+        let t = args[j];
+        if t.is_punct("::") && args.get(j + 1).is_some_and(|n| n.is_punct("<")) {
+            // skip_angles works on the tail sub-slice; translate back.
+            j += skip_angles(&args[j + 1..], 0) + 1;
+            continue;
+        }
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct(",") {
+            commas += 1;
+        }
+        j += 1;
+    }
+    commas + 1
+}
+
+/// Splits a parameter list into top-level comma-separated chunks.
+fn param_chunks<'s, 't>(params: &'s [&'t Tok]) -> Vec<&'s [&'t Tok]> {
+    let mut out = Vec::new();
+    let mut depth = 0i64;
+    let mut start = 0;
+    for (j, t) in params.iter().enumerate() {
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("<") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct(">") {
+            depth -= 1;
+        } else if t.is_punct("<<") {
+            depth += 2;
+        } else if t.is_punct(">>") {
+            depth -= 2;
+        } else if depth == 0 && t.is_punct(",") {
+            out.push(&params[start..j]);
+            start = j + 1;
+        }
+    }
+    if start < params.len() {
+        out.push(&params[start..]);
+    }
+    out
+}
+
+/// The workspace-wide index flow builds in pass 1.
+#[derive(Debug, Default)]
+struct Inventory {
+    /// Repo-relative paths of the analyzed files.
+    files: Vec<String>,
+    fns: Vec<FnNode>,
+    /// `(struct, field)` -> candidate type names.
+    field_types: BTreeMap<(String, String), Vec<String>>,
+    /// Trait names (dyn-dispatch widening).
+    traits: BTreeSet<String>,
+}
+
+impl Inventory {
+    /// Whether a file plausibly hosts module `module` (`deep.rs`,
+    /// `deep/…`, or `crates/deep/…`) — used to scope `module::free_fn()`
+    /// resolution.
+    fn file_matches_module(&self, file: usize, module: &str) -> bool {
+        self.files.get(file).is_some_and(|p| {
+            p.contains(&format!("/{module}.rs"))
+                || p.contains(&format!("/{module}/"))
+                || p.contains(&format!("crates/{module}/"))
+        })
+    }
+}
+
+/// Records struct fields' type-name candidates.
+fn index_struct_fields(toks: &[&Tok], inv: &mut Inventory) {
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("struct") && toks.get(i + 1).is_some_and(|t| t.kind == Kind::Ident) {
+            let name = toks[i + 1].text.clone();
+            let mut j = skip_angles(toks, i + 2);
+            while j < toks.len()
+                && !toks[j].is_punct("{")
+                && !toks[j].is_punct("(")
+                && !toks[j].is_punct(";")
+            {
+                j += 1;
+            }
+            if toks.get(j).is_some_and(|t| t.is_punct("{")) {
+                let mut depth = 1i64;
+                let mut k = j + 1;
+                let mut chunk_start = k;
+                while k < toks.len() && depth > 0 {
+                    let tk = toks[k];
+                    if tk.is_punct("{") || tk.is_punct("(") || tk.is_punct("[") {
+                        depth += 1;
+                    } else if tk.is_punct("}") || tk.is_punct(")") || tk.is_punct("]") {
+                        depth -= 1;
+                    }
+                    if depth == 0 || (depth == 1 && tk.is_punct(",")) {
+                        let chunk = &toks[chunk_start..k];
+                        // `field: Type` — find the first `ident :` pair.
+                        for (p, t) in chunk.iter().enumerate() {
+                            if t.kind == Kind::Ident
+                                && chunk.get(p + 1).is_some_and(|n| n.is_punct(":"))
+                            {
+                                let tys = type_names(&chunk[p + 2..]);
+                                if !tys.is_empty() {
+                                    inv.field_types.insert((name.clone(), t.text.clone()), tys);
+                                }
+                                break;
+                            }
+                        }
+                        chunk_start = k + 1;
+                    }
+                    k += 1;
+                }
+                i = k;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Scans one file's (test-masked) tokens into the inventory. `fi` is the
+/// file's index, `invariant` the raw-line exemption mask.
+fn scan_file(fi: usize, toks: &[&Tok], invariant: &[bool], inv: &mut Inventory) {
+    index_struct_fields(toks, inv);
+    let (omap, traits) = owner_map(toks);
+    inv.traits.extend(traits);
+
+    // (body start tok, body end tok, fn id) spans for site attribution.
+    let mut spans: Vec<(usize, usize, usize)> = Vec::new();
+    // Open fn stack: (fn id, depth at body open, body start, typed locals).
+    type Frame = (usize, i64, usize, BTreeMap<String, Vec<String>>);
+    let mut open: Vec<Frame> = Vec::new();
+    let mut depth = 0i64;
+
+    let mut i = 0;
+    while i < toks.len() {
+        let t = toks[i];
+        if t.is_ident("fn") && toks.get(i + 1).is_some_and(|t| t.kind == Kind::Ident) {
+            let name = toks[i + 1].text.clone();
+            let j = skip_angles(toks, i + 2);
+            if toks.get(j).is_some_and(|t| t.is_punct("(")) {
+                if let Some(close) = matching_paren(toks, j) {
+                    let params = &toks[j + 1..close];
+                    let chunks = param_chunks(params);
+                    let is_method = chunks.first().is_some_and(|c| {
+                        c.iter().any(|t| t.is_ident("self"))
+                            && c.iter().take_while(|t| !t.is_ident("self")).all(|t| {
+                                t.is_punct("&") || t.is_ident("mut") || t.kind == Kind::Lifetime
+                            })
+                    });
+                    let arity = chunks.len().saturating_sub(usize::from(is_method));
+                    // Typed params seed the body's locals.
+                    let mut locals: BTreeMap<String, Vec<String>> = BTreeMap::new();
+                    for c in chunks.iter().skip(usize::from(is_method)) {
+                        if let Some(colon) = c.iter().position(|t| t.is_punct(":")) {
+                            if colon >= 1 && c[colon - 1].kind == Kind::Ident {
+                                let tys = type_names(&c[colon + 1..]);
+                                if !tys.is_empty() {
+                                    locals.insert(c[colon - 1].text.clone(), tys);
+                                }
+                            }
+                        }
+                    }
+                    // Find the body `{` (or `;` for a bodyless decl),
+                    // skipping `[…; N]` array return types whose `;`
+                    // would otherwise read as end-of-declaration.
+                    let mut k = close + 1;
+                    let mut brackets = 0i64;
+                    while k < toks.len() {
+                        let tk = toks[k];
+                        if tk.is_punct("[") {
+                            brackets += 1;
+                        } else if tk.is_punct("]") {
+                            brackets -= 1;
+                        } else if brackets == 0 && (tk.is_punct("{") || tk.is_punct(";")) {
+                            break;
+                        }
+                        k += 1;
+                    }
+                    let id = inv.fns.len();
+                    inv.fns.push(FnNode {
+                        owner: omap.get(i).cloned().flatten(),
+                        name,
+                        file: fi,
+                        arity,
+                        calls: Vec::new(),
+                        sites: Vec::new(),
+                    });
+                    if toks.get(k).is_some_and(|t| t.is_punct("{")) {
+                        open.push((id, depth, k + 1, locals));
+                        depth += 1;
+                    }
+                    i = k + 1;
+                    continue;
+                }
+            }
+        }
+        if t.is_punct("{") {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if t.is_punct("}") {
+            depth -= 1;
+            while open.last().is_some_and(|(_, d, _, _)| *d >= depth) {
+                if let Some((id, _, start, _)) = open.pop() {
+                    spans.push((start, i, id));
+                }
+            }
+            i += 1;
+            continue;
+        }
+        if let Some((fn_id, _, _, locals)) = open.last_mut() {
+            // Typed locals: `let x: Type = …` or `let x = Type::…`.
+            if t.is_ident("let") {
+                let mut j = i + 1;
+                if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                    j += 1;
+                }
+                if toks.get(j).is_some_and(|t| t.kind == Kind::Ident) {
+                    let var = toks[j].text.clone();
+                    let mut tys = Vec::new();
+                    if toks.get(j + 1).is_some_and(|t| t.is_punct(":")) {
+                        let mut e = j + 2;
+                        while e < toks.len() && !toks[e].is_punct("=") && !toks[e].is_punct(";") {
+                            e += 1;
+                        }
+                        tys = type_names(&toks[j + 2..e]);
+                    } else if toks.get(j + 1).is_some_and(|t| t.is_punct("="))
+                        && toks.get(j + 2).is_some_and(|t| {
+                            t.kind == Kind::Ident
+                                && t.text.chars().next().is_some_and(char::is_uppercase)
+                        })
+                        && toks.get(j + 3).is_some_and(|t| t.is_punct("::"))
+                    {
+                        tys = vec![toks[j + 2].text.clone()];
+                    }
+                    if !tys.is_empty() {
+                        locals.insert(var, tys);
+                    }
+                }
+            }
+            // Call sites: `name(…)` / `name::<…>(…)`, not a macro.
+            if t.kind == Kind::Ident && !is_keyword(&t.text) {
+                let after = if toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                    && toks.get(i + 2).is_some_and(|n| n.is_punct("<"))
+                {
+                    skip_angles(toks, i + 2)
+                } else {
+                    i + 1
+                };
+                let is_macro = toks.get(i + 1).is_some_and(|n| n.is_punct("!"));
+                if !is_macro && toks.get(after).is_some_and(|n| n.is_punct("(")) {
+                    if let Some(close) = matching_paren(toks, after) {
+                        let args = count_args(&toks[after + 1..close]);
+                        let prev = i.checked_sub(1).map(|p| toks[p]);
+                        let method = prev.is_some_and(|p| p.is_punct("."));
+                        let mut qualifier = None;
+                        let mut recv_hints = Vec::new();
+                        let mut recv_path = Vec::new();
+                        if method {
+                            recv_path = receiver_path(toks, i - 1);
+                            if let [one] = recv_path.as_slice() {
+                                if one != "self" {
+                                    if let Some(tys) = locals.get(one) {
+                                        recv_hints = tys.clone();
+                                    }
+                                }
+                            }
+                        } else if prev.is_some_and(|p| p.is_punct("::")) && i >= 2 {
+                            let q = toks[i - 2];
+                            if q.kind == Kind::Ident {
+                                qualifier = Some(q.text.clone());
+                            }
+                        }
+                        inv.fns[*fn_id].calls.push(Call {
+                            name: t.text.clone(),
+                            qualifier,
+                            method,
+                            recv_hints,
+                            recv_path,
+                            args,
+                        });
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    while let Some((id, _, start, _)) = open.pop() {
+        spans.push((start, toks.len(), id));
+    }
+
+    // Attribute sites to the innermost enclosing function. Sites outside
+    // any body (consts, statics) have no serving caller and stay out of
+    // the cone; the lint pass still reports them.
+    for s in scan_sites(toks, invariant) {
+        let hit = spans
+            .iter()
+            .filter(|&&(start, end, _)| start <= s.tok && s.tok < end)
+            .min_by_key(|&&(start, end, _)| end - start);
+        if let Some(&(_, _, id)) = hit {
+            inv.fns[id].sites.push(s);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: resolution + reachability.
+// ---------------------------------------------------------------------------
+
+/// A serving entry point matcher: `owner` of `None` matches the method
+/// on every impl (dyn-dispatch families like `search_with`).
+#[derive(Debug, Clone, Copy)]
+pub struct EntryPoint {
+    /// Required impl owner, or `None` for any.
+    pub owner: Option<&'static str>,
+    /// Method name.
+    pub name: &'static str,
+}
+
+/// The serving path's designated roots: engine submission and retrieval,
+/// the dialogue turn path, every `GraphSearcher::search_with` impl, and
+/// both cache lookup surfaces.
+pub const ENTRY_POINTS: [EntryPoint; 10] = [
+    EntryPoint {
+        owner: Some("QueryEngine"),
+        name: "submit",
+    },
+    EntryPoint {
+        owner: Some("QueryEngine"),
+        name: "try_submit",
+    },
+    EntryPoint {
+        owner: Some("QueryEngine"),
+        name: "retrieve",
+    },
+    EntryPoint {
+        owner: Some("QueryEngine"),
+        name: "retrieve_batch",
+    },
+    EntryPoint {
+        owner: Some("DialogueSession"),
+        name: "ask",
+    },
+    EntryPoint {
+        owner: Some("MqaSystem"),
+        name: "ask_once",
+    },
+    EntryPoint {
+        owner: None,
+        name: "search_with",
+    },
+    EntryPoint {
+        owner: Some("PageCache"),
+        name: "probe",
+    },
+    EntryPoint {
+        owner: Some("ResultCache"),
+        name: "get",
+    },
+    EntryPoint {
+        owner: Some("ResultCache"),
+        name: "insert",
+    },
+];
+
+/// Aggregate statistics of one analysis run.
+#[derive(Debug, Default, Clone)]
+pub struct FlowStats {
+    /// Functions inventoried.
+    pub fns: usize,
+    /// Resolved call edges.
+    pub edges: usize,
+    /// Entry-point functions found.
+    pub entry_fns: usize,
+    /// Functions reachable from an entry point.
+    pub reachable_fns: usize,
+    /// Panic-capable sites in reachable functions (the cone, pre-waiver).
+    pub cone_sites: usize,
+    /// Lossy-cast sites inventoried workspace-wide (lint-only).
+    pub lossy_casts: usize,
+}
+
+/// The raw analysis result, before baseline waivers.
+#[derive(Debug, Default)]
+pub struct FlowAnalysis {
+    /// Cone findings, sorted by (file, line).
+    pub findings: Vec<Finding>,
+    /// Run statistics.
+    pub stats: FlowStats,
+}
+
+struct Resolver<'a> {
+    inv: &'a Inventory,
+    by_owner_name: BTreeMap<(&'a str, &'a str), Vec<usize>>,
+    methods_by_name: BTreeMap<&'a str, Vec<usize>>,
+    free_by_name: BTreeMap<&'a str, Vec<usize>>,
+}
+
+impl<'a> Resolver<'a> {
+    fn new(inv: &'a Inventory) -> Self {
+        let mut by_owner_name: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut methods_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut free_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (id, f) in inv.fns.iter().enumerate() {
+            if let Some(owner) = &f.owner {
+                by_owner_name
+                    .entry((owner.as_str(), f.name.as_str()))
+                    .or_default()
+                    .push(id);
+                methods_by_name.entry(f.name.as_str()).or_default().push(id);
+            } else {
+                free_by_name.entry(f.name.as_str()).or_default().push(id);
+            }
+        }
+        Self {
+            inv,
+            by_owner_name,
+            methods_by_name,
+            free_by_name,
+        }
+    }
+
+    /// Callees for `Owner::name`. A trait owner means dyn dispatch:
+    /// every impl of the method is a candidate alongside the trait's
+    /// default body.
+    fn owned(&self, owner: &str, name: &str) -> Vec<usize> {
+        let direct: Vec<usize> = self
+            .by_owner_name
+            .get(&(owner, name))
+            .cloned()
+            .unwrap_or_default();
+        if self.inv.traits.contains(owner) {
+            let mut all = direct;
+            all.extend(self.fallback_methods(name, None));
+            all.sort_unstable();
+            all.dedup();
+            all
+        } else {
+            direct
+        }
+    }
+
+    fn fallback_methods(&self, name: &str, arity: Option<usize>) -> Vec<usize> {
+        self.methods_by_name
+            .get(name)
+            .map(|ids| {
+                ids.iter()
+                    .copied()
+                    .filter(|&id| arity.is_none_or(|a| self.inv.fns[id].arity == a))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Candidate callee ids for `call` made from `caller`.
+    fn resolve(&self, call: &Call, caller: &FnNode) -> Vec<usize> {
+        if call.method {
+            if call.recv_path.first().map(String::as_str) == Some("self") {
+                if let Some(owner) = &caller.owner {
+                    // `self.m(…)` or `self.field.m(…)` with a known
+                    // field type.
+                    let mut hit: Vec<usize> = match call.recv_path.len() {
+                        1 => self.owned(owner, &call.name),
+                        2 => self
+                            .inv
+                            .field_types
+                            .get(&(owner.clone(), call.recv_path[1].clone()))
+                            .into_iter()
+                            .flatten()
+                            .flat_map(|t| self.owned(t, &call.name))
+                            .collect(),
+                        _ => Vec::new(),
+                    };
+                    if !hit.is_empty() {
+                        hit.sort_unstable();
+                        hit.dedup();
+                        return hit;
+                    }
+                }
+            }
+            if !call.recv_hints.is_empty() {
+                let mut hit: Vec<usize> = call
+                    .recv_hints
+                    .iter()
+                    .flat_map(|t| self.owned(t, &call.name))
+                    .collect();
+                if !hit.is_empty() {
+                    hit.sort_unstable();
+                    hit.dedup();
+                    return hit;
+                }
+            }
+            // Unknown receiver: every same-name, same-arity method.
+            return self.fallback_methods(&call.name, Some(call.args));
+        }
+        match call.qualifier.as_deref() {
+            Some("Self") | Some("self") => caller
+                .owner
+                .as_deref()
+                .map(|o| self.owned(o, &call.name))
+                .unwrap_or_default(),
+            Some(q) if q.chars().next().is_some_and(char::is_uppercase) => {
+                self.owned(q, &call.name)
+            }
+            Some(q) => {
+                // Module-qualified free call: prefer fns whose file
+                // matches the module segment, fall back to all.
+                let all = self
+                    .free_by_name
+                    .get(call.name.as_str())
+                    .cloned()
+                    .unwrap_or_default();
+                let module = q.strip_prefix("mqa_").unwrap_or(q);
+                let scoped: Vec<usize> = all
+                    .iter()
+                    .copied()
+                    .filter(|&id| self.inv.file_matches_module(self.inv.fns[id].file, module))
+                    .collect();
+                if scoped.is_empty() {
+                    all
+                } else {
+                    scoped
+                }
+            }
+            None => self
+                .free_by_name
+                .get(call.name.as_str())
+                .map(|ids| {
+                    ids.iter()
+                        .copied()
+                        .filter(|&id| self.inv.fns[id].arity == call.args)
+                        .collect()
+                })
+                .unwrap_or_default(),
+        }
+    }
+}
+
+/// Runs the analysis over in-memory `(repo-relative path, source)` pairs.
+/// Unit tests and the mutation fixture enter here.
+pub fn analyze_sources(files: &[(String, String)]) -> FlowAnalysis {
+    let mut inv = Inventory {
+        files: files.iter().map(|(rel, _)| rel.clone()).collect(),
+        ..Inventory::default()
+    };
+    for (fi, (rel, source)) in files.iter().enumerate() {
+        // Experiment binaries abort by design; they are not serving code.
+        if rel.contains("/src/bin/") {
+            continue;
+        }
+        let mask = test_mask(&strip(source));
+        let toks = lex(source);
+        let kept: Vec<&Tok> = toks
+            .iter()
+            .filter(|t| !mask.get(t.line - 1).copied().unwrap_or(false))
+            .collect();
+        let invariant = invariant_mask(source);
+        scan_file(fi, &kept, &invariant, &mut inv);
+    }
+
+    let resolver = Resolver::new(&inv);
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); inv.fns.len()];
+    let mut edges = 0usize;
+    for (id, f) in inv.fns.iter().enumerate() {
+        let mut outs = BTreeSet::new();
+        for call in &f.calls {
+            outs.extend(resolver.resolve(call, f));
+        }
+        edges += outs.len();
+        adj[id] = outs.into_iter().collect();
+    }
+
+    let entries: Vec<usize> = inv
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| {
+            ENTRY_POINTS.iter().any(|ep| {
+                f.name == ep.name
+                    && match ep.owner {
+                        Some(o) => f.owner.as_deref() == Some(o),
+                        None => f.owner.is_some(),
+                    }
+            })
+        })
+        .map(|(id, _)| id)
+        .collect();
+
+    // BFS with parent pointers for sample paths in excerpts.
+    let mut parent: Vec<Option<usize>> = vec![None; inv.fns.len()];
+    let mut reached: Vec<bool> = vec![false; inv.fns.len()];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for &e in &entries {
+        if !reached[e] {
+            reached[e] = true;
+            queue.push_back(e);
+        }
+    }
+    while let Some(n) = queue.pop_front() {
+        for &m in &adj[n] {
+            if !reached[m] {
+                reached[m] = true;
+                parent[m] = Some(n);
+                queue.push_back(m);
+            }
+        }
+    }
+
+    let path_to = |mut id: usize| -> String {
+        let mut names = vec![inv.fns[id].display()];
+        let mut hops = 0;
+        while let Some(p) = parent[id] {
+            names.push(inv.fns[p].display());
+            id = p;
+            hops += 1;
+            if hops >= 6 {
+                names.push("…".to_string());
+                break;
+            }
+        }
+        names.reverse();
+        names.join(" -> ")
+    };
+
+    let mut findings = Vec::new();
+    let mut cone_sites = 0usize;
+    let mut lossy = 0usize;
+    for (id, f) in inv.fns.iter().enumerate() {
+        lossy += f
+            .sites
+            .iter()
+            .filter(|s| s.kind == SiteKind::LossyCast)
+            .count();
+        if !reached[id] {
+            continue;
+        }
+        for s in &f.sites {
+            if !s.kind.can_panic() {
+                continue;
+            }
+            cone_sites += 1;
+            let (rel, source) = &files[f.file];
+            let src_line = source
+                .lines()
+                .nth(s.line - 1)
+                .map_or(String::new(), |l| l.trim().to_string());
+            findings.push(Finding {
+                file: rel.clone(),
+                line: s.line,
+                rule: Rule::ReachablePanic,
+                excerpt: format!(
+                    "{src_line} [{} in {}; via {}]",
+                    s.kind.describe(),
+                    f.display(),
+                    path_to(id)
+                ),
+            });
+        }
+    }
+    findings.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+
+    FlowAnalysis {
+        findings,
+        stats: FlowStats {
+            fns: inv.fns.len(),
+            edges,
+            entry_fns: entries.len(),
+            reachable_fns: reached.iter().filter(|&&r| r).count(),
+            cone_sites,
+            lossy_casts: lossy,
+        },
+    }
+}
+
+/// The flow run's aggregate result (mirror of `conc::ConcOutcome`).
+#[derive(Debug)]
+pub struct FlowOutcome {
+    /// Unwaived cone findings (the gate fails if non-empty).
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by baseline waivers.
+    pub waived: Vec<Finding>,
+    /// Baseline entries that matched nothing (stale waivers fail the gate).
+    pub unused_waivers: Vec<String>,
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Analysis statistics.
+    pub stats: FlowStats,
+}
+
+impl FlowOutcome {
+    /// Whether the gate passes.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.unused_waivers.is_empty()
+    }
+}
+
+/// Loads the workspace sources exactly as the lint/conc gates do.
+///
+/// # Errors
+/// Returns a message if a directory or file cannot be read.
+pub fn load_workspace_sources(repo_root: &Path) -> Result<Vec<(String, String)>, String> {
+    let mut files = Vec::new();
+    for root in DEFAULT_ROOTS {
+        let dir = repo_root.join(root);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut out = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(repo_root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        out.push((rel, source));
+    }
+    Ok(out)
+}
+
+/// Runs the panic-freedom analysis over the whole workspace, applying
+/// `baseline` waivers (default file: `flow-baseline.toml`).
+///
+/// # Errors
+/// Returns a message if a directory or file cannot be read.
+pub fn run(repo_root: &Path, baseline: &Baseline) -> Result<FlowOutcome, String> {
+    let sources = load_workspace_sources(repo_root)?;
+    let files_scanned = sources.len();
+    let mut analysis = analyze_sources(&sources);
+    let all = std::mem::take(&mut analysis.findings);
+    let mut used = vec![0usize; baseline.waivers.len()];
+    let mut findings = Vec::new();
+    let mut waived = Vec::new();
+    for f in all {
+        let hit = baseline.matching(&f).next();
+        match hit {
+            Some(i) => {
+                used[i] += 1;
+                waived.push(f);
+            }
+            None => findings.push(f),
+        }
+    }
+    let unused_waivers = baseline
+        .waivers
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| u == 0)
+        .map(|(w, _)| w.describe())
+        .collect();
+    Ok(FlowOutcome {
+        findings,
+        waived,
+        unused_waivers,
+        files_scanned,
+        stats: analysis.stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sites_of(src: &str) -> Vec<(SiteKind, usize)> {
+        let toks = lex(src);
+        let kept: Vec<&Tok> = toks.iter().collect();
+        let invariant = invariant_mask(src);
+        scan_sites(&kept, &invariant)
+            .into_iter()
+            .map(|s| (s.kind, s.line))
+            .collect()
+    }
+
+    #[test]
+    fn index_sites_fire_on_expressions_not_patterns_or_types() {
+        let src = "\
+fn f(v: &[u32], i: usize) -> u32 {
+    let [a, b] = [1u32, 2];
+    let t: [u32; 2] = [a, b];
+    let x = v[i];
+    x + t[0] + helper(v)[1]
+}
+";
+        assert_eq!(
+            sites_of(src),
+            vec![
+                (SiteKind::Index, 4),
+                (SiteKind::Index, 5),
+                (SiteKind::Index, 5)
+            ]
+        );
+    }
+
+    #[test]
+    fn invariant_comment_discharges_nearby_sites_only() {
+        let src = "\
+fn f(v: &[u32], i: usize, n: usize) -> u32 {
+    // INVARIANT: i was range-checked by the caller's validate() above.
+    let x = v[i];
+    let a = x + 1;
+    let b = a + 1;
+    b % n
+}
+";
+        assert_eq!(sites_of(src), vec![(SiteKind::RawDiv, 6)]);
+    }
+
+    #[test]
+    fn raw_div_exempts_literal_and_float_divisors() {
+        let src = "\
+fn f(a: usize, b: usize, w: f32, s: f32) -> f32 {
+    let q = a / 8;
+    let r = a % b;
+    let z = a / 0;
+    w / s
+}
+";
+        assert_eq!(
+            sites_of(src),
+            vec![(SiteKind::RawDiv, 3), (SiteKind::RawDiv, 4)]
+        );
+    }
+
+    #[test]
+    fn lossy_cast_catches_narrowing_not_widening() {
+        let src = "\
+fn f(n: usize, v: f64) -> u32 {
+    let id = n as u32;
+    let w = n as u8 as u32;
+    let t = v as f32;
+    let k = 255 as u8;
+    let big = id as u64;
+    id
+}
+";
+        assert_eq!(
+            sites_of(src),
+            vec![
+                (SiteKind::LossyCast, 2),
+                (SiteKind::LossyCast, 3),
+                (SiteKind::LossyCast, 4)
+            ]
+        );
+    }
+
+    #[test]
+    fn unwrap_expect_and_macros_are_sites() {
+        let src = "\
+fn f(o: Option<u32>) -> u32 {
+    assert!(o.is_some());
+    let v = o.unwrap();
+    let w = o.expect(\"present\");
+    if v > w { panic!(\"nope\") }
+    v
+}
+";
+        let kinds: Vec<SiteKind> = sites_of(src).into_iter().map(|(k, _)| k).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                SiteKind::AssertMacro,
+                SiteKind::Unwrap,
+                SiteKind::Expect,
+                SiteKind::PanicMacro
+            ]
+        );
+    }
+
+    #[test]
+    fn debug_assert_is_not_a_site() {
+        let src = "fn f(x: u32) { debug_assert!(x > 0); debug_assert_eq!(x, x); }";
+        assert!(sites_of(src).is_empty());
+    }
+
+    fn analyze(files: &[(&str, &str)]) -> FlowAnalysis {
+        let owned: Vec<(String, String)> = files
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect();
+        analyze_sources(&owned)
+    }
+
+    const ENGINE_LIKE: &str = "\
+pub struct QueryEngine { pool: Pool }
+impl QueryEngine {
+    pub fn submit(&self) -> u32 {
+        self.pool.dispatch()
+    }
+}
+pub struct Pool;
+impl Pool {
+    pub fn dispatch(&self) -> u32 {
+        risky_helper(3)
+    }
+}
+fn risky_helper(x: u32) -> u32 {
+    let v = vec![1, 2, 3];
+    v.get(0).copied().unwrap()
+}
+fn unreached_helper() -> u32 {
+    let v: Option<u32> = None;
+    v.unwrap()
+}
+";
+
+    #[test]
+    fn reachable_unwrap_is_found_and_unreachable_is_not() {
+        let a = analyze(&[("x/src/engine.rs", ENGINE_LIKE)]);
+        assert_eq!(a.findings.len(), 1, "findings: {:?}", a.findings);
+        let f = &a.findings[0];
+        assert_eq!(f.line, 15);
+        assert_eq!(f.rule, Rule::ReachablePanic);
+        assert!(f.excerpt.contains("risky_helper"), "{}", f.excerpt);
+        assert!(f.excerpt.contains("QueryEngine::submit"), "{}", f.excerpt);
+        assert!(a.stats.entry_fns >= 1);
+        assert!(a.stats.reachable_fns >= 3);
+    }
+
+    #[test]
+    fn trait_dispatch_reaches_every_impl() {
+        let src = "\
+pub struct QueryEngine { framework: Arc<dyn Framework> }
+pub trait Framework {
+    fn search(&self, k: usize) -> u32;
+}
+impl QueryEngine {
+    pub fn submit(&self, k: usize) -> u32 {
+        self.framework.search(k)
+    }
+}
+struct A;
+impl Framework for A {
+    fn search(&self, k: usize) -> u32 {
+        let v = vec![0u32];
+        v[k]
+    }
+}
+";
+        let a = analyze(&[("x/src/t.rs", src)]);
+        assert_eq!(a.findings.len(), 1, "findings: {:?}", a.findings);
+        assert_eq!(a.findings[0].line, 14);
+        assert!(a.findings[0].excerpt.contains("indexing"));
+    }
+
+    #[test]
+    fn cross_file_calls_resolve() {
+        let caller = "\
+pub struct DialogueSession;
+impl DialogueSession {
+    pub fn ask(&self) -> u32 {
+        crate::deep::lookup(7)
+    }
+}
+";
+        let callee = "\
+pub fn lookup(i: usize) -> u32 {
+    TABLE[i]
+}
+static TABLE: [u32; 4] = [0, 1, 2, 3];
+";
+        let a = analyze(&[("x/src/sess.rs", caller), ("x/src/deep.rs", callee)]);
+        assert_eq!(a.findings.len(), 1, "findings: {:?}", a.findings);
+        assert_eq!(a.findings[0].file, "x/src/deep.rs");
+        assert_eq!(a.findings[0].line, 2);
+    }
+
+    #[test]
+    fn test_code_and_bins_are_exempt() {
+        let masked = format!("#[cfg(test)]\nmod tests {{\n{ENGINE_LIKE}\n}}\n");
+        let a = analyze(&[("x/src/engine.rs", &masked)]);
+        assert!(a.findings.is_empty(), "findings: {:?}", a.findings);
+        let b = analyze(&[("x/src/bin/exp.rs", ENGINE_LIKE)]);
+        assert!(b.findings.is_empty(), "findings: {:?}", b.findings);
+    }
+
+    #[test]
+    fn arity_disambiguates_method_fallback() {
+        // Two `lookup` methods with different arity: the 1-arg call on an
+        // untyped receiver must not pull in the 2-arg impl's panic site.
+        let src = "\
+pub struct ResultCache;
+impl ResultCache {
+    pub fn get(&self, k: u64) -> u32 {
+        helper().lookup(k)
+    }
+}
+struct Clean;
+impl Clean {
+    fn lookup(&self, _k: u64) -> u32 { 0 }
+}
+struct Dirty;
+impl Dirty {
+    fn lookup(&self, _k: u64, _extra: u64) -> u32 {
+        panic!(\"two-arg\")
+    }
+}
+fn helper() -> Clean { Clean }
+";
+        let a = analyze(&[("x/src/c.rs", src)]);
+        assert!(a.findings.is_empty(), "findings: {:?}", a.findings);
+    }
+
+    #[test]
+    fn typed_local_receiver_resolves_precisely() {
+        let src = "\
+pub struct PageCache;
+impl PageCache {
+    pub fn probe(&self) -> u32 {
+        let shard = Shard::new();
+        shard.touch()
+    }
+}
+struct Shard;
+impl Shard {
+    fn new() -> Shard { Shard }
+    fn touch(&self) -> u32 { 1 }
+}
+struct Other;
+impl Other {
+    fn touch(&self) -> u32 {
+        panic!(\"wrong receiver\")
+    }
+}
+";
+        let a = analyze(&[("x/src/p.rs", src)]);
+        assert!(a.findings.is_empty(), "findings: {:?}", a.findings);
+    }
+
+    #[test]
+    fn self_field_type_resolves_method() {
+        let src = "\
+pub struct QueryEngine { pool: WorkerPool }
+impl QueryEngine {
+    pub fn submit(&self) -> u32 {
+        self.pool.go()
+    }
+}
+pub struct WorkerPool;
+impl WorkerPool {
+    fn go(&self) -> u32 {
+        unimplemented!()
+    }
+}
+";
+        let a = analyze(&[("x/src/e.rs", src)]);
+        assert_eq!(a.findings.len(), 1, "findings: {:?}", a.findings);
+        assert!(a.findings[0].excerpt.contains("panic-macro"));
+    }
+
+    #[test]
+    fn lossy_casts_are_inventoried_but_not_cone_findings() {
+        let src = "\
+pub struct PageCache;
+impl PageCache {
+    pub fn probe(&self, n: usize) -> u32 {
+        n as u32
+    }
+}
+";
+        let a = analyze(&[("x/src/p.rs", src)]);
+        assert!(a.findings.is_empty(), "findings: {:?}", a.findings);
+        assert_eq!(a.stats.lossy_casts, 1);
+    }
+}

@@ -25,12 +25,17 @@
 //! concurrency analysis: a token-level pass ([`rustlex`]) extracts
 //! every lock acquisition in the workspace, builds the global
 //! lock-order graph, and reports order cycles, non-looped
-//! `Condvar::wait`s, and guards held across blocking calls.
+//! `Condvar::wait`s, and guards held across blocking calls. A sixth,
+//! [`flow`], is the panic-freedom gate: it inventories every function
+//! and panic-capable construct, builds the workspace call graph, and
+//! fails if any panic site is reachable from a serving entry point
+//! without a reasoned waiver in `flow-baseline.toml`.
 
 pub mod audit;
 pub mod baseline;
 pub mod conc;
 pub mod engine;
+pub mod flow;
 pub mod lint;
 pub mod obs;
 pub mod rustlex;

@@ -37,11 +37,20 @@ pub enum Rule {
     CondvarNoLoop,
     /// A live `MutexGuard` held across a blocking call.
     GuardAcrossBlocking,
+    /// Direct slice/Vec `[...]` indexing on a serving-path crate.
+    NoIndexPanic,
+    /// A narrowing `as` cast that can silently truncate.
+    NoLossyCast,
+    /// Integer `/` or `%` with a non-literal (or zero-literal) divisor.
+    NoRawDiv,
+    /// A panic-capable site reachable from a serving entry point
+    /// (`mqa-xtask flow`).
+    ReachablePanic,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 11] = [
+    pub const ALL: [Rule; 15] = [
         Rule::NoUnwrap,
         Rule::NoExpect,
         Rule::NoPanic,
@@ -53,6 +62,10 @@ impl Rule {
         Rule::LockOrderCycle,
         Rule::CondvarNoLoop,
         Rule::GuardAcrossBlocking,
+        Rule::NoIndexPanic,
+        Rule::NoLossyCast,
+        Rule::NoRawDiv,
+        Rule::ReachablePanic,
     ];
 
     /// The kebab-case rule name used in reports and waivers.
@@ -69,6 +82,10 @@ impl Rule {
             Rule::LockOrderCycle => "lock-order-cycle",
             Rule::CondvarNoLoop => "condvar-no-loop",
             Rule::GuardAcrossBlocking => "guard-across-blocking",
+            Rule::NoIndexPanic => "no-index-panic",
+            Rule::NoLossyCast => "no-lossy-cast",
+            Rule::NoRawDiv => "no-raw-div",
+            Rule::ReachablePanic => "flow-reachable-panic",
         }
     }
 
@@ -102,6 +119,18 @@ impl Rule {
             }
             Rule::GuardAcrossBlocking => {
                 "a MutexGuard held across a blocking call stalls every other thread needing that lock"
+            }
+            Rule::NoIndexPanic => {
+                "serving-path indexing panics out-of-range; use .get() with a typed error or document the bound with an // INVARIANT: comment"
+            }
+            Rule::NoLossyCast => {
+                "a narrowing `as` cast silently truncates; use a cast helper (mqa_vector::cast) or document with // INVARIANT:"
+            }
+            Rule::NoRawDiv => {
+                "integer / or % panics on a zero divisor; guard it, use checked_div/rem, or document with // INVARIANT:"
+            }
+            Rule::ReachablePanic => {
+                "a panic-capable site is reachable from a serving entry point; make it a typed error or waive it in flow-baseline.toml"
             }
         }
     }
@@ -369,6 +398,9 @@ pub struct LintFlags {
     /// Visited-allocation rule (graph search paths, where per-query
     /// state belongs in `SearchScratch`).
     pub visited: bool,
+    /// Arithmetic-safety rules (no-index-panic, no-lossy-cast,
+    /// no-raw-div) on the serving-path crates.
+    pub arith: bool,
     /// Fail-fast CLI driver (`…/src/bin/…`): exempt from the
     /// no-unwrap/no-expect rules — aborting with the message IS the
     /// designed behavior for experiment binaries, and the exemption
@@ -435,6 +467,14 @@ pub fn lint_source(file: &str, source: &str, flags: &LintFlags) -> Vec<Finding> 
         for w in toks.windows(3) {
             if w[0].is_ident("Instant") && w[1].is_punct("::") && w[2].is_ident("now") {
                 push_tok(w[0].line, Rule::AdHocTiming, &mut findings);
+            }
+        }
+    }
+    if flags.arith && !flags.fail_fast_bin {
+        let invariant = crate::flow::invariant_mask(source);
+        for site in crate::flow::scan_sites(&toks, &invariant) {
+            if let Some(rule) = site.kind.lint_rule() {
+                push_tok(site.line, rule, &mut findings);
             }
         }
     }
@@ -567,6 +607,18 @@ pub const TIMING_EXEMPT_PREFIXES: [&str; 2] = ["crates/bench", "crates/obs"];
 /// per query. `scratch.rs` itself (the owner of that state) is exempt.
 pub const VISITED_PREFIX: &str = "crates/graph/src";
 
+/// Path prefixes where the arithmetic-safety rules (no-index-panic,
+/// no-lossy-cast, no-raw-div) apply: the crates a serving worker executes
+/// per query. `cast.rs` (the checked-conversion helper module, which owns
+/// its narrowing casts behind documented invariants) is exempt.
+pub const SERVING_PREFIXES: [&str; 5] = [
+    "crates/graph/src",
+    "crates/vector/src",
+    "crates/cache/src",
+    "crates/engine/src",
+    "crates/retrieval/src",
+];
+
 /// Directory names never descended into: test code may unwrap freely, and
 /// fixtures contain violations on purpose.
 const SKIP_DIRS: [&str; 5] = ["tests", "benches", "fixtures", "target", ".git"];
@@ -623,6 +675,8 @@ pub fn run(repo_root: &Path, baseline: &Baseline) -> Result<LintOutcome, String>
             kernel: KERNEL_PREFIXES.iter().any(|p| rel.starts_with(p)),
             timing: !TIMING_EXEMPT_PREFIXES.iter().any(|p| rel.starts_with(p)),
             visited: rel.starts_with(VISITED_PREFIX) && !rel.ends_with("/scratch.rs"),
+            arith: SERVING_PREFIXES.iter().any(|p| rel.starts_with(p))
+                && !rel.ends_with("/cast.rs"),
             fail_fast_bin: rel.contains("/src/bin/"),
         };
         let source = std::fs::read_to_string(path)
@@ -702,6 +756,7 @@ mod tests {
             kernel,
             timing,
             visited,
+            arith: false,
             fail_fast_bin: false,
         }
     }

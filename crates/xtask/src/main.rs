@@ -8,7 +8,7 @@
 //! Both commands exit 0 only when clean, so `ci.sh` can chain them.
 
 use mqa_xtask::baseline::Baseline;
-use mqa_xtask::{audit, conc, engine, lint, obs};
+use mqa_xtask::{audit, conc, engine, flow, lint, obs};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -29,6 +29,13 @@ COMMANDS:
         from every Mutex/RwLock/TracedMutex acquisition and fail on
         order cycles, non-looped Condvar waits, and guards held across
         blocking calls. Waivers live in conc-baseline.toml.
+
+    flow [--baseline <path>] [--root <dir>]
+        Panic-freedom analysis: inventory every function and
+        panic-capable construct (unwrap/expect/panic!/assert!, direct
+        indexing, raw integer division), build the workspace call graph,
+        and fail on any site reachable from a serving entry point.
+        Waivers live in flow-baseline.toml.
 
     audit
         Build every index variant over a synthetic corpus and run the
@@ -60,6 +67,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => cmd_lint(&args[1..]),
         Some("conc") => cmd_conc(&args[1..]),
+        Some("flow") => cmd_flow(&args[1..]),
         Some("audit") => cmd_audit(),
         Some("rules") => cmd_rules(),
         Some("obs") => cmd_obs(&args[1..]),
@@ -209,8 +217,80 @@ fn cmd_conc(args: &[String]) -> ExitCode {
     }
 }
 
+fn cmd_flow(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--baseline requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match it.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("--root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown flow option `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !root.is_dir() {
+        eprintln!("flow: root `{}` is not a directory", root.display());
+        return ExitCode::from(2);
+    }
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("flow-baseline.toml"));
+    let baseline = match Baseline::load(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("flow: bad baseline: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = match flow::run(&root, &baseline) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("flow: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for f in &outcome.findings {
+        println!("{f}");
+        println!("    {}", f.rule.explain());
+    }
+    for w in &outcome.unused_waivers {
+        println!("unused waiver: {w}");
+    }
+    println!(
+        "flow: {} file(s), {} fn(s), {} edge(s), {} entry fn(s), {} reachable, \
+         {} cone site(s), {} finding(s), {} waived, {} unused waiver(s)",
+        outcome.files_scanned,
+        outcome.stats.fns,
+        outcome.stats.edges,
+        outcome.stats.entry_fns,
+        outcome.stats.reachable_fns,
+        outcome.stats.cone_sites,
+        outcome.findings.len(),
+        outcome.waived.len(),
+        outcome.unused_waivers.len()
+    );
+    if outcome.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn cmd_audit() -> ExitCode {
-    let report = audit::run();
+    let report = audit::run(std::path::Path::new("."));
     for entry in &report.entries {
         if entry.violations.is_empty() {
             println!("audit: {:<28} ok", entry.subject);

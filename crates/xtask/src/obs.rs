@@ -34,7 +34,7 @@ const REQUIRED_COUNTERS: [&str; 5] = [
     "graph.search.queries",
     "graph.search.evals",
     "llm.mock.calls",
-    "llm.prompt_tokens",
+    "llm.mock.prompt_tokens",
     "core.session.turns",
 ];
 

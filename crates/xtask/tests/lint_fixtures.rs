@@ -27,6 +27,7 @@ fn findings_full(
         kernel,
         timing,
         visited,
+        arith: false,
         fail_fast_bin: false,
     };
     lint::lint_source(name, source, &flags)
@@ -116,6 +117,32 @@ fn visited_fixture_fires_only_with_visited_flag() {
         findings_full("fixture_visited.rs", src, false, false, false),
         vec![]
     );
+}
+
+#[test]
+fn flow_fixture_fires_each_arith_rule_at_pinned_lines() {
+    let src = include_str!("fixtures/fixture_flow.rs");
+    let flags = LintFlags {
+        kernel: false,
+        timing: false,
+        visited: false,
+        arith: true,
+        fail_fast_bin: false,
+    };
+    let hits: Vec<(usize, Rule)> = lint::lint_source("fixture_flow.rs", src, &flags)
+        .into_iter()
+        .map(|f| (f.line, f.rule))
+        .collect();
+    assert_eq!(
+        hits,
+        vec![
+            (7, Rule::NoIndexPanic),
+            (16, Rule::NoLossyCast),
+            (28, Rule::NoRawDiv),
+        ]
+    );
+    // With the arith flag off (non-serving crates) none of them fire.
+    assert_eq!(findings("fixture_flow.rs", src, false), vec![]);
 }
 
 #[test]
