@@ -26,6 +26,12 @@ cargo run -q --offline -p mqa-xtask -- obs --out results/obs
 echo "==> mqa-xtask engine (concurrency smoke)"
 cargo run -q --release --offline -p mqa-xtask -- engine --out results/engine
 
+echo "==> mqa-xtask trace (per-query tracing gate)"
+cargo run -q --release --offline -p mqa-xtask -- trace --out results/trace
+
+echo "==> introspection endpoint (feature build)"
+cargo build -q --offline -p mqa-obs --features serve --examples
+
 echo "==> cargo build --release"
 cargo build --release --offline --workspace
 

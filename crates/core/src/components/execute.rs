@@ -97,11 +97,13 @@ impl QueryExecutor {
             .map(|cache| (cache, self.turn_fingerprint(query, k, ef)));
         if let Some((cache, key)) = &keyed {
             if let Some(out) = cache.get(*key) {
+                mqa_obs::trace::note_cache(true);
                 return out;
             }
         }
         let out = self.search_uncached(query, k, ef);
         if let Some((cache, key)) = keyed {
+            mqa_obs::trace::note_cache(false);
             cache.insert(key, out.clone());
         }
         out
@@ -114,6 +116,7 @@ impl QueryExecutor {
                 // A refusal means shutdown is racing this turn; the turn
                 // still deserves an answer, so degrade to the serial path.
                 Err(EngineError::QueueFull | EngineError::ShuttingDown | EngineError::Canceled) => {
+                    mqa_obs::trace::note_serial_fallback();
                 }
             }
         }

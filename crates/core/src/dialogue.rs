@@ -166,6 +166,11 @@ impl<'a> DialogueSession<'a> {
     /// [`MqaError::NothingToSelect`] / [`MqaError::BadSelection`] for
     /// invalid clicks.
     pub fn ask(&mut self, turn: Turn) -> Result<Reply, MqaError> {
+        // The turn's trace is declared before the span so it drops last:
+        // the closing `core.turn` span records its stage into the trace
+        // before the handle finalizes. Turns that error out finalize as
+        // canceled (complete() is only reached on the success path).
+        let trace = mqa_obs::trace::begin("core.turn");
         let _turn_span = mqa_obs::span("core.turn");
         mqa_obs::counter("core.session.turns").inc();
         // 1. Resolve the clicks (positive select, negative reject).
@@ -275,6 +280,9 @@ impl<'a> DialogueSession<'a> {
                 distance: e.distance,
             })
             .collect();
+        if let Some(t) = &trace {
+            t.complete();
+        }
         Ok(Reply {
             results,
             message,

@@ -126,10 +126,45 @@ impl QueryEngine {
     ) -> (Ticket<RetrievalOutput>, pool::Job) {
         let (ticket, sender) = ticket::oneshot();
         let framework = Arc::clone(&self.framework);
+        // Inherit the caller's trace when one is active (the session path
+        // began it); otherwise mint a detached root so raw engine
+        // submissions still produce a complete trace. The context crosses
+        // the queue inside the job closure and is re-adopted on the worker.
+        let (ctx, owned) = match mqa_obs::trace::current() {
+            Some(ctx) => (Some(ctx), None),
+            None => {
+                let handle = mqa_obs::trace::begin_detached("engine.query");
+                (handle.as_ref().map(mqa_obs::TraceHandle::context), handle)
+            }
+        };
+        let queue_sw = mqa_obs::Stopwatch::start();
         let job: pool::Job = Box::new(move |scratch| {
-            let sw = mqa_obs::Stopwatch::start();
-            let out = framework.search_scratch(&query, k, ef, scratch);
-            mqa_obs::histogram("engine.query.latency_us").record(sw.elapsed_us());
+            let adopted = ctx.as_ref().map(mqa_obs::TraceContext::adopt);
+            let queue_us = queue_sw.elapsed_us();
+            mqa_obs::histogram("engine.query.queue_wait_us").record(queue_us);
+            mqa_obs::trace::note_queue_wait(queue_us);
+            let service_sw = mqa_obs::Stopwatch::start();
+            let out = {
+                let _service = match ctx.as_ref() {
+                    Some(c) => mqa_obs::span_under("engine.query.service", c.root()),
+                    None => mqa_obs::span("engine.query.service"),
+                };
+                framework.search_scratch(&query, k, ef, scratch)
+            };
+            let service_us = service_sw.elapsed_us();
+            mqa_obs::trace::note_service(service_us);
+            mqa_obs::trace::note_engine_total(queue_sw.elapsed_us());
+            let latency = mqa_obs::histogram("engine.query.latency_us");
+            match ctx.as_ref() {
+                Some(c) => latency.record_with_exemplar(service_us, c.id()),
+                None => latency.record(service_us),
+            }
+            drop(adopted);
+            // Detached traces finalize before the ticket resolves, so a
+            // caller that observed `wait()` can already read the trace.
+            if let Some(handle) = owned {
+                handle.finish();
+            }
             sender.send(out);
         });
         (ticket, job)

@@ -33,6 +33,7 @@ impl WorkerPool {
             .map(|i| {
                 let queue = Arc::clone(&queue);
                 std::thread::spawn(move || {
+                    mqa_obs::trace::set_worker_id(u64::try_from(i).unwrap_or(u64::MAX));
                     let jobs = mqa_obs::counter(&format!("engine.worker.{i}.jobs"));
                     let depth = mqa_obs::gauge("engine.pool.queue_depth");
                     let mut scratch = SearchScratch::new();
@@ -42,13 +43,17 @@ impl WorkerPool {
                         // the unwind drops the job's [`TicketSender`]
                         // (resolving its ticket as Canceled) and this
                         // thread moves on to the backlog. The scratch is
-                        // rebuilt — the panic may have left it mid-epoch.
+                        // rebuilt — the panic may have left it mid-epoch —
+                        // and so is the span stack: guards leaked by the
+                        // unwind would otherwise pin a stale parent onto
+                        // the next job's spans.
                         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                             job(&mut scratch)
                         }));
                         if caught.is_err() {
                             mqa_obs::counter("engine.worker.job_panics").inc();
                             scratch = SearchScratch::new();
+                            mqa_obs::span::reset_thread_stack();
                         }
                         jobs.inc();
                     }

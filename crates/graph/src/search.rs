@@ -71,6 +71,14 @@ impl SearchStats {
             .record(elapsed_us);
         reg.histogram(&format!("graph.{algo}.evals"))
             .record(self.total_distance_work());
+        // Attribute the same work to the active query trace, if any.
+        mqa_obs::trace::add_search_work(
+            self.hops,
+            self.evals,
+            self.pruned,
+            self.pages_read,
+            self.pages_cached,
+        );
     }
 }
 

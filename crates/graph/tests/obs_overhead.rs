@@ -25,14 +25,9 @@ fn per_op_ns<F: FnMut()>(iters: u64, trials: usize, mut f: F) -> f64 {
     best
 }
 
-#[test]
-fn metric_recording_overhead_below_five_percent_of_flat_search() {
-    assert!(
-        !mqa_obs::journal::global().is_enabled(),
-        "overhead is specified with the journal disabled"
-    );
+const DIM: usize = 64;
 
-    const DIM: usize = 64;
+fn flat_index() -> (VectorIndex, Vec<f32>) {
     let mut rng = StdRng::seed_from_u64(11);
     let mut store = VectorStore::with_capacity(DIM, 2_000);
     for _ in 0..2_000 {
@@ -41,25 +36,68 @@ fn metric_recording_overhead_below_five_percent_of_flat_search() {
     }
     let idx = VectorIndex::build(store, Metric::L2, &IndexAlgorithm::Flat);
     let q: Vec<f32> = (0..DIM).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    (idx, q)
+}
+
+const STATS: SearchStats = SearchStats {
+    hops: 3,
+    evals: 2_000,
+    pruned: 10,
+    pages_read: 0,
+    pages_cached: 0,
+};
+
+#[test]
+fn metric_recording_overhead_below_five_percent_of_flat_search() {
+    assert!(
+        !mqa_obs::journal::global().is_enabled(),
+        "overhead is specified with the journal disabled"
+    );
+
+    let (idx, q) = flat_index();
 
     // The full search path (which already includes one recording bundle
     // per call) versus the bundle alone.
     let search_ns = per_op_ns(50, 5, || {
         black_box(idx.search(black_box(&q), 10, 64).results.len());
     });
-    let stats = SearchStats {
-        hops: 3,
-        evals: 2_000,
-        pruned: 10,
-        pages_read: 0,
-        pages_cached: 0,
-    };
     let record_ns = per_op_ns(10_000, 5, || {
-        stats.record(black_box("overhead-test"), black_box(123));
+        STATS.record(black_box("overhead-test"), black_box(123));
     });
 
     assert!(
         record_ns < search_ns * 0.05,
         "recording bundle {record_ns:.0} ns/op is not <5% of flat search {search_ns:.0} ns/op"
+    );
+}
+
+/// Same pin with per-query tracing live: the collector is enabled and a
+/// trace is adopted on the measuring thread, so every `record` call also
+/// folds its counters into the active trace. That extra path (one
+/// thread-local read + one uncontended mutex) must stay under the same
+/// 5% budget — tracing is meant to be cheap enough to leave on.
+#[test]
+fn tracing_overhead_below_five_percent_of_flat_search() {
+    mqa_obs::trace::configure(mqa_obs::TraceConfig::default());
+    mqa_obs::trace::enable();
+    let handle =
+        mqa_obs::trace::begin_detached("graph.overhead.query").expect("tracing was just enabled");
+    let ctx = handle.context();
+    let adopted = ctx.adopt();
+
+    let (idx, q) = flat_index();
+    let search_ns = per_op_ns(50, 5, || {
+        black_box(idx.search(black_box(&q), 10, 64).results.len());
+    });
+    let record_ns = per_op_ns(10_000, 5, || {
+        STATS.record(black_box("overhead-test"), black_box(123));
+    });
+
+    drop(adopted);
+    handle.finish();
+
+    assert!(
+        record_ns < search_ns * 0.05,
+        "traced recording bundle {record_ns:.0} ns/op is not <5% of flat search {search_ns:.0} ns/op"
     );
 }

@@ -128,7 +128,9 @@ impl LanguageModel for MockChatModel {
                 attrs[2]
             ));
         }
-        mqa_obs::counter("llm.mock.completion_tokens").add(text.split_whitespace().count() as u64);
+        let completion_tokens = text.split_whitespace().count() as u64;
+        mqa_obs::counter("llm.mock.completion_tokens").add(completion_tokens);
+        mqa_obs::trace::add_tokens(prompt.token_count() as u64, completion_tokens);
         Completion {
             grounded: prompt.is_grounded(),
             tokens: prompt.token_count() + text.split_whitespace().count(),

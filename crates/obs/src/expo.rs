@@ -1,0 +1,367 @@
+//! Prometheus/OpenMetrics text exposition of a metrics [`Snapshot`].
+//!
+//! [`render`] turns a snapshot into the text format served on `/metrics`:
+//! counters (`_total` suffix), gauges, histograms (cumulative `le`
+//! buckets, `_sum`/`_count`, with OpenMetrics *exemplars* linking buckets
+//! to trace ids), and span aggregates as summaries (quantile series).
+//! Metric names are `mqa_` + the dotted instrument name with separators
+//! mapped to `_`, so `engine.query.latency_us` becomes
+//! `mqa_engine_query_latency_us`.
+//!
+//! [`parse`] is a validating parser for the same dialect. It exists so
+//! the `mqa-xtask trace` gate (and unit tests here) can assert the
+//! endpoint's output *parses* as well-formed exposition text — family
+//! declarations, name charset, label syntax, cumulative bucket counts,
+//! exemplar shape, and the trailing `# EOF` — without a Prometheus
+//! binary in the build.
+
+use crate::metrics::Snapshot;
+use std::collections::BTreeMap;
+
+/// Maps a dotted instrument name onto the Prometheus charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`), prefixed with `mqa_`.
+pub fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("mqa_");
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn push_family(out: &mut String, name: &str, kind: &str) {
+    out.push_str("# TYPE ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Renders `snapshot` as Prometheus/OpenMetrics text exposition,
+/// terminated with `# EOF`.
+pub fn render(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for c in &snapshot.counters {
+        let name = sanitize(&c.name) + "_total";
+        push_family(&mut out, &name, "counter");
+        out.push_str(&format!("{name} {}\n", c.value));
+    }
+    for g in &snapshot.gauges {
+        let name = sanitize(&g.name);
+        push_family(&mut out, &name, "gauge");
+        out.push_str(&format!("{name} {}\n", fmt_f64(g.value)));
+    }
+    for h in &snapshot.histograms {
+        let name = sanitize(&h.name);
+        push_family(&mut out, &name, "histogram");
+        for b in &h.buckets {
+            let line = format!("{name}_bucket{{le=\"{}\"}} {}", b.le, b.count);
+            out.push_str(&line);
+            if b.exemplar != 0 {
+                // OpenMetrics exemplar: `# {labels} value`. The bucket
+                // upper edge stands in for the unrecorded raw sample.
+                out.push_str(&format!(" # {{trace_id=\"{}\"}} {}", b.exemplar, b.le));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+        out.push_str(&format!("{name}_sum {}\n", h.sum));
+        out.push_str(&format!("{name}_count {}\n", h.count));
+    }
+    for s in &snapshot.spans {
+        let name = sanitize(&format!("span.{}.us", s.name));
+        push_family(&mut out, &name, "summary");
+        out.push_str(&format!("{name}{{quantile=\"0.5\"}} {}\n", s.p50_us));
+        out.push_str(&format!("{name}{{quantile=\"0.99\"}} {}\n", s.p99_us));
+        out.push_str(&format!("{name}_sum {}\n", s.total_us));
+        out.push_str(&format!("{name}_count {}\n", s.count));
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+/// What [`parse`] saw, for gate assertions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpoStats {
+    /// `# TYPE` family declarations.
+    pub families: usize,
+    /// Sample lines.
+    pub samples: usize,
+    /// Samples carrying an OpenMetrics exemplar.
+    pub exemplars: usize,
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    (first.is_ascii_alphabetic() || first == '_' || first == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Splits `name{labels}` into the name and the raw label body (no braces),
+/// validating label syntax (`key="value"` pairs, comma-separated).
+fn split_labels(sample: &str) -> Result<(String, Vec<(String, String)>), String> {
+    let Some(open) = sample.find('{') else {
+        return Ok((sample.to_string(), Vec::new()));
+    };
+    let name = sample.get(..open).unwrap_or_default().to_string();
+    let rest = sample.get(open + 1..).unwrap_or_default();
+    let Some(body) = rest.strip_suffix('}') else {
+        return Err(format!("unclosed label braces in `{sample}`"));
+    };
+    let mut labels = Vec::new();
+    for pair in body.split(',') {
+        if pair.is_empty() {
+            continue;
+        }
+        let Some((key, value)) = pair.split_once('=') else {
+            return Err(format!("label pair `{pair}` has no `=`"));
+        };
+        let value = value
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| format!("label value in `{pair}` is not quoted"))?;
+        if !valid_metric_name(key) {
+            return Err(format!("bad label name `{key}`"));
+        }
+        labels.push((key.to_string(), value.to_string()));
+    }
+    Ok((name, labels))
+}
+
+fn parse_value(text: &str) -> Result<f64, String> {
+    if text == "+Inf" {
+        return Ok(f64::INFINITY);
+    }
+    text.parse::<f64>()
+        .map_err(|e| format!("bad sample value `{text}`: {e}"))
+}
+
+/// Validates Prometheus/OpenMetrics text exposition as produced by
+/// [`render`].
+///
+/// # Errors
+/// Returns a description of the first malformed line, undeclared family,
+/// non-cumulative histogram, or missing `# EOF` terminator.
+pub fn parse(text: &str) -> Result<ExpoStats, String> {
+    let mut stats = ExpoStats {
+        families: 0,
+        samples: 0,
+        exemplars: 0,
+    };
+    let mut declared: BTreeMap<String, String> = BTreeMap::new();
+    // Histogram bookkeeping: family -> (last le, last cumulative count).
+    let mut last_bucket: BTreeMap<String, (f64, f64)> = BTreeMap::new();
+    let mut counts: BTreeMap<String, f64> = BTreeMap::new();
+    let mut inf_bucket: BTreeMap<String, f64> = BTreeMap::new();
+    let mut saw_eof = false;
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if saw_eof && !line.trim().is_empty() {
+            return Err(format!("line {n}: content after # EOF"));
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if comment == "EOF" {
+                saw_eof = true;
+            } else if let Some(decl) = comment.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let name = parts.next().unwrap_or_default();
+                let kind = parts.next().unwrap_or_default();
+                if !valid_metric_name(name) {
+                    return Err(format!("line {n}: bad family name `{name}`"));
+                }
+                if !matches!(kind, "counter" | "gauge" | "histogram" | "summary") {
+                    return Err(format!("line {n}: unknown family kind `{kind}`"));
+                }
+                declared.insert(name.to_string(), kind.to_string());
+            } else if comment.strip_prefix("HELP ").is_none() {
+                return Err(format!("line {n}: unrecognized comment `{line}`"));
+            }
+            continue;
+        }
+        // Sample line: `name[{labels}] value[ # {exemplar-labels} value]`.
+        let (sample_part, exemplar_part) = match line.split_once(" # ") {
+            Some((s, e)) => (s, Some(e)),
+            None => (line, None),
+        };
+        let Some((series, value_text)) = sample_part.rsplit_once(' ') else {
+            return Err(format!("line {n}: sample has no value"));
+        };
+        let value = parse_value(value_text).map_err(|e| format!("line {n}: {e}"))?;
+        let (name, labels) = split_labels(series).map_err(|e| format!("line {n}: {e}"))?;
+        if !valid_metric_name(&name) {
+            return Err(format!("line {n}: bad metric name `{name}`"));
+        }
+        let family = ["_bucket", "_sum", "_count", "_total"]
+            .iter()
+            .find_map(|suffix| name.strip_suffix(suffix))
+            .filter(|base| declared.contains_key(*base))
+            .map_or_else(|| name.clone(), str::to_string);
+        if !declared.contains_key(&family) {
+            return Err(format!(
+                "line {n}: sample `{name}` has no # TYPE declaration"
+            ));
+        }
+        if let Some(ex) = exemplar_part {
+            if !name.ends_with("_bucket") {
+                return Err(format!("line {n}: exemplar on non-bucket series `{name}`"));
+            }
+            let Some((ex_labels, ex_value)) = ex.rsplit_once(' ') else {
+                return Err(format!("line {n}: exemplar has no value"));
+            };
+            let trimmed = ex_labels.trim();
+            let inner = trimmed
+                .strip_prefix('{')
+                .and_then(|v| v.strip_suffix('}'))
+                .ok_or_else(|| format!("line {n}: exemplar labels not braced"))?;
+            if !inner.contains('=') {
+                return Err(format!("line {n}: exemplar labels have no pair"));
+            }
+            parse_value(ex_value).map_err(|e| format!("line {n}: exemplar {e}"))?;
+            stats.exemplars += 1;
+        }
+        if name.ends_with("_bucket") {
+            let le_text = labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| format!("line {n}: bucket sample without le label"))?;
+            let le = parse_value(&le_text).map_err(|e| format!("line {n}: {e}"))?;
+            if le.is_infinite() {
+                inf_bucket.insert(family.clone(), value);
+            }
+            if let Some((prev_le, prev_count)) = last_bucket.get(&family) {
+                if le <= *prev_le {
+                    return Err(format!("line {n}: bucket le not increasing in `{family}`"));
+                }
+                if value < *prev_count {
+                    return Err(format!(
+                        "line {n}: bucket counts not cumulative in `{family}`"
+                    ));
+                }
+            }
+            last_bucket.insert(family.clone(), (le, value));
+        } else if name.ends_with("_count")
+            && declared.get(&family).is_some_and(|k| k == "histogram")
+        {
+            counts.insert(family.clone(), value);
+        }
+        stats.samples += 1;
+    }
+    if !saw_eof {
+        return Err("missing # EOF terminator".to_string());
+    }
+    for (family, kind) in &declared {
+        if kind != "histogram" {
+            continue;
+        }
+        match (inf_bucket.get(family), counts.get(family)) {
+            (Some(inf), Some(count)) if (inf - count).abs() < 0.5 => {}
+            (Some(_), Some(_)) => {
+                return Err(format!("histogram `{family}`: +Inf bucket != _count"));
+            }
+            _ => {
+                return Err(format!(
+                    "histogram `{family}` missing +Inf bucket or _count"
+                ));
+            }
+        }
+    }
+    stats.families = declared.len();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn sanitize_maps_dots_to_underscores() {
+        assert_eq!(
+            sanitize("engine.query.latency_us"),
+            "mqa_engine_query_latency_us"
+        );
+        assert_eq!(sanitize("a-b.c"), "mqa_a_b_c");
+    }
+
+    #[test]
+    fn rendered_registry_parses_clean() {
+        let r = Registry::new();
+        r.counter("t.expo.calls").add(3);
+        r.gauge("t.expo.depth").set(1.5);
+        let h = r.histogram("t.expo.latency_us");
+        h.record_with_exemplar(100, 41);
+        h.record_with_exemplar(9000, 42);
+        h.record(7);
+        r.record_span("t.expo.turn", None, 250);
+        let text = render(&r.snapshot());
+        let stats = parse(&text).expect("rendered exposition must parse");
+        assert!(stats.families >= 4, "counter+gauge+histogram+summary");
+        assert_eq!(stats.exemplars, 2, "both traced buckets carry exemplars");
+        assert!(text.contains("mqa_t_expo_calls_total 3"));
+        assert!(text.contains("le=\"+Inf\"} 3"));
+        assert!(text.contains("trace_id=\"42\""));
+        assert!(text.contains("mqa_span_t_expo_turn_us{quantile=\"0.5\"}"));
+        assert!(text.ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_exposition() {
+        assert!(parse("no eof at all\n").is_err());
+        assert!(parse("# EOF\nx 1\n").is_err(), "content after EOF");
+        assert!(
+            parse("orphan_metric 1\n# EOF\n").is_err(),
+            "sample without TYPE"
+        );
+        assert!(
+            parse("# TYPE m histogram\nm_bucket{le=\"10\"} 5\nm_bucket{le=\"5\"} 6\n# EOF\n")
+                .is_err(),
+            "non-increasing le"
+        );
+        assert!(
+            parse("# TYPE m histogram\nm_bucket{le=\"5\"} 5\nm_bucket{le=\"10\"} 3\n# EOF\n")
+                .is_err(),
+            "non-cumulative counts"
+        );
+        assert!(
+            parse("# TYPE m histogram\nm_bucket{le=\"+Inf\"} 2\nm_count 3\nm_sum 1\n# EOF\n")
+                .is_err(),
+            "+Inf != count"
+        );
+        assert!(
+            parse("# TYPE m counter\nm_total 1 # bad exemplar 2\n# EOF\n").is_err(),
+            "exemplar on non-bucket"
+        );
+        assert!(
+            parse("# TYPE 9bad counter\n# EOF\n").is_err(),
+            "bad family name"
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_is_still_valid_exposition() {
+        let r = Registry::new();
+        let text = render(&r.snapshot());
+        let stats = parse(&text).expect("empty exposition parses");
+        assert_eq!(stats.samples, 0);
+    }
+}

@@ -14,6 +14,13 @@
 //!    open/close records to the journal.
 //! 3. **Journal** ([`journal`]): a bounded in-memory JSONL event log with
 //!    monotonic microsecond timestamps, flushed to `results/obs/*.jsonl`.
+//! 4. **Traces** ([`trace`]): per-query causal chains carried across the
+//!    engine's thread boundary, tail-sampled into a bounded collector
+//!    (slowest-N plus a deterministic 1-in-K sample). Histogram buckets
+//!    carry *exemplar* trace ids linking aggregates back to traces.
+//! 5. **Exposition** ([`expo`], and the feature-gated [`serve`] endpoint):
+//!    Prometheus/OpenMetrics text rendering of a snapshot, with a
+//!    validating parser used by tests and the `mqa-xtask trace` gate.
 //!
 //! Metric names follow `<crate>.<component>.<metric>` (see DESIGN.md §9).
 //! The [`report`] module renders a registry snapshot as a human-readable
@@ -26,17 +33,22 @@
 //! assert!(snap.counters.iter().any(|c| c.name == "doc.example.calls"));
 //! ```
 
+pub mod expo;
 pub mod journal;
 pub mod metrics;
 pub mod report;
+#[cfg(feature = "serve")]
+pub mod serve;
 pub mod span;
+pub mod trace;
 
 pub use journal::Journal;
 pub use metrics::{
-    global, Counter, CounterSnapshot, Gauge, GaugeSnapshot, Histogram, HistogramSnapshot, Registry,
-    Snapshot, SpanSnapshot,
+    global, Counter, CounterSnapshot, Gauge, GaugeSnapshot, Histogram, HistogramBucket,
+    HistogramSnapshot, Registry, Snapshot, SpanSnapshot,
 };
 pub use span::{span, span_under, SpanGuard, Stopwatch};
+pub use trace::{QueryTrace, StageRecord, TraceConfig, TraceContext, TraceHandle};
 
 /// Shorthand for [`Registry::counter`] on the global registry.
 pub fn counter(name: &str) -> Counter {

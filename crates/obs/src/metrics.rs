@@ -68,6 +68,10 @@ impl Gauge {
 /// `v` therefore satisfies `v <= e < 2v`.
 pub struct Histogram {
     counts: [AtomicU64; BUCKETS],
+    /// Per-bucket exemplar: the trace id of the last traced sample that
+    /// landed in the bucket (0 = no traced sample yet). Links aggregate
+    /// tail buckets back to full `trace::QueryTrace` records.
+    exemplars: [AtomicU64; BUCKETS],
     total: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
@@ -84,6 +88,7 @@ impl Histogram {
     pub fn new() -> Self {
         Self {
             counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            exemplars: std::array::from_fn(|_| AtomicU64::new(0)),
             total: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
@@ -118,6 +123,24 @@ impl Histogram {
         self.total.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records one sample attributed to a trace: like
+    /// [`Histogram::record`], but also stamps `trace_id` as the covering
+    /// bucket's exemplar (last writer wins; `trace_id` 0 means untraced
+    /// and leaves the exemplar untouched).
+    pub fn record_with_exemplar(&self, v: u64, trace_id: u64) {
+        self.record(v);
+        if trace_id != 0 {
+            // INVARIANT: bucket_index clamps with .min(BUCKETS - 1), so
+            // the index is always within `exemplars`.
+            self.exemplars[Self::bucket_index(v)].store(trace_id, Ordering::Relaxed);
+        }
+    }
+
+    /// The exemplar trace id of bucket `i` (0 = none), if `i` is in range.
+    pub fn exemplar(&self, i: usize) -> Option<u64> {
+        self.exemplars.get(i).map(|e| e.load(Ordering::Relaxed))
     }
 
     /// The number of recorded samples.
@@ -156,8 +179,23 @@ impl Histogram {
         self.max()
     }
 
-    /// Snapshot of the derived statistics.
+    /// Snapshot of the derived statistics, including the non-empty
+    /// buckets (cumulative counts) and their exemplars.
     pub fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.counts.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
+            }
+            cumulative += n;
+            buckets.push(HistogramBucket {
+                le: Self::bucket_upper(i),
+                count: cumulative,
+                exemplar: self.exemplar(i).unwrap_or(0),
+            });
+        }
         HistogramSnapshot {
             name: name.to_string(),
             count: self.count(),
@@ -166,6 +204,7 @@ impl Histogram {
             p90: self.quantile(0.90),
             p99: self.quantile(0.99),
             max: self.max(),
+            buckets,
         }
     }
 }
@@ -328,6 +367,19 @@ pub struct HistogramSnapshot {
     pub p99: u64,
     /// Largest sample.
     pub max: u64,
+    /// Non-empty buckets with cumulative counts and exemplar trace ids.
+    pub buckets: Vec<HistogramBucket>,
+}
+
+/// One non-empty bucket in a [`HistogramSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramBucket {
+    /// Largest value the bucket covers (Prometheus `le`).
+    pub le: u64,
+    /// Cumulative sample count up to and including this bucket.
+    pub count: u64,
+    /// Trace id of the last traced sample in the bucket (0 = none).
+    pub exemplar: u64,
 }
 
 /// One span aggregate in a [`Snapshot`].
@@ -433,6 +485,30 @@ mod tests {
             assert!(est < truth * 2, "q={q}: est {est} >= 2x truth {truth}");
         }
         assert_eq!(h.quantile(1.0), *samples.last().expect("nonempty"));
+    }
+
+    #[test]
+    fn exemplars_stamp_the_covering_bucket() {
+        let h = Histogram::new();
+        h.record_with_exemplar(100, 41); // bucket 7 ([64, 127])
+        h.record_with_exemplar(100, 42); // same bucket: last writer wins
+        h.record_with_exemplar(5000, 0); // untraced: no exemplar
+        h.record(70); // plain record never touches exemplars
+        assert_eq!(h.exemplar(Histogram::bucket_index(100)), Some(42));
+        assert_eq!(h.exemplar(Histogram::bucket_index(5000)), Some(0));
+        assert_eq!(h.exemplar(BUCKETS + 5), None, "out of range");
+        let snap = h.snapshot("t.exemplar.lat");
+        assert_eq!(snap.count, 4);
+        let b100 = snap
+            .buckets
+            .iter()
+            .find(|b| b.le == 127)
+            .expect("bucket [64,127] present");
+        assert_eq!(b100.exemplar, 42);
+        assert_eq!(b100.count, 3, "cumulative count includes 70 and 100s");
+        let last = snap.buckets.last().expect("nonempty");
+        assert_eq!(last.count, 4, "last cumulative count = total");
+        assert!(snap.buckets.windows(2).all(|w| w[0].le < w[1].le));
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! measured timings.
 
 use crate::metrics::{Snapshot, SpanSnapshot};
+use crate::trace::QueryTrace;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -95,6 +96,72 @@ fn render_span_tree(
             render_span_tree(out, kid, by_name, children, depth + 1);
         }
     }
+}
+
+/// Renders the slow-query log: one block per retained trace, slowest
+/// first, with tail-latency attribution (queue wait vs service vs total),
+/// the worker that served it, search work, cache outcome, token counts,
+/// and the top stages by duration.
+pub fn render_slow_queries(traces: &[QueryTrace]) -> String {
+    let mut out = String::new();
+    out.push_str("\u{2500}\u{2500} Slow Query Log \u{2500}\u{2500}\u{2500}\u{2500}\u{2500}\u{2500}\u{2500}\u{2500}\u{2500}\u{2500}\u{2500}\u{2500}\u{2500}\u{2500}\u{2500}\u{2500}\u{2500}\u{2500}\u{2500}\u{2500}\u{2500}\u{2500}\u{2500}\u{2500}\u{2500}\u{2500}\u{2500}\u{2500}\n");
+    if traces.is_empty() {
+        out.push_str("  (no traces retained)\n");
+        return out;
+    }
+    let mut sorted: Vec<&QueryTrace> = traces.iter().collect();
+    sorted.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.seq.cmp(&b.seq)));
+    for t in sorted {
+        let worker = t
+            .worker
+            .map_or_else(|| "caller thread".to_string(), |w| format!("worker {w}"));
+        let cache = match t.cache_hit {
+            Some(true) => "hit",
+            Some(false) => "miss",
+            None => "n/a",
+        };
+        let _ = writeln!(
+            out,
+            "trace {} [{}] {} \u{2014} total {} (queue {} + service {}), {}, cache {}",
+            t.trace_id,
+            t.outcome,
+            t.root,
+            fmt_us(t.total_us),
+            fmt_us(t.queue_wait_us),
+            fmt_us(t.service_us),
+            worker,
+            cache,
+        );
+        let _ = writeln!(
+            out,
+            "  work: {} hops, {} evals, {} pages read ({} cached); tokens {}+{}{}{}",
+            t.hops,
+            t.evals,
+            t.pages_read,
+            t.pages_cached,
+            t.prompt_tokens,
+            t.completion_tokens,
+            if t.framework.is_empty() {
+                String::new()
+            } else {
+                format!("; framework {}", t.framework)
+            },
+            if t.serial_fallback {
+                "; serial fallback"
+            } else {
+                ""
+            },
+        );
+        let mut stages: Vec<_> = t.stages.iter().collect();
+        stages.sort_by(|a, b| b.dur_us.cmp(&a.dur_us));
+        for stage in stages.iter().take(5) {
+            let _ = writeln!(out, "    {:<36} {}", stage.name, fmt_us(stage.dur_us));
+        }
+        if t.stages.len() > 5 {
+            let _ = writeln!(out, "    \u{2026} {} more stage(s)", t.stages.len() - 5);
+        }
+    }
+    out
 }
 
 /// Renders the full report: milestones, span tree, counters, gauges,

@@ -18,6 +18,12 @@ use std::time::{Duration, Instant};
 
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
 
+/// Allocates the next id from the span id space (shared with trace ids,
+/// so a trace id never collides with a span id).
+pub(crate) fn next_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
 thread_local! {
     /// Open spans on this thread, innermost last: `(id, name)`.
     static STACK: RefCell<Vec<(u64, String)>> = const { RefCell::new(Vec::new()) };
@@ -49,7 +55,7 @@ pub fn span_under(name: impl Into<String>, parent: &str) -> SpanGuard {
 }
 
 fn open(name: String, explicit_parent: Option<String>) -> SpanGuard {
-    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let id = next_id();
     let (stack_parent, parent_id, depth) = STACK.with(|s| {
         let mut s = s.borrow_mut();
         let top = s.last().map(|(pid, pname)| (pname.clone(), *pid));
@@ -103,6 +109,7 @@ impl SpanGuard {
         });
         let us = u64::try_from(dur.as_micros()).unwrap_or(u64::MAX);
         global().record_span(&self.name, self.parent.as_deref(), us);
+        crate::trace::record_stage(&self.name, self.parent.as_deref(), us);
         journal::span_close(self.id, &self.name, us);
         dur
     }
@@ -114,6 +121,29 @@ impl Drop for SpanGuard {
             let _ = self.close();
         }
     }
+}
+
+/// Clears this thread's open-span stack, returning how many entries were
+/// discarded.
+///
+/// Guards normally pop themselves even during unwinding, but a worker
+/// that catches a job's panic (`catch_unwind`) can be left with stale
+/// entries when the job leaked a guard (e.g. `mem::forget`) or panicked
+/// between the stack push and guard construction. Those stale entries
+/// would silently become the *parent* of every span the next job opens on
+/// the same thread — call this after catching a job panic, alongside the
+/// scratch rebuild.
+pub fn reset_thread_stack() -> usize {
+    let discarded = STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        let n = s.len();
+        s.clear();
+        n
+    });
+    if discarded > 0 {
+        crate::counter("obs.span.stack_resets").inc();
+    }
+    discarded
 }
 
 /// A minimal monotonic timer for call sites that want a raw duration to
@@ -198,6 +228,23 @@ mod tests {
         let snap = global().snapshot();
         let worker = snap.span("test.span.worker").expect("worker recorded");
         assert_eq!(worker.parent, "test.span.coordinator");
+    }
+
+    #[test]
+    fn reset_thread_stack_clears_leaked_parent_linkage() {
+        // Simulate a job that leaked a guard mid-panic: the entry stays on
+        // the stack because Drop never ran.
+        std::mem::forget(span("test.span.leaked"));
+        assert_eq!(depth(), 1);
+        assert_eq!(reset_thread_stack(), 1);
+        assert_eq!(depth(), 0);
+        // The next span on this thread must be a root, not a child of the
+        // leaked entry.
+        drop(span("test.span.after_reset"));
+        let snap = global().snapshot();
+        let after = snap.span("test.span.after_reset").expect("recorded");
+        assert_eq!(after.parent, "", "stale parent survived the reset");
+        assert_eq!(reset_thread_stack(), 0, "idempotent on an empty stack");
     }
 
     #[test]

@@ -129,6 +129,7 @@ impl RetrievalFramework for JeFramework {
     fn search(&self, query: &MultiModalQuery, k: usize, ef: usize) -> RetrievalOutput {
         assert!(query.has_content(), "empty query");
         assert!(k > 0, "k must be >= 1");
+        mqa_obs::trace::note_framework("je");
         let outer = mqa_obs::span("retrieval.je.search");
         // Note: query.weight_override is deliberately ignored — joint
         // embedding has no per-modality weighting hook.

@@ -58,6 +58,7 @@ impl RetrievalFramework for MrFramework {
     fn search(&self, query: &MultiModalQuery, k: usize, ef: usize) -> RetrievalOutput {
         assert!(query.has_content(), "empty query");
         assert!(k > 0, "k must be >= 1");
+        mqa_obs::trace::note_framework("mr");
         let outer = mqa_obs::span("retrieval.mr.search");
         let qv = {
             let _stage = mqa_obs::span("retrieval.mr.encode");

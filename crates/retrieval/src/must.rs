@@ -83,6 +83,7 @@ impl RetrievalFramework for MustFramework {
     ) -> RetrievalOutput {
         assert!(query.has_content(), "empty query");
         assert!(k > 0, "k must be >= 1");
+        mqa_obs::trace::note_framework("must");
         let outer = mqa_obs::span("retrieval.must.search");
         let qv = {
             let _stage = mqa_obs::span("retrieval.must.encode");

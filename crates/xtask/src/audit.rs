@@ -185,11 +185,13 @@ pub fn audit_instruments(repo_root: &Path) -> Vec<String> {
                                     || n.starts_with(".add(")
                                     || n.starts_with(".set(")
                                     || n.starts_with(".record(")
+                                    || n.starts_with(".record_with_exemplar(")
                             });
                         rest.starts_with("\").inc(")
                             || rest.starts_with("\").add(")
                             || rest.starts_with("\").set(")
                             || rest.starts_with("\").record(")
+                            || rest.starts_with("\").record_with_exemplar(")
                             || next_mutates
                             || prefix.ends_with([':', '='])
                     };
@@ -230,6 +232,127 @@ pub fn audit_instruments(repo_root: &Path) -> Vec<String> {
     violations
 }
 
+/// Whether the span-site match at `pos` starts on a word boundary —
+/// rejects `record_span("…")` registrations and `snap.span("…")` snapshot
+/// reads, neither of which emits a stage.
+fn span_site_boundary(line: &str, pos: usize) -> bool {
+    line[..pos]
+        .chars()
+        .next_back()
+        .map_or(true, |c| !c.is_ascii_alphanumeric() && c != '_' && c != '.')
+}
+
+/// Statically audits every literal span name in the workspace sources.
+///
+/// Two checks:
+/// * **naming** — span names follow `<crate>.<component>[.<detail>]`: at
+///   least two non-empty dot-separated segments of `[a-z0-9_-]`;
+/// * **dead stages** — every witness span the milestone tables reference
+///   ([`mqa_obs::trace::QUERY_MILESTONES`] and
+///   [`mqa_obs::report::MILESTONE_SPANS`]) must be emitted by at least one
+///   `span(…)`/`span_under(…)` site, either as a literal or under a
+///   `format!` prefix (`dag.task.{name}`). A table entry nobody emits
+///   renders a milestone `(not measured)` forever.
+pub fn audit_stages(repo_root: &Path) -> Vec<String> {
+    let quote = "(\"";
+    let literal_needles: Vec<String> = ["span_under", "span"]
+        .iter()
+        .map(|kind| format!("{kind}{quote}"))
+        .collect();
+    let format_needles: Vec<String> = ["span_under", "span"]
+        .iter()
+        .map(|kind| format!("{kind}(format!{quote}"))
+        .collect();
+    let mut files = Vec::new();
+    let _ = crate::lint::collect_rs_files(&repo_root.join("crates"), &mut files);
+
+    let mut literals: BTreeMap<String, String> = BTreeMap::new();
+    let mut prefixes: Vec<String> = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(repo_root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if rel.ends_with("xtask/src/audit.rs") {
+            continue;
+        }
+        let Ok(source) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let mask = crate::lint::test_mask(&crate::lint::strip(&source));
+        for (idx, line) in source.lines().enumerate() {
+            if mask.get(idx).copied().unwrap_or(false) || line.trim_start().starts_with("//") {
+                continue;
+            }
+            // `span(` is a substring of `span_under(`; scanning the
+            // longer needle first and consuming the match keeps the two
+            // from double-counting one site.
+            let mut consumed: Vec<(usize, usize)> = Vec::new();
+            for needle in format_needles.iter().chain(literal_needles.iter()) {
+                let formatted = needle.contains("format!");
+                let mut from = 0usize;
+                while let Some(pos) = line[from..].find(needle.as_str()) {
+                    let at = from + pos;
+                    let name_start = at + needle.len();
+                    from = name_start;
+                    if consumed.iter().any(|&(s, e)| at >= s && at < e)
+                        || !span_site_boundary(line, at)
+                    {
+                        continue;
+                    }
+                    let Some(name_len) = line[name_start..].find('"') else {
+                        break;
+                    };
+                    consumed.push((at, name_start + name_len));
+                    let name = &line[name_start..name_start + name_len];
+                    if formatted {
+                        let prefix = name.split('{').next().unwrap_or(name);
+                        prefixes.push(prefix.to_string());
+                    } else {
+                        literals.entry(name.to_string()).or_insert(rel.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    let mut violations = Vec::new();
+    for (name, file) in &literals {
+        let segments: Vec<&str> = name.split('.').collect();
+        let well_formed = segments.len() >= 2
+            && segments.iter().all(|s| {
+                !s.is_empty()
+                    && s.chars()
+                        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "_-".contains(c))
+            });
+        if !well_formed {
+            violations.push(format!(
+                "stage `{name}` ({file}) violates <crate>.<component> span naming"
+            ));
+        }
+    }
+    let tables: [(&str, &[(&str, &[&str])]); 2] = [
+        ("trace::QUERY_MILESTONES", &mqa_obs::trace::QUERY_MILESTONES),
+        ("report::MILESTONE_SPANS", &mqa_obs::report::MILESTONE_SPANS),
+    ];
+    for (table, milestones) in tables {
+        for (milestone, witnesses) in milestones.iter() {
+            for w in witnesses.iter() {
+                let live =
+                    literals.contains_key(*w) || prefixes.iter().any(|p| w.starts_with(p.as_str()));
+                if !live {
+                    violations.push(format!(
+                        "dead stage `{w}`: {table} milestone `{milestone}` references it \
+                         but no span site emits it"
+                    ));
+                }
+            }
+        }
+    }
+    violations
+}
+
 /// Runs the full audit: every index variant over the synthetic corpus,
 /// the unified multi-modal index, the multi-vector store, a
 /// representative DAG schedule, and the static instrument-name audit.
@@ -237,6 +360,7 @@ pub fn run(repo_root: &Path) -> AuditReport {
     let mut report = AuditReport::default();
 
     report.push("obs instruments", audit_instruments(repo_root));
+    report.push("trace stages", audit_stages(repo_root));
 
     // Single-vector indexes, every variant.
     let store = Arc::new(synthetic_store(500, 16, 8, 0xA0D1));
@@ -322,6 +446,51 @@ mod tests {
         assert!(violations
             .iter()
             .any(|v| v.contains("dead instrument `demo.dead.reads`")));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stage_audit_is_clean_on_the_workspace() {
+        let violations = audit_stages(&repo_root());
+        assert!(violations.is_empty(), "stage audit: {violations:#?}");
+    }
+
+    #[test]
+    fn stage_audit_flags_bad_names_and_dead_stages() {
+        let dir =
+            std::env::temp_dir().join(format!("mqa-xtask-stage-audit-{}", std::process::id()));
+        let src = dir.join("crates").join("demo").join("src");
+        std::fs::create_dir_all(&src).unwrap();
+        let obs = "mqa_obs::";
+        // `BadName` has one segment; `record_span("core.turn")` must not
+        // count as an emission site (word boundary); the `format!` site
+        // covers the `dag.task.*` witnesses by prefix.
+        std::fs::write(
+            src.join("lib.rs"),
+            format!(
+                "pub fn f(n: &str) {{\n    let _a = {obs}span{q}BadName{p};\n    snap.record_span{q}core.turn{p};\n    let _b = {obs}span(format!{q}dag.task.{{n}}{p});\n}}\n",
+                q = "(\"",
+                p = "\")"
+            ),
+        )
+        .unwrap();
+        let violations = audit_stages(&dir);
+        assert!(
+            violations.iter().any(|v| v.contains("stage `BadName`")),
+            "{violations:#?}"
+        );
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("dead stage `core.turn`")),
+            "record_span must not witness core.turn: {violations:#?}"
+        );
+        assert!(
+            !violations
+                .iter()
+                .any(|v| v.contains("`dag.task.data_preprocessing`")),
+            "format! prefix should witness dag.task.*: {violations:#?}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

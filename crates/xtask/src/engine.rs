@@ -383,6 +383,7 @@ mod tests {
 
     #[test]
     fn gate_passes_and_writes_metrics() {
+        let _serial = crate::scenario_lock();
         let dir =
             std::env::temp_dir().join(format!("mqa-xtask-engine-test-{}", std::process::id()));
         let outcome = run(&dir, 42).expect("engine gate must pass on a healthy tree");

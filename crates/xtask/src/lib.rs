@@ -29,7 +29,12 @@
 //! [`flow`], is the panic-freedom gate: it inventories every function
 //! and panic-capable construct, builds the workspace call graph, and
 //! fails if any panic site is reachable from a serving entry point
-//! without a reasoned waiver in `flow-baseline.toml`.
+//! without a reasoned waiver in `flow-baseline.toml`. A seventh,
+//! [`trace`], is the per-query tracing gate: a seeded dialogue through
+//! the concurrent engine with tracing enabled must yield exactly one
+//! milestone-complete [`mqa_obs::QueryTrace`] per turn, with queue-wait /
+//! service attribution that adds up, deterministic tail sampling, and a
+//! `/metrics` surface that parses as valid text exposition.
 
 pub mod audit;
 pub mod baseline;
@@ -39,3 +44,18 @@ pub mod flow;
 pub mod lint;
 pub mod obs;
 pub mod rustlex;
+pub mod trace;
+
+/// Serializes scenario tests that reset the global `mqa-obs` registry or
+/// trace collector: the obs, engine, and trace gates all run real
+/// workloads against process-global state, so their in-crate tests must
+/// not interleave.
+#[cfg(test)]
+pub(crate) fn scenario_lock() -> std::sync::MutexGuard<'static, ()> {
+    use std::sync::{Mutex, OnceLock};
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    match GATE.get_or_init(|| Mutex::new(())).lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}

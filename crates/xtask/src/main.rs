@@ -8,7 +8,7 @@
 //! Both commands exit 0 only when clean, so `ci.sh` can chain them.
 
 use mqa_xtask::baseline::Baseline;
-use mqa_xtask::{audit, conc, engine, flow, lint, obs};
+use mqa_xtask::{audit, conc, engine, flow, lint, obs, trace};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -56,6 +56,15 @@ COMMANDS:
         workers, and that every engine instrument recorded. Writes
         metrics.json into <dir> (default results/engine).
 
+    trace [--out <dir>] [--seed <n>]
+        Per-query tracing gate: run a seeded dialogue through the
+        concurrent engine with tracing enabled; every turn must yield
+        exactly one milestone-complete trace with queue-wait / service
+        attribution that adds up, deterministic tail sampling, and a
+        valid /metrics exposition. Writes traces.jsonl,
+        slow_queries.txt, metrics.txt and BENCH_trace.json into <dir>
+        (default results/trace).
+
 EXIT CODES:
     0  clean
     1  findings / violations
@@ -72,6 +81,7 @@ fn main() -> ExitCode {
         Some("rules") => cmd_rules(),
         Some("obs") => cmd_obs(&args[1..]),
         Some("engine") => cmd_engine(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -365,6 +375,57 @@ fn cmd_engine(args: &[String]) -> ExitCode {
                 outcome.cold_page_reads,
                 outcome.warm_page_reads,
                 outcome.cache_read_reduction,
+                out_dir.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_trace(args: &[String]) -> ExitCode {
+    let mut out_dir = PathBuf::from("results/trace");
+    let mut seed = 42u64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out_dir = PathBuf::from(p),
+                None => {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => seed = n,
+                None => {
+                    eprintln!("--seed requires an integer");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown trace option `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match trace::run(&out_dir, seed) {
+        Ok(outcome) => {
+            println!(
+                "trace: {} trace(s) ({} engine-served, {} cache hit(s)), \
+                 p50 {} us / p99 {} us end-to-end, {:.1}% queue wait, \
+                 {} exposition sample(s) with {} exemplar(s) -> {}",
+                outcome.traces,
+                outcome.engine_served,
+                outcome.cache_hits,
+                outcome.p50_total_us,
+                outcome.p99_total_us,
+                outcome.queue_wait_share * 100.0,
+                outcome.exposition_samples,
+                outcome.exposition_exemplars,
                 out_dir.display()
             );
             ExitCode::SUCCESS

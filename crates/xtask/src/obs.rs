@@ -170,6 +170,7 @@ mod tests {
 
     #[test]
     fn scenario_emits_all_artifacts_and_passes_self_checks() {
+        let _serial = crate::scenario_lock();
         let dir = std::env::temp_dir().join(format!("mqa-xtask-obs-test-{}", std::process::id()));
         let outcome = run(&dir, 42).expect("obs scenario must pass its own smoke checks");
         assert!(outcome.journal_lines > 0);
