@@ -29,6 +29,9 @@ cargo run -q --release --offline -p mqa-xtask -- engine --out results/engine
 echo "==> mqa-xtask trace (per-query tracing gate)"
 cargo run -q --release --offline -p mqa-xtask -- trace --out results/trace
 
+echo "==> mqa-xtask mutate (online-mutation gate)"
+cargo run -q --release --offline -p mqa-xtask -- mutate --out results/mutate
+
 echo "==> introspection endpoint (feature build)"
 cargo build -q --offline -p mqa-obs --features serve --examples
 

@@ -127,6 +127,17 @@ impl<V> ClockCore<V> {
         }
     }
 
+    /// Drops every resident entry, returning how many were dropped. The
+    /// capacity and hand position survive, so refill behaviour matches a
+    /// fresh core.
+    pub fn clear(&mut self) -> usize {
+        let dropped = self.slots.len();
+        self.slots.clear();
+        self.map.clear();
+        self.hand = 0;
+        dropped
+    }
+
     /// Presence probe: arms the bit on a hit, admits the key on a miss.
     pub fn touch(&mut self, key: u64) -> Touch
     where
@@ -207,6 +218,12 @@ impl<V> CacheShard<V> {
     pub fn insert(&self, key: u64, value: V) -> bool {
         let mut core = lock_ignore_poison(&self.slots);
         core.insert(key, value).is_some()
+    }
+
+    /// Drops every resident entry; returns how many were dropped.
+    pub fn clear(&self) -> usize {
+        let mut core = lock_ignore_poison(&self.slots);
+        core.clear()
     }
 }
 
@@ -289,6 +306,22 @@ mod tests {
             }
         );
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn clear_empties_and_refills_cleanly() {
+        let mut c = ClockCore::new(4);
+        for k in 0..4u64 {
+            c.insert(k, ());
+        }
+        assert_eq!(c.clear(), 4);
+        assert!(c.is_empty());
+        assert!(!c.contains(1));
+        // Refill works exactly like a fresh core.
+        for k in 10..14u64 {
+            assert_eq!(c.insert(k, ()), None);
+        }
+        assert_eq!(c.len(), 4);
     }
 
     #[test]

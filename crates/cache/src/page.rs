@@ -26,6 +26,7 @@ pub struct PageCache {
     hits: Counter,
     misses: Counter,
     evictions: Counter,
+    invalidations: Counter,
     hit_rate: Gauge,
     lookup_us: Arc<Histogram>,
 }
@@ -47,6 +48,7 @@ impl PageCache {
             hits: mqa_obs::counter("cache.page.hits"),
             misses: mqa_obs::counter("cache.page.misses"),
             evictions: mqa_obs::counter("cache.page.evictions"),
+            invalidations: mqa_obs::counter("cache.page.invalidations"),
             hit_rate: mqa_obs::gauge("cache.page.hit_rate"),
             lookup_us: mqa_obs::histogram("cache.page.lookup_us"),
         }
@@ -98,6 +100,16 @@ impl PageCache {
         self.lookup_us.record(sw.elapsed_us());
         touch.hit
     }
+
+    /// Drops every resident page and returns how many were dropped. Used
+    /// when the page *layout* changes underneath the cache (index
+    /// compaction re-lays vertices onto pages), at which point resident
+    /// page ids no longer name the same contents.
+    pub fn invalidate_all(&self) -> usize {
+        let dropped: usize = self.shards.iter().map(CacheShard::clear).sum();
+        self.invalidations.add(dropped as u64);
+        dropped
+    }
 }
 
 #[cfg(test)]
@@ -141,6 +153,24 @@ mod tests {
         cache.probe(9);
         assert!(mqa_obs::counter("cache.page.hits").get() > before_h);
         assert!(mqa_obs::counter("cache.page.misses").get() > before_m);
+    }
+
+    #[test]
+    fn invalidate_all_empties_and_counts() {
+        let before = mqa_obs::counter("cache.page.invalidations").get();
+        let cache = PageCache::new(64);
+        for page in 0..10u32 {
+            cache.probe(page);
+        }
+        assert_eq!(cache.len(), 10);
+        assert_eq!(cache.invalidate_all(), 10);
+        assert!(cache.is_empty());
+        assert_eq!(
+            mqa_obs::counter("cache.page.invalidations").get(),
+            before + 10
+        );
+        // Every former resident now misses again.
+        assert!(!cache.probe(3));
     }
 
     #[test]

@@ -319,6 +319,81 @@ impl MqaSystem {
         Ok(())
     }
 
+    /// Adds objects to the live system without a rebuild: each record is
+    /// validated against the knowledge-base schema, re-encoded through the
+    /// corpus's encoder set, and inserted into the framework's index,
+    /// which publishes a new snapshot while concurrent queries (including
+    /// engine workers mid-drain) keep reading the generation they pinned.
+    /// The result cache is invalidated — cached answers predate the new
+    /// objects.
+    ///
+    /// # Errors
+    /// [`MqaError::Mutation`] when the knowledge base rejects a record,
+    /// the framework does not support mutation (only MUST does), or the
+    /// index rejects the batch; nothing is modified on error.
+    pub fn add_objects(
+        &mut self,
+        records: &[mqa_kb::ObjectRecord],
+    ) -> Result<mqa_graph::MutationReport, MqaError> {
+        let _span = mqa_obs::span("core.mutate.add");
+        let grown = self
+            .corpus
+            .with_records(records)
+            .map_err(|(i, e)| MqaError::Mutation(format!("record {i}: {e}")))?;
+        let encoded: Vec<mqa_vector::MultiVector> = records
+            .iter()
+            .map(|r| self.corpus.encoders().encode_record(r))
+            .collect();
+        let report = self
+            .framework
+            .add_objects(&encoded)
+            .map_err(|e| MqaError::Mutation(e.to_string()))?;
+        self.corpus = Arc::new(grown);
+        self.note_mutation(&format!(
+            "added {} objects (epoch {}, {} live)",
+            report.applied, report.epoch, report.live
+        ));
+        Ok(report)
+    }
+
+    /// Removes objects from the live system: their index entries are
+    /// tombstoned (never surfacing in results again, with graph compaction
+    /// once enough deletes accumulate) and the result cache is
+    /// invalidated. Knowledge-base records are retained so ids stay dense
+    /// and earlier replies keep resolving.
+    ///
+    /// # Errors
+    /// [`MqaError::Mutation`] when the framework does not support
+    /// mutation or an id is out of range; nothing is modified on error.
+    pub fn remove_objects(
+        &mut self,
+        ids: &[mqa_vector::VecId],
+    ) -> Result<mqa_graph::MutationReport, MqaError> {
+        let _span = mqa_obs::span("core.mutate.remove");
+        let report = self
+            .framework
+            .remove_objects(ids)
+            .map_err(|e| MqaError::Mutation(e.to_string()))?;
+        self.note_mutation(&format!(
+            "removed {} objects (epoch {}, {} live{})",
+            report.applied,
+            report.epoch,
+            report.live,
+            if report.compacted { ", compacted" } else { "" }
+        ));
+        Ok(report)
+    }
+
+    /// Post-mutation bookkeeping shared by add and remove: one result-cache
+    /// generation bump per mutation batch, plus a status-panel note.
+    fn note_mutation(&mut self, note: &str) {
+        if let Some(cache) = &self.result_cache {
+            cache.invalidate_all();
+        }
+        self.status
+            .detail(Milestone::IndexConstruction, note.to_string());
+    }
+
     pub(crate) fn executor(&self) -> &execute::QueryExecutor {
         &self.executor
     }
@@ -491,6 +566,70 @@ mod tests {
             sys.relearn_weights(mqa_weights::TrainerConfig::default()),
             Err(MqaError::InvalidConfig(_))
         ));
+    }
+
+    #[test]
+    fn add_objects_extends_kb_and_answers_from_new_objects() {
+        let mut sys = MqaSystem::build(Config::default(), kb()).unwrap();
+        let cache = sys.enable_result_cache(64);
+        let gen_before = cache.generation();
+        // Re-ingest a copy of object 0, then retire the original: the
+        // copy (id 80) must take over its answers.
+        let record = sys.corpus().kb().get(0).clone();
+        let report = sys.add_objects(std::slice::from_ref(&record)).unwrap();
+        assert_eq!((report.epoch, report.applied), (1, 1));
+        assert_eq!(sys.corpus().kb().len(), 81);
+        assert!(
+            cache.generation() > gen_before,
+            "each mutation batch must bump the result-cache generation"
+        );
+        let gen_mid = cache.generation();
+        sys.remove_objects(&[0]).unwrap();
+        assert!(cache.generation() > gen_mid);
+        let title = sys.corpus().kb().get(0).title.clone();
+        let phrase = title.rsplit_once(" #").map(|(p, _)| p.to_string()).unwrap();
+        let reply = sys.ask_once(Turn::text(phrase)).unwrap();
+        let ids: Vec<u32> = reply.results.iter().map(|x| x.id).collect();
+        assert!(!ids.contains(&0), "retired object surfaced: {ids:?}");
+        assert!(ids.contains(&80), "replacement object missing: {ids:?}");
+        // The status panel records both batches.
+        let panel = sys.status().render();
+        assert!(panel.contains("added 1 objects"), "{panel}");
+        assert!(panel.contains("removed 1 objects"), "{panel}");
+    }
+
+    #[test]
+    fn mutation_rejections_are_typed_and_modify_nothing() {
+        let mut sys = MqaSystem::build(Config::default(), kb()).unwrap();
+        // A schema-violating record is rejected by the knowledge base.
+        let bad = mqa_kb::ObjectRecord::new("bad".to_string(), vec![None, None]);
+        let err = match sys.add_objects(&[bad]) {
+            Err(e) => e,
+            Ok(_) => panic!("empty record must be rejected"),
+        };
+        assert!(matches!(err, MqaError::Mutation(_)));
+        assert_eq!(sys.corpus().kb().len(), 80, "rejected batch must not land");
+        // An out-of-range delete is rejected by the index.
+        assert!(matches!(
+            sys.remove_objects(&[80]),
+            Err(MqaError::Mutation(_))
+        ));
+        // A non-MUST framework refuses mutation outright.
+        let cfg = Config {
+            framework: mqa_retrieval::FrameworkKind::Je,
+            ..Config::default()
+        };
+        let mut je = MqaSystem::build(cfg, kb()).unwrap();
+        let record = je.corpus().kb().get(0).clone();
+        let err = match je.add_objects(std::slice::from_ref(&record)) {
+            Err(e) => e,
+            Ok(_) => panic!("JE must refuse mutation"),
+        };
+        match err {
+            MqaError::Mutation(msg) => assert!(msg.contains("JE"), "{msg}"),
+            other => panic!("expected Mutation, got {other:?}"),
+        }
+        assert_eq!(je.corpus().kb().len(), 80, "refused batch must not land");
     }
 
     #[test]

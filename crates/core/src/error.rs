@@ -23,6 +23,10 @@ pub enum MqaError {
     },
     /// A turn tried to select a result before any search ran.
     NothingToSelect,
+    /// An online index mutation (add/remove objects) was rejected — by
+    /// the knowledge base (schema violation), the framework (no mutation
+    /// support), or the index (bad batch shape).
+    Mutation(String),
 }
 
 impl fmt::Display for MqaError {
@@ -44,6 +48,7 @@ impl fmt::Display for MqaError {
             MqaError::NothingToSelect => {
                 write!(f, "cannot select a result before the first search")
             }
+            MqaError::Mutation(msg) => write!(f, "index mutation rejected: {msg}"),
         }
     }
 }

@@ -213,6 +213,98 @@ fn pipeline_sweep_reaches_200_distinct_schedules() {
     );
 }
 
+/// Publish-while-search coverage for the online-mutation path: a single
+/// writer inserting and tombstoning objects while two searchers run must
+/// (a) never surface an object that was dead before the schedule started,
+/// (b) show each reader a non-decreasing epoch, and (c) land on the exact
+/// scripted end state regardless of interleaving — swept across >= 200
+/// distinct seeded schedules.
+#[test]
+fn publish_while_search_never_surfaces_dead_objects() {
+    use mqa_graph::{IndexAlgorithm, UnifiedIndex};
+    use mqa_vector::{Metric, MultiVector, MultiVectorStore, Schema, Weights};
+
+    let schema = Schema::text_image(4, 4);
+    let object = |tag: usize| -> MultiVector {
+        let part = |m: usize| -> Vec<f32> {
+            (0..4usize)
+                .map(|d| ((tag * 31 + m * 13 + d * 7) % 17) as f32 / 17.0 - 0.5)
+                .collect()
+        };
+        MultiVector::complete(&schema, vec![part(0), part(1)])
+    };
+
+    let mut traces = std::collections::HashSet::new();
+    for seed in 0x5EED_0006u64..0x5EED_0006 + 240 {
+        let mut store = MultiVectorStore::new(schema.clone());
+        for i in 0..48 {
+            store.push(&object(i));
+        }
+        let idx = Arc::new(UnifiedIndex::build(
+            store,
+            Weights::normalized(&[1.0, 1.0]),
+            Metric::L2,
+            &IndexAlgorithm::mqa_graph(),
+        ));
+        // Dead before the schedule starts; ids are never reclaimed, so no
+        // interleaving may ever surface them again.
+        idx.remove_objects(&[1, 5]).expect("pre-kill");
+
+        let mut bodies: Vec<ThreadBody> = Vec::new();
+        {
+            let idx = Arc::clone(&idx);
+            let fresh: Vec<MultiVector> = (100..102).map(object).collect();
+            bodies.push(Box::new(move |token| {
+                token.step();
+                idx.add_objects(&fresh[..1]).expect("insert batch 1");
+                token.step();
+                idx.remove_objects(&[2]).expect("tombstone 2");
+                token.step();
+                idx.add_objects(&fresh[1..]).expect("insert batch 2");
+                token.step();
+                idx.remove_objects(&[7]).expect("tombstone 7");
+            }));
+        }
+        for _ in 0..2 {
+            let idx = Arc::clone(&idx);
+            let query = object(3);
+            bodies.push(Box::new(move |token| {
+                let mut last_epoch = 0u64;
+                for _ in 0..3 {
+                    token.step();
+                    let pinned = idx.current();
+                    assert!(
+                        pinned.epoch() >= last_epoch,
+                        "epoch went backwards: {last_epoch} -> {}",
+                        pinned.epoch()
+                    );
+                    last_epoch = pinned.epoch();
+                    let ids = idx.search(&query, None, 5, 24).ids();
+                    assert!(!ids.is_empty(), "live objects must keep answering");
+                    assert!(
+                        ids.iter().all(|&id| id != 1 && id != 5),
+                        "schedule surfaced a pre-killed object: {ids:?}"
+                    );
+                }
+            }));
+        }
+
+        let outcome = run_schedule(seed, &opts(), bodies);
+        assert!(outcome.is_ok(), "seed {seed} failed: {:?}", outcome.failure);
+        // End state is interleaving-independent: 1 pre-kill publish + 4
+        // writer publishes; 48 seeded + 2 inserted slots, 4 tombstoned.
+        assert_eq!(idx.epoch(), 5, "replay seed {seed}");
+        assert_eq!(idx.len(), 50, "replay seed {seed}");
+        assert_eq!(idx.live_len(), 46, "replay seed {seed}");
+        traces.insert(outcome.trace);
+    }
+    assert!(
+        traces.len() >= 200,
+        "only {} distinct schedules (need >= 200)",
+        traces.len()
+    );
+}
+
 /// The checker catches a reintroduced lost wakeup: this queue copy is the
 /// real `BoundedQueue` close path with `notify_one` in place of
 /// `notify_all` — with two consumers parked in `pop`, close wakes only

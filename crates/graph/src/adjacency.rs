@@ -54,6 +54,22 @@ impl Adjacency {
         self.lists[v as usize] = neighbors;
     }
 
+    /// Extends the vertex population to `n` (new vertices are edgeless).
+    /// Shrinking is a no-op — vertex ids are never reclaimed.
+    pub fn grow(&mut self, n: usize) {
+        if n > self.lists.len() {
+            self.lists.resize(n, Vec::new());
+        }
+    }
+
+    /// Iterates every directed edge `(v, u)`.
+    pub fn edges(&self) -> impl Iterator<Item = (VecId, VecId)> + '_ {
+        self.lists
+            .iter()
+            .enumerate()
+            .flat_map(|(v, nb)| nb.iter().map(move |&u| (v as VecId, u)))
+    }
+
     /// Test-only raw list access for building deliberately corrupted
     /// graphs in validator tests (the public mutators debug-reject
     /// malformed lists, but corrupted data can still arrive through
@@ -186,6 +202,27 @@ mod tests {
         assert!(g.is_empty());
         assert_eq!(g.avg_degree(), 0.0);
         assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn grow_adds_edgeless_vertices() {
+        let mut g = Adjacency::new(2);
+        g.add_edge(0, 1);
+        g.grow(5);
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(4), &[] as &[VecId]);
+        g.grow(1); // shrink is a no-op
+        assert_eq!(g.len(), 5);
+    }
+
+    #[test]
+    fn edges_iterates_all() {
+        let mut g = Adjacency::new(3);
+        g.set_neighbors(0, vec![1, 2]);
+        g.set_neighbors(2, vec![0]);
+        let e: Vec<(VecId, VecId)> = g.edges().collect();
+        assert_eq!(e, vec![(0, 1), (0, 2), (2, 0)]);
     }
 
     #[test]

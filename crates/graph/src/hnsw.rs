@@ -8,6 +8,7 @@
 //! same [`GraphSearcher`] interface as the pipeline-built graphs, which is
 //! what makes it selectable from the configuration panel.
 
+use crate::live::Tombstones;
 use crate::prune::hnsw_heuristic;
 use crate::scratch::{SearchScratch, VisitedSet};
 use crate::search::{SearchOutput, SearchStats};
@@ -262,6 +263,67 @@ impl Hnsw {
     /// The current global entry vertex.
     pub fn entry(&self) -> VecId {
         self.entry
+    }
+
+    /// Visits every directed edge of every layer as `(level, from, to)`.
+    /// Feeds the tombstone-aware structural validator.
+    pub fn for_each_edge(&self, mut f: impl FnMut(usize, VecId, VecId)) {
+        for (vi, layers) in self.links.iter().enumerate() {
+            for (level, nb) in layers.iter().enumerate() {
+                for &u in nb {
+                    f(level, vi as VecId, u);
+                }
+            }
+        }
+    }
+
+    /// Rewires every layer around the dead vertices of `tomb`: a live
+    /// vertex with dead neighbours splices in those neighbours' live
+    /// same-layer neighbours (re-pruned through the construction
+    /// heuristic, so the degree caps hold); dead vertices other than the
+    /// entry are unlinked entirely; a dead entry keeps live-spliced
+    /// out-edges so it can continue to seed searches. After this pass no
+    /// edge points *into* a dead vertex.
+    pub fn compact(&mut self, store: &VectorStore, metric: Metric, tomb: &Tombstones) {
+        let entry = self.entry;
+        let m = self.params.m;
+        let old = self.links.clone();
+        for (vi, layers) in self.links.iter_mut().enumerate() {
+            let v = vi as VecId;
+            let dead_v = tomb.is_dead(v);
+            for (level, nb) in layers.iter_mut().enumerate() {
+                if dead_v && v != entry {
+                    nb.clear();
+                    continue;
+                }
+                if !nb.iter().any(|&u| tomb.is_dead(u)) {
+                    continue;
+                }
+                let vv = store.get(v);
+                let mut seen = std::collections::HashSet::new();
+                let mut pool: Vec<Candidate> = Vec::new();
+                for &u in nb.iter() {
+                    if tomb.is_dead(u) {
+                        // Splice: the dead neighbour's live neighbours at
+                        // the same layer keep v connected past the hole.
+                        let through = old
+                            .get(u as usize)
+                            .and_then(|ls| ls.get(level))
+                            .map(Vec::as_slice)
+                            .unwrap_or(&[]);
+                        for &w in through {
+                            if w != v && !tomb.is_dead(w) && seen.insert(w) {
+                                pool.push(Candidate::new(w, metric.distance(vv, store.get(w))));
+                            }
+                        }
+                    } else if seen.insert(u) {
+                        pool.push(Candidate::new(u, metric.distance(vv, store.get(u))));
+                    }
+                }
+                let cap = if level == 0 { m * 2 } else { m };
+                *nb = hnsw_heuristic(store, metric, v, pool, cap);
+            }
+        }
     }
 }
 
@@ -631,6 +693,72 @@ mod tests {
             let out = h.search(&mut d, 1, 64);
             assert_eq!(out.results[0].id, id, "new object {id} not found");
         }
+    }
+
+    #[test]
+    fn compact_unlinks_dead_vertices() {
+        let store = random_store(400, 8, 21);
+        let mut h = Hnsw::build(&store, Metric::L2, &HnswParams::default());
+        let mut tomb = Tombstones::new(400);
+        // Kill a spread of vertices (skip the entry so the entry-exception
+        // path is exercised separately below).
+        for id in (0..400u32).step_by(7) {
+            if id != h.entry() {
+                tomb.kill(id);
+            }
+        }
+        h.compact(&store, Metric::L2, &tomb);
+        let mut into_dead = 0usize;
+        h.for_each_edge(|_, _, u| {
+            if tomb.is_dead(u) {
+                into_dead += 1;
+            }
+        });
+        assert_eq!(into_dead, 0, "compaction left edges into dead vertices");
+        // Dead vertices are fully unlinked; live ones keep bounded degree.
+        for id in tomb.iter_dead() {
+            assert!(h.neighbors(id, 0).is_empty(), "dead {id} still linked");
+        }
+        assert!(h
+            .validate()
+            .iter()
+            .all(|v| matches!(v, InvariantViolation::LowReachability { .. })));
+        // Live objects are still discoverable after the rewiring.
+        let mut found = 0usize;
+        let mut probed = 0usize;
+        for id in (1..400u32).step_by(13).filter(|&id| !tomb.is_dead(id)) {
+            probed += 1;
+            let mut d = FlatDistance::for_vertex(&store, id, Metric::L2);
+            let out = h.search(&mut d, 5, 64);
+            if out.ids().contains(&id) {
+                found += 1;
+            }
+        }
+        assert!(
+            found * 10 >= probed * 9,
+            "post-compaction discoverability {found}/{probed}"
+        );
+    }
+
+    #[test]
+    fn compact_keeps_dead_entry_routing() {
+        let store = random_store(200, 6, 22);
+        let mut h = Hnsw::build(&store, Metric::L2, &HnswParams::default());
+        let entry = h.entry();
+        let mut tomb = Tombstones::new(200);
+        tomb.kill(entry);
+        h.compact(&store, Metric::L2, &tomb);
+        // The dead entry keeps out-edges (to live targets only) so search
+        // can still seed from it.
+        assert!(!h.neighbors(entry, 0).is_empty());
+        assert!(h.neighbors(entry, 0).iter().all(|&u| !tomb.is_dead(u)));
+        let mut into_dead = 0usize;
+        h.for_each_edge(|_, _, u| {
+            if tomb.is_dead(u) {
+                into_dead += 1;
+            }
+        });
+        assert_eq!(into_dead, 0);
     }
 
     #[test]

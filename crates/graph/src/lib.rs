@@ -41,6 +41,7 @@ pub mod flat;
 pub mod hnsw;
 pub mod ivf;
 pub mod knn;
+pub mod live;
 pub mod nsg;
 pub mod persist;
 pub mod pipeline;
@@ -55,6 +56,7 @@ pub mod validate;
 pub mod vamana;
 
 pub use adjacency::Adjacency;
+pub use live::{MutationError, MutationReport, SnapshotCell, SnapshotGuard, Tombstones};
 pub use persist::UnifiedSnapshot;
 pub use pipeline::{BuildReport, BuiltGraph, IndexAlgorithm};
 pub use scratch::{with_pooled, SearchScratch, VisitedSet};

@@ -9,6 +9,7 @@
 //! ([`crate::pipeline::BuiltGraph`]) — so a restored index answers queries
 //! identically to the original, with none of the build cost.
 
+use crate::live::Tombstones;
 use crate::pipeline::{BuiltGraph, IndexAlgorithm};
 use crate::unified::UnifiedIndex;
 use mqa_vector::{Metric, MultiVectorStore, Weights};
@@ -27,6 +28,9 @@ pub struct UnifiedSnapshot {
     pub algorithm: IndexAlgorithm,
     /// The built navigation structure.
     pub graph: BuiltGraph,
+    /// The deletion state at snapshot time (all-live for an index that
+    /// was never mutated).
+    pub tombstones: Tombstones,
 }
 
 impl UnifiedSnapshot {
@@ -63,14 +67,16 @@ impl UnifiedSnapshot {
         serde_json::from_str(json).map_err(|e| e.to_string())
     }
 
-    /// Reconstructs the live index.
+    /// Reconstructs the live index, deletion state included: a restored
+    /// index keeps filtering the same tombstoned ids as the original.
     pub fn restore(self) -> UnifiedIndex {
-        UnifiedIndex::from_parts(
+        UnifiedIndex::from_parts_with_tombstones(
             self.store,
             self.weights,
             self.metric,
             self.graph,
             self.algorithm,
+            self.tombstones,
         )
     }
 }
@@ -131,6 +137,30 @@ mod tests {
             assert_eq!(before, after, "algorithm {}", algo.name());
             assert_eq!(restored.algorithm(), &algo);
         }
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_tombstones() {
+        let idx = UnifiedIndex::build(
+            store(200, 8),
+            Weights::uniform(2),
+            Metric::L2,
+            &IndexAlgorithm::hnsw(),
+        );
+        idx.remove_objects(&[3, 64, 127]).expect("in range");
+        let q = query(10);
+        let before = idx.search(&q, None, 10, 48).ids();
+        let json = idx.snapshot().to_json().expect("finite snapshot");
+        let restored = UnifiedSnapshot::from_json(&json)
+            .expect("round trips")
+            .restore();
+        assert_eq!(restored.live_len(), 197);
+        let snap = restored.current();
+        for id in [3u32, 64, 127] {
+            assert!(snap.tombstones().is_dead(id), "id {id} lost its tombstone");
+        }
+        let after = restored.search(&q, None, 10, 48).ids();
+        assert_eq!(before, after, "restored search must keep filtering");
     }
 
     #[test]

@@ -32,6 +32,7 @@ use crate::adjacency::Adjacency;
 use crate::flat::FlatSearcher;
 use crate::hnsw::{Hnsw, HnswParams};
 use crate::knn::{knn_graph, KnnParams};
+use crate::live::Tombstones;
 use crate::prune::{robust_prune, select_nearest};
 use crate::search::SearchOutput;
 use crate::traits::{DistanceFn, FlatDistance, GraphSearcher};
@@ -274,6 +275,118 @@ impl NavGraph {
             }
         }
         out
+    }
+
+    /// Recomputes the structural diagnostics of the report from the graph
+    /// (stage timings are kept — they describe the original build). Every
+    /// online mutation ends with this so [`NavGraph::validate`]'s
+    /// stale-report checks keep holding on mutated graphs.
+    fn refresh_report(&mut self) {
+        self.report.avg_degree = self.graph.avg_degree();
+        self.report.max_degree = self.graph.max_degree();
+        self.report.edges = self.graph.edge_count();
+        self.report.connectivity = match self.entries.first() {
+            Some(&e0) if !self.graph.is_empty() && (e0 as usize) < self.graph.len() => {
+                self.graph.reachable_count(e0) as f64 / self.graph.len() as f64
+            }
+            _ => 0.0,
+        };
+    }
+
+    /// Incrementally links every not-yet-indexed vector of `store` into
+    /// the graph — the online-insert path for the pipeline-built family
+    /// (NSG / Vamana / MQA-graph). Each new vertex runs one iteration of
+    /// the refinement stage against the *current* graph: beam-search from
+    /// the entries for a candidate pool, prune it with the family's own
+    /// selection rule, install reverse edges with overflow re-pruning.
+    pub fn extend_from(
+        &mut self,
+        store: &VectorStore,
+        metric: Metric,
+        l: usize,
+        select: &SelectStage,
+    ) {
+        let start = self.graph.len();
+        if store.len() <= start {
+            return;
+        }
+        self.graph.grow(store.len());
+        let r = select.degree_bound();
+        let mut scratch = crate::scratch::SearchScratch::new();
+        for v in start as VecId..store.len() as VecId {
+            let mut pool = {
+                let mut dist = FlatDistance::for_vertex(store, v, metric);
+                crate::search::beam_search_collect_with(
+                    &self.graph,
+                    &self.entries,
+                    &mut dist,
+                    l,
+                    &mut scratch,
+                )
+            };
+            pool.retain(|c| c.id != v);
+            let selected = select.apply(store, metric, v, pool);
+            self.graph.set_neighbors(v, selected.clone());
+            for u in selected {
+                self.graph.add_edge(u, v);
+                if self.graph.degree(u) > r {
+                    let uv = store.get(u);
+                    let cands: Vec<Candidate> = self
+                        .graph
+                        .neighbors(u)
+                        .iter()
+                        .map(|&w| Candidate::new(w, metric.distance(uv, store.get(w))))
+                        .collect();
+                    let pruned = select.apply(store, metric, u, cands);
+                    self.graph.set_neighbors(u, pruned);
+                }
+            }
+        }
+        self.refresh_report();
+    }
+
+    /// Rewires the graph around the dead vertices of `tomb`: a live
+    /// vertex with dead neighbours splices in those neighbours' live
+    /// neighbours (re-pruned through `select`, so the degree bound
+    /// holds); dead vertices not serving as entries are unlinked; a dead
+    /// entry keeps live-spliced out-edges so it can continue to seed
+    /// searches. After this pass no edge points *into* a dead vertex.
+    pub fn compact(
+        &mut self,
+        store: &VectorStore,
+        metric: Metric,
+        select: &SelectStage,
+        tomb: &Tombstones,
+    ) {
+        let old = self.graph.clone();
+        for v in 0..self.graph.len() as VecId {
+            let is_entry = self.entries.contains(&v);
+            if tomb.is_dead(v) && !is_entry {
+                self.graph.set_neighbors(v, Vec::new());
+                continue;
+            }
+            let nb = old.neighbors(v);
+            if !nb.iter().any(|&u| tomb.is_dead(u)) {
+                continue;
+            }
+            let vv = store.get(v);
+            let mut seen = std::collections::HashSet::new();
+            let mut pool: Vec<Candidate> = Vec::new();
+            for &u in nb {
+                if tomb.is_dead(u) {
+                    for &w in old.neighbors(u) {
+                        if w != v && !tomb.is_dead(w) && seen.insert(w) {
+                            pool.push(Candidate::new(w, metric.distance(vv, store.get(w))));
+                        }
+                    }
+                } else if seen.insert(u) {
+                    pool.push(Candidate::new(u, metric.distance(vv, store.get(u))));
+                }
+            }
+            let selected = select.apply(store, metric, v, pool);
+            self.graph.set_neighbors(v, selected);
+        }
+        self.refresh_report();
     }
 }
 
@@ -699,6 +812,59 @@ impl BuiltGraph {
             BuiltGraph::Ivf(s) => s.validate(),
         }
     }
+
+    /// Extends the structure over every not-yet-indexed vector of `store`
+    /// — the online-insert path. HNSW and the pipeline family link the new
+    /// vertices incrementally (HNSW's growth is bit-identical to a batch
+    /// build); `Flat` just widens its scan; IVF has no incremental form
+    /// and is rebuilt from scratch.
+    pub fn grow_to(&mut self, store: &Arc<VectorStore>, metric: Metric, algo: &IndexAlgorithm) {
+        match self {
+            BuiltGraph::Flat(s) => *s = FlatSearcher::new(store.len()),
+            BuiltGraph::Hnsw(h) => h.extend_from(store, metric),
+            BuiltGraph::Nav(g) => match algo.incremental_recipe() {
+                Some((l, select)) => g.extend_from(store, metric, l, &select),
+                // A Nav graph whose algorithm carries no recipe cannot be
+                // extended in place; rebuild keeps the index correct.
+                None => *self = algo.build_graph(store, metric),
+            },
+            BuiltGraph::Ivf(_) => *self = algo.build_graph(store, metric),
+        }
+    }
+
+    /// Rewires the structure around the dead ids of `tomb`. Returns
+    /// whether the dead ids were actually unlinked (and may therefore be
+    /// marked compacted): `Flat` trivially succeeds (no edges exist), the
+    /// graph families splice neighbours around the holes, and IVF returns
+    /// `false` — its cell lists keep every id and deletion stays
+    /// filter-only there.
+    pub fn compact_live(
+        &mut self,
+        store: &Arc<VectorStore>,
+        metric: Metric,
+        algo: &IndexAlgorithm,
+        tomb: &Tombstones,
+    ) -> bool {
+        match self {
+            BuiltGraph::Flat(_) => true,
+            BuiltGraph::Hnsw(h) => {
+                h.compact(store, metric, tomb);
+                true
+            }
+            BuiltGraph::Nav(g) => {
+                let select = match algo.incremental_recipe() {
+                    Some((_, select)) => select,
+                    None => SelectStage::RobustPrune {
+                        alpha: 1.0,
+                        r: g.graph().max_degree().max(1),
+                    },
+                };
+                g.compact(store, metric, &select, tomb);
+                true
+            }
+            BuiltGraph::Ivf(_) => false,
+        }
+    }
 }
 
 impl IndexAlgorithm {
@@ -752,6 +918,26 @@ impl IndexAlgorithm {
             IndexAlgorithm::Nsg { .. } => "nsg",
             IndexAlgorithm::Vamana { .. } => "vamana",
             IndexAlgorithm::MqaGraph { .. } => "mqa-graph",
+        }
+    }
+
+    /// The per-vertex refinement recipe the family uses for *incremental*
+    /// linking (online inserts and compaction re-pruning): construction
+    /// beam width plus neighbour-selection rule. `None` for the families
+    /// without an incremental form (Flat needs none, HNSW carries its own
+    /// in [`Hnsw::extend_from`], IVF rebuilds).
+    pub fn incremental_recipe(&self) -> Option<(usize, SelectStage)> {
+        match *self {
+            IndexAlgorithm::Nsg { r, l, .. } => {
+                Some((l, SelectStage::RobustPrune { alpha: 1.0, r }))
+            }
+            IndexAlgorithm::Vamana { r, l, alpha, .. } => {
+                Some((l, SelectStage::RobustPrune { alpha, r }))
+            }
+            IndexAlgorithm::MqaGraph { r, l, alpha, .. } => {
+                Some((l, SelectStage::RobustPrune { alpha, r }))
+            }
+            IndexAlgorithm::Flat | IndexAlgorithm::Hnsw(_) | IndexAlgorithm::Ivf(_) => None,
         }
     }
 
@@ -1010,6 +1196,90 @@ mod tests {
     fn built_navgraph(seed: u64) -> NavGraph {
         let store = clustered_store(300, 8, 6, seed);
         crate::nsg::pipeline(24, 48, 12, seed).run(&store, Metric::L2, "nsg")
+    }
+
+    #[test]
+    fn nav_extend_links_new_vertices() {
+        let full = clustered_store(400, 8, 8, 31);
+        let mut half = VectorStore::new(8);
+        for id in 0..300u32 {
+            half.push(full.get(id));
+        }
+        let algo = IndexAlgorithm::vamana();
+        let mut built = algo.build_graph(&Arc::new(half), Metric::L2);
+        built.grow_to(&full, Metric::L2, &algo);
+        assert_eq!(GraphSearcher::len(&built), 400);
+        assert!(built.validate().is_empty(), "{:?}", built.validate());
+        // New objects are discoverable through the grown graph.
+        let mut found = 0usize;
+        for id in 300..400u32 {
+            let mut d = FlatDistance::for_vertex(&full, id, Metric::L2);
+            let mut scratch = crate::scratch::SearchScratch::new();
+            let out = built.search_with(&mut d, 5, 64, &mut scratch);
+            if out.results.iter().any(|c| c.id == id) {
+                found += 1;
+            }
+        }
+        assert!(found >= 90, "only {found}/100 grown objects discoverable");
+    }
+
+    #[test]
+    fn nav_compact_unlinks_dead_vertices() {
+        let store = clustered_store(400, 8, 8, 32);
+        let algo = IndexAlgorithm::nsg();
+        let mut built = algo.build_graph(&store, Metric::L2);
+        let mut tomb = Tombstones::new(400);
+        for id in (0..400u32).step_by(5) {
+            tomb.kill(id);
+        }
+        assert!(built.compact_live(&store, Metric::L2, &algo, &tomb));
+        let BuiltGraph::Nav(nav) = &built else {
+            panic!("nsg builds a Nav graph");
+        };
+        for (v, u) in nav.graph().edges() {
+            assert!(!tomb.is_dead(u), "edge {v}->{u} into dead vertex");
+        }
+        // The report was refreshed, so validate sees no staleness; only
+        // entry-membership defects would remain, and there are none.
+        assert!(
+            nav.validate().is_empty(),
+            "post-compaction violations: {:?}",
+            nav.validate()
+        );
+    }
+
+    #[test]
+    fn grow_to_rebuild_families_cover_new_vectors() {
+        let full = clustered_store(250, 8, 5, 33);
+        let mut half = VectorStore::new(8);
+        for id in 0..200u32 {
+            half.push(full.get(id));
+        }
+        for algo in [IndexAlgorithm::Flat, IndexAlgorithm::ivf()] {
+            let mut built = algo.build_graph(&Arc::new(half.clone()), Metric::L2);
+            built.grow_to(&full, Metric::L2, &algo);
+            assert_eq!(GraphSearcher::len(&built), 250, "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn incremental_recipes_match_families() {
+        assert!(IndexAlgorithm::Flat.incremental_recipe().is_none());
+        assert!(IndexAlgorithm::hnsw().incremental_recipe().is_none());
+        assert!(IndexAlgorithm::ivf().incremental_recipe().is_none());
+        let Some((l, SelectStage::RobustPrune { alpha, r })) =
+            IndexAlgorithm::nsg().incremental_recipe()
+        else {
+            panic!("nsg has a recipe");
+        };
+        assert_eq!((l, r), (64, 24));
+        assert_eq!(alpha, 1.0);
+        let Some((_, SelectStage::RobustPrune { alpha, .. })) =
+            IndexAlgorithm::vamana().incremental_recipe()
+        else {
+            panic!("vamana has a recipe");
+        };
+        assert!(alpha > 1.0);
     }
 
     #[test]

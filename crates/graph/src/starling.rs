@@ -16,6 +16,7 @@
 //! optimizes; only the physical SSD is replaced by counters.
 
 use crate::adjacency::Adjacency;
+use crate::live::Tombstones;
 use crate::scratch::{SearchScratch, VisitedSet};
 use crate::search::{SearchOutput, SearchStats};
 use crate::traits::{DistanceFn, GraphSearcher};
@@ -306,6 +307,92 @@ impl PagedIndex {
         SearchOutput {
             results: out,
             stats,
+        }
+    }
+
+    /// [`PagedIndex::search_paged`] over a mutated index: tombstoned
+    /// vertices still route the walk but are filtered at
+    /// result-collection time (never mid-traversal), with the beam
+    /// over-fetched by the dead count so `k` live results can still fill.
+    /// With zero dead this is exactly `search_paged`.
+    pub fn search_paged_live(
+        &self,
+        dist: &mut dyn DistanceFn,
+        k: usize,
+        ef: usize,
+        tomb: &Tombstones,
+    ) -> SearchOutput {
+        crate::scratch::with_pooled(|scratch| {
+            self.search_paged_live_with(dist, k, ef, tomb, scratch)
+        })
+    }
+
+    /// [`PagedIndex::search_paged_live`] on a caller-supplied scratch.
+    pub fn search_paged_live_with(
+        &self,
+        dist: &mut dyn DistanceFn,
+        k: usize,
+        ef: usize,
+        tomb: &Tombstones,
+        scratch: &mut SearchScratch,
+    ) -> SearchOutput {
+        let dead = tomb.dead_count();
+        if dead == 0 {
+            return self.search_paged_with(dist, k, ef, scratch);
+        }
+        let k_eff = (k + dead).min(self.graph.len());
+        let ef_eff = ef.max(k_eff);
+        let mut out = self.search_paged_with(dist, k_eff, ef_eff, scratch);
+        out.results.retain(|c| !tomb.is_dead(c.id));
+        out.results.truncate(k);
+        out
+    }
+
+    /// Rewires the paged graph around tombstoned vertices and re-lays the
+    /// pages: live vertices splice dead neighbours' live neighbours into
+    /// their own lists (degree never grows), dead non-entry vertices are
+    /// fully unlinked, dead entries keep live-spliced out-edges so they
+    /// can still route. The page layout is rebuilt with the same strategy
+    /// and density — page ids change meaning wholesale, so an attached
+    /// shared [`PageCache`] is fully invalidated. Returns the number of
+    /// cached pages dropped.
+    pub fn apply_compaction(&mut self, tomb: &Tombstones) -> usize {
+        let old = self.graph.clone();
+        for v in 0..old.len() as VecId {
+            let is_entry = self.entries.contains(&v);
+            if tomb.is_dead(v) && !is_entry {
+                self.graph.set_neighbors(v, Vec::new());
+                continue;
+            }
+            let nbrs = old.neighbors(v);
+            if !nbrs.iter().any(|&u| tomb.is_dead(u)) {
+                continue;
+            }
+            let cap = nbrs.len();
+            let mut next: Vec<VecId> = Vec::with_capacity(cap);
+            let push = |next: &mut Vec<VecId>, w: VecId| {
+                if w != v && !tomb.is_dead(w) && !next.contains(&w) && next.len() < cap {
+                    next.push(w);
+                }
+            };
+            for &u in nbrs {
+                if !tomb.is_dead(u) {
+                    push(&mut next, u);
+                }
+            }
+            for &u in nbrs {
+                if tomb.is_dead(u) {
+                    for &w in old.neighbors(u) {
+                        push(&mut next, w);
+                    }
+                }
+            }
+            self.graph.set_neighbors(v, next);
+        }
+        self.layout = PageLayout::build(&self.graph, self.layout.per_page, self.layout.strategy);
+        match &self.cache {
+            Some(cache) => cache.invalidate_all(),
+            None => 0,
         }
     }
 }
@@ -674,6 +761,86 @@ mod tests {
         }
         assert_eq!(warm_device_reads, 0, "warm repeat queries must be I/O-free");
         assert!(warm_cache_hits > 0);
+    }
+
+    #[test]
+    fn live_filtered_search_never_surfaces_dead() {
+        let s = store(600, 8, 17);
+        let nav = vamana::build(&s, Metric::L2, 12, 32, 1.2, 0);
+        let layout = PageLayout::build(nav.graph(), 4, LayoutStrategy::BfsCluster);
+        let paged = PagedIndex::new(nav.graph().clone(), nav.entries().to_vec(), layout);
+        let mut tomb = Tombstones::new(600);
+        // Quiesced: live-filtered search is exactly the plain path.
+        let q: Vec<f32> = vec![0.2; 8];
+        let mut d0 = FlatDistance::new(&s, &q, Metric::L2).unwrap();
+        let plain = paged.search_paged(&mut d0, 5, 32);
+        let mut d1 = FlatDistance::new(&s, &q, Metric::L2).unwrap();
+        let quiesced = paged.search_paged_live(&mut d1, 5, 32, &tomb);
+        assert_eq!(plain.results, quiesced.results);
+        // Kill the whole top-5 and search again: none may surface, and
+        // the beam still fills k with live objects.
+        for &id in &plain.ids() {
+            tomb.kill(id);
+        }
+        let mut d2 = FlatDistance::new(&s, &q, Metric::L2).unwrap();
+        let filtered = paged.search_paged_live(&mut d2, 5, 32, &tomb);
+        assert_eq!(filtered.ids().len(), 5);
+        for id in filtered.ids() {
+            assert!(!tomb.is_dead(id), "dead id {id} surfaced");
+        }
+    }
+
+    #[test]
+    fn compaction_relays_pages_and_invalidates_cache() {
+        let s = store(600, 8, 19);
+        let nav = vamana::build(&s, Metric::L2, 12, 32, 1.2, 0);
+        let layout = PageLayout::build(nav.graph(), 4, LayoutStrategy::BfsCluster);
+        let cache = Arc::new(mqa_cache::PageCache::new(4096));
+        let mut paged = PagedIndex::new(nav.graph().clone(), nav.entries().to_vec(), layout)
+            .with_page_cache(Arc::clone(&cache));
+        // Warm the cache.
+        let q: Vec<f32> = vec![-0.1; 8];
+        let mut d0 = FlatDistance::new(&s, &q, Metric::L2).unwrap();
+        paged.search_paged(&mut d0, 5, 32);
+        assert!(!cache.is_empty());
+        let mut tomb = Tombstones::new(600);
+        for id in (0..600u32).step_by(5) {
+            tomb.kill(id);
+        }
+        let dropped = paged.apply_compaction(&tomb);
+        assert!(dropped > 0, "warm cache must be invalidated");
+        assert!(cache.is_empty());
+        // No surviving edge points at a dead vertex (entries excepted as
+        // sources, never as targets).
+        for v in 0..600u32 {
+            for &u in paged.graph().neighbors(v) {
+                assert!(!tomb.is_dead(u), "edge {v} -> dead {u} survived");
+            }
+            if tomb.is_dead(v) && !paged.entries.contains(&v) {
+                assert!(
+                    paged.graph().neighbors(v).is_empty(),
+                    "dead non-entry {v} still linked"
+                );
+            }
+        }
+        // Live objects stay discoverable through the rewired pages.
+        let mut found = 0usize;
+        let mut probed = 0usize;
+        for id in (1..600u32).step_by(13).filter(|&id| !tomb.is_dead(id)) {
+            probed += 1;
+            let mut d = FlatDistance::new(&s, s.get(id), Metric::L2).unwrap();
+            if paged
+                .search_paged_live(&mut d, 5, 32, &tomb)
+                .ids()
+                .contains(&id)
+            {
+                found += 1;
+            }
+        }
+        assert!(
+            found * 10 >= probed * 9,
+            "post-compaction discoverability {found}/{probed}"
+        );
     }
 
     #[test]

@@ -18,12 +18,29 @@
 //! ("user-specific inputs for search refinement" in the paper); overrides
 //! change the scoring, not the graph, so extreme overrides trade recall
 //! for control — measured in E6.
+//!
+//! ## Online mutation
+//!
+//! The index is *snapshot-published-and-mutable*: searchers pin an
+//! immutable [`IndexSnapshot`] through an epoch-stamped
+//! [`crate::live::SnapshotCell`], while a single writer (serialized by an
+//! internal writer lock) applies [`UnifiedIndex::add_objects`] /
+//! [`UnifiedIndex::remove_objects`] against a private copy and publishes
+//! the result atomically. Deletes are tombstones filtered at
+//! result-collection time — dead vertices keep routing until the pending
+//! dead fraction crosses the compaction threshold, at which point the
+//! graph is rewired around them (see [`crate::live`]).
 
+use crate::live::{
+    lock_ignore_poison, MutationError, MutationReport, SnapshotCell, SnapshotGuard, Tombstones,
+};
 use crate::pipeline::{BuiltGraph, IndexAlgorithm};
 use crate::search::SearchOutput;
 use crate::traits::{DistanceFn, GraphSearcher};
+use crate::validate::InvariantViolation;
 use mqa_vector::{FusedScanner, Metric, MultiVector, MultiVectorStore, ScanStats, VecId, Weights};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// [`DistanceFn`] adapter: fused weighted distance from a fixed query to
@@ -72,6 +89,103 @@ impl DistanceFn for FusedDistance<'_> {
     }
 }
 
+/// One published generation of the index: the object collection, the
+/// navigation structure built over it, and the deletion state. Immutable
+/// once published — the writer clones it, mutates the clone, and publishes
+/// the clone as the next generation.
+#[derive(Debug, Clone)]
+pub struct IndexSnapshot {
+    store: MultiVectorStore,
+    searcher: BuiltGraph,
+    tombstones: Tombstones,
+}
+
+impl IndexSnapshot {
+    /// The object collection of this generation (live + dead slots).
+    pub fn store(&self) -> &MultiVectorStore {
+        &self.store
+    }
+
+    /// The navigation structure of this generation.
+    pub fn searcher(&self) -> &BuiltGraph {
+        &self.searcher
+    }
+
+    /// The deletion state of this generation.
+    pub fn tombstones(&self) -> &Tombstones {
+        &self.tombstones
+    }
+
+    /// Audits the snapshot's cross-structure invariants and returns every
+    /// violation found (empty = sound):
+    ///
+    /// - the navigation structure covers exactly the store population;
+    /// - the tombstone bitmaps are internally consistent
+    ///   ([`crate::validate::check_tombstones`]);
+    /// - no edge points into a compacted-away id
+    ///   ([`crate::validate::check_edges_live`]).
+    ///
+    /// The per-family structural validators run only while no id has been
+    /// compacted: compaction legitimately unlinks dead vertices, which the
+    /// quiesced-shape validators (HNSW's reachability floor in particular)
+    /// would misread as corruption.
+    pub fn validate(&self) -> Vec<InvariantViolation> {
+        let n = self.store.len();
+        let mut out = Vec::new();
+        if GraphSearcher::len(&self.searcher) != n {
+            out.push(InvariantViolation::SizeMismatch {
+                context: "unified snapshot population".to_string(),
+                expected: n,
+                got: GraphSearcher::len(&self.searcher),
+            });
+        }
+        out.extend(crate::validate::check_tombstones(
+            "unified snapshot",
+            n,
+            &self.tombstones,
+        ));
+        if self.tombstones.compacted_count() == 0 {
+            out.extend(self.searcher.validate());
+        } else {
+            match &self.searcher {
+                BuiltGraph::Nav(g) => out.extend(crate::validate::check_edges_live(
+                    "unified snapshot navgraph",
+                    g.graph().edges(),
+                    &self.tombstones,
+                )),
+                BuiltGraph::Hnsw(h) => {
+                    let mut edges = Vec::new();
+                    h.for_each_edge(|_, v, u| edges.push((v, u)));
+                    out.extend(crate::validate::check_edges_live(
+                        "unified snapshot hnsw",
+                        edges.into_iter(),
+                        &self.tombstones,
+                    ));
+                }
+                // Flat has no edges; IVF never compacts (filter-only).
+                BuiltGraph::Flat(_) | BuiltGraph::Ivf(_) => {}
+            }
+        }
+        out
+    }
+}
+
+/// A pinned, immutable view of the published object collection.
+/// Dereferences to the [`MultiVectorStore`]; the underlying snapshot stays
+/// alive (and unchanged) for as long as the guard is held, even across
+/// concurrent publishes.
+pub struct StoreGuard {
+    guard: SnapshotGuard<IndexSnapshot>,
+}
+
+impl std::ops::Deref for StoreGuard {
+    type Target = MultiVectorStore;
+
+    fn deref(&self) -> &MultiVectorStore {
+        self.guard.store()
+    }
+}
+
 /// The unified index over a multi-modal object collection.
 ///
 /// ```
@@ -95,17 +209,36 @@ impl DistanceFn for FusedDistance<'_> {
 /// let query = MultiVector::partial(&schema, vec![Some(vec![0.25; 4]), None]);
 /// let out = index.search(&query, None, 3, 16);
 /// assert_eq!(out.ids()[0], 16); // x = 16/64 = 0.25
+///
+/// // Online mutation: retire an object and insert a new one while any
+/// // concurrent searcher keeps reading its pinned snapshot.
+/// index.remove_objects(&[16]).unwrap();
+/// assert!(!index.search(&query, None, 3, 16).ids().contains(&16));
+/// let obj = MultiVector::complete(&schema, vec![vec![0.25; 4], vec![-0.25; 4]]);
+/// let report = index.add_objects(std::slice::from_ref(&obj)).unwrap();
+/// assert_eq!(index.search(&query, None, 3, 16).ids()[0], 64);
+/// assert_eq!(report.epoch, 2);
 /// ```
 pub struct UnifiedIndex {
-    store: MultiVectorStore,
     weights: Weights,
     metric: Metric,
-    searcher: BuiltGraph,
     algorithm: IndexAlgorithm,
     build_time: Duration,
+    /// The published generation searchers read through an epoch guard.
+    published: SnapshotCell<IndexSnapshot>,
+    /// Serializes mutators; never held by searchers.
+    writer: Mutex<()>,
+    /// Raised while a mutation batch is being applied (traces use it to
+    /// distinguish quiesced from concurrent-mutation queries).
+    mutating: AtomicBool,
+    compact_threshold: f64,
 }
 
 impl UnifiedIndex {
+    /// Pending-dead fraction past which a delete batch triggers graph
+    /// compaction (FreshDiskANN-style consolidation territory).
+    pub const DEFAULT_COMPACT_THRESHOLD: f64 = 0.2;
+
     /// Builds the index: weights each object's concatenated representation,
     /// then constructs the chosen navigation graph over it.
     ///
@@ -128,19 +261,34 @@ impl UnifiedIndex {
         let weighted = Arc::new(store.weighted_store(&weights));
         let searcher = algorithm.build_graph(&weighted, metric);
         let build_time = build_span.finish();
+        let tombstones = Tombstones::new(store.len());
         Self {
-            store,
             weights,
             metric,
-            searcher,
             algorithm: algorithm.clone(),
             build_time,
+            published: SnapshotCell::new(IndexSnapshot {
+                store,
+                searcher,
+                tombstones,
+            }),
+            writer: Mutex::new(()),
+            mutating: AtomicBool::new(false),
+            compact_threshold: Self::DEFAULT_COMPACT_THRESHOLD,
         }
     }
 
+    /// Overrides the pending-dead fraction that triggers compaction
+    /// (clamped to `(0, 1]`; the default is
+    /// [`UnifiedIndex::DEFAULT_COMPACT_THRESHOLD`]).
+    pub fn with_compaction_threshold(mut self, threshold: f64) -> Self {
+        self.compact_threshold = threshold.clamp(f64::EPSILON, 1.0);
+        self
+    }
+
     /// Reassembles an index from persisted parts (see
-    /// [`crate::persist::UnifiedSnapshot`]); the reported build time is
-    /// zero since nothing was built.
+    /// [`crate::persist::UnifiedSnapshot`]) with all-live tombstones; the
+    /// reported build time is zero since nothing was built.
     pub fn from_parts(
         store: MultiVectorStore,
         weights: Weights,
@@ -148,30 +296,180 @@ impl UnifiedIndex {
         searcher: BuiltGraph,
         algorithm: IndexAlgorithm,
     ) -> Self {
+        let tombstones = Tombstones::new(store.len());
+        Self::from_parts_with_tombstones(store, weights, metric, searcher, algorithm, tombstones)
+    }
+
+    /// [`UnifiedIndex::from_parts`] with explicit deletion state — what
+    /// snapshot restoration uses so persisted tombstones survive the
+    /// round trip.
+    pub fn from_parts_with_tombstones(
+        store: MultiVectorStore,
+        weights: Weights,
+        metric: Metric,
+        searcher: BuiltGraph,
+        algorithm: IndexAlgorithm,
+        mut tombstones: Tombstones,
+    ) -> Self {
         assert_eq!(
             GraphSearcher::len(&searcher),
             store.len(),
             "navigation structure does not match the store"
         );
+        tombstones.grow(store.len());
         Self {
-            store,
             weights,
             metric,
-            searcher,
             algorithm,
             build_time: Duration::ZERO,
+            published: SnapshotCell::new(IndexSnapshot {
+                store,
+                searcher,
+                tombstones,
+            }),
+            writer: Mutex::new(()),
+            mutating: AtomicBool::new(false),
+            compact_threshold: Self::DEFAULT_COMPACT_THRESHOLD,
         }
     }
 
     /// Captures a serializable snapshot of the whole index.
     pub fn snapshot(&self) -> crate::persist::UnifiedSnapshot {
+        let snap = self.published.load();
         crate::persist::UnifiedSnapshot {
-            store: self.store.clone(),
+            store: snap.store().clone(),
             weights: self.weights.clone(),
             metric: self.metric,
             algorithm: self.algorithm.clone(),
-            graph: self.searcher.clone(),
+            graph: snap.searcher().clone(),
+            tombstones: snap.tombstones().clone(),
         }
+    }
+
+    /// Pins the current published generation. The guard stays valid (and
+    /// immutable) across concurrent mutations; its epoch identifies the
+    /// generation.
+    pub fn current(&self) -> SnapshotGuard<IndexSnapshot> {
+        self.published.load()
+    }
+
+    /// The current publication epoch (0 = as built; each mutation batch
+    /// publishes one epoch).
+    pub fn epoch(&self) -> u64 {
+        self.published.epoch()
+    }
+
+    /// Inserts a batch of complete multi-vector objects, assigning them
+    /// the next dense ids. The new generation is published atomically
+    /// after the navigation structure has been grown over the batch;
+    /// concurrent searchers keep their pinned snapshots.
+    ///
+    /// # Errors
+    /// Rejects the whole batch (publishing nothing) on an empty batch, an
+    /// arity mismatch, or an incomplete object.
+    pub fn add_objects(&self, objects: &[MultiVector]) -> Result<MutationReport, MutationError> {
+        if objects.is_empty() {
+            return Err(MutationError::EmptyBatch);
+        }
+        let _writer = lock_ignore_poison(&self.writer);
+        let _mutating = MutatingFlag::raise(&self.mutating);
+        let snap = self.published.load();
+        let want = snap.store().schema().arity();
+        for object in objects {
+            if object.arity() != want {
+                return Err(MutationError::ArityMismatch {
+                    got: object.arity(),
+                    want,
+                });
+            }
+            if let Some(modality) = (0..want).find(|&m| object.part(m).is_none()) {
+                return Err(MutationError::IncompleteObject { modality });
+            }
+        }
+        let sw = mqa_obs::Stopwatch::start();
+        let mut store = snap.store().clone();
+        for object in objects {
+            store.push(object);
+        }
+        let weighted = Arc::new(store.weighted_store(&self.weights));
+        let mut searcher = snap.searcher().clone();
+        searcher.grow_to(&weighted, self.metric, &self.algorithm);
+        let mut tombstones = snap.tombstones().clone();
+        tombstones.grow(store.len());
+        let (live, dead) = (tombstones.live_count(), tombstones.dead_count());
+        let dead_fraction = tombstones.dead_fraction();
+        let epoch = self.published.publish(IndexSnapshot {
+            store,
+            searcher,
+            tombstones,
+        });
+        mqa_obs::counter("graph.mutate.inserts").add(objects.len() as u64);
+        mqa_obs::histogram("graph.mutate.publish_us").record(sw.elapsed_us());
+        mqa_obs::gauge("graph.mutate.dead_fraction").set(dead_fraction);
+        Ok(MutationReport {
+            epoch,
+            applied: objects.len(),
+            compacted: false,
+            live,
+            dead,
+        })
+    }
+
+    /// Tombstones a batch of objects. Dead objects never surface in
+    /// results (filtered at result-collection time) but keep routing
+    /// searches until the pending dead fraction crosses the compaction
+    /// threshold, at which point the graph is rewired around them before
+    /// the new generation is published. Deleting an already-dead id is an
+    /// idempotent no-op (it does not count toward `applied`).
+    ///
+    /// # Errors
+    /// Rejects the whole batch on an empty batch or an out-of-range id.
+    pub fn remove_objects(&self, ids: &[VecId]) -> Result<MutationReport, MutationError> {
+        if ids.is_empty() {
+            return Err(MutationError::EmptyBatch);
+        }
+        let _writer = lock_ignore_poison(&self.writer);
+        let _mutating = MutatingFlag::raise(&self.mutating);
+        let snap = self.published.load();
+        let n = snap.store().len();
+        if let Some(&id) = ids.iter().find(|&&id| id as usize >= n) {
+            return Err(MutationError::IdOutOfRange { id, n });
+        }
+        let sw = mqa_obs::Stopwatch::start();
+        let mut tombstones = snap.tombstones().clone();
+        let mut applied = 0usize;
+        for &id in ids {
+            if tombstones.kill(id) {
+                applied += 1;
+            }
+        }
+        let mut searcher = snap.searcher().clone();
+        let mut compacted = false;
+        if tombstones.pending_fraction() > self.compact_threshold {
+            let weighted = Arc::new(snap.store().weighted_store(&self.weights));
+            if searcher.compact_live(&weighted, self.metric, &self.algorithm, &tombstones) {
+                tombstones.mark_all_compacted();
+                compacted = true;
+                mqa_obs::counter("graph.mutate.compactions").inc();
+            }
+        }
+        let (live, dead) = (tombstones.live_count(), tombstones.dead_count());
+        let dead_fraction = tombstones.dead_fraction();
+        let epoch = self.published.publish(IndexSnapshot {
+            store: snap.store().clone(),
+            searcher,
+            tombstones,
+        });
+        mqa_obs::counter("graph.mutate.deletes").add(applied as u64);
+        mqa_obs::histogram("graph.mutate.publish_us").record(sw.elapsed_us());
+        mqa_obs::gauge("graph.mutate.dead_fraction").set(dead_fraction);
+        Ok(MutationReport {
+            epoch,
+            applied,
+            compacted,
+            live,
+            dead,
+        })
     }
 
     /// Merging-free multi-modal search.
@@ -179,7 +477,8 @@ impl UnifiedIndex {
     /// `query` may miss modalities (e.g. text-only); `weight_override`
     /// replaces the learned weights for *scoring* this query. Returns the
     /// ranked results plus work statistics (including incremental-scanning
-    /// savings in `scan`).
+    /// savings in `scan`). Only live objects surface: tombstoned ids are
+    /// filtered at result-collection time (never mid-traversal).
     pub fn search(
         &self,
         query: &MultiVector,
@@ -229,12 +528,29 @@ impl UnifiedIndex {
         scratch: &mut crate::scratch::SearchScratch,
     ) -> UnifiedSearchOutput {
         let sw = mqa_obs::Stopwatch::start();
+        let snap = self.published.load();
+        mqa_obs::trace::note_index_state(snap.epoch(), self.mutating.load(Ordering::Relaxed));
         let weights = weight_override.unwrap_or(&self.weights);
-        let mut dist = FusedDistance::new(&self.store, query, weights, self.metric);
+        let mut dist = FusedDistance::new(snap.store(), query, weights, self.metric);
         if !prune {
             dist = dist.without_pruning();
         }
-        let out = self.searcher.search_with(&mut dist, k, ef, scratch);
+        let dead = snap.tombstones().dead_count();
+        let out = if dead == 0 {
+            // Quiesced fast path: identical to the pre-mutation index.
+            snap.searcher().search_with(&mut dist, k, ef, scratch)
+        } else {
+            // Over-fetch so the post-filter can still fill k live results,
+            // then drop tombstoned ids at collection time.
+            let k_eff = (k + dead).min(snap.store().len());
+            let ef_eff = ef.max(k_eff);
+            let mut out = snap
+                .searcher()
+                .search_with(&mut dist, k_eff, ef_eff, scratch);
+            out.results.retain(|c| !snap.tombstones().is_dead(c.id));
+            out.results.truncate(k);
+            out
+        };
         out.stats.record(self.algorithm.name(), sw.elapsed_us());
         UnifiedSearchOutput {
             output: out,
@@ -242,7 +558,8 @@ impl UnifiedIndex {
         }
     }
 
-    /// Exact (exhaustive) fused search — the recall oracle.
+    /// Exact (exhaustive) fused search — the recall oracle. Applies the
+    /// same live-only filtering as graph search.
     pub fn search_exact(
         &self,
         query: &MultiVector,
@@ -250,10 +567,20 @@ impl UnifiedIndex {
         k: usize,
     ) -> UnifiedSearchOutput {
         let sw = mqa_obs::Stopwatch::start();
+        let snap = self.published.load();
         let weights = weight_override.unwrap_or(&self.weights);
-        let mut dist = FusedDistance::new(&self.store, query, weights, self.metric);
-        let flat = crate::flat::FlatSearcher::new(self.store.len());
-        let out = flat.search(&mut dist, k, k);
+        let mut dist = FusedDistance::new(snap.store(), query, weights, self.metric);
+        let flat = crate::flat::FlatSearcher::new(snap.store().len());
+        let dead = snap.tombstones().dead_count();
+        let out = if dead == 0 {
+            flat.search(&mut dist, k, k)
+        } else {
+            let k_eff = (k + dead).min(snap.store().len());
+            let mut out = flat.search(&mut dist, k_eff, k_eff);
+            out.results.retain(|c| !snap.tombstones().is_dead(c.id));
+            out.results.truncate(k);
+            out
+        };
         out.stats.record("flat", sw.elapsed_us());
         UnifiedSearchOutput {
             output: out,
@@ -261,9 +588,12 @@ impl UnifiedIndex {
         }
     }
 
-    /// The object collection.
-    pub fn store(&self) -> &MultiVectorStore {
-        &self.store
+    /// The object collection, pinned at the current generation (live and
+    /// dead slots; ids are never reclaimed).
+    pub fn store(&self) -> StoreGuard {
+        StoreGuard {
+            guard: self.published.load(),
+        }
     }
 
     /// The build-time (learned) weights.
@@ -286,23 +616,46 @@ impl UnifiedIndex {
         self.build_time
     }
 
-    /// Number of indexed objects.
+    /// Number of indexed object slots (live + dead; ids are stable).
     pub fn len(&self) -> usize {
-        self.store.len()
+        self.published.load().store().len()
     }
 
-    /// Whether the index is empty.
+    /// Number of live (searchable) objects.
+    pub fn live_len(&self) -> usize {
+        self.published.load().tombstones().live_count()
+    }
+
+    /// Whether the index has no object slots.
     pub fn is_empty(&self) -> bool {
-        self.store.is_empty()
+        self.published.load().store().is_empty()
     }
 
     /// Status-panel description.
     pub fn describe(&self) -> String {
+        let snap = self.published.load();
         format!(
             "unified multi-vector index ({} modalities): {}",
-            self.store.schema().arity(),
-            self.searcher.describe()
+            snap.store().schema().arity(),
+            snap.searcher().describe()
         )
+    }
+}
+
+/// RAII marker for the mutation-in-progress flag: raised on construction,
+/// lowered on drop so a panicking writer cannot leave the flag stuck.
+struct MutatingFlag<'a>(&'a AtomicBool);
+
+impl<'a> MutatingFlag<'a> {
+    fn raise(flag: &'a AtomicBool) -> Self {
+        flag.store(true, Ordering::Release);
+        Self(flag)
+    }
+}
+
+impl Drop for MutatingFlag<'_> {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::Release);
     }
 }
 
@@ -372,6 +725,17 @@ mod tests {
         let weights = Weights::normalized(&[1.5, 0.5]);
         let idx = UnifiedIndex::build(store, weights, Metric::L2, &IndexAlgorithm::mqa_graph());
         (idx, labels)
+    }
+
+    fn random_object(schema: &Schema, rng: &mut StdRng) -> MultiVector {
+        let parts: Vec<Vec<f32>> = (0..schema.arity())
+            .map(|m| {
+                (0..schema.dim(m))
+                    .map(|_| rng.gen_range(-2.0f32..2.0))
+                    .collect()
+            })
+            .collect();
+        MultiVector::complete(schema, parts)
     }
 
     #[test]
@@ -525,5 +889,173 @@ mod tests {
         assert!(idx.describe().contains("2 modalities"));
         assert!(!idx.is_empty());
         assert_eq!(idx.len(), 600);
+    }
+
+    #[test]
+    fn add_objects_publishes_and_finds_new_objects() {
+        let (idx, _) = build_default(10);
+        assert_eq!(idx.epoch(), 0);
+        let schema = idx.store().schema().clone();
+        let mut rng = StdRng::seed_from_u64(77);
+        let batch: Vec<MultiVector> = (0..20).map(|_| random_object(&schema, &mut rng)).collect();
+        let report = idx.add_objects(&batch).unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.applied, 20);
+        assert_eq!(report.live, 620);
+        assert_eq!(idx.len(), 620);
+        assert_eq!(idx.live_len(), 620);
+        // Every inserted object is its own nearest neighbour.
+        for (i, obj) in batch.iter().enumerate() {
+            let expect = 600 + i as VecId;
+            let got = idx.search(obj, None, 1, 64).ids();
+            assert_eq!(got, vec![expect], "inserted object {expect} not found");
+        }
+        assert!(idx.current().validate().is_empty());
+    }
+
+    #[test]
+    fn remove_objects_filters_dead_from_results() {
+        let (idx, _) = build_default(11);
+        let schema = idx.store().schema().clone();
+        // Delete object 0 and search for exactly its vectors: it must
+        // never surface, in graph search or the exact oracle.
+        let parts: Vec<Vec<f32>> = (0..2)
+            .map(|m| idx.store().part_of(0, m).unwrap().to_vec())
+            .collect();
+        let q = MultiVector::complete(&schema, parts);
+        assert_eq!(idx.search(&q, None, 1, 64).ids(), vec![0]);
+        let report = idx.remove_objects(&[0]).unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.applied, 1);
+        assert_eq!(report.live, 599);
+        assert!(!report.compacted);
+        assert!(!idx.search(&q, None, 10, 64).ids().contains(&0));
+        assert!(!idx.search_exact(&q, None, 10).ids().contains(&0));
+        assert_eq!(idx.len(), 600, "slots are never reclaimed");
+        assert_eq!(idx.live_len(), 599);
+        // Idempotent: a second delete applies nothing, still publishes.
+        let again = idx.remove_objects(&[0]).unwrap();
+        assert_eq!(again.applied, 0);
+        assert_eq!(again.epoch, 2);
+    }
+
+    #[test]
+    fn deletes_past_threshold_trigger_compaction() {
+        let (store, _) = clustered(300, 6, 0.2, 0.6, 12);
+        let idx = UnifiedIndex::build(
+            store,
+            Weights::uniform(2),
+            Metric::L2,
+            &IndexAlgorithm::vamana(),
+        )
+        .with_compaction_threshold(0.1);
+        // 45/300 = 15% dead crosses the 10% threshold in one batch.
+        let doomed: Vec<VecId> = (0..300).step_by(7).map(|i| i as VecId).collect();
+        let report = idx.remove_objects(&doomed).unwrap();
+        assert!(report.compacted, "15% dead must compact at threshold 10%");
+        let snap = idx.current();
+        assert_eq!(snap.tombstones().pending_count(), 0);
+        assert!(snap.validate().is_empty(), "{:?}", snap.validate());
+        // Live objects remain discoverable after the rewiring.
+        let schema = idx.store().schema().clone();
+        let mut found = 0usize;
+        let mut probed = 0usize;
+        for id in (1..300u32)
+            .step_by(11)
+            .filter(|&id| !snap.tombstones().is_dead(id))
+        {
+            probed += 1;
+            let parts: Vec<Vec<f32>> = (0..2)
+                .map(|m| idx.store().part_of(id, m).unwrap().to_vec())
+                .collect();
+            let q = MultiVector::complete(&schema, parts);
+            if idx.search(&q, None, 5, 64).ids().contains(&id) {
+                found += 1;
+            }
+        }
+        assert!(
+            found * 10 >= probed * 9,
+            "post-compaction discoverability {found}/{probed}"
+        );
+    }
+
+    #[test]
+    fn mutation_batches_reject_bad_input() {
+        let (idx, _) = build_default(13);
+        assert_eq!(idx.add_objects(&[]), Err(MutationError::EmptyBatch));
+        assert_eq!(idx.remove_objects(&[]), Err(MutationError::EmptyBatch));
+        assert_eq!(
+            idx.remove_objects(&[600]),
+            Err(MutationError::IdOutOfRange { id: 600, n: 600 })
+        );
+        let wrong = MultiVector::complete(&Schema::text_image(3, 3), vec![vec![0.0; 3]; 2]);
+        // Same arity, wrong dims would panic in the store; wrong arity is
+        // the typed error.
+        let three = mqa_vector::Schema::new(vec![
+            mqa_vector::Modality {
+                name: "a".into(),
+                kind: mqa_vector::ModalityKind::Text,
+                dim: 8,
+            },
+            mqa_vector::Modality {
+                name: "b".into(),
+                kind: mqa_vector::ModalityKind::Image,
+                dim: 8,
+            },
+            mqa_vector::Modality {
+                name: "c".into(),
+                kind: mqa_vector::ModalityKind::Video,
+                dim: 8,
+            },
+        ]);
+        let wrong_arity = MultiVector::complete(&three, vec![vec![0.0; 8]; 3]);
+        assert_eq!(
+            idx.add_objects(std::slice::from_ref(&wrong_arity)),
+            Err(MutationError::ArityMismatch { got: 3, want: 2 })
+        );
+        let schema = idx.store().schema().clone();
+        let partial = MultiVector::partial(&schema, vec![Some(vec![0.0; 8]), None]);
+        assert_eq!(
+            idx.add_objects(std::slice::from_ref(&partial)),
+            Err(MutationError::IncompleteObject { modality: 1 })
+        );
+        let _ = wrong;
+        // Rejected batches publish nothing.
+        assert_eq!(idx.epoch(), 0);
+    }
+
+    #[test]
+    fn readers_pin_their_generation_across_publishes() {
+        let (idx, _) = build_default(14);
+        let before = idx.current();
+        assert_eq!(before.epoch(), 0);
+        idx.remove_objects(&[5]).unwrap();
+        let after = idx.current();
+        assert_eq!(after.epoch(), 1);
+        // The pinned generation still sees object 5 as live.
+        assert!(!before.tombstones().is_dead(5));
+        assert!(after.tombstones().is_dead(5));
+    }
+
+    #[test]
+    fn insert_then_delete_round_trip_keeps_recall() {
+        let (idx, _) = build_default(15);
+        let schema = idx.store().schema().clone();
+        let mut rng = StdRng::seed_from_u64(16);
+        let batch: Vec<MultiVector> = (0..30).map(|_| random_object(&schema, &mut rng)).collect();
+        idx.add_objects(&batch).unwrap();
+        let doomed: Vec<VecId> = (600..630).collect();
+        idx.remove_objects(&doomed).unwrap();
+        // The inserted-then-deleted objects never surface.
+        for obj in &batch {
+            let ids = idx.search(obj, None, 3, 64).ids();
+            assert!(ids.iter().all(|&id| id < 600), "dead id surfaced: {ids:?}");
+        }
+        // Graph search still agrees with the (filtered) exact oracle.
+        let q = random_object(&schema, &mut rng);
+        let truth = idx.search_exact(&q, None, 10).ids();
+        let got = idx.search(&q, None, 10, 64).ids();
+        let overlap = got.iter().filter(|id| truth.contains(id)).count();
+        assert!(overlap >= 8, "post-mutation recall {overlap}/10");
     }
 }

@@ -7,6 +7,7 @@
 //! the validators against deliberately corrupted structures.
 
 use crate::adjacency::Adjacency;
+use crate::live::Tombstones;
 use mqa_vector::VecId;
 use std::fmt;
 
@@ -118,6 +119,35 @@ pub enum InvariantViolation {
         /// The recorded value.
         got: String,
     },
+    /// A tombstone count disagreeing with its bitmap (corrupted or forged
+    /// deletion state).
+    DeadCountMismatch {
+        /// Which count disagrees.
+        context: String,
+        /// The recorded count.
+        recorded: usize,
+        /// The count recomputed from the bitmap.
+        actual: usize,
+    },
+    /// An id marked compacted without being dead (`compacted ⊆ dead` is
+    /// the tombstone lifecycle invariant).
+    RetiredNotDead {
+        /// Which structure reported it.
+        context: String,
+        /// The offending id.
+        id: VecId,
+    },
+    /// An edge into an id that compaction already rewired around. Edges
+    /// into merely-dead ids are legal routing; edges into *compacted* ids
+    /// mean the rewiring missed one or the graph was mutated afterwards.
+    EdgeIntoRetired {
+        /// Which structure reported it.
+        context: String,
+        /// The edge source.
+        from: VecId,
+        /// The compacted-away target.
+        to: VecId,
+    },
 }
 
 impl fmt::Display for InvariantViolation {
@@ -188,6 +218,20 @@ impl fmt::Display for InvariantViolation {
                     "stale report: {context} recorded as {got}, recomputed {expected}"
                 )
             }
+            Self::DeadCountMismatch {
+                context,
+                recorded,
+                actual,
+            } => write!(
+                f,
+                "{context}: recorded {recorded} dead, bitmap holds {actual}"
+            ),
+            Self::RetiredNotDead { context, id } => {
+                write!(f, "{context}: id {id} marked compacted but not dead")
+            }
+            Self::EdgeIntoRetired { context, from, to } => {
+                write!(f, "{context}: edge {from} -> {to} into compacted-away id")
+            }
         }
     }
 }
@@ -224,6 +268,79 @@ pub fn check_adjacency(context: &str, graph: &Adjacency) -> Vec<InvariantViolati
         }
     }
     out
+}
+
+/// Tombstone lifecycle checks: the population matches the structure it
+/// annotates, the recorded counts match the bitmaps, every compacted id is
+/// dead, and no bitmap bit falls outside the population. Used by the
+/// snapshot validator against (possibly deserialized) deletion state.
+pub fn check_tombstones(context: &str, n: usize, tomb: &Tombstones) -> Vec<InvariantViolation> {
+    let mut out = Vec::new();
+    if tomb.len() != n {
+        out.push(InvariantViolation::SizeMismatch {
+            context: format!("{context} tombstone population"),
+            expected: n,
+            got: tomb.len(),
+        });
+    }
+    let mut dead = 0usize;
+    let mut compacted = 0usize;
+    for id in 0..tomb.len() as VecId {
+        if tomb.is_dead(id) {
+            dead += 1;
+        }
+        if tomb.is_compacted(id) {
+            compacted += 1;
+            if !tomb.is_dead(id) {
+                out.push(InvariantViolation::RetiredNotDead {
+                    context: context.to_string(),
+                    id,
+                });
+            }
+        }
+    }
+    if dead != tomb.dead_count() {
+        out.push(InvariantViolation::DeadCountMismatch {
+            context: format!("{context} dead count"),
+            recorded: tomb.dead_count(),
+            actual: dead,
+        });
+    }
+    if compacted != tomb.compacted_count() {
+        out.push(InvariantViolation::DeadCountMismatch {
+            context: format!("{context} compacted count"),
+            recorded: tomb.compacted_count(),
+            actual: compacted,
+        });
+    }
+    // Bits past the population are invisible to is_dead/is_compacted;
+    // recount() sees the raw words.
+    if out.is_empty() && tomb.recount().is_none() {
+        out.push(InvariantViolation::DeadCountMismatch {
+            context: format!("{context} tombstone bitmap"),
+            recorded: tomb.dead_count(),
+            actual: dead,
+        });
+    }
+    out
+}
+
+/// Flags every edge pointing into an id compaction already rewired around.
+/// Edges into merely-dead (uncompacted) ids are legal — they keep routing
+/// until the next compaction pass.
+pub fn check_edges_live(
+    context: &str,
+    edges: impl Iterator<Item = (VecId, VecId)>,
+    tomb: &Tombstones,
+) -> Vec<InvariantViolation> {
+    edges
+        .filter(|&(_, to)| tomb.is_compacted(to))
+        .map(|(from, to)| InvariantViolation::EdgeIntoRetired {
+            context: context.to_string(),
+            from,
+            to,
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -265,5 +382,119 @@ mod tests {
         for x in &v {
             assert!(!x.to_string().is_empty());
         }
+    }
+
+    /// Deserializes a `Tombstones` from raw parts — the only way
+    /// corrupted deletion state can arise in practice (fields are
+    /// private; deserialization is the trust boundary).
+    fn tombstones_from_parts(
+        dead: &[u64],
+        compacted: &[u64],
+        dead_count: usize,
+        compacted_count: usize,
+        n: usize,
+    ) -> Tombstones {
+        let arr = |a: &[u64]| {
+            let items: Vec<String> = a.iter().map(u64::to_string).collect();
+            format!("[{}]", items.join(","))
+        };
+        let j = format!(
+            "{{\"dead\":{},\"compacted\":{},\"dead_count\":{dead_count},\
+             \"compacted_count\":{compacted_count},\"n\":{n}}}",
+            arr(dead),
+            arr(compacted),
+        );
+        serde_json::from_str(&j).unwrap()
+    }
+
+    fn sound_tombstones() -> Tombstones {
+        let mut t = Tombstones::new(100);
+        t.kill(3);
+        t.kill(64);
+        t.mark_all_compacted();
+        t.kill(70);
+        t
+    }
+
+    // The serialized words of `sound_tombstones`: dead = {3, 64, 70},
+    // compacted = {3, 64}.
+    const DEAD_W0: u64 = 1 << 3;
+    const DEAD_W1: u64 = (1 << 0) | (1 << 6);
+    const COMP_W0: u64 = 1 << 3;
+    const COMP_W1: u64 = 1 << 0;
+
+    #[test]
+    fn check_tombstones_accepts_sound_state() {
+        let t = sound_tombstones();
+        assert!(check_tombstones("test", 100, &t).is_empty());
+        // The round-tripped raw parts reproduce the same sound state.
+        let same = tombstones_from_parts(&[DEAD_W0, DEAD_W1], &[COMP_W0, COMP_W1], 3, 2, 100);
+        assert_eq!(same, t);
+    }
+
+    #[test]
+    fn check_tombstones_flags_each_defect() {
+        use InvariantViolation as V;
+        let t = sound_tombstones();
+
+        // Population mismatch against the annotated structure.
+        assert!(check_tombstones("test", 90, &t)
+            .iter()
+            .any(|x| matches!(x, V::SizeMismatch { .. })));
+
+        // Forged dead count.
+        let bad = tombstones_from_parts(&[DEAD_W0, DEAD_W1], &[COMP_W0, COMP_W1], 7, 2, 100);
+        assert!(check_tombstones("test", 100, &bad).iter().any(|x| matches!(
+            x,
+            V::DeadCountMismatch {
+                recorded: 7,
+                actual: 3,
+                ..
+            }
+        )));
+
+        // Forged compacted count.
+        let bad = tombstones_from_parts(&[DEAD_W0, DEAD_W1], &[COMP_W0, COMP_W1], 3, 9, 100);
+        assert!(check_tombstones("test", 100, &bad)
+            .iter()
+            .any(|x| matches!(x, V::DeadCountMismatch { recorded: 9, .. })));
+
+        // Compacted bit without the dead bit: clear id 3 from the dead
+        // bitmap (leaving {64, 70}) while compacted still holds {3, 64}.
+        // Counts desynchronize too, but the subset violation must surface
+        // specifically.
+        let bad = tombstones_from_parts(&[0, DEAD_W1], &[COMP_W0, COMP_W1], 2, 2, 100);
+        assert!(check_tombstones("test", 100, &bad)
+            .iter()
+            .any(|x| matches!(x, V::RetiredNotDead { id: 3, .. })));
+
+        // A dead bit past the population (id 120 >= 100) is invisible to
+        // per-id reads but recount() sees the raw word.
+        let bad = tombstones_from_parts(
+            &[DEAD_W0, DEAD_W1 | (1 << 56)],
+            &[COMP_W0, COMP_W1],
+            3,
+            2,
+            100,
+        );
+        assert!(!check_tombstones("test", 100, &bad).is_empty());
+    }
+
+    #[test]
+    fn check_edges_live_flags_only_compacted_targets() {
+        use InvariantViolation as V;
+        let mut t = Tombstones::new(10);
+        t.kill(2);
+        t.mark_all_compacted();
+        t.kill(5); // dead but not compacted — edges into it are legal
+        let edges = vec![(0u32, 1u32), (0, 2), (3, 5), (4, 2)];
+        let v = check_edges_live("test", edges.into_iter(), &t);
+        assert_eq!(v.len(), 2);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, V::EdgeIntoRetired { from: 0, to: 2, .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, V::EdgeIntoRetired { from: 4, to: 2, .. })));
     }
 }

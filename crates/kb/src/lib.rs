@@ -31,7 +31,7 @@ pub mod queries;
 pub mod schema;
 pub mod stats;
 
-pub use base::KnowledgeBase;
+pub use base::{IngestError, KnowledgeBase};
 pub use datasets::{ConceptInfo, DatasetDomain, DatasetInfo, DatasetSpec};
 pub use groundtruth::{recall_at_k, round2_recall_at_k, GroundTruth};
 pub use object::{ObjectId, ObjectRecord};

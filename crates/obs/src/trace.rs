@@ -165,6 +165,13 @@ pub struct QueryTrace {
     pub prompt_tokens: u64,
     /// Mock-LLM completion tokens produced by the turn.
     pub completion_tokens: u64,
+    /// Index publication epoch the query searched under (0 = as built;
+    /// each mutation batch publishes one epoch).
+    pub index_epoch: u64,
+    /// Whether a mutation batch was being applied while the query ran —
+    /// distinguishes quiesced queries from concurrent-mutation ones when
+    /// attributing tail latency.
+    pub mutation_in_progress: bool,
     /// Closed spans attributed to the trace, in close order.
     pub stages: Vec<StageRecord>,
     /// Stages discarded once [`MAX_STAGES`] was reached.
@@ -190,6 +197,8 @@ struct TraceInner {
     pages_cached: u64,
     prompt_tokens: u64,
     completion_tokens: u64,
+    index_epoch: u64,
+    mutation_in_progress: bool,
     completed: bool,
 }
 
@@ -328,6 +337,8 @@ impl TraceHandle {
                 pages_cached: inner.pages_cached,
                 prompt_tokens: inner.prompt_tokens,
                 completion_tokens: inner.completion_tokens,
+                index_epoch: inner.index_epoch,
+                mutation_in_progress: inner.mutation_in_progress,
                 stages: std::mem::take(&mut inner.stages),
                 stages_dropped: inner.stages_dropped,
             };
@@ -539,6 +550,18 @@ pub fn add_tokens(prompt: u64, completion: u64) {
     with_current(|i| {
         i.prompt_tokens += prompt;
         i.completion_tokens += completion;
+    });
+}
+
+/// Records which published index generation the query searched and
+/// whether a mutation batch was concurrently in flight. `mutating` is
+/// sticky (any search leg under mutation marks the whole trace); the
+/// epoch takes the last writer, which for a single-index query is the
+/// only one.
+pub fn note_index_state(epoch: u64, mutating: bool) {
+    with_current(|i| {
+        i.index_epoch = epoch;
+        i.mutation_in_progress |= mutating;
     });
 }
 
@@ -792,6 +815,8 @@ mod tests {
                 pages_cached: 0,
                 prompt_tokens: 0,
                 completion_tokens: 0,
+                index_epoch: 0,
+                mutation_in_progress: false,
                 stages: Vec::new(),
                 stages_dropped: 0,
             };
@@ -845,6 +870,8 @@ mod tests {
             pages_cached: 0,
             prompt_tokens: 0,
             completion_tokens: 0,
+            index_epoch: 0,
+            mutation_in_progress: false,
             stages: vec![
                 stage("retrieval.must.encode"),
                 stage("retrieval.must.weight_fuse"),
@@ -881,6 +908,8 @@ mod tests {
             pages_cached: 5,
             prompt_tokens: 6,
             completion_tokens: 7,
+            index_epoch: 3,
+            mutation_in_progress: true,
             stages: vec![StageRecord {
                 name: "core.turn".into(),
                 parent: String::new(),

@@ -9,6 +9,9 @@ use mqa_vector::{Modality, MultiVector, MultiVectorStore, Schema};
 use std::sync::Arc;
 
 /// One encoder per content field, plus the induced vector [`Schema`].
+/// Cloning shares the encoder instances (they are `Arc`ed and stateless),
+/// so a clone encodes identically to the original.
+#[derive(Clone)]
 pub struct EncoderSet {
     encoders: Vec<Arc<dyn Encoder>>,
     content_schema: ContentSchema,
@@ -173,6 +176,32 @@ impl EncodedCorpus {
     pub fn concept_labels(&self) -> Option<Vec<u32>> {
         self.kb.iter().map(|(_, r)| r.concept).collect()
     }
+
+    /// A new corpus extending this one with `records`, validated and
+    /// encoded through the same encoder set — the re-encoding path online
+    /// object insertion rides: ids of existing objects are unchanged and
+    /// the new records take the next dense ids, matching what the live
+    /// index assigns.
+    ///
+    /// # Errors
+    /// Returns `(index, error)` of the first record the knowledge base
+    /// rejects; nothing of this corpus is modified either way.
+    pub fn with_records(
+        &self,
+        records: &[ObjectRecord],
+    ) -> Result<Self, (usize, mqa_kb::IngestError)> {
+        let mut kb = self.kb.clone();
+        kb.ingest_all(records.iter().cloned())?;
+        let mut store = self.store.clone();
+        for record in records {
+            store.push(&self.encoders.encode_record(record));
+        }
+        Ok(Self {
+            kb,
+            store,
+            encoders: self.encoders.clone(),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -234,6 +263,27 @@ mod tests {
         assert_eq!(encoders.vector_schema().arity(), 3);
         let c = EncodedCorpus::encode(kb, encoders);
         assert_eq!(c.store().schema().total_dim(), 48);
+    }
+
+    #[test]
+    fn with_records_extends_without_touching_existing_ids() {
+        let c = corpus();
+        let record = c.kb().get(4).clone();
+        let grown = c.with_records(std::slice::from_ref(&record)).unwrap();
+        assert_eq!(grown.kb().len(), 31);
+        assert_eq!(grown.store().len(), 31);
+        // Existing ids unchanged; the new record encodes like its twin.
+        assert_eq!(grown.store().concat_of(4), c.store().concat_of(4));
+        assert_eq!(grown.store().concat_of(30), c.store().concat_of(4));
+        // The source corpus is untouched.
+        assert_eq!(c.kb().len(), 30);
+        // A schema-violating record is rejected with its position.
+        let bad = ObjectRecord::new("bad".to_string(), vec![None, None]);
+        let err = match c.with_records(&[record, bad]) {
+            Err(e) => e,
+            Ok(_) => panic!("empty record must be rejected"),
+        };
+        assert_eq!(err.0, 1);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Typed errors of the retrieval layer.
 
+use crate::framework::FrameworkKind;
+use mqa_graph::MutationError;
 use std::fmt;
 
 /// Errors raised when assembling or driving a retrieval framework.
@@ -23,6 +25,14 @@ pub enum RetrievalError {
         /// The requested result count.
         k: usize,
     },
+    /// The framework does not support online index mutation (only MUST's
+    /// unified index takes live inserts and deletes).
+    MutationUnsupported {
+        /// The framework the mutation was attempted on.
+        framework: FrameworkKind,
+    },
+    /// The index rejected a mutation batch (bad shape, out-of-range id).
+    Mutation(MutationError),
 }
 
 impl fmt::Display for RetrievalError {
@@ -37,6 +47,12 @@ impl fmt::Display for RetrievalError {
                 "bad diversification parameters: lambda {lambda} must be in [0, 1] \
                  and k {k} must be >= 1"
             ),
+            RetrievalError::MutationUnsupported { framework } => write!(
+                f,
+                "the {} framework does not support online index mutation",
+                framework.name()
+            ),
+            RetrievalError::Mutation(e) => write!(f, "mutation rejected: {e}"),
         }
     }
 }

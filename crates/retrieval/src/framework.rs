@@ -1,7 +1,10 @@
 //! The framework trait and its configuration-panel enum.
 
+use crate::error::RetrievalError;
 use crate::query::MultiModalQuery;
 use crate::result::RetrievalOutput;
+use mqa_graph::MutationReport;
+use mqa_vector::{MultiVector, VecId};
 use serde::{Deserialize, Serialize};
 
 /// The retrieval-framework options of the configuration panel.
@@ -70,6 +73,35 @@ pub trait RetrievalFramework: Send + Sync {
                 .iter()
                 .map(|q| self.search_scratch(q, k, ef, scratch))
                 .collect()
+        })
+    }
+
+    /// Inserts a batch of already-encoded objects into the live index,
+    /// publishing a new snapshot for subsequent searches; in-flight
+    /// searches keep reading the generation they pinned. The default
+    /// refuses: only frameworks with a mutable index (MUST) override.
+    ///
+    /// # Errors
+    /// [`RetrievalError::MutationUnsupported`] by default;
+    /// [`RetrievalError::Mutation`] when the index rejects the batch.
+    fn add_objects(&self, objects: &[MultiVector]) -> Result<MutationReport, RetrievalError> {
+        let _ = objects;
+        Err(RetrievalError::MutationUnsupported {
+            framework: self.kind(),
+        })
+    }
+
+    /// Tombstones a batch of objects in the live index; dead objects never
+    /// surface in results again. The default refuses, like
+    /// [`RetrievalFramework::add_objects`].
+    ///
+    /// # Errors
+    /// [`RetrievalError::MutationUnsupported`] by default;
+    /// [`RetrievalError::Mutation`] when the index rejects the batch.
+    fn remove_objects(&self, ids: &[VecId]) -> Result<MutationReport, RetrievalError> {
+        let _ = ids;
+        Err(RetrievalError::MutationUnsupported {
+            framework: self.kind(),
         })
     }
 

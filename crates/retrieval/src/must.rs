@@ -109,6 +109,24 @@ impl RetrievalFramework for MustFramework {
         }
     }
 
+    fn add_objects(
+        &self,
+        objects: &[mqa_vector::MultiVector],
+    ) -> Result<mqa_graph::MutationReport, RetrievalError> {
+        self.index
+            .add_objects(objects)
+            .map_err(RetrievalError::Mutation)
+    }
+
+    fn remove_objects(
+        &self,
+        ids: &[mqa_vector::VecId],
+    ) -> Result<mqa_graph::MutationReport, RetrievalError> {
+        self.index
+            .remove_objects(ids)
+            .map_err(RetrievalError::Mutation)
+    }
+
     fn describe(&self) -> String {
         format!(
             "MUST: {} (weights {:?})",
@@ -250,6 +268,46 @@ mod tests {
         assert_send_sync::<crate::mr::MrFramework>();
         assert_send_sync::<crate::je::JeFramework>();
         assert_send_sync::<std::sync::Arc<dyn RetrievalFramework>>();
+    }
+
+    #[test]
+    fn must_supports_online_mutation_through_the_trait() {
+        let f = framework();
+        let shared: Arc<dyn RetrievalFramework> = Arc::new(framework());
+        // Behind the trait object: insert an encoded copy of object 0,
+        // then retire the original — searches see only the replacement.
+        let qv = f.corpus.store().multivector_of(0);
+        let report = shared.add_objects(std::slice::from_ref(&qv)).unwrap();
+        assert_eq!((report.epoch, report.applied), (1, 1));
+        shared.remove_objects(&[0]).unwrap();
+        let rec = f.corpus.kb().get(0);
+        let img = match rec.content(1).unwrap() {
+            mqa_encoders::RawContent::Image(i) => i.clone(),
+            _ => panic!(),
+        };
+        let out = shared.search(&MultiModalQuery::image(img), 5, 64);
+        assert!(!out.ids().contains(&0), "retired object surfaced");
+        assert_eq!(out.ids()[0], 240, "the inserted duplicate must win");
+    }
+
+    #[test]
+    fn mr_and_je_refuse_mutation() {
+        use crate::error::RetrievalError;
+        let c = corpus();
+        let mr = crate::mr::MrFramework::build(Arc::clone(&c), Metric::L2, &IndexAlgorithm::hnsw());
+        let qv = c.store().multivector_of(0);
+        assert_eq!(
+            mr.add_objects(std::slice::from_ref(&qv)),
+            Err(RetrievalError::MutationUnsupported {
+                framework: FrameworkKind::Mr
+            })
+        );
+        assert_eq!(
+            mr.remove_objects(&[0]),
+            Err(RetrievalError::MutationUnsupported {
+                framework: FrameworkKind::Mr
+            })
+        );
     }
 
     #[test]

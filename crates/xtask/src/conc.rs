@@ -26,8 +26,11 @@
 //!
 //! Guard tracking is deliberately conservative: a guard binding is only
 //! recorded when the acquisition is the *entire* right-hand side of a
-//! `let` (`let g = x.lock();`), so chained temporaries
-//! (`x.lock().map_err(…)?`) never produce long-lived phantom guards.
+//! `let` (`let g = x.lock();`) — optionally followed by a poison-adapter
+//! chain (`.unwrap()` / `.expect(…)` / `.unwrap_or_else(…)`), which
+//! returns the same guard — so chained temporaries
+//! (`x.lock().map_err(…)?`, `x.lock().map(…)`) never produce long-lived
+//! phantom guards.
 //! Guards die at `drop(g)`, at the closing brace of their scope, and
 //! test code (`#[cfg(test)]`) is masked out entirely.
 //!
@@ -758,9 +761,28 @@ fn analyze_file(
                                     }
                                 }
                             }
-                            // Bind only when the acquisition is the whole
-                            // RHS of a `let`.
-                            let ends_stmt = toks.get(close + 1).is_some_and(|t| t.is_punct(";"));
+                            // Bind when the acquisition is the whole RHS of
+                            // a `let`, modulo a trailing poison-adapter
+                            // chain (`.unwrap()` / `.expect(…)` /
+                            // `.unwrap_or_else(…)`): those return the same
+                            // guard, so `let g = m.lock().unwrap_or_else(…);`
+                            // is a real long-lived acquisition, not a
+                            // dropped temporary.
+                            let mut end = close;
+                            while toks.get(end + 1).is_some_and(|t| t.is_punct("."))
+                                && toks.get(end + 2).is_some_and(|t| {
+                                    t.is_ident("unwrap")
+                                        || t.is_ident("expect")
+                                        || t.is_ident("unwrap_or_else")
+                                })
+                                && toks.get(end + 3).is_some_and(|t| t.is_punct("("))
+                            {
+                                match matching_paren(toks, end + 3) {
+                                    Some(c2) => end = c2,
+                                    None => break,
+                                }
+                            }
+                            let ends_stmt = toks.get(end + 1).is_some_and(|t| t.is_punct(";"));
                             if ends_stmt {
                                 if let Some(var) = pending_let.take() {
                                     if let Some(scope) = scopes.last_mut() {
@@ -1185,6 +1207,52 @@ impl S {
 "#;
         let a = one("x/src/s.rs", src);
         assert!(a.findings.is_empty(), "findings: {:?}", a.findings);
+    }
+
+    #[test]
+    fn poison_adapter_chain_still_tracks_the_guard() {
+        // `.lock().unwrap_or_else(…)` returns the same guard, so holding
+        // it across a join() must still fire — the chain is not a
+        // dropped temporary.
+        let src = r#"
+use std::sync::Mutex;
+struct S { m: Mutex<u32> }
+impl S {
+    fn f(&self, h: std::thread::JoinHandle<()>) {
+        let g = self.m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        h.join();
+        drop(g);
+    }
+}
+"#;
+        let a = one("x/src/s.rs", src);
+        let hits: Vec<&Finding> = a
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::GuardAcrossBlocking)
+            .collect();
+        assert_eq!(hits.len(), 1, "findings: {:?}", a.findings);
+        assert!(hits[0].excerpt.contains("`g`"));
+        assert!(a.lock_names.contains("S.m"));
+    }
+
+    #[test]
+    fn workspace_inventory_covers_live_index_locks() {
+        // The online-mutation refactor introduced two locks on the write
+        // path: the snapshot cell's publication slot and the unified
+        // index's single-writer mutex. Both must be inventoried under
+        // their canonical names so the gate watches them — an empty
+        // resolution here would mean mutation locking is invisible to
+        // the cycle analysis.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let a = analyze_workspace(&root).expect("workspace sources readable");
+        for name in ["SnapshotCell.slot", "UnifiedIndex.writer"] {
+            assert!(
+                a.lock_names.contains(name),
+                "lock `{name}` missing from inventory: {:?}",
+                a.lock_names
+            );
+        }
     }
 
     #[test]

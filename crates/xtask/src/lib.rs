@@ -34,7 +34,12 @@
 //! the concurrent engine with tracing enabled must yield exactly one
 //! milestone-complete [`mqa_obs::QueryTrace`] per turn, with queue-wait /
 //! service attribution that adds up, deterministic tail sampling, and a
-//! `/metrics` surface that parses as valid text exposition.
+//! `/metrics` surface that parses as valid text exposition. An eighth,
+//! [`mutate`], is the online-mutation gate: a scripted insert/delete mix
+//! runs against a 2-worker engine, and the gate fails if a tombstoned
+//! object ever surfaces, the result-cache generation misses a bump, the
+//! delete volume never triggers compaction, or a `graph.mutate.*`
+//! instrument stays empty.
 
 pub mod audit;
 pub mod baseline;
@@ -42,6 +47,7 @@ pub mod conc;
 pub mod engine;
 pub mod flow;
 pub mod lint;
+pub mod mutate;
 pub mod obs;
 pub mod rustlex;
 pub mod trace;

@@ -8,7 +8,7 @@
 //! Both commands exit 0 only when clean, so `ci.sh` can chain them.
 
 use mqa_xtask::baseline::Baseline;
-use mqa_xtask::{audit, conc, engine, flow, lint, obs, trace};
+use mqa_xtask::{audit, conc, engine, flow, lint, mutate, obs, trace};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -56,6 +56,15 @@ COMMANDS:
         workers, and that every engine instrument recorded. Writes
         metrics.json into <dir> (default results/engine).
 
+    mutate [--out <dir>] [--seed <n>]
+        Online-mutation gate: run a scripted insert/delete/query mix on a
+        2-worker engine. Fails if a tombstoned object surfaces, the
+        result-cache generation misses a bump, the delete volume never
+        triggers compaction, or a graph.mutate.* instrument stays empty.
+        Writes BENCH_mutate.json (insert/delete throughput, search
+        p50/p99 during mutation vs quiesced) and metrics.json into <dir>
+        (default results/mutate).
+
     trace [--out <dir>] [--seed <n>]
         Per-query tracing gate: run a seeded dialogue through the
         concurrent engine with tracing enabled; every turn must yield
@@ -81,6 +90,7 @@ fn main() -> ExitCode {
         Some("rules") => cmd_rules(),
         Some("obs") => cmd_obs(&args[1..]),
         Some("engine") => cmd_engine(&args[1..]),
+        Some("mutate") => cmd_mutate(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => {
             print!("{USAGE}");
@@ -375,6 +385,62 @@ fn cmd_engine(args: &[String]) -> ExitCode {
                 outcome.cold_page_reads,
                 outcome.warm_page_reads,
                 outcome.cache_read_reduction,
+                out_dir.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_mutate(args: &[String]) -> ExitCode {
+    let mut out_dir = PathBuf::from("results/mutate");
+    let mut seed = 42u64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out_dir = PathBuf::from(p),
+                None => {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => seed = n,
+                None => {
+                    eprintln!("--seed requires an integer");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown mutate option `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match mutate::run(&out_dir, seed) {
+        Ok(outcome) => {
+            println!(
+                "mutate: {} insert(s) at {:.0}/s, {} delete(s) at {:.0}/s, \
+                 {} compaction(s), epoch {}, {} cache bump(s), \
+                 {} quer(ies) clean of dead objects, search p50/p99 \
+                 {}/{} us quiesced vs {}/{} us mutating -> {}",
+                outcome.inserted,
+                outcome.insert_per_sec,
+                outcome.removed,
+                outcome.delete_per_sec,
+                outcome.compactions,
+                outcome.final_epoch,
+                outcome.generation_bumps,
+                outcome.queries_checked,
+                outcome.quiesced_p50_us,
+                outcome.quiesced_p99_us,
+                outcome.mutating_p50_us,
+                outcome.mutating_p99_us,
                 out_dir.display()
             );
             ExitCode::SUCCESS
