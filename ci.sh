@@ -17,6 +17,9 @@ cargo run -q --offline -p mqa-xtask -- conc
 echo "==> mqa-xtask flow (panic-freedom reachability)"
 cargo run -q --offline -p mqa-xtask -- flow
 
+echo "==> mqa-xtask alloc (allocation-freedom reachability)"
+cargo run -q --offline -p mqa-xtask -- alloc
+
 echo "==> mqa-xtask audit"
 cargo run -q --offline -p mqa-xtask -- audit
 

@@ -90,6 +90,7 @@ impl<V> ClockCore<V> {
             return None;
         }
         if self.slots.len() < self.capacity {
+            // ALLOC: cache admission on a miss; the steady-state hit path never inserts.
             self.map.insert(key, self.slots.len());
             // New entries enter unarmed: only a subsequent hit earns the
             // second chance, so a one-shot scan can never flush the
@@ -122,6 +123,7 @@ impl<V> ClockCore<V> {
                 referenced: false,
             };
             self.map.remove(&old);
+            // ALLOC: cache admission on a miss; the steady-state hit path never inserts.
             self.map.insert(key, idx);
             return Some(old);
         }

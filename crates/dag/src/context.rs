@@ -39,6 +39,7 @@ impl Context {
         self.slots
             .get(key)
             .and_then(|a| a.downcast_ref::<T>())
+            // ALLOC: error path only — the artifact name is copied into the miss diagnostic.
             .ok_or_else(|| DagError::MissingArtifact(key.to_string()))
     }
 
@@ -50,11 +51,13 @@ impl Context {
     /// left in place).
     pub fn take<T: Any + Send + Sync>(&mut self, key: &str) -> Result<T, DagError> {
         match self.slots.remove(key) {
+            // ALLOC: error path only — the artifact name is copied into the miss diagnostic.
             None => Err(DagError::MissingArtifact(key.to_string())),
             Some(boxed) => match boxed.downcast::<T>() {
                 Ok(v) => Ok(*v),
                 Err(boxed) => {
                     // Type mismatch: restore the artifact, as documented.
+                    // ALLOC: DAG artifact hand-off between pipeline stages (and its miss diagnostic); not the steady-state search kernel.
                     self.slots.insert(key.to_string(), boxed);
                     Err(DagError::MissingArtifact(key.to_string()))
                 }

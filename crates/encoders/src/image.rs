@@ -97,6 +97,7 @@ impl Encoder for VisualEncoder {
             img.raw_dim(),
             self.raw_dim
         );
+        // ALLOC: per-query embedding buffer, bounded by the schema's modality dim.
         let mut out = vec![0.0f32; self.dim()];
         self.proj.project_dense(img.features(), &mut out);
         for x in &mut out {

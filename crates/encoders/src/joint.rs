@@ -47,6 +47,7 @@ impl JointEncoder {
     pub fn encode(&self, contents: &[Option<RawContent>]) -> Vec<f32> {
         assert_eq!(contents.len(), self.towers.len(), "modality arity mismatch");
         let scale = 1.0 / (self.towers.len() as f32).sqrt();
+        // ALLOC: per-query embedding buffer, bounded by the schema's modality dim.
         let mut out = Vec::with_capacity(self.dim());
         for (tower, content) in self.towers.iter().zip(contents) {
             match content {

@@ -27,6 +27,7 @@ pub(crate) fn tokenize(text: &str) -> Vec<String> {
         .split(|c: char| !c.is_alphanumeric())
         .filter(|t| !t.is_empty() && !STOPWORDS.contains(t))
         .map(str::to_string)
+        // ALLOC: per-query token list, bounded by the query text length.
         .collect()
 }
 
@@ -70,6 +71,7 @@ impl HashingTextEncoder {
 
     fn sparse_features(&self, text: &str) -> Vec<(u32, f32)> {
         let tokens = tokenize(text);
+        // ALLOC: per-query sparse-feature list, bounded by the token count.
         let mut feats = Vec::with_capacity(tokens.len() * 2);
         for t in &tokens {
             feats.push(((token_hash(self.seed, t) as usize % HASH_SPACE) as u32, 1.0));
@@ -77,6 +79,7 @@ impl HashingTextEncoder {
         for pair in tokens.windows(2) {
             // INVARIANT: windows(2) yields exactly-2-element slices, and
             // HASH_SPACE is a non-zero const.
+            // ALLOC: per-query bigram key, bounded by the token count.
             let bigram = format!("{} {}", pair[0], pair[1]);
             feats.push((
                 (token_hash(self.seed, &bigram) as usize % HASH_SPACE) as u32,
@@ -105,6 +108,7 @@ impl Encoder for HashingTextEncoder {
             RawContent::Text(t) | RawContent::Audio(t) => t,
             other => panic!("text encoder fed {:?} content", other.kind()),
         };
+        // ALLOC: per-query embedding buffer, bounded by the schema's modality dim.
         let mut out = vec![0.0f32; self.dim()];
         self.proj
             .project_sparse(&self.sparse_features(text), &mut out);
@@ -159,6 +163,7 @@ impl Encoder for LstmTextEncoder {
             RawContent::Text(t) | RawContent::Audio(t) => t,
             other => panic!("text encoder fed {:?} content", other.kind()),
         };
+        // ALLOC: per-query recurrent state buffers, bounded by the schema's modality dim.
         let mut state = vec![0.0f32; self.dim];
         let mut embed = vec![0.0f32; self.dim];
         for token in tokenize(text) {

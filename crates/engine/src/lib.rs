@@ -33,6 +33,7 @@
 //! `engine.query.latency_us` latency histogram, `engine.query.submitted` counter, and
 //! per-worker `engine.worker.<i>.jobs` counters.
 
+pub mod allocwitness;
 pub mod pool;
 pub mod queue;
 pub mod sync;
@@ -137,6 +138,7 @@ impl QueryEngine {
                 (handle.as_ref().map(mqa_obs::TraceHandle::context), handle)
             }
         };
+        // ALLOC: per-query control-plane rendezvous (the boxed job); the worker-side search it carries is allocation-free (alloc-witness gate).
         let queue_sw = mqa_obs::Stopwatch::start();
         let job: pool::Job = Box::new(move |scratch| {
             let adopted = ctx.as_ref().map(mqa_obs::TraceContext::adopt);
@@ -229,6 +231,7 @@ impl QueryEngine {
     ) -> Result<Vec<RetrievalOutput>, EngineError> {
         let tickets: Vec<Ticket<RetrievalOutput>> = queries
             .into_iter()
+            // ALLOC: the batch API materializes one ticket/result list per call.
             .map(|q| self.submit(q, k, ef))
             .collect::<Result<_, _>>()?;
         tickets.into_iter().map(Ticket::wait).collect()

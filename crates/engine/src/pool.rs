@@ -47,9 +47,15 @@ impl WorkerPool {
                         // and so is the span stack: guards leaked by the
                         // unwind would otherwise pin a stale parent onto
                         // the next job's spans.
+                        let alloc_before = crate::allocwitness::checkpoint();
                         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                             job(&mut scratch)
                         }));
+                        // Job-side allocation accounting (feature
+                        // `alloc-witness`): the delta is read before any
+                        // recording so the histograms never measure
+                        // their own bookkeeping.
+                        crate::allocwitness::record_job(&alloc_before);
                         if caught.is_err() {
                             mqa_obs::counter("engine.worker.job_panics").inc();
                             scratch = SearchScratch::new();

@@ -193,6 +193,7 @@ pub mod witness {
             {
                 Some(p) => p.count += 1,
                 None => pairs.push(WitnessPair {
+                    // ALLOC: witness recording only — `record` runs solely while the lock witness is enabled, never in serving builds.
                     from: from.to_string(),
                     to: to.to_string(),
                     held,
@@ -203,6 +204,7 @@ pub mod witness {
         // Counter names mirror the pair kinds; incremented outside the
         // PAIRS guard so the obs registry mutex stays a leaf lock.
         let kind = if held { "held" } else { "seq" };
+        // ALLOC: witness recording only (see the enabled gate in `acquire`).
         mqa_obs::counter(&format!("engine.lockwitness.{kind}.{from}->{to}")).inc();
     }
 
@@ -212,6 +214,7 @@ pub mod witness {
         }
         let (held_under, seq_from) = HELD.with(|h| {
             let mut h = h.borrow_mut();
+            // ALLOC: witness recording only — `acquire` early-returns while the witness is disabled.
             let held_under: Vec<&'static str> = h.iter().copied().collect();
             let seq_from = if held_under.is_empty() {
                 LAST.with(|l| l.borrow().filter(|&p| p != name))
@@ -228,6 +231,7 @@ pub mod witness {
         if let Some(from) = seq_from {
             record(from, name, false);
         }
+        // ALLOC: witness recording only (enabled-gated above).
         mqa_obs::counter(&format!("engine.lockwitness.acquire.{name}")).inc();
     }
 

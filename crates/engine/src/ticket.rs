@@ -35,6 +35,7 @@ pub struct TicketSender<T> {
 
 /// Creates a connected ticket/sender pair.
 pub fn oneshot<T>() -> (Ticket<T>, TicketSender<T>) {
+    // ALLOC: one rendezvous cell per submitted query; control-plane, not the search kernel.
     let shared = Arc::new(Shared {
         slot: TracedMutex::new("engine.ticket.slot", TicketState::Pending),
         cv: Condvar::new(),

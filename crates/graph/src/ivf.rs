@@ -372,6 +372,7 @@ impl GraphSearcher for IvfSearcher {
                 let probe = members[members.len() / 2];
                 (c, dist.exact(probe))
             })
+            // ALLOC: per-query cell ranking, one entry per non-empty IVF cell.
             .collect();
         cell_rank.sort_by(|a, b| a.1.total_cmp(&b.1));
 

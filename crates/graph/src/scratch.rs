@@ -21,7 +21,7 @@
 //! property tests in `tests/scratch_reuse.rs` pin this bit-for-bit across
 //! every index algorithm, including across an epoch wraparound.
 
-use mqa_vector::{Candidate, MinCandidate, VecId};
+use mqa_vector::{Candidate, MinCandidate, TopK, VecId};
 use std::cell::RefCell;
 use std::collections::BinaryHeap;
 
@@ -39,6 +39,8 @@ impl VisitedSet {
     /// [`VisitedSet::next_epoch`] before first use.
     pub fn new(n: usize) -> Self {
         Self {
+            // ALLOC: one stamp array per scratch, sized to the population;
+            // reused across every query the scratch serves.
             stamp: vec![0; n],
             epoch: 0,
         }
@@ -119,6 +121,9 @@ pub struct SearchScratch {
     pub(crate) frontier: BinaryHeap<MinCandidate>,
     /// Every candidate evaluated (construction's selection pool).
     pub(crate) evaluated: Vec<Candidate>,
+    /// The reusable top-`k` beam collector (`search_paged_into`'s
+    /// zero-allocation result path).
+    pub(crate) beam: TopK,
 }
 
 impl SearchScratch {
@@ -128,8 +133,14 @@ impl SearchScratch {
         Self {
             visited: VisitedSet::new(0),
             pages: VisitedSet::new(0),
+            // ALLOC: `BinaryHeap::new` / `Vec::new` are capacity-0 and
+            // touch the heap only once buffers grow on first use; the
+            // scratch is pooled, so growth amortizes to zero per query.
             frontier: BinaryHeap::new(),
             evaluated: Vec::new(),
+            // ALLOC: the beam's k+1 slots are allocated once per scratch
+            // and re-armed per query via TopK::reset.
+            beam: TopK::new(1),
         }
     }
 
@@ -183,6 +194,8 @@ pub fn with_pooled<R>(f: impl FnOnce(&mut SearchScratch) -> R) -> R {
         }
         None => {
             mqa_obs::counter("graph.scratch.allocs").inc();
+            // ALLOC: one scratch per thread (or per reentrant search);
+            // every later query on this thread reuses it.
             Box::new(SearchScratch::new())
         }
     };

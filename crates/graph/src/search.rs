@@ -67,10 +67,9 @@ impl SearchStats {
         reg.counter("graph.search.pages_read").add(self.pages_read);
         reg.counter("graph.search.pages_cached")
             .add(self.pages_cached);
-        reg.histogram(&format!("graph.{algo}.search_us"))
-            .record(elapsed_us);
-        reg.histogram(&format!("graph.{algo}.evals"))
-            .record(self.total_distance_work());
+        let (latency_name, work_name) = per_algo_histogram_names(algo);
+        reg.histogram(latency_name).record(elapsed_us);
+        reg.histogram(work_name).record(self.total_distance_work());
         // Attribute the same work to the active query trace, if any.
         mqa_obs::trace::add_search_work(
             self.hops,
@@ -79,6 +78,24 @@ impl SearchStats {
             self.pages_read,
             self.pages_cached,
         );
+    }
+}
+
+/// The per-algorithm histogram names for `algo`, precomputed for every
+/// index algorithm the workspace ships so the per-query record path never
+/// formats a metric name. Unknown algorithm names (external `GraphIndex`
+/// impls) fall back to the unlabeled workspace-wide histograms rather
+/// than allocating.
+fn per_algo_histogram_names(algo: &str) -> (&'static str, &'static str) {
+    match algo {
+        "flat" => ("graph.flat.search_us", "graph.flat.evals"),
+        "hnsw" => ("graph.hnsw.search_us", "graph.hnsw.evals"),
+        "ivf" => ("graph.ivf.search_us", "graph.ivf.evals"),
+        "nsg" => ("graph.nsg.search_us", "graph.nsg.evals"),
+        "vamana" => ("graph.vamana.search_us", "graph.vamana.evals"),
+        "mqa-graph" => ("graph.mqa-graph.search_us", "graph.mqa-graph.evals"),
+        "starling" => ("graph.starling.search_us", "graph.starling.evals"),
+        _ => ("graph.other.search_us", "graph.other.evals"),
     }
 }
 

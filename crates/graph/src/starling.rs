@@ -255,6 +255,28 @@ impl PagedIndex {
         ef: usize,
         scratch: &mut SearchScratch,
     ) -> SearchOutput {
+        // ALLOC: materializes the returned hit list (at most k entries);
+        // allocation-averse callers use `search_paged_into` with a
+        // caller-owned buffer instead.
+        let mut results = Vec::with_capacity(k.min(ef.max(k)));
+        let stats = self.search_paged_into(dist, k, ef, scratch, &mut results);
+        SearchOutput { results, stats }
+    }
+
+    /// [`PagedIndex::search_paged_with`] writing the hits into a
+    /// caller-owned buffer instead of returning a fresh `Vec`: the beam
+    /// collector, frontier, and both visited sets all live on `scratch`,
+    /// so a warmed `(scratch, out)` pair serves a query with **zero heap
+    /// allocations** — the property the `alloc-witness` counting
+    /// allocator pins in the engine gate. Returns the work stats.
+    pub fn search_paged_into(
+        &self,
+        dist: &mut dyn DistanceFn,
+        k: usize,
+        ef: usize,
+        scratch: &mut SearchScratch,
+        out: &mut Vec<Candidate>,
+    ) -> SearchStats {
         assert!(k > 0, "search requires k >= 1");
         let sw = mqa_obs::Stopwatch::start();
         let ef = ef.max(k);
@@ -265,9 +287,10 @@ impl PagedIndex {
             visited,
             pages,
             frontier,
+            beam,
             ..
         } = scratch;
-        let mut results = TopK::new(ef);
+        beam.reset(ef);
         for &e in &self.entries {
             if !visited.insert(e) {
                 continue;
@@ -276,11 +299,11 @@ impl PagedIndex {
             let d = dist.exact(e);
             stats.evals += 1;
             let c = Candidate::new(e, d);
-            results.offer(c);
+            beam.offer(c);
             frontier.push(MinCandidate(c));
         }
         while let Some(MinCandidate(current)) = frontier.pop() {
-            if current.dist > results.bound() {
+            if current.dist > beam.bound() {
                 break;
             }
             stats.hops += 1;
@@ -289,11 +312,11 @@ impl PagedIndex {
                     continue;
                 }
                 self.read_page(nb, pages, &mut stats);
-                match dist.eval(nb, results.bound()) {
+                match dist.eval(nb, beam.bound()) {
                     Some(d) => {
                         stats.evals += 1;
                         let c = Candidate::new(nb, d);
-                        if results.offer(c) {
+                        if beam.offer(c) {
                             frontier.push(MinCandidate(c));
                         }
                     }
@@ -301,13 +324,10 @@ impl PagedIndex {
                 }
             }
         }
-        let mut out = results.into_sorted();
+        beam.drain_sorted_into(out);
         out.truncate(k);
         stats.record("starling", sw.elapsed_us());
-        SearchOutput {
-            results: out,
-            stats,
-        }
+        stats
     }
 
     /// [`PagedIndex::search_paged`] over a mutated index: tombstoned

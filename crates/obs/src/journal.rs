@@ -112,6 +112,7 @@ impl Journal {
         let ts_us =
             s.t0.map(|t0| u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX))
                 .unwrap_or(0);
+        // ALLOC: journal recording only — `push` early-returns while the journal is disabled (the steady-state default).
         let mut entries = Vec::with_capacity(fields.len() + 2);
         entries.push(("ts_us".to_string(), Value::Number(Number::UInt(ts_us))));
         entries.push(("kind".to_string(), Value::String(kind.to_string())));
@@ -124,6 +125,7 @@ impl Journal {
 
     /// A copy of the recorded lines, in order.
     pub fn lines(&self) -> Vec<String> {
+        // ALLOC: diagnostic snapshot of the journal; not on the serving path.
         lock(&self.state).lines.clone()
     }
 
@@ -148,6 +150,7 @@ impl Journal {
 
 /// String field helper.
 fn vs(s: &str) -> Value {
+    // ALLOC: journal field construction; reached only from enabled-journal records.
     Value::String(s.to_string())
 }
 
@@ -194,10 +197,12 @@ pub(crate) fn span_open(id: u64, name: &str, parent_id: Option<u64>, depth: usiz
     if !j.is_enabled() {
         return;
     }
+    // ALLOC: journal recording only — enabled-checked above.
     let mut entries = vec![("name".to_string(), vs(name)), ("id".to_string(), vu(id))];
     if let Some(pid) = parent_id {
         entries.push(("parent".to_string(), vu(pid)));
     }
+    // ALLOC: journal recording only — enabled-checked above.
     entries.push(("depth".to_string(), vu(depth as u64)));
     j.push("span_open", entries);
 }
@@ -207,14 +212,11 @@ pub(crate) fn span_close(id: u64, name: &str, dur_us: u64) {
     if !j.is_enabled() {
         return;
     }
-    j.push(
-        "span_close",
-        vec![
-            ("name".to_string(), vs(name)),
-            ("id".to_string(), vu(id)),
-            ("dur_us".to_string(), vu(dur_us)),
-        ],
-    );
+    // ALLOC: journal recording only — enabled-checked above.
+    let mut entries = vec![("name".to_string(), vs(name)), ("id".to_string(), vu(id))];
+    // ALLOC: still inside the enabled-only branch (checked above).
+    entries.push(("dur_us".to_string(), vu(dur_us)));
+    j.push("span_close", entries);
 }
 
 #[cfg(test)]

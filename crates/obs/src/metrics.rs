@@ -240,8 +240,17 @@ impl Registry {
     }
 
     /// The counter named `name`, created on first use.
+    ///
+    /// Steady-state lookups take the borrowed fast path: an existing name
+    /// clones the `Arc` without copying the key, so a warmed registry
+    /// performs zero heap allocations per call (the alloc gate's serving
+    /// cone relies on this).
     pub fn counter(&self, name: &str) -> Counter {
         let mut map = lock(&self.counters);
+        if let Some(cell) = map.get(name) {
+            return Counter(Arc::clone(cell));
+        }
+        // ALLOC: first use of a metric name registers it; never hit again.
         let cell = map
             .entry(name.to_string())
             .or_insert_with(|| Arc::new(AtomicU64::new(0)));
@@ -249,17 +258,28 @@ impl Registry {
     }
 
     /// The gauge named `name`, created on first use (initially 0.0).
+    /// Existing names take the allocation-free fast path (see
+    /// [`Registry::counter`]).
     pub fn gauge(&self, name: &str) -> Gauge {
         let mut map = lock(&self.gauges);
+        if let Some(cell) = map.get(name) {
+            return Gauge(Arc::clone(cell));
+        }
+        // ALLOC: first use of a metric name registers it; never hit again.
         let cell = map
             .entry(name.to_string())
             .or_insert_with(|| Arc::new(AtomicU64::new(0f64.to_bits())));
         Gauge(Arc::clone(cell))
     }
 
-    /// The histogram named `name`, created on first use.
+    /// The histogram named `name`, created on first use. Existing names
+    /// take the allocation-free fast path (see [`Registry::counter`]).
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         let mut map = lock(&self.histograms);
+        if let Some(cell) = map.get(name) {
+            return Arc::clone(cell);
+        }
+        // ALLOC: first use of a metric name registers it; never hit again.
         let cell = map
             .entry(name.to_string())
             .or_insert_with(|| Arc::new(Histogram::new()));
@@ -268,14 +288,29 @@ impl Registry {
 
     /// Folds one closed span into the per-name aggregate. The first
     /// recorded parent wins (span trees are stable per call site).
+    /// Existing names take the allocation-free fast path (see
+    /// [`Registry::counter`]).
     pub fn record_span(&self, name: &str, parent: Option<&str>, dur_us: u64) {
         let mut map = lock(&self.spans);
+        if let Some(stat) = map.get_mut(name) {
+            if stat.parent.is_none() {
+                if let Some(p) = parent {
+                    // ALLOC: first parent attribution for the name; at
+                    // most once per span name.
+                    stat.parent = Some(p.to_string());
+                }
+            }
+            stat.hist.record(dur_us);
+            return;
+        }
+        // ALLOC: first close of a span name registers it; never hit again.
         let stat = map.entry(name.to_string()).or_insert_with(|| SpanStat {
             parent: None,
             hist: Histogram::new(),
         });
         if stat.parent.is_none() {
             if let Some(p) = parent {
+                // ALLOC: recorded once, at first registration of this span name.
                 stat.parent = Some(p.to_string());
             }
         }

@@ -12,9 +12,17 @@
 
 use crate::journal;
 use crate::metrics::global;
+use std::borrow::Cow;
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+/// A span name: either a `&'static str` (the common case — every
+/// fixed-name call site) or an owned `String` for genuinely dynamic names
+/// (per-task DAG spans). Taking `impl Into<SpanName>` instead of
+/// `impl Into<String>` keeps static-name spans off the heap entirely:
+/// opening and closing such a span performs no allocation.
+pub type SpanName = Cow<'static, str>;
 
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
 
@@ -25,8 +33,10 @@ pub(crate) fn next_id() -> u64 {
 }
 
 thread_local! {
-    /// Open spans on this thread, innermost last: `(id, name)`.
-    static STACK: RefCell<Vec<(u64, String)>> = const { RefCell::new(Vec::new()) };
+    /// Open spans on this thread, innermost last: `(id, name)`. Names are
+    /// [`SpanName`]s, so pushing a static-name span clones a borrow, not a
+    /// `String`.
+    static STACK: RefCell<Vec<(u64, SpanName)>> = const { RefCell::new(Vec::new()) };
 }
 
 /// An open span; closing records its duration under its name.
@@ -36,25 +46,28 @@ thread_local! {
 #[must_use = "dropping immediately times nothing; bind to `_guard` or call finish()"]
 pub struct SpanGuard {
     id: u64,
-    name: String,
-    parent: Option<String>,
+    name: SpanName,
+    parent: Option<SpanName>,
     start: Instant,
     closed: bool,
 }
 
 /// Opens a span named `name` nested under the innermost open span on this
 /// thread (a root span if none is open).
-pub fn span(name: impl Into<String>) -> SpanGuard {
+pub fn span(name: impl Into<SpanName>) -> SpanGuard {
     open(name.into(), None)
 }
 
 /// Opens a span with an explicit parent name, for work running on a thread
 /// whose stack does not contain the logical parent (e.g. scoped workers).
-pub fn span_under(name: impl Into<String>, parent: &str) -> SpanGuard {
-    open(name.into(), Some(parent.to_string()))
+pub fn span_under(name: impl Into<SpanName>, parent: &str) -> SpanGuard {
+    // ALLOC: explicit parents are cross-thread attribution under active
+    // tracing, which copies trace state by design; the common nested
+    // `span()` path stays allocation-free.
+    open(name.into(), Some(SpanName::Owned(parent.to_string())))
 }
 
-fn open(name: String, explicit_parent: Option<String>) -> SpanGuard {
+fn open(name: SpanName, explicit_parent: Option<SpanName>) -> SpanGuard {
     let id = next_id();
     let (stack_parent, parent_id, depth) = STACK.with(|s| {
         let mut s = s.borrow_mut();

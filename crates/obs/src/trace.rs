@@ -242,6 +242,7 @@ impl TraceContext {
                 true
             } else {
                 inner.stages.push(StageRecord {
+                    // ALLOC: stage attribution copies names only while a trace is active.
                     name: name.to_string(),
                     parent: parent.unwrap_or("").to_string(),
                     dur_us,
@@ -464,6 +465,7 @@ fn begin_inner(root: &str, install: bool) -> Option<TraceHandle> {
     }
     let ctx = TraceContext {
         id: crate::span::next_id(),
+        // ALLOC: per-trace context, minted only when tracing is enabled (checked above).
         root: Arc::from(root),
         inner: Arc::new(Mutex::new(TraceInner::default())),
     };
@@ -540,6 +542,7 @@ pub fn note_serial_fallback() {
 pub fn note_framework(name: &str) {
     with_current(|i| {
         if i.framework.is_empty() {
+            // ALLOC: trace attribution; with_current no-ops unless a trace is active.
             i.framework = name.to_string();
         }
     });

@@ -39,6 +39,7 @@ pub fn mmr_diversify(
         return Err(RetrievalError::BadDiversification { lambda, k });
     }
     if candidates.is_empty() {
+        // ALLOC: capacity-0 Vec for the empty result; never touches the heap.
         return Ok(Vec::new());
     }
     let _span = mqa_obs::span("retrieval.diversify");
@@ -63,6 +64,7 @@ pub fn mmr_diversify(
             .fused_distance(&store.multivector_of(b), weights, metric)
     };
 
+    // ALLOC: MMR's per-call working copy and result list, bounded by the candidate count.
     let mut remaining: Vec<Candidate> = candidates.to_vec();
     let mut picked: Vec<Candidate> = Vec::with_capacity(k);
     // Estimate the pool's internal distance scale for similarity
@@ -80,6 +82,7 @@ pub fn mmr_diversify(
         // INVARIANT: candidates is non-empty (early return above), so the
         // last element exists.
         .chain(std::iter::once(candidates[candidates.len() - 1].id))
+        // ALLOC: per-call reassembled candidate vectors for the similarity term.
         .collect();
     let mut pool_scale = 0.0f32;
     for (i, &a) in sample.iter().enumerate() {

@@ -124,6 +124,7 @@ impl EncoderSet {
             .iter()
             .zip(&self.encoders)
             .map(|(content, enc)| content.as_ref().map(|c| enc.encode(c)))
+            // ALLOC: per-query encoded-legs list, one entry per modality.
             .collect();
         MultiVector::partial(&self.vector_schema, parts)
     }

@@ -107,6 +107,7 @@ impl JeFramework {
                 .iter()
                 .any(|f| matches!(f.kind, ModalityKind::Image | ModalityKind::Video));
             if q.image.is_none() && has_visual {
+                // ALLOC: joint-embedding completion synthesizes the missing modality once per query.
                 q.image = Some(ImageData::new(vec![0.5; schema.raw_image_dim()]));
             }
             let has_text = schema
@@ -114,6 +115,7 @@ impl JeFramework {
                 .iter()
                 .any(|f| matches!(f.kind, ModalityKind::Text | ModalityKind::Audio));
             if q.text.is_none() && has_text {
+                // ALLOC: capacity-0 String placeholder; never touches the heap.
                 q.text = Some(String::new());
             }
         }

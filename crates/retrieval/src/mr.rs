@@ -66,6 +66,7 @@ impl RetrievalFramework for MrFramework {
         };
         let fetch = k * OVERSAMPLE;
         let mut stats = mqa_graph::SearchStats::default();
+        // ALLOC: per-query RRF fusion table, bounded by the union of per-leg results.
         let mut rrf: HashMap<ObjectId, f64> = HashMap::new();
         let mut searched = 0usize;
         for (m, part) in qv.present() {
@@ -80,6 +81,7 @@ impl RetrievalFramework for MrFramework {
             stats.merge(&out.stats);
             searched += 1;
             for (rank, c) in out.results.iter().enumerate() {
+                // ALLOC: RRF table growth, bounded by the union of per-leg results.
                 *rrf.entry(c.id).or_insert(0.0) += 1.0 / (RRF_K + rank as f64 + 1.0);
             }
         }
@@ -92,6 +94,7 @@ impl RetrievalFramework for MrFramework {
             // INVARIANT: RRF scores live in [0, 1), so the f64 -> f32
             // narrowing loses only sub-epsilon tail precision.
             .map(|(id, score)| Candidate::new(id, (1.0 - score) as f32))
+            // ALLOC: the fused result list handed back to the caller.
             .collect();
         merged.sort_unstable();
         merged.truncate(k);

@@ -88,6 +88,7 @@ impl MultiModalQuery {
                     self.image.as_ref().map(|i| RawContent::Image(i.clone()))
                 }
             })
+            // ALLOC: per-query contents list, one entry per modality.
             .collect();
         assert!(
             contents.iter().any(Option::is_some),

@@ -215,6 +215,7 @@ impl MultiVector {
     /// missing modalities. This is the representation the JE baseline and
     /// the unified navigation graph store.
     pub fn concat(&self, schema: &Schema) -> Vec<f32> {
+        // ALLOC: one fused vector per pushed object (build/mutation path).
         let mut out = Vec::with_capacity(schema.total_dim());
         for (m, p) in self.parts.iter().enumerate() {
             match p {
@@ -291,11 +292,13 @@ impl Weights {
     /// would contribute to similarity).
     pub fn normalized(raw: &[f32]) -> Self {
         assert!(!raw.is_empty(), "weights require at least one modality");
+        // ALLOC: per-query weight normalization, bounded by the modality arity.
         let clamped: Vec<f32> = raw.iter().map(|&x| x.max(0.0)).collect();
         let sum: f32 = clamped.iter().sum();
         assert!(sum > 0.0, "at least one weight must be positive");
         let scale = crate::cast::count_f32(raw.len()) / sum;
         Self {
+            // ALLOC: per-query weight normalization, bounded by the modality arity.
             w: clamped.into_iter().map(|x| x * scale).collect(),
         }
     }

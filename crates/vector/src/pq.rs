@@ -214,6 +214,7 @@ impl PqCodebook {
                 }
                 crate::cast::pq_code(best)
             })
+            // ALLOC: one code vector per encoded vector, bounded by the subspace count.
             .collect()
     }
 

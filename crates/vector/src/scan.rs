@@ -108,6 +108,7 @@ impl FusedScanner {
     pub fn new(schema: &Schema, query: &MultiVector, weights: &Weights, metric: Metric) -> Self {
         assert_eq!(query.arity(), schema.arity(), "query arity mismatch");
         assert_eq!(weights.arity(), schema.arity(), "weights arity mismatch");
+        // ALLOC: per-scanner block list and query copy, built once per query.
         let mut blocks = Vec::new();
         for (m, q) in query.present() {
             let w = weights.get(m);
@@ -115,6 +116,7 @@ impl FusedScanner {
                 blocks.push(Block {
                     offset: schema.offset(m),
                     weight: w,
+                    // ALLOC: the scanner's query copy, one per query.
                     query: q.to_vec(),
                 });
             }

@@ -156,6 +156,7 @@ impl MultiVectorStore {
             "push: modality arity mismatch"
         );
         let flat = mv.concat(&self.schema);
+        // ALLOC: per-inserted-object presence mask (build/mutation path).
         let mask = (0..mv.arity()).map(|m| mv.part(m).is_some()).collect();
         self.present.push(mask);
         self.concat.push(&flat)
@@ -190,6 +191,7 @@ impl MultiVectorStore {
     /// Reconstructs the full [`MultiVector`] of object `id`.
     pub fn multivector_of(&self, id: VecId) -> MultiVector {
         let parts = (0..self.schema.arity())
+            // ALLOC: reassembled multivector for diversification, bounded by the modality arity.
             .map(|m| self.part_of(id, m).map(|v| v.to_vec()))
             .collect();
         MultiVector::partial(&self.schema, parts)

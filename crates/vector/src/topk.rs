@@ -83,8 +83,42 @@ impl TopK {
         assert!(k > 0, "top-k requires k >= 1");
         Self {
             k,
+            // ALLOC: one beam buffer per collector; reusing callers hold a
+            // TopK and re-arm it with `reset` instead of constructing.
             heap: BinaryHeap::with_capacity(k + 1),
         }
+    }
+
+    /// Re-arms the collector for a fresh query with bound `k`, keeping the
+    /// heap's buffer. A warmed collector (one whose capacity has already
+    /// reached `k + 1`) is re-armed without touching the heap.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn reset(&mut self, k: usize) {
+        assert!(k > 0, "top-k requires k >= 1");
+        self.k = k;
+        self.heap.clear();
+        // ALLOC: capacity grows to the largest beam seen, then sticks
+        // (reserve is a no-op once warmed).
+        self.heap.reserve(k + 1);
+    }
+
+    /// Drains the retained candidates into `out`, sorted by ascending
+    /// distance (ties broken by id), clearing `out` first. The heap's
+    /// buffer is kept, so a warmed `(collector, out)` pair round-trips a
+    /// query with zero allocations — this is the steady-state serving
+    /// path's result-materialization primitive.
+    pub fn drain_sorted_into(&mut self, out: &mut Vec<Candidate>) {
+        out.clear();
+        // ALLOC: out grows to the largest result set seen, then sticks
+        // (reserve is a no-op once warmed).
+        out.reserve(self.heap.len());
+        // Max-heap pops worst-first; reverse yields ascending distance.
+        while let Some(c) = self.heap.pop() {
+            out.push(c);
+        }
+        out.reverse();
     }
 
     /// Capacity `k`.

@@ -1,0 +1,667 @@
+//! Allocation-freedom analysis (`mqa-xtask alloc`).
+//!
+//! The same two-pass call-graph shape as [`crate::flow`] (shared
+//! machinery in [`crate::callgraph`]), instantiated for *heap
+//! allocation*: pass 1 inventories every allocation-capable site in
+//! workspace library code, pass 2 computes the allocation cone from the
+//! steady-state serving entry points and reports every reachable site
+//! with a sample call chain. PR 3 made search allocation-free by
+//! construction (epoch-stamped `SearchScratch`); this gate turns that
+//! convention into a machine-checked invariant, cross-validated at
+//! runtime by the feature-gated counting allocator in
+//! `mqa-engine` (`--features alloc-witness`).
+//!
+//! **Allocation-capable sites** ([`AllocKind`]):
+//! `Vec`/`Box`/`Arc`/`Rc`/`String`/`HashMap`/`BTreeMap`/… constructor
+//! calls (`new`/`with_capacity`/`from`/`default`), the `vec![…]` and
+//! `format!`-family macros, `.to_string()`/`.to_owned()`/`.to_vec()`,
+//! `.collect()`, `.clone()` on a receiver known to own heap storage, and
+//! `.insert(…)`/`.entry(…)` on a receiver known to be a map/set. The
+//! receiver heuristics are file-granular and deterministic: an identifier
+//! (local, param, or struct field) counts as heap-owning when its
+//! declared type's *first* capitalized name is a heap container — so
+//! `Arc<Vec<T>>` is *not* a heap clone (refcount bump only), while
+//! `Vec<T>` is. Unknown receivers are skipped; the runtime witness is
+//! the catch-all for what the heuristic cannot see.
+//!
+//! **Entry points** ([`ALLOC_ENTRY_POINTS`]) are the *steady-state* query
+//! path: every `search_with` impl, `QueryEngine::{submit,retrieve,
+//! retrieve_batch}` (whose bodies include the worker-job closure),
+//! `PageCache::probe`, `ResultCache::get`, `mmr_diversify`, and the
+//! trace record path (`record_stage`/`add_search_work`). Build,
+//! mutation, and dialogue-turn paths allocate by design and are out of
+//! scope.
+//!
+//! A site is discharged three ways, strictly ordered by preference:
+//! 1. **Fix it** — hoist the allocation out of the per-query path.
+//! 2. **`// ALLOC:` comment** — same 3-line window as flow's
+//!    `// INVARIANT:`; documents *why* the allocation is init-only,
+//!    amortized, or a deliberate per-query transfer of ownership.
+//! 3. **Waiver** in `alloc-baseline.toml` — mandatory reason, stale
+//!    waivers fail the gate; for sites shared across call sites where a
+//!    comment would mislead (e.g. whole encode stages).
+
+use crate::baseline::Baseline;
+use crate::callgraph::{self, build_cone, discharge_mask, EntryOwner, EntryPoint, Inventory, Site};
+use crate::flow::load_workspace_sources;
+use crate::lint::{strip, test_mask, Finding, Rule};
+use crate::rustlex::{lex, Kind, Tok};
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Heap-container type names whose constructors allocate (or whose
+/// values own heap storage, for the clone heuristic).
+const HEAP_TYPES: [&str; 11] = [
+    "Vec",
+    "VecDeque",
+    "Box",
+    "String",
+    "HashMap",
+    "HashSet",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "Arc",
+    "Rc",
+];
+
+/// The subset of [`HEAP_TYPES`] whose `.clone()` is a refcount bump, not
+/// a deep copy — excluded from the clone heuristic.
+const RC_TYPES: [&str; 2] = ["Arc", "Rc"];
+
+/// Map/set containers whose `.insert(…)`/`.entry(…)` can allocate.
+const MAP_TYPES: [&str; 4] = ["HashMap", "HashSet", "BTreeMap", "BTreeSet"];
+
+/// Constructor names that produce a (potentially) allocating container.
+const CTOR_NAMES: [&str; 4] = ["new", "with_capacity", "from", "default"];
+
+/// Macros that build a `String` per call.
+const FORMAT_MACROS: [&str; 2] = ["format", "format_args_alloc"];
+
+/// What kind of allocation-capable construct a site is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocKind {
+    /// `Vec::new()` / `HashMap::with_capacity(…)` / `Box::new(…)` /
+    /// `Arc::new(…)` / `String::from(…)` — any heap-container
+    /// constructor.
+    Ctor,
+    /// The `vec![…]` macro (subsumes the retired `no-visited-alloc`
+    /// lint's `vec![false; n]` check).
+    VecMacro,
+    /// `format!(…)` — a fresh `String` per call.
+    FormatMacro,
+    /// `.to_string()` / `.to_owned()` / `.to_vec()`.
+    ToOwned,
+    /// `.clone()` on a receiver known to own heap storage.
+    CloneHeap,
+    /// `.collect()` — materializes an iterator into a container.
+    Collect,
+    /// `.insert(…)` / `.entry(…)` on a known map/set receiver.
+    MapInsert,
+}
+
+impl AllocKind {
+    /// Short display name used in finding excerpts.
+    pub fn describe(self) -> &'static str {
+        match self {
+            AllocKind::Ctor => "alloc-ctor",
+            AllocKind::VecMacro => "vec-macro",
+            AllocKind::FormatMacro => "format",
+            AllocKind::ToOwned => "to-owned",
+            AllocKind::CloneHeap => "heap-clone",
+            AllocKind::Collect => "collect",
+            AllocKind::MapInsert => "map-insert",
+        }
+    }
+}
+
+/// One allocation-capable site.
+pub type AllocSite = Site<AllocKind>;
+
+/// Per-line mask from the *raw* source: `true` where an `// ALLOC:`
+/// comment on the same line or up to three lines above discharges an
+/// allocation site. See [`callgraph::discharge_mask`] for the window
+/// semantics.
+pub fn alloc_mask(source: &str) -> Vec<bool> {
+    discharge_mask(source, "ALLOC:")
+}
+
+/// Identifiers (locals, params, struct fields) whose declared type's
+/// first capitalized name is a heap container, split into all-heap and
+/// map-typed sets. Also catches `let x = vec![…]` / `let x = Vec::new()`
+/// initializer forms. File-granular and deterministic, mirroring flow's
+/// `float_idents`.
+fn heap_idents<'t>(toks: &[&'t Tok]) -> (BTreeSet<&'t str>, BTreeSet<&'t str>) {
+    let mut heap = BTreeSet::new();
+    let mut maps = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        // `name: Type` — annotation on a param, field, or local.
+        if t.kind == Kind::Ident && toks.get(i + 1).is_some_and(|n| n.is_punct(":")) {
+            let mut j = i + 2;
+            while toks
+                .get(j)
+                .is_some_and(|t| t.is_punct("&") || t.is_ident("mut") || t.kind == Kind::Lifetime)
+            {
+                j += 1;
+            }
+            if let Some(ty) = toks.get(j) {
+                if ty.kind == Kind::Ident {
+                    let name = ty.text.as_str();
+                    if HEAP_TYPES.contains(&name) && !RC_TYPES.contains(&name) {
+                        heap.insert(t.text.as_str());
+                    }
+                    if MAP_TYPES.contains(&name) {
+                        maps.insert(t.text.as_str());
+                    }
+                }
+            }
+        }
+        // `let [mut] x = Vec::…` / `let [mut] x = vec![…]`.
+        if t.is_ident("let") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            let Some(var) = toks.get(j).filter(|t| t.kind == Kind::Ident) else {
+                continue;
+            };
+            if !toks.get(j + 1).is_some_and(|t| t.is_punct("=")) {
+                continue;
+            }
+            if let Some(init) = toks.get(j + 2) {
+                if init.kind == Kind::Ident {
+                    let name = init.text.as_str();
+                    let qualified = toks.get(j + 3).is_some_and(|t| t.is_punct("::"));
+                    let is_vec_macro =
+                        name == "vec" && toks.get(j + 3).is_some_and(|t| t.is_punct("!"));
+                    if (qualified && HEAP_TYPES.contains(&name) && !RC_TYPES.contains(&name))
+                        || is_vec_macro
+                    {
+                        heap.insert(var.text.as_str());
+                    }
+                    if qualified && MAP_TYPES.contains(&name) {
+                        maps.insert(var.text.as_str());
+                    }
+                }
+            }
+        }
+    }
+    (heap, maps)
+}
+
+/// Scans a (test-masked) token stream for allocation-capable sites.
+/// `mask` is the per-raw-line [`alloc_mask`]; sites on exempted lines are
+/// discharged.
+pub fn scan_alloc_sites(toks: &[&Tok], mask: &[bool]) -> Vec<AllocSite> {
+    let exempt = |line: usize| mask.get(line - 1).copied().unwrap_or(false);
+    let (heap, maps) = heap_idents(toks);
+    let mut sites = Vec::new();
+    let mut push = |kind: AllocKind, t: &Tok, i: usize| {
+        if !exempt(t.line) {
+            sites.push(AllocSite {
+                kind,
+                line: t.line,
+                tok: i,
+            });
+        }
+    };
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != Kind::Ident {
+            continue;
+        }
+        let name = t.text.as_str();
+        let prev = i.checked_sub(1).map(|p| toks[p]);
+        let next = toks.get(i + 1);
+
+        // Macros: `vec![…]`, `format!(…)`.
+        if next.is_some_and(|n| n.is_punct("!"))
+            && toks
+                .get(i + 2)
+                .is_some_and(|n| n.is_punct("(") || n.is_punct("["))
+        {
+            if name == "vec" {
+                push(AllocKind::VecMacro, t, i);
+            } else if FORMAT_MACROS.contains(&name) {
+                push(AllocKind::FormatMacro, t, i);
+            }
+            continue;
+        }
+
+        // Qualified constructors: `Vec::new(`, `Vec::<u8>::with_capacity(`,
+        // `Box::new(`, `Arc::new(`, `String::from(`, …
+        if HEAP_TYPES.contains(&name) && next.is_some_and(|n| n.is_punct("::")) {
+            // Step over an optional `::<…>` turbofish.
+            let mut j = i + 2;
+            if toks.get(j).is_some_and(|n| n.is_punct("<")) {
+                j = callgraph_skip_angles(toks, j);
+                if toks.get(j).is_some_and(|n| n.is_punct("::")) {
+                    j += 1;
+                } else {
+                    continue;
+                }
+            }
+            if toks
+                .get(j)
+                .is_some_and(|n| n.kind == Kind::Ident && CTOR_NAMES.contains(&n.text.as_str()))
+                && toks.get(j + 1).is_some_and(|n| n.is_punct("("))
+            {
+                push(AllocKind::Ctor, t, i);
+            }
+            continue;
+        }
+
+        // Method-syntax sites: `.to_string()`, `.to_owned()`, `.to_vec()`,
+        // `.collect()`, `.clone()`, `.insert(`, `.entry(`.
+        if !prev.is_some_and(|p| p.is_punct(".")) {
+            continue;
+        }
+        let callish = next.is_some_and(|n| n.is_punct("(") || n.is_punct("::"));
+        if !callish {
+            continue;
+        }
+        match name {
+            "to_string" | "to_owned" | "to_vec" => push(AllocKind::ToOwned, t, i),
+            "collect" => push(AllocKind::Collect, t, i),
+            "clone" => {
+                // Only when the receiver identifier is known heap-owning
+                // (`x.clone()` with `x: Vec<…>`, `self.buf.clone()` with
+                // `buf: String`, …).
+                let recv = i.checked_sub(2).map(|p| toks[p]);
+                if recv.is_some_and(|r| r.kind == Kind::Ident && heap.contains(r.text.as_str())) {
+                    push(AllocKind::CloneHeap, t, i);
+                }
+            }
+            "insert" | "entry" => {
+                let recv = i.checked_sub(2).map(|p| toks[p]);
+                if recv.is_some_and(|r| r.kind == Kind::Ident && maps.contains(r.text.as_str())) {
+                    push(AllocKind::MapInsert, t, i);
+                }
+            }
+            _ => {}
+        }
+    }
+    sites
+}
+
+/// Thin wrapper so the scanner can use the same angle-bracket skipper the
+/// call-graph uses (re-exported via `conc`).
+fn callgraph_skip_angles(toks: &[&Tok], i: usize) -> usize {
+    crate::conc::skip_angles(toks, i)
+}
+
+/// The steady-state serving path's designated roots. Deliberately
+/// *narrower* than flow's panic entry points: submission/retrieval and
+/// the search kernel, but not the dialogue/build/mutation paths, which
+/// allocate by design.
+pub const ALLOC_ENTRY_POINTS: [EntryPoint; 9] = [
+    EntryPoint {
+        owner: EntryOwner::AnyImpl,
+        name: "search_with",
+    },
+    EntryPoint {
+        owner: EntryOwner::Named("QueryEngine"),
+        name: "submit",
+    },
+    EntryPoint {
+        owner: EntryOwner::Named("QueryEngine"),
+        name: "retrieve",
+    },
+    EntryPoint {
+        owner: EntryOwner::Named("QueryEngine"),
+        name: "retrieve_batch",
+    },
+    EntryPoint {
+        owner: EntryOwner::Named("PageCache"),
+        name: "probe",
+    },
+    EntryPoint {
+        owner: EntryOwner::Named("ResultCache"),
+        name: "get",
+    },
+    EntryPoint {
+        owner: EntryOwner::Free,
+        name: "mmr_diversify",
+    },
+    EntryPoint {
+        owner: EntryOwner::Free,
+        name: "record_stage",
+    },
+    EntryPoint {
+        owner: EntryOwner::Free,
+        name: "add_search_work",
+    },
+];
+
+/// Aggregate statistics of one analysis run.
+#[derive(Debug, Default, Clone)]
+pub struct AllocStats {
+    /// Functions inventoried.
+    pub fns: usize,
+    /// Resolved call edges.
+    pub edges: usize,
+    /// Entry-point functions found.
+    pub entry_fns: usize,
+    /// Functions reachable from an entry point.
+    pub reachable_fns: usize,
+    /// Allocation-capable sites inventoried workspace-wide (after
+    /// `// ALLOC:` discharge).
+    pub total_sites: usize,
+    /// Sites in reachable functions (the cone, pre-waiver).
+    pub cone_sites: usize,
+}
+
+/// The raw analysis result, before baseline waivers.
+#[derive(Debug, Default)]
+pub struct AllocAnalysis {
+    /// Cone findings, sorted by (file, line).
+    pub findings: Vec<Finding>,
+    /// Run statistics.
+    pub stats: AllocStats,
+}
+
+/// Runs the analysis over in-memory `(repo-relative path, source)` pairs.
+/// Unit tests and the mutation fixture enter here.
+pub fn analyze_sources(files: &[(String, String)]) -> AllocAnalysis {
+    let mut inv: Inventory<AllocKind> =
+        Inventory::for_files(files.iter().map(|(rel, _)| rel.clone()).collect());
+    let mut total_sites = 0usize;
+    for (fi, (rel, source)) in files.iter().enumerate() {
+        // Experiment binaries allocate freely; they are not serving code.
+        if rel.contains("/src/bin/") {
+            continue;
+        }
+        // The gate tooling itself never links into a serving process, and
+        // its generically named methods (`get`, `push`, `load`, `parse`)
+        // otherwise alias serving-path calls through the name+arity
+        // fallback, dragging phantom chains into the cone.
+        if rel.starts_with("crates/xtask/") {
+            continue;
+        }
+        let mask = test_mask(&strip(source));
+        let toks = lex(source);
+        let kept: Vec<&Tok> = toks
+            .iter()
+            .filter(|t| !mask.get(t.line - 1).copied().unwrap_or(false))
+            .collect();
+        let discharge = alloc_mask(source);
+        let sites = scan_alloc_sites(&kept, &discharge);
+        total_sites += sites.len();
+        callgraph::scan_file(fi, &kept, sites, &mut inv);
+    }
+
+    let cone = build_cone(&inv, &ALLOC_ENTRY_POINTS);
+
+    let mut findings = Vec::new();
+    let mut cone_sites = 0usize;
+    for (id, f) in inv.fns.iter().enumerate() {
+        if !cone.reached[id] {
+            continue;
+        }
+        for s in &f.sites {
+            cone_sites += 1;
+            let (rel, source) = &files[f.file];
+            let src_line = source
+                .lines()
+                .nth(s.line - 1)
+                .map_or(String::new(), |l| l.trim().to_string());
+            findings.push(Finding {
+                file: rel.clone(),
+                line: s.line,
+                rule: Rule::ReachableAlloc,
+                excerpt: format!(
+                    "{src_line} [{} in {}; via {}]",
+                    s.kind.describe(),
+                    f.display(),
+                    cone.path_to(&inv, id)
+                ),
+            });
+        }
+    }
+    findings.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+
+    AllocAnalysis {
+        findings,
+        stats: AllocStats {
+            fns: inv.fns.len(),
+            edges: cone.edges,
+            entry_fns: cone.entries.len(),
+            reachable_fns: cone.reachable_fns(),
+            total_sites,
+            cone_sites,
+        },
+    }
+}
+
+/// The alloc run's aggregate result (mirror of `flow::FlowOutcome`).
+#[derive(Debug)]
+pub struct AllocOutcome {
+    /// Unwaived cone findings (the gate fails if non-empty).
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by baseline waivers.
+    pub waived: Vec<Finding>,
+    /// Baseline entries that matched nothing (stale waivers fail the gate).
+    pub unused_waivers: Vec<String>,
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Analysis statistics.
+    pub stats: AllocStats,
+}
+
+impl AllocOutcome {
+    /// Whether the gate passes.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.unused_waivers.is_empty()
+    }
+}
+
+/// Runs the allocation-freedom analysis over the whole workspace,
+/// applying `baseline` waivers (default file: `alloc-baseline.toml`).
+///
+/// # Errors
+/// Returns a message if a directory or file cannot be read.
+pub fn run(repo_root: &Path, baseline: &Baseline) -> Result<AllocOutcome, String> {
+    let sources = load_workspace_sources(repo_root)?;
+    let files_scanned = sources.len();
+    let mut analysis = analyze_sources(&sources);
+    let all = std::mem::take(&mut analysis.findings);
+    let mut used = vec![0usize; baseline.waivers.len()];
+    let mut findings = Vec::new();
+    let mut waived = Vec::new();
+    for f in all {
+        let hit = baseline.matching(&f).next();
+        match hit {
+            Some(i) => {
+                used[i] += 1;
+                waived.push(f);
+            }
+            None => findings.push(f),
+        }
+    }
+    let unused_waivers = baseline
+        .waivers
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| u == 0)
+        .map(|(w, _)| w.describe())
+        .collect();
+    Ok(AllocOutcome {
+        findings,
+        waived,
+        unused_waivers,
+        files_scanned,
+        stats: analysis.stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sites_of(src: &str) -> Vec<(AllocKind, usize)> {
+        let toks = lex(src);
+        let kept: Vec<&Tok> = toks.iter().collect();
+        let mask = alloc_mask(src);
+        scan_alloc_sites(&kept, &mask)
+            .into_iter()
+            .map(|s| (s.kind, s.line))
+            .collect()
+    }
+
+    #[test]
+    fn ctors_macros_and_adapters_are_sites() {
+        let src = "\
+fn f(n: usize) -> Vec<u32> {
+    let a = Vec::with_capacity(n);
+    let b = vec![0u32; n];
+    let c = format!(\"{n}\");
+    let d = c.to_string();
+    let e = (0..n).map(|i| i as u32).collect();
+    let g = Box::new(n);
+    let h = Arc::new(n);
+    a
+}
+";
+        let kinds: Vec<AllocKind> = sites_of(src).into_iter().map(|(k, _)| k).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                AllocKind::Ctor,
+                AllocKind::VecMacro,
+                AllocKind::FormatMacro,
+                AllocKind::ToOwned,
+                AllocKind::Collect,
+                AllocKind::Ctor,
+                AllocKind::Ctor,
+            ]
+        );
+    }
+
+    #[test]
+    fn clone_fires_only_on_heap_receivers() {
+        let src = "\
+struct S { buf: Vec<u8>, handle: Arc<Vec<u8>>, n: u32 }
+fn f(s: &S, ids: Vec<u32>, k: u32) {
+    let a = ids.clone();
+    let b = s.buf.clone();
+    let c = s.handle.clone();
+    let d = k.clone();
+    let e = s.n.clone();
+}
+";
+        assert_eq!(
+            sites_of(src),
+            vec![(AllocKind::CloneHeap, 3), (AllocKind::CloneHeap, 4)]
+        );
+    }
+
+    #[test]
+    fn map_insert_fires_only_on_map_receivers() {
+        let src = "\
+fn f(table: &mut BTreeMap<u32, u32>, list: &mut Vec<u32>) {
+    table.insert(1, 2);
+    table.entry(3);
+    list.insert(0, 4);
+}
+";
+        assert_eq!(
+            sites_of(src),
+            vec![(AllocKind::MapInsert, 2), (AllocKind::MapInsert, 3)]
+        );
+    }
+
+    #[test]
+    fn alloc_comment_discharges_nearby_sites_only() {
+        let src = "\
+fn f(k: usize) -> Vec<u32> {
+    // ALLOC: one sized results buffer per query; ownership moves out.
+    let mut out = Vec::with_capacity(k);
+    out.push(1);
+    out.push(2);
+    let extra = vec![0u32; k];
+    out
+}
+";
+        assert_eq!(sites_of(src), vec![(AllocKind::VecMacro, 6)]);
+    }
+
+    #[test]
+    fn turbofish_ctor_is_a_site() {
+        let src = "fn f() { let v = Vec::<u8>::new(); }";
+        assert_eq!(sites_of(src), vec![(AllocKind::Ctor, 1)]);
+    }
+
+    fn analyze(files: &[(&str, &str)]) -> AllocAnalysis {
+        let owned: Vec<(String, String)> = files
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect();
+        analyze_sources(&owned)
+    }
+
+    const SEARCHER_LIKE: &str = "\
+pub struct Flat;
+impl Flat {
+    pub fn search_with(&self, k: usize) -> u32 {
+        helper(k)
+    }
+}
+fn helper(k: usize) -> u32 {
+    let visited = vec![false; k];
+    visited.len() as u32
+}
+fn dead_helper(k: usize) -> Vec<u32> {
+    Vec::with_capacity(k)
+}
+";
+
+    #[test]
+    fn reachable_vec_macro_is_found_and_dead_code_is_not() {
+        let a = analyze(&[("x/src/flat.rs", SEARCHER_LIKE)]);
+        assert_eq!(a.findings.len(), 1, "findings: {:?}", a.findings);
+        let f = &a.findings[0];
+        assert_eq!(f.line, 8);
+        assert_eq!(f.rule, Rule::ReachableAlloc);
+        assert!(f.excerpt.contains("vec-macro"), "{}", f.excerpt);
+        assert!(f.excerpt.contains("Flat::search_with"), "{}", f.excerpt);
+    }
+
+    #[test]
+    fn free_fn_entry_points_root_the_cone() {
+        let src = "\
+pub fn mmr_diversify(k: usize) -> Vec<u32> {
+    scoring_pool(k)
+}
+fn scoring_pool(k: usize) -> Vec<u32> {
+    Vec::with_capacity(k)
+}
+";
+        let a = analyze(&[("x/src/diversify.rs", src)]);
+        assert_eq!(a.findings.len(), 1, "findings: {:?}", a.findings);
+        assert!(a.findings[0].excerpt.contains("scoring_pool"));
+    }
+
+    #[test]
+    fn test_code_and_bins_are_exempt() {
+        let masked = format!("#[cfg(test)]\nmod tests {{\n{SEARCHER_LIKE}\n}}\n");
+        let a = analyze(&[("x/src/flat.rs", &masked)]);
+        assert!(a.findings.is_empty(), "findings: {:?}", a.findings);
+        let b = analyze(&[("x/src/bin/exp.rs", SEARCHER_LIKE)]);
+        assert!(b.findings.is_empty(), "findings: {:?}", b.findings);
+    }
+
+    #[test]
+    fn alloc_comment_keeps_site_out_of_the_cone() {
+        let src = "\
+pub struct Flat;
+impl Flat {
+    pub fn search_with(&self, k: usize) -> usize {
+        // ALLOC: one sized buffer per query, handed to the caller.
+        let out = Vec::with_capacity(k);
+        out.len()
+    }
+}
+";
+        let a = analyze(&[("x/src/flat.rs", src)]);
+        assert!(a.findings.is_empty(), "findings: {:?}", a.findings);
+    }
+}

@@ -68,6 +68,12 @@ pub struct EngineOutcome {
     pub warm_page_reads: u64,
     /// `cold_page_reads / max(warm_page_reads, 1)`.
     pub cache_read_reduction: f64,
+    /// Allocation-witness phase result: `Some((queries, allocations))`
+    /// when the gate binary was built with `--features alloc-witness` —
+    /// warmed paged searches measured, total heap allocations observed
+    /// (the phase fails unless allocations == 0). `None` when the
+    /// counting allocator is compiled out.
+    pub alloc_witness: Option<(usize, u64)>,
 }
 
 /// Runs both checks and writes `metrics.json` under `out_dir`.
@@ -93,6 +99,7 @@ pub fn run(out_dir: &Path, seed: u64) -> Result<EngineOutcome, String> {
     }
     let (cold_page_reads, warm_page_reads) = check_page_cache(seed)?;
     let cache_read_reduction = cold_page_reads as f64 / (warm_page_reads.max(1)) as f64;
+    let alloc_witness = check_alloc_freedom(seed)?;
 
     let snapshot = mqa_obs::global().snapshot();
     verify_instruments(&snapshot)?;
@@ -112,7 +119,79 @@ pub fn run(out_dir: &Path, seed: u64) -> Result<EngineOutcome, String> {
         cold_page_reads,
         warm_page_reads,
         cache_read_reduction,
+        alloc_witness,
     })
+}
+
+/// Check 4 — allocation freedom (armed by `--features alloc-witness`):
+/// the runtime cross-check of the `mqa-xtask alloc` static cone. Builds
+/// the same Vamana-behind-Starling index as the throughput check, runs
+/// every query once to warm the scratch (visited sets, frontier, beam)
+/// and the metric registry, then runs the same queries again with the
+/// counting allocator bracketing each `search_paged_into` call. A warmed
+/// steady-state search must perform **zero** heap allocations; any count
+/// above zero means an allocation escaped both the static gate and its
+/// discharge comments. Returns `Ok(None)` when the witness is compiled
+/// out (the default build), so the gate stays meaningful either way.
+fn check_alloc_freedom(seed: u64) -> Result<Option<(usize, u64)>, String> {
+    if !mqa_engine::allocwitness::enabled() {
+        return Ok(None);
+    }
+    // The lock witness must be off: its recording path allocates by
+    // design (pair tables, per-edge counters) and would be charged to
+    // the measured searches.
+    witness::enable(false);
+    let (n, dim, queries) = (1_200, 8, 40usize);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut store = VectorStore::new(dim);
+    for _ in 0..n {
+        let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        store.push(&v);
+    }
+    let store = Arc::new(store);
+    let nav = mqa_graph::vamana::build(&store, Metric::L2, 16, 48, 1.2, seed.wrapping_add(3));
+    let layout = PageLayout::build(nav.graph(), 8, LayoutStrategy::BfsCluster);
+    let paged = PagedIndex::new(nav.graph().clone(), nav.entries().to_vec(), layout);
+    let query_vecs: Vec<Vec<f32>> = (0..queries)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+
+    let mut scratch = mqa_graph::SearchScratch::new();
+    let mut hits = Vec::new();
+    // Warmup: the same query set, so every buffer (visited stamps,
+    // frontier, beam, result list, metric-name registrations) reaches
+    // its steady-state capacity before anything is measured.
+    for q in &query_vecs {
+        let mut dist = FlatDistance::new(&store, q, Metric::L2)
+            .map_err(|e| format!("alloc witness: distance setup failed: {e}"))?;
+        paged.search_paged_into(&mut dist, 10, 32, &mut scratch, &mut hits);
+    }
+    let mut total_allocs = 0u64;
+    let mut measured = 0usize;
+    for q in &query_vecs {
+        let mut dist = FlatDistance::new(&store, q, Metric::L2)
+            .map_err(|e| format!("alloc witness: distance setup failed: {e}"))?;
+        let cp = mqa_engine::allocwitness::checkpoint();
+        let out = paged.search_paged_into(&mut dist, 10, 32, &mut scratch, &mut hits);
+        let (allocs, bytes) = cp.delta();
+        if hits.is_empty() || out.evals == 0 {
+            return Err("alloc witness: a measured search produced no work".to_string());
+        }
+        total_allocs += allocs;
+        measured += 1;
+        mqa_obs::global()
+            .histogram("engine.allocwitness.query_bytes")
+            .record(bytes);
+    }
+    if total_allocs != 0 {
+        return Err(format!(
+            "engine smoke failed: {total_allocs} heap allocation(s) observed \
+             across {measured} warmed steady-state paged searches — the \
+             serving path is not allocation-free (static gate: `mqa-xtask \
+             alloc`)"
+        ));
+    }
+    Ok(Some((measured, total_allocs)))
 }
 
 /// Check 1b — the runtime lock-order witness agrees with the static

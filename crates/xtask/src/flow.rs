@@ -1,29 +1,27 @@
 //! Panic-freedom analysis (`mqa-xtask flow`).
 //!
 //! A whole-workspace, two-pass call-graph analysis over [`crate::rustlex`]
-//! token streams that proves the hot serving path cannot panic:
+//! token streams that proves the hot serving path cannot panic. The
+//! generic inventory/resolution/reachability machinery lives in
+//! [`crate::callgraph`] (shared with the allocation-freedom analysis in
+//! [`crate::alloc`]); this module owns the panic-specific parts:
 //!
-//! 1. **Inventory** — every `fn` is recorded with its impl/trait owner,
-//!    parameter arity, the calls its body makes, and every *panic-capable
-//!    site* inside it: `unwrap`/`expect`, the `panic!`/`todo!`/
-//!    `unimplemented!`/`unreachable!` macros, the `assert!` family,
-//!    direct slice/Vec `[...]` indexing, non-literal integer `/` and `%`,
-//!    and narrowing `as` casts (value-corrupting rather than panicking —
-//!    inventoried and linted, but excluded from the reachability cone).
-//!    The `debug_assert!` family is *not* counted: it compiles out of
-//!    release serving builds, and `overflow-checks` owns the debug run.
-//! 2. **Reachability** — calls are resolved to candidate callees
-//!    (receiver-typed where a `self` field, typed local, or parameter
-//!    type is known; name + arity over-approximation otherwise, so
-//!    `dyn Trait` dispatch reaches every impl), and the panic cone is
-//!    computed from the designated serving entry points
-//!    ([`ENTRY_POINTS`]): `QueryEngine::{submit,try_submit,retrieve,
-//!    retrieve_batch}`, the `MqaSystem`/`DialogueSession` turn path,
-//!    every `GraphSearcher::search_with` impl, and `PageCache`/
-//!    `ResultCache` lookups. Any panic-capable site inside a reachable
-//!    function is a [`Rule::ReachablePanic`] finding unless waived in
-//!    `flow-baseline.toml` (same machinery as `lint-baseline.toml`,
-//!    mandatory reasons, stale-waiver detection).
+//! 1. **Inventory** — every *panic-capable site*: `unwrap`/`expect`, the
+//!    `panic!`/`todo!`/`unimplemented!`/`unreachable!` macros, the
+//!    `assert!` family, direct slice/Vec `[...]` indexing, non-literal
+//!    integer `/` and `%`, and narrowing `as` casts (value-corrupting
+//!    rather than panicking — inventoried and linted, but excluded from
+//!    the reachability cone). The `debug_assert!` family is *not*
+//!    counted: it compiles out of release serving builds, and
+//!    `overflow-checks` owns the debug run.
+//! 2. **Reachability** — the panic cone is computed from the designated
+//!    serving entry points ([`ENTRY_POINTS`]): `QueryEngine::{submit,
+//!    try_submit,retrieve,retrieve_batch}`, the `MqaSystem`/
+//!    `DialogueSession` turn path, every `GraphSearcher::search_with`
+//!    impl, and `PageCache`/`ResultCache` lookups. Any panic-capable
+//!    site inside a reachable function is a [`Rule::ReachablePanic`]
+//!    finding unless waived in `flow-baseline.toml` (same machinery as
+//!    `lint-baseline.toml`, mandatory reasons, stale-waiver detection).
 //!
 //! Indexing and division sites can alternatively be *discharged in
 //! source* with an adjacent `// INVARIANT:` comment documenting why the
@@ -39,25 +37,13 @@
 //! bin-exempt like every other rule.
 
 use crate::baseline::Baseline;
-use crate::conc::{impl_type_name, matching_paren, receiver_path, skip_angles};
+use crate::callgraph::{
+    self, build_cone, discharge_mask, is_keyword, EntryOwner, EntryPoint, Inventory,
+};
 use crate::lint::{collect_rs_files, strip, test_mask, Finding, Rule, DEFAULT_ROOTS};
 use crate::rustlex::{lex, Kind, Tok};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::BTreeSet;
 use std::path::Path;
-
-/// Rust keywords that can precede `[` without being a value (so slice
-/// patterns `let [a, b] = …` and array types/literals are not flagged as
-/// indexing) and that never *are* a callee name.
-const KEYWORDS: [&str; 35] = [
-    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
-    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
-    "mut", "pub", "ref", "return", "self", "Self", "static", "struct", "trait", "true", "type",
-    "where",
-];
-
-fn is_keyword(s: &str) -> bool {
-    KEYWORDS.contains(&s)
-}
 
 /// What kind of panic-capable (or value-corrupting) construct a site is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,42 +99,14 @@ impl SiteKind {
 }
 
 /// One panic-capable site.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Site {
-    /// What the construct is.
-    pub kind: SiteKind,
-    /// 1-based source line.
-    pub line: usize,
-    /// Index of the triggering token in the scanned stream (used to
-    /// attribute the site to its enclosing function).
-    pub tok: usize,
-}
+pub type Site = callgraph::Site<SiteKind>;
 
 /// Per-line mask from the *raw* source: `true` where an `// INVARIANT:`
 /// comment on the same line or up to three lines above discharges an
 /// indexing/division/cast site (the `// SAFETY:` idiom for arithmetic).
-/// A multi-line comment counts as a whole: the lines continuing an
-/// `INVARIANT:` comment block are marked too, so the three-line window is
-/// measured from the end of the comment, not its first line.
+/// See [`callgraph::discharge_mask`] for the window semantics.
 pub fn invariant_mask(source: &str) -> Vec<bool> {
-    let lines: Vec<&str> = source.lines().collect();
-    let mut marked = vec![false; lines.len()];
-    for i in 0..lines.len() {
-        if lines[i].contains("INVARIANT:") {
-            marked[i] = true;
-            let mut j = i + 1;
-            while j < lines.len() && lines[j].trim_start().starts_with("//") {
-                marked[j] = true;
-                j += 1;
-            }
-        }
-    }
-    let mut mask = vec![false; lines.len()];
-    for (i, slot) in mask.iter_mut().enumerate() {
-        let lo = i.saturating_sub(3);
-        *slot = marked[lo..=i].iter().any(|&m| m);
-    }
-    mask
+    discharge_mask(source, "INVARIANT:")
 }
 
 /// Bit width and domain of a primitive numeric type name. `usize`/`isize`
@@ -426,475 +384,48 @@ pub fn scan_sites(toks: &[&Tok], invariant: &[bool]) -> Vec<Site> {
     sites
 }
 
-// ---------------------------------------------------------------------------
-// Pass 1: the function inventory.
-// ---------------------------------------------------------------------------
-
-/// One call site inside a function body.
-#[derive(Debug, Clone)]
-struct Call {
-    /// Callee name (last path segment).
-    name: String,
-    /// `Type::name(…)` qualifier, `Self`, or a lowercase module segment.
-    qualifier: Option<String>,
-    /// `true` for `recv.name(…)` method syntax.
-    method: bool,
-    /// Receiver type candidates from typed locals/params.
-    recv_hints: Vec<String>,
-    /// `["self", "field"]`-style receiver path, for field-type lookup.
-    recv_path: Vec<String>,
-    /// Argument count (top-level commas + 1).
-    args: usize,
-}
-
-/// One function in the inventory.
-#[derive(Debug)]
-struct FnNode {
-    /// Impl/trait owner's type name, `None` for free functions.
-    owner: Option<String>,
-    /// Function name.
-    name: String,
-    /// Index into the analyzed file list.
-    file: usize,
-    /// Parameter count excluding `self`.
-    arity: usize,
-    /// Calls made by the body.
-    calls: Vec<Call>,
-    /// Panic-capable sites in the body.
-    sites: Vec<Site>,
-}
-
-impl FnNode {
-    fn display(&self) -> String {
-        match &self.owner {
-            Some(o) => format!("{o}::{}", self.name),
-            None => self.name.clone(),
-        }
-    }
-}
-
-/// Per-token innermost `impl`/`trait` owner name, plus the set of names
-/// introduced by `trait` blocks (dyn-dispatch widening needs to know
-/// which owners are traits).
-fn owner_map(toks: &[&Tok]) -> (Vec<Option<String>>, BTreeSet<String>) {
-    let mut out: Vec<Option<String>> = vec![None; toks.len()];
-    let mut traits = BTreeSet::new();
-    let mut depth = 0i64;
-    let mut stack: Vec<(String, i64)> = Vec::new();
-    let mut pending: Option<String> = None;
-    for i in 0..toks.len() {
-        let t = toks[i];
-        if t.is_ident("impl") {
-            pending = impl_type_name(toks, i);
-        } else if t.is_ident("trait") && toks.get(i + 1).is_some_and(|t| t.kind == Kind::Ident) {
-            let name = toks[i + 1].text.clone();
-            traits.insert(name.clone());
-            pending = Some(name);
-        } else if t.is_punct("{") {
-            if let Some(name) = pending.take() {
-                stack.push((name, depth));
-            }
-            depth += 1;
-        } else if t.is_punct("}") {
-            depth -= 1;
-            if stack.last().map(|s| s.1) == Some(depth) {
-                stack.pop();
-            }
-        } else if t.is_punct(";") {
-            pending = None;
-        }
-        out[i] = stack.last().map(|s| s.0.clone());
-    }
-    (out, traits)
-}
-
-/// Capitalized type names in a token slice, in order — the candidates a
-/// field/local/param type resolves a method call against.
-fn type_names(toks: &[&Tok]) -> Vec<String> {
-    let mut out = Vec::new();
-    for t in toks {
-        if t.kind == Kind::Ident
-            && t.text.chars().next().is_some_and(char::is_uppercase)
-            && !out.contains(&t.text)
-        {
-            out.push(t.text.clone());
-        }
-    }
-    out
-}
-
-/// Counts top-level commas in a call's argument tokens, skipping
-/// turbofish `::<…>` blocks.
-fn count_args(args: &[&Tok]) -> usize {
-    if args.is_empty() {
-        return 0;
-    }
-    let mut depth = 0i64;
-    let mut commas = 0;
-    let mut j = 0;
-    while j < args.len() {
-        let t = args[j];
-        if t.is_punct("::") && args.get(j + 1).is_some_and(|n| n.is_punct("<")) {
-            // skip_angles works on the tail sub-slice; translate back.
-            j += skip_angles(&args[j + 1..], 0) + 1;
-            continue;
-        }
-        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
-            depth += 1;
-        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
-            depth -= 1;
-        } else if depth == 0 && t.is_punct(",") {
-            commas += 1;
-        }
-        j += 1;
-    }
-    commas + 1
-}
-
-/// Splits a parameter list into top-level comma-separated chunks.
-fn param_chunks<'s, 't>(params: &'s [&'t Tok]) -> Vec<&'s [&'t Tok]> {
-    let mut out = Vec::new();
-    let mut depth = 0i64;
-    let mut start = 0;
-    for (j, t) in params.iter().enumerate() {
-        if t.is_punct("(") || t.is_punct("[") || t.is_punct("<") {
-            depth += 1;
-        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct(">") {
-            depth -= 1;
-        } else if t.is_punct("<<") {
-            depth += 2;
-        } else if t.is_punct(">>") {
-            depth -= 2;
-        } else if depth == 0 && t.is_punct(",") {
-            out.push(&params[start..j]);
-            start = j + 1;
-        }
-    }
-    if start < params.len() {
-        out.push(&params[start..]);
-    }
-    out
-}
-
-/// The workspace-wide index flow builds in pass 1.
-#[derive(Debug, Default)]
-struct Inventory {
-    /// Repo-relative paths of the analyzed files.
-    files: Vec<String>,
-    fns: Vec<FnNode>,
-    /// `(struct, field)` -> candidate type names.
-    field_types: BTreeMap<(String, String), Vec<String>>,
-    /// Trait names (dyn-dispatch widening).
-    traits: BTreeSet<String>,
-}
-
-impl Inventory {
-    /// Whether a file plausibly hosts module `module` (`deep.rs`,
-    /// `deep/…`, or `crates/deep/…`) — used to scope `module::free_fn()`
-    /// resolution.
-    fn file_matches_module(&self, file: usize, module: &str) -> bool {
-        self.files.get(file).is_some_and(|p| {
-            p.contains(&format!("/{module}.rs"))
-                || p.contains(&format!("/{module}/"))
-                || p.contains(&format!("crates/{module}/"))
-        })
-    }
-}
-
-/// Records struct fields' type-name candidates.
-fn index_struct_fields(toks: &[&Tok], inv: &mut Inventory) {
-    let mut i = 0;
-    while i < toks.len() {
-        if toks[i].is_ident("struct") && toks.get(i + 1).is_some_and(|t| t.kind == Kind::Ident) {
-            let name = toks[i + 1].text.clone();
-            let mut j = skip_angles(toks, i + 2);
-            while j < toks.len()
-                && !toks[j].is_punct("{")
-                && !toks[j].is_punct("(")
-                && !toks[j].is_punct(";")
-            {
-                j += 1;
-            }
-            if toks.get(j).is_some_and(|t| t.is_punct("{")) {
-                let mut depth = 1i64;
-                let mut k = j + 1;
-                let mut chunk_start = k;
-                while k < toks.len() && depth > 0 {
-                    let tk = toks[k];
-                    if tk.is_punct("{") || tk.is_punct("(") || tk.is_punct("[") {
-                        depth += 1;
-                    } else if tk.is_punct("}") || tk.is_punct(")") || tk.is_punct("]") {
-                        depth -= 1;
-                    }
-                    if depth == 0 || (depth == 1 && tk.is_punct(",")) {
-                        let chunk = &toks[chunk_start..k];
-                        // `field: Type` — find the first `ident :` pair.
-                        for (p, t) in chunk.iter().enumerate() {
-                            if t.kind == Kind::Ident
-                                && chunk.get(p + 1).is_some_and(|n| n.is_punct(":"))
-                            {
-                                let tys = type_names(&chunk[p + 2..]);
-                                if !tys.is_empty() {
-                                    inv.field_types.insert((name.clone(), t.text.clone()), tys);
-                                }
-                                break;
-                            }
-                        }
-                        chunk_start = k + 1;
-                    }
-                    k += 1;
-                }
-                i = k;
-                continue;
-            }
-        }
-        i += 1;
-    }
-}
-
-/// Scans one file's (test-masked) tokens into the inventory. `fi` is the
-/// file's index, `invariant` the raw-line exemption mask.
-fn scan_file(fi: usize, toks: &[&Tok], invariant: &[bool], inv: &mut Inventory) {
-    index_struct_fields(toks, inv);
-    let (omap, traits) = owner_map(toks);
-    inv.traits.extend(traits);
-
-    // (body start tok, body end tok, fn id) spans for site attribution.
-    let mut spans: Vec<(usize, usize, usize)> = Vec::new();
-    // Open fn stack: (fn id, depth at body open, body start, typed locals).
-    type Frame = (usize, i64, usize, BTreeMap<String, Vec<String>>);
-    let mut open: Vec<Frame> = Vec::new();
-    let mut depth = 0i64;
-
-    let mut i = 0;
-    while i < toks.len() {
-        let t = toks[i];
-        if t.is_ident("fn") && toks.get(i + 1).is_some_and(|t| t.kind == Kind::Ident) {
-            let name = toks[i + 1].text.clone();
-            let j = skip_angles(toks, i + 2);
-            if toks.get(j).is_some_and(|t| t.is_punct("(")) {
-                if let Some(close) = matching_paren(toks, j) {
-                    let params = &toks[j + 1..close];
-                    let chunks = param_chunks(params);
-                    let is_method = chunks.first().is_some_and(|c| {
-                        c.iter().any(|t| t.is_ident("self"))
-                            && c.iter().take_while(|t| !t.is_ident("self")).all(|t| {
-                                t.is_punct("&") || t.is_ident("mut") || t.kind == Kind::Lifetime
-                            })
-                    });
-                    let arity = chunks.len().saturating_sub(usize::from(is_method));
-                    // Typed params seed the body's locals.
-                    let mut locals: BTreeMap<String, Vec<String>> = BTreeMap::new();
-                    for c in chunks.iter().skip(usize::from(is_method)) {
-                        if let Some(colon) = c.iter().position(|t| t.is_punct(":")) {
-                            if colon >= 1 && c[colon - 1].kind == Kind::Ident {
-                                let tys = type_names(&c[colon + 1..]);
-                                if !tys.is_empty() {
-                                    locals.insert(c[colon - 1].text.clone(), tys);
-                                }
-                            }
-                        }
-                    }
-                    // Find the body `{` (or `;` for a bodyless decl),
-                    // skipping `[…; N]` array return types whose `;`
-                    // would otherwise read as end-of-declaration.
-                    let mut k = close + 1;
-                    let mut brackets = 0i64;
-                    while k < toks.len() {
-                        let tk = toks[k];
-                        if tk.is_punct("[") {
-                            brackets += 1;
-                        } else if tk.is_punct("]") {
-                            brackets -= 1;
-                        } else if brackets == 0 && (tk.is_punct("{") || tk.is_punct(";")) {
-                            break;
-                        }
-                        k += 1;
-                    }
-                    let id = inv.fns.len();
-                    inv.fns.push(FnNode {
-                        owner: omap.get(i).cloned().flatten(),
-                        name,
-                        file: fi,
-                        arity,
-                        calls: Vec::new(),
-                        sites: Vec::new(),
-                    });
-                    if toks.get(k).is_some_and(|t| t.is_punct("{")) {
-                        open.push((id, depth, k + 1, locals));
-                        depth += 1;
-                    }
-                    i = k + 1;
-                    continue;
-                }
-            }
-        }
-        if t.is_punct("{") {
-            depth += 1;
-            i += 1;
-            continue;
-        }
-        if t.is_punct("}") {
-            depth -= 1;
-            while open.last().is_some_and(|(_, d, _, _)| *d >= depth) {
-                if let Some((id, _, start, _)) = open.pop() {
-                    spans.push((start, i, id));
-                }
-            }
-            i += 1;
-            continue;
-        }
-        if let Some((fn_id, _, _, locals)) = open.last_mut() {
-            // Typed locals: `let x: Type = …` or `let x = Type::…`.
-            if t.is_ident("let") {
-                let mut j = i + 1;
-                if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
-                    j += 1;
-                }
-                if toks.get(j).is_some_and(|t| t.kind == Kind::Ident) {
-                    let var = toks[j].text.clone();
-                    let mut tys = Vec::new();
-                    if toks.get(j + 1).is_some_and(|t| t.is_punct(":")) {
-                        let mut e = j + 2;
-                        while e < toks.len() && !toks[e].is_punct("=") && !toks[e].is_punct(";") {
-                            e += 1;
-                        }
-                        tys = type_names(&toks[j + 2..e]);
-                    } else if toks.get(j + 1).is_some_and(|t| t.is_punct("="))
-                        && toks.get(j + 2).is_some_and(|t| {
-                            t.kind == Kind::Ident
-                                && t.text.chars().next().is_some_and(char::is_uppercase)
-                        })
-                        && toks.get(j + 3).is_some_and(|t| t.is_punct("::"))
-                    {
-                        tys = vec![toks[j + 2].text.clone()];
-                    }
-                    if !tys.is_empty() {
-                        locals.insert(var, tys);
-                    }
-                }
-            }
-            // Call sites: `name(…)` / `name::<…>(…)`, not a macro.
-            if t.kind == Kind::Ident && !is_keyword(&t.text) {
-                let after = if toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
-                    && toks.get(i + 2).is_some_and(|n| n.is_punct("<"))
-                {
-                    skip_angles(toks, i + 2)
-                } else {
-                    i + 1
-                };
-                let is_macro = toks.get(i + 1).is_some_and(|n| n.is_punct("!"));
-                if !is_macro && toks.get(after).is_some_and(|n| n.is_punct("(")) {
-                    if let Some(close) = matching_paren(toks, after) {
-                        let args = count_args(&toks[after + 1..close]);
-                        let prev = i.checked_sub(1).map(|p| toks[p]);
-                        let method = prev.is_some_and(|p| p.is_punct("."));
-                        let mut qualifier = None;
-                        let mut recv_hints = Vec::new();
-                        let mut recv_path = Vec::new();
-                        if method {
-                            recv_path = receiver_path(toks, i - 1);
-                            if let [one] = recv_path.as_slice() {
-                                if one != "self" {
-                                    if let Some(tys) = locals.get(one) {
-                                        recv_hints = tys.clone();
-                                    }
-                                }
-                            }
-                        } else if prev.is_some_and(|p| p.is_punct("::")) && i >= 2 {
-                            let q = toks[i - 2];
-                            if q.kind == Kind::Ident {
-                                qualifier = Some(q.text.clone());
-                            }
-                        }
-                        inv.fns[*fn_id].calls.push(Call {
-                            name: t.text.clone(),
-                            qualifier,
-                            method,
-                            recv_hints,
-                            recv_path,
-                            args,
-                        });
-                    }
-                }
-            }
-        }
-        i += 1;
-    }
-    while let Some((id, _, start, _)) = open.pop() {
-        spans.push((start, toks.len(), id));
-    }
-
-    // Attribute sites to the innermost enclosing function. Sites outside
-    // any body (consts, statics) have no serving caller and stay out of
-    // the cone; the lint pass still reports them.
-    for s in scan_sites(toks, invariant) {
-        let hit = spans
-            .iter()
-            .filter(|&&(start, end, _)| start <= s.tok && s.tok < end)
-            .min_by_key(|&&(start, end, _)| end - start);
-        if let Some(&(_, _, id)) = hit {
-            inv.fns[id].sites.push(s);
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Pass 2: resolution + reachability.
-// ---------------------------------------------------------------------------
-
-/// A serving entry point matcher: `owner` of `None` matches the method
-/// on every impl (dyn-dispatch families like `search_with`).
-#[derive(Debug, Clone, Copy)]
-pub struct EntryPoint {
-    /// Required impl owner, or `None` for any.
-    pub owner: Option<&'static str>,
-    /// Method name.
-    pub name: &'static str,
-}
-
 /// The serving path's designated roots: engine submission and retrieval,
 /// the dialogue turn path, every `GraphSearcher::search_with` impl, and
 /// both cache lookup surfaces.
 pub const ENTRY_POINTS: [EntryPoint; 10] = [
     EntryPoint {
-        owner: Some("QueryEngine"),
+        owner: EntryOwner::Named("QueryEngine"),
         name: "submit",
     },
     EntryPoint {
-        owner: Some("QueryEngine"),
+        owner: EntryOwner::Named("QueryEngine"),
         name: "try_submit",
     },
     EntryPoint {
-        owner: Some("QueryEngine"),
+        owner: EntryOwner::Named("QueryEngine"),
         name: "retrieve",
     },
     EntryPoint {
-        owner: Some("QueryEngine"),
+        owner: EntryOwner::Named("QueryEngine"),
         name: "retrieve_batch",
     },
     EntryPoint {
-        owner: Some("DialogueSession"),
+        owner: EntryOwner::Named("DialogueSession"),
         name: "ask",
     },
     EntryPoint {
-        owner: Some("MqaSystem"),
+        owner: EntryOwner::Named("MqaSystem"),
         name: "ask_once",
     },
     EntryPoint {
-        owner: None,
+        owner: EntryOwner::AnyImpl,
         name: "search_with",
     },
     EntryPoint {
-        owner: Some("PageCache"),
+        owner: EntryOwner::Named("PageCache"),
         name: "probe",
     },
     EntryPoint {
-        owner: Some("ResultCache"),
+        owner: EntryOwner::Named("ResultCache"),
         name: "get",
     },
     EntryPoint {
-        owner: Some("ResultCache"),
+        owner: EntryOwner::Named("ResultCache"),
         name: "insert",
     },
 ];
@@ -925,160 +456,11 @@ pub struct FlowAnalysis {
     pub stats: FlowStats,
 }
 
-struct Resolver<'a> {
-    inv: &'a Inventory,
-    by_owner_name: BTreeMap<(&'a str, &'a str), Vec<usize>>,
-    methods_by_name: BTreeMap<&'a str, Vec<usize>>,
-    free_by_name: BTreeMap<&'a str, Vec<usize>>,
-}
-
-impl<'a> Resolver<'a> {
-    fn new(inv: &'a Inventory) -> Self {
-        let mut by_owner_name: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
-        let mut methods_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
-        let mut free_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
-        for (id, f) in inv.fns.iter().enumerate() {
-            if let Some(owner) = &f.owner {
-                by_owner_name
-                    .entry((owner.as_str(), f.name.as_str()))
-                    .or_default()
-                    .push(id);
-                methods_by_name.entry(f.name.as_str()).or_default().push(id);
-            } else {
-                free_by_name.entry(f.name.as_str()).or_default().push(id);
-            }
-        }
-        Self {
-            inv,
-            by_owner_name,
-            methods_by_name,
-            free_by_name,
-        }
-    }
-
-    /// Callees for `Owner::name`. A trait owner means dyn dispatch:
-    /// every impl of the method is a candidate alongside the trait's
-    /// default body.
-    fn owned(&self, owner: &str, name: &str) -> Vec<usize> {
-        let direct: Vec<usize> = self
-            .by_owner_name
-            .get(&(owner, name))
-            .cloned()
-            .unwrap_or_default();
-        if self.inv.traits.contains(owner) {
-            let mut all = direct;
-            all.extend(self.fallback_methods(name, None));
-            all.sort_unstable();
-            all.dedup();
-            all
-        } else {
-            direct
-        }
-    }
-
-    fn fallback_methods(&self, name: &str, arity: Option<usize>) -> Vec<usize> {
-        self.methods_by_name
-            .get(name)
-            .map(|ids| {
-                ids.iter()
-                    .copied()
-                    .filter(|&id| arity.is_none_or(|a| self.inv.fns[id].arity == a))
-                    .collect()
-            })
-            .unwrap_or_default()
-    }
-
-    /// Candidate callee ids for `call` made from `caller`.
-    fn resolve(&self, call: &Call, caller: &FnNode) -> Vec<usize> {
-        if call.method {
-            if call.recv_path.first().map(String::as_str) == Some("self") {
-                if let Some(owner) = &caller.owner {
-                    // `self.m(…)` or `self.field.m(…)` with a known
-                    // field type.
-                    let mut hit: Vec<usize> = match call.recv_path.len() {
-                        1 => self.owned(owner, &call.name),
-                        2 => self
-                            .inv
-                            .field_types
-                            .get(&(owner.clone(), call.recv_path[1].clone()))
-                            .into_iter()
-                            .flatten()
-                            .flat_map(|t| self.owned(t, &call.name))
-                            .collect(),
-                        _ => Vec::new(),
-                    };
-                    if !hit.is_empty() {
-                        hit.sort_unstable();
-                        hit.dedup();
-                        return hit;
-                    }
-                }
-            }
-            if !call.recv_hints.is_empty() {
-                let mut hit: Vec<usize> = call
-                    .recv_hints
-                    .iter()
-                    .flat_map(|t| self.owned(t, &call.name))
-                    .collect();
-                if !hit.is_empty() {
-                    hit.sort_unstable();
-                    hit.dedup();
-                    return hit;
-                }
-            }
-            // Unknown receiver: every same-name, same-arity method.
-            return self.fallback_methods(&call.name, Some(call.args));
-        }
-        match call.qualifier.as_deref() {
-            Some("Self") | Some("self") => caller
-                .owner
-                .as_deref()
-                .map(|o| self.owned(o, &call.name))
-                .unwrap_or_default(),
-            Some(q) if q.chars().next().is_some_and(char::is_uppercase) => {
-                self.owned(q, &call.name)
-            }
-            Some(q) => {
-                // Module-qualified free call: prefer fns whose file
-                // matches the module segment, fall back to all.
-                let all = self
-                    .free_by_name
-                    .get(call.name.as_str())
-                    .cloned()
-                    .unwrap_or_default();
-                let module = q.strip_prefix("mqa_").unwrap_or(q);
-                let scoped: Vec<usize> = all
-                    .iter()
-                    .copied()
-                    .filter(|&id| self.inv.file_matches_module(self.inv.fns[id].file, module))
-                    .collect();
-                if scoped.is_empty() {
-                    all
-                } else {
-                    scoped
-                }
-            }
-            None => self
-                .free_by_name
-                .get(call.name.as_str())
-                .map(|ids| {
-                    ids.iter()
-                        .copied()
-                        .filter(|&id| self.inv.fns[id].arity == call.args)
-                        .collect()
-                })
-                .unwrap_or_default(),
-        }
-    }
-}
-
 /// Runs the analysis over in-memory `(repo-relative path, source)` pairs.
 /// Unit tests and the mutation fixture enter here.
 pub fn analyze_sources(files: &[(String, String)]) -> FlowAnalysis {
-    let mut inv = Inventory {
-        files: files.iter().map(|(rel, _)| rel.clone()).collect(),
-        ..Inventory::default()
-    };
+    let mut inv: Inventory<SiteKind> =
+        Inventory::for_files(files.iter().map(|(rel, _)| rel.clone()).collect());
     for (fi, (rel, source)) in files.iter().enumerate() {
         // Experiment binaries abort by design; they are not serving code.
         if rel.contains("/src/bin/") {
@@ -1091,72 +473,11 @@ pub fn analyze_sources(files: &[(String, String)]) -> FlowAnalysis {
             .filter(|t| !mask.get(t.line - 1).copied().unwrap_or(false))
             .collect();
         let invariant = invariant_mask(source);
-        scan_file(fi, &kept, &invariant, &mut inv);
+        let sites = scan_sites(&kept, &invariant);
+        callgraph::scan_file(fi, &kept, sites, &mut inv);
     }
 
-    let resolver = Resolver::new(&inv);
-    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); inv.fns.len()];
-    let mut edges = 0usize;
-    for (id, f) in inv.fns.iter().enumerate() {
-        let mut outs = BTreeSet::new();
-        for call in &f.calls {
-            outs.extend(resolver.resolve(call, f));
-        }
-        edges += outs.len();
-        adj[id] = outs.into_iter().collect();
-    }
-
-    let entries: Vec<usize> = inv
-        .fns
-        .iter()
-        .enumerate()
-        .filter(|(_, f)| {
-            ENTRY_POINTS.iter().any(|ep| {
-                f.name == ep.name
-                    && match ep.owner {
-                        Some(o) => f.owner.as_deref() == Some(o),
-                        None => f.owner.is_some(),
-                    }
-            })
-        })
-        .map(|(id, _)| id)
-        .collect();
-
-    // BFS with parent pointers for sample paths in excerpts.
-    let mut parent: Vec<Option<usize>> = vec![None; inv.fns.len()];
-    let mut reached: Vec<bool> = vec![false; inv.fns.len()];
-    let mut queue: VecDeque<usize> = VecDeque::new();
-    for &e in &entries {
-        if !reached[e] {
-            reached[e] = true;
-            queue.push_back(e);
-        }
-    }
-    while let Some(n) = queue.pop_front() {
-        for &m in &adj[n] {
-            if !reached[m] {
-                reached[m] = true;
-                parent[m] = Some(n);
-                queue.push_back(m);
-            }
-        }
-    }
-
-    let path_to = |mut id: usize| -> String {
-        let mut names = vec![inv.fns[id].display()];
-        let mut hops = 0;
-        while let Some(p) = parent[id] {
-            names.push(inv.fns[p].display());
-            id = p;
-            hops += 1;
-            if hops >= 6 {
-                names.push("…".to_string());
-                break;
-            }
-        }
-        names.reverse();
-        names.join(" -> ")
-    };
+    let cone = build_cone(&inv, &ENTRY_POINTS);
 
     let mut findings = Vec::new();
     let mut cone_sites = 0usize;
@@ -1167,7 +488,7 @@ pub fn analyze_sources(files: &[(String, String)]) -> FlowAnalysis {
             .iter()
             .filter(|s| s.kind == SiteKind::LossyCast)
             .count();
-        if !reached[id] {
+        if !cone.reached[id] {
             continue;
         }
         for s in &f.sites {
@@ -1188,7 +509,7 @@ pub fn analyze_sources(files: &[(String, String)]) -> FlowAnalysis {
                     "{src_line} [{} in {}; via {}]",
                     s.kind.describe(),
                     f.display(),
-                    path_to(id)
+                    cone.path_to(&inv, id)
                 ),
             });
         }
@@ -1199,9 +520,9 @@ pub fn analyze_sources(files: &[(String, String)]) -> FlowAnalysis {
         findings,
         stats: FlowStats {
             fns: inv.fns.len(),
-            edges,
-            entry_fns: entries.len(),
-            reachable_fns: reached.iter().filter(|&&r| r).count(),
+            edges: cone.edges,
+            entry_fns: cone.entries.len(),
+            reachable_fns: cone.reachable_fns(),
             cone_sites,
             lossy_casts: lossy,
         },

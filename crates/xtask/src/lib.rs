@@ -39,10 +39,18 @@
 //! runs against a 2-worker engine, and the gate fails if a tombstoned
 //! object ever surfaces, the result-cache generation misses a bump, the
 //! delete volume never triggers compaction, or a `graph.mutate.*`
-//! instrument stays empty.
+//! instrument stays empty. A ninth, [`alloc`], is the allocation-freedom
+//! gate: the same call-graph machinery as [`flow`] (shared in
+//! [`callgraph`]) inventories every allocation-capable site, computes
+//! the allocation cone from the steady-state serving entry points, and
+//! fails if any reachable site lacks an `// ALLOC:` discharge or a
+//! reasoned waiver in `alloc-baseline.toml` — cross-validated at runtime
+//! by the `alloc-witness` counting allocator in `mqa-engine`.
 
+pub mod alloc;
 pub mod audit;
 pub mod baseline;
+pub mod callgraph;
 pub mod conc;
 pub mod engine;
 pub mod flow;

@@ -29,8 +29,6 @@ pub enum Rule {
     WildcardErrorMatch,
     /// Ad-hoc `Instant::now()` timing outside the bench/obs crates.
     AdHocTiming,
-    /// A fresh `vec![false` visited-set allocation on a graph search path.
-    VisitedAlloc,
     /// A cycle in the global lock-order graph (`mqa-xtask conc`).
     LockOrderCycle,
     /// `Condvar::wait` outside a `while`/`loop` predicate re-check.
@@ -46,6 +44,11 @@ pub enum Rule {
     /// A panic-capable site reachable from a serving entry point
     /// (`mqa-xtask flow`).
     ReachablePanic,
+    /// An allocation-capable site reachable from a steady-state serving
+    /// entry point (`mqa-xtask alloc`). Subsumes the retired
+    /// `no-visited-alloc` lint: a fresh `vec![false; n]` visited set on a
+    /// search path is now one flavor of reachable allocation.
+    ReachableAlloc,
 }
 
 impl Rule {
@@ -58,7 +61,6 @@ impl Rule {
         Rule::UnsafeNoSafety,
         Rule::WildcardErrorMatch,
         Rule::AdHocTiming,
-        Rule::VisitedAlloc,
         Rule::LockOrderCycle,
         Rule::CondvarNoLoop,
         Rule::GuardAcrossBlocking,
@@ -66,6 +68,7 @@ impl Rule {
         Rule::NoLossyCast,
         Rule::NoRawDiv,
         Rule::ReachablePanic,
+        Rule::ReachableAlloc,
     ];
 
     /// The kebab-case rule name used in reports and waivers.
@@ -78,7 +81,6 @@ impl Rule {
             Rule::UnsafeNoSafety => "unsafe-no-safety",
             Rule::WildcardErrorMatch => "wildcard-error-match",
             Rule::AdHocTiming => "ad-hoc-timing",
-            Rule::VisitedAlloc => "no-visited-alloc",
             Rule::LockOrderCycle => "lock-order-cycle",
             Rule::CondvarNoLoop => "condvar-no-loop",
             Rule::GuardAcrossBlocking => "guard-across-blocking",
@@ -86,6 +88,7 @@ impl Rule {
             Rule::NoLossyCast => "no-lossy-cast",
             Rule::NoRawDiv => "no-raw-div",
             Rule::ReachablePanic => "flow-reachable-panic",
+            Rule::ReachableAlloc => "alloc-reachable",
         }
     }
 
@@ -108,9 +111,6 @@ impl Rule {
             Rule::AdHocTiming => {
                 "instrumented code must time via mqa-obs spans/Stopwatch, not raw Instant::now()"
             }
-            Rule::VisitedAlloc => {
-                "per-query visited state must live in SearchScratch/VisitedSet, not a fresh `vec![false` allocation"
-            }
             Rule::LockOrderCycle => {
                 "two functions acquire these locks in opposite orders — a potential deadlock"
             }
@@ -131,6 +131,9 @@ impl Rule {
             }
             Rule::ReachablePanic => {
                 "a panic-capable site is reachable from a serving entry point; make it a typed error or waive it in flow-baseline.toml"
+            }
+            Rule::ReachableAlloc => {
+                "a heap allocation is reachable from the steady-state serving path; hoist it, discharge it with // ALLOC:, or waive it in alloc-baseline.toml"
             }
         }
     }
@@ -395,9 +398,6 @@ pub struct LintFlags {
     /// Ad-hoc-timing rule (everywhere except bench/obs, which own raw
     /// clocks by design).
     pub timing: bool,
-    /// Visited-allocation rule (graph search paths, where per-query
-    /// state belongs in `SearchScratch`).
-    pub visited: bool,
     /// Arithmetic-safety rules (no-index-panic, no-lossy-cast,
     /// no-raw-div) on the serving-path crates.
     pub arith: bool,
@@ -422,8 +422,8 @@ fn rule_order(rule: Rule) -> usize {
 /// ad-hoc-timing) match on the [`crate::rustlex`] token stream, so
 /// call chains split across lines still fire and prose in strings and
 /// comments never does. The block-structure rules (no-panic, unsafe,
-/// wildcard-error-match, visited-alloc) stay on the stripped line pass,
-/// which carries the adjacency context they need.
+/// wildcard-error-match) stay on the stripped line pass, which carries
+/// the adjacency context they need.
 pub fn lint_source(file: &str, source: &str, flags: &LintFlags) -> Vec<Finding> {
     let stripped = strip(source);
     let mask = test_mask(&stripped);
@@ -527,9 +527,6 @@ pub fn lint_source(file: &str, source: &str, flags: &LintFlags) -> Vec<Finding> 
             {
                 push(Rule::NoPanic);
             }
-            if flags.visited && code.contains("vec![false") {
-                push(Rule::VisitedAlloc);
-            }
             if has_word(code, "unsafe") {
                 let lo = idx.saturating_sub(3);
                 let nearby_safety = raw_lines[lo..=idx].iter().any(|l| l.contains("SAFETY:"));
@@ -602,11 +599,6 @@ pub const KERNEL_PREFIXES: [&str; 3] = [
 /// API's own implementation.
 pub const TIMING_EXEMPT_PREFIXES: [&str; 2] = ["crates/bench", "crates/obs"];
 
-/// Path prefix where the visited-allocation rule applies: graph search
-/// code must thread `SearchScratch` instead of allocating `vec![false; n]`
-/// per query. `scratch.rs` itself (the owner of that state) is exempt.
-pub const VISITED_PREFIX: &str = "crates/graph/src";
-
 /// Path prefixes where the arithmetic-safety rules (no-index-panic,
 /// no-lossy-cast, no-raw-div) apply: the crates a serving worker executes
 /// per query. `cast.rs` (the checked-conversion helper module, which owns
@@ -674,7 +666,6 @@ pub fn run(repo_root: &Path, baseline: &Baseline) -> Result<LintOutcome, String>
         let flags = LintFlags {
             kernel: KERNEL_PREFIXES.iter().any(|p| rel.starts_with(p)),
             timing: !TIMING_EXEMPT_PREFIXES.iter().any(|p| rel.starts_with(p)),
-            visited: rel.starts_with(VISITED_PREFIX) && !rel.ends_with("/scratch.rs"),
             arith: SERVING_PREFIXES.iter().any(|p| rel.starts_with(p))
                 && !rel.ends_with("/cast.rs"),
             fail_fast_bin: rel.contains("/src/bin/"),
@@ -741,7 +732,7 @@ mod tests {
     fn string_line_continuation_keeps_mask_aligned() {
         let src = "fn f() -> String {\n    format!(\n        \"two-line \\\n         message\"\n    )\n}\n#[cfg(test)]\nmod tests {\n    fn b() { x.expect(\"fine in tests\"); }\n}\n";
         assert_eq!(strip(src).lines().count(), src.lines().count());
-        assert!(lint_source("f.rs", src, &flags(false, false, false)).is_empty());
+        assert!(lint_source("f.rs", src, &flags(false, false)).is_empty());
     }
 
     #[test]
@@ -751,11 +742,10 @@ mod tests {
         assert_eq!(mask, vec![false, true, true, true, true, false]);
     }
 
-    fn flags(kernel: bool, timing: bool, visited: bool) -> LintFlags {
+    fn flags(kernel: bool, timing: bool) -> LintFlags {
         LintFlags {
             kernel,
             timing,
-            visited,
             arith: false,
             fail_fast_bin: false,
         }
@@ -764,13 +754,13 @@ mod tests {
     #[test]
     fn unwrap_in_test_code_is_ignored() {
         let src = "#[cfg(test)]\nmod tests {\n  fn b() { x.unwrap(); }\n}\n";
-        assert!(lint_source("f.rs", src, &flags(false, false, false)).is_empty());
+        assert!(lint_source("f.rs", src, &flags(false, false)).is_empty());
     }
 
     #[test]
     fn unwrap_split_across_lines_still_fires() {
         let src = "fn f() {\n    compute_the_thing(a, b)\n        .unwrap\n        ();\n}\n";
-        let found = lint_source("f.rs", src, &flags(false, false, false));
+        let found = lint_source("f.rs", src, &flags(false, false));
         assert_eq!(found.len(), 1);
         assert_eq!((found[0].line, found[0].rule), (3, Rule::NoUnwrap));
     }
@@ -791,8 +781,8 @@ mod tests {
     #[test]
     fn float_eq_only_fires_in_kernel_files() {
         let src = "fn f(a: f32, b: f32) -> bool { a == b }\n";
-        assert!(lint_source("f.rs", src, &flags(false, false, false)).is_empty());
-        let found = lint_source("f.rs", src, &flags(true, false, false));
+        assert!(lint_source("f.rs", src, &flags(false, false)).is_empty());
+        let found = lint_source("f.rs", src, &flags(true, false));
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].rule, Rule::FloatEq);
     }
@@ -800,30 +790,21 @@ mod tests {
     #[test]
     fn integer_comparison_is_not_a_float_eq() {
         let src = "fn f(a: usize, b: usize) -> bool { a == b && a != 3 }\n";
-        assert!(lint_source("f.rs", src, &flags(true, false, false)).is_empty());
+        assert!(lint_source("f.rs", src, &flags(true, false)).is_empty());
     }
 
     #[test]
     fn float_eq_ignores_floats_on_other_lines() {
         let src = "fn f(a: usize, w: f32) -> bool {\n    let _ = w * 2.0;\n    a == 3\n}\n";
-        assert!(lint_source("f.rs", src, &flags(true, false, false)).is_empty());
+        assert!(lint_source("f.rs", src, &flags(true, false)).is_empty());
     }
 
     #[test]
     fn ad_hoc_timing_only_fires_with_timing_flag() {
         let src = "fn f() { let t = std::time::Instant::now(); let _ = t.elapsed(); }\n";
-        assert!(lint_source("f.rs", src, &flags(false, false, false)).is_empty());
-        let found = lint_source("f.rs", src, &flags(false, true, false));
+        assert!(lint_source("f.rs", src, &flags(false, false)).is_empty());
+        let found = lint_source("f.rs", src, &flags(false, true));
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].rule, Rule::AdHocTiming);
-    }
-
-    #[test]
-    fn visited_alloc_only_fires_with_visited_flag() {
-        let src = "fn f(n: usize) -> Vec<bool> { vec![false; n] }\n";
-        assert!(lint_source("f.rs", src, &flags(false, false, false)).is_empty());
-        let found = lint_source("f.rs", src, &flags(false, false, true));
-        assert_eq!(found.len(), 1);
-        assert_eq!(found[0].rule, Rule::VisitedAlloc);
     }
 }

@@ -8,7 +8,7 @@
 //! Both commands exit 0 only when clean, so `ci.sh` can chain them.
 
 use mqa_xtask::baseline::Baseline;
-use mqa_xtask::{audit, conc, engine, flow, lint, mutate, obs, trace};
+use mqa_xtask::{alloc, audit, conc, engine, flow, lint, mutate, obs, trace};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -36,6 +36,14 @@ COMMANDS:
         indexing, raw integer division), build the workspace call graph,
         and fail on any site reachable from a serving entry point.
         Waivers live in flow-baseline.toml.
+
+    alloc [--baseline <path>] [--root <dir>]
+        Allocation-freedom analysis: inventory every allocation-capable
+        site (container ctors, vec!/format!, to_owned/collect, heap
+        clones, map inserts), build the workspace call graph, and fail
+        on any site reachable from a steady-state serving entry point
+        without an // ALLOC: discharge. Waivers live in
+        alloc-baseline.toml.
 
     audit
         Build every index variant over a synthetic corpus and run the
@@ -86,6 +94,7 @@ fn main() -> ExitCode {
         Some("lint") => cmd_lint(&args[1..]),
         Some("conc") => cmd_conc(&args[1..]),
         Some("flow") => cmd_flow(&args[1..]),
+        Some("alloc") => cmd_alloc(&args[1..]),
         Some("audit") => cmd_audit(),
         Some("rules") => cmd_rules(),
         Some("obs") => cmd_obs(&args[1..]),
@@ -309,6 +318,79 @@ fn cmd_flow(args: &[String]) -> ExitCode {
     }
 }
 
+fn cmd_alloc(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--baseline requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match it.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("--root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown alloc option `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !root.is_dir() {
+        eprintln!("alloc: root `{}` is not a directory", root.display());
+        return ExitCode::from(2);
+    }
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("alloc-baseline.toml"));
+    let baseline = match Baseline::load(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("alloc: bad baseline: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = match alloc::run(&root, &baseline) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("alloc: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for f in &outcome.findings {
+        println!("{f}");
+        println!("    {}", f.rule.explain());
+    }
+    for w in &outcome.unused_waivers {
+        println!("unused waiver: {w}");
+    }
+    println!(
+        "alloc: {} file(s), {} fn(s), {} edge(s), {} entry fn(s), {} reachable, \
+         {} site(s) total, {} cone site(s), {} finding(s), {} waived, {} unused waiver(s)",
+        outcome.files_scanned,
+        outcome.stats.fns,
+        outcome.stats.edges,
+        outcome.stats.entry_fns,
+        outcome.stats.reachable_fns,
+        outcome.stats.total_sites,
+        outcome.stats.cone_sites,
+        outcome.findings.len(),
+        outcome.waived.len(),
+        outcome.unused_waivers.len()
+    );
+    if outcome.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn cmd_audit() -> ExitCode {
     let report = audit::run(std::path::Path::new("."));
     for entry in &report.entries {
@@ -372,10 +454,16 @@ fn cmd_engine(args: &[String]) -> ExitCode {
     }
     match engine::run(&out_dir, seed) {
         Ok(outcome) => {
+            let alloc_phase = match outcome.alloc_witness {
+                Some((queries, allocs)) => {
+                    format!("alloc witness {allocs} alloc(s) over {queries} warmed search(es)")
+                }
+                None => "alloc witness off (build with --features alloc-witness)".to_string(),
+            };
             println!(
                 "engine: {} answer(s) identical to serial, paged QPS {:.0} -> {:.0} \
                  ({:.2}x at 4 workers), {} pool job(s), {} witness pair(s), \
-                 page cache {} -> {} read(s) ({:.1}x) -> {}",
+                 page cache {} -> {} read(s) ({:.1}x), {} -> {}",
                 outcome.identical_answers,
                 outcome.serial_qps,
                 outcome.concurrent_qps,
@@ -385,6 +473,7 @@ fn cmd_engine(args: &[String]) -> ExitCode {
                 outcome.cold_page_reads,
                 outcome.warm_page_reads,
                 outcome.cache_read_reduction,
+                alloc_phase,
                 out_dir.display()
             );
             ExitCode::SUCCESS

@@ -1,0 +1,60 @@
+//! Fixture: allocation sites at pinned lines, plus decoys that must
+//! NOT fire — prose mentions, string literals, `#[cfg(test)]` code,
+//! `// ALLOC:`-discharged sites, and refcount (`Arc`) handle clones.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+pub fn visited_mask(n: usize) -> Vec<bool> {
+    // Prose decoy: building vec![false; n] by hand would be slower.
+    vec![false; n]
+}
+
+pub fn fresh_buffer() -> Vec<u32> {
+    let label = "Vec::new() in a string literal is not a site";
+    let _ = label;
+    Vec::new()
+}
+
+pub fn describe(k: usize) -> String {
+    format!("k={k}")
+}
+
+pub fn owned_copy(name: &str) -> String {
+    name.to_string()
+}
+
+pub fn doubled(values: &[u32]) -> Vec<u32> {
+    values.iter().map(|x| x * 2).collect()
+}
+
+pub fn deep_copy(buf: Vec<u32>) -> Vec<u32> {
+    buf.clone()
+}
+
+pub fn remember(map: &mut HashMap<u64, u32>, key: u64, val: u32) {
+    map.insert(key, val);
+}
+
+pub fn positional_insert(xs: &mut Vec<u32>, val: u32) {
+    // A Vec receiver is not a map: `.insert` stays silent here.
+    xs.insert(0, val);
+}
+
+pub fn handle_copy(shared: &Arc<u64>) -> Arc<u64> {
+    // Refcount bump, not a heap allocation.
+    Arc::clone(shared)
+}
+
+pub fn discharged(n: usize) -> Vec<u8> {
+    // ALLOC: one-time setup buffer, sized once at build.
+    vec![0u8; n]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn masked() {
+        let _ = vec![1u8, 2, 3];
+    }
+}

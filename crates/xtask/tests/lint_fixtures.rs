@@ -13,20 +13,9 @@ fn findings(name: &str, source: &str, kernel: bool) -> Vec<(usize, Rule)> {
 }
 
 fn findings_timed(name: &str, source: &str, kernel: bool, timing: bool) -> Vec<(usize, Rule)> {
-    findings_full(name, source, kernel, timing, false)
-}
-
-fn findings_full(
-    name: &str,
-    source: &str,
-    kernel: bool,
-    timing: bool,
-    visited: bool,
-) -> Vec<(usize, Rule)> {
     let flags = LintFlags {
         kernel,
         timing,
-        visited,
         arith: false,
         fail_fast_bin: false,
     };
@@ -106,26 +95,11 @@ fn instant_fixture_fires_only_with_timing_flag() {
 }
 
 #[test]
-fn visited_fixture_fires_only_with_visited_flag() {
-    let src = include_str!("fixtures/fixture_visited.rs");
-    assert_eq!(
-        findings_full("fixture_visited.rs", src, false, false, true),
-        vec![(8, Rule::VisitedAlloc)]
-    );
-    // Outside crates/graph (and inside scratch.rs) the flag is off.
-    assert_eq!(
-        findings_full("fixture_visited.rs", src, false, false, false),
-        vec![]
-    );
-}
-
-#[test]
 fn flow_fixture_fires_each_arith_rule_at_pinned_lines() {
     let src = include_str!("fixtures/fixture_flow.rs");
     let flags = LintFlags {
         kernel: false,
         timing: false,
-        visited: false,
         arith: true,
         fail_fast_bin: false,
     };
