@@ -35,6 +35,9 @@ cargo run -q --release --offline -p mqa-xtask -- trace --out results/trace
 echo "==> mqa-xtask mutate (online-mutation gate)"
 cargo run -q --release --offline -p mqa-xtask -- mutate --out results/mutate
 
+echo "==> mqa-xtask sched (deadline-scheduler overload gate)"
+cargo run -q --release --offline -p mqa-xtask -- sched --out results/sched
+
 echo "==> introspection endpoint (feature build)"
 cargo build -q --offline -p mqa-obs --features serve --examples
 

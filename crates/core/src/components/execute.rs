@@ -7,7 +7,7 @@
 
 use mqa_cache::{Fingerprint, ResultCache};
 use mqa_encoders::RawContent;
-use mqa_engine::{EngineError, QueryEngine};
+use mqa_engine::{Deadline, EngineError, QueryEngine, TicketError};
 use mqa_kb::{KnowledgeBase, ObjectId};
 use mqa_retrieval::{MultiModalQuery, RetrievalFramework, RetrievalOutput};
 use mqa_vector::ModalityKind;
@@ -113,14 +113,72 @@ impl QueryExecutor {
         if let Some(engine) = &self.engine {
             match engine.retrieve(query.clone(), k, ef) {
                 Ok(out) => return out,
-                // A refusal means shutdown is racing this turn; the turn
+                // A refusal means shutdown (or, on this deadline-less
+                // path, admission control) is racing this turn; the turn
                 // still deserves an answer, so degrade to the serial path.
-                Err(EngineError::QueueFull | EngineError::ShuttingDown | EngineError::Canceled) => {
+                Err(
+                    EngineError::QueueFull
+                    | EngineError::ShuttingDown
+                    | EngineError::Canceled
+                    | EngineError::Rejected
+                    | EngineError::Expired,
+                ) => {
                     mqa_obs::trace::note_serial_fallback();
                 }
             }
         }
         self.framework.search(query, k, ef)
+    }
+
+    /// Searches under a per-turn latency budget. Unlike the deadline-less
+    /// path, a load shed here is a *typed outcome*, not a silent serial
+    /// retry: `Rejected` / `Expired` propagate to the caller, who chose
+    /// the budget. Only `Canceled` (shutdown racing the turn) degrades to
+    /// the serial path, since no load-shedding decision was made. A cache
+    /// hit answers within any budget.
+    ///
+    /// # Errors
+    /// [`TicketError::Rejected`] or [`TicketError::Expired`] when the
+    /// engine sheds the query.
+    pub fn run_with_deadline(
+        &self,
+        query: &MultiModalQuery,
+        k: usize,
+        budget_us: u64,
+    ) -> Result<RetrievalOutput, TicketError> {
+        let ef = self.ef.max(k);
+        let deadline = Deadline::in_us(budget_us);
+        mqa_obs::trace::note_deadline_budget(budget_us);
+        let keyed = self
+            .cache
+            .as_ref()
+            .map(|cache| (cache, self.turn_fingerprint(query, k, ef)));
+        if let Some((cache, key)) = &keyed {
+            if let Some(out) = cache.get(*key) {
+                mqa_obs::trace::note_cache(true);
+                return Ok(out);
+            }
+        }
+        let out = match &self.engine {
+            Some(engine) => {
+                match engine.retrieve_with_deadline(query.clone(), k, ef, Some(deadline)) {
+                    Ok(out) => out,
+                    Err(err @ (TicketError::Rejected | TicketError::Expired)) => return Err(err),
+                    Err(TicketError::Canceled) => {
+                        mqa_obs::trace::note_serial_fallback();
+                        self.framework.search(query, k, ef)
+                    }
+                }
+            }
+            // No engine: the serial path cannot be overloaded by other
+            // sessions, so the turn is simply served.
+            None => self.framework.search(query, k, ef),
+        };
+        if let Some((cache, key)) = keyed {
+            mqa_obs::trace::note_cache(false);
+            cache.insert(key, out.clone());
+        }
+        Ok(out)
     }
 
     /// Augments `query` with the image content of a selected prior result:

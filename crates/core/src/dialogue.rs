@@ -30,6 +30,11 @@ pub struct Turn {
     pub reject: Option<usize>,
     /// Raw per-modality weight override for this turn.
     pub weights: Option<Vec<f32>>,
+    /// Per-turn latency budget in microseconds. When set (and an engine
+    /// is attached), the turn's search runs under a [`mqa_engine::Deadline`]
+    /// and may be shed with a typed [`MqaError::Shed`] outcome instead of
+    /// queueing unboundedly under load.
+    pub deadline_us: Option<u64>,
 }
 
 impl Turn {
@@ -79,6 +84,12 @@ impl Turn {
     /// Attaches a weight override.
     pub fn with_weights(mut self, raw: Vec<f32>) -> Self {
         self.weights = Some(raw);
+        self
+    }
+
+    /// Attaches a per-turn latency budget (microseconds).
+    pub fn with_deadline_us(mut self, budget_us: u64) -> Self {
+        self.deadline_us = Some(budget_us);
         self
     }
 }
@@ -231,7 +242,16 @@ impl<'a> DialogueSession<'a> {
         let k = self.system.executor().k();
         let diversify = self.system.config().diversify;
         let fetch = k + self.excluded.len() + if diversify.is_some() { k } else { 0 };
-        let mut out = self.system.executor().run_with_k(&query, fetch);
+        let mut out = match turn.deadline_us {
+            // A deadline turn can be shed under load — the typed outcome
+            // surfaces to the caller instead of queueing past the budget.
+            Some(budget_us) => self
+                .system
+                .executor()
+                .run_with_deadline(&query, fetch, budget_us)
+                .map_err(MqaError::Shed)?,
+            None => self.system.executor().run_with_k(&query, fetch),
+        };
         out.results.retain(|c| !self.excluded.contains(&c.id));
         if let Some(lambda) = diversify {
             // Config::validate already rejects lambda outside [0, 1]; this

@@ -27,6 +27,9 @@ pub enum MqaError {
     /// the knowledge base (schema violation), the framework (no mutation
     /// support), or the index (bad batch shape).
     Mutation(String),
+    /// The engine shed the turn's query under load: the typed admission /
+    /// deadline outcome ([`mqa_engine::TicketError`]) names why.
+    Shed(mqa_engine::TicketError),
 }
 
 impl fmt::Display for MqaError {
@@ -49,6 +52,7 @@ impl fmt::Display for MqaError {
                 write!(f, "cannot select a result before the first search")
             }
             MqaError::Mutation(msg) => write!(f, "index mutation rejected: {msg}"),
+            MqaError::Shed(err) => write!(f, "query shed under load: {err}"),
         }
     }
 }
@@ -73,5 +77,8 @@ mod tests {
         assert!(MqaError::InvalidConfig("k = 0".into())
             .to_string()
             .contains("k = 0"));
+        assert!(MqaError::Shed(mqa_engine::TicketError::Expired)
+            .to_string()
+            .contains("deadline"));
     }
 }

@@ -89,34 +89,36 @@ mod active {
     #[global_allocator]
     static WITNESS_ALLOC: CountingAlloc = CountingAlloc;
 
-    /// Allocations counted against the current thread so far.
-    pub fn thread_allocs() -> u64 {
-        ALLOCS.try_with(Cell::get).unwrap_or(0)
-    }
-
-    /// Bytes counted against the current thread so far.
-    pub fn thread_bytes() -> u64 {
-        BYTES.try_with(Cell::get).unwrap_or(0)
+    /// Both counters, or `None` when the thread's TLS slots are already
+    /// destroyed (thread teardown in progress). Reading 0 at that point
+    /// would silently mask undercounting, so the unreadable state is
+    /// typed instead of defaulted.
+    pub fn thread_counters() -> Option<(u64, u64)> {
+        let allocs = ALLOCS.try_with(Cell::get).ok()?;
+        let bytes = BYTES.try_with(Cell::get).ok()?;
+        Some((allocs, bytes))
     }
 }
 
 /// A point-in-time snapshot of the current thread's allocation counters;
-/// [`AllocCheckpoint::delta`] measures the traffic since.
+/// [`AllocCheckpoint::delta_checked`] measures the traffic since.
 #[derive(Debug, Clone, Copy)]
 pub struct AllocCheckpoint {
-    allocs: u64,
-    bytes: u64,
+    /// `(allocations, bytes)` at checkpoint time; `None` when the
+    /// thread-local counters were unreadable (TLS destruction), so the
+    /// unreadable state propagates typed instead of reading as zero.
+    counters: Option<(u64, u64)>,
 }
 
 impl AllocCheckpoint {
     /// `(allocations, bytes)` performed by this thread since the
-    /// checkpoint was taken. Always `(0, 0)` without `alloc-witness`.
-    pub fn delta(&self) -> (u64, u64) {
-        let now = checkpoint();
-        (
-            now.allocs.saturating_sub(self.allocs),
-            now.bytes.saturating_sub(self.bytes),
-        )
+    /// checkpoint was taken, or `None` if either endpoint fell into TLS
+    /// destruction — a measurement that would otherwise undercount as
+    /// zero. Always `Some((0, 0))` without `alloc-witness`.
+    pub fn delta_checked(&self) -> Option<(u64, u64)> {
+        let (a0, b0) = self.counters?;
+        let (a1, b1) = checkpoint().counters?;
+        Some((a1.saturating_sub(a0), b1.saturating_sub(b0)))
     }
 }
 
@@ -124,8 +126,7 @@ impl AllocCheckpoint {
 #[cfg(feature = "alloc-witness")]
 pub fn checkpoint() -> AllocCheckpoint {
     AllocCheckpoint {
-        allocs: active::thread_allocs(),
-        bytes: active::thread_bytes(),
+        counters: active::thread_counters(),
     }
 }
 
@@ -134,8 +135,7 @@ pub fn checkpoint() -> AllocCheckpoint {
 #[cfg(not(feature = "alloc-witness"))]
 pub fn checkpoint() -> AllocCheckpoint {
     AllocCheckpoint {
-        allocs: 0,
-        bytes: 0,
+        counters: Some((0, 0)),
     }
 }
 
@@ -152,11 +152,17 @@ pub fn record_job(before: &AllocCheckpoint) {
     if !enabled() {
         return;
     }
-    let (allocs, bytes) = before.delta();
-    let reg = mqa_obs::global();
-    reg.histogram("engine.allocwitness.job_allocs")
-        .record(allocs);
-    reg.histogram("engine.allocwitness.job_bytes").record(bytes);
+    match before.delta_checked() {
+        Some((allocs, bytes)) => {
+            let reg = mqa_obs::global();
+            reg.histogram("engine.allocwitness.job_allocs")
+                .record(allocs);
+            reg.histogram("engine.allocwitness.job_bytes").record(bytes);
+        }
+        // TLS destruction made the delta unreadable: count the miss
+        // visibly rather than recording a fabricated zero delta.
+        None => mqa_obs::counter("engine.allocwitness.tls_miss").inc(),
+    }
 }
 
 #[cfg(test)]
@@ -167,7 +173,7 @@ mod tests {
     fn checkpoint_delta_is_monotonic() {
         let cp = checkpoint();
         let v: Vec<u64> = (0..64).collect();
-        let (allocs, bytes) = cp.delta();
+        let (allocs, bytes) = cp.delta_checked().expect("live thread reads its counters");
         if enabled() {
             assert!(allocs >= 1, "a Vec allocation must be counted");
             assert!(bytes >= 64 * 8, "the Vec's bytes must be counted");
@@ -191,7 +197,7 @@ mod tests {
             buf.extend(0..256);
             acc = acc.wrapping_add(buf.iter().sum::<u64>());
         }
-        let (allocs, _) = cp.delta();
+        let (allocs, _) = cp.delta_checked().expect("live thread reads its counters");
         assert_eq!(allocs, 0, "warmed loop allocated (acc={acc})");
     }
 

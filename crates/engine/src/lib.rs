@@ -29,23 +29,32 @@
 //! assert_eq!(answer.ids(), vec![5]);
 //! ```
 //!
+//! An optional [`sched`] stage (see [`EngineOptions::with_sched`]) fronts
+//! the pool with deadline-aware micro-batching and admission control:
+//! overload resolves to typed [`TicketError::Rejected`] /
+//! [`TicketError::Expired`] outcomes, never a silent drop.
+//!
 //! Instrumentation (all through `mqa-obs`): `engine.pool.queue_depth` gauge,
-//! `engine.query.latency_us` latency histogram, `engine.query.submitted` counter, and
-//! per-worker `engine.worker.<i>.jobs` counters.
+//! `engine.query.latency_us` latency histogram, `engine.query.submitted` counter,
+//! per-worker `engine.worker.<i>.jobs` counters, and the scheduler's
+//! `engine.sched.{batches,batch_size,shed_rejected,shed_expired,pending_depth}`.
 
 pub mod allocwitness;
 pub mod pool;
 pub mod queue;
+pub mod sched;
 pub mod sync;
 pub mod ticket;
 
 pub use pool::{Job, WorkerPool};
 pub use queue::BoundedQueue;
+pub use sched::{Deadline, SchedOptions};
 pub use sync::{lock_ignore_poison, wait_ignore_poison, TracedGuard, TracedMutex};
-pub use ticket::{oneshot, Ticket, TicketSender};
+pub use ticket::{oneshot, Ticket, TicketAborter, TicketError, TicketSender};
 
 use mqa_retrieval::{MultiModalQuery, RetrievalFramework, RetrievalOutput};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Typed errors of the submission path.
@@ -59,6 +68,11 @@ pub enum EngineError {
     /// The job was abandoned before producing a result (worker panic or
     /// shutdown with the job still queued).
     Canceled,
+    /// Admission control shed the query: scheduler queue depth was at the
+    /// configured watermark.
+    Rejected,
+    /// The query's deadline passed before a worker picked it up.
+    Expired,
 }
 
 impl fmt::Display for EngineError {
@@ -67,11 +81,23 @@ impl fmt::Display for EngineError {
             EngineError::QueueFull => write!(f, "submission queue is full"),
             EngineError::ShuttingDown => write!(f, "engine is shutting down"),
             EngineError::Canceled => write!(f, "query was canceled before completion"),
+            EngineError::Rejected => write!(f, "query rejected by admission control"),
+            EngineError::Expired => write!(f, "query deadline expired before dispatch"),
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+impl From<TicketError> for EngineError {
+    fn from(err: TicketError) -> Self {
+        match err {
+            TicketError::Rejected => EngineError::Rejected,
+            TicketError::Expired => EngineError::Expired,
+            TicketError::Canceled => EngineError::Canceled,
+        }
+    }
+}
 
 /// Engine sizing knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,6 +106,10 @@ pub struct EngineOptions {
     pub workers: usize,
     /// Submission-queue capacity (backpressure threshold).
     pub queue_cap: usize,
+    /// When set, a scheduler stage sits in front of the pool: micro-batch
+    /// dispatch, admission watermark, and deadline shedding. `None` keeps
+    /// the original direct-to-queue path.
+    pub sched: Option<SchedOptions>,
 }
 
 impl Default for EngineOptions {
@@ -87,6 +117,7 @@ impl Default for EngineOptions {
         Self {
             workers: 4,
             queue_cap: 64,
+            sched: None,
         }
     }
 }
@@ -99,11 +130,22 @@ impl EngineOptions {
             ..Self::default()
         }
     }
+
+    /// The same options with the scheduler stage enabled.
+    #[must_use]
+    pub fn with_sched(mut self, sched: SchedOptions) -> Self {
+        self.sched = Some(sched);
+        self
+    }
 }
 
-/// The engine: a retrieval framework served by a worker pool.
+/// The engine: a retrieval framework served by a worker pool, optionally
+/// fronted by the deadline-aware [`sched`] stage.
 pub struct QueryEngine {
-    pool: WorkerPool,
+    // Field order is drop order: the scheduler joins its dispatcher (which
+    // still submits into the pool) before the pool closes and joins.
+    sched: Option<sched::Scheduler>,
+    pool: Arc<WorkerPool>,
     framework: Arc<dyn RetrievalFramework>,
 }
 
@@ -111,10 +153,16 @@ impl QueryEngine {
     /// Spawns the worker pool over `framework`.
     ///
     /// # Panics
-    /// Panics if `options.workers == 0` or `options.queue_cap == 0`.
+    /// Panics if `options.workers == 0` or `options.queue_cap == 0` (or,
+    /// with a scheduler, a zero watermark / max batch).
     pub fn new(framework: Arc<dyn RetrievalFramework>, options: EngineOptions) -> Self {
+        let pool = Arc::new(WorkerPool::new(options.workers, options.queue_cap));
+        let sched = options
+            .sched
+            .map(|opts| sched::Scheduler::new(opts, Arc::clone(&pool)));
         Self {
-            pool: WorkerPool::new(options.workers, options.queue_cap),
+            sched,
+            pool,
             framework,
         }
     }
@@ -124,8 +172,21 @@ impl QueryEngine {
         query: MultiModalQuery,
         k: usize,
         ef: usize,
-    ) -> (Ticket<RetrievalOutput>, pool::Job) {
+        deadline: Option<Deadline>,
+    ) -> (
+        Ticket<RetrievalOutput>,
+        TicketAborter<RetrievalOutput>,
+        Arc<AtomicU64>,
+        pool::Job,
+    ) {
         let (ticket, sender) = ticket::oneshot();
+        let aborter = sender.aborter();
+        let worker_aborter = sender.aborter();
+        // ALLOC: per-query control-plane cell (like the ticket itself);
+        // the dispatcher writes the formed batch size, the worker reads
+        // it into the trace — the search it annotates stays allocation-free.
+        let batch_cell = Arc::new(AtomicU64::new(0));
+        let worker_batch_cell = Arc::clone(&batch_cell);
         let framework = Arc::clone(&self.framework);
         // Inherit the caller's trace when one is active (the session path
         // began it); otherwise mint a detached root so raw engine
@@ -142,6 +203,26 @@ impl QueryEngine {
         let queue_sw = mqa_obs::Stopwatch::start();
         let job: pool::Job = Box::new(move |scratch| {
             let adopted = ctx.as_ref().map(mqa_obs::TraceContext::adopt);
+            if let Some(d) = deadline {
+                mqa_obs::trace::note_deadline_budget(d.budget_us());
+                // Last-chance expiry check: the deadline may have passed
+                // while the job sat in the pool queue. Shedding here (no
+                // search run, no queue-wait sample recorded) keeps the
+                // served-query latency histograms clean, and `fail`
+                // resolves the ticket typed — the closure's sender then
+                // drops as a no-op.
+                if d.expired() && worker_aborter.fail(TicketError::Expired) {
+                    mqa_obs::counter("engine.sched.shed_expired").inc();
+                    drop(adopted);
+                    // A detached trace (owned handle) finalizes on drop
+                    // with outcome "canceled" — still a complete trace.
+                    return;
+                }
+            }
+            let batch = worker_batch_cell.load(Ordering::Relaxed);
+            if batch > 0 {
+                mqa_obs::trace::note_sched_batch(batch);
+            }
             let queue_us = queue_sw.elapsed_us();
             mqa_obs::histogram("engine.query.queue_wait_us").record(queue_us);
             mqa_obs::trace::note_queue_wait(queue_us);
@@ -167,23 +248,38 @@ impl QueryEngine {
             if let Some(handle) = owned {
                 handle.finish();
             }
-            sender.send(out);
+            // `false` means a shed raced ahead and won the ticket; the
+            // result is discarded but the outcome stays typed either way.
+            let _delivered = sender.send(out);
         });
-        (ticket, job)
+        (ticket, aborter, batch_cell, job)
     }
 
     /// Submits a query; blocks while the queue is full (backpressure).
+    /// With the scheduler stage enabled the submission never blocks —
+    /// overload resolves to [`EngineError::Rejected`] instead.
     ///
     /// # Errors
-    /// Returns [`EngineError::ShuttingDown`] if the engine closed.
+    /// Returns [`EngineError::ShuttingDown`] if the engine closed, or
+    /// [`EngineError::Rejected`] when admission control sheds the query.
     pub fn submit(
         &self,
         query: MultiModalQuery,
         k: usize,
         ef: usize,
     ) -> Result<Ticket<RetrievalOutput>, EngineError> {
-        let (ticket, job) = self.job(query, k, ef);
-        self.pool.submit(job)?;
+        let (ticket, aborter, batch_cell, job) = self.job(query, k, ef, None);
+        match &self.sched {
+            Some(s) => s
+                .submit(sched::Entry {
+                    job,
+                    deadline: None,
+                    aborter,
+                    batch_cell,
+                })
+                .map_err(EngineError::from)?,
+            None => self.pool.submit(job)?,
+        }
         mqa_obs::counter("engine.query.submitted").inc();
         Ok(ticket)
     }
@@ -191,7 +287,8 @@ impl QueryEngine {
     /// Non-blocking submit.
     ///
     /// # Errors
-    /// Returns [`EngineError::QueueFull`] under backpressure or
+    /// Returns [`EngineError::QueueFull`] under backpressure (direct
+    /// path), [`EngineError::Rejected`] at the scheduler watermark, or
     /// [`EngineError::ShuttingDown`] if the engine closed.
     pub fn try_submit(
         &self,
@@ -199,8 +296,63 @@ impl QueryEngine {
         k: usize,
         ef: usize,
     ) -> Result<Ticket<RetrievalOutput>, EngineError> {
-        let (ticket, job) = self.job(query, k, ef);
-        self.pool.try_submit(job)?;
+        let (ticket, aborter, batch_cell, job) = self.job(query, k, ef, None);
+        match &self.sched {
+            Some(s) => s
+                .submit(sched::Entry {
+                    job,
+                    deadline: None,
+                    aborter,
+                    batch_cell,
+                })
+                .map_err(EngineError::from)?,
+            None => self.pool.try_submit(job)?,
+        }
+        mqa_obs::counter("engine.query.submitted").inc();
+        Ok(ticket)
+    }
+
+    /// Submits a query carrying an optional deadline. Requires no
+    /// scheduler: on the direct path the deadline is still checked at
+    /// submit and on the worker; with the scheduler it additionally
+    /// gates admission and dispatch.
+    ///
+    /// # Errors
+    /// The typed shed outcome: [`TicketError::Expired`] if the deadline
+    /// already passed, [`TicketError::Rejected`] at the watermark,
+    /// [`TicketError::Canceled`] if the engine is shutting down.
+    pub fn submit_with_deadline(
+        &self,
+        query: MultiModalQuery,
+        k: usize,
+        ef: usize,
+        deadline: Option<Deadline>,
+    ) -> Result<Ticket<RetrievalOutput>, TicketError> {
+        let (ticket, aborter, batch_cell, job) = self.job(query, k, ef, deadline);
+        match &self.sched {
+            Some(s) => s.submit(sched::Entry {
+                job,
+                deadline,
+                aborter,
+                batch_cell,
+            })?,
+            None => {
+                if let Some(d) = deadline {
+                    if d.expired() {
+                        aborter.fail(TicketError::Expired);
+                        mqa_obs::counter("engine.sched.shed_expired").inc();
+                        drop(job);
+                        return Err(TicketError::Expired);
+                    }
+                }
+                if self.pool.submit(job).is_err() {
+                    // The job was consumed and its sender dropped; make
+                    // the shutdown outcome explicit regardless.
+                    aborter.fail(TicketError::Canceled);
+                    return Err(TicketError::Canceled);
+                }
+            }
+        }
         mqa_obs::counter("engine.query.submitted").inc();
         Ok(ticket)
     }
@@ -216,7 +368,24 @@ impl QueryEngine {
         k: usize,
         ef: usize,
     ) -> Result<RetrievalOutput, EngineError> {
-        self.submit(query, k, ef)?.wait()
+        self.submit(query, k, ef)?.wait().map_err(EngineError::from)
+    }
+
+    /// Submit-and-wait with a deadline: the typed shed outcome surfaces
+    /// directly.
+    ///
+    /// # Errors
+    /// [`TicketError::Rejected`], [`TicketError::Expired`], or
+    /// [`TicketError::Canceled`] — exactly the outcome the ticket
+    /// resolved to.
+    pub fn retrieve_with_deadline(
+        &self,
+        query: MultiModalQuery,
+        k: usize,
+        ef: usize,
+        deadline: Option<Deadline>,
+    ) -> Result<RetrievalOutput, TicketError> {
+        self.submit_with_deadline(query, k, ef, deadline)?.wait()
     }
 
     /// Answers a whole batch concurrently, preserving input order.
@@ -234,7 +403,33 @@ impl QueryEngine {
             // ALLOC: the batch API materializes one ticket/result list per call.
             .map(|q| self.submit(q, k, ef))
             .collect::<Result<_, _>>()?;
-        tickets.into_iter().map(Ticket::wait).collect()
+        tickets
+            .into_iter()
+            .map(|t| t.wait().map_err(EngineError::from))
+            // ALLOC: the batch API materializes one ticket/result list per call.
+            .collect()
+    }
+
+    /// Batch submit-and-wait with per-query typed outcomes, preserving
+    /// input order: slot `i` of the result is query `i`'s outcome, shed
+    /// or served. Unlike [`QueryEngine::retrieve_batch`], a shed query
+    /// does not abort the rest of the batch.
+    pub fn retrieve_batch_with_deadline(
+        &self,
+        queries: Vec<MultiModalQuery>,
+        k: usize,
+        ef: usize,
+        deadline: Option<Deadline>,
+    ) -> Vec<Result<RetrievalOutput, TicketError>> {
+        // ALLOC: the batch API materializes one ticket/result list per call.
+        let tickets: Vec<Result<Ticket<RetrievalOutput>, TicketError>> = queries
+            .into_iter()
+            .map(|q| self.submit_with_deadline(q, k, ef, deadline))
+            .collect();
+        tickets
+            .into_iter()
+            .map(|t| t.and_then(Ticket::wait))
+            .collect()
     }
 
     /// The framework the engine serves.
@@ -335,6 +530,7 @@ mod tests {
             EngineOptions {
                 workers: 1,
                 queue_cap: 1,
+                sched: None,
             },
         );
         let t1 = engine.submit(MultiModalQuery::text("a"), 1, 1).unwrap();
@@ -386,5 +582,7 @@ mod tests {
             .to_string()
             .contains("shutting down"));
         assert!(EngineError::Canceled.to_string().contains("canceled"));
+        assert!(EngineError::Rejected.to_string().contains("admission"));
+        assert!(EngineError::Expired.to_string().contains("deadline"));
     }
 }

@@ -104,6 +104,20 @@ impl<T> BoundedQueue<T> {
         let mut state = self.state.lock();
         loop {
             if let Some(item) = state.items.pop_front() {
+                // INVARIANT: `notify_one` here cannot lose a wakeup even
+                // with N>1 blocked pushers. Each successful pop frees
+                // exactly one slot and issues exactly one notification
+                // while holding the lock, and a pusher leaves the
+                // condvar's wait queue the moment it is notified — so K
+                // pops deliver K notifications to K *distinct* waiting
+                // pushers (a notification is never absorbed by a thread
+                // that already consumed one). A woken pusher that finds
+                // the slot stolen by a fast-path `push`/`try_push` simply
+                // re-waits, and the thief's consumed capacity means no
+                // net slot went unannounced. The only multi-slot event is
+                // `close`, which uses `notify_all`. Pinned by
+                // `wakeup_protocol_survives_multiple_blocked_pushers` in
+                // tests/schedule_checks.rs across >=200 seeded schedules.
                 self.not_full.notify_one();
                 return Some(item);
             }

@@ -1,10 +1,10 @@
 //! Panic robustness: a job that panics on a worker thread must resolve
-//! its [`Ticket`] as [`EngineError::Canceled`] and leave the pool fully
+//! its [`Ticket`] as [`TicketError::Canceled`] and leave the pool fully
 //! serviceable — the worker survives (or is logically replaced) and the
 //! backlog keeps draining. A wedged queue here would deadlock every
 //! interactive session sharing the engine.
 
-use mqa_engine::{EngineError, EngineOptions, QueryEngine};
+use mqa_engine::{EngineOptions, QueryEngine, TicketError};
 use mqa_retrieval::{FrameworkKind, MultiModalQuery, RetrievalFramework, RetrievalOutput};
 use mqa_vector::Candidate;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -52,7 +52,11 @@ fn engine(workers: usize, queue_cap: usize) -> (Arc<Volatile>, QueryEngine) {
     });
     let e = QueryEngine::new(
         Arc::<Volatile>::clone(&f),
-        EngineOptions { workers, queue_cap },
+        EngineOptions {
+            workers,
+            queue_cap,
+            sched: None,
+        },
     );
     (f, e)
 }
@@ -61,7 +65,7 @@ fn engine(workers: usize, queue_cap: usize) -> (Arc<Volatile>, QueryEngine) {
 fn panicking_job_resolves_ticket_as_canceled() {
     let (_f, engine) = engine(1, 4);
     let ticket = engine.submit(MultiModalQuery::text("boom"), 3, 16).unwrap();
-    assert!(matches!(ticket.wait(), Err(EngineError::Canceled)));
+    assert!(matches!(ticket.wait(), Err(TicketError::Canceled)));
 }
 
 #[test]
@@ -74,7 +78,7 @@ fn queue_keeps_draining_after_a_job_panic() {
         .retrieve(MultiModalQuery::text("still alive"), 5, 16)
         .expect("engine serves queries after a job panic");
     assert_eq!(good.ids(), vec![5]);
-    assert!(matches!(bad.wait(), Err(EngineError::Canceled)));
+    assert!(matches!(bad.wait(), Err(TicketError::Canceled)));
     assert_eq!(f.answered.load(Ordering::SeqCst), 1);
 }
 
@@ -98,7 +102,7 @@ fn interleaved_panics_do_not_lose_healthy_answers() {
     let mut answered = 0usize;
     for (i, t) in tickets.into_iter().enumerate() {
         match t.wait() {
-            Err(EngineError::Canceled) => {
+            Err(TicketError::Canceled) => {
                 assert_eq!(i % 3, 0, "healthy query {i} was canceled");
                 canceled += 1;
             }

@@ -7,7 +7,7 @@
 //! `Failure::Stuck { seed }` instead of a wedged test run.
 
 use mqa_check::{explore, run_schedule, CheckOptions, Failure, ThreadBody};
-use mqa_engine::{oneshot, BoundedQueue, EngineError, WorkerPool};
+use mqa_engine::{oneshot, BoundedQueue, TicketError, WorkerPool};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -99,18 +99,20 @@ fn worker_panic_cancels_ticket_instead_of_hanging() {
 
             let (queued_ticket, queued_sender) = oneshot::<u32>();
             token.step();
-            pool.submit(Box::new(move |_s| queued_sender.send(5)))
-                .expect("queue has capacity");
+            pool.submit(Box::new(move |_s| {
+                queued_sender.send(5);
+            }))
+            .expect("queue has capacity");
 
             // If either wait() hung, blocking() would never return and the
             // scheduler would report this schedule Stuck.
             let got = token.blocking(|| panicked_ticket.wait());
-            assert_eq!(got, Err(EngineError::Canceled));
+            assert_eq!(got, Err(TicketError::Canceled));
             token.step();
             drop(pool);
             let got = token.blocking(|| queued_ticket.wait());
             assert!(
-                got == Err(EngineError::Canceled) || got == Ok(5),
+                got == Err(TicketError::Canceled) || got == Ok(5),
                 "queued job must resolve (ran before the panic reached the \
                  worker, or canceled on drop), got {got:?}"
             );
@@ -129,7 +131,7 @@ fn sender_drop_racing_wait_always_cancels() {
         vec![
             Box::new(move |token| {
                 token.step();
-                assert_eq!(token.blocking(|| ticket.wait()), Err(EngineError::Canceled));
+                assert_eq!(token.blocking(|| ticket.wait()), Err(TicketError::Canceled));
             }),
             Box::new(move |token| {
                 token.step();
@@ -164,7 +166,7 @@ fn pipeline_sweep_reaches_200_distinct_schedules() {
                     } else {
                         assert_eq!(
                             got,
-                            Err(EngineError::Canceled),
+                            Err(TicketError::Canceled),
                             "refused work must cancel, not hang"
                         );
                     }
@@ -388,5 +390,153 @@ fn lost_wakeup_on_close_is_caught_with_replayable_seed() {
         "failing seed {} did not replay to Stuck: {:?}",
         failure.seed,
         replay.failure
+    );
+}
+
+/// Pin for the `BoundedQueue::pop` wakeup protocol (the `// INVARIANT:`
+/// discharge at the `notify_one` site): with N>1 pushers blocked on a
+/// full queue, K pops must deliver K wakeups to K *distinct* pushers —
+/// a lost wakeup would strand a pusher and the schedule would report
+/// `Stuck`. Swept across >= 200 distinct seeded interleavings.
+#[test]
+fn wakeup_protocol_survives_multiple_blocked_pushers() {
+    let mut traces = std::collections::HashSet::new();
+    for seed in 0x5EED_0007u64..0x5EED_0007 + 260 {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(1));
+        q.try_push(0).expect("seed item fills the queue");
+        let accepted = Arc::new(AtomicUsize::new(0));
+        let mut bodies: Vec<ThreadBody> = Vec::new();
+
+        // Three pushers contend for a single slot: at most one can be in
+        // the buffer at a time, so up to three sit blocked in `push`
+        // together and each freed slot must wake a distinct one.
+        for p in 1..=3u32 {
+            let q = Arc::clone(&q);
+            let accepted = Arc::clone(&accepted);
+            bodies.push(Box::new(move |token| {
+                token.step();
+                if token.blocking(|| q.push(p)).is_ok() {
+                    accepted.fetch_add(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        {
+            let q = Arc::clone(&q);
+            bodies.push(Box::new(move |token| {
+                for _ in 0..4 {
+                    token.step();
+                    assert!(
+                        token.blocking(|| q.pop()).is_some(),
+                        "open queue with a pending push must pop"
+                    );
+                }
+            }));
+        }
+
+        let outcome = run_schedule(seed, &opts(), bodies);
+        assert!(
+            outcome.is_ok(),
+            "lost wakeup under blocked pushers (replay seed {seed}): {:?}",
+            outcome.failure
+        );
+        assert_eq!(
+            accepted.load(Ordering::SeqCst),
+            3,
+            "every blocked pusher must eventually be admitted (seed {seed})"
+        );
+        traces.insert(outcome.trace);
+    }
+    assert!(
+        traces.len() >= 200,
+        "only {} distinct schedules (need >= 200)",
+        traces.len()
+    );
+}
+
+/// The scheduler's shed path races the worker's send path for the same
+/// ticket: `TicketAborter::fail(Expired)` vs `TicketSender::send`. In
+/// every interleaving exactly one side must win, the waiter must observe
+/// precisely the winner's outcome (typed `Expired` or the value — never a
+/// hang, never both), and the loser's report must agree. Swept across
+/// >= 200 distinct seeded schedules.
+#[test]
+fn expiry_racing_dispatch_resolves_exactly_one_outcome() {
+    let mut traces = std::collections::HashSet::new();
+    for seed in 0x5EED_0008u64..0x5EED_0008 + 260 {
+        // Two independent ticket races per schedule widen the
+        // interleaving space enough for a >= 200 distinct-trace sweep.
+        let sent = Arc::new(AtomicUsize::new(0));
+        let failed = Arc::new(AtomicUsize::new(0));
+        let outcome_ok = Arc::new(AtomicUsize::new(0));
+        let outcome_expired = Arc::new(AtomicUsize::new(0));
+        let mut bodies: Vec<ThreadBody> = Vec::new();
+
+        for lane in 0..2u32 {
+            let (ticket, sender) = oneshot::<u32>();
+            let aborter = sender.aborter();
+            {
+                let sent = Arc::clone(&sent);
+                bodies.push(Box::new(move |token| {
+                    token.step();
+                    token.step();
+                    if sender.send(11 + lane) {
+                        sent.fetch_add(1, Ordering::SeqCst);
+                    }
+                }));
+            }
+            {
+                let failed = Arc::clone(&failed);
+                bodies.push(Box::new(move |token| {
+                    token.step();
+                    token.step();
+                    if aborter.fail(TicketError::Expired) {
+                        failed.fetch_add(1, Ordering::SeqCst);
+                    }
+                }));
+            }
+            {
+                let outcome_ok = Arc::clone(&outcome_ok);
+                let outcome_expired = Arc::clone(&outcome_expired);
+                bodies.push(Box::new(move |token| {
+                    token.step();
+                    match token.blocking(|| ticket.wait()) {
+                        Ok(v) => {
+                            assert_eq!(v, 11 + lane);
+                            outcome_ok.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Err(TicketError::Expired) => {
+                            outcome_expired.fetch_add(1, Ordering::SeqCst);
+                        }
+                        other => panic!("untyped ticket outcome: {other:?}"),
+                    }
+                }));
+            }
+        }
+
+        let outcome = run_schedule(seed, &opts(), bodies);
+        assert!(outcome.is_ok(), "seed {seed} failed: {:?}", outcome.failure);
+        let sent = sent.load(Ordering::SeqCst);
+        let failed = failed.load(Ordering::SeqCst);
+        assert_eq!(
+            sent + failed,
+            2,
+            "exactly one of send/fail must win each lane (seed {seed}: sent={sent} failed={failed})"
+        );
+        assert_eq!(
+            outcome_ok.load(Ordering::SeqCst),
+            sent,
+            "waiters must see the value iff send won (seed {seed})"
+        );
+        assert_eq!(
+            outcome_expired.load(Ordering::SeqCst),
+            failed,
+            "waiters must see typed Expired iff the shed won (seed {seed})"
+        );
+        traces.insert(outcome.trace);
+    }
+    assert!(
+        traces.len() >= 200,
+        "only {} distinct schedules (need >= 200)",
+        traces.len()
     );
 }

@@ -6,7 +6,7 @@
 //! on that thread (the regression `mqa_obs::span::reset_thread_stack`
 //! guards against).
 
-use mqa_engine::{EngineError, EngineOptions, QueryEngine};
+use mqa_engine::{EngineOptions, QueryEngine, TicketError};
 use mqa_retrieval::{FrameworkKind, MultiModalQuery, RetrievalFramework, RetrievalOutput};
 use mqa_vector::Candidate;
 use std::sync::Arc;
@@ -71,6 +71,7 @@ fn panicking_jobs_yield_canceled_traces_and_do_not_poison_span_parents() {
         EngineOptions {
             workers: 1,
             queue_cap: 16,
+            sched: None,
         },
     );
     let mut tickets = Vec::new();
@@ -86,7 +87,7 @@ fn panicking_jobs_yield_canceled_traces_and_do_not_poison_span_parents() {
     let mut answered = 0usize;
     for (i, t) in tickets.into_iter().enumerate() {
         match t.wait() {
-            Err(EngineError::Canceled) => {
+            Err(TicketError::Canceled) => {
                 assert_eq!(i % 3, 0, "healthy query {i} was canceled");
                 canceled += 1;
             }

@@ -69,10 +69,12 @@ pub fn render(snapshot: &Snapshot) -> String {
         for b in &h.buckets {
             let line = format!("{name}_bucket{{le=\"{}\"}} {}", b.le, b.count);
             out.push_str(&line);
-            if b.exemplar != 0 {
+            if let Some(exemplar) = b.exemplar {
                 // OpenMetrics exemplar: `# {labels} value`. The bucket
-                // upper edge stands in for the unrecorded raw sample.
-                out.push_str(&format!(" # {{trace_id=\"{}\"}} {}", b.exemplar, b.le));
+                // upper edge stands in for the unrecorded raw sample. A
+                // bucket with no traced sample carries no annotation at
+                // all — never a fabricated `trace_id="0"`.
+                out.push_str(&format!(" # {{trace_id=\"{exemplar}\"}} {}", b.le));
             }
             out.push('\n');
         }
@@ -354,6 +356,41 @@ mod tests {
         assert!(
             parse("# TYPE 9bad counter\n# EOF\n").is_err(),
             "bad family name"
+        );
+    }
+
+    #[test]
+    fn missing_exemplars_are_omitted_not_rendered_as_zero() {
+        // Regression: a bucket that never saw a traced sample used to be
+        // snapshotted with exemplar 0 and rendered as `# {trace_id="0"}`.
+        // The absence must be typed (None), the exposition must omit the
+        // annotation, and the whole thing must survive a parse + JSON
+        // snapshot roundtrip.
+        let r = Registry::new();
+        let h = r.histogram("t.expo.mixed_us");
+        h.record_with_exemplar(100, 77); // traced bucket
+        h.record(5000); // untraced bucket: no exemplar at all
+        let snap = r.snapshot();
+        let buckets = &snap.histograms[0].buckets;
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].exemplar, Some(77));
+        assert_eq!(buckets[1].exemplar, None);
+
+        let text = render(&snap);
+        let stats = parse(&text).expect("exposition with a bare bucket parses");
+        assert_eq!(stats.exemplars, 1, "only the traced bucket is annotated");
+        assert!(
+            !text.contains("trace_id=\"0\""),
+            "an untraced bucket must not fabricate trace id 0: {text}"
+        );
+
+        let json = serde_json::to_string(&snap).expect("snapshot serializes");
+        let back: Snapshot = serde_json::from_str(&json).expect("snapshot parses");
+        assert_eq!(back, snap, "None exemplars survive the JSON roundtrip");
+        assert_eq!(
+            parse(&render(&back)),
+            Ok(stats),
+            "re-render parses identically"
         );
     }
 

@@ -190,10 +190,14 @@ impl Histogram {
                 continue;
             }
             cumulative += n;
+            // An exemplar slot still holding the sentinel 0 means the
+            // bucket never saw a traced sample; the snapshot encodes that
+            // absence as `None` so no downstream consumer can mistake it
+            // for a real trace id 0.
             buckets.push(HistogramBucket {
                 le: Self::bucket_upper(i),
                 count: cumulative,
-                exemplar: self.exemplar(i).unwrap_or(0),
+                exemplar: self.exemplar(i).filter(|&id| id != 0),
             });
         }
         HistogramSnapshot {
@@ -341,7 +345,7 @@ impl Registry {
             .iter()
             .map(|(name, stat)| SpanSnapshot {
                 name: name.clone(),
-                parent: stat.parent.clone().unwrap_or_default(),
+                parent: stat.parent.clone(),
                 count: stat.hist.count(),
                 total_us: stat.hist.sum(),
                 p50_us: stat.hist.quantile(0.50),
@@ -413,8 +417,10 @@ pub struct HistogramBucket {
     pub le: u64,
     /// Cumulative sample count up to and including this bucket.
     pub count: u64,
-    /// Trace id of the last traced sample in the bucket (0 = none).
-    pub exemplar: u64,
+    /// Trace id of the last traced sample in the bucket; `None` when the
+    /// bucket never saw a traced sample (the exposition then omits the
+    /// exemplar annotation entirely rather than emitting `trace_id=0`).
+    pub exemplar: Option<u64>,
 }
 
 /// One span aggregate in a [`Snapshot`].
@@ -422,8 +428,9 @@ pub struct HistogramBucket {
 pub struct SpanSnapshot {
     /// Span name.
     pub name: String,
-    /// Parent span name (empty for roots).
-    pub parent: String,
+    /// Parent span name; `None` for roots (spans that closed with no
+    /// recorded parent), so roots are typed rather than spelled `""`.
+    pub parent: Option<String>,
     /// Number of closed instances.
     pub count: u64,
     /// Total microseconds across instances.
@@ -539,7 +546,16 @@ mod tests {
             .iter()
             .find(|b| b.le == 127)
             .expect("bucket [64,127] present");
-        assert_eq!(b100.exemplar, 42);
+        assert_eq!(b100.exemplar, Some(42));
+        let b5000 = snap
+            .buckets
+            .iter()
+            .find(|b| b.le == 8191)
+            .expect("bucket [4096,8191] present");
+        assert_eq!(
+            b5000.exemplar, None,
+            "an untraced bucket must snapshot as None, not trace id 0"
+        );
         assert_eq!(b100.count, 3, "cumulative count includes 70 and 100s");
         let last = snap.buckets.last().expect("nonempty");
         assert_eq!(last.count, 4, "last cumulative count = total");
@@ -571,7 +587,9 @@ mod tests {
         assert_eq!(snap.counter("b.two"), Some(2));
         assert_eq!(snap.histogram("h.lat").map(|h| h.count), Some(1));
         let child = snap.span("child").expect("child span");
-        assert_eq!(child.parent, "root");
+        assert_eq!(child.parent.as_deref(), Some("root"));
+        let root = snap.span("root").expect("root span");
+        assert_eq!(root.parent, None, "roots carry a typed None parent");
         assert_eq!(child.count, 1);
         r.reset();
         assert!(r.snapshot().counters.is_empty());

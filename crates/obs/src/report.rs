@@ -183,13 +183,9 @@ pub fn render(snap: &Snapshot) -> String {
         let mut children: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
         let mut roots: Vec<&str> = Vec::new();
         for s in &snap.spans {
-            if !s.parent.is_empty() && by_name.contains_key(s.parent.as_str()) {
-                children
-                    .entry(s.parent.as_str())
-                    .or_default()
-                    .push(s.name.as_str());
-            } else {
-                roots.push(s.name.as_str());
+            match s.parent.as_deref().filter(|p| by_name.contains_key(p)) {
+                Some(parent) => children.entry(parent).or_default().push(s.name.as_str()),
+                None => roots.push(s.name.as_str()),
             }
         }
         for root in roots {

@@ -160,7 +160,10 @@ pub fn reset_thread_stack() -> usize {
 }
 
 /// A minimal monotonic timer for call sites that want a raw duration to
-/// feed a histogram or counter rather than a named span.
+/// feed a histogram or counter rather than a named span. `Copy` so a
+/// started stopwatch can be embedded in value types (e.g. a deadline
+/// carried alongside a queued job) without re-reading the clock.
+#[derive(Clone, Copy)]
 pub struct Stopwatch(Instant);
 
 impl Stopwatch {
@@ -200,7 +203,7 @@ mod tests {
         assert_eq!(depth(), 0);
         let snap = global().snapshot();
         let inner = snap.span("test.span.inner").expect("inner recorded");
-        assert_eq!(inner.parent, "test.span.outer");
+        assert_eq!(inner.parent.as_deref(), Some("test.span.outer"));
         assert!(inner.count >= 1);
     }
 
@@ -217,7 +220,7 @@ mod tests {
         let snap = global().snapshot();
         assert!(snap.span("test.span.faulty").is_some());
         let step = snap.span("test.span.faulty.step").expect("step recorded");
-        assert_eq!(step.parent, "test.span.faulty");
+        assert_eq!(step.parent.as_deref(), Some("test.span.faulty"));
     }
 
     #[test]
@@ -240,7 +243,7 @@ mod tests {
         assert!(dur.as_nanos() > 0 || dur.is_zero());
         let snap = global().snapshot();
         let worker = snap.span("test.span.worker").expect("worker recorded");
-        assert_eq!(worker.parent, "test.span.coordinator");
+        assert_eq!(worker.parent.as_deref(), Some("test.span.coordinator"));
     }
 
     #[test]
@@ -256,7 +259,7 @@ mod tests {
         drop(span("test.span.after_reset"));
         let snap = global().snapshot();
         let after = snap.span("test.span.after_reset").expect("recorded");
-        assert_eq!(after.parent, "", "stale parent survived the reset");
+        assert_eq!(after.parent, None, "stale parent survived the reset");
         assert_eq!(reset_thread_stack(), 0, "idempotent on an empty stack");
     }
 

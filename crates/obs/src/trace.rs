@@ -172,6 +172,11 @@ pub struct QueryTrace {
     /// distinguishes quiesced queries from concurrent-mutation ones when
     /// attributing tail latency.
     pub mutation_in_progress: bool,
+    /// The per-query deadline budget in microseconds (0 = no deadline).
+    pub deadline_us: u64,
+    /// Size of the scheduler micro-batch the job was dispatched in
+    /// (0 = direct dispatch, no scheduler stage).
+    pub sched_batch: u64,
     /// Closed spans attributed to the trace, in close order.
     pub stages: Vec<StageRecord>,
     /// Stages discarded once [`MAX_STAGES`] was reached.
@@ -199,6 +204,8 @@ struct TraceInner {
     completion_tokens: u64,
     index_epoch: u64,
     mutation_in_progress: bool,
+    deadline_us: u64,
+    sched_batch: u64,
     completed: bool,
 }
 
@@ -340,6 +347,8 @@ impl TraceHandle {
                 completion_tokens: inner.completion_tokens,
                 index_epoch: inner.index_epoch,
                 mutation_in_progress: inner.mutation_in_progress,
+                deadline_us: inner.deadline_us,
+                sched_batch: inner.sched_batch,
                 stages: std::mem::take(&mut inner.stages),
                 stages_dropped: inner.stages_dropped,
             };
@@ -566,6 +575,16 @@ pub fn note_index_state(epoch: u64, mutating: bool) {
         i.index_epoch = epoch;
         i.mutation_in_progress |= mutating;
     });
+}
+
+/// Records the query's deadline budget (microseconds) on the trace.
+pub fn note_deadline_budget(budget_us: u64) {
+    with_current(|i| i.deadline_us = budget_us);
+}
+
+/// Records the size of the scheduler micro-batch the job shipped in.
+pub fn note_sched_batch(batch: u64) {
+    with_current(|i| i.sched_batch = batch);
 }
 
 /// Accumulates graph-walk work (`SearchStats`) into the trace.
@@ -819,6 +838,8 @@ mod tests {
                 prompt_tokens: 0,
                 completion_tokens: 0,
                 index_epoch: 0,
+                deadline_us: 0,
+                sched_batch: 0,
                 mutation_in_progress: false,
                 stages: Vec::new(),
                 stages_dropped: 0,
@@ -874,6 +895,8 @@ mod tests {
             prompt_tokens: 0,
             completion_tokens: 0,
             index_epoch: 0,
+            deadline_us: 0,
+            sched_batch: 0,
             mutation_in_progress: false,
             stages: vec![
                 stage("retrieval.must.encode"),
@@ -912,6 +935,8 @@ mod tests {
             prompt_tokens: 6,
             completion_tokens: 7,
             index_epoch: 3,
+            deadline_us: 0,
+            sched_batch: 0,
             mutation_in_progress: true,
             stages: vec![StageRecord {
                 name: "core.turn".into(),

@@ -173,7 +173,11 @@ fn check_alloc_freedom(seed: u64) -> Result<Option<(usize, u64)>, String> {
             .map_err(|e| format!("alloc witness: distance setup failed: {e}"))?;
         let cp = mqa_engine::allocwitness::checkpoint();
         let out = paged.search_paged_into(&mut dist, 10, 32, &mut scratch, &mut hits);
-        let (allocs, bytes) = cp.delta();
+        let (allocs, bytes) = cp.delta_checked().ok_or_else(|| {
+            "alloc witness: thread-local counters unreadable mid-measurement \
+             (TLS destruction) — refusing to report a fabricated zero delta"
+                .to_string()
+        })?;
         if hits.is_empty() || out.evals == 0 {
             return Err("alloc witness: a measured search produced no work".to_string());
         }

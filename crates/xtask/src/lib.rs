@@ -58,6 +58,7 @@ pub mod lint;
 pub mod mutate;
 pub mod obs;
 pub mod rustlex;
+pub mod sched;
 pub mod trace;
 
 /// Serializes scenario tests that reset the global `mqa-obs` registry or

@@ -668,7 +668,7 @@ pub fn run(repo_root: &Path, baseline: &Baseline) -> Result<LintOutcome, String>
             timing: !TIMING_EXEMPT_PREFIXES.iter().any(|p| rel.starts_with(p)),
             arith: SERVING_PREFIXES.iter().any(|p| rel.starts_with(p))
                 && !rel.ends_with("/cast.rs"),
-            fail_fast_bin: rel.contains("/src/bin/"),
+            fail_fast_bin: rel.starts_with("src/bin/") || rel.contains("/src/bin/"),
         };
         let source = std::fs::read_to_string(path)
             .map_err(|e| format!("reading {}: {e}", path.display()))?;

@@ -8,7 +8,7 @@
 //! Both commands exit 0 only when clean, so `ci.sh` can chain them.
 
 use mqa_xtask::baseline::Baseline;
-use mqa_xtask::{alloc, audit, conc, engine, flow, lint, mutate, obs, trace};
+use mqa_xtask::{alloc, audit, conc, engine, flow, lint, mutate, obs, sched, trace};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -82,6 +82,16 @@ COMMANDS:
         slow_queries.txt, metrics.txt and BENCH_trace.json into <dir>
         (default results/trace).
 
+    sched [--out <dir>] [--seed <n>]
+        Deadline-scheduler gate: open-loop arrivals at 2x the engine's
+        saturation rate, every query under a fixed latency budget. Fails
+        unless every submission resolves to exactly one typed outcome,
+        the engine.sched.shed_* counters equal the observed outcomes
+        exactly, the shed fraction is nonzero, served queue-wait p99
+        stays within the budget, and the dispatcher actually batched.
+        Writes BENCH_sched.json and metrics.json into <dir> (default
+        results/sched).
+
 EXIT CODES:
     0  clean
     1  findings / violations
@@ -101,6 +111,7 @@ fn main() -> ExitCode {
         Some("engine") => cmd_engine(&args[1..]),
         Some("mutate") => cmd_mutate(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("sched") => cmd_sched(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -581,6 +592,58 @@ fn cmd_trace(args: &[String]) -> ExitCode {
                 outcome.queue_wait_share * 100.0,
                 outcome.exposition_samples,
                 outcome.exposition_exemplars,
+                out_dir.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_sched(args: &[String]) -> ExitCode {
+    let mut out_dir = PathBuf::from("results/sched");
+    let mut seed = 42u64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out_dir = PathBuf::from(p),
+                None => {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => seed = n,
+                None => {
+                    eprintln!("--seed requires an integer");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown sched option `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match sched::run(&out_dir, seed) {
+        Ok(outcome) => {
+            println!(
+                "sched: {} submitted at 2x saturation -> {} served, \
+                 {} rejected + {} expired ({:.0}% shed, all typed), \
+                 queue-wait p99 {} us within budget, {} batch(es) \
+                 at {:.1} mean size -> {}",
+                outcome.submitted,
+                outcome.served,
+                outcome.shed_rejected,
+                outcome.shed_expired,
+                outcome.shed_fraction * 100.0,
+                outcome.p99_queue_wait_us,
+                outcome.batches,
+                outcome.mean_batch_size,
                 out_dir.display()
             );
             ExitCode::SUCCESS

@@ -1,0 +1,344 @@
+//! The `sched` command: the deadline-scheduler admission-control gate.
+//!
+//! An open-loop arrival process drives a 2-worker [`QueryEngine`] with the
+//! micro-batch scheduler enabled at **2× its saturation rate**: every query
+//! carries a fixed latency budget, arrivals are paced by wall clock (not by
+//! completions), and nothing slows down when the queue builds — exactly the
+//! overload regime admission control exists for. The gate fails unless:
+//!
+//! * every submission resolves to exactly one *typed* outcome — served,
+//!   `Rejected`, or `Expired`; a `Canceled` against a live engine or an
+//!   unresolved ticket is a silent-drop bug;
+//! * the `engine.sched.shed_rejected` / `engine.sched.shed_expired`
+//!   counters equal the typed outcomes the driver observed — exactly, not
+//!   approximately;
+//! * the shed fraction is nonzero (a 2× overload that sheds nothing means
+//!   admission control never engaged) and below 1 (a scheduler that sheds
+//!   everything serves nobody);
+//! * queue-wait p99 for *served* queries stays bounded by the latency
+//!   budget — the deadline clamps the tail instead of letting it grow with
+//!   the backlog;
+//! * the scheduler actually batched: `engine.sched.batches` recorded, and
+//!   mean batch size is above 1 (overload with a batch size pinned at 1
+//!   means the dispatcher never amortized a wakeup).
+//!
+//! It writes `BENCH_sched.json` under the output directory: arrival vs
+//! saturation rate, served/shed split, queue-wait and service tails, and
+//! batch shape — the paper-facing evidence that overload degrades by
+//! policy, not by collapse.
+
+use mqa_engine::{Deadline, EngineOptions, QueryEngine, SchedOptions, TicketError};
+use mqa_retrieval::{FrameworkKind, MultiModalQuery, RetrievalFramework, RetrievalOutput};
+use mqa_vector::Candidate;
+use serde::Serialize;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Workers draining the scheduler.
+const WORKERS: usize = 2;
+/// Fixed per-query service time of the synthetic framework.
+const SERVICE_US: u64 = 2_000;
+/// Worker-pool queue capacity (small, so overload reaches the scheduler's
+/// watermark instead of hiding in the pool queue).
+const QUEUE_CAP: usize = 8;
+/// Admission watermark: pending scheduler entries beyond this are
+/// Rejected. Sized below the backlog the deadline alone would allow
+/// (`DEADLINE_US / INTERARRIVAL_US` = 20 arrivals), so under sustained
+/// 2x overload the watermark engages before expiry shedding can hide it.
+const WATERMARK: usize = 8;
+/// Largest micro-batch the dispatcher forms.
+const MAX_BATCH: usize = 8;
+/// Per-query latency budget.
+const DEADLINE_US: u64 = 10_000;
+/// Open-loop arrivals.
+const QUERIES: usize = 400;
+/// Interarrival gap: `SERVICE_US / WORKERS / 2` = 2× the saturation rate.
+const INTERARRIVAL_US: u64 = SERVICE_US / WORKERS as u64 / 2;
+
+/// The `BENCH_sched.json` payload.
+#[derive(Debug, Serialize)]
+struct BenchSched {
+    arrival_qps: f64,
+    saturation_qps: f64,
+    submitted: u64,
+    served: u64,
+    shed_rejected: u64,
+    shed_expired: u64,
+    shed_fraction: f64,
+    deadline_us: u64,
+    p50_queue_wait_us: u64,
+    p99_queue_wait_us: u64,
+    p99_service_us: u64,
+    batches: u64,
+    mean_batch_size: f64,
+}
+
+/// What the gate measured, for the caller to print.
+pub struct SchedOutcome {
+    /// Open-loop submissions.
+    pub submitted: u64,
+    /// Tickets that resolved with an answer.
+    pub served: u64,
+    /// Typed `Rejected` outcomes (admission watermark).
+    pub shed_rejected: u64,
+    /// Typed `Expired` outcomes (budget ran out before pickup).
+    pub shed_expired: u64,
+    /// `(shed_rejected + shed_expired) / submitted`.
+    pub shed_fraction: f64,
+    /// Queue-wait tail for served queries.
+    pub p99_queue_wait_us: u64,
+    /// Micro-batches the dispatcher formed.
+    pub batches: u64,
+    /// Mean dispatched batch size.
+    pub mean_batch_size: f64,
+}
+
+/// Answers after a fixed busy period — a framework whose service rate is
+/// known exactly, so the 2× overload factor is by construction.
+struct SleepFramework;
+
+impl RetrievalFramework for SleepFramework {
+    fn kind(&self) -> FrameworkKind {
+        FrameworkKind::Must
+    }
+
+    fn search(&self, query: &MultiModalQuery, k: usize, _ef: usize) -> RetrievalOutput {
+        std::thread::sleep(Duration::from_micros(SERVICE_US));
+        let len = query.text.as_deref().map_or(0, str::len);
+        RetrievalOutput {
+            results: vec![Candidate::new(k as u32, len as f32)],
+            ..Default::default()
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("fixed {SERVICE_US}us sleep")
+    }
+}
+
+/// Runs the open-loop overload scenario and writes `BENCH_sched.json` and
+/// `metrics.json` under `out_dir`.
+///
+/// # Errors
+/// Returns a message when a ticket resolves to an untyped outcome, the
+/// shed counters disagree with observed outcomes, the shed fraction is
+/// degenerate (0 or 1), the served queue-wait tail exceeds the budget,
+/// the dispatcher never batched, or an artifact cannot be written.
+pub fn run(out_dir: &Path, seed: u64) -> Result<SchedOutcome, String> {
+    mqa_obs::global().reset();
+
+    let engine = QueryEngine::new(
+        Arc::new(SleepFramework),
+        EngineOptions {
+            workers: WORKERS,
+            queue_cap: QUEUE_CAP,
+            sched: Some(SchedOptions {
+                watermark: WATERMARK,
+                max_batch: MAX_BATCH,
+            }),
+        },
+    );
+
+    // Open loop: arrival i is due at `i * INTERARRIVAL_US` on the wall
+    // clock regardless of how far behind the workers are. The seed only
+    // varies query text (and hence nothing the scheduler keys on) — the
+    // gate's verdict must not depend on it.
+    let clock = mqa_obs::Stopwatch::start();
+    let mut tickets = Vec::with_capacity(QUERIES);
+    let mut shed_rejected = 0u64;
+    let mut shed_expired = 0u64;
+    for i in 0..QUERIES {
+        let due = i as u64 * INTERARRIVAL_US;
+        let now = clock.elapsed_us();
+        if due > now {
+            std::thread::sleep(Duration::from_micros(due - now));
+        }
+        let text = format!("q{}", seed.wrapping_add(i as u64));
+        match engine.submit_with_deadline(
+            MultiModalQuery::text(text),
+            1,
+            8,
+            Some(Deadline::in_us(DEADLINE_US)),
+        ) {
+            Ok(t) => tickets.push(t),
+            Err(TicketError::Rejected) => shed_rejected += 1,
+            Err(TicketError::Expired) => shed_expired += 1,
+            Err(TicketError::Canceled) => {
+                return Err("sched gate failed: Canceled at submit against a live engine".into())
+            }
+        }
+    }
+    let mut served = 0u64;
+    for t in tickets {
+        match t.wait() {
+            Ok(_) => served += 1,
+            Err(TicketError::Rejected) => shed_rejected += 1,
+            Err(TicketError::Expired) => shed_expired += 1,
+            Err(TicketError::Canceled) => {
+                return Err(
+                    "sched gate failed: a ticket resolved Canceled against a live engine — \
+                     a silent drop wearing a type"
+                        .into(),
+                )
+            }
+        }
+    }
+    drop(engine);
+
+    let submitted = QUERIES as u64;
+    if served + shed_rejected + shed_expired != submitted {
+        return Err(format!(
+            "sched gate failed: conservation broken — {submitted} submitted but \
+             {served} served + {shed_rejected} rejected + {shed_expired} expired"
+        ));
+    }
+
+    let snapshot = mqa_obs::global().snapshot();
+    verify_instruments(&snapshot, shed_rejected, shed_expired)?;
+
+    let shed_fraction = (shed_rejected + shed_expired) as f64 / submitted as f64;
+    if shed_fraction == 0.0 {
+        return Err(format!(
+            "sched gate failed: 2x overload ({QUERIES} arrivals at \
+             {INTERARRIVAL_US}us spacing against {WORKERS}x{SERVICE_US}us workers) \
+             shed nothing — admission control never engaged"
+        ));
+    }
+    if served == 0 {
+        return Err("sched gate failed: the scheduler shed every query — \
+             overload must degrade, not deny, service"
+            .to_string());
+    }
+
+    let queue_wait = snapshot
+        .histogram("engine.query.queue_wait_us")
+        .ok_or("sched gate failed: histogram `engine.query.queue_wait_us` missing")?;
+    // Served queries pass the worker-side expiry check before queue wait
+    // is recorded, so the tail must sit at or below the budget; the log2
+    // bucket estimate is capped at the observed max, so a small pickup
+    // slack is the only tolerance needed.
+    let bound = DEADLINE_US + DEADLINE_US / 4;
+    if queue_wait.p99 > bound {
+        return Err(format!(
+            "sched gate failed: served queue-wait p99 {}us exceeds the \
+             {DEADLINE_US}us budget (bound {bound}us) — deadlines are not \
+             clamping the tail",
+            queue_wait.p99
+        ));
+    }
+    let service = snapshot
+        .histogram("engine.query.latency_us")
+        .ok_or("sched gate failed: histogram `engine.query.latency_us` missing")?;
+
+    let batches = snapshot.counter("engine.sched.batches").unwrap_or(0);
+    let batch_size = snapshot
+        .histogram("engine.sched.batch_size")
+        .ok_or("sched gate failed: histogram `engine.sched.batch_size` missing")?;
+    if batches == 0 || batch_size.count == 0 {
+        return Err("sched gate failed: the dispatcher never formed a batch".to_string());
+    }
+    let mean_batch_size = batch_size.sum as f64 / batch_size.count as f64;
+    if mean_batch_size <= 1.0 {
+        return Err(format!(
+            "sched gate failed: mean batch size {mean_batch_size:.2} under 2x \
+             overload — the dispatcher is waking workers one query at a time"
+        ));
+    }
+
+    let bench = BenchSched {
+        arrival_qps: 1e6 / INTERARRIVAL_US as f64,
+        saturation_qps: WORKERS as f64 * 1e6 / SERVICE_US as f64,
+        submitted,
+        served,
+        shed_rejected,
+        shed_expired,
+        shed_fraction,
+        deadline_us: DEADLINE_US,
+        p50_queue_wait_us: queue_wait.p50,
+        p99_queue_wait_us: queue_wait.p99,
+        p99_service_us: service.p99,
+        batches,
+        mean_batch_size,
+    };
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
+    let payload = serde_json::to_string_pretty(&bench)
+        .map_err(|e| format!("serializing BENCH_sched.json: {e}"))?;
+    std::fs::write(out_dir.join("BENCH_sched.json"), payload)
+        .map_err(|e| format!("writing BENCH_sched.json: {e}"))?;
+    let metrics =
+        serde_json::to_string_pretty(&snapshot).map_err(|e| format!("serializing metrics: {e}"))?;
+    std::fs::write(out_dir.join("metrics.json"), metrics)
+        .map_err(|e| format!("writing metrics.json: {e}"))?;
+
+    Ok(SchedOutcome {
+        submitted,
+        served,
+        shed_rejected,
+        shed_expired,
+        shed_fraction,
+        p99_queue_wait_us: queue_wait.p99,
+        batches,
+        mean_batch_size,
+    })
+}
+
+/// The instrument self-checks: the shed counters must equal the typed
+/// outcomes the driver observed, one increment per outcome.
+fn verify_instruments(
+    snapshot: &mqa_obs::Snapshot,
+    shed_rejected: u64,
+    shed_expired: u64,
+) -> Result<(), String> {
+    let mut wrong = Vec::new();
+    // A counter nobody incremented is absent from the snapshot; absent
+    // and zero are the same observation.
+    let rejected = snapshot.counter("engine.sched.shed_rejected").unwrap_or(0);
+    if rejected != shed_rejected {
+        wrong.push(format!(
+            "counter `engine.sched.shed_rejected` expected {shed_rejected}, got {rejected}"
+        ));
+    }
+    let expired = snapshot.counter("engine.sched.shed_expired").unwrap_or(0);
+    if expired != shed_expired {
+        wrong.push(format!(
+            "counter `engine.sched.shed_expired` expected {shed_expired}, got {expired}"
+        ));
+    }
+    if wrong.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("sched gate failed:\n  {}", wrong.join("\n  ")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_passes_and_writes_bench() {
+        let _serial = crate::scenario_lock();
+        let dir = std::env::temp_dir().join(format!("mqa-xtask-sched-test-{}", std::process::id()));
+        let outcome = run(&dir, 42).expect("sched gate must pass on a healthy tree");
+        assert_eq!(
+            outcome.served + outcome.shed_rejected + outcome.shed_expired,
+            outcome.submitted
+        );
+        assert!(outcome.shed_fraction > 0.0 && outcome.shed_fraction < 1.0);
+        assert!(outcome.batches >= 1 && outcome.mean_batch_size > 1.0);
+        let body = std::fs::read_to_string(dir.join("BENCH_sched.json")).expect("bench readable");
+        for field in [
+            "arrival_qps",
+            "saturation_qps",
+            "shed_fraction",
+            "p99_queue_wait_us",
+            "mean_batch_size",
+        ] {
+            assert!(body.contains(field), "BENCH_sched.json missing {field}");
+        }
+        let metrics = std::fs::read_to_string(dir.join("metrics.json")).expect("metrics readable");
+        assert!(metrics.contains("engine.sched.batch_size"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

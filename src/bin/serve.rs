@@ -1,0 +1,165 @@
+//! `serve` — the interactive serving front-end: a line-protocol REPL that
+//! drives a [`DialogueSession`] through the deadline-aware scheduler.
+//!
+//! Unlike `examples/repl.rs` (which searches on the calling thread), this
+//! binary routes every turn through [`QueryEngine`]'s micro-batch
+//! scheduler with admission control enabled, so overload surfaces as
+//! *typed* shed outcomes at the prompt instead of unbounded queueing.
+//!
+//! Line protocol:
+//!
+//! * plain text — ask that question as the next dialogue turn;
+//! * `@<us> <text>` — ask with a one-turn deadline override of `<us>`
+//!   microseconds (e.g. `@20000 foggy mountain road`);
+//! * `:deadline <us>` — set the per-turn latency budget for all
+//!   subsequent turns (`:deadline off` clears it; off by default);
+//! * `:pick N [text]` — select result `N` of the previous reply, its
+//!   image augments the next query (optionally refine in one turn);
+//! * `:stats` — print the scheduler instruments (batches formed, shed
+//!   counts, pending depth);
+//! * `:status` — print the system status panel;
+//! * `:quit` — exit.
+//!
+//! ```bash
+//! cargo run --release --bin serve
+//! ```
+
+use mqa::core::MqaError;
+use mqa::engine::{EngineOptions, SchedOptions, TicketError};
+use mqa::prelude::*;
+use std::io::{BufRead, Write};
+
+/// Workers behind the scheduler; small on purpose so a burst of turns
+/// with tight budgets actually exercises admission control.
+const WORKERS: usize = 2;
+
+fn print_sched_stats() {
+    let batches = mqa::obs::counter("engine.sched.batches").get();
+    let rejected = mqa::obs::counter("engine.sched.shed_rejected").get();
+    let expired = mqa::obs::counter("engine.sched.shed_expired").get();
+    let depth = mqa::obs::gauge("engine.sched.pending_depth").get();
+    println!("scheduler ▸ batches={batches} shed_rejected={rejected} shed_expired={expired} pending_depth={depth}");
+}
+
+fn shed_notice(err: TicketError) -> &'static str {
+    match err {
+        TicketError::Rejected => {
+            "shed (rejected): the scheduler is over its admission watermark — retry, raise the budget, or drop the deadline"
+        }
+        TicketError::Expired => {
+            "shed (expired): the latency budget ran out before a worker picked the query up — raise the budget with :deadline"
+        }
+        TicketError::Canceled => "canceled: the engine shut down while the turn was in flight",
+    }
+}
+
+fn main() {
+    println!("building the MQA system (weather corpus, 5k objects)…");
+    let kb = DatasetSpec::weather()
+        .objects(5_000)
+        .concepts(80)
+        .styles(3)
+        .seed(9)
+        .generate();
+    let config = Config {
+        k: 5,
+        ..Config::default()
+    };
+    let mut system = MqaSystem::build(config, kb).expect("system builds");
+    system.enable_engine(EngineOptions::with_workers(WORKERS).with_sched(SchedOptions::default()));
+    println!("{}", mqa::core::panels::render_status_panel(&system));
+    println!(
+        "serving through the deadline-aware scheduler ({WORKERS} workers). \
+         try: \"foggy clouds over the mountain\", or `@20000 <text>` for a 20 ms budget — :quit to exit\n"
+    );
+
+    let mut session = system.open_session();
+    let mut deadline_us: Option<u64> = None;
+    let stdin = std::io::stdin();
+    loop {
+        print!("you ▸ ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break; // EOF
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        // A `@<us>` prefix is a one-turn deadline flag; it overrides the
+        // session-level `:deadline` setting for this turn only.
+        let (turn_deadline_us, line) = match line.strip_prefix('@') {
+            Some(rest) => {
+                let mut parts = rest.splitn(2, ' ');
+                match (parts.next().map(str::parse::<u64>), parts.next()) {
+                    (Some(Ok(us)), Some(text)) if !text.trim().is_empty() => {
+                        (Some(us), text.trim())
+                    }
+                    _ => {
+                        println!("usage: @<budget_us> <text>, e.g. `@20000 foggy mountain`");
+                        continue;
+                    }
+                }
+            }
+            None => (deadline_us, line),
+        };
+        let turn = if let Some(rest) = line.strip_prefix(":deadline ") {
+            match rest.trim() {
+                "off" => {
+                    deadline_us = None;
+                    println!("deadline cleared: turns now wait as long as they take");
+                }
+                spec => match spec.parse::<u64>() {
+                    Ok(us) if us > 0 => {
+                        deadline_us = Some(us);
+                        println!("per-turn latency budget set to {us} µs");
+                    }
+                    _ => println!("usage: :deadline <budget_us> | off"),
+                },
+            }
+            continue;
+        } else if let Some(rest) = line.strip_prefix(":pick ") {
+            let mut parts = rest.splitn(2, ' ');
+            let Some(Ok(rank)) = parts.next().map(str::parse::<usize>) else {
+                println!("usage: :pick N [refinement text]");
+                continue;
+            };
+            match parts.next() {
+                Some(text) => Turn::select_and_text(rank, text),
+                None => Turn {
+                    select: Some(rank),
+                    ..Turn::default()
+                },
+            }
+        } else {
+            match line {
+                ":quit" | ":q" => break,
+                ":stats" => {
+                    print_sched_stats();
+                    continue;
+                }
+                ":status" => {
+                    println!("{}", mqa::core::panels::render_status_panel(&system));
+                    continue;
+                }
+                text => Turn::text(text),
+            }
+        };
+        let turn = match turn_deadline_us {
+            Some(us) => turn.with_deadline_us(us),
+            None => turn,
+        };
+        match session.ask(turn) {
+            Ok(reply) => {
+                print!("{}", mqa::core::panels::render_qa_exchange(line, &reply));
+            }
+            // A shed is a first-class protocol outcome, never a silent
+            // retry: say which admission decision was taken and why.
+            Err(MqaError::Shed(err)) => println!("mqa ▸ {}", shed_notice(err)),
+            Err(e) => println!("mqa ▸ error: {e}"),
+        }
+    }
+    print_sched_stats();
+    println!("bye");
+}

@@ -29,6 +29,7 @@ pub use mqa_engine as engine;
 pub use mqa_graph as graph;
 pub use mqa_kb as kb;
 pub use mqa_llm as llm;
+pub use mqa_obs as obs;
 pub use mqa_retrieval as retrieval;
 pub use mqa_vector as vector;
 pub use mqa_weights as weights;
